@@ -1,0 +1,445 @@
+//! Automated pilot — the dependable-avionics case study (paper §I/§III,
+//! Enard et al. \[9\]).
+//!
+//! Redundant altimeters (nose and both wings) with a declared `@error
+//! (policy = "failover")` feed a periodic `FlightState` context, which
+//! also queries the airspeed sensor. Two downstream contexts compute
+//! actionable information:
+//!
+//! - `AltitudeDeviation` — the offset from the target altitude, driving
+//!   the `Autopilot` controller's elevator commands (a P-controller);
+//! - `StallRisk` — low-airspeed detection, driving `StallRecovery`
+//!   (full throttle plus a cockpit warning).
+//!
+//! Failure injection is built in: [`AvionicsConfig::altimeter_fault`]
+//! wraps one altimeter with a programmable fault so experiments can watch
+//! the declared failover policy recover (experiment E14).
+
+/// The programming framework generated from `specs/avionics.spec` by the
+/// design compiler (checked in; kept in sync by a golden test).
+pub mod generated;
+
+use self::generated::*;
+use diaspec_devices::avionics::{
+    FlightActuatorDriver, FlightModel, FlightModelConfig, FlightProcess, FlightSensorDriver,
+    FlightState,
+};
+use diaspec_devices::common::{ActuationLog, FailingDevice, FaultMode, RecordingActuator, SharedCell};
+use diaspec_runtime::entity::AttributeMap;
+use diaspec_runtime::error::{ComponentError, RuntimeError};
+use diaspec_runtime::transport::TransportConfig;
+use diaspec_runtime::value::Value;
+use diaspec_runtime::Orchestrator;
+use std::sync::Arc;
+
+/// The DiaSpec design this application implements.
+pub const SPEC: &str = include_str!("../../../../specs/avionics.spec");
+
+/// Tuning and fault-injection knobs of the autopilot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvionicsConfig {
+    /// Target altitude to hold, in feet.
+    pub target_altitude_ft: f64,
+    /// Deviations within this band are ignored, in feet.
+    pub deadband_ft: f64,
+    /// Proportional gain: pitch command per foot of deviation.
+    pub gain_per_ft: f64,
+    /// Stall-warning threshold, in knots.
+    pub stall_speed_kt: f64,
+    /// Flight dynamics parameters.
+    pub dynamics: FlightModelConfig,
+    /// Initial aircraft state.
+    pub initial: FlightState,
+    /// Optional fault injected into the nose altimeter.
+    pub altimeter_fault: Option<FaultMode>,
+    /// Simulated transport.
+    pub transport: TransportConfig,
+}
+
+impl Default for AvionicsConfig {
+    fn default() -> Self {
+        AvionicsConfig {
+            target_altitude_ft: 10_000.0,
+            deadband_ft: 25.0,
+            gain_per_ft: 0.002,
+            stall_speed_kt: 120.0,
+            dynamics: FlightModelConfig::default(),
+            initial: FlightState::default(),
+            altimeter_fault: None,
+            transport: TransportConfig::default(),
+        }
+    }
+}
+
+/// `FlightState` context: fuses redundant altimeter readings (median) and
+/// the queried airspeed into one sample per second.
+struct FlightStateLogic;
+
+impl FlightStateImpl for FlightStateLogic {
+    fn on_periodic_altitude(
+        &mut self,
+        support: &mut FlightStateSupport<'_, '_>,
+        readings: Vec<(diaspec_runtime::entity::EntityId, f64)>,
+    ) -> Result<Option<FlightSample>, ComponentError> {
+        if readings.is_empty() {
+            return Err(ComponentError::new(
+                "FlightState",
+                "no altimeter readings available",
+            ));
+        }
+        // Median of the redundant altimeters: robust to one outlier.
+        let mut altitudes: Vec<f64> = readings.iter().map(|(_, a)| *a).collect();
+        altitudes.sort_by(f64::total_cmp);
+        let altitude = altitudes[altitudes.len() / 2];
+        let airspeed = support
+            .get_airspeed_from_airspeed_sensor()?
+            .first()
+            .map_or(0.0, |(_, v)| *v);
+        Ok(Some(FlightSample { altitude, airspeed }))
+    }
+}
+
+/// `AltitudeDeviation` context: publishes the signed deviation when it
+/// leaves the deadband.
+struct DeviationLogic {
+    target_ft: f64,
+    deadband_ft: f64,
+}
+
+impl AltitudeDeviationImpl for DeviationLogic {
+    fn on_flight_state(
+        &mut self,
+        _support: &mut AltitudeDeviationSupport<'_, '_>,
+        flight_state: FlightSample,
+    ) -> Result<Option<f64>, ComponentError> {
+        let deviation = flight_state.altitude - self.target_ft;
+        Ok((deviation.abs() > self.deadband_ft).then_some(deviation))
+    }
+}
+
+/// `Autopilot` controller: proportional elevator command opposing the
+/// deviation.
+struct AutopilotLogic {
+    gain_per_ft: f64,
+}
+
+impl AutopilotImpl for AutopilotLogic {
+    fn on_altitude_deviation(
+        &mut self,
+        support: &mut AutopilotSupport<'_, '_>,
+        value: f64,
+    ) -> Result<(), ComponentError> {
+        let pitch = (-value * self.gain_per_ft).clamp(-1.0, 1.0);
+        support.elevators().set_pitch(pitch)?;
+        Ok(())
+    }
+}
+
+/// `StallRisk` context: true while the airspeed is below the threshold.
+struct StallRiskLogic {
+    stall_speed_kt: f64,
+    warned: bool,
+}
+
+impl StallRiskImpl for StallRiskLogic {
+    fn on_flight_state(
+        &mut self,
+        _support: &mut StallRiskSupport<'_, '_>,
+        flight_state: FlightSample,
+    ) -> Result<Option<bool>, ComponentError> {
+        let at_risk = flight_state.airspeed < self.stall_speed_kt;
+        // Publish on state changes only (edge-triggered).
+        if at_risk != self.warned {
+            self.warned = at_risk;
+            Ok(Some(at_risk))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// `StallRecovery` controller: full throttle and a cockpit warning while
+/// at risk; restores cruise throttle when the risk clears.
+struct StallRecoveryLogic {
+    cruise_throttle: f64,
+}
+
+impl StallRecoveryImpl for StallRecoveryLogic {
+    fn on_stall_risk(
+        &mut self,
+        support: &mut StallRecoverySupport<'_, '_>,
+        value: bool,
+    ) -> Result<(), ComponentError> {
+        if value {
+            support.throttles().set_level(1.0)?;
+            support
+                .warning_panels()
+                .warn("STALL RISK: airspeed low, applying full throttle".to_owned())?;
+        } else {
+            support.throttles().set_level(self.cruise_throttle)?;
+            support
+                .warning_panels()
+                .warn("stall risk cleared".to_owned())?;
+        }
+        Ok(())
+    }
+}
+
+/// A fully wired autopilot over the simulated aircraft.
+pub struct AvionicsApp {
+    /// The launched orchestrator.
+    pub orchestrator: Orchestrator,
+    /// Shared aircraft state (read it to observe the flight).
+    pub aircraft: SharedCell<FlightState>,
+    /// Cockpit warnings issued so far.
+    pub warnings: ActuationLog,
+}
+
+impl AvionicsApp {
+    /// Current altitude of the simulated aircraft, in feet.
+    #[must_use]
+    pub fn altitude_ft(&self) -> f64 {
+        self.aircraft.get().altitude_ft
+    }
+
+    /// Current airspeed, in knots.
+    #[must_use]
+    pub fn airspeed_kt(&self) -> f64 {
+        self.aircraft.get().airspeed_kt
+    }
+}
+
+/// Builds and launches the autopilot application.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError`] on wiring failure.
+pub fn build(config: AvionicsConfig) -> Result<AvionicsApp, RuntimeError> {
+    let spec = Arc::new(
+        diaspec_core::compile_str(SPEC).expect("bundled avionics.spec must compile"),
+    );
+    let mut orch = Orchestrator::with_transport(spec, config.transport);
+
+    orch.register_context("FlightState", FlightStateAdapter(FlightStateLogic))?;
+    orch.register_context(
+        "AltitudeDeviation",
+        AltitudeDeviationAdapter(DeviationLogic {
+            target_ft: config.target_altitude_ft,
+            deadband_ft: config.deadband_ft,
+        }),
+    )?;
+    orch.register_controller(
+        "Autopilot",
+        AutopilotAdapter(AutopilotLogic {
+            gain_per_ft: config.gain_per_ft,
+        }),
+    )?;
+    orch.register_context(
+        "StallRisk",
+        StallRiskAdapter(StallRiskLogic {
+            stall_speed_kt: config.stall_speed_kt,
+            warned: false,
+        }),
+    )?;
+    orch.register_controller(
+        "StallRecovery",
+        StallRecoveryAdapter(StallRecoveryLogic {
+            cruise_throttle: config.initial.throttle,
+        }),
+    )?;
+
+    let model = FlightModel::new(config.initial.clone(), config.dynamics.clone());
+    let aircraft = model.state();
+
+    orch.begin_deployment();
+    // Three redundant altimeters; the nose one may carry an injected fault
+    // (the declared failover policy then reroutes to a wing altimeter).
+    for position in PositionEnum::ALL {
+        let mut attrs = AttributeMap::new();
+        attrs.insert(
+            "position".to_owned(),
+            Value::enum_value("PositionEnum", position.name()),
+        );
+        let sensor = FlightSensorDriver::new(aircraft.clone());
+        let driver: Box<dyn diaspec_runtime::entity::DeviceInstance> =
+            match (&config.altimeter_fault, position) {
+                (Some(fault), PositionEnum::Nose) => {
+                    Box::new(FailingDevice::new(sensor, *fault))
+                }
+                _ => Box::new(sensor),
+            };
+        orch.bind_entity(
+            format!("altimeter-{}", position.name()).into(),
+            "Altimeter",
+            attrs,
+            driver,
+        )?;
+    }
+    orch.bind_entity(
+        "airspeed-1".into(),
+        "AirspeedSensor",
+        AttributeMap::new(),
+        Box::new(FlightSensorDriver::new(aircraft.clone())),
+    )?;
+    orch.bind_entity(
+        "gyro-1".into(),
+        "GyroCompass",
+        AttributeMap::new(),
+        Box::new(FlightSensorDriver::new(aircraft.clone())),
+    )?;
+    orch.bind_entity(
+        "elevator-1".into(),
+        "Elevator",
+        AttributeMap::new(),
+        Box::new(FlightActuatorDriver::new(aircraft.clone())),
+    )?;
+    orch.bind_entity(
+        "throttle-1".into(),
+        "Throttle",
+        AttributeMap::new(),
+        Box::new(FlightActuatorDriver::new(aircraft.clone())),
+    )?;
+    let warnings = ActuationLog::new();
+    orch.bind_entity(
+        "warning-panel-1".into(),
+        "WarningPanel",
+        AttributeMap::new(),
+        Box::new(RecordingActuator::new(warnings.clone())),
+    )?;
+
+    orch.spawn_process_at(
+        "flight-dynamics",
+        FlightProcess::new(model),
+        config.dynamics.step_ms,
+    );
+    orch.launch()?;
+
+    Ok(AvionicsApp {
+        orchestrator: orch,
+        aircraft,
+        warnings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calm() -> AvionicsConfig {
+        AvionicsConfig {
+            dynamics: FlightModelConfig {
+                turbulence_ft: 0.0,
+                ..FlightModelConfig::default()
+            },
+            ..AvionicsConfig::default()
+        }
+    }
+
+    #[test]
+    fn autopilot_corrects_altitude_deviation() {
+        let mut app = build(AvionicsConfig {
+            initial: FlightState {
+                altitude_ft: 9_000.0, // 1000 ft below target
+                ..FlightState::default()
+            },
+            ..calm()
+        })
+        .unwrap();
+        app.orchestrator.run_until(5 * 60 * 1000);
+        let altitude = app.altitude_ft();
+        assert!(
+            (app.altitude_ft() - 10_000.0).abs() < 200.0,
+            "autopilot converged near target, at {altitude}"
+        );
+        assert!(app.orchestrator.drain_errors().is_empty());
+        assert!(app.orchestrator.metrics().actuations > 0);
+    }
+
+    #[test]
+    fn level_flight_stays_quiet() {
+        let mut app = build(calm()).unwrap();
+        app.orchestrator.run_until(60 * 1000);
+        // Within the deadband: AltitudeDeviation never publishes, so the
+        // elevator is never touched.
+        assert_eq!(app.aircraft.get().elevator, 0.0);
+        assert!(app.warnings.is_empty());
+    }
+
+    #[test]
+    fn stall_risk_triggers_recovery_and_clears() {
+        let mut app = build(AvionicsConfig {
+            initial: FlightState {
+                airspeed_kt: 100.0, // below the 120 kt threshold
+                throttle: 0.5,
+                ..FlightState::default()
+            },
+            ..calm()
+        })
+        .unwrap();
+        app.orchestrator.run_until(1_500);
+        assert!(
+            app.warnings.count("warn") >= 1,
+            "stall warning issued: {:?}",
+            app.warnings.entries()
+        );
+        assert_eq!(app.aircraft.get().throttle, 1.0, "full throttle applied");
+        // Full throttle accelerates past the threshold; the edge-triggered
+        // context eventually publishes `false` and throttle restores.
+        app.orchestrator.run_until(10 * 60 * 1000);
+        assert!(app.airspeed_kt() > 120.0);
+        let warn_texts: Vec<String> = app
+            .warnings
+            .entries()
+            .iter()
+            .map(|a| a.args[0].as_str().unwrap().to_owned())
+            .collect();
+        assert!(
+            warn_texts.iter().any(|w| w.contains("cleared")),
+            "{warn_texts:?}"
+        );
+        assert_eq!(app.aircraft.get().throttle, 0.5, "cruise throttle restored");
+    }
+
+    #[test]
+    fn failover_policy_masks_nose_altimeter_fault() {
+        let mut app = build(AvionicsConfig {
+            altimeter_fault: Some(FaultMode::Always),
+            initial: FlightState {
+                altitude_ft: 9_500.0,
+                ..FlightState::default()
+            },
+            ..calm()
+        })
+        .unwrap();
+        app.orchestrator.run_until(3 * 60 * 1000);
+        // Despite the dead nose altimeter, the wing altimeters keep the
+        // flight state flowing and the autopilot converges.
+        assert!((app.altitude_ft() - 10_000.0).abs() < 200.0);
+        assert!(app.orchestrator.drain_errors().is_empty());
+        let stats = app.orchestrator.registry().stats();
+        assert!(stats.failovers > 0, "failover path exercised: {stats:?}");
+    }
+
+    #[test]
+    fn all_altimeters_dead_surfaces_component_error() {
+        // Inject the fault into the shared flight-sensor driver of all
+        // three altimeters by failing the nose and unbinding the wings.
+        let mut app = build(AvionicsConfig {
+            altimeter_fault: Some(FaultMode::Always),
+            ..calm()
+        })
+        .unwrap();
+        app.orchestrator
+            .unbind_entity(&"altimeter-LEFT_WING".into())
+            .unwrap();
+        app.orchestrator
+            .unbind_entity(&"altimeter-RIGHT_WING".into())
+            .unwrap();
+        app.orchestrator.run_until(3_000);
+        let errors = app.orchestrator.drain_errors();
+        assert!(
+            !errors.is_empty(),
+            "total altimeter loss must surface as contained errors"
+        );
+    }
+}

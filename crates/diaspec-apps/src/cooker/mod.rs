@@ -1,0 +1,378 @@
+//! Cooker monitoring — the paper's small-scale case study (§II,
+//! Figures 3, 5, 7, 9).
+//!
+//! Two functional chains:
+//!
+//! 1. `Clock.tickSecond → [Alert] → (Notify) → TvPrompter.askQuestion` —
+//!    every second the `Alert` context queries the cooker's consumption;
+//!    once it has been on beyond a threshold, the user is prompted.
+//! 2. `TvPrompter.answer → [RemoteTurnOff] → (TurnOff) → Cooker.Off` —
+//!    a "yes" answer (while the cooker is still on) turns it off remotely.
+//!
+//! The application logic is written against the framework generated from
+//! `specs/cooker.spec` (checked in as [`generated`]; a golden test keeps
+//! it in sync with the design).
+
+/// The programming framework generated from `specs/cooker.spec` by the
+/// design compiler (checked in; kept in sync by a golden test).
+pub mod generated;
+
+use self::generated::*;
+use diaspec_devices::common::SharedCell;
+use diaspec_devices::home::{ClockProcess, CookerDriver, CookerState, PromptedQuestion, TvPrompterDriver};
+use diaspec_runtime::clock::SimTime;
+use diaspec_runtime::entity::{AttributeMap, EntityId};
+use diaspec_runtime::error::{ComponentError, RuntimeError};
+use diaspec_runtime::transport::TransportConfig;
+use diaspec_runtime::value::Value;
+use diaspec_runtime::Orchestrator;
+use std::sync::Arc;
+
+/// The DiaSpec design this application implements (Figure 7).
+pub const SPEC: &str = include_str!("../../../../specs/cooker.spec");
+
+/// Tuning knobs of the cooker-monitoring application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CookerConfig {
+    /// Consumption above this many kW counts as "on".
+    pub on_threshold_kw: f64,
+    /// Seconds the cooker may stay on before the first prompt.
+    pub alert_after_secs: i64,
+    /// Re-prompt every this many seconds while the cooker stays on.
+    pub renotify_every_secs: i64,
+    /// Simulated transport.
+    pub transport: TransportConfig,
+}
+
+impl Default for CookerConfig {
+    fn default() -> Self {
+        CookerConfig {
+            on_threshold_kw: 0.5,
+            alert_after_secs: 30 * 60, // the "safety threshold" of §II
+            renotify_every_secs: 5 * 60,
+            transport: TransportConfig::default(),
+        }
+    }
+}
+
+/// `Alert` context logic: counts consecutive seconds of cooker activity
+/// and publishes once the threshold is crossed (then periodically again).
+struct AlertLogic {
+    config: CookerConfig,
+    seconds_on: i64,
+}
+
+impl AlertImpl for AlertLogic {
+    fn on_tick_second_from_clock(
+        &mut self,
+        support: &mut AlertSupport<'_, '_>,
+        _entity: &EntityId,
+        _tick_second: i64,
+    ) -> Result<Option<i64>, ComponentError> {
+        let consumption = support
+            .get_consumption_from_cooker()?
+            .first()
+            .map_or(0.0, |(_, kw)| *kw);
+        if consumption > self.config.on_threshold_kw {
+            self.seconds_on += 1;
+        } else {
+            self.seconds_on = 0;
+        }
+        let over = self.seconds_on - self.config.alert_after_secs;
+        let renotify = self.config.renotify_every_secs.max(1);
+        if over == 0 || (over > 0 && over % renotify == 0) {
+            Ok(Some(self.seconds_on))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// `Notify` controller logic: prompts the user on every TV prompter.
+struct NotifyLogic;
+
+impl NotifyImpl for NotifyLogic {
+    fn on_alert(
+        &mut self,
+        support: &mut NotifySupport<'_, '_>,
+        value: i64,
+    ) -> Result<(), ComponentError> {
+        let minutes = value / 60;
+        support.tv_prompters().ask_question(format!(
+            "The cooker has been on for {minutes} minutes. Turn it off?"
+        ))?;
+        Ok(())
+    }
+}
+
+/// `RemoteTurnOff` context logic: a "yes" answer while the cooker is still
+/// on requests the turn-off.
+struct RemoteTurnOffLogic {
+    on_threshold_kw: f64,
+}
+
+impl RemoteTurnOffImpl for RemoteTurnOffLogic {
+    fn on_answer_from_tv_prompter(
+        &mut self,
+        support: &mut RemoteTurnOffSupport<'_, '_>,
+        _entity: &EntityId,
+        answer: String,
+        _question_id: Option<String>,
+    ) -> Result<Option<bool>, ComponentError> {
+        if !answer.eq_ignore_ascii_case("yes") {
+            return Ok(None);
+        }
+        // Re-check the cooker before acting, as the design specifies.
+        let still_on = support
+            .get_consumption_from_cooker()?
+            .first()
+            .is_some_and(|(_, kw)| *kw > self.on_threshold_kw);
+        Ok(still_on.then_some(true))
+    }
+}
+
+/// `TurnOff` controller logic: issues `Off` to the cooker.
+struct TurnOffLogic;
+
+impl TurnOffImpl for TurnOffLogic {
+    fn on_remote_turn_off(
+        &mut self,
+        support: &mut TurnOffSupport<'_, '_>,
+        value: bool,
+    ) -> Result<(), ComponentError> {
+        if value {
+            support.cookers().off()?;
+        }
+        Ok(())
+    }
+}
+
+/// A fully wired cooker-monitoring application: orchestrator plus handles
+/// into the simulated home.
+pub struct CookerApp {
+    /// The launched orchestrator.
+    pub orchestrator: Orchestrator,
+    /// Shared cooker state (flip `on` to simulate the resident cooking).
+    pub cooker: SharedCell<CookerState>,
+    /// Questions displayed on the TV so far.
+    pub questions: SharedCell<Vec<PromptedQuestion>>,
+}
+
+impl CookerApp {
+    /// Entity id of the TV prompter.
+    pub const TV: &'static str = "tv-livingroom";
+    /// Entity id of the cooker.
+    pub const COOKER: &'static str = "cooker-kitchen";
+    /// Entity id of the clock.
+    pub const CLOCK: &'static str = "clock-1";
+
+    /// Simulates the user answering the current TV prompt at time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`] from the emission (e.g. unbound TV).
+    pub fn answer(&mut self, at: SimTime, text: &str) -> Result<(), RuntimeError> {
+        let question_id = format!("q-{}", self.questions.update(|q| q.len()));
+        self.orchestrator.emit_at(
+            at,
+            &Self::TV.into(),
+            "answer",
+            Value::from(text),
+            Some(Value::from(question_id)),
+        )
+    }
+
+    /// Turns the simulated cooker on (the resident starts cooking).
+    pub fn start_cooking(&self) {
+        self.cooker.update(|s| s.on = true);
+    }
+}
+
+/// Builds and launches the cooker-monitoring application.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError`] if the design fails to wire (which would
+/// indicate a generated-framework/design mismatch).
+pub fn build(config: CookerConfig) -> Result<CookerApp, RuntimeError> {
+    let spec = Arc::new(
+        diaspec_core::compile_str(SPEC).expect("bundled cooker.spec must compile"),
+    );
+    let mut orch = Orchestrator::with_transport(spec, config.transport);
+
+    orch.register_context(
+        "Alert",
+        AlertAdapter(AlertLogic {
+            config: config.clone(),
+            seconds_on: 0,
+        }),
+    )?;
+    orch.register_controller("Notify", NotifyAdapter(NotifyLogic))?;
+    orch.register_context(
+        "RemoteTurnOff",
+        RemoteTurnOffAdapter(RemoteTurnOffLogic {
+            on_threshold_kw: config.on_threshold_kw,
+        }),
+    )?;
+    orch.register_controller("TurnOff", TurnOffAdapter(TurnOffLogic))?;
+
+    let cooker = SharedCell::new(CookerState::default());
+    let questions = SharedCell::new(Vec::new());
+
+    orch.begin_deployment();
+    orch.bind_entity(
+        CookerApp::CLOCK.into(),
+        "Clock",
+        AttributeMap::new(),
+        Box::new(ClockQueryDriver),
+    )?;
+    orch.bind_entity(
+        CookerApp::COOKER.into(),
+        "Cooker",
+        AttributeMap::new(),
+        Box::new(CookerDriver::new(cooker.clone())),
+    )?;
+    orch.bind_entity(
+        CookerApp::TV.into(),
+        "TvPrompter",
+        AttributeMap::new(),
+        Box::new(TvPrompterDriver::new(questions.clone())),
+    )?;
+    orch.spawn_process_at(
+        "wall-clock",
+        ClockProcess::new(CookerApp::CLOCK.into()),
+        1_000,
+    );
+    orch.launch()?;
+
+    Ok(CookerApp {
+        orchestrator: orch,
+        cooker,
+        questions,
+    })
+}
+
+/// Query-mode driver for the `Clock` device: reports elapsed simulation
+/// time (its tick sources are event-driven, emitted by [`ClockProcess`]).
+struct ClockQueryDriver;
+
+impl diaspec_runtime::entity::DeviceInstance for ClockQueryDriver {
+    fn query(
+        &mut self,
+        source: &str,
+        now_ms: u64,
+    ) -> Result<Value, diaspec_runtime::error::DeviceError> {
+        match source {
+            "tickSecond" => Ok(Value::Int((now_ms / 1_000) as i64)),
+            "tickMinute" => Ok(Value::Int((now_ms / 60_000) as i64)),
+            "tickHour" => Ok(Value::Int((now_ms / 3_600_000) as i64)),
+            other => Err(diaspec_runtime::error::DeviceError::new(
+                "clock", other, "unknown source",
+            )),
+        }
+    }
+
+    fn invoke(
+        &mut self,
+        action: &str,
+        _args: &[Value],
+        _now_ms: u64,
+    ) -> Result<(), diaspec_runtime::error::DeviceError> {
+        Err(diaspec_runtime::error::DeviceError::new(
+            "clock",
+            action,
+            "clocks have no actions",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> CookerConfig {
+        CookerConfig {
+            alert_after_secs: 3,
+            renotify_every_secs: 10,
+            ..CookerConfig::default()
+        }
+    }
+
+    #[test]
+    fn alert_fires_after_threshold_and_renotifies() {
+        let mut app = build(fast_config()).unwrap();
+        app.start_cooking();
+        // Ticks at 1..=20 s; cooking from t=0; threshold 3 s; renotify 10 s.
+        app.orchestrator.run_until(20_000);
+        let questions = app.questions.get();
+        // Published at seconds_on == 3 and again at 13 (3 + 10).
+        assert_eq!(questions.len(), 2, "{questions:?}");
+        assert!(questions[0].question.contains("Turn it off?"));
+        assert!(app.orchestrator.drain_errors().is_empty());
+    }
+
+    #[test]
+    fn cooker_off_keeps_alert_silent() {
+        let mut app = build(fast_config()).unwrap();
+        app.orchestrator.run_until(60_000);
+        assert!(app.questions.get().is_empty());
+        assert_eq!(app.orchestrator.metrics().publications, 0);
+    }
+
+    #[test]
+    fn yes_answer_turns_cooker_off() {
+        let mut app = build(fast_config()).unwrap();
+        app.start_cooking();
+        app.orchestrator.run_until(5_000);
+        assert!(!app.questions.get().is_empty(), "prompt was shown");
+        assert!(app.cooker.get().on);
+        app.answer(6_000, "yes").unwrap();
+        app.orchestrator.run_until(7_000);
+        assert!(!app.cooker.get().on, "cooker was turned off remotely");
+        assert!(app.orchestrator.drain_errors().is_empty());
+    }
+
+    #[test]
+    fn no_answer_leaves_cooker_on() {
+        let mut app = build(fast_config()).unwrap();
+        app.start_cooking();
+        app.orchestrator.run_until(5_000);
+        app.answer(6_000, "no").unwrap();
+        app.orchestrator.run_until(7_000);
+        assert!(app.cooker.get().on);
+    }
+
+    #[test]
+    fn yes_after_manual_off_is_a_no_op() {
+        let mut app = build(fast_config()).unwrap();
+        app.start_cooking();
+        app.orchestrator.run_until(5_000);
+        // The resident turns it off by hand before answering.
+        app.cooker.update(|s| s.on = false);
+        app.answer(6_000, "yes").unwrap();
+        let before = app.orchestrator.metrics().actuations;
+        app.orchestrator.run_until(7_000);
+        // RemoteTurnOff re-checked the consumption and stayed silent.
+        assert_eq!(app.orchestrator.metrics().actuations, before);
+    }
+
+    #[test]
+    fn counter_resets_when_cooker_turned_off_midway() {
+        let mut app = build(CookerConfig {
+            alert_after_secs: 10,
+            ..fast_config()
+        })
+        .unwrap();
+        app.start_cooking();
+        app.orchestrator.run_until(5_000);
+        app.cooker.update(|s| s.on = false);
+        app.orchestrator.run_until(8_000);
+        app.cooker.update(|s| s.on = true);
+        // 8 more seconds: counter restarted, so no alert yet at t=16s.
+        app.orchestrator.run_until(16_000);
+        assert!(app.questions.get().is_empty());
+        // But by t=19s the fresh run of 10 on-seconds is complete.
+        app.orchestrator.run_until(19_000);
+        assert_eq!(app.questions.get().len(), 1);
+    }
+}

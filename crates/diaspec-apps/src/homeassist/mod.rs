@@ -1,0 +1,570 @@
+//! HomeAssist — assisted living for aging in place (paper \[10\]).
+//!
+//! Motion sensors grouped by room feed the `RoomActivity` context every
+//! minute via declared MapReduce phases. Two functional chains act on the
+//! aggregated activity:
+//!
+//! - `InactivityAlert` tracks how long the home has been still; beyond a
+//!   threshold, the `Reassure` controller issues a spoken check-in;
+//! - `LightControl` switches room lights to follow activity;
+//! - `NightDoorAlert`/`NightGuard` watch for doors opened during the
+//!   night (a wandering episode) and speak an alert naming the door.
+//!
+//! A [`ResidentProcess`] simulates the occupant moving between rooms
+//! (seeded random walk with an optional "nap" interval of total
+//! stillness, used by the inactivity tests).
+
+/// The programming framework generated from `specs/homeassist.spec` by the
+/// design compiler (checked in; kept in sync by a golden test).
+pub mod generated;
+
+use self::generated::*;
+use diaspec_devices::common::{ActuationLog, RecordingActuator, SharedCell};
+use diaspec_devices::home::BinarySensorDriver;
+use diaspec_runtime::clock::SimTime;
+use diaspec_runtime::engine::ProcessApi;
+use diaspec_runtime::entity::AttributeMap;
+use diaspec_runtime::error::{ComponentError, RuntimeError};
+use diaspec_runtime::process::Process;
+use diaspec_runtime::transport::TransportConfig;
+use diaspec_runtime::value::Value;
+use diaspec_runtime::{Orchestrator, ProcessingMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The DiaSpec design this application implements.
+pub const SPEC: &str = include_str!("../../../../specs/homeassist.spec");
+
+/// Tuning knobs of the assisted-living application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomeAssistConfig {
+    /// Motion sensors per room.
+    pub sensors_per_room: usize,
+    /// Minutes of whole-home stillness before a reassurance prompt.
+    pub inactivity_minutes: i64,
+    /// Re-prompt interval once inactive, in minutes.
+    pub reprompt_minutes: i64,
+    /// Optional interval `[start_ms, end_ms)` during which the simulated
+    /// resident is completely still.
+    pub nap: Option<(SimTime, SimTime)>,
+    /// Night hours `[start_hour, end_hour)` (wrapping midnight) during
+    /// which an opened door raises a wandering alert.
+    pub night_hours: (u64, u64),
+    /// Seed of the resident's random walk.
+    pub seed: u64,
+    /// Simulated transport.
+    pub transport: TransportConfig,
+    /// How declared MapReduce phases execute.
+    pub processing: ProcessingMode,
+}
+
+impl Default for HomeAssistConfig {
+    fn default() -> Self {
+        HomeAssistConfig {
+            sensors_per_room: 2,
+            inactivity_minutes: 90,
+            reprompt_minutes: 30,
+            nap: None,
+            night_hours: (22, 6),
+            seed: 5,
+            transport: TransportConfig::default(),
+            processing: ProcessingMode::Serial,
+        }
+    }
+}
+
+/// `RoomActivity` MapReduce phases: one intermediate record per active
+/// sensor, summed per room.
+struct ActivityMapReduce;
+
+impl RoomActivityMapReduce for ActivityMapReduce {
+    fn map(&self, room: &RoomEnum, motion: bool, emit: &mut dyn FnMut(RoomEnum, i64)) {
+        if motion {
+            emit(*room, 1);
+        }
+    }
+
+    fn reduce(&self, _room: &RoomEnum, values: &[i64]) -> i64 {
+        values.iter().sum()
+    }
+}
+
+/// `RoomActivity` context: wraps per-room event counts into the declared
+/// `ActivityLevel[]`.
+struct RoomActivityLogic;
+
+impl RoomActivityImpl for RoomActivityLogic {
+    fn on_periodic_motion(
+        &mut self,
+        _support: &mut RoomActivitySupport<'_, '_>,
+        motion_by_room: BTreeMap<RoomEnum, i64>,
+    ) -> Result<Option<Vec<ActivityLevel>>, ComponentError> {
+        let levels = RoomEnum::ALL
+            .iter()
+            .map(|room| ActivityLevel {
+                room: *room,
+                events: motion_by_room.get(room).copied().unwrap_or(0),
+            })
+            .collect();
+        Ok(Some(levels))
+    }
+}
+
+/// `InactivityAlert` context: counts minutes without any activity and
+/// publishes at the threshold, then periodically again.
+struct InactivityLogic {
+    threshold_minutes: i64,
+    reprompt_minutes: i64,
+    still_minutes: i64,
+}
+
+impl InactivityAlertImpl for InactivityLogic {
+    fn on_room_activity(
+        &mut self,
+        _support: &mut InactivityAlertSupport<'_, '_>,
+        room_activity: Vec<ActivityLevel>,
+    ) -> Result<Option<i64>, ComponentError> {
+        let any_activity = room_activity.iter().any(|l| l.events > 0);
+        if any_activity {
+            self.still_minutes = 0;
+            return Ok(None);
+        }
+        self.still_minutes += 1;
+        let over = self.still_minutes - self.threshold_minutes;
+        let reprompt = self.reprompt_minutes.max(1);
+        if over == 0 || (over > 0 && over % reprompt == 0) {
+            Ok(Some(self.still_minutes))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// `Reassure` controller: spoken check-in on every speaker.
+struct ReassureLogic;
+
+impl ReassureImpl for ReassureLogic {
+    fn on_inactivity_alert(
+        &mut self,
+        support: &mut ReassureSupport<'_, '_>,
+        value: i64,
+    ) -> Result<(), ComponentError> {
+        support.speakers().say(format!(
+            "No movement for {value} minutes. Is everything all right?"
+        ))?;
+        Ok(())
+    }
+}
+
+/// `NightDoorAlert` context: a door opening during the configured night
+/// hours publishes the door's name (a possible wandering episode).
+struct NightDoorLogic {
+    night_hours: (u64, u64),
+    doors: BTreeMap<String, String>,
+}
+
+impl NightDoorLogic {
+    fn is_night(&self, now_ms: u64) -> bool {
+        let hour = (now_ms / 3_600_000) % 24;
+        let (start, end) = self.night_hours;
+        if start <= end {
+            (start..end).contains(&hour)
+        } else {
+            hour >= start || hour < end
+        }
+    }
+}
+
+impl NightDoorAlertImpl for NightDoorLogic {
+    fn on_open_from_door_sensor(
+        &mut self,
+        support: &mut NightDoorAlertSupport<'_, '_>,
+        entity: &diaspec_runtime::entity::EntityId,
+        open: bool,
+    ) -> Result<Option<String>, ComponentError> {
+        if !open || !self.is_night(support.now()) {
+            return Ok(None);
+        }
+        let door = self
+            .doors
+            .get(entity.as_str())
+            .cloned()
+            .unwrap_or_else(|| entity.to_string());
+        Ok(Some(door))
+    }
+}
+
+/// `NightGuard` controller: speaks the wandering alert.
+struct NightGuardLogic;
+
+impl NightGuardImpl for NightGuardLogic {
+    fn on_night_door_alert(
+        &mut self,
+        support: &mut NightGuardSupport<'_, '_>,
+        value: String,
+    ) -> Result<(), ComponentError> {
+        support.speakers().say(format!(
+            "The {value} door was opened during the night."
+        ))?;
+        Ok(())
+    }
+}
+
+/// `LightControl` controller: lights follow per-room activity.
+struct LightControlLogic {
+    lit: BTreeMap<RoomEnum, bool>,
+}
+
+impl LightControlImpl for LightControlLogic {
+    fn on_room_activity(
+        &mut self,
+        support: &mut LightControlSupport<'_, '_>,
+        value: Vec<ActivityLevel>,
+    ) -> Result<(), ComponentError> {
+        for level in value {
+            let should_be_on = level.events > 0;
+            let is_on = self.lit.get(&level.room).copied().unwrap_or(false);
+            if should_be_on != is_on {
+                if should_be_on {
+                    support.lights().where_room(level.room).set_on()?;
+                } else {
+                    support.lights().where_room(level.room).set_off()?;
+                }
+                self.lit.insert(level.room, should_be_on);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The simulated resident: a seeded random walk between rooms; motion
+/// sensor cells of the occupied room are set, all others cleared. During
+/// the configured nap interval nothing moves at all.
+pub struct ResidentProcess {
+    rooms: BTreeMap<RoomEnum, Vec<SharedCell<bool>>>,
+    current: RoomEnum,
+    move_probability: f64,
+    nap: Option<(SimTime, SimTime)>,
+    rng: StdRng,
+    step_ms: SimTime,
+}
+
+impl ResidentProcess {
+    /// Creates a resident over the per-room sensor cells.
+    #[must_use]
+    pub fn new(
+        rooms: BTreeMap<RoomEnum, Vec<SharedCell<bool>>>,
+        nap: Option<(SimTime, SimTime)>,
+        seed: u64,
+    ) -> Self {
+        ResidentProcess {
+            rooms,
+            current: RoomEnum::LivingRoom,
+            move_probability: 0.3,
+            nap,
+            rng: StdRng::seed_from_u64(seed),
+            step_ms: 30_000,
+        }
+    }
+
+    fn set_motion(&self, active_room: Option<RoomEnum>) {
+        for (room, sensors) in &self.rooms {
+            let active = active_room == Some(*room);
+            for cell in sensors {
+                cell.set(active);
+            }
+        }
+    }
+}
+
+impl Process for ResidentProcess {
+    fn wake(&mut self, api: &mut ProcessApi<'_>) -> Option<SimTime> {
+        let now = api.now();
+        let napping = self
+            .nap
+            .is_some_and(|(start, end)| now >= start && now < end);
+        if napping {
+            self.set_motion(None);
+        } else {
+            if self.rng.gen::<f64>() < self.move_probability {
+                let rooms = RoomEnum::ALL;
+                self.current = rooms[self.rng.gen_range(0..rooms.len())];
+            }
+            self.set_motion(Some(self.current));
+        }
+        Some(now + self.step_ms)
+    }
+}
+
+/// A fully wired assisted-living application.
+pub struct HomeAssistApp {
+    /// The launched orchestrator.
+    pub orchestrator: Orchestrator,
+    /// Per-room motion sensor cells (set these to script activity).
+    pub rooms: BTreeMap<RoomEnum, Vec<SharedCell<bool>>>,
+    /// Door-contact cells keyed by door name ("front", "garden").
+    pub doors: BTreeMap<String, SharedCell<bool>>,
+    /// Spoken prompts so far.
+    pub speaker: ActuationLog,
+    /// Light actuations per room.
+    pub lights: BTreeMap<RoomEnum, ActuationLog>,
+}
+
+/// Builds and launches the assisted-living application.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError`] on wiring failure.
+pub fn build(config: HomeAssistConfig) -> Result<HomeAssistApp, RuntimeError> {
+    let spec = Arc::new(
+        diaspec_core::compile_str(SPEC).expect("bundled homeassist.spec must compile"),
+    );
+    let mut orch = Orchestrator::with_transport(spec, config.transport);
+    orch.set_processing_mode(config.processing);
+
+    orch.register_context("RoomActivity", RoomActivityAdapter(RoomActivityLogic))?;
+    orch.register_map_reduce(
+        "RoomActivity",
+        RoomActivityMapReduceAdapter(ActivityMapReduce),
+    )?;
+    orch.register_context(
+        "InactivityAlert",
+        InactivityAlertAdapter(InactivityLogic {
+            threshold_minutes: config.inactivity_minutes,
+            reprompt_minutes: config.reprompt_minutes,
+            still_minutes: 0,
+        }),
+    )?;
+    orch.register_controller("Reassure", ReassureAdapter(ReassureLogic))?;
+    let doors: BTreeMap<String, String> = [
+        ("door-front".to_owned(), "front".to_owned()),
+        ("door-garden".to_owned(), "garden".to_owned()),
+    ]
+    .into_iter()
+    .collect();
+    orch.register_context(
+        "NightDoorAlert",
+        NightDoorAlertAdapter(NightDoorLogic {
+            night_hours: config.night_hours,
+            doors: doors.clone(),
+        }),
+    )?;
+    orch.register_controller("NightGuard", NightGuardAdapter(NightGuardLogic))?;
+    orch.register_controller(
+        "LightControl",
+        LightControlAdapter(LightControlLogic {
+            lit: BTreeMap::new(),
+        }),
+    )?;
+
+    orch.begin_deployment();
+    let mut rooms: BTreeMap<RoomEnum, Vec<SharedCell<bool>>> = BTreeMap::new();
+    let mut lights: BTreeMap<RoomEnum, ActuationLog> = BTreeMap::new();
+    for room in RoomEnum::ALL {
+        let mut cells = Vec::new();
+        for i in 0..config.sensors_per_room {
+            let cell = SharedCell::new(false);
+            let mut attrs = AttributeMap::new();
+            attrs.insert(
+                "room".to_owned(),
+                Value::enum_value("RoomEnum", room.name()),
+            );
+            orch.bind_entity(
+                format!("motion-{}-{i}", room.name()).into(),
+                "MotionSensor",
+                attrs,
+                Box::new(BinarySensorDriver::new("motion", cell.clone())),
+            )?;
+            cells.push(cell);
+        }
+        rooms.insert(room, cells);
+        let log = ActuationLog::new();
+        let mut attrs = AttributeMap::new();
+        attrs.insert(
+            "room".to_owned(),
+            Value::enum_value("RoomEnum", room.name()),
+        );
+        orch.bind_entity(
+            format!("light-{}", room.name()).into(),
+            "Light",
+            attrs,
+            Box::new(RecordingActuator::new(log.clone())),
+        )?;
+        lights.insert(room, log);
+    }
+    let mut door_cells: BTreeMap<String, SharedCell<bool>> = BTreeMap::new();
+    for (entity_id, door_name) in &doors {
+        let cell = SharedCell::new(false);
+        let mut attrs = AttributeMap::new();
+        attrs.insert("door".to_owned(), Value::from(door_name.as_str()));
+        orch.bind_entity(
+            entity_id.as_str().into(),
+            "DoorSensor",
+            attrs,
+            Box::new(BinarySensorDriver::new("open", cell.clone())),
+        )?;
+        door_cells.insert(door_name.clone(), cell);
+    }
+    let speaker = ActuationLog::new();
+    orch.bind_entity(
+        "speaker-livingroom".into(),
+        "Speaker",
+        AttributeMap::new(),
+        Box::new(RecordingActuator::new(speaker.clone())),
+    )?;
+
+    orch.spawn_process_at(
+        "resident",
+        ResidentProcess::new(rooms.clone(), config.nap, config.seed),
+        1_000,
+    );
+    orch.launch()?;
+
+    Ok(HomeAssistApp {
+        orchestrator: orch,
+        rooms,
+        doors: door_cells,
+        speaker,
+        lights,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINUTE: u64 = 60 * 1000;
+
+    #[test]
+    fn activity_follows_the_resident() {
+        let mut app = build(HomeAssistConfig::default()).unwrap();
+        app.orchestrator.run_until(30 * MINUTE);
+        assert!(app.orchestrator.drain_errors().is_empty());
+        // The resident moved around: activity was published every minute.
+        assert!(app.orchestrator.metrics().publications >= 30);
+        // Lights were switched at least once.
+        let total_switches: usize = app.lights.values().map(ActuationLog::len).sum();
+        assert!(total_switches > 0);
+    }
+
+    #[test]
+    fn nap_triggers_reassurance_prompt() {
+        let mut app = build(HomeAssistConfig {
+            inactivity_minutes: 10,
+            reprompt_minutes: 5,
+            // Still from minute 5 to minute 40.
+            nap: Some((5 * MINUTE, 40 * MINUTE)),
+            ..HomeAssistConfig::default()
+        })
+        .unwrap();
+        // Before the threshold is reached (nap starts at 5, threshold 10
+        // still minutes -> first prompt around minute 15).
+        app.orchestrator.run_until(14 * MINUTE);
+        assert_eq!(app.speaker.count("say"), 0);
+        app.orchestrator.run_until(16 * MINUTE);
+        assert_eq!(app.speaker.count("say"), 1, "{:?}", app.speaker.entries());
+        let prompt = app.speaker.last().unwrap();
+        assert!(prompt.args[0].as_str().unwrap().contains("all right"));
+        // Re-prompts every 5 minutes while the nap lasts.
+        app.orchestrator.run_until(31 * MINUTE);
+        assert!(app.speaker.count("say") >= 3);
+        // After waking (nap ends at minute 40), activity resumes and the
+        // prompts stop; allow one in-flight prompt around the boundary.
+        app.orchestrator.run_until(41 * MINUTE);
+        let count_at_wake = app.speaker.count("say");
+        app.orchestrator.run_until(90 * MINUTE);
+        assert!(
+            app.speaker.count("say") <= count_at_wake,
+            "no prompts after activity resumed: {:?}",
+            app.speaker.entries()
+        );
+        assert!(app.orchestrator.drain_errors().is_empty());
+    }
+
+    #[test]
+    fn lights_follow_scripted_activity() {
+        // No resident walk: pin the kitchen active manually.
+        let mut app = build(HomeAssistConfig {
+            nap: Some((0, u64::MAX)), // resident never moves on his own
+            ..HomeAssistConfig::default()
+        })
+        .unwrap();
+        // The napping resident clears all cells at 1 s and every 30 s after
+        // (1000, 31000, 61000, ...); the activity poll runs on the minute.
+        // Pin the kitchen between the 31 s clear and the 60 s poll so the
+        // poll observes it.
+        app.orchestrator.run_until(31_500);
+        for cell in &app.rooms[&RoomEnum::Kitchen] {
+            cell.set(true);
+        }
+        app.orchestrator.run_until(60_500);
+        let kitchen = &app.lights[&RoomEnum::Kitchen];
+        assert_eq!(kitchen.count("setOn"), 1, "{:?}", kitchen.entries());
+        // Stop pinning: the next clear wipes the cells, the kitchen goes
+        // quiet, and the light turns off at a later poll.
+        app.orchestrator.run_until(10 * MINUTE);
+        assert_eq!(kitchen.count("setOff"), 1, "{:?}", kitchen.entries());
+    }
+
+    #[test]
+    fn night_door_opening_raises_spoken_alert() {
+        let mut app = build(HomeAssistConfig::default()).unwrap();
+        let front = "door-front".into();
+        // 23:30 — night: the alert fires.
+        let night = 23 * 60 * MINUTE + 30 * MINUTE;
+        app.doors["front"].set(true);
+        app.orchestrator
+            .emit_at(night, &front, "open", Value::Bool(true), None)
+            .unwrap();
+        app.orchestrator.run_until(night + MINUTE);
+        let alerts: Vec<String> = app
+            .speaker
+            .entries()
+            .iter()
+            .filter(|a| a.args[0].as_str().unwrap_or("").contains("door"))
+            .map(|a| a.args[0].as_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert!(alerts[0].contains("front"), "{alerts:?}");
+        assert!(app.orchestrator.drain_errors().is_empty());
+    }
+
+    #[test]
+    fn daytime_door_opening_stays_silent() {
+        let mut app = build(HomeAssistConfig::default()).unwrap();
+        let garden = "door-garden".into();
+        let afternoon = 15 * 60 * MINUTE;
+        app.orchestrator
+            .emit_at(afternoon, &garden, "open", Value::Bool(true), None)
+            .unwrap();
+        // A close event at night is also ignored (only `open == true` alerts).
+        let night = 23 * 60 * MINUTE;
+        app.orchestrator
+            .emit_at(night, &garden, "open", Value::Bool(false), None)
+            .unwrap();
+        app.orchestrator.run_until(night + MINUTE);
+        let door_alerts = app
+            .speaker
+            .entries()
+            .iter()
+            .filter(|a| a.args[0].as_str().unwrap_or("").contains("door"))
+            .count();
+        assert_eq!(door_alerts, 0);
+    }
+
+    #[test]
+    fn parallel_processing_equals_serial() {
+        let run = |mode| {
+            let mut app = build(HomeAssistConfig {
+                processing: mode,
+                ..HomeAssistConfig::default()
+            })
+            .unwrap();
+            app.orchestrator.run_until(20 * MINUTE);
+            app.orchestrator.last_value("RoomActivity").cloned()
+        };
+        assert_eq!(run(ProcessingMode::Serial), run(ProcessingMode::Parallel(4)));
+    }
+}

@@ -1,0 +1,59 @@
+//! E13 — design-compiler throughput: parse, check, and generate for each
+//! bundled case-study design, plus a synthetic large design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use diaspec_codegen::{generate_java, generate_rust};
+use diaspec_core::{check::check, compile_str, parser::parse};
+use std::fmt::Write as _;
+
+/// Synthesizes a well-formed design with `n` device/context/controller
+/// triples, to measure compiler scaling beyond the bundled specs.
+fn synthetic_spec(n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        let _ = writeln!(
+            out,
+            "device Dev{i} {{ attribute zone as String; source v{i} as Integer; action act{i}(level as Integer); }}"
+        );
+        let _ = writeln!(
+            out,
+            "context Ctx{i} as Integer {{ when periodic v{i} from Dev{i} <1 min> grouped by zone always publish; }}"
+        );
+        let _ = writeln!(
+            out,
+            "controller Ctl{i} {{ when provided Ctx{i} do act{i} on Dev{i}; }}"
+        );
+    }
+    out
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler");
+    for (name, src) in [
+        ("cooker", diaspec_apps::cooker::SPEC.to_owned()),
+        ("parking", diaspec_apps::parking::SPEC.to_owned()),
+        ("synthetic-50", synthetic_spec(50)),
+    ] {
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(BenchmarkId::new("parse", name), &src, |b, src| {
+            b.iter(|| parse(src));
+        });
+        group.bench_with_input(BenchmarkId::new("parse+check", name), &src, |b, src| {
+            b.iter(|| {
+                let (ast, _) = parse(src);
+                check(&ast)
+            });
+        });
+        let spec = compile_str(&src).expect("benchmark spec compiles");
+        group.bench_with_input(BenchmarkId::new("generate-rust", name), &spec, |b, spec| {
+            b.iter(|| generate_rust(spec));
+        });
+        group.bench_with_input(BenchmarkId::new("generate-java", name), &spec, |b, spec| {
+            b.iter(|| generate_java(spec));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E1 — the orchestration continuum (paper Figure 1): one 10-minute
+//! delivery period of the unchanged parking design at growing
+//! infrastructure sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use diaspec_bench::continuum::run_scale;
+use diaspec_runtime::ProcessingMode;
+
+fn bench_continuum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("continuum");
+    group.sample_size(10);
+    for sensors_per_lot in [25usize, 250, 2_500] {
+        let total = sensors_per_lot * 8;
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_with_input(
+            BenchmarkId::new("one-period/serial", total),
+            &sensors_per_lot,
+            |b, &s| b.iter(|| run_scale(s, ProcessingMode::Serial)),
+        );
+    }
+    // At the largest scale, compare processing modes (E10 in situ).
+    let sensors_per_lot = 2_500;
+    group.bench_function("one-period/parallel-4", |b| {
+        b.iter(|| run_scale(sensors_per_lot, ProcessingMode::Parallel(4)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_continuum);
+criterion_main!(benches);

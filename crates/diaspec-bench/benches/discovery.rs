@@ -1,0 +1,62 @@
+//! E12 — entity binding and attribute-filtered discovery latency
+//! (paper §IV activity 1; the `whereLocation(...)` facade of Figure 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use diaspec_bench::discovery::build_registry;
+use diaspec_runtime::value::Value;
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery");
+    for entities in [100usize, 1_000, 10_000] {
+        let registry = build_registry(entities, 10);
+        let zone = Value::from("zone-0");
+        group.throughput(Throughput::Elements(entities as u64));
+        group.bench_with_input(
+            BenchmarkId::new("filtered", entities),
+            &registry,
+            |b, registry| {
+                b.iter(|| {
+                    registry
+                        .discover("Panel")
+                        .with_attribute("zone", &zone)
+                        .ids()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unfiltered", entities),
+            &registry,
+            |b, registry| b.iter(|| registry.discover("Panel").ids()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("count-only", entities),
+            &registry,
+            |b, registry| {
+                b.iter(|| {
+                    registry
+                        .discover("Panel")
+                        .with_attribute("zone", &zone)
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_binding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binding");
+    group.sample_size(10);
+    for entities in [1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(entities as u64));
+        group.bench_with_input(
+            BenchmarkId::new("bind-all", entities),
+            &entities,
+            |b, &entities| b.iter(|| build_registry(entities, 10)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery, bench_binding);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E11 (timing side) — orchestration-engine throughput per delivery
+//! model: how fast the engine pushes one simulated minute of each model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use diaspec_bench::delivery::{run, Model};
+
+fn bench_delivery_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/delivery");
+    group.sample_size(10);
+    let sensors = 500;
+    let minutes = 5;
+    for model in [Model::Periodic, Model::EventDriven, Model::QueryDriven] {
+        group.throughput(Throughput::Elements(sensors as u64 * minutes));
+        group.bench_with_input(
+            BenchmarkId::new(model.name(), sensors),
+            &model,
+            |b, &model| {
+                b.iter(|| run(model, sensors, 2.0, minutes));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delivery_models);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E10 — serial vs. parallel MapReduce over mass sensor readings
+//! (DiaSwarm [11, 17]), plus the combiner ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use diaspec_bench::processing::{presence_dataset, CostedAvailability};
+use diaspec_mapreduce::{FnCombiner, Job, MapCollector, MapReduce, ReduceCollector};
+
+/// A sum-per-lot job whose reduction is associative, so a combiner is
+/// semantics-preserving: `sum(parts) == sum(sum(part) for part)`.
+struct SumPerLot;
+
+impl MapReduce<u32, bool, u32, u64, u32, u64> for SumPerLot {
+    fn map(&self, lot: &u32, presence: &bool, out: &mut MapCollector<u32, u64>) {
+        out.emit_map(*lot, u64::from(!presence));
+    }
+
+    fn reduce(&self, lot: &u32, values: &[u64], out: &mut ReduceCollector<u32, u64>) {
+        out.emit_reduce(*lot, values.iter().sum());
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapreduce/workers");
+    group.sample_size(10);
+    // Costly records: the regime the paper motivates (heavy processing of
+    // masses of readings).
+    let work = 200;
+    for readings in [10_000usize, 100_000] {
+        let data = presence_dataset(readings, 64, 42);
+        let mr = CostedAvailability { work };
+        group.throughput(Throughput::Elements(readings as u64));
+        group.bench_with_input(
+            BenchmarkId::new("serial", readings),
+            &data,
+            |b, data| b.iter(|| Job::serial().run(&mr, data.clone())),
+        );
+        for workers in [2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel-{workers}"), readings),
+                &data,
+                |b, data| b.iter(|| Job::parallel(workers).run(&mr, data.clone())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_combiner_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapreduce/combiner");
+    group.sample_size(10);
+    // Cheap records over few keys: the combiner's best case (shuffle
+    // volume dominates).
+    let readings = 200_000;
+    let data = presence_dataset(readings, 8, 7);
+    group.throughput(Throughput::Elements(readings as u64));
+    group.bench_function("parallel-4/no-combiner", |b| {
+        b.iter(|| Job::parallel(4).run(&SumPerLot, data.clone()));
+    });
+    group.bench_function("parallel-4/with-combiner", |b| {
+        b.iter(|| {
+            Job::parallel(4)
+                .combiner(FnCombiner(|_k: &u32, vs: Vec<u64>| {
+                    vec![vs.iter().sum::<u64>()]
+                }))
+                .run(&SumPerLot, data.clone())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_combiner_ablation);
+criterion_main!(benches);

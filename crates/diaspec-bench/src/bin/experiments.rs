@@ -1,0 +1,166 @@
+//! `experiments` — regenerates every quantitative table of
+//! `EXPERIMENTS.md` (the per-experiment index lives in `DESIGN.md`).
+//!
+//! ```text
+//! cargo run --release -p diaspec-bench --bin experiments [-- --quick] [-- --json]
+//! ```
+//!
+//! `--quick` shrinks the sweeps for smoke-testing; `--json` additionally
+//! dumps machine-readable rows.
+
+use diaspec_bench::{continuum, delivery, discovery, processing, share};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+
+    e1_continuum(quick, json);
+    e9_generated_share(json);
+    e10_processing(quick, json);
+    e11_delivery(quick, json);
+    e12_discovery(quick, json);
+}
+
+fn heading(title: &str) {
+    println!("\n## {title}\n");
+}
+
+fn e1_continuum(quick: bool, json: bool) {
+    heading("E1 — orchestration continuum (paper Fig. 1): one 10-min period of the parking design");
+    let scales: &[usize] = if quick {
+        &[10, 100]
+    } else {
+        &[10, 100, 1_000, 6_250, 12_500]
+    };
+    println!(
+        "{:>9} {:>11} {:>13} {:>10} {:>8} {:>9} {:>14}",
+        "sensors", "build (ms)", "period (ms)", "readings", "publish", "actuate", "readings/s"
+    );
+    let rows = continuum::sweep(scales);
+    for row in &rows {
+        println!(
+            "{:>9} {:>11.1} {:>13.1} {:>10} {:>8} {:>9} {:>14.0}",
+            row.sensors,
+            row.build_ms,
+            row.period_wall_ms,
+            row.readings,
+            row.publications,
+            row.actuations,
+            row.readings_per_sec
+        );
+    }
+    if json {
+        println!("{}", serde_json::to_string(&rows).expect("serializable"));
+    }
+}
+
+fn e9_generated_share(json: bool) {
+    heading("E9 — generated-code share (TSE'12 [8] claims \"up to 80%\")");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>12} {:>10} {:>7} {:>7}",
+        "app", "spec", "gen rust", "gen java", "handwritten", "callbacks", "rust%", "java%"
+    );
+    let rows = share::table();
+    for row in &rows {
+        println!(
+            "{:<12} {:>8} {:>10} {:>10} {:>12} {:>10} {:>6.1}% {:>6.1}%",
+            row.app,
+            row.spec_loc,
+            row.generated_rust_loc,
+            row.generated_java_loc,
+            row.handwritten_loc,
+            row.callbacks,
+            100.0 * row.rust_fraction,
+            100.0 * row.java_fraction
+        );
+    }
+    if json {
+        println!("{}", serde_json::to_string(&rows).expect("serializable"));
+    }
+}
+
+fn e10_processing(quick: bool, json: bool) {
+    heading("E10 — serial vs parallel MapReduce (DiaSwarm [11,17]); per-record work varies");
+    let readings = if quick { 20_000 } else { 400_000 };
+    let workers: &[usize] = &[1, 2, 4, 8];
+    println!(
+        "{:>9} {:>6} {:>9} {:>11} {:>9} {:>8}",
+        "readings", "work", "workers", "wall (ms)", "speedup", "groups"
+    );
+    let mut all = Vec::new();
+    for work in [0u32, 50, 400] {
+        let rows = processing::sweep(readings, workers, work);
+        for row in &rows {
+            println!(
+                "{:>9} {:>6} {:>9} {:>11.2} {:>8.2}x {:>8}",
+                row.readings,
+                row.work,
+                if row.workers == 0 {
+                    "serial".to_owned()
+                } else {
+                    row.workers.to_string()
+                },
+                row.wall_ms,
+                row.speedup,
+                row.groups
+            );
+        }
+        all.extend(rows);
+        println!();
+    }
+    if json {
+        println!("{}", serde_json::to_string(&all).expect("serializable"));
+    }
+}
+
+fn e11_delivery(quick: bool, json: bool) {
+    heading("E11 — the three delivery models (paper §IV): message economy vs change rate");
+    let sensors = if quick { 50 } else { 400 };
+    let minutes = if quick { 5 } else { 30 };
+    println!(
+        "{:>13} {:>8} {:>12} {:>10} {:>9} {:>12} {:>10}",
+        "model", "sensors", "changes/min", "messages", "queries", "activations", "wall (ms)"
+    );
+    let mut all = Vec::new();
+    for change_rate in [0.1, 1.0, 10.0] {
+        for row in delivery::compare(sensors, change_rate, minutes) {
+            println!(
+                "{:>13} {:>8} {:>12.1} {:>10} {:>9} {:>12} {:>10.1}",
+                row.model.name(),
+                row.sensors,
+                row.change_rate,
+                row.network_messages,
+                row.queries,
+                row.activations,
+                row.wall_ms
+            );
+            all.push(row);
+        }
+        println!();
+    }
+    if json {
+        println!("{}", serde_json::to_string(&all).expect("serializable"));
+    }
+}
+
+fn e12_discovery(quick: bool, json: bool) {
+    heading("E12 — attribute-filtered discovery latency vs registry size");
+    let iters = if quick { 20 } else { 200 };
+    println!(
+        "{:>9} {:>7} {:>9} {:>12}",
+        "entities", "zones", "matched", "mean (us)"
+    );
+    let mut rows = Vec::new();
+    for entities in [100usize, 1_000, 10_000, if quick { 10_000 } else { 50_000 }] {
+        let row = discovery::run(entities, 10, iters);
+        println!(
+            "{:>9} {:>7} {:>9} {:>12.1}",
+            row.entities, row.zones, row.matched, row.mean_us
+        );
+        rows.push(row);
+    }
+    if json {
+        println!("{}", serde_json::to_string(&rows).expect("serializable"));
+    }
+}

@@ -1,0 +1,88 @@
+//! E1 — the orchestration continuum (paper Figure 1).
+//!
+//! Runs the *same* parking design at increasing infrastructure sizes and
+//! records wiring cost, simulation throughput, and orchestration volume.
+//! The paper's claim is qualitative — one design methodology spans the
+//! continuum — so the measured series shows cost growing smoothly with
+//! scale while the application code stays byte-identical.
+
+use diaspec_apps::parking::{build, ParkingAppConfig};
+use diaspec_runtime::ProcessingMode;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One row of the continuum experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ContinuumRow {
+    /// Total presence sensors bound city-wide.
+    pub sensors: usize,
+    /// Wall-clock milliseconds to build and bind the application.
+    pub build_ms: f64,
+    /// Wall-clock milliseconds to simulate one 10-minute delivery period.
+    pub period_wall_ms: f64,
+    /// Readings gathered in that period.
+    pub readings: u64,
+    /// Context publications in that period.
+    pub publications: u64,
+    /// Device actuations in that period.
+    pub actuations: u64,
+    /// Sensor readings processed per wall-clock second.
+    pub readings_per_sec: f64,
+}
+
+/// Runs one scale point: `sensors_per_lot` sensors in each of the 8 lots.
+#[must_use]
+pub fn run_scale(sensors_per_lot: usize, processing: ProcessingMode) -> ContinuumRow {
+    let build_start = Instant::now();
+    let mut app = build(ParkingAppConfig {
+        sensors_per_lot,
+        processing,
+        ..ParkingAppConfig::default()
+    })
+    .expect("parking app builds");
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+    let sim_start = Instant::now();
+    app.orchestrator.run_until(10 * 60 * 1000);
+    let period_wall = sim_start.elapsed();
+
+    let m = *app.orchestrator.metrics();
+    let errors = app.orchestrator.drain_errors();
+    assert!(errors.is_empty(), "continuum run must be clean: {errors:?}");
+    ContinuumRow {
+        sensors: sensors_per_lot * 8,
+        build_ms,
+        period_wall_ms: period_wall.as_secs_f64() * 1e3,
+        readings: m.readings_polled,
+        publications: m.publications,
+        actuations: m.actuations,
+        readings_per_sec: m.readings_polled as f64 / period_wall.as_secs_f64().max(1e-9),
+    }
+}
+
+/// The default scale sweep of experiment E1.
+#[must_use]
+pub fn sweep(scales: &[usize]) -> Vec<ContinuumRow> {
+    scales
+        .iter()
+        .map(|s| run_scale(*s, ProcessingMode::Serial))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_points_produce_consistent_volumes() {
+        let small = run_scale(5, ProcessingMode::Serial);
+        assert_eq!(small.sensors, 40);
+        // Two 10-minute contexts poll every sensor once each.
+        assert_eq!(small.readings, 80);
+        assert!(small.publications >= 2, "{small:?}");
+        assert!(small.readings_per_sec > 0.0);
+        let larger = run_scale(50, ProcessingMode::Serial);
+        assert_eq!(larger.readings, 800);
+        assert!(larger.readings >= small.readings * 10);
+    }
+}

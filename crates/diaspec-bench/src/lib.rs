@@ -1,0 +1,27 @@
+//! # diaspec-bench — experiment harnesses
+//!
+//! Shared workload builders and measurement harnesses behind the
+//! repository's experiments (see `DESIGN.md` for the per-experiment index
+//! and `EXPERIMENTS.md` for recorded results):
+//!
+//! - [`continuum`] — E1: the same design from tens to tens of thousands of
+//!   sensors;
+//! - [`delivery`] — E11: message volume and latency of the three data
+//!   delivery models;
+//! - [`processing`] — E10: serial vs. parallel MapReduce;
+//! - [`discovery`] — E12: entity discovery latency vs. registry size;
+//! - [`share`] — E9: the generated-code fraction.
+//!
+//! E13 (compiler throughput) lives in `benches/compiler.rs`.
+//!
+//! The `experiments` binary prints every table; the Criterion benches
+//! under `benches/` time the hot paths.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod continuum;
+pub mod delivery;
+pub mod discovery;
+pub mod processing;
+pub mod share;

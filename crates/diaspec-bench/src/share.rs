@@ -1,0 +1,91 @@
+//! E9 — the generated-code share (TSE'12 \[8\]: "the amount of generated
+//! code may represent up to 80% of the resulting application code").
+//!
+//! For every case-study application: spec size, generated framework size
+//! (Rust and Java backends), handwritten logic size (tests stripped), and
+//! the generated fraction.
+
+use diaspec_codegen::{generate_java, generate_rust, metrics};
+use diaspec_core::compile_str;
+use serde::Serialize;
+
+/// One row of the generated-share experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShareRow {
+    /// Application name.
+    pub app: &'static str,
+    /// DiaSpec design lines of code.
+    pub spec_loc: usize,
+    /// Generated Rust framework LoC.
+    pub generated_rust_loc: usize,
+    /// Generated Java framework LoC (the paper's original target).
+    pub generated_java_loc: usize,
+    /// Handwritten application-logic LoC (tests stripped).
+    pub handwritten_loc: usize,
+    /// Abstract callbacks the developer had to implement.
+    pub callbacks: usize,
+    /// generated / (generated + handwritten), Rust backend.
+    pub rust_fraction: f64,
+    /// generated / (generated + handwritten), Java backend (handwritten
+    /// Rust LoC as the denominator proxy).
+    pub java_fraction: f64,
+}
+
+/// Computes the share table for all four case studies.
+#[must_use]
+pub fn table() -> Vec<ShareRow> {
+    let specs = [
+        ("cooker", diaspec_apps::cooker::SPEC),
+        ("parking", diaspec_apps::parking::SPEC),
+        ("avionics", diaspec_apps::avionics::SPEC),
+        ("homeassist", diaspec_apps::homeassist::SPEC),
+    ];
+    diaspec_apps::loc_inventory()
+        .into_iter()
+        .map(|(app, handwritten, _generated)| {
+            let spec_src = specs
+                .iter()
+                .find(|(n, _)| *n == app)
+                .map(|(_, s)| *s)
+                .expect("inventory names match");
+            let spec = compile_str(spec_src).expect("bundled spec compiles");
+            let rust = metrics::report(&generate_rust(&spec));
+            let java = metrics::report(&generate_java(&spec));
+            let handwritten_loc = metrics::count_loc(&handwritten);
+            ShareRow {
+                app,
+                spec_loc: metrics::count_loc(spec_src),
+                generated_rust_loc: rust.total_loc,
+                generated_java_loc: java.total_loc,
+                handwritten_loc,
+                callbacks: rust.abstract_methods,
+                rust_fraction: rust.generated_fraction(handwritten_loc),
+                java_fraction: java.generated_fraction(handwritten_loc),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_app_is_majority_or_near_majority_generated() {
+        let rows = table();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.spec_loc > 10, "{row:?}");
+            assert!(row.generated_rust_loc > row.spec_loc, "{row:?}");
+            assert!(
+                row.rust_fraction > 0.4,
+                "generated code dominates or nearly dominates: {row:?}"
+            );
+            assert!(row.java_fraction > row.rust_fraction * 0.5);
+            assert!(row.callbacks >= 2);
+        }
+        // The large-scale app leans hardest on generation.
+        let parking = rows.iter().find(|r| r.app == "parking").unwrap();
+        assert!(parking.rust_fraction > 0.55, "{parking:?}");
+    }
+}

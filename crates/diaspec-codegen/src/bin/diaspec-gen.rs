@@ -1,0 +1,144 @@
+//! `diaspec-gen` — the design-compiler command line.
+//!
+//! Usage:
+//!
+//! ```text
+//! diaspec-gen <SPEC.spec> --language rust|java --out <DIR> [--report]
+//! ```
+//!
+//! Compiles a DiaSpec design and writes the generated programming
+//! framework into `<DIR>` (Rust: a single `framework.rs`; Java: one file
+//! per class). With `--report`, prints a JSON generation report (file
+//! list, generated LoC, abstract-method count) to stdout.
+
+use diaspec_codegen::{generate_java, generate_rust, metrics};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("diaspec-gen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let mut spec_path: Option<PathBuf> = None;
+    let mut language = "rust".to_owned();
+    let mut out: Option<PathBuf> = None;
+    let mut report = false;
+    let mut dot = false;
+    let mut chains = false;
+    let mut requirements = false;
+    let mut match_infra: Option<PathBuf> = None;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--language" | "-l" => {
+                language = args.next().ok_or("--language needs a value")?;
+            }
+            "--out" | "-o" => {
+                out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
+            }
+            "--report" => report = true,
+            "--dot" => dot = true,
+            "--chains" => chains = true,
+            "--requirements" => requirements = true,
+            "--match" => {
+                match_infra = Some(PathBuf::from(
+                    args.next().ok_or("--match needs an infrastructure JSON file")?,
+                ));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: diaspec-gen <SPEC.spec> --language rust|java --out <DIR> \
+                     [--report] [--dot] [--chains] [--requirements] \
+                     [--match <INFRA.json>]"
+                );
+                return Ok(());
+            }
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let spec_path = spec_path.ok_or("missing <SPEC.spec> argument")?;
+    let source = std::fs::read_to_string(&spec_path)
+        .map_err(|e| format!("cannot read {}: {e}", spec_path.display()))?;
+    let spec = diaspec_core::compile_str(&source).map_err(|e| e.to_string())?;
+
+    if let Some(infra_path) = &match_infra {
+        let infra_src = std::fs::read_to_string(infra_path)
+            .map_err(|e| format!("cannot read {}: {e}", infra_path.display()))?;
+        let infra: diaspec_core::requirements::Infrastructure =
+            serde_json::from_str(&infra_src)
+                .map_err(|e| format!("invalid infrastructure JSON: {e}"))?;
+        let req = diaspec_core::requirements::estimate(&spec);
+        let report = diaspec_core::requirements::match_infrastructure(&spec, &req, &infra);
+        print!("{report}");
+        return if report.deployable() {
+            Ok(())
+        } else {
+            Err("design does not fit the infrastructure".to_owned())
+        };
+    }
+
+    if requirements {
+        let req = diaspec_core::requirements::estimate(&spec);
+        let json = serde_json::to_string_pretty(&req).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    if chains {
+        for chain in diaspec_core::chains::functional_chains(&spec) {
+            println!("{chain}");
+        }
+        return Ok(());
+    }
+
+    if dot {
+        let name = spec_path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "design".to_owned());
+        print!("{}", diaspec_codegen::dot::generate_dot(&spec, &name));
+        return Ok(());
+    }
+
+    let framework = match language.as_str() {
+        "rust" => generate_rust(&spec),
+        "java" => generate_java(&spec),
+        other => return Err(format!("unknown language `{other}` (expected rust or java)")),
+    };
+
+    if let Some(dir) = &out {
+        framework
+            .write_to(dir)
+            .map_err(|e| format!("cannot write to {}: {e}", dir.display()))?;
+        eprintln!(
+            "generated {} {} file(s) into {}",
+            framework.files.len(),
+            framework.language,
+            dir.display()
+        );
+    }
+    if report {
+        let report = metrics::report(&framework);
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        println!("{json}");
+    }
+    if out.is_none() && !report {
+        for file in &framework.files {
+            println!("// ===== {} =====", file.path);
+            println!("{}", file.content);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,356 @@
+//! Graphical design views (paper Figures 2, 3 and 4) as Graphviz DOT.
+//!
+//! The paper presents every application design as a four-layer diagram —
+//! device sources, contexts, controllers, device actions — with straight
+//! arrows for event-driven subscriptions and "loop" arrows for
+//! query-driven (`get`) reads. This backend regenerates that view from a
+//! checked specification: render with `dot -Tsvg` to reproduce the
+//! figures for any design.
+
+use diaspec_core::model::{ActivationTrigger, CheckedSpec, InputRef, Subscriber};
+use std::fmt::Write as _;
+
+/// Escapes a string for use inside a double-quoted DOT id.
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Generates the Sense-Compute-Control diagram of a design, in the
+/// four-layer layout of the paper's Figures 3 and 4.
+///
+/// - Solid edges: event-driven flow (`when provided` / `when periodic`
+///   subscriptions, controller triggers, `do` actions). Periodic edges
+///   are labeled with their period.
+/// - Dashed edges: query-driven reads (`get` clauses), the paper's loop
+///   arrows.
+///
+/// # Examples
+///
+/// ```
+/// use diaspec_core::compile_str;
+/// use diaspec_codegen::dot::generate_dot;
+///
+/// let spec = compile_str(r#"
+///     device Clock { source tick as Integer; }
+///     device Siren { action wail; }
+///     context Overdue as Integer { when provided tick from Clock maybe publish; }
+///     controller Alarm { when provided Overdue do wail on Siren; }
+/// "#)?;
+/// let dot = generate_dot(&spec, "doorbell");
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("\"src:Clock.tick\" -> \"ctx:Overdue\""));
+/// # Ok::<(), diaspec_core::diag::CompileError>(())
+/// ```
+#[must_use]
+pub fn generate_dot(spec: &CheckedSpec, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", quote(title));
+    let _ = writeln!(out, "    rankdir=LR;");
+    let _ = writeln!(out, "    node [fontname=\"Helvetica\", fontsize=11];");
+    let _ = writeln!(
+        out,
+        "    label={}; labelloc=t; fontsize=16;",
+        quote(&format!("{title} — Sense-Compute-Control design"))
+    );
+
+    // ---- layer 1: device sources ----
+    let _ = writeln!(out, "    subgraph cluster_sources {{");
+    let _ = writeln!(out, "        label=\"Devices (sources)\"; style=dashed;");
+    for device in spec.devices() {
+        for source in &device.sources {
+            if source.declared_in != device.name {
+                continue; // inherited; drawn on the declaring device
+            }
+            let id = format!("src:{}.{}", device.name, source.name);
+            let _ = writeln!(
+                out,
+                "        {} [shape=ellipse, label={}];",
+                quote(&id),
+                quote(&format!("{}\\n{}", device.name, source.name))
+            );
+        }
+    }
+    let _ = writeln!(out, "    }}");
+
+    // ---- layer 2: contexts ----
+    let _ = writeln!(out, "    subgraph cluster_contexts {{");
+    let _ = writeln!(out, "        label=\"Contexts\"; style=dashed;");
+    for ctx in spec.contexts() {
+        let id = format!("ctx:{}", ctx.name);
+        let mr = if ctx.uses_map_reduce() {
+            "\\n[MapReduce]"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "        {} [shape=box, style=rounded, label={}];",
+            quote(&id),
+            quote(&format!("{}\\nas {}{mr}", ctx.name, ctx.output))
+        );
+    }
+    let _ = writeln!(out, "    }}");
+
+    // ---- layer 3: controllers ----
+    let _ = writeln!(out, "    subgraph cluster_controllers {{");
+    let _ = writeln!(out, "        label=\"Controllers\"; style=dashed;");
+    for ctrl in spec.controllers() {
+        let id = format!("ctl:{}", ctrl.name);
+        let _ = writeln!(
+            out,
+            "        {} [shape=box, label={}];",
+            quote(&id),
+            quote(&ctrl.name)
+        );
+    }
+    let _ = writeln!(out, "    }}");
+
+    // ---- layer 4: device actions ----
+    let _ = writeln!(out, "    subgraph cluster_actions {{");
+    let _ = writeln!(out, "        label=\"Devices (actions)\"; style=dashed;");
+    let mut used_actions: Vec<(String, String)> = Vec::new();
+    for ctrl in spec.controllers() {
+        for binding in &ctrl.bindings {
+            for (action, device) in &binding.actions {
+                let key = (device.clone(), action.clone());
+                if !used_actions.contains(&key) {
+                    used_actions.push(key);
+                }
+            }
+        }
+    }
+    for (device, action) in &used_actions {
+        let id = format!("act:{device}.{action}");
+        let _ = writeln!(
+            out,
+            "        {} [shape=ellipse, label={}];",
+            quote(&id),
+            quote(&format!("{device}\\n{action}"))
+        );
+    }
+    let _ = writeln!(out, "    }}");
+
+    // ---- edges ----
+    for ctx in spec.contexts() {
+        let ctx_id = format!("ctx:{}", ctx.name);
+        for activation in &ctx.activations {
+            match &activation.trigger {
+                ActivationTrigger::DeviceSource { device, source } => {
+                    let _ = writeln!(
+                        out,
+                        "    {} -> {};",
+                        quote(&format!("src:{}.{source}", source_owner(spec, device, source))),
+                        quote(&ctx_id)
+                    );
+                }
+                ActivationTrigger::Periodic {
+                    device,
+                    source,
+                    period_ms,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "    {} -> {} [label={}];",
+                        quote(&format!("src:{}.{source}", source_owner(spec, device, source))),
+                        quote(&ctx_id),
+                        quote(&format!("every {}", human_period(*period_ms)))
+                    );
+                }
+                ActivationTrigger::Context(from) => {
+                    let _ = writeln!(
+                        out,
+                        "    {} -> {};",
+                        quote(&format!("ctx:{from}")),
+                        quote(&ctx_id)
+                    );
+                }
+                ActivationTrigger::OnDemand => {}
+            }
+            for get in &activation.gets {
+                let from = match get {
+                    InputRef::DeviceSource { device, source } => {
+                        format!("src:{}.{source}", source_owner(spec, device, source))
+                    }
+                    InputRef::Context(name) => format!("ctx:{name}"),
+                };
+                let _ = writeln!(
+                    out,
+                    "    {} -> {} [style=dashed, label=\"get\", constraint=false];",
+                    quote(&from),
+                    quote(&ctx_id)
+                );
+            }
+        }
+        // Context publications consumed by controllers.
+        for subscriber in spec.subscribers_of_context(&ctx.name) {
+            if let Subscriber::Controller(name) = subscriber {
+                let _ = writeln!(
+                    out,
+                    "    {} -> {};",
+                    quote(&ctx_id),
+                    quote(&format!("ctl:{name}"))
+                );
+            }
+        }
+    }
+    for ctrl in spec.controllers() {
+        for binding in &ctrl.bindings {
+            for (action, device) in &binding.actions {
+                let _ = writeln!(
+                    out,
+                    "    {} -> {};",
+                    quote(&format!("ctl:{}", ctrl.name)),
+                    quote(&format!("act:{device}.{action}"))
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The device that actually declares `source` (walking up `extends`), so
+/// subscriptions against subtypes draw to the single declaring node.
+fn source_owner<'s>(spec: &'s CheckedSpec, device: &'s str, source: &str) -> &'s str {
+    spec.device(device)
+        .and_then(|d| d.source(source))
+        .map_or(device, |s| {
+            // `declared_in` lives in the model as a String; find the
+            // device entry to borrow a stable &str.
+            spec.device(&s.declared_in).map_or(device, |d| d.name.as_str())
+        })
+}
+
+fn human_period(ms: u64) -> String {
+    if ms % 3_600_000 == 0 {
+        format!("{} hr", ms / 3_600_000)
+    } else if ms % 60_000 == 0 {
+        format!("{} min", ms / 60_000)
+    } else if ms % 1_000 == 0 {
+        format!("{} sec", ms / 1_000)
+    } else {
+        format!("{ms} ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diaspec_core::compile_str;
+
+    const COOKER: &str = r#"
+        device Clock { source tickSecond as Integer; }
+        device Cooker { source consumption as Float; action On; action Off; }
+        device TvPrompter {
+          source answer as String indexed by questionId as String;
+          action askQuestion(question as String);
+        }
+        context Alert as Integer {
+          when provided tickSecond from Clock
+            get consumption from Cooker
+            maybe publish;
+        }
+        controller Notify { when provided Alert do askQuestion on TvPrompter; }
+        context RemoteTurnOff as Boolean {
+          when provided answer from TvPrompter
+            get consumption from Cooker
+            maybe publish;
+        }
+        controller TurnOff { when provided RemoteTurnOff do Off on Cooker; }
+    "#;
+
+    #[test]
+    fn figure3_cooker_diagram_edges() {
+        let spec = compile_str(COOKER).unwrap();
+        let dot = generate_dot(&spec, "cooker");
+        // The two functional chains of Figure 3.
+        assert!(dot.contains("\"src:Clock.tickSecond\" -> \"ctx:Alert\""), "{dot}");
+        assert!(dot.contains("\"ctx:Alert\" -> \"ctl:Notify\""));
+        assert!(dot.contains("\"ctl:Notify\" -> \"act:TvPrompter.askQuestion\""));
+        assert!(dot.contains("\"src:TvPrompter.answer\" -> \"ctx:RemoteTurnOff\""));
+        assert!(dot.contains("\"ctl:TurnOff\" -> \"act:Cooker.Off\""));
+        // The query (loop) arrows are dashed.
+        assert!(dot.contains(
+            "\"src:Cooker.consumption\" -> \"ctx:Alert\" [style=dashed, label=\"get\""
+        ));
+        // Four layers are present.
+        for cluster in ["cluster_sources", "cluster_contexts", "cluster_controllers", "cluster_actions"] {
+            assert!(dot.contains(cluster), "{dot}");
+        }
+    }
+
+    #[test]
+    fn periodic_edges_labeled_with_period() {
+        let spec = compile_str(
+            r#"
+            device Sensor { attribute lot as String; source presence as Boolean; }
+            device Panel { action update(s as String); }
+            context Avail as Integer[] {
+              when periodic presence from Sensor <10 min>
+                grouped by lot always publish;
+            }
+            controller P { when provided Avail do update on Panel; }
+            "#,
+        )
+        .unwrap();
+        let dot = generate_dot(&spec, "parking");
+        assert!(dot.contains("[label=\"every 10 min\"]"), "{dot}");
+    }
+
+    #[test]
+    fn subscription_via_subtype_draws_to_declaring_device() {
+        let spec = compile_str(
+            r#"
+            device Base { source reading as Float; }
+            device Leaf extends Base { attribute where as String; }
+            device Sink { action absorb; }
+            context C as Float { when provided reading from Leaf always publish; }
+            controller Out { when provided C do absorb on Sink; }
+            "#,
+        )
+        .unwrap();
+        let dot = generate_dot(&spec, "inherit");
+        assert!(dot.contains("\"src:Base.reading\" -> \"ctx:C\""), "{dot}");
+        // The subtype does not get a duplicate source node.
+        assert!(!dot.contains("src:Leaf.reading"), "{dot}");
+    }
+
+    #[test]
+    fn braces_balance_and_title_is_escaped() {
+        let spec = compile_str(COOKER).unwrap();
+        let dot = generate_dot(&spec, "weird \"title\"");
+        assert_eq!(
+            dot.matches('{').count(),
+            dot.matches('}').count(),
+            "{dot}"
+        );
+        assert!(dot.contains("weird \\\"title\\\""));
+    }
+
+    #[test]
+    fn human_periods() {
+        assert_eq!(human_period(24 * 3_600_000), "24 hr");
+        assert_eq!(human_period(10 * 60_000), "10 min");
+        assert_eq!(human_period(1_000), "1 sec");
+        assert_eq!(human_period(1_500), "1500 ms");
+    }
+
+    #[test]
+    fn mapreduce_contexts_are_marked() {
+        let spec = compile_str(
+            r#"
+            device Sensor { attribute lot as String; source presence as Boolean; }
+            device Panel { action update(s as String); }
+            context Avail as Integer[] {
+              when periodic presence from Sensor <10 min>
+                grouped by lot with map as Boolean reduce as Integer
+                always publish;
+            }
+            controller P { when provided Avail do update on Panel; }
+            "#,
+        )
+        .unwrap();
+        let dot = generate_dot(&spec, "mr");
+        assert!(dot.contains("[MapReduce]"), "{dot}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Indentation-aware source emitter shared by the Rust and Java backends.
+
+use std::fmt::Arguments;
+
+/// A source-code builder that tracks indentation.
+#[derive(Debug)]
+pub struct CodeWriter {
+    out: String,
+    indent: usize,
+    /// The string emitted per indentation level.
+    unit: &'static str,
+}
+
+impl CodeWriter {
+    /// Creates a writer indenting with four spaces per level.
+    #[must_use]
+    pub fn new() -> Self {
+        CodeWriter {
+            out: String::new(),
+            indent: 0,
+            unit: "    ",
+        }
+    }
+
+    /// Emits one line at the current indentation.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        let text = text.as_ref();
+        if text.is_empty() {
+            self.out.push('\n');
+            return;
+        }
+        for _ in 0..self.indent {
+            self.out.push_str(self.unit);
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    /// Emits a formatted line (avoids an intermediate `String` at call
+    /// sites that already use `format_args!`).
+    pub fn linef(&mut self, args: Arguments<'_>) {
+        self.line(args.to_string());
+    }
+
+    /// Emits a blank line.
+    pub fn blank(&mut self) {
+        self.out.push('\n');
+    }
+
+    /// Emits `open`, runs `body` one level deeper, then emits `close`.
+    pub fn block(
+        &mut self,
+        open: impl AsRef<str>,
+        close: impl AsRef<str>,
+        body: impl FnOnce(&mut CodeWriter),
+    ) {
+        self.line(open);
+        self.indent += 1;
+        body(self);
+        self.indent -= 1;
+        self.line(close);
+    }
+
+    /// Finishes, returning the accumulated source text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+impl Default for CodeWriter {
+    fn default() -> Self {
+        CodeWriter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_indent_and_dedent() {
+        let mut w = CodeWriter::new();
+        w.line("fn main() {");
+        w.block("{", "}", |w| {
+            w.line("inner();");
+            w.block("loop {", "}", |w| w.line("deep();"));
+        });
+        let text = w.finish();
+        assert!(text.contains("    inner();"), "{text}");
+        assert!(text.contains("        deep();"), "{text}");
+        assert!(text.contains("    loop {"), "{text}");
+    }
+
+    #[test]
+    fn empty_lines_carry_no_indent() {
+        let mut w = CodeWriter::new();
+        w.block("{", "}", |w| {
+            w.line("");
+            w.blank();
+        });
+        assert_eq!(w.finish(), "{\n\n\n}\n");
+    }
+
+    #[test]
+    fn linef_formats() {
+        let mut w = CodeWriter::new();
+        w.linef(format_args!("let x = {};", 42));
+        assert_eq!(w.finish(), "let x = 42;\n");
+    }
+}

@@ -1,0 +1,728 @@
+//! The Java framework backend.
+//!
+//! The paper's tool chain generates Java programming frameworks
+//! (Figures 9–11), and §V notes the approach "can be applied to any
+//! mainstream programming language" [Van der Walt et al.]. This backend
+//! demonstrates that language independence by emitting a Java framework
+//! from the same [`CheckedSpec`] the Rust backend consumes, matching the
+//! names and shapes of the paper's listings:
+//!
+//! - `AbstractAlert` with `onTickSecondFromClock(TickSecondFromClock,
+//!   DiscoverForTickSecondFromClock)` returning `AlertValuePublishable`
+//!   (Figure 9);
+//! - the `MapReduce<K1,V1,K2,V2,K3,V3>` interface with `MapCollector` /
+//!   `ReduceCollector` and the `onPeriodicPresence(Map<...>)` callback
+//!   (Figure 10);
+//! - `AbstractParkingEntrancePanelController` with an `onXxx(Discover,
+//!   Value)` callback and a discover facade offering `whereLocation(...)`
+//!   filters (Figure 11).
+//!
+//! Golden tests in the workspace pin these shapes against the listings.
+
+use crate::emitter::CodeWriter;
+use crate::naming::{camel_case, pascal_case};
+use crate::GeneratedFile;
+use diaspec_core::model::{ActivationTrigger, CheckedSpec, Context, Controller, InputRef};
+use diaspec_core::types::Type;
+
+/// Maps a DiaSpec type to its generated Java type (boxed, as in the
+/// paper's listings).
+#[must_use]
+pub fn java_type(ty: &Type) -> String {
+    match ty {
+        Type::Integer => "Integer".to_owned(),
+        Type::Float => "Float".to_owned(),
+        Type::Boolean => "Boolean".to_owned(),
+        Type::String => "String".to_owned(),
+        Type::Enum(name) | Type::Struct(name) => name.clone(),
+        Type::Array(elem) => format!("List<{}>", java_type(elem)),
+    }
+}
+
+/// Generates every Java framework file for `spec`.
+#[must_use]
+pub fn generate_files(spec: &CheckedSpec) -> Vec<GeneratedFile> {
+    let mut files = Vec::new();
+    files.push(map_reduce_interface());
+    files.push(collector("MapCollector", "emitMap"));
+    files.push(collector("ReduceCollector", "emitReduce"));
+    for e in spec.enumerations() {
+        files.push(enumeration(&e.name, &e.variants));
+    }
+    for s in spec.structures() {
+        files.push(structure(s));
+    }
+    for ctx in spec.contexts() {
+        files.push(abstract_context(spec, ctx));
+        files.push(value_publishable(ctx));
+        for file in event_and_discover_classes(spec, ctx) {
+            if !files.iter().any(|f| f.path == file.path) {
+                files.push(file);
+            }
+        }
+    }
+    for ctrl in spec.controllers() {
+        files.push(abstract_controller(spec, ctrl));
+    }
+    files
+}
+
+/// The per-trigger event classes (`TickSecondFromClock`) and typed
+/// discover interfaces (`DiscoverForTickSecondFromClock`) referenced by
+/// the abstract context callbacks of Figure 9.
+fn event_and_discover_classes(spec: &CheckedSpec, ctx: &Context) -> Vec<GeneratedFile> {
+    let mut files = Vec::new();
+    for activation in &ctx.activations {
+        let ActivationTrigger::DeviceSource { device, source } = &activation.trigger else {
+            continue;
+        };
+        let dev = spec.device(device).expect("checked");
+        let src = dev.source(source).expect("checked");
+        let event_class = format!("{}From{}", pascal_case(source), pascal_case(device));
+
+        // ---- the event class: published value + emitting-device info ----
+        let mut w = CodeWriter::new();
+        preamble(&mut w);
+        w.linef(format_args!(
+            "/** One `{source}` publication of a `{device}` entity (paper Figure 9). */"
+        ));
+        w.block(format!("public final class {event_class} {{"), "}", |w| {
+            w.line("private final String entityId;");
+            w.linef(format_args!("private final {} value;", java_type(&src.ty)));
+            if let Some((index_name, index_ty)) = &src.index {
+                w.linef(format_args!(
+                    "private final {} {};",
+                    java_type(index_ty),
+                    camel_case(index_name)
+                ));
+            }
+            for attr in &dev.attributes {
+                w.linef(format_args!(
+                    "private final {} {};",
+                    java_type(&attr.ty),
+                    camel_case(&attr.name)
+                ));
+            }
+            w.blank();
+            let mut params = vec![
+                "String entityId".to_owned(),
+                format!("{} value", java_type(&src.ty)),
+            ];
+            if let Some((index_name, index_ty)) = &src.index {
+                params.push(format!("{} {}", java_type(index_ty), camel_case(index_name)));
+            }
+            for attr in &dev.attributes {
+                params.push(format!("{} {}", java_type(&attr.ty), camel_case(&attr.name)));
+            }
+            w.block(
+                format!("public {event_class}({}) {{", params.join(", ")),
+                "}",
+                |w| {
+                    w.line("this.entityId = entityId;");
+                    w.line("this.value = value;");
+                    if let Some((index_name, _)) = &src.index {
+                        let f = camel_case(index_name);
+                        w.linef(format_args!("this.{f} = {f};"));
+                    }
+                    for attr in &dev.attributes {
+                        let f = camel_case(&attr.name);
+                        w.linef(format_args!("this.{f} = {f};"));
+                    }
+                },
+            );
+            w.blank();
+            w.block("public String getEntityId() {", "}", |w| {
+                w.line("return entityId;");
+            });
+            w.blank();
+            w.block(
+                format!("public {} getValue() {{", java_type(&src.ty)),
+                "}",
+                |w| {
+                    w.line("return value;");
+                },
+            );
+            if let Some((index_name, index_ty)) = &src.index {
+                w.blank();
+                w.block(
+                    format!(
+                        "public {} get{}() {{",
+                        java_type(index_ty),
+                        pascal_case(index_name)
+                    ),
+                    "}",
+                    |w| {
+                        w.linef(format_args!("return {};", camel_case(index_name)));
+                    },
+                );
+            }
+            for attr in &dev.attributes {
+                w.blank();
+                w.block(
+                    format!(
+                        "public {} get{}() {{",
+                        java_type(&attr.ty),
+                        pascal_case(&attr.name)
+                    ),
+                    "}",
+                    |w| {
+                        w.linef(format_args!("return {};", camel_case(&attr.name)));
+                    },
+                );
+            }
+        });
+        files.push(file(&event_class, w.finish()));
+
+        // ---- the typed discover interface: declared `get` clauses ----
+        let discover_class = format!("DiscoverFor{event_class}");
+        let mut w = CodeWriter::new();
+        preamble(&mut w);
+        w.linef(format_args!(
+            "/** Query facade for `{}` activations triggered by `{source} from {device}`:",
+            ctx.name
+        ));
+        w.line(" * exposes exactly the declared `get` clauses (paper Figure 9). */");
+        w.block(
+            format!("public interface {discover_class} {{"),
+            "}",
+            |w| {
+                for get in &activation.gets {
+                    match get {
+                        InputRef::DeviceSource {
+                            device: get_device,
+                            source: get_source,
+                        } => {
+                            let ty = java_type(
+                                &spec
+                                    .device(get_device)
+                                    .and_then(|d| d.source(get_source))
+                                    .expect("checked")
+                                    .ty,
+                            );
+                            w.linef(format_args!(
+                                "/** Declared as `get {get_source} from {get_device}`. */"
+                            ));
+                            w.linef(format_args!(
+                                "List<{ty}> get{}From{}();",
+                                pascal_case(get_source),
+                                pascal_case(get_device)
+                            ));
+                        }
+                        InputRef::Context(target) => {
+                            let ty =
+                                java_type(&spec.context(target).expect("checked").output);
+                            w.linef(format_args!("/** Declared as `get {target}`. */"));
+                            w.linef(format_args!(
+                                "{ty} get{}();",
+                                pascal_case(target)
+                            ));
+                        }
+                    }
+                }
+            },
+        );
+        files.push(file(&discover_class, w.finish()));
+    }
+    files
+}
+
+fn file(name: &str, content: String) -> GeneratedFile {
+    GeneratedFile {
+        path: format!("{name}.java"),
+        content,
+    }
+}
+
+fn preamble(w: &mut CodeWriter) {
+    w.line("// Generated by diaspec-codegen. DO NOT EDIT.");
+    w.line("package generated;");
+    w.blank();
+    w.line("import java.util.List;");
+    w.line("import java.util.Map;");
+    w.blank();
+}
+
+fn map_reduce_interface() -> GeneratedFile {
+    let mut w = CodeWriter::new();
+    preamble(&mut w);
+    w.line("/** The MapReduce interface of the generated framework (paper Figure 10). */");
+    w.block(
+        "public interface MapReduce<K1, V1, K2, V2, K3, V3> {",
+        "}",
+        |w| {
+            w.line("void map(K1 key, V1 value, MapCollector<K2, V2> collector);");
+            w.blank();
+            w.line("void reduce(K2 key, List<V2> values, ReduceCollector<K3, V3> collector);");
+        },
+    );
+    file("MapReduce", w.finish())
+}
+
+fn collector(name: &str, emit: &str) -> GeneratedFile {
+    let mut w = CodeWriter::new();
+    preamble(&mut w);
+    w.linef(format_args!(
+        "/** Receives records emitted by the {} phase. */",
+        if name == "MapCollector" { "Map" } else { "Reduce" }
+    ));
+    w.block(
+        format!("public final class {name}<K, V> {{"),
+        "}",
+        |w| {
+            w.line("private final java.util.ArrayList<java.util.AbstractMap.SimpleEntry<K, V>> items =");
+            w.line("    new java.util.ArrayList<>();");
+            w.blank();
+            w.block(format!("public void {emit}(K key, V value) {{"), "}", |w| {
+                w.line("items.add(new java.util.AbstractMap.SimpleEntry<>(key, value));");
+            });
+            w.blank();
+            w.block(
+                "public List<java.util.AbstractMap.SimpleEntry<K, V>> items() {",
+                "}",
+                |w| {
+                    w.line("return items;");
+                },
+            );
+        },
+    );
+    file(name, w.finish())
+}
+
+fn enumeration(name: &str, variants: &[String]) -> GeneratedFile {
+    let mut w = CodeWriter::new();
+    preamble(&mut w);
+    w.linef(format_args!("/** Generated from `enumeration {name}`. */"));
+    w.block(format!("public enum {name} {{"), "}", |w| {
+        let list = variants.join(", ");
+        w.linef(format_args!("{list}"));
+    });
+    file(name, w.finish())
+}
+
+fn structure(s: &diaspec_core::model::Structure) -> GeneratedFile {
+    let name = &s.name;
+    let mut w = CodeWriter::new();
+    preamble(&mut w);
+    w.linef(format_args!("/** Generated from `structure {name}`. */"));
+    w.block(format!("public final class {name} {{"), "}", |w| {
+        for (field, ty) in &s.fields {
+            w.linef(format_args!(
+                "private final {} {};",
+                java_type(ty),
+                camel_case(field)
+            ));
+        }
+        w.blank();
+        let params: Vec<String> = s
+            .fields
+            .iter()
+            .map(|(f, t)| format!("{} {}", java_type(t), camel_case(f)))
+            .collect();
+        w.block(
+            format!("public {name}({}) {{", params.join(", ")),
+            "}",
+            |w| {
+                for (field, _) in &s.fields {
+                    let f = camel_case(field);
+                    w.linef(format_args!("this.{f} = {f};"));
+                }
+            },
+        );
+        for (field, ty) in &s.fields {
+            w.blank();
+            w.block(
+                format!(
+                    "public {} get{}() {{",
+                    java_type(ty),
+                    pascal_case(field)
+                ),
+                "}",
+                |w| {
+                    w.linef(format_args!("return {};", camel_case(field)));
+                },
+            );
+        }
+    });
+    file(name, w.finish())
+}
+
+fn value_publishable(ctx: &Context) -> GeneratedFile {
+    let name = format!("{}ValuePublishable", ctx.name);
+    let ty = java_type(&ctx.output);
+    let mut w = CodeWriter::new();
+    preamble(&mut w);
+    w.linef(format_args!(
+        "/** Wraps a `{}` context value for publication (paper Figure 9). */",
+        ctx.name
+    ));
+    w.block(format!("public final class {name} {{"), "}", |w| {
+        w.linef(format_args!("private final {ty} value;"));
+        w.line("private final boolean publish;");
+        w.blank();
+        w.block(
+            format!("private {name}({ty} value, boolean publish) {{"),
+            "}",
+            |w| {
+                w.line("this.value = value;");
+                w.line("this.publish = publish;");
+            },
+        );
+        w.blank();
+        w.block(
+            format!("public static {name} publish({ty} value) {{"),
+            "}",
+            |w| {
+                w.linef(format_args!("return new {name}(value, true);"));
+            },
+        );
+        w.blank();
+        w.block(format!("public static {name} silent() {{"), "}", |w| {
+            w.linef(format_args!("return new {name}(null, false);"));
+        });
+        w.blank();
+        w.block(format!("public {ty} getValue() {{"), "}", |w| {
+            w.line("return value;");
+        });
+        w.blank();
+        w.block("public boolean isPublished() {", "}", |w| {
+            w.line("return publish;");
+        });
+    });
+    file(&name, w.finish())
+}
+
+/// Java callback name per activation, matching the paper's
+/// `onTickSecondFromClock` / `onPeriodicPresence` / `onParkingAvailability`
+/// conventions.
+fn callback_name(trigger: &ActivationTrigger) -> String {
+    match trigger {
+        ActivationTrigger::DeviceSource { device, source } => {
+            format!("on{}From{}", pascal_case(source), pascal_case(device))
+        }
+        ActivationTrigger::Context(name) => format!("on{}", pascal_case(name)),
+        ActivationTrigger::Periodic { source, .. } => {
+            format!("onPeriodic{}", pascal_case(source))
+        }
+        ActivationTrigger::OnDemand => "onDemand".to_owned(),
+    }
+}
+
+fn abstract_context(spec: &CheckedSpec, ctx: &Context) -> GeneratedFile {
+    let name = &ctx.name;
+    let class = format!("Abstract{name}");
+    let publishable = format!("{name}ValuePublishable");
+    let mut w = CodeWriter::new();
+    preamble(&mut w);
+    w.linef(format_args!(
+        "/** Abstract component for `context {name}` — subclass and implement"
+    ));
+    w.line(" * the callbacks; the runtime invokes them per the design declarations");
+    w.line(" * (inversion of control, paper Figure 9). */");
+    let implements = ctx
+        .activations
+        .iter()
+        .find_map(|a| a.grouping.as_ref().and_then(|g| g.map_reduce.as_ref()))
+        .map(|(map_ty, reduce_ty)| {
+            // Figure 10: the grouped attribute keys all three phases.
+            let attr = ctx
+                .activations
+                .iter()
+                .find_map(|a| a.grouping.as_ref())
+                .expect("grouping present");
+            let k = java_type(&attr.attribute_ty);
+            let v1 = ctx
+                .activations
+                .iter()
+                .find_map(|a| match &a.trigger {
+                    ActivationTrigger::Periodic { device, source, .. }
+                    | ActivationTrigger::DeviceSource { device, source } => Some(java_type(
+                        &spec
+                            .device(device)
+                            .and_then(|d| d.source(source))
+                            .expect("checked")
+                            .ty,
+                    )),
+                    _ => None,
+                })
+                .unwrap_or_else(|| "Object".to_owned());
+            format!(
+                "\n    // Implementations processing large datasets additionally implement\n    \
+                 // MapReduce<{k}, {v1}, {k}, {}, {k}, {}> (paper Figure 10).",
+                java_type(map_ty),
+                java_type(reduce_ty)
+            )
+        })
+        .unwrap_or_default();
+    w.block(format!("public abstract class {class} {{{implements}"), "}", |w| {
+        for activation in &ctx.activations {
+            let cb = callback_name(&activation.trigger);
+            w.blank();
+            match &activation.trigger {
+                ActivationTrigger::DeviceSource { device, source } => {
+                    let event_class = format!(
+                        "{}From{}",
+                        pascal_case(source),
+                        pascal_case(device)
+                    );
+                    w.linef(format_args!(
+                        "/** Design clause: `when provided {source} from {device}`. */"
+                    ));
+                    w.linef(format_args!(
+                        "public abstract {publishable} {cb}("
+                    ));
+                    w.linef(format_args!(
+                        "    {event_class} {},",
+                        camel_case(&event_class)
+                    ));
+                    w.linef(format_args!(
+                        "    DiscoverFor{event_class} discover);"
+                    ));
+                }
+                ActivationTrigger::Context(from) => {
+                    let from_ty = java_type(&spec.context(from).expect("checked").output);
+                    w.linef(format_args!(
+                        "/** Design clause: `when provided {from}`. */"
+                    ));
+                    w.linef(format_args!(
+                        "public abstract {publishable} {cb}({from_ty} value, Discover discover);"
+                    ));
+                }
+                ActivationTrigger::Periodic { device, source, .. } => {
+                    match activation.grouping.as_ref().and_then(|g| {
+                        g.map_reduce
+                            .as_ref()
+                            .map(|(_, reduce_ty)| (g, reduce_ty))
+                    }) {
+                        Some((grouping, reduce_ty)) => {
+                            // Figure 10's `onPeriodicPresence(Map<...>)`.
+                            w.linef(format_args!(
+                                "/** Receives the reduced data of `grouped by {}` (Figure 10). */",
+                                grouping.attribute
+                            ));
+                            w.linef(format_args!(
+                                "protected abstract {} {cb}(",
+                                java_type(&ctx.output)
+                            ));
+                            w.linef(format_args!(
+                                "    Map<{}, {}> {}By{});",
+                                java_type(&grouping.attribute_ty),
+                                java_type(reduce_ty),
+                                camel_case(source),
+                                pascal_case(&grouping.attribute)
+                            ));
+                        }
+                        None => {
+                            let src_ty = java_type(
+                                &spec
+                                    .device(device)
+                                    .and_then(|d| d.source(source))
+                                    .expect("checked")
+                                    .ty,
+                            );
+                            let payload = match activation.grouping.as_ref() {
+                                Some(grouping) => format!(
+                                    "Map<{}, List<{src_ty}>> {}By{}",
+                                    java_type(&grouping.attribute_ty),
+                                    camel_case(source),
+                                    pascal_case(&grouping.attribute)
+                                ),
+                                None => format!("List<{src_ty}> readings"),
+                            };
+                            w.linef(format_args!(
+                                "/** Design clause: `when periodic {source} from {device}`. */"
+                            ));
+                            w.linef(format_args!(
+                                "protected abstract {} {cb}({payload});",
+                                java_type(&ctx.output)
+                            ));
+                        }
+                    }
+                }
+                ActivationTrigger::OnDemand => {
+                    w.line("/** Design clause: `when required`. */");
+                    w.linef(format_args!(
+                        "public abstract {} {cb}();",
+                        java_type(&ctx.output)
+                    ));
+                }
+            }
+        }
+    });
+    file(&class, w.finish())
+}
+
+fn abstract_controller(spec: &CheckedSpec, ctrl: &Controller) -> GeneratedFile {
+    let name = &ctrl.name;
+    let class = format!("Abstract{name}");
+    let mut w = CodeWriter::new();
+    preamble(&mut w);
+    w.linef(format_args!(
+        "/** Abstract component for `controller {name}` (paper Figure 11). */"
+    ));
+    w.block(format!("public abstract class {class} {{"), "}", |w| {
+        for binding in &ctrl.bindings {
+            let ctx_ty = java_type(&spec.context(&binding.context).expect("checked").output);
+            w.blank();
+            w.linef(format_args!(
+                "/** Design clause: `when provided {}`. */",
+                binding.context
+            ));
+            w.linef(format_args!(
+                "protected abstract void on{}(Discover discover, {ctx_ty} {});",
+                pascal_case(&binding.context),
+                camel_case(&binding.context)
+            ));
+        }
+        w.blank();
+        w.line("/** Discover facade over the devices this controller actuates. */");
+        w.block("public interface Discover {", "}", |w| {
+            let mut targets: Vec<&str> = Vec::new();
+            for binding in &ctrl.bindings {
+                for (_, device) in &binding.actions {
+                    if !targets.contains(&device.as_str()) {
+                        targets.push(device);
+                    }
+                }
+            }
+            for device in targets {
+                let dev = spec.device(device).expect("checked");
+                w.linef(format_args!("{device}Composite {}s();", camel_case(device)));
+                w.blank();
+                w.linef(format_args!("/** Proxy composite over `{device}` entities. */"));
+                w.block(format!("interface {device}Composite {{"), "}", |w| {
+                    for attr in &dev.attributes {
+                        w.linef(format_args!(
+                            "{device}Composite where{}({} value);",
+                            pascal_case(&attr.name),
+                            java_type(&attr.ty)
+                        ));
+                    }
+                    for binding in &ctrl.bindings {
+                        for (action_name, action_device) in &binding.actions {
+                            if action_device != device {
+                                continue;
+                            }
+                            let action = dev.action(action_name).expect("checked");
+                            let params: Vec<String> = action
+                                .params
+                                .iter()
+                                .map(|(p, t)| format!("{} {}", java_type(t), camel_case(p)))
+                                .collect();
+                            w.linef(format_args!(
+                                "void {}({});",
+                                camel_case(action_name),
+                                params.join(", ")
+                            ));
+                        }
+                    }
+                });
+            }
+        });
+    });
+    file(&class, w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diaspec_core::compile_str;
+
+    const COOKER: &str = r#"
+        device Clock { source tickSecond as Integer; }
+        device Cooker { source consumption as Float; action On; action Off; }
+        device TvPrompter {
+          source answer as String indexed by questionId as String;
+          action askQuestion(question as String);
+        }
+        context Alert as Integer {
+          when provided tickSecond from Clock
+            get consumption from Cooker
+            maybe publish;
+        }
+        controller Notify { when provided Alert do askQuestion on TvPrompter; }
+        context RemoteTurnOff as Boolean {
+          when provided answer from TvPrompter
+            get consumption from Cooker
+            maybe publish;
+        }
+        controller TurnOff { when provided RemoteTurnOff do Off on Cooker; }
+    "#;
+
+    #[test]
+    fn java_type_mapping() {
+        assert_eq!(java_type(&Type::Integer), "Integer");
+        assert_eq!(java_type(&Type::Float), "Float");
+        assert_eq!(
+            java_type(&Type::Struct("Availability".into()).array()),
+            "List<Availability>"
+        );
+    }
+
+    #[test]
+    fn figure9_shape_abstract_alert() {
+        let spec = compile_str(COOKER).unwrap();
+        let files = generate_files(&spec);
+        let alert = files
+            .iter()
+            .find(|f| f.path == "AbstractAlert.java")
+            .expect("AbstractAlert generated");
+        assert!(
+            alert.content.contains("public abstract class AbstractAlert"),
+            "{}",
+            alert.content
+        );
+        assert!(alert
+            .content
+            .contains("public abstract AlertValuePublishable onTickSecondFromClock("));
+        assert!(alert.content.contains("TickSecondFromClock tickSecondFromClock"));
+        assert!(alert
+            .content
+            .contains("DiscoverForTickSecondFromClock discover"));
+    }
+
+    #[test]
+    fn value_publishable_generated() {
+        let spec = compile_str(COOKER).unwrap();
+        let files = generate_files(&spec);
+        let vp = files
+            .iter()
+            .find(|f| f.path == "AlertValuePublishable.java")
+            .expect("publishable wrapper");
+        assert!(vp.content.contains("public static AlertValuePublishable publish(Integer value)"));
+        assert!(vp.content.contains("public static AlertValuePublishable silent()"));
+    }
+
+    #[test]
+    fn figure11_shape_controller_discover() {
+        let spec = compile_str(COOKER).unwrap();
+        let files = generate_files(&spec);
+        let ctrl = files
+            .iter()
+            .find(|f| f.path == "AbstractNotify.java")
+            .expect("controller class");
+        assert!(ctrl
+            .content
+            .contains("protected abstract void onAlert(Discover discover, Integer alert);"));
+        assert!(ctrl.content.contains("TvPrompterComposite tvPrompters();"));
+        assert!(ctrl.content.contains("void askQuestion(String question);"));
+    }
+
+    #[test]
+    fn mapreduce_interface_matches_figure10() {
+        let spec = compile_str(COOKER).unwrap();
+        let files = generate_files(&spec);
+        let mr = files
+            .iter()
+            .find(|f| f.path == "MapReduce.java")
+            .expect("MapReduce interface");
+        assert!(mr
+            .content
+            .contains("public interface MapReduce<K1, V1, K2, V2, K3, V3>"));
+        assert!(mr
+            .content
+            .contains("void map(K1 key, V1 value, MapCollector<K2, V2> collector);"));
+        assert!(mr
+            .content
+            .contains("void reduce(K2 key, List<V2> values, ReduceCollector<K3, V3> collector);"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Identifier-case conversions between DiaSpec, Rust, and Java.
+//!
+//! DiaSpec follows Java conventions (camelCase members, PascalCase types);
+//! generated Rust follows RFC 430 (snake_case functions and fields,
+//! UpperCamelCase types).
+
+/// Converts an identifier to `snake_case` (`tickSecond` → `tick_second`,
+/// `NORTH_EAST_14Y` → `north_east_14y`).
+#[must_use]
+pub fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    let mut prev_lower = false;
+    for ch in name.chars() {
+        if ch == '_' || ch == '-' {
+            if !out.ends_with('_') {
+                out.push('_');
+            }
+            prev_lower = false;
+        } else if ch.is_uppercase() {
+            // Break only at a lower-to-upper boundary; digits run into the
+            // following capital ("14Y" -> "14y", not "14_y").
+            if prev_lower && !out.ends_with('_') {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+            prev_lower = false;
+        } else {
+            out.push(ch);
+            prev_lower = ch.is_lowercase();
+        }
+    }
+    out
+}
+
+/// Converts an identifier to `UpperCamelCase` (`tickSecond` →
+/// `TickSecond`, `NORTH_EAST_14Y` → `NorthEast14y`).
+#[must_use]
+pub fn pascal_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut upper_next = true;
+    let mut prev_was_upper = false;
+    for ch in name.chars() {
+        if ch == '_' || ch == '-' {
+            upper_next = true;
+            prev_was_upper = false;
+        } else if upper_next {
+            out.extend(ch.to_uppercase());
+            upper_next = false;
+            prev_was_upper = true;
+        } else if ch.is_uppercase() {
+            if prev_was_upper {
+                // Runs of capitals collapse: "NORTH" -> "North".
+                out.extend(ch.to_lowercase());
+            } else {
+                out.push(ch);
+                prev_was_upper = true;
+            }
+        } else {
+            out.push(ch);
+            prev_was_upper = false;
+        }
+    }
+    out
+}
+
+/// Converts an identifier to `lowerCamelCase` (`tick_second` →
+/// `tickSecond`).
+#[must_use]
+pub fn camel_case(name: &str) -> String {
+    let pascal = pascal_case(name);
+    let mut chars = pascal.chars();
+    match chars.next() {
+        Some(first) => first.to_lowercase().collect::<String>() + chars.as_str(),
+        None => pascal,
+    }
+}
+
+/// Escapes Rust keywords with a raw-identifier prefix where legal, or a
+/// trailing underscore for keywords that cannot be raw (`self`, `super`,
+/// `crate`, `Self`).
+#[must_use]
+pub fn rust_safe(name: &str) -> String {
+    const KEYWORDS: &[&str] = &[
+        "as", "break", "const", "continue", "dyn", "else", "enum", "extern", "false", "fn",
+        "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+        "return", "static", "struct", "trait", "true", "type", "unsafe", "use", "where",
+        "while", "async", "await", "box", "try", "union",
+    ];
+    const UNRAWABLE: &[&str] = &["self", "Self", "super", "crate"];
+    if UNRAWABLE.contains(&name) {
+        format!("{name}_")
+    } else if KEYWORDS.contains(&name) {
+        format!("r#{name}")
+    } else {
+        name.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_case_conversions() {
+        assert_eq!(snake_case("tickSecond"), "tick_second");
+        assert_eq!(snake_case("ParkingAvailability"), "parking_availability");
+        // All-caps identifiers lower cleanly without doubling separators.
+        assert_eq!(snake_case("NORTH_EAST_14Y"), "north_east_14y");
+    }
+
+    #[test]
+    fn snake_case_handles_acronym_runs() {
+        assert_eq!(snake_case("askQuestion"), "ask_question");
+        assert_eq!(snake_case("parkingLot"), "parking_lot");
+        assert_eq!(snake_case("Off"), "off");
+        assert_eq!(snake_case("questionId"), "question_id");
+        assert_eq!(snake_case("already_snake"), "already_snake");
+    }
+
+    #[test]
+    fn pascal_case_conversions() {
+        assert_eq!(pascal_case("tickSecond"), "TickSecond");
+        assert_eq!(pascal_case("parking_lot"), "ParkingLot");
+        assert_eq!(pascal_case("NORTH_EAST_14Y"), "NorthEast14Y");
+        assert_eq!(pascal_case("A22"), "A22");
+        assert_eq!(pascal_case("update"), "Update");
+    }
+
+    #[test]
+    fn camel_case_conversions() {
+        assert_eq!(camel_case("tick_second"), "tickSecond");
+        assert_eq!(camel_case("ParkingAvailability"), "parkingAvailability");
+        assert_eq!(camel_case(""), "");
+    }
+
+    #[test]
+    fn rust_keywords_escaped() {
+        assert_eq!(rust_safe("match"), "r#match");
+        assert_eq!(rust_safe("type"), "r#type");
+        assert_eq!(rust_safe("self"), "self_");
+        assert_eq!(rust_safe("presence"), "presence");
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests of the `diaspec-gen` command line.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn gen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_diaspec-gen"))
+}
+
+fn spec_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../specs")
+        .join(name)
+}
+
+#[test]
+fn generates_rust_framework_to_directory() {
+    let out = std::env::temp_dir().join("diaspec-gen-cli-rust");
+    let _ = std::fs::remove_dir_all(&out);
+    let status = gen()
+        .arg(spec_path("cooker.spec"))
+        .args(["--language", "rust", "--out"])
+        .arg(&out)
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+    let framework = std::fs::read_to_string(out.join("framework.rs")).unwrap();
+    assert!(framework.contains("pub trait AlertImpl"));
+    std::fs::remove_dir_all(&out).unwrap();
+}
+
+#[test]
+fn generates_java_framework_to_directory() {
+    let out = std::env::temp_dir().join("diaspec-gen-cli-java");
+    let _ = std::fs::remove_dir_all(&out);
+    let status = gen()
+        .arg(spec_path("parking.spec"))
+        .args(["--language", "java", "--out"])
+        .arg(&out)
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+    assert!(out.join("AbstractParkingAvailability.java").exists());
+    assert!(out.join("MapReduce.java").exists());
+    std::fs::remove_dir_all(&out).unwrap();
+}
+
+#[test]
+fn dot_flag_prints_a_digraph() {
+    let output = gen()
+        .arg(spec_path("cooker.spec"))
+        .arg("--dot")
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.starts_with("digraph \"cooker\""), "{stdout}");
+    assert!(stdout.contains("cluster_contexts"));
+}
+
+#[test]
+fn chains_flag_prints_functional_chains() {
+    let output = gen()
+        .arg(spec_path("cooker.spec"))
+        .arg("--chains")
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(
+        stdout.contains("Clock.tickSecond -> [Alert] -> (Notify) -> TvPrompter.askQuestion()"),
+        "{stdout}"
+    );
+    assert_eq!(stdout.lines().count(), 2, "{stdout}");
+}
+
+#[test]
+fn report_flag_prints_json() {
+    let output = gen()
+        .arg(spec_path("homeassist.spec"))
+        .arg("--report")
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let report: serde_json::Value =
+        serde_json::from_slice(&output.stdout).expect("valid JSON report");
+    assert!(report["total_loc"].as_u64().unwrap() > 100);
+    assert!(report["abstract_methods"].as_u64().unwrap() >= 2);
+}
+
+#[test]
+fn invalid_spec_fails_with_diagnostics() {
+    let dir = std::env::temp_dir().join("diaspec-gen-cli-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.spec");
+    std::fs::write(&bad, "device D extends Ghost { }").unwrap();
+    let output = gen().arg(&bad).arg("--report").output().expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("E0202"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_file_and_bad_flags_are_reported() {
+    let output = gen().arg("/nonexistent/x.spec").output().expect("runs");
+    assert!(!output.status.success());
+
+    let output = gen()
+        .arg(spec_path("cooker.spec"))
+        .args(["--language", "cobol"])
+        .output()
+        .expect("runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8(output.stderr)
+        .unwrap()
+        .contains("unknown language"));
+
+    let output = gen().arg("--bogus-flag").output().expect("runs");
+    assert!(!output.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let output = gen().arg("--help").output().expect("runs");
+    assert!(output.status.success());
+    assert!(String::from_utf8(output.stdout).unwrap().contains("usage:"));
+}

@@ -1,0 +1,343 @@
+//! Diagnostics produced by the lexer, parser, and semantic checker.
+//!
+//! All front-end phases report problems as [`Diagnostic`] values instead of
+//! aborting at the first error, so a single compiler run can surface every
+//! issue in a specification. Diagnostics carry a stable [`code`] (for
+//! example `E0203`) so tests and tooling can match on the *kind* of problem
+//! rather than on message text.
+//!
+//! [`code`]: Diagnostic::code
+
+use crate::span::{SourceMap, Span};
+use std::error::Error;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A style or design concern; compilation still succeeds.
+    Warning,
+    /// A hard error; no model or code is produced.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// A single problem found in a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error vs. warning.
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `E0104`.
+    ///
+    /// Code ranges by phase: `E00xx` lexer, `E01xx` parser, `E02xx`/`W02xx`
+    /// name resolution and structure, `E03xx`/`W03xx` typing and
+    /// SCC-conformance rules.
+    pub code: &'static str,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Primary source location.
+    pub span: Span,
+    /// Additional context lines (e.g. "first declared here").
+    pub notes: Vec<(String, Option<Span>)>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    #[must_use]
+    pub fn error(code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    #[must_use]
+    pub fn warning(code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a note, optionally pointing at a second location.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>, span: Option<Span>) -> Self {
+        self.notes.push((note.into(), span));
+        self
+    }
+
+    /// Renders this diagnostic with a source snippet from `map`.
+    #[must_use]
+    pub fn render(&self, map: &SourceMap) -> String {
+        let pos = map.line_col(self.span.start);
+        let mut out = format!("{}[{}]: {} at {pos}\n", self.severity, self.code, self.message);
+        out.push_str(&map.snippet(self.span));
+        for (note, nspan) in &self.notes {
+            out.push('\n');
+            match nspan {
+                Some(s) => {
+                    let npos = map.line_col(s.start);
+                    out.push_str(&format!("note: {note} at {npos}\n"));
+                    out.push_str(&map.snippet(*s));
+                }
+                None => out.push_str(&format!("note: {note}")),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+    }
+}
+
+/// An ordered collection of diagnostics accumulated by a front-end phase.
+///
+/// # Examples
+///
+/// ```
+/// use diaspec_core::diag::{Diagnostic, Diagnostics};
+/// use diaspec_core::span::Span;
+///
+/// let mut diags = Diagnostics::new();
+/// diags.push(Diagnostic::warning("W0301", "unused context", Span::DUMMY));
+/// assert!(!diags.has_errors());
+/// diags.push(Diagnostic::error("E0201", "unknown device", Span::DUMMY));
+/// assert!(diags.has_errors());
+/// assert_eq!(diags.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty collection.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.items.push(diag);
+    }
+
+    /// Moves all diagnostics out of `other` into `self`.
+    pub fn append(&mut self, other: &mut Diagnostics) {
+        self.items.append(&mut other.items);
+    }
+
+    /// Whether any diagnostic is an error.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics (errors and warnings).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the collection is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of error-severity diagnostics.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Iterates over the diagnostics in emission order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Returns the first diagnostic carrying `code`, if any.
+    #[must_use]
+    pub fn find(&self, code: &str) -> Option<&Diagnostic> {
+        self.items.iter().find(|d| d.code == code)
+    }
+
+    /// Renders every diagnostic against `map`, separated by blank lines.
+    #[must_use]
+    pub fn render(&self, map: &SourceMap) -> String {
+        self.items
+            .iter()
+            .map(|d| d.render(map))
+            .collect::<Vec<_>>()
+            .join("\n\n")
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Diagnostics {
+    type Item = &'a Diagnostic;
+    type IntoIter = std::slice::Iter<'a, Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl FromIterator<Diagnostic> for Diagnostics {
+    fn from_iter<T: IntoIterator<Item = Diagnostic>>(iter: T) -> Self {
+        Diagnostics {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Diagnostic> for Diagnostics {
+    fn extend<T: IntoIterator<Item = Diagnostic>>(&mut self, iter: T) {
+        self.items.extend(iter);
+    }
+}
+
+/// Error returned by the one-shot compilation entry points when a
+/// specification contains errors.
+///
+/// Wraps the full diagnostic set so callers can inspect or render it.
+#[derive(Debug, Clone)]
+pub struct CompileError {
+    diagnostics: Diagnostics,
+    rendered: String,
+}
+
+impl CompileError {
+    /// Creates a compile error from diagnostics, pre-rendering them against
+    /// the given source map for display.
+    #[must_use]
+    pub fn new(diagnostics: Diagnostics, map: &SourceMap) -> Self {
+        let rendered = diagnostics.render(map);
+        CompileError {
+            diagnostics,
+            rendered,
+        }
+    }
+
+    /// Creates a compile error with an already-rendered report (used by
+    /// multi-file compilation, which attributes spans to their files).
+    #[must_use]
+    pub fn from_rendered(diagnostics: Diagnostics, rendered: String) -> Self {
+        CompileError {
+            diagnostics,
+            rendered,
+        }
+    }
+
+    /// The diagnostics that caused the failure.
+    #[must_use]
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diagnostics
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "specification has {} error(s)\n{}",
+            self.diagnostics.error_count(),
+            self.rendered
+        )
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collection_tracks_errors_and_warnings() {
+        let mut diags = Diagnostics::new();
+        assert!(diags.is_empty());
+        diags.push(Diagnostic::warning("W0001", "w", Span::DUMMY));
+        assert!(!diags.has_errors());
+        assert_eq!(diags.error_count(), 0);
+        diags.push(Diagnostic::error("E0001", "e", Span::DUMMY));
+        assert!(diags.has_errors());
+        assert_eq!(diags.error_count(), 1);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.find("E0001").is_some());
+        assert!(diags.find("E9999").is_none());
+    }
+
+    #[test]
+    fn render_includes_code_message_and_snippet() {
+        let map = SourceMap::new("context Foo as Bar {}\n");
+        let d = Diagnostic::error("E0201", "unknown type `Bar`", Span::new(15, 18))
+            .with_note("declare it with `structure` or `enumeration`", None);
+        let rendered = d.render(&map);
+        assert!(rendered.contains("E0201"), "{rendered}");
+        assert!(rendered.contains("unknown type `Bar`"), "{rendered}");
+        assert!(rendered.contains("^^^"), "{rendered}");
+        assert!(rendered.contains("note:"), "{rendered}");
+    }
+
+    #[test]
+    fn render_note_with_secondary_span() {
+        let map = SourceMap::new("device A {}\ndevice A {}\n");
+        let d = Diagnostic::error("E0202", "duplicate device `A`", Span::new(19, 20))
+            .with_note("first declared here", Some(Span::new(7, 8)));
+        let rendered = d.render(&map);
+        assert!(rendered.matches('^').count() >= 2, "{rendered}");
+        assert!(rendered.contains("1:8"), "{rendered}");
+    }
+
+    #[test]
+    fn compile_error_displays_counts() {
+        let map = SourceMap::new("x");
+        let mut diags = Diagnostics::new();
+        diags.push(Diagnostic::error("E0101", "boom", Span::new(0, 1)));
+        let err = CompileError::new(diags, &map);
+        let msg = err.to_string();
+        assert!(msg.contains("1 error(s)"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+        assert_eq!(err.diagnostics().len(), 1);
+    }
+
+    #[test]
+    fn diagnostics_collect_and_extend() {
+        let diags: Diagnostics = (0..3)
+            .map(|_| Diagnostic::warning("W0001", "w", Span::DUMMY))
+            .collect();
+        assert_eq!(diags.len(), 3);
+        let mut more = Diagnostics::new();
+        more.extend(diags.iter().cloned());
+        assert_eq!(more.len(), 3);
+        assert_eq!((&more).into_iter().count(), 3);
+    }
+}

@@ -1,0 +1,406 @@
+//! Hand-written lexer for the DiaSpec design language.
+//!
+//! The lexer is total: it always produces a token stream ending in
+//! [`TokenKind::Eof`], reporting invalid input as diagnostics while skipping
+//! the offending bytes. This keeps the parser free to assume a well-formed
+//! stream and lets a single run surface every lexical problem.
+//!
+//! Both `//` line comments and `/* ... */` block comments are supported.
+
+use crate::diag::{Diagnostic, Diagnostics};
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Tokenizes `source`, returning the token stream and any diagnostics.
+///
+/// The returned stream always ends with an [`TokenKind::Eof`] token. Invalid
+/// characters and unterminated literals are reported (codes `E00xx`) and
+/// skipped.
+///
+/// # Examples
+///
+/// ```
+/// use diaspec_core::lexer::lex;
+/// use diaspec_core::token::{Keyword, TokenKind};
+///
+/// let (tokens, diags) = lex("device Clock { }");
+/// assert!(diags.is_empty());
+/// assert_eq!(tokens[0].kind, TokenKind::Kw(Keyword::Device));
+/// assert_eq!(tokens[1].kind, TokenKind::Ident("Clock".into()));
+/// assert_eq!(tokens.last().unwrap().kind, TokenKind::Eof);
+/// ```
+#[must_use]
+pub fn lex(source: &str) -> (Vec<Token>, Diagnostics) {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'src> {
+    src: &'src str,
+    bytes: &'src [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    diags: Diagnostics,
+}
+
+impl<'src> Lexer<'src> {
+    fn new(src: &'src str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+            diags: Diagnostics::new(),
+        }
+    }
+
+    fn run(mut self) -> (Vec<Token>, Diagnostics) {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' => self.comment_or_error(start),
+                b'{' => self.punct(TokenKind::LBrace),
+                b'}' => self.punct(TokenKind::RBrace),
+                b'(' => self.punct(TokenKind::LParen),
+                b')' => self.punct(TokenKind::RParen),
+                b'[' => self.punct(TokenKind::LBracket),
+                b']' => self.punct(TokenKind::RBracket),
+                b'<' => self.punct(TokenKind::Lt),
+                b'>' => self.punct(TokenKind::Gt),
+                b';' => self.punct(TokenKind::Semi),
+                b',' => self.punct(TokenKind::Comma),
+                b'@' => self.punct(TokenKind::At),
+                b'=' => self.punct(TokenKind::Eq),
+                b'"' => self.string(start),
+                b'0'..=b'9' => self.number(start),
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.word(start),
+                _ => {
+                    // Skip one full UTF-8 character, not one byte, so we do
+                    // not split multi-byte characters in the error span.
+                    let ch_len = self.src[self.pos..]
+                        .chars()
+                        .next()
+                        .map_or(1, char::len_utf8);
+                    self.pos += ch_len;
+                    let ch = &self.src[start..self.pos];
+                    self.diags.push(Diagnostic::error(
+                        "E0001",
+                        format!("unexpected character `{ch}`"),
+                        Span::new(start, self.pos),
+                    ));
+                }
+            }
+        }
+        let eof = Span::new(self.src.len(), self.src.len());
+        self.tokens.push(Token::new(TokenKind::Eof, eof));
+        (self.tokens, self.diags)
+    }
+
+    fn punct(&mut self, kind: TokenKind) {
+        let span = Span::new(self.pos, self.pos + 1);
+        self.pos += 1;
+        self.tokens.push(Token::new(kind, span));
+    }
+
+    fn comment_or_error(&mut self, start: usize) {
+        match self.bytes.get(self.pos + 1) {
+            Some(b'/') => {
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            }
+            Some(b'*') => {
+                self.pos += 2;
+                loop {
+                    if self.pos + 1 >= self.bytes.len() {
+                        self.pos = self.bytes.len();
+                        self.diags.push(Diagnostic::error(
+                            "E0002",
+                            "unterminated block comment",
+                            Span::new(start, self.pos),
+                        ));
+                        break;
+                    }
+                    if self.bytes[self.pos] == b'*' && self.bytes[self.pos + 1] == b'/' {
+                        self.pos += 2;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+            }
+            _ => {
+                self.pos += 1;
+                self.diags.push(Diagnostic::error(
+                    "E0003",
+                    "stray `/` (expected `//` or `/*` comment)",
+                    Span::new(start, self.pos),
+                ));
+            }
+        }
+    }
+
+    fn string(&mut self, start: usize) {
+        self.pos += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None | Some(b'\n') => {
+                    self.diags.push(Diagnostic::error(
+                        "E0004",
+                        "unterminated string literal",
+                        Span::new(start, self.pos),
+                    ));
+                    break;
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    let esc_start = self.pos;
+                    self.pos += 1;
+                    // `\` is a single byte, so `pos` is on a char boundary.
+                    match self.src[self.pos..].chars().next() {
+                        Some(esc @ ('n' | 't' | '\\' | '"')) => {
+                            value.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                            self.pos += 1;
+                        }
+                        Some(other) => {
+                            self.pos += other.len_utf8();
+                            self.diags.push(Diagnostic::error(
+                                "E0005",
+                                format!("invalid escape sequence `{other}`"),
+                                Span::new(esc_start, self.pos),
+                            ));
+                        }
+                        None => {
+                            self.diags.push(Diagnostic::error(
+                                "E0005",
+                                "invalid escape sequence at end of input",
+                                Span::new(esc_start, self.pos),
+                            ));
+                        }
+                    }
+                }
+                Some(_) => {
+                    let ch = self.src[self.pos..].chars().next().expect("in-bounds char");
+                    value.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        self.tokens
+            .push(Token::new(TokenKind::Str(value), Span::new(start, self.pos)));
+    }
+
+    fn number(&mut self, start: usize) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start, self.pos);
+        match text.parse::<u64>() {
+            Ok(v) => self.tokens.push(Token::new(TokenKind::Int(v), span)),
+            Err(_) => {
+                self.diags.push(Diagnostic::error(
+                    "E0006",
+                    format!("integer literal `{text}` is too large"),
+                    span,
+                ));
+                self.tokens.push(Token::new(TokenKind::Int(u64::MAX), span));
+            }
+        }
+    }
+
+    fn word(&mut self, start: usize) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start, self.pos);
+        let kind = match Keyword::from_str(text) {
+            Some(kw) => TokenKind::Kw(kw),
+            None => TokenKind::Ident(text.to_owned()),
+        };
+        self.tokens.push(Token::new(kind, span));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let (tokens, diags) = lex(src);
+        assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+        tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_device_declaration() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("device Cooker { source consumption as Float; }"),
+            vec![
+                Kw(Keyword::Device),
+                Ident("Cooker".into()),
+                LBrace,
+                Kw(Keyword::Source),
+                Ident("consumption".into()),
+                Kw(Keyword::As),
+                Ident("Float".into()),
+                Semi,
+                RBrace,
+                Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_period_bracket_syntax() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("<10 min>"),
+            vec![Lt, Int(10), Ident("min".into()), Gt, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_array_and_params() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("Availability[] (status as String)"),
+            vec![
+                Ident("Availability".into()),
+                LBracket,
+                RBracket,
+                LParen,
+                Ident("status".into()),
+                Kw(Keyword::As),
+                Ident("String".into()),
+                RParen,
+                Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let toks = kinds("// header\ndevice /* inline */ X {}\n/* multi\nline */");
+        assert_eq!(toks.len(), 5); // device, X, {, }, EOF
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let toks = kinds(r#""hello \"world\"\n""#);
+        assert_eq!(toks[0], TokenKind::Str("hello \"world\"\n".into()));
+    }
+
+    #[test]
+    fn annotations_lex_as_at_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("@error(policy = \"retry\", attempts = 3)"),
+            vec![
+                At,
+                Ident("error".into()),
+                LParen,
+                Ident("policy".into()),
+                Eq,
+                Str("retry".into()),
+                Comma,
+                Ident("attempts".into()),
+                Eq,
+                Int(3),
+                RParen,
+                Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_unexpected_character_and_continues() {
+        let (tokens, diags) = lex("device # X");
+        assert_eq!(diags.error_count(), 1);
+        assert_eq!(diags.iter().next().unwrap().code, "E0001");
+        // Lexing continued past the bad byte.
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident("X".into())));
+    }
+
+    #[test]
+    fn reports_unexpected_multibyte_character_without_splitting() {
+        let (tokens, diags) = lex("dev\u{00e9}ice");
+        assert_eq!(diags.error_count(), 1);
+        assert!(tokens.iter().any(|t| matches!(t.kind, TokenKind::Ident(_))));
+    }
+
+    #[test]
+    fn reports_unterminated_string() {
+        let (_, diags) = lex("\"abc");
+        assert_eq!(diags.iter().next().unwrap().code, "E0004");
+    }
+
+    #[test]
+    fn reports_unterminated_block_comment() {
+        let (_, diags) = lex("/* never ends");
+        assert_eq!(diags.iter().next().unwrap().code, "E0002");
+    }
+
+    #[test]
+    fn reports_stray_slash() {
+        let (_, diags) = lex("a / b");
+        assert_eq!(diags.iter().next().unwrap().code, "E0003");
+    }
+
+    #[test]
+    fn reports_invalid_escape() {
+        let (_, diags) = lex(r#""bad \q escape""#);
+        assert_eq!(diags.iter().next().unwrap().code, "E0005");
+    }
+
+    #[test]
+    fn reports_huge_integer() {
+        let (_, diags) = lex("99999999999999999999999999");
+        assert_eq!(diags.iter().next().unwrap().code, "E0006");
+    }
+
+    #[test]
+    fn empty_input_yields_only_eof() {
+        let (tokens, diags) = lex("");
+        assert!(diags.is_empty());
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].kind, TokenKind::Eof);
+    }
+
+    #[test]
+    fn spans_cover_exact_source_ranges() {
+        let (tokens, _) = lex("device Clock");
+        assert_eq!(tokens[0].span, Span::new(0, 6));
+        assert_eq!(tokens[1].span, Span::new(7, 12));
+    }
+
+    #[test]
+    fn keywords_are_case_sensitive() {
+        let (tokens, _) = lex("Device DEVICE device");
+        assert!(matches!(tokens[0].kind, TokenKind::Ident(_)));
+        assert!(matches!(tokens[1].kind, TokenKind::Ident(_)));
+        assert_eq!(tokens[2].kind, TokenKind::Kw(Keyword::Device));
+    }
+}

@@ -1,0 +1,268 @@
+//! Pretty-printer: renders an AST back to canonical DiaSpec source.
+//!
+//! The printer produces text that re-parses to an equal AST (modulo spans),
+//! which the test suite uses as a round-trip invariant:
+//! `parse(pretty(parse(s))) == parse(s)` for every valid `s`.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a full specification as canonical DiaSpec source text.
+///
+/// # Examples
+///
+/// ```
+/// use diaspec_core::{parser::parse, pretty::pretty};
+///
+/// let src = "device Cooker { source consumption as Float; action Off; }";
+/// let (spec, diags) = parse(src);
+/// assert!(!diags.has_errors());
+/// let printed = pretty(&spec);
+/// assert!(printed.contains("source consumption as Float;"));
+/// // Round trip: printing and re-parsing yields the same declarations.
+/// let (reparsed, rediags) = parse(&printed);
+/// assert!(!rediags.has_errors());
+/// assert_eq!(spec.devices().count(), reparsed.devices().count());
+/// ```
+#[must_use]
+pub fn pretty(spec: &Spec) -> String {
+    let mut out = String::new();
+    for (i, item) in spec.items.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        match item {
+            Item::Device(d) => device(&mut out, d),
+            Item::Context(c) => context(&mut out, c),
+            Item::Controller(c) => controller(&mut out, c),
+            Item::Structure(s) => structure(&mut out, s),
+            Item::Enumeration(e) => enumeration(&mut out, e),
+        }
+    }
+    out
+}
+
+fn annotations(out: &mut String, anns: &[Annotation]) {
+    for ann in anns {
+        let _ = write!(out, "@{}", ann.name);
+        if !ann.args.is_empty() {
+            out.push('(');
+            for (i, (k, v)) in ann.args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{k} = {v}");
+            }
+            out.push(')');
+        }
+        out.push('\n');
+    }
+}
+
+fn device(out: &mut String, d: &DeviceDecl) {
+    annotations(out, &d.annotations);
+    let _ = write!(out, "device {}", d.name);
+    if let Some(parent) = &d.extends {
+        let _ = write!(out, " extends {parent}");
+    }
+    out.push_str(" {\n");
+    for a in &d.attributes {
+        let _ = writeln!(out, "  attribute {} as {};", a.name, a.ty);
+    }
+    for s in &d.sources {
+        let _ = write!(out, "  source {} as {}", s.name, s.ty);
+        if let Some((idx, ty)) = &s.index {
+            let _ = write!(out, " indexed by {idx} as {ty}");
+        }
+        out.push_str(";\n");
+    }
+    for a in &d.actions {
+        let _ = write!(out, "  action {}", a.name);
+        if !a.params.is_empty() {
+            out.push('(');
+            for (i, p) in a.params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{} as {}", p.name, p.ty);
+            }
+            out.push(')');
+        }
+        out.push_str(";\n");
+    }
+    out.push_str("}\n");
+}
+
+fn grouping(out: &mut String, g: &Grouping) {
+    let _ = write!(out, "\n    grouped by {}", g.attribute);
+    if let Some(w) = &g.window {
+        let _ = write!(out, " every {w}");
+    }
+    if let Some(mr) = &g.map_reduce {
+        let _ = write!(out, "\n    with map as {} reduce as {}", mr.map_ty, mr.reduce_ty);
+    }
+}
+
+fn gets(out: &mut String, refs: &[DataRef]) {
+    for g in refs {
+        let _ = write!(out, "\n    get {g}");
+    }
+}
+
+fn context(out: &mut String, c: &ContextDecl) {
+    annotations(out, &c.annotations);
+    let _ = writeln!(out, "context {} as {} {{", c.name, c.output);
+    for interaction in &c.interactions {
+        match interaction {
+            Interaction::Provided {
+                trigger,
+                gets: g,
+                grouping: grp,
+                publish,
+                ..
+            } => {
+                let _ = write!(out, "  when provided {trigger}");
+                gets(out, g);
+                if let Some(grp) = grp {
+                    grouping(out, grp);
+                }
+                let _ = writeln!(out, "\n    {publish};");
+            }
+            Interaction::Periodic {
+                source,
+                device,
+                period,
+                gets: g,
+                grouping: grp,
+                publish,
+                ..
+            } => {
+                let _ = write!(out, "  when periodic {source} from {device} {period}");
+                gets(out, g);
+                if let Some(grp) = grp {
+                    grouping(out, grp);
+                }
+                let _ = writeln!(out, "\n    {publish};");
+            }
+            Interaction::Required { .. } => {
+                out.push_str("  when required;\n");
+            }
+        }
+    }
+    out.push_str("}\n");
+}
+
+fn controller(out: &mut String, c: &ControllerDecl) {
+    annotations(out, &c.annotations);
+    let _ = writeln!(out, "controller {} {{", c.name);
+    for interaction in &c.interactions {
+        let _ = write!(out, "  when provided {}", interaction.context);
+        for action in &interaction.actions {
+            let _ = write!(out, "\n    do {} on {}", action.action, action.device);
+        }
+        out.push_str(";\n");
+    }
+    out.push_str("}\n");
+}
+
+fn structure(out: &mut String, s: &StructDecl) {
+    let _ = writeln!(out, "structure {} {{", s.name);
+    for f in &s.fields {
+        let _ = writeln!(out, "  {} as {};", f.name, f.ty);
+    }
+    out.push_str("}\n");
+}
+
+fn enumeration(out: &mut String, e: &EnumDecl) {
+    let _ = write!(out, "enumeration {} {{ ", e.name);
+    for (i, v) in e.variants.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push_str(" }\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strips spans by re-rendering: two ASTs are "equal" if they print the
+    /// same canonical text.
+    fn canon(src: &str) -> String {
+        let (spec, diags) = parse(src);
+        assert!(!diags.has_errors(), "{diags:?}");
+        pretty(&spec)
+    }
+
+    #[test]
+    fn round_trip_is_idempotent() {
+        let src = r#"
+            @qos(latencyMs = 50)
+            device PresenceSensor {
+              attribute parkingLot as ParkingLotEnum;
+              source presence as Boolean;
+            }
+            device Prompter {
+              source answer as String indexed by questionId as String;
+              action askQuestion(question as String, timeout as Integer);
+            }
+            context ParkingAvailability as Availability[] {
+              when periodic presence from PresenceSensor <10 min>
+                grouped by parkingLot every <24 hr>
+                with map as Boolean reduce as Integer
+                always publish;
+              when required;
+            }
+            context Derived as Integer {
+              when provided ParkingAvailability
+                get answer from Prompter
+                maybe publish;
+            }
+            controller C {
+              when provided Derived
+                do askQuestion on Prompter;
+            }
+            structure Availability { parkingLot as ParkingLotEnum; count as Integer; }
+            enumeration ParkingLotEnum { A22, B16 }
+        "#;
+        let once = canon(src);
+        let twice = canon(&once);
+        assert_eq!(once, twice, "pretty-printing must be a fixpoint");
+    }
+
+    #[test]
+    fn printed_text_reparses_equivalently() {
+        let src = "device D { source s as Integer; action a(x as Float); }";
+        let printed = canon(src);
+        let (spec1, _) = parse(src);
+        let (spec2, diags) = parse(&printed);
+        assert!(!diags.has_errors());
+        assert_eq!(spec1.devices().count(), spec2.devices().count());
+        let d1 = spec1.devices().next().unwrap();
+        let d2 = spec2.devices().next().unwrap();
+        assert_eq!(d1.sources.len(), d2.sources.len());
+        assert_eq!(d1.actions[0].params.len(), d2.actions[0].params.len());
+    }
+
+    #[test]
+    fn empty_spec_prints_empty() {
+        assert_eq!(canon(""), "");
+    }
+
+    #[test]
+    fn publish_modes_render() {
+        let printed = canon(
+            r#"
+            context A as Integer { when provided x from D always publish; }
+            context B as Integer { when provided x from D maybe publish; }
+            context C as Integer { when provided x from D no publish; }
+            "#,
+        );
+        assert!(printed.contains("always publish;"));
+        assert!(printed.contains("maybe publish;"));
+        assert!(printed.contains("no publish;"));
+    }
+}

@@ -1,0 +1,594 @@
+//! Requirements extraction and infrastructure matching — the paper's §VI
+//! research question, implemented:
+//!
+//! > *"Can design declarations be used to match the requirements of an
+//! > application with the resources of an infrastructure? The application
+//! > requirements could be extracted (or estimated) from the design
+//! > declarations; they could include devices, network bandwidth, and
+//! > processing capability."*
+//!
+//! [`estimate`] derives an [`AppRequirements`] from a checked design:
+//! which device families the application binds to (and how — sensing,
+//! polling, actuation), the message rate its periodic contracts imply per
+//! bound entity, and the processing its `grouped by`/MapReduce clauses
+//! demand. [`match_infrastructure`] then checks those requirements
+//! against a concrete [`Infrastructure`] description and reports, per
+//! finding, what is satisfied, tight, or missing.
+
+use crate::model::{ActivationTrigger, CheckedSpec, InputRef};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How an application uses a device family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceUsage {
+    /// Some context subscribes to a source event-driven.
+    pub event_sources: bool,
+    /// Some context polls a source periodically.
+    pub polled_sources: bool,
+    /// Some context reads a source query-driven (`get`).
+    pub queried_sources: bool,
+    /// Some controller performs actions on it.
+    pub actuated: bool,
+}
+
+impl DeviceUsage {
+    fn none() -> Self {
+        DeviceUsage {
+            event_sources: false,
+            polled_sources: false,
+            queried_sources: false,
+            actuated: false,
+        }
+    }
+}
+
+/// One device family the application must be able to bind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceRequirement {
+    /// The declared device type (entities of any subtype qualify).
+    pub device_type: String,
+    /// How the application uses the family.
+    pub usage: DeviceUsage,
+    /// Messages per hour each bound entity of this family contributes
+    /// through *periodic* contracts (the statically known part of the
+    /// bandwidth demand).
+    pub periodic_msgs_per_entity_hour: f64,
+}
+
+/// One data-processing obligation derived from a context declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessingRequirement {
+    /// The declaring context.
+    pub context: String,
+    /// The polled device family (readings scale with its entity count).
+    pub device_type: String,
+    /// Delivery period in milliseconds.
+    pub period_ms: u64,
+    /// Aggregation window in milliseconds, when declared.
+    pub window_ms: Option<u64>,
+    /// Whether the design declares MapReduce phases (i.e. the developer
+    /// expects data volumes that need parallel processing).
+    pub map_reduce: bool,
+}
+
+/// Requirements extracted from a design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRequirements {
+    /// Required device families, keyed by declared type.
+    pub devices: BTreeMap<String, DeviceRequirement>,
+    /// Processing obligations of periodic contexts.
+    pub processing: Vec<ProcessingRequirement>,
+    /// Whether any source is consumed event-driven (bandwidth for these
+    /// depends on environment activity and cannot be bounded statically).
+    pub has_event_driven_load: bool,
+}
+
+impl AppRequirements {
+    /// Statically estimable network demand, in messages per hour, for a
+    /// given assignment of entity counts per device family.
+    ///
+    /// Families absent from `entity_counts` contribute nothing; event-
+    /// driven load is excluded (see
+    /// [`has_event_driven_load`](Self::has_event_driven_load)).
+    #[must_use]
+    pub fn periodic_msgs_per_hour(&self, entity_counts: &BTreeMap<String, u32>) -> f64 {
+        self.devices
+            .values()
+            .map(|req| {
+                let entities = entity_counts.get(&req.device_type).copied().unwrap_or(0);
+                req.periodic_msgs_per_entity_hour * f64::from(entities)
+            })
+            .sum()
+    }
+}
+
+/// A concrete infrastructure offer: what is deployed and what the
+/// network/compute substrate provides.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Infrastructure {
+    /// Bound entities per *exact* device type.
+    pub entities: BTreeMap<String, u32>,
+    /// Network capacity in messages per hour, if limited (e.g. LoRa duty
+    /// cycles); `None` = unconstrained.
+    pub msgs_per_hour_capacity: Option<f64>,
+    /// Worker threads available for declared MapReduce processing.
+    pub parallel_workers: u32,
+}
+
+impl Infrastructure {
+    /// Entities available for `device_type`, counting subtypes per the
+    /// design's `extends` hierarchy.
+    #[must_use]
+    pub fn family_count(&self, spec: &CheckedSpec, device_type: &str) -> u32 {
+        self.entities
+            .iter()
+            .filter(|(ty, _)| spec.device_is_subtype(ty, device_type))
+            .map(|(_, n)| *n)
+            .sum()
+    }
+}
+
+/// Severity of a matching finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MatchSeverity {
+    /// Requirement satisfied with headroom.
+    Ok,
+    /// Satisfied, but worth attention (e.g. > 80 % of network capacity,
+    /// or MapReduce declared with a single worker).
+    Tight,
+    /// Not satisfiable on this infrastructure.
+    Missing,
+}
+
+impl fmt::Display for MatchSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MatchSeverity::Ok => "ok",
+            MatchSeverity::Tight => "tight",
+            MatchSeverity::Missing => "missing",
+        })
+    }
+}
+
+/// One finding of the requirement/infrastructure match.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchFinding {
+    /// How serious it is.
+    pub severity: MatchSeverity,
+    /// What the finding concerns (a device type, "network", "processing").
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The result of matching a design against an infrastructure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchReport {
+    /// Every finding, most severe first.
+    pub findings: Vec<MatchFinding>,
+    /// Estimated statically-known network demand (messages/hour).
+    pub estimated_msgs_per_hour: f64,
+}
+
+impl MatchReport {
+    /// Whether the application can run: no [`MatchSeverity::Missing`]
+    /// finding.
+    #[must_use]
+    pub fn deployable(&self) -> bool {
+        self.findings
+            .iter()
+            .all(|f| f.severity != MatchSeverity::Missing)
+    }
+}
+
+impl fmt::Display for MatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({} finding(s), ~{:.0} periodic msgs/hour)",
+            if self.deployable() {
+                "DEPLOYABLE"
+            } else {
+                "NOT DEPLOYABLE"
+            },
+            self.findings.len(),
+            self.estimated_msgs_per_hour
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  [{}] {}: {}", finding.severity, finding.subject, finding.message)?;
+        }
+        Ok(())
+    }
+}
+
+/// Extracts the application requirements from a checked design (§VI).
+#[must_use]
+pub fn estimate(spec: &CheckedSpec) -> AppRequirements {
+    let mut devices: BTreeMap<String, DeviceRequirement> = BTreeMap::new();
+    let mut processing = Vec::new();
+    let mut has_event_driven_load = false;
+
+    fn require<'m>(
+        devices: &'m mut BTreeMap<String, DeviceRequirement>,
+        device_type: &str,
+    ) -> &'m mut DeviceRequirement {
+        devices
+            .entry(device_type.to_owned())
+            .or_insert_with(|| DeviceRequirement {
+                device_type: device_type.to_owned(),
+                usage: DeviceUsage::none(),
+                periodic_msgs_per_entity_hour: 0.0,
+            })
+    }
+
+    for ctx in spec.contexts() {
+        for activation in &ctx.activations {
+            match &activation.trigger {
+                ActivationTrigger::DeviceSource { device, .. } => {
+                    require(&mut devices, device).usage.event_sources = true;
+                    has_event_driven_load = true;
+                }
+                ActivationTrigger::Periodic {
+                    device, period_ms, ..
+                } => {
+                    let req = require(&mut devices, device);
+                    req.usage.polled_sources = true;
+                    if *period_ms > 0 {
+                        req.periodic_msgs_per_entity_hour += 3_600_000.0 / *period_ms as f64;
+                    }
+                    processing.push(ProcessingRequirement {
+                        context: ctx.name.clone(),
+                        device_type: device.clone(),
+                        period_ms: *period_ms,
+                        window_ms: activation.grouping.as_ref().and_then(|g| g.window_ms),
+                        map_reduce: activation
+                            .grouping
+                            .as_ref()
+                            .is_some_and(|g| g.map_reduce.is_some()),
+                    });
+                }
+                ActivationTrigger::Context(_) | ActivationTrigger::OnDemand => {}
+            }
+            for get in &activation.gets {
+                if let InputRef::DeviceSource { device, .. } = get {
+                    require(&mut devices, device).usage.queried_sources = true;
+                }
+            }
+        }
+    }
+    for ctrl in spec.controllers() {
+        for binding in &ctrl.bindings {
+            for (_, device) in &binding.actions {
+                require(&mut devices, device).usage.actuated = true;
+            }
+        }
+    }
+
+    AppRequirements {
+        devices,
+        processing,
+        has_event_driven_load,
+    }
+}
+
+/// Matches extracted requirements against an infrastructure description,
+/// producing per-subject findings (§VI).
+#[must_use]
+pub fn match_infrastructure(
+    spec: &CheckedSpec,
+    requirements: &AppRequirements,
+    infrastructure: &Infrastructure,
+) -> MatchReport {
+    let mut findings = Vec::new();
+
+    // Devices: every required family needs at least one bound entity.
+    let mut entity_counts: BTreeMap<String, u32> = BTreeMap::new();
+    for req in requirements.devices.values() {
+        let available = infrastructure.family_count(spec, &req.device_type);
+        entity_counts.insert(req.device_type.clone(), available);
+        if available == 0 {
+            findings.push(MatchFinding {
+                severity: MatchSeverity::Missing,
+                subject: req.device_type.clone(),
+                message: format!(
+                    "no entity of family `{}` is deployed, but the design {}",
+                    req.device_type,
+                    describe_usage(req.usage)
+                ),
+            });
+        } else {
+            findings.push(MatchFinding {
+                severity: MatchSeverity::Ok,
+                subject: req.device_type.clone(),
+                message: format!(
+                    "{available} entit{} available ({})",
+                    if available == 1 { "y" } else { "ies" },
+                    describe_usage(req.usage)
+                ),
+            });
+        }
+    }
+
+    // Network: statically known periodic demand vs. capacity.
+    let demand = requirements.periodic_msgs_per_hour(&entity_counts);
+    match infrastructure.msgs_per_hour_capacity {
+        Some(capacity) if demand > capacity => findings.push(MatchFinding {
+            severity: MatchSeverity::Missing,
+            subject: "network".to_owned(),
+            message: format!(
+                "periodic contracts need ~{demand:.0} msgs/hour but the network \
+                 provides {capacity:.0}"
+            ),
+        }),
+        Some(capacity) if demand > 0.8 * capacity => findings.push(MatchFinding {
+            severity: MatchSeverity::Tight,
+            subject: "network".to_owned(),
+            message: format!(
+                "periodic demand (~{demand:.0} msgs/hour) uses more than 80% of the \
+                 network capacity ({capacity:.0})"
+            ),
+        }),
+        Some(capacity) => findings.push(MatchFinding {
+            severity: MatchSeverity::Ok,
+            subject: "network".to_owned(),
+            message: format!(
+                "periodic demand ~{demand:.0} msgs/hour within capacity {capacity:.0}"
+            ),
+        }),
+        None => {}
+    }
+    if requirements.has_event_driven_load && infrastructure.msgs_per_hour_capacity.is_some() {
+        findings.push(MatchFinding {
+            severity: MatchSeverity::Tight,
+            subject: "network".to_owned(),
+            message: "event-driven subscriptions add activity-dependent traffic on top \
+                      of the periodic estimate"
+                .to_owned(),
+        });
+    }
+
+    // Processing: declared MapReduce wants workers.
+    for proc in &requirements.processing {
+        if proc.map_reduce && infrastructure.parallel_workers <= 1 {
+            findings.push(MatchFinding {
+                severity: MatchSeverity::Tight,
+                subject: "processing".to_owned(),
+                message: format!(
+                    "context `{}` declares MapReduce phases, but only {} worker(s) are \
+                     available; processing falls back to serial",
+                    proc.context, infrastructure.parallel_workers
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.subject.cmp(&b.subject)));
+    MatchReport {
+        findings,
+        estimated_msgs_per_hour: demand,
+    }
+}
+
+fn describe_usage(usage: DeviceUsage) -> String {
+    let mut parts = Vec::new();
+    if usage.event_sources {
+        parts.push("subscribes to its events");
+    }
+    if usage.polled_sources {
+        parts.push("polls it periodically");
+    }
+    if usage.queried_sources {
+        parts.push("queries it on demand");
+    }
+    if usage.actuated {
+        parts.push("actuates it");
+    }
+    if parts.is_empty() {
+        "declares it".to_owned()
+    } else {
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_str;
+
+    const PARKING: &str = r#"
+        device PresenceSensor {
+          attribute parkingLot as String;
+          source presence as Boolean;
+        }
+        device DisplayPanel { action update(status as String); }
+        device ParkingEntrancePanel extends DisplayPanel {
+          attribute location as String;
+        }
+        context ParkingAvailability as Integer[] {
+          when periodic presence from PresenceSensor <10 min>
+            grouped by parkingLot
+            with map as Boolean reduce as Integer
+            always publish;
+        }
+        context Spike as Boolean {
+          when provided presence from PresenceSensor maybe publish;
+        }
+        controller PanelCtl {
+          when provided ParkingAvailability do update on ParkingEntrancePanel;
+        }
+        controller SpikeCtl {
+          when provided Spike do update on ParkingEntrancePanel;
+        }
+    "#;
+
+    fn parking_requirements() -> (CheckedSpec, AppRequirements) {
+        let spec = compile_str(PARKING).unwrap();
+        let req = estimate(&spec);
+        (spec, req)
+    }
+
+    #[test]
+    fn extraction_finds_families_usage_and_rates() {
+        let (_, req) = parking_requirements();
+        assert_eq!(req.devices.len(), 2);
+        let sensor = &req.devices["PresenceSensor"];
+        assert!(sensor.usage.polled_sources);
+        assert!(sensor.usage.event_sources);
+        assert!(!sensor.usage.actuated);
+        // One 10-minute periodic contract = 6 msgs/hour per entity.
+        assert!((sensor.periodic_msgs_per_entity_hour - 6.0).abs() < 1e-9);
+        let panel = &req.devices["ParkingEntrancePanel"];
+        assert!(panel.usage.actuated);
+        assert!(!panel.usage.polled_sources);
+        assert_eq!(panel.periodic_msgs_per_entity_hour, 0.0);
+        assert!(req.has_event_driven_load);
+        assert_eq!(req.processing.len(), 1);
+        assert!(req.processing[0].map_reduce);
+    }
+
+    #[test]
+    fn complete_infrastructure_is_deployable() {
+        let (spec, req) = parking_requirements();
+        let infra = Infrastructure {
+            entities: [
+                ("PresenceSensor".to_owned(), 800),
+                ("ParkingEntrancePanel".to_owned(), 8),
+            ]
+            .into_iter()
+            .collect(),
+            msgs_per_hour_capacity: None,
+            parallel_workers: 8,
+        };
+        let report = match_infrastructure(&spec, &req, &infra);
+        assert!(report.deployable(), "{report}");
+        // 800 sensors x 6 msgs/hour.
+        assert!((report.estimated_msgs_per_hour - 4800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_device_family_blocks_deployment() {
+        let (spec, req) = parking_requirements();
+        let infra = Infrastructure {
+            entities: [("PresenceSensor".to_owned(), 100)].into_iter().collect(),
+            msgs_per_hour_capacity: None,
+            parallel_workers: 4,
+        };
+        let report = match_infrastructure(&spec, &req, &infra);
+        assert!(!report.deployable(), "{report}");
+        let missing: Vec<&MatchFinding> = report
+            .findings
+            .iter()
+            .filter(|f| f.severity == MatchSeverity::Missing)
+            .collect();
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].subject, "ParkingEntrancePanel");
+        // Most severe first.
+        assert_eq!(report.findings[0].severity, MatchSeverity::Missing);
+    }
+
+    #[test]
+    fn subtypes_satisfy_family_requirements() {
+        let (spec, req) = parking_requirements();
+        // A hypothetical subtype of ParkingEntrancePanel would count; here
+        // we verify the family arithmetic through the base/derived pair.
+        let infra = Infrastructure {
+            entities: [
+                ("PresenceSensor".to_owned(), 10),
+                // Counting against the DisplayPanel base: the requirement is
+                // on ParkingEntrancePanel, and DisplayPanel is its *parent*,
+                // so plain DisplayPanels must NOT satisfy it.
+                ("DisplayPanel".to_owned(), 5),
+            ]
+            .into_iter()
+            .collect(),
+            msgs_per_hour_capacity: None,
+            parallel_workers: 1,
+        };
+        let report = match_infrastructure(&spec, &req, &infra);
+        assert!(
+            !report.deployable(),
+            "a parent-type entity must not satisfy a subtype requirement: {report}"
+        );
+    }
+
+    #[test]
+    fn network_capacity_thresholds() {
+        let (spec, req) = parking_requirements();
+        let infra = |capacity: f64| Infrastructure {
+            entities: [
+                ("PresenceSensor".to_owned(), 1000), // 6000 msgs/hour
+                ("ParkingEntrancePanel".to_owned(), 8),
+            ]
+            .into_iter()
+            .collect(),
+            msgs_per_hour_capacity: Some(capacity),
+            parallel_workers: 4,
+        };
+        // Insufficient capacity.
+        let report = match_infrastructure(&spec, &req, &infra(5_000.0));
+        assert!(!report.deployable(), "{report}");
+        // Tight (between 80% and 100%).
+        let report = match_infrastructure(&spec, &req, &infra(7_000.0));
+        assert!(report.deployable());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.subject == "network" && f.severity == MatchSeverity::Tight));
+        // Comfortable.
+        let report = match_infrastructure(&spec, &req, &infra(100_000.0));
+        assert!(report.deployable());
+        // The event-driven caveat still flags as Tight.
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("event-driven")));
+    }
+
+    #[test]
+    fn mapreduce_with_single_worker_is_flagged() {
+        let (spec, req) = parking_requirements();
+        let infra = Infrastructure {
+            entities: [
+                ("PresenceSensor".to_owned(), 10),
+                ("ParkingEntrancePanel".to_owned(), 2),
+            ]
+            .into_iter()
+            .collect(),
+            msgs_per_hour_capacity: None,
+            parallel_workers: 1,
+        };
+        let report = match_infrastructure(&spec, &req, &infra);
+        assert!(report.deployable(), "tight, not missing: {report}");
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.subject == "processing" && f.severity == MatchSeverity::Tight));
+    }
+
+    #[test]
+    fn report_displays_verdict_and_findings() {
+        let (spec, req) = parking_requirements();
+        let report = match_infrastructure(
+            &spec,
+            &req,
+            &Infrastructure {
+                entities: BTreeMap::new(),
+                msgs_per_hour_capacity: None,
+                parallel_workers: 1,
+            },
+        );
+        let text = report.to_string();
+        assert!(text.contains("NOT DEPLOYABLE"), "{text}");
+        assert!(text.contains("[missing] ParkingEntrancePanel"), "{text}");
+    }
+
+    #[test]
+    fn requirements_serialize() {
+        let (_, req) = parking_requirements();
+        let json = serde_json::to_string(&req).unwrap();
+        let back: AppRequirements = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+    }
+}

@@ -1,0 +1,278 @@
+//! Token definitions for the DiaSpec design language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token together with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is, including any literal payload.
+    pub kind: TokenKind,
+    /// Where the token appears in the source text.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token of `kind` covering `span`.
+    #[must_use]
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+/// The set of keywords recognized by the DiaSpec grammar.
+///
+/// Keywords are reserved: they cannot be used as identifiers for devices,
+/// contexts, sources, or any other named declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // Each variant names the keyword it represents.
+pub enum Keyword {
+    Device,
+    Context,
+    Controller,
+    Structure,
+    Enumeration,
+    Attribute,
+    Source,
+    Action,
+    Extends,
+    As,
+    Indexed,
+    By,
+    When,
+    Provided,
+    Periodic,
+    Required,
+    Get,
+    From,
+    Grouped,
+    Every,
+    With,
+    Map,
+    Reduce,
+    Always,
+    Maybe,
+    No,
+    Publish,
+    Do,
+    On,
+}
+
+impl Keyword {
+    /// Looks up a keyword from its source spelling.
+    #[must_use]
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "device" => Device,
+            "context" => Context,
+            "controller" => Controller,
+            "structure" => Structure,
+            "enumeration" => Enumeration,
+            "attribute" => Attribute,
+            "source" => Source,
+            "action" => Action,
+            "extends" => Extends,
+            "as" => As,
+            "indexed" => Indexed,
+            "by" => By,
+            "when" => When,
+            "provided" => Provided,
+            "periodic" => Periodic,
+            "required" => Required,
+            "get" => Get,
+            "from" => From,
+            "grouped" => Grouped,
+            "every" => Every,
+            "with" => With,
+            "map" => Map,
+            "reduce" => Reduce,
+            "always" => Always,
+            "maybe" => Maybe,
+            "no" => No,
+            "publish" => Publish,
+            "do" => Do,
+            "on" => On,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source spelling of this keyword.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Device => "device",
+            Context => "context",
+            Controller => "controller",
+            Structure => "structure",
+            Enumeration => "enumeration",
+            Attribute => "attribute",
+            Source => "source",
+            Action => "action",
+            Extends => "extends",
+            As => "as",
+            Indexed => "indexed",
+            By => "by",
+            When => "when",
+            Provided => "provided",
+            Periodic => "periodic",
+            Required => "required",
+            Get => "get",
+            From => "from",
+            Grouped => "grouped",
+            Every => "every",
+            With => "with",
+            Map => "map",
+            Reduce => "reduce",
+            Always => "always",
+            Maybe => "maybe",
+            No => "no",
+            Publish => "publish",
+            Do => "do",
+            On => "on",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The kind of a lexical token, including literal payloads where relevant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A reserved keyword such as `device` or `publish`.
+    Kw(Keyword),
+    /// An identifier such as `ParkingAvailability`.
+    Ident(String),
+    /// An unsigned integer literal such as `10`.
+    Int(u64),
+    /// A double-quoted string literal, with escapes resolved.
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `@` — introduces an annotation.
+    At,
+    /// `=` — used inside annotation argument lists.
+    Eq,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in parse diagnostics.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Kw(kw) => format!("keyword `{kw}`"),
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::LBrace => "`{`".to_owned(),
+            TokenKind::RBrace => "`}`".to_owned(),
+            TokenKind::LParen => "`(`".to_owned(),
+            TokenKind::RParen => "`)`".to_owned(),
+            TokenKind::LBracket => "`[`".to_owned(),
+            TokenKind::RBracket => "`]`".to_owned(),
+            TokenKind::Lt => "`<`".to_owned(),
+            TokenKind::Gt => "`>`".to_owned(),
+            TokenKind::Semi => "`;`".to_owned(),
+            TokenKind::Comma => "`,`".to_owned(),
+            TokenKind::At => "`@`".to_owned(),
+            TokenKind::Eq => "`=`".to_owned(),
+            TokenKind::Eof => "end of input".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Device,
+            Keyword::Context,
+            Keyword::Controller,
+            Keyword::Structure,
+            Keyword::Enumeration,
+            Keyword::Attribute,
+            Keyword::Source,
+            Keyword::Action,
+            Keyword::Extends,
+            Keyword::As,
+            Keyword::Indexed,
+            Keyword::By,
+            Keyword::When,
+            Keyword::Provided,
+            Keyword::Periodic,
+            Keyword::Required,
+            Keyword::Get,
+            Keyword::From,
+            Keyword::Grouped,
+            Keyword::Every,
+            Keyword::With,
+            Keyword::Map,
+            Keyword::Reduce,
+            Keyword::Always,
+            Keyword::Maybe,
+            Keyword::No,
+            Keyword::Publish,
+            Keyword::Do,
+            Keyword::On,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn non_keywords_are_not_keywords() {
+        assert_eq!(Keyword::from_str("Device"), None, "keywords are case-sensitive");
+        assert_eq!(Keyword::from_str("devices"), None);
+        assert_eq!(Keyword::from_str(""), None);
+    }
+
+    #[test]
+    fn token_kind_descriptions_are_nonempty() {
+        for kind in [
+            TokenKind::Kw(Keyword::Device),
+            TokenKind::Ident("x".into()),
+            TokenKind::Int(3),
+            TokenKind::Str("s".into()),
+            TokenKind::LBrace,
+            TokenKind::RBrace,
+            TokenKind::Eof,
+        ] {
+            assert!(!kind.describe().is_empty());
+            assert_eq!(kind.describe(), kind.to_string());
+        }
+    }
+}

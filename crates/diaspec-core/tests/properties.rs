@@ -1,0 +1,264 @@
+//! Property-based tests for the DiaSpec front-end.
+//!
+//! Invariants exercised:
+//! 1. The lexer and parser are total: no input panics them.
+//! 2. Pretty-printing is a fixpoint: `pretty(parse(pretty(parse(s)))) ==
+//!    pretty(parse(s))` for generated valid specs.
+//! 3. Generated well-formed specs always check without errors, and
+//!    checking is deterministic.
+//! 4. `SourceMap::line_col` is monotonic in the byte offset.
+
+use diaspec_core::check::check;
+use diaspec_core::parser::parse;
+use diaspec_core::pretty::pretty;
+use diaspec_core::span::SourceMap;
+use proptest::prelude::*;
+
+// ---------- generators -------------------------------------------------------
+
+/// A lowercase identifier that is never a DSL keyword (keywords are all
+/// lowercase ASCII, so prefixing with `v_` is sufficient).
+fn lower_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}".prop_map(|s| format!("v_{s}"))
+}
+
+fn builtin_type() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("Integer"),
+        Just("Float"),
+        Just("Boolean"),
+        Just("String"),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct GenDevice {
+    name: String,
+    attrs: Vec<(String, &'static str)>,
+    sources: Vec<(String, &'static str)>,
+    actions: Vec<String>,
+}
+
+fn gen_device(index: usize) -> impl Strategy<Value = GenDevice> {
+    let attrs = proptest::collection::vec((lower_ident(), builtin_type()), 0..3);
+    let sources = proptest::collection::vec((lower_ident(), builtin_type()), 1..4);
+    let actions = proptest::collection::vec(lower_ident(), 0..3);
+    (attrs, sources, actions).prop_map(move |(mut attrs, mut sources, mut actions)| {
+        dedup_by_name(&mut attrs);
+        dedup_by_name(&mut sources);
+        actions.sort();
+        actions.dedup();
+        // Attribute names must not collide with source names? They live in
+        // separate namespaces, so no constraint needed.
+        GenDevice {
+            name: format!("Dev{index}"),
+            attrs,
+            sources,
+            actions,
+        }
+    })
+}
+
+fn dedup_by_name<T>(items: &mut Vec<(String, T)>) {
+    let mut seen = std::collections::BTreeSet::new();
+    items.retain(|(name, _)| seen.insert(name.clone()));
+}
+
+#[derive(Debug, Clone)]
+struct GenSpec {
+    devices: Vec<GenDevice>,
+    /// (context index, device index, source index, periodic?, grouped attr index)
+    contexts: Vec<(usize, usize, bool, Option<usize>)>,
+    /// (controller context index, device index, action index)
+    controllers: Vec<(usize, usize, usize)>,
+}
+
+fn gen_spec() -> impl Strategy<Value = GenSpec> {
+    proptest::collection::vec(any::<u8>(), 1..5)
+        .prop_flat_map(|seeds| {
+            let n = seeds.len();
+            let devices: Vec<_> = (0..n).map(gen_device).collect();
+            let contexts = proptest::collection::vec(
+                (0..n, any::<usize>(), any::<bool>(), proptest::option::of(any::<usize>())),
+                1..5,
+            );
+            let controllers = proptest::collection::vec(
+                (any::<usize>(), 0..n, any::<usize>()),
+                0..4,
+            );
+            (devices, contexts, controllers)
+        })
+        .prop_map(|(devices, contexts, controllers)| GenSpec {
+            devices,
+            contexts,
+            controllers,
+        })
+}
+
+/// Renders a generated spec to source text, resolving all the random
+/// indices to actually-declared members so the result is well formed.
+fn render(spec: &GenSpec) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for dev in &spec.devices {
+        let _ = writeln!(out, "device {} {{", dev.name);
+        for (name, ty) in &dev.attrs {
+            let _ = writeln!(out, "  attribute {name} as {ty};");
+        }
+        for (name, ty) in &dev.sources {
+            let _ = writeln!(out, "  source {name} as {ty};");
+        }
+        for name in &dev.actions {
+            let _ = writeln!(out, "  action {name};");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    let mut context_names = Vec::new();
+    for (i, (dev_idx, src_seed, periodic, group_seed)) in spec.contexts.iter().enumerate() {
+        let dev = &spec.devices[*dev_idx];
+        let source = &dev.sources[src_seed % dev.sources.len()].0;
+        let name = format!("Ctx{i}");
+        let _ = writeln!(out, "context {name} as Integer {{");
+        // Grouping only applies when the device has a groupable attribute
+        // and the trigger is a device source (always true here). Float
+        // attributes are not groupable, so filter them out.
+        let groupable: Vec<&String> = dev
+            .attrs
+            .iter()
+            .filter(|(_, ty)| *ty != "Float")
+            .map(|(n, _)| n)
+            .collect();
+        let group_clause = group_seed
+            .filter(|_| !groupable.is_empty())
+            .map(|seed| format!(" grouped by {}", groupable[seed % groupable.len()]));
+        if *periodic {
+            let _ = writeln!(
+                out,
+                "  when periodic {source} from {}{} <5 min>{} always publish;",
+                dev.name,
+                "",
+                group_clause.clone().unwrap_or_default()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  when provided {source} from {}{} always publish;",
+                dev.name,
+                group_clause.unwrap_or_default()
+            );
+        }
+        let _ = writeln!(out, "}}");
+        context_names.push(name);
+    }
+    for (i, (ctx_seed, dev_idx, act_seed)) in spec.controllers.iter().enumerate() {
+        let dev = &spec.devices[*dev_idx];
+        if dev.actions.is_empty() || context_names.is_empty() {
+            continue;
+        }
+        let ctx = &context_names[ctx_seed % context_names.len()];
+        let action = &dev.actions[act_seed % dev.actions.len()];
+        let _ = writeln!(out, "controller Ctl{i} {{");
+        let _ = writeln!(out, "  when provided {ctx} do {action} on {};", dev.name);
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+// ---------- properties -------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer and parser never panic, on any input whatsoever.
+    #[test]
+    fn front_end_is_total(input in ".*") {
+        let _ = diaspec_core::lexer::lex(&input);
+        let _ = parse(&input);
+    }
+
+    /// Near-miss DSL text (keywords and punctuation shuffled together)
+    /// never panics the parser either.
+    #[test]
+    fn parser_survives_keyword_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("device"), Just("context"), Just("controller"),
+                Just("when"), Just("provided"), Just("periodic"),
+                Just("grouped"), Just("by"), Just("publish"), Just("always"),
+                Just("{"), Just("}"), Just(";"), Just("<"), Just(">"),
+                Just("("), Just(")"), Just("X"), Just("y"), Just("10"),
+                Just("min"), Just("as"), Just("from"), Just("@"), Just("="),
+            ],
+            0..60,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse(&src);
+    }
+
+    /// Generated well-formed specs parse and check with zero errors.
+    #[test]
+    fn generated_specs_check_cleanly(spec in gen_spec()) {
+        let src = render(&spec);
+        let (ast, diags) = parse(&src);
+        prop_assert!(!diags.has_errors(), "parse failed:\n{src}\n{diags:?}");
+        let (model, check_diags) = check(&ast);
+        prop_assert!(
+            !check_diags.has_errors(),
+            "check failed:\n{src}\n{check_diags:?}"
+        );
+        prop_assert!(model.is_some());
+    }
+
+    /// Pretty-printing reaches a fixpoint after one iteration.
+    #[test]
+    fn pretty_print_fixpoint(spec in gen_spec()) {
+        let src = render(&spec);
+        let (ast, diags) = parse(&src);
+        prop_assert!(!diags.has_errors());
+        let once = pretty(&ast);
+        let (reparsed, rediags) = parse(&once);
+        prop_assert!(!rediags.has_errors(), "re-parse failed:\n{once}\n{rediags:?}");
+        let twice = pretty(&reparsed);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Checking is deterministic: two runs produce identical models.
+    #[test]
+    fn checking_is_deterministic(spec in gen_spec()) {
+        let src = render(&spec);
+        let (ast, _) = parse(&src);
+        let (model1, diags1) = check(&ast);
+        let (model2, diags2) = check(&ast);
+        prop_assert_eq!(model1, model2);
+        prop_assert_eq!(diags1.len(), diags2.len());
+    }
+
+    /// `SourceMap::line_col` is monotonically non-decreasing in the offset.
+    #[test]
+    fn line_col_is_monotonic(text in ".{0,200}") {
+        let map = SourceMap::new(text.as_str());
+        let mut prev = (0u32, 0u32);
+        for offset in 0..=text.len() {
+            let pos = map.line_col(offset);
+            let cur = (pos.line, pos.col);
+            prop_assert!(
+                pos.line > prev.0 || (pos.line == prev.0 && cur >= prev),
+                "position went backwards at offset {offset}"
+            );
+            prev = (pos.line, pos.col);
+        }
+    }
+
+    /// Token spans partition the input: non-overlapping and in order.
+    #[test]
+    fn token_spans_are_ordered(input in "[a-zA-Z0-9 {};()<>,@=\n\t]*") {
+        let (tokens, _) = diaspec_core::lexer::lex(&input);
+        let mut last_end = 0;
+        for tok in &tokens {
+            prop_assert!(tok.span.start >= last_end, "overlapping spans");
+            prop_assert!(tok.span.end <= input.len() || tok.span.len() == 0);
+            last_end = tok.span.start;
+        }
+    }
+}

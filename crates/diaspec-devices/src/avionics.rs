@@ -1,0 +1,357 @@
+//! Simulated avionics: the substrate of the automated-pilot case study
+//! (paper §I/§III; Enard et al. \[9\]).
+//!
+//! A toy longitudinal flight-dynamics model: throttle drives airspeed
+//! (against quadratic drag), elevator pitch converts airspeed into
+//! vertical speed, altitude integrates vertical speed, and seeded
+//! turbulence perturbs everything. Sensors (altimeter, airspeed, compass)
+//! read the model; actuators (elevator, throttle) write the control
+//! inputs — exactly the sense/compute/control loop of the paper's
+//! dependable-avionics case study.
+
+use crate::common::SharedCell;
+use diaspec_runtime::clock::SimTime;
+use diaspec_runtime::engine::ProcessApi;
+use diaspec_runtime::entity::DeviceInstance;
+use diaspec_runtime::error::DeviceError;
+use diaspec_runtime::process::Process;
+use diaspec_runtime::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The state of the simulated aircraft.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightState {
+    /// Altitude in feet.
+    pub altitude_ft: f64,
+    /// Airspeed in knots.
+    pub airspeed_kt: f64,
+    /// Heading in degrees (0–360).
+    pub heading_deg: f64,
+    /// Elevator pitch command in `[-1, 1]`.
+    pub elevator: f64,
+    /// Throttle command in `\[0, 1\]`.
+    pub throttle: f64,
+}
+
+impl Default for FlightState {
+    fn default() -> Self {
+        FlightState {
+            altitude_ft: 10_000.0,
+            airspeed_kt: 250.0,
+            heading_deg: 90.0,
+            elevator: 0.0,
+            throttle: 0.5,
+        }
+    }
+}
+
+/// Dynamics parameters of the toy model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightModelConfig {
+    /// Maximum acceleration at full throttle, kt/s.
+    pub max_accel_kt_s: f64,
+    /// Quadratic drag coefficient (kt/s per kt²).
+    pub drag: f64,
+    /// Vertical speed per unit pitch per knot of airspeed (ft/s).
+    pub lift: f64,
+    /// Turbulence standard deviation on altitude per step, feet.
+    pub turbulence_ft: f64,
+    /// Integration step in milliseconds of simulation time.
+    pub step_ms: SimTime,
+    /// RNG seed for turbulence.
+    pub seed: u64,
+}
+
+impl Default for FlightModelConfig {
+    fn default() -> Self {
+        FlightModelConfig {
+            max_accel_kt_s: 3.0,
+            drag: 0.000_02,
+            lift: 0.06,
+            turbulence_ft: 2.0,
+            step_ms: 100,
+            seed: 7,
+        }
+    }
+}
+
+/// The flight-dynamics model, advanced by [`FlightProcess`].
+pub struct FlightModel {
+    state: SharedCell<FlightState>,
+    config: FlightModelConfig,
+    rng: StdRng,
+}
+
+impl FlightModel {
+    /// Creates a model from an initial state.
+    #[must_use]
+    pub fn new(initial: FlightState, config: FlightModelConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        FlightModel {
+            state: SharedCell::new(initial),
+            config,
+            rng,
+        }
+    }
+
+    /// A shared handle onto the aircraft state (for sensor/actuator
+    /// drivers).
+    #[must_use]
+    pub fn state(&self) -> SharedCell<FlightState> {
+        self.state.clone()
+    }
+
+    /// Advances the dynamics by one step.
+    pub fn step(&mut self) {
+        let dt = self.config.step_ms as f64 / 1000.0;
+        let gust = self.rng.gen_range(-1.0..1.0) * self.config.turbulence_ft;
+        let cfg = &self.config;
+        self.state.update(|s| {
+            let drag = cfg.drag * s.airspeed_kt * s.airspeed_kt;
+            s.airspeed_kt =
+                (s.airspeed_kt + (s.throttle * cfg.max_accel_kt_s - drag) * dt).max(0.0);
+            let vertical_fps = cfg.lift * s.elevator * s.airspeed_kt;
+            s.altitude_ft = (s.altitude_ft + vertical_fps * dt + gust * dt).max(0.0);
+        });
+    }
+}
+
+impl std::fmt::Debug for FlightModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightModel")
+            .field("state", &self.state.get())
+            .finish()
+    }
+}
+
+/// The process advancing a [`FlightModel`] on its integration step.
+pub struct FlightProcess {
+    model: FlightModel,
+    step_ms: SimTime,
+}
+
+impl FlightProcess {
+    /// Wraps a model into its simulation process.
+    #[must_use]
+    pub fn new(model: FlightModel) -> Self {
+        let step_ms = model.config.step_ms;
+        FlightProcess { model, step_ms }
+    }
+}
+
+impl Process for FlightProcess {
+    fn wake(&mut self, api: &mut ProcessApi<'_>) -> Option<SimTime> {
+        self.model.step();
+        Some(api.now() + self.step_ms)
+    }
+}
+
+/// Sensor driver over the flight state: `Altimeter.altitude`,
+/// `AirspeedSensor.airspeed`, `GyroCompass.heading`.
+pub struct FlightSensorDriver {
+    state: SharedCell<FlightState>,
+}
+
+impl FlightSensorDriver {
+    /// Creates a sensor handle over shared flight state.
+    #[must_use]
+    pub fn new(state: SharedCell<FlightState>) -> Self {
+        FlightSensorDriver { state }
+    }
+}
+
+impl DeviceInstance for FlightSensorDriver {
+    fn query(&mut self, source: &str, _now_ms: u64) -> Result<Value, DeviceError> {
+        let state = self.state.get();
+        match source {
+            "altitude" => Ok(Value::Float(state.altitude_ft)),
+            "airspeed" => Ok(Value::Float(state.airspeed_kt)),
+            "heading" => Ok(Value::Float(state.heading_deg)),
+            other => Err(DeviceError::new("flight-sensor", other, "unknown source")),
+        }
+    }
+
+    fn invoke(&mut self, action: &str, _args: &[Value], _now_ms: u64) -> Result<(), DeviceError> {
+        Err(DeviceError::new(
+            "flight-sensor",
+            action,
+            "sensors have no actions",
+        ))
+    }
+}
+
+/// Actuator driver over the flight state: `Elevator.setPitch(Float)`
+/// (clamped to `[-1, 1]`) and `Throttle.setLevel(Float)` (clamped to
+/// `\[0, 1\]`).
+pub struct FlightActuatorDriver {
+    state: SharedCell<FlightState>,
+}
+
+impl FlightActuatorDriver {
+    /// Creates an actuator handle over shared flight state.
+    #[must_use]
+    pub fn new(state: SharedCell<FlightState>) -> Self {
+        FlightActuatorDriver { state }
+    }
+}
+
+impl DeviceInstance for FlightActuatorDriver {
+    fn query(&mut self, source: &str, _now_ms: u64) -> Result<Value, DeviceError> {
+        let state = self.state.get();
+        match source {
+            "pitch" => Ok(Value::Float(state.elevator)),
+            "level" => Ok(Value::Float(state.throttle)),
+            other => Err(DeviceError::new("flight-actuator", other, "unknown source")),
+        }
+    }
+
+    fn invoke(&mut self, action: &str, args: &[Value], _now_ms: u64) -> Result<(), DeviceError> {
+        let value = args.first().and_then(Value::as_float).ok_or_else(|| {
+            DeviceError::new("flight-actuator", action, "expected one Float argument")
+        })?;
+        match action {
+            "setPitch" => {
+                self.state.update(|s| s.elevator = value.clamp(-1.0, 1.0));
+                Ok(())
+            }
+            "setLevel" => {
+                self.state.update(|s| s.throttle = value.clamp(0.0, 1.0));
+                Ok(())
+            }
+            other => Err(DeviceError::new("flight-actuator", other, "unknown action")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calm_config() -> FlightModelConfig {
+        FlightModelConfig {
+            turbulence_ft: 0.0,
+            ..FlightModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn level_flight_holds_altitude_without_turbulence() {
+        let mut model = FlightModel::new(FlightState::default(), calm_config());
+        let initial = model.state().get().altitude_ft;
+        for _ in 0..100 {
+            model.step();
+        }
+        assert_eq!(model.state().get().altitude_ft, initial);
+    }
+
+    #[test]
+    fn pitch_up_climbs_pitch_down_descends() {
+        let mut model = FlightModel::new(FlightState::default(), calm_config());
+        model.state().update(|s| s.elevator = 0.5);
+        for _ in 0..100 {
+            model.step();
+        }
+        let climbed = model.state().get().altitude_ft;
+        assert!(climbed > 10_000.0, "altitude {climbed}");
+
+        model.state().update(|s| s.elevator = -0.5);
+        for _ in 0..300 {
+            model.step();
+        }
+        assert!(model.state().get().altitude_ft < climbed);
+    }
+
+    #[test]
+    fn throttle_changes_airspeed_with_drag_equilibrium() {
+        let mut model = FlightModel::new(
+            FlightState {
+                airspeed_kt: 100.0,
+                throttle: 1.0,
+                ..FlightState::default()
+            },
+            calm_config(),
+        );
+        for _ in 0..5_000 {
+            model.step();
+        }
+        let fast = model.state().get().airspeed_kt;
+        assert!(fast > 250.0, "full throttle accelerates: {fast}");
+        model.state().update(|s| s.throttle = 0.0);
+        for _ in 0..5_000 {
+            model.step();
+        }
+        assert!(model.state().get().airspeed_kt < fast, "drag decelerates");
+    }
+
+    #[test]
+    fn altitude_never_negative() {
+        let mut model = FlightModel::new(
+            FlightState {
+                altitude_ft: 5.0,
+                elevator: -1.0,
+                ..FlightState::default()
+            },
+            calm_config(),
+        );
+        for _ in 0..1_000 {
+            model.step();
+        }
+        assert!(model.state().get().altitude_ft >= 0.0);
+    }
+
+    #[test]
+    fn sensor_driver_reads_all_sources() {
+        let model = FlightModel::new(FlightState::default(), calm_config());
+        let mut sensor = FlightSensorDriver::new(model.state());
+        assert_eq!(
+            sensor.query("altitude", 0).unwrap(),
+            Value::Float(10_000.0)
+        );
+        assert_eq!(sensor.query("airspeed", 0).unwrap(), Value::Float(250.0));
+        assert_eq!(sensor.query("heading", 0).unwrap(), Value::Float(90.0));
+        assert!(sensor.query("fuel", 0).is_err());
+        assert!(sensor.invoke("x", &[], 0).is_err());
+    }
+
+    #[test]
+    fn actuator_driver_clamps_inputs() {
+        let model = FlightModel::new(FlightState::default(), calm_config());
+        let mut actuator = FlightActuatorDriver::new(model.state());
+        actuator
+            .invoke("setPitch", &[Value::Float(5.0)], 0)
+            .unwrap();
+        assert_eq!(model.state().get().elevator, 1.0, "clamped to [-1, 1]");
+        actuator
+            .invoke("setLevel", &[Value::Float(-3.0)], 0)
+            .unwrap();
+        assert_eq!(model.state().get().throttle, 0.0, "clamped to [0, 1]");
+        assert!(actuator.invoke("setPitch", &[], 0).is_err());
+        assert!(actuator
+            .invoke("setPitch", &[Value::Bool(true)], 0)
+            .is_err());
+        assert!(actuator.invoke("eject", &[Value::Float(0.0)], 0).is_err());
+        // Actuator state is queryable (useful for supervision contexts).
+        assert_eq!(actuator.query("pitch", 0).unwrap(), Value::Float(1.0));
+        assert_eq!(actuator.query("level", 0).unwrap(), Value::Float(0.0));
+    }
+
+    #[test]
+    fn turbulence_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut model = FlightModel::new(
+                FlightState::default(),
+                FlightModelConfig {
+                    seed,
+                    ..FlightModelConfig::default()
+                },
+            );
+            for _ in 0..200 {
+                model.step();
+            }
+            model.state().get().altitude_ft
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

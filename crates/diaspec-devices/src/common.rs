@@ -1,0 +1,381 @@
+//! Generic device drivers: shared-state sensors, recording actuators, and
+//! failure injection.
+//!
+//! Simulated environments own their physical state (e.g. a parking lot's
+//! occupancy); device drivers are lightweight handles onto that shared
+//! state. Actuators record what was asked of them so tests and experiment
+//! harnesses can assert on effects. [`FailingDevice`] wraps any driver
+//! with a programmable fault model, powering the failure-injection
+//! experiments (E14).
+
+use diaspec_runtime::entity::DeviceInstance;
+use diaspec_runtime::error::DeviceError;
+use diaspec_runtime::value::Value;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A cell of shared simulated state, cloneable into many drivers.
+///
+/// # Examples
+///
+/// ```
+/// use diaspec_devices::common::SharedCell;
+///
+/// let cell = SharedCell::new(3i64);
+/// let view = cell.clone();
+/// cell.set(7);
+/// assert_eq!(view.get(), 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct SharedCell<T>(Arc<Mutex<T>>);
+
+impl<T> Clone for SharedCell<T> {
+    fn clone(&self) -> Self {
+        SharedCell(Arc::clone(&self.0))
+    }
+}
+
+impl<T> SharedCell<T> {
+    /// Creates a cell holding `value`.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        SharedCell(Arc::new(Mutex::new(value)))
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, value: T) {
+        *self.0.lock() = value;
+    }
+
+    /// Runs `f` with mutable access to the value.
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.0.lock())
+    }
+}
+
+impl<T: Clone> SharedCell<T> {
+    /// Returns a clone of the value.
+    #[must_use]
+    pub fn get(&self) -> T {
+        self.0.lock().clone()
+    }
+}
+
+/// A read-only sensor driver exposing one source backed by a
+/// [`SharedCell`] and a projection function.
+pub struct CellSensor<T> {
+    source: String,
+    cell: SharedCell<T>,
+    read: Box<dyn Fn(&T) -> Value + Send>,
+}
+
+impl<T: Send> CellSensor<T> {
+    /// Creates a sensor for `source` reading through `read`.
+    #[must_use]
+    pub fn new(
+        source: impl Into<String>,
+        cell: SharedCell<T>,
+        read: impl Fn(&T) -> Value + Send + 'static,
+    ) -> Self {
+        CellSensor {
+            source: source.into(),
+            cell,
+            read: Box::new(read),
+        }
+    }
+}
+
+impl<T: Send> DeviceInstance for CellSensor<T> {
+    fn query(&mut self, source: &str, _now_ms: u64) -> Result<Value, DeviceError> {
+        if source == self.source {
+            Ok(self.cell.update(|state| (self.read)(state)))
+        } else {
+            Err(DeviceError::new(
+                "<cell sensor>",
+                source,
+                format!("only source `{}` is implemented", self.source),
+            ))
+        }
+    }
+
+    fn invoke(&mut self, action: &str, _args: &[Value], _now_ms: u64) -> Result<(), DeviceError> {
+        Err(DeviceError::new(
+            "<cell sensor>",
+            action,
+            "sensors have no actions",
+        ))
+    }
+}
+
+/// One recorded actuation: when, which action, with what arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Actuation {
+    /// Simulation time of the invocation, in milliseconds.
+    pub at_ms: u64,
+    /// The invoked action.
+    pub action: String,
+    /// The arguments passed.
+    pub args: Vec<Value>,
+}
+
+/// A shared log of actuations, for assertions in tests and experiments.
+#[derive(Debug, Clone, Default)]
+pub struct ActuationLog(Arc<Mutex<Vec<Actuation>>>);
+
+impl ActuationLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded actuations, in invocation order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<Actuation> {
+        self.0.lock().clone()
+    }
+
+    /// Number of recorded actuations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().is_empty()
+    }
+
+    /// Number of invocations of a specific action.
+    #[must_use]
+    pub fn count(&self, action: &str) -> usize {
+        self.0.lock().iter().filter(|a| a.action == action).count()
+    }
+
+    /// The most recent actuation, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<Actuation> {
+        self.0.lock().last().cloned()
+    }
+
+    fn push(&self, actuation: Actuation) {
+        self.0.lock().push(actuation);
+    }
+}
+
+/// An actuator accepting any declared action, recording every invocation
+/// into an [`ActuationLog`]; optional readable sources report internal
+/// state set by earlier actuations.
+pub struct RecordingActuator {
+    log: ActuationLog,
+    /// Source values queryable from this device, updated by `set_source`.
+    sources: SharedCell<BTreeMap<String, Value>>,
+}
+
+impl RecordingActuator {
+    /// Creates an actuator recording into `log`.
+    #[must_use]
+    pub fn new(log: ActuationLog) -> Self {
+        RecordingActuator {
+            log,
+            sources: SharedCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// Pre-sets a queryable source value.
+    #[must_use]
+    pub fn with_source(self, source: impl Into<String>, value: Value) -> Self {
+        self.sources
+            .update(|map| map.insert(source.into(), value));
+        self
+    }
+
+    /// A handle for updating source values after binding.
+    #[must_use]
+    pub fn sources(&self) -> SharedCell<BTreeMap<String, Value>> {
+        self.sources.clone()
+    }
+}
+
+impl DeviceInstance for RecordingActuator {
+    fn query(&mut self, source: &str, _now_ms: u64) -> Result<Value, DeviceError> {
+        self.sources
+            .update(|map| map.get(source).cloned())
+            .ok_or_else(|| {
+                DeviceError::new("<recording actuator>", source, "source not set")
+            })
+    }
+
+    fn invoke(&mut self, action: &str, args: &[Value], now_ms: u64) -> Result<(), DeviceError> {
+        self.log.push(Actuation {
+            at_ms: now_ms,
+            action: action.to_owned(),
+            args: args.to_vec(),
+        });
+        Ok(())
+    }
+}
+
+/// When a [`FailingDevice`] fails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultMode {
+    /// Every operation fails.
+    Always,
+    /// The first `n` operations fail, then the device recovers.
+    FirstN(u32),
+    /// Each operation independently fails with this probability.
+    Probabilistic {
+        /// Failure probability in `[0, 1]`.
+        probability: f64,
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+}
+
+/// Wraps a driver with a programmable fault model (experiment E14:
+/// failure injection against declared `@error` policies).
+pub struct FailingDevice<D> {
+    inner: D,
+    mode: FaultMode,
+    calls: u32,
+    rng: StdRng,
+}
+
+impl<D> FailingDevice<D> {
+    /// Wraps `inner` with the given fault mode.
+    #[must_use]
+    pub fn new(inner: D, mode: FaultMode) -> Self {
+        let seed = match mode {
+            FaultMode::Probabilistic { seed, .. } => seed,
+            _ => 0,
+        };
+        FailingDevice {
+            inner,
+            mode,
+            calls: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn should_fail(&mut self) -> bool {
+        self.calls += 1;
+        match self.mode {
+            FaultMode::Always => true,
+            FaultMode::FirstN(n) => self.calls <= n,
+            FaultMode::Probabilistic { probability, .. } => self.rng.gen::<f64>() < probability,
+        }
+    }
+}
+
+impl<D: DeviceInstance> DeviceInstance for FailingDevice<D> {
+    fn query(&mut self, source: &str, now_ms: u64) -> Result<Value, DeviceError> {
+        if self.should_fail() {
+            Err(DeviceError::new("<failing device>", source, "injected fault"))
+        } else {
+            self.inner.query(source, now_ms)
+        }
+    }
+
+    fn invoke(&mut self, action: &str, args: &[Value], now_ms: u64) -> Result<(), DeviceError> {
+        if self.should_fail() {
+            Err(DeviceError::new("<failing device>", action, "injected fault"))
+        } else {
+            self.inner.invoke(action, args, now_ms)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_cell_is_shared() {
+        let cell = SharedCell::new(vec![1, 2]);
+        let view = cell.clone();
+        cell.update(|v| v.push(3));
+        assert_eq!(view.get(), vec![1, 2, 3]);
+        view.set(vec![]);
+        assert_eq!(cell.get(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn cell_sensor_reads_projection() {
+        let cell = SharedCell::new(10i64);
+        let mut sensor = CellSensor::new("level", cell.clone(), |v| Value::Int(*v * 2));
+        assert_eq!(sensor.query("level", 0).unwrap(), Value::Int(20));
+        cell.set(21);
+        assert_eq!(sensor.query("level", 0).unwrap(), Value::Int(42));
+        assert!(sensor.query("other", 0).is_err());
+        assert!(sensor.invoke("anything", &[], 0).is_err());
+    }
+
+    #[test]
+    fn recording_actuator_logs_and_serves_sources() {
+        let log = ActuationLog::new();
+        let mut device = RecordingActuator::new(log.clone())
+            .with_source("status", Value::from("idle"));
+        assert!(log.is_empty());
+        device
+            .invoke("update", &[Value::from("free: 3")], 500)
+            .unwrap();
+        device.invoke("update", &[Value::from("free: 2")], 900).unwrap();
+        device.invoke("reset", &[], 1000).unwrap();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count("update"), 2);
+        let last = log.last().unwrap();
+        assert_eq!(last.action, "reset");
+        assert_eq!(last.at_ms, 1000);
+        assert_eq!(
+            log.entries()[0].args,
+            vec![Value::from("free: 3")]
+        );
+        assert_eq!(device.query("status", 0).unwrap(), Value::from("idle"));
+        assert!(device.query("missing", 0).is_err());
+        // Sources can be updated after the fact.
+        let sources = device.sources();
+        sources.update(|m| m.insert("status".into(), Value::from("busy")));
+        assert_eq!(device.query("status", 0).unwrap(), Value::from("busy"));
+    }
+
+    #[test]
+    fn failing_device_modes() {
+        let log = ActuationLog::new();
+        // FirstN: fails twice then recovers.
+        let mut d = FailingDevice::new(
+            RecordingActuator::new(log.clone()).with_source("s", Value::Int(1)),
+            FaultMode::FirstN(2),
+        );
+        assert!(d.query("s", 0).is_err());
+        assert!(d.query("s", 0).is_err());
+        assert_eq!(d.query("s", 0).unwrap(), Value::Int(1));
+        // Always: never succeeds.
+        let mut d = FailingDevice::new(
+            RecordingActuator::new(log.clone()),
+            FaultMode::Always,
+        );
+        for _ in 0..5 {
+            assert!(d.invoke("a", &[], 0).is_err());
+        }
+        assert!(log.is_empty(), "failed invocations must not be recorded");
+        // Probabilistic: deterministic per seed, roughly the right rate.
+        let mut failures = 0;
+        let mut d = FailingDevice::new(
+            RecordingActuator::new(ActuationLog::new()).with_source("s", Value::Int(0)),
+            FaultMode::Probabilistic {
+                probability: 0.5,
+                seed: 11,
+            },
+        );
+        for _ in 0..1000 {
+            if d.query("s", 0).is_err() {
+                failures += 1;
+            }
+        }
+        assert!((400..600).contains(&failures), "failures = {failures}");
+    }
+}

@@ -1,0 +1,333 @@
+//! Simulated home devices: the substrate of the cooker-monitoring and
+//! assisted-living case studies (paper §II, HomeAssist \[10\]).
+//!
+//! Physical state (is the cooker on? is someone in the kitchen?) lives in
+//! shared cells owned by the environment scenario; drivers are cheap
+//! handles. The [`ClockProcess`] emits the `tickSecond`/`tickMinute`/
+//! `tickHour` sources of the paper's `Clock` device (Figure 5).
+
+use crate::common::SharedCell;
+use diaspec_runtime::clock::SimTime;
+use diaspec_runtime::engine::ProcessApi;
+use diaspec_runtime::entity::{DeviceInstance, EntityId};
+use diaspec_runtime::error::DeviceError;
+use diaspec_runtime::process::Process;
+use diaspec_runtime::value::Value;
+
+/// State of a simulated cooker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CookerState {
+    /// Whether the cooker is currently on.
+    pub on: bool,
+    /// Electric consumption when on, in kW.
+    pub load_kw: f64,
+    /// Standby consumption when off, in kW.
+    pub standby_kw: f64,
+}
+
+impl Default for CookerState {
+    fn default() -> Self {
+        CookerState {
+            on: false,
+            load_kw: 1.8,
+            standby_kw: 0.02,
+        }
+    }
+}
+
+/// Driver for the paper's `Cooker` device (Figure 5): `consumption`
+/// source, `On`/`Off` actions.
+pub struct CookerDriver {
+    state: SharedCell<CookerState>,
+}
+
+impl CookerDriver {
+    /// Creates a driver over shared cooker state.
+    #[must_use]
+    pub fn new(state: SharedCell<CookerState>) -> Self {
+        CookerDriver { state }
+    }
+}
+
+impl DeviceInstance for CookerDriver {
+    fn query(&mut self, source: &str, _now_ms: u64) -> Result<Value, DeviceError> {
+        match source {
+            "consumption" => Ok(self.state.update(|s| {
+                Value::Float(if s.on { s.load_kw } else { s.standby_kw })
+            })),
+            other => Err(DeviceError::new("cooker", other, "unknown source")),
+        }
+    }
+
+    fn invoke(&mut self, action: &str, _args: &[Value], _now_ms: u64) -> Result<(), DeviceError> {
+        match action {
+            "On" => {
+                self.state.update(|s| s.on = true);
+                Ok(())
+            }
+            "Off" => {
+                self.state.update(|s| s.on = false);
+                Ok(())
+            }
+            other => Err(DeviceError::new("cooker", other, "unknown action")),
+        }
+    }
+}
+
+/// One question displayed by the TV prompter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromptedQuestion {
+    /// When the question was asked, in simulation milliseconds.
+    pub at_ms: u64,
+    /// The question text.
+    pub question: String,
+}
+
+/// Driver for the paper's `Prompter`/`TvPrompter` device (Figure 5):
+/// `askQuestion` action; the `answer` source is event-driven (emitted by a
+/// scenario process when the simulated user responds).
+pub struct TvPrompterDriver {
+    questions: SharedCell<Vec<PromptedQuestion>>,
+}
+
+impl TvPrompterDriver {
+    /// Creates a driver recording questions into the shared list.
+    #[must_use]
+    pub fn new(questions: SharedCell<Vec<PromptedQuestion>>) -> Self {
+        TvPrompterDriver { questions }
+    }
+}
+
+impl DeviceInstance for TvPrompterDriver {
+    fn query(&mut self, source: &str, _now_ms: u64) -> Result<Value, DeviceError> {
+        match source {
+            // The latest answer is pushed event-driven; polling reports the
+            // number of questions currently displayed.
+            "answer" => Err(DeviceError::new(
+                "tv-prompter",
+                source,
+                "answers are event-driven; subscribe with `when provided`",
+            )),
+            other => Err(DeviceError::new("tv-prompter", other, "unknown source")),
+        }
+    }
+
+    fn invoke(&mut self, action: &str, args: &[Value], now_ms: u64) -> Result<(), DeviceError> {
+        match action {
+            "askQuestion" => {
+                let question = args
+                    .first()
+                    .and_then(Value::as_str)
+                    .unwrap_or("<no text>")
+                    .to_owned();
+                self.questions.update(|qs| {
+                    qs.push(PromptedQuestion {
+                        at_ms: now_ms,
+                        question,
+                    });
+                });
+                Ok(())
+            }
+            other => Err(DeviceError::new("tv-prompter", other, "unknown action")),
+        }
+    }
+}
+
+/// A binary home sensor (motion, door contact, smoke): the shared cell
+/// holds the current state; the named source reports it.
+pub struct BinarySensorDriver {
+    source: String,
+    state: SharedCell<bool>,
+}
+
+impl BinarySensorDriver {
+    /// Creates a driver reporting `state` through `source`.
+    #[must_use]
+    pub fn new(source: impl Into<String>, state: SharedCell<bool>) -> Self {
+        BinarySensorDriver {
+            source: source.into(),
+            state,
+        }
+    }
+}
+
+impl DeviceInstance for BinarySensorDriver {
+    fn query(&mut self, source: &str, _now_ms: u64) -> Result<Value, DeviceError> {
+        if source == self.source {
+            Ok(Value::Bool(self.state.get()))
+        } else {
+            Err(DeviceError::new("binary-sensor", source, "unknown source"))
+        }
+    }
+
+    fn invoke(&mut self, action: &str, _args: &[Value], _now_ms: u64) -> Result<(), DeviceError> {
+        Err(DeviceError::new("binary-sensor", action, "sensors have no actions"))
+    }
+}
+
+/// Emits the `Clock` device's tick sources (Figure 5): `tickSecond` every
+/// simulated second, `tickMinute` every minute, `tickHour` every hour.
+///
+/// Tick values carry the tick ordinal (seconds/minutes/hours since the
+/// process started).
+pub struct ClockProcess {
+    entity: EntityId,
+    seconds: i64,
+    /// Stop after this simulation time (`None` = run forever).
+    until_ms: Option<SimTime>,
+}
+
+impl ClockProcess {
+    /// Creates a clock process driving the entity `entity`.
+    #[must_use]
+    pub fn new(entity: EntityId) -> Self {
+        ClockProcess {
+            entity,
+            seconds: 0,
+            until_ms: None,
+        }
+    }
+
+    /// Stops ticking after `until_ms` of simulation time.
+    #[must_use]
+    pub fn until(mut self, until_ms: SimTime) -> Self {
+        self.until_ms = Some(until_ms);
+        self
+    }
+}
+
+impl Process for ClockProcess {
+    fn wake(&mut self, api: &mut ProcessApi<'_>) -> Option<SimTime> {
+        let now = api.now();
+        if self.until_ms.is_some_and(|until| now >= until) {
+            return None;
+        }
+        self.seconds += 1;
+        let _ = api.emit(
+            &self.entity,
+            "tickSecond",
+            Value::Int(self.seconds),
+            None,
+        );
+        if self.seconds % 60 == 0 {
+            let _ = api.emit(
+                &self.entity,
+                "tickMinute",
+                Value::Int(self.seconds / 60),
+                None,
+            );
+        }
+        if self.seconds % 3600 == 0 {
+            let _ = api.emit(
+                &self.entity,
+                "tickHour",
+                Value::Int(self.seconds / 3600),
+                None,
+            );
+        }
+        Some(now + 1000)
+    }
+}
+
+/// A scripted scenario: a list of `(time, action)` steps executed on the
+/// simulated home state — the "older adult" of the cooker case study.
+pub struct ScenarioProcess {
+    steps: Vec<(SimTime, Box<dyn FnMut(&mut ProcessApi<'_>) + Send>)>,
+    next: usize,
+}
+
+impl ScenarioProcess {
+    /// Creates a scenario from `(time, step)` pairs; steps run in time
+    /// order regardless of insertion order.
+    #[must_use]
+    pub fn new(
+        mut steps: Vec<(SimTime, Box<dyn FnMut(&mut ProcessApi<'_>) + Send>)>,
+    ) -> Self {
+        steps.sort_by_key(|(t, _)| *t);
+        ScenarioProcess { steps, next: 0 }
+    }
+
+    /// The time of the first step (schedule the process there).
+    #[must_use]
+    pub fn first_step_time(&self) -> Option<SimTime> {
+        self.steps.first().map(|(t, _)| *t)
+    }
+}
+
+impl Process for ScenarioProcess {
+    fn wake(&mut self, api: &mut ProcessApi<'_>) -> Option<SimTime> {
+        let now = api.now();
+        while let Some((time, _)) = self.steps.get(self.next) {
+            if *time > now {
+                return Some(*time);
+            }
+            let (_, step) = &mut self.steps[self.next];
+            step(api);
+            self.next += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooker_driver_switches_state() {
+        let state = SharedCell::new(CookerState::default());
+        let mut driver = CookerDriver::new(state.clone());
+        assert_eq!(
+            driver.query("consumption", 0).unwrap(),
+            Value::Float(0.02),
+            "off by default"
+        );
+        driver.invoke("On", &[], 0).unwrap();
+        assert_eq!(driver.query("consumption", 0).unwrap(), Value::Float(1.8));
+        assert!(state.get().on);
+        driver.invoke("Off", &[], 0).unwrap();
+        assert_eq!(driver.query("consumption", 0).unwrap(), Value::Float(0.02));
+        assert!(driver.query("power", 0).is_err());
+        assert!(driver.invoke("Explode", &[], 0).is_err());
+    }
+
+    #[test]
+    fn tv_prompter_records_questions() {
+        let questions = SharedCell::new(Vec::new());
+        let mut driver = TvPrompterDriver::new(questions.clone());
+        driver
+            .invoke("askQuestion", &[Value::from("Turn off?")], 42)
+            .unwrap();
+        let qs = questions.get();
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0].question, "Turn off?");
+        assert_eq!(qs[0].at_ms, 42);
+        // Answers are event-driven; querying them is a driver error.
+        assert!(driver.query("answer", 0).is_err());
+    }
+
+    #[test]
+    fn binary_sensor_reflects_cell() {
+        let state = SharedCell::new(false);
+        let mut driver = BinarySensorDriver::new("presence", state.clone());
+        assert_eq!(driver.query("presence", 0).unwrap(), Value::Bool(false));
+        state.set(true);
+        assert_eq!(driver.query("presence", 0).unwrap(), Value::Bool(true));
+        assert!(driver.query("motion", 0).is_err());
+    }
+
+    #[test]
+    fn scenario_orders_steps() {
+        let order = SharedCell::new(Vec::<u32>::new());
+        let o1 = order.clone();
+        let o2 = order.clone();
+        let scenario = ScenarioProcess::new(vec![
+            (200, Box::new(move |_api: &mut ProcessApi<'_>| o2.update(|v| v.push(2)))),
+            (100, Box::new(move |_api: &mut ProcessApi<'_>| o1.update(|v| v.push(1)))),
+        ]);
+        assert_eq!(scenario.first_step_time(), Some(100));
+        // Full execution is covered by the engine-level tests in the apps
+        // crate; here we only validate ordering metadata.
+        assert_eq!(order.get(), Vec::<u32>::new());
+    }
+}

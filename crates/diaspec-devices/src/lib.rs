@@ -1,0 +1,28 @@
+//! # diaspec-devices — simulated entities and environments
+//!
+//! The paper's evaluations run on physical infrastructures (a city's
+//! parking sensors, a senior's home, an aircraft) that are not available
+//! here. This crate substitutes them with deterministic, seeded
+//! simulations that exercise the *same orchestration code paths*
+//! (binding, all three delivery models, actuation) — see `DESIGN.md`,
+//! *Substitutions*.
+//!
+//! - [`common`] — generic building blocks: shared state cells, recording
+//!   actuators, and programmable failure injection;
+//! - [`home`] — the cooker-monitoring / assisted-living substrate (clock
+//!   ticks, cooker, TV prompter, binary sensors, scripted scenarios);
+//! - [`parking`] — the smart-city substrate: per-space presence sensors
+//!   over a stochastic arrival/departure model with a daily usage curve;
+//! - [`avionics`] — the automated-pilot substrate: a toy longitudinal
+//!   flight-dynamics model with sensors and control actuators.
+//!
+//! Every model is deterministic given its seed, so experiments reproduce
+//! event-for-event.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod avionics;
+pub mod common;
+pub mod home;
+pub mod parking;

@@ -1,0 +1,403 @@
+//! Simulated city parking infrastructure: the substrate of the parking
+//! management case study (paper §II, Figures 4/6/8; Libelium's Santander
+//! deployment \[4\]).
+//!
+//! A [`ParkingCityModel`] owns per-lot occupancy state evolved by a
+//! stochastic arrival/departure process modulated by a daily usage curve
+//! (rush hours fill lots, nights empty them). Presence-sensor drivers are
+//! handles onto one space each, exactly like the physical sensors the
+//! paper's city deploys one-per-space.
+
+use crate::common::SharedCell;
+use diaspec_runtime::clock::SimTime;
+use diaspec_runtime::engine::ProcessApi;
+use diaspec_runtime::entity::DeviceInstance;
+use diaspec_runtime::error::DeviceError;
+use diaspec_runtime::process::Process;
+use diaspec_runtime::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Occupancy of one parking lot: `true` = occupied.
+pub type LotOccupancy = Vec<bool>;
+
+/// Configuration of the stochastic parking model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParkingConfig {
+    /// Spaces per lot.
+    pub spaces_per_lot: usize,
+    /// Base probability that a free space is taken during one step at
+    /// usage level 1.0.
+    pub arrival_rate: f64,
+    /// Base probability that an occupied space frees during one step.
+    pub departure_rate: f64,
+    /// Model step length in milliseconds of simulation time.
+    pub step_ms: SimTime,
+    /// Initial occupancy fraction in `[0, 1]`.
+    pub initial_occupancy: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ParkingConfig {
+    fn default() -> Self {
+        ParkingConfig {
+            spaces_per_lot: 100,
+            arrival_rate: 0.08,
+            departure_rate: 0.05,
+            step_ms: 60_000, // one simulated minute
+            initial_occupancy: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// The hourly usage curve: a multiplier on the arrival rate per hour of
+/// day (0–23). The default models two rush peaks (09:00 and 18:00) and
+/// quiet nights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageCurve([f64; 24]);
+
+impl Default for UsageCurve {
+    fn default() -> Self {
+        let mut curve = [0.4; 24];
+        for (hour, factor) in [
+            (7, 1.2),
+            (8, 1.8),
+            (9, 2.0),
+            (10, 1.5),
+            (11, 1.3),
+            (12, 1.4),
+            (13, 1.3),
+            (14, 1.2),
+            (15, 1.2),
+            (16, 1.4),
+            (17, 1.8),
+            (18, 2.0),
+            (19, 1.5),
+            (20, 1.0),
+            (21, 0.7),
+            (22, 0.5),
+        ] {
+            curve[hour] = factor;
+        }
+        for factor in curve.iter_mut().take(6) {
+            *factor = 0.15; // night
+        }
+        UsageCurve(curve)
+    }
+}
+
+impl UsageCurve {
+    /// A flat curve (no daily pattern), useful for controlled experiments.
+    #[must_use]
+    pub fn flat(factor: f64) -> Self {
+        UsageCurve([factor; 24])
+    }
+
+    /// The multiplier for a given simulation time.
+    #[must_use]
+    pub fn factor_at(&self, now_ms: SimTime) -> f64 {
+        let hour = (now_ms / 3_600_000) % 24;
+        self.0[hour as usize]
+    }
+}
+
+/// The simulated city: per-lot occupancy plus the stochastic dynamics.
+pub struct ParkingCityModel {
+    lots: BTreeMap<String, SharedCell<LotOccupancy>>,
+    config: ParkingConfig,
+    curve: UsageCurve,
+    rng: StdRng,
+}
+
+impl ParkingCityModel {
+    /// Creates a city with the given lot names.
+    #[must_use]
+    pub fn new(
+        lot_names: impl IntoIterator<Item = impl Into<String>>,
+        config: ParkingConfig,
+        curve: UsageCurve,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let lots = lot_names
+            .into_iter()
+            .map(|name| {
+                let occupancy: LotOccupancy = (0..config.spaces_per_lot)
+                    .map(|_| rng.gen::<f64>() < config.initial_occupancy)
+                    .collect();
+                (name.into(), SharedCell::new(occupancy))
+            })
+            .collect();
+        ParkingCityModel {
+            lots,
+            config,
+            curve,
+            rng,
+        }
+    }
+
+    /// The lot names, in deterministic order.
+    #[must_use]
+    pub fn lot_names(&self) -> Vec<&str> {
+        self.lots.keys().map(String::as_str).collect()
+    }
+
+    /// A shared handle onto one lot's occupancy (for sensor drivers).
+    #[must_use]
+    pub fn lot(&self, name: &str) -> Option<SharedCell<LotOccupancy>> {
+        self.lots.get(name).cloned()
+    }
+
+    /// Free spaces currently available in `lot`.
+    #[must_use]
+    pub fn free_spaces(&self, lot: &str) -> Option<usize> {
+        self.lots
+            .get(lot)
+            .map(|cell| cell.update(|spaces| spaces.iter().filter(|o| !**o).count()))
+    }
+
+    /// Occupancy fraction of `lot` in `[0, 1]`.
+    #[must_use]
+    pub fn occupancy(&self, lot: &str) -> Option<f64> {
+        self.lots.get(lot).map(|cell| {
+            cell.update(|spaces| {
+                if spaces.is_empty() {
+                    0.0
+                } else {
+                    spaces.iter().filter(|o| **o).count() as f64 / spaces.len() as f64
+                }
+            })
+        })
+    }
+
+    /// Advances the model by one step at simulation time `now_ms`.
+    pub fn step(&mut self, now_ms: SimTime) {
+        let factor = self.curve.factor_at(now_ms);
+        let p_arrive = (self.config.arrival_rate * factor).min(1.0);
+        let p_depart = self.config.departure_rate;
+        for cell in self.lots.values() {
+            cell.update(|spaces| {
+                for space in spaces.iter_mut() {
+                    if *space {
+                        if self.rng.gen::<f64>() < p_depart {
+                            *space = false;
+                        }
+                    } else if self.rng.gen::<f64>() < p_arrive {
+                        *space = true;
+                    }
+                }
+            });
+        }
+    }
+
+    /// Splits the model into shared lot handles plus a [`ParkingProcess`]
+    /// that owns the dynamics.
+    #[must_use]
+    pub fn into_process(self) -> (BTreeMap<String, SharedCell<LotOccupancy>>, ParkingProcess) {
+        let lots = self.lots.clone();
+        let step_ms = self.config.step_ms;
+        (
+            lots,
+            ParkingProcess {
+                model: self,
+                step_ms,
+            },
+        )
+    }
+}
+
+impl std::fmt::Debug for ParkingCityModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParkingCityModel")
+            .field("lots", &self.lots.len())
+            .field("spaces_per_lot", &self.config.spaces_per_lot)
+            .finish()
+    }
+}
+
+/// The simulation process advancing a [`ParkingCityModel`] on its step
+/// cadence.
+pub struct ParkingProcess {
+    model: ParkingCityModel,
+    step_ms: SimTime,
+}
+
+impl Process for ParkingProcess {
+    fn wake(&mut self, api: &mut ProcessApi<'_>) -> Option<SimTime> {
+        let now = api.now();
+        self.model.step(now);
+        Some(now + self.step_ms)
+    }
+}
+
+/// Driver for one `PresenceSensor` (Figure 6): reports the occupancy of a
+/// single space of its lot.
+pub struct PresenceSensorDriver {
+    lot: SharedCell<LotOccupancy>,
+    space_index: usize,
+}
+
+impl PresenceSensorDriver {
+    /// Creates a driver over space `space_index` of `lot`.
+    #[must_use]
+    pub fn new(lot: SharedCell<LotOccupancy>, space_index: usize) -> Self {
+        PresenceSensorDriver { lot, space_index }
+    }
+}
+
+impl DeviceInstance for PresenceSensorDriver {
+    fn query(&mut self, source: &str, _now_ms: u64) -> Result<Value, DeviceError> {
+        match source {
+            "presence" => {
+                let index = self.space_index;
+                let occupied = self.lot.update(|spaces| {
+                    spaces.get(index).copied().ok_or(())
+                });
+                match occupied {
+                    Ok(o) => Ok(Value::Bool(o)),
+                    Err(()) => Err(DeviceError::new(
+                        "presence-sensor",
+                        source,
+                        format!("space index {index} out of range"),
+                    )),
+                }
+            }
+            other => Err(DeviceError::new("presence-sensor", other, "unknown source")),
+        }
+    }
+
+    fn invoke(&mut self, action: &str, _args: &[Value], _now_ms: u64) -> Result<(), DeviceError> {
+        Err(DeviceError::new(
+            "presence-sensor",
+            action,
+            "sensors have no actions",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_city() -> ParkingCityModel {
+        ParkingCityModel::new(
+            ["A22", "B16"],
+            ParkingConfig {
+                spaces_per_lot: 50,
+                initial_occupancy: 0.5,
+                seed: 7,
+                ..ParkingConfig::default()
+            },
+            UsageCurve::default(),
+        )
+    }
+
+    #[test]
+    fn initial_occupancy_near_configured_fraction() {
+        let city = small_city();
+        assert_eq!(city.lot_names(), vec!["A22", "B16"]);
+        for lot in ["A22", "B16"] {
+            let occ = city.occupancy(lot).unwrap();
+            assert!((0.3..0.7).contains(&occ), "lot {lot} occupancy {occ}");
+        }
+        assert_eq!(city.occupancy("Z"), None);
+        assert_eq!(city.free_spaces("Z"), None);
+    }
+
+    #[test]
+    fn dynamics_move_occupancy_with_usage_curve() {
+        // High arrival, zero departure: occupancy can only grow.
+        let mut city = ParkingCityModel::new(
+            ["L"],
+            ParkingConfig {
+                spaces_per_lot: 200,
+                arrival_rate: 0.5,
+                departure_rate: 0.0,
+                initial_occupancy: 0.0,
+                seed: 1,
+                ..ParkingConfig::default()
+            },
+            UsageCurve::flat(1.0),
+        );
+        assert_eq!(city.occupancy("L"), Some(0.0));
+        for step in 0..20 {
+            city.step(step * 60_000);
+        }
+        assert!(city.occupancy("L").unwrap() > 0.9);
+        // And the dual: everyone leaves.
+        let mut city = ParkingCityModel::new(
+            ["L"],
+            ParkingConfig {
+                spaces_per_lot: 200,
+                arrival_rate: 0.0,
+                departure_rate: 0.5,
+                initial_occupancy: 1.0,
+                seed: 1,
+                ..ParkingConfig::default()
+            },
+            UsageCurve::flat(1.0),
+        );
+        for step in 0..20 {
+            city.step(step * 60_000);
+        }
+        assert!(city.occupancy("L").unwrap() < 0.1);
+    }
+
+    #[test]
+    fn usage_curve_peaks_at_rush_hour() {
+        let curve = UsageCurve::default();
+        let night = curve.factor_at(3 * 3_600_000);
+        let morning_rush = curve.factor_at(9 * 3_600_000);
+        let evening_rush = curve.factor_at(18 * 3_600_000);
+        assert!(morning_rush > 4.0 * night);
+        assert!(evening_rush > 4.0 * night);
+        // Wraps at midnight.
+        assert_eq!(
+            curve.factor_at(27 * 3_600_000),
+            curve.factor_at(3 * 3_600_000)
+        );
+    }
+
+    #[test]
+    fn sensors_see_shared_lot_state() {
+        let city = small_city();
+        let lot = city.lot("A22").unwrap();
+        let mut sensor0 = PresenceSensorDriver::new(lot.clone(), 0);
+        let before = sensor0.query("presence", 0).unwrap();
+        // Flip space 0 and observe through the driver.
+        lot.update(|spaces| spaces[0] = !spaces[0]);
+        let after = sensor0.query("presence", 0).unwrap();
+        assert_ne!(before, after);
+        // Out-of-range and unknown sources error.
+        let mut bad = PresenceSensorDriver::new(lot, 10_000);
+        assert!(bad.query("presence", 0).is_err());
+        assert!(sensor0.query("occupancy", 0).is_err());
+        assert!(sensor0.invoke("reset", &[], 0).is_err());
+    }
+
+    #[test]
+    fn free_spaces_plus_occupied_is_total() {
+        let city = small_city();
+        let free = city.free_spaces("A22").unwrap();
+        let occ = city.occupancy("A22").unwrap();
+        let occupied = (occ * 50.0).round() as usize;
+        assert_eq!(free + occupied, 50);
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let run = || {
+            let mut city = small_city();
+            for step in 0..50 {
+                city.step(step * 60_000);
+            }
+            (
+                city.free_spaces("A22").unwrap(),
+                city.free_spaces("B16").unwrap(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,114 @@
+//! Collectors through which Map and Reduce phases emit records.
+//!
+//! These mirror the `MapCollector.emitMap` / `ReduceCollector.emitReduce`
+//! methods of the generated framework in the paper's Figure 10.
+
+/// Receives intermediate `(key, value)` records from a Map invocation.
+#[derive(Debug)]
+pub struct MapCollector<K, V> {
+    items: Vec<(K, V)>,
+}
+
+impl<K, V> MapCollector<K, V> {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        MapCollector { items: Vec::new() }
+    }
+
+    /// Emits one intermediate record (the paper's `emitMap`).
+    pub fn emit_map(&mut self, key: K, value: V) {
+        self.items.push((key, value));
+    }
+
+    /// Number of records emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Consumes the collector, yielding the emitted records in order.
+    #[must_use]
+    pub fn into_items(self) -> Vec<(K, V)> {
+        self.items
+    }
+}
+
+impl<K, V> Default for MapCollector<K, V> {
+    fn default() -> Self {
+        MapCollector::new()
+    }
+}
+
+/// Receives final `(key, value)` records from a Reduce invocation.
+#[derive(Debug)]
+pub struct ReduceCollector<K, V> {
+    items: Vec<(K, V)>,
+}
+
+impl<K, V> ReduceCollector<K, V> {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        ReduceCollector { items: Vec::new() }
+    }
+
+    /// Emits one final record (the paper's `emitReduce`).
+    pub fn emit_reduce(&mut self, key: K, value: V) {
+        self.items.push((key, value));
+    }
+
+    /// Number of records emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Consumes the collector, yielding the emitted records in order.
+    #[must_use]
+    pub fn into_items(self) -> Vec<(K, V)> {
+        self.items
+    }
+}
+
+impl<K, V> Default for ReduceCollector<K, V> {
+    fn default() -> Self {
+        ReduceCollector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collector_preserves_emission_order() {
+        let mut c = MapCollector::new();
+        assert!(c.is_empty());
+        c.emit_map("b", 2);
+        c.emit_map("a", 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.into_items(), vec![("b", 2), ("a", 1)]);
+    }
+
+    #[test]
+    fn reduce_collector_preserves_emission_order() {
+        let mut c = ReduceCollector::default();
+        c.emit_reduce(1, "x");
+        c.emit_reduce(2, "y");
+        assert!(!c.is_empty());
+        assert_eq!(c.into_items(), vec![(1, "x"), (2, "y")]);
+    }
+}

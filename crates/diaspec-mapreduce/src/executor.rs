@@ -1,0 +1,464 @@
+//! Serial and parallel MapReduce executors.
+//!
+//! The serial executor is the measurement baseline; the parallel executor
+//! fans both phases out over crossbeam scoped worker threads. Both produce
+//! byte-identical output (final records sorted by intermediate key, with
+//! per-key emission order preserved), so experiments compare *time*, never
+//! correctness.
+
+use crate::collector::{MapCollector, ReduceCollector};
+use crate::stats::ExecutionStats;
+use crate::{Combiner, MapReduce};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Which execution strategy a [`Job`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// Single-threaded baseline.
+    Serial,
+    /// Map and Reduce phases run on this many worker threads.
+    Parallel {
+        /// Number of worker threads (clamped to at least 1).
+        workers: usize,
+    },
+}
+
+/// A pass-through combiner used when none is configured.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCombiner;
+
+impl<K2, V2> Combiner<K2, V2> for NoCombiner {
+    fn combine(&self, _key: &K2, values: Vec<V2>) -> Vec<V2> {
+        values
+    }
+}
+
+/// Result of a MapReduce execution: final records in deterministic order
+/// (ascending intermediate key, per-key emission order) plus statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapReduceResult<K3, V3> {
+    /// The final records.
+    pub output: Vec<(K3, V3)>,
+    /// Execution statistics.
+    pub stats: ExecutionStats,
+}
+
+/// Result shaped as a map, for the common one-record-per-key case — the
+/// form the generated `onPeriodicPresence(Map<...>)` callback of Figure 10
+/// receives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappedResult<K3, V3> {
+    /// Final records keyed by `K3`. Later emissions for the same key win.
+    pub output: BTreeMap<K3, V3>,
+    /// Execution statistics.
+    pub stats: ExecutionStats,
+}
+
+/// A configured MapReduce execution: strategy plus optional combiner.
+///
+/// Construct with [`Job::serial`] or [`Job::parallel`], optionally add a
+/// [`Combiner`] with [`Job::combiner`], then call [`Job::run`] or
+/// [`Job::run_to_map`].
+#[derive(Debug, Clone)]
+pub struct Job<C = NoCombiner> {
+    executor: Executor,
+    combiner: C,
+}
+
+impl Job<NoCombiner> {
+    /// A single-threaded job (the experiment baseline).
+    #[must_use]
+    pub fn serial() -> Self {
+        Job {
+            executor: Executor::Serial,
+            combiner: NoCombiner,
+        }
+    }
+
+    /// A parallel job over `workers` threads (clamped to at least 1).
+    #[must_use]
+    pub fn parallel(workers: usize) -> Self {
+        Job {
+            executor: Executor::Parallel {
+                workers: workers.max(1),
+            },
+            combiner: NoCombiner,
+        }
+    }
+}
+
+impl<C> Job<C> {
+    /// Replaces the combiner, keeping the execution strategy.
+    #[must_use]
+    pub fn combiner<C2>(self, combiner: C2) -> Job<C2> {
+        Job {
+            executor: self.executor,
+            combiner,
+        }
+    }
+
+    /// The configured execution strategy.
+    #[must_use]
+    pub fn executor(&self) -> Executor {
+        self.executor
+    }
+
+    /// Runs the job, returning final records in deterministic order.
+    ///
+    /// Output order is: ascending intermediate key (`K2`), then the order
+    /// in which the Reduce invocation emitted — identical for the serial
+    /// and parallel executors.
+    pub fn run<K1, V1, K2, V2, K3, V3, MR, I>(
+        &self,
+        mr: &MR,
+        input: I,
+    ) -> MapReduceResult<K3, V3>
+    where
+        MR: MapReduce<K1, V1, K2, V2, K3, V3>,
+        I: IntoIterator<Item = (K1, V1)>,
+        K1: Send + Sync,
+        V1: Send + Sync,
+        K2: Ord + Send + Sync,
+        V2: Send + Sync,
+        K3: Send,
+        V3: Send,
+        C: Combiner<K2, V2>,
+    {
+        let input: Vec<(K1, V1)> = input.into_iter().collect();
+        let mut stats = ExecutionStats {
+            map_input_records: input.len() as u64,
+            ..ExecutionStats::default()
+        };
+        match self.executor {
+            Executor::Serial => {
+                stats.workers = 1;
+                let output = self.run_serial(mr, input, &mut stats);
+                MapReduceResult { output, stats }
+            }
+            Executor::Parallel { workers } => {
+                stats.workers = workers;
+                let output = self.run_parallel(mr, input, workers, &mut stats);
+                MapReduceResult { output, stats }
+            }
+        }
+    }
+
+    /// Runs the job, collapsing the output into a `BTreeMap` (later
+    /// emissions for the same final key overwrite earlier ones).
+    pub fn run_to_map<K1, V1, K2, V2, K3, V3, MR, I>(
+        &self,
+        mr: &MR,
+        input: I,
+    ) -> MappedResult<K3, V3>
+    where
+        MR: MapReduce<K1, V1, K2, V2, K3, V3>,
+        I: IntoIterator<Item = (K1, V1)>,
+        K1: Send + Sync,
+        V1: Send + Sync,
+        K2: Ord + Send + Sync,
+        V2: Send + Sync,
+        K3: Ord + Send,
+        V3: Send,
+        C: Combiner<K2, V2>,
+    {
+        let result = self.run(mr, input);
+        MappedResult {
+            output: result.output.into_iter().collect(),
+            stats: result.stats,
+        }
+    }
+
+    fn run_serial<K1, V1, K2, V2, K3, V3, MR>(
+        &self,
+        mr: &MR,
+        input: Vec<(K1, V1)>,
+        stats: &mut ExecutionStats,
+    ) -> Vec<(K3, V3)>
+    where
+        MR: MapReduce<K1, V1, K2, V2, K3, V3>,
+        K2: Ord,
+        C: Combiner<K2, V2>,
+    {
+        // Map.
+        let map_start = Instant::now();
+        let mut collector = MapCollector::new();
+        for (k, v) in &input {
+            mr.map(k, v, &mut collector);
+        }
+        let intermediate = collector.into_items();
+        stats.map_time = map_start.elapsed();
+
+        // Shuffle.
+        let shuffle_start = Instant::now();
+        let mut groups: BTreeMap<K2, Vec<V2>> = BTreeMap::new();
+        for (k, v) in intermediate {
+            groups.entry(k).or_default().push(v);
+        }
+        // The combiner runs here in serial mode: with one worker there is
+        // no shuffle traffic to save, but running it keeps serial and
+        // parallel semantics identical for combiners that transform values.
+        let groups: BTreeMap<K2, Vec<V2>> = groups
+            .into_iter()
+            .map(|(k, vs)| {
+                let combined = self.combiner.combine(&k, vs);
+                (k, combined)
+            })
+            .collect();
+        stats.map_output_records = groups.values().map(|v| v.len() as u64).sum();
+        stats.groups = groups.len() as u64;
+        stats.shuffle_time = shuffle_start.elapsed();
+
+        // Reduce.
+        let reduce_start = Instant::now();
+        let mut out = ReduceCollector::new();
+        for (k, vs) in &groups {
+            mr.reduce(k, vs, &mut out);
+        }
+        let output = out.into_items();
+        stats.reduce_output_records = output.len() as u64;
+        stats.reduce_time = reduce_start.elapsed();
+        output
+    }
+
+    fn run_parallel<K1, V1, K2, V2, K3, V3, MR>(
+        &self,
+        mr: &MR,
+        input: Vec<(K1, V1)>,
+        workers: usize,
+        stats: &mut ExecutionStats,
+    ) -> Vec<(K3, V3)>
+    where
+        MR: MapReduce<K1, V1, K2, V2, K3, V3>,
+        K1: Send + Sync,
+        V1: Send + Sync,
+        K2: Ord + Send + Sync,
+        V2: Send + Sync,
+        K3: Send,
+        V3: Send,
+        C: Combiner<K2, V2>,
+    {
+        let workers = workers.max(1);
+        let combiner = &self.combiner;
+
+        // Map phase: each worker maps a contiguous chunk and pre-groups
+        // locally (running the combiner on its partial groups).
+        let map_start = Instant::now();
+        let chunk_size = input.len().div_ceil(workers).max(1);
+        let chunks: Vec<&[(K1, V1)]> = input.chunks(chunk_size).collect();
+        let partials: Vec<BTreeMap<K2, Vec<V2>>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let mut collector = MapCollector::new();
+                        for (k, v) in chunk {
+                            mr.map(k, v, &mut collector);
+                        }
+                        let mut local: BTreeMap<K2, Vec<V2>> = BTreeMap::new();
+                        for (k, v) in collector.into_items() {
+                            local.entry(k).or_default().push(v);
+                        }
+                        local
+                            .into_iter()
+                            .map(|(k, vs)| {
+                                let combined = combiner.combine(&k, vs);
+                                (k, combined)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("map worker panicked"))
+                .collect()
+        })
+        .expect("map scope panicked");
+        stats.map_time = map_start.elapsed();
+
+        // Shuffle: merge the per-worker partial groups. Workers are merged
+        // in chunk order, so per-key value order equals the serial
+        // executor's input order.
+        let shuffle_start = Instant::now();
+        let mut groups: BTreeMap<K2, Vec<V2>> = BTreeMap::new();
+        for partial in partials {
+            for (k, vs) in partial {
+                groups.entry(k).or_default().extend(vs);
+            }
+        }
+        stats.map_output_records = groups.values().map(|v| v.len() as u64).sum();
+        stats.groups = groups.len() as u64;
+        stats.shuffle_time = shuffle_start.elapsed();
+
+        // Reduce phase: partition the key space contiguously, reduce each
+        // partition on its own worker, concatenate in partition order.
+        let reduce_start = Instant::now();
+        let entries: Vec<(&K2, &Vec<V2>)> = groups.iter().collect();
+        let chunk_size = entries.len().div_ceil(workers).max(1);
+        let output: Vec<(K3, V3)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = entries
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let mut out = ReduceCollector::new();
+                        for (k, vs) in chunk {
+                            mr.reduce(k, vs, &mut out);
+                        }
+                        out.into_items()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("reduce worker panicked"))
+                .collect()
+        })
+        .expect("reduce scope panicked");
+        stats.reduce_output_records = output.len() as u64;
+        stats.reduce_time = reduce_start.elapsed();
+        output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sums values per key; emits per-key sums.
+    struct SumPerKey;
+
+    impl MapReduce<u32, i64, u32, i64, u32, i64> for SumPerKey {
+        fn map(&self, key: &u32, value: &i64, out: &mut MapCollector<u32, i64>) {
+            out.emit_map(*key, *value);
+        }
+
+        fn reduce(&self, key: &u32, values: &[i64], out: &mut ReduceCollector<u32, i64>) {
+            out.emit_reduce(*key, values.iter().sum());
+        }
+    }
+
+    fn dataset(n: usize, keys: u32) -> Vec<(u32, i64)> {
+        (0..n).map(|i| ((i as u32) % keys, i as i64)).collect()
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let result = Job::serial().run(&SumPerKey, Vec::new());
+        assert!(result.output.is_empty());
+        assert_eq!(result.stats.map_input_records, 0);
+        assert_eq!(result.stats.groups, 0);
+        let result = Job::parallel(4).run(&SumPerKey, Vec::new());
+        assert!(result.output.is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_exactly() {
+        let data = dataset(10_000, 17);
+        let serial = Job::serial().run(&SumPerKey, data.clone());
+        for workers in [1, 2, 3, 4, 7, 16] {
+            let parallel = Job::parallel(workers).run(&SumPerKey, data.clone());
+            assert_eq!(serial.output, parallel.output, "workers = {workers}");
+            assert_eq!(parallel.stats.workers, workers);
+        }
+    }
+
+    #[test]
+    fn output_sorted_by_intermediate_key() {
+        let data = vec![(3u32, 1i64), (1, 2), (2, 3), (1, 4)];
+        let result = Job::serial().run(&SumPerKey, data);
+        let keys: Vec<u32> = result.output.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(result.output[0], (1, 6));
+    }
+
+    #[test]
+    fn stats_count_records() {
+        let data = dataset(100, 10);
+        let result = Job::parallel(4).run(&SumPerKey, data);
+        assert_eq!(result.stats.map_input_records, 100);
+        assert_eq!(result.stats.map_output_records, 100);
+        assert_eq!(result.stats.groups, 10);
+        assert_eq!(result.stats.reduce_output_records, 10);
+        assert!(result.stats.total_time() >= result.stats.map_time);
+    }
+
+    #[test]
+    fn more_workers_than_records_is_fine() {
+        let data = dataset(3, 3);
+        let result = Job::parallel(64).run(&SumPerKey, data);
+        assert_eq!(result.output.len(), 3);
+    }
+
+    #[test]
+    fn per_key_value_order_matches_serial_input_order() {
+        /// Emits the concatenation of values per key, exposing ordering.
+        struct Concat;
+        impl MapReduce<u32, String, u32, String, u32, String> for Concat {
+            fn map(&self, key: &u32, value: &String, out: &mut MapCollector<u32, String>) {
+                out.emit_map(*key, value.clone());
+            }
+            fn reduce(&self, key: &u32, values: &[String], out: &mut ReduceCollector<u32, String>) {
+                out.emit_reduce(*key, values.join(""));
+            }
+        }
+        let data: Vec<(u32, String)> = (0..26)
+            .map(|i| (i % 2, char::from(b'a' + i as u8).to_string()))
+            .collect();
+        let serial = Job::serial().run(&Concat, data.clone());
+        let parallel = Job::parallel(4).run(&Concat, data);
+        assert_eq!(serial.output, parallel.output);
+        // Even key: a, c, e, ... in input order.
+        assert_eq!(serial.output[0].1, "acegikmoqsuwy");
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume() {
+        use crate::FnCombiner;
+        let data = dataset(10_000, 5);
+        let no_combiner = Job::parallel(4).run(&SumPerKey, data.clone());
+        let with_combiner = Job::parallel(4)
+            .combiner(FnCombiner(|_k: &u32, vs: Vec<i64>| {
+                vec![vs.iter().sum::<i64>()]
+            }))
+            .run(&SumPerKey, data);
+        assert_eq!(no_combiner.output, with_combiner.output);
+        assert!(
+            with_combiner.stats.map_output_records < no_combiner.stats.map_output_records,
+            "combiner must shrink intermediate volume: {} vs {}",
+            with_combiner.stats.map_output_records,
+            no_combiner.stats.map_output_records
+        );
+        // At most workers * keys intermediate records after combining.
+        assert!(with_combiner.stats.map_output_records <= 4 * 5);
+    }
+
+    #[test]
+    fn run_to_map_collapses_keys() {
+        let data = dataset(50, 7);
+        let result = Job::serial().run_to_map(&SumPerKey, data);
+        assert_eq!(result.output.len(), 7);
+        let total: i64 = result.output.values().sum();
+        assert_eq!(total, (0..50).sum::<i64>());
+    }
+
+    #[test]
+    fn filtering_map_phase() {
+        /// Drops odd values entirely in Map (some keys vanish).
+        struct EvensOnly;
+        impl MapReduce<u32, i64, u32, i64, u32, i64> for EvensOnly {
+            fn map(&self, key: &u32, value: &i64, out: &mut MapCollector<u32, i64>) {
+                if value % 2 == 0 {
+                    out.emit_map(*key, *value);
+                }
+            }
+            fn reduce(&self, key: &u32, values: &[i64], out: &mut ReduceCollector<u32, i64>) {
+                out.emit_reduce(*key, values.len() as i64);
+            }
+        }
+        let data = vec![(1u32, 1i64), (1, 3), (2, 2), (2, 4)];
+        let result = Job::parallel(2).run(&EvensOnly, data);
+        assert_eq!(result.output, vec![(2, 2)]);
+        assert_eq!(result.stats.groups, 1);
+    }
+}

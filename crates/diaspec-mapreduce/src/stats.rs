@@ -1,0 +1,52 @@
+//! Per-execution statistics.
+
+use std::time::Duration;
+
+/// Record counts and phase timings of one MapReduce execution.
+///
+/// Timings use the monotonic wall clock of the executing machine; record
+/// counts are exact and deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutionStats {
+    /// Input records fed to the Map phase.
+    pub map_input_records: u64,
+    /// Intermediate records emitted by the Map phase (after combining,
+    /// when a combiner is configured).
+    pub map_output_records: u64,
+    /// Distinct intermediate keys after the shuffle.
+    pub groups: u64,
+    /// Final records emitted by the Reduce phase.
+    pub reduce_output_records: u64,
+    /// Worker threads used (1 for the serial executor).
+    pub workers: usize,
+    /// Wall-clock time of the Map phase (including combining).
+    pub map_time: Duration,
+    /// Wall-clock time of the shuffle (grouping by intermediate key).
+    pub shuffle_time: Duration,
+    /// Wall-clock time of the Reduce phase.
+    pub reduce_time: Duration,
+}
+
+impl ExecutionStats {
+    /// Total wall-clock time across all phases.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.map_time + self.shuffle_time + self.reduce_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_sums_phases() {
+        let stats = ExecutionStats {
+            map_time: Duration::from_millis(5),
+            shuffle_time: Duration::from_millis(3),
+            reduce_time: Duration::from_millis(2),
+            ..ExecutionStats::default()
+        };
+        assert_eq!(stats.total_time(), Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests: the parallel executor is observationally
+//! identical to the serial baseline for arbitrary datasets, worker
+//! counts, and (for associative folds) with combiners.
+
+use diaspec_mapreduce::{FnCombiner, Job, MapCollector, MapReduce, ReduceCollector};
+use proptest::prelude::*;
+
+/// Sums values per key.
+struct Sum;
+
+impl MapReduce<u16, i64, u16, i64, u16, i64> for Sum {
+    fn map(&self, key: &u16, value: &i64, out: &mut MapCollector<u16, i64>) {
+        out.emit_map(*key, *value);
+    }
+
+    fn reduce(&self, key: &u16, values: &[i64], out: &mut ReduceCollector<u16, i64>) {
+        out.emit_reduce(*key, values.iter().sum());
+    }
+}
+
+/// Concatenates stringified values per key — order-sensitive, so it
+/// detects any reordering introduced by parallel execution.
+struct Concat;
+
+impl MapReduce<u16, i64, u16, String, u16, String> for Concat {
+    fn map(&self, key: &u16, value: &i64, out: &mut MapCollector<u16, String>) {
+        out.emit_map(*key, value.to_string());
+    }
+
+    fn reduce(&self, key: &u16, values: &[String], out: &mut ReduceCollector<u16, String>) {
+        out.emit_reduce(*key, values.join(","));
+    }
+}
+
+/// A filtering, fan-out map: emits 0..3 records per input.
+struct FanOut;
+
+impl MapReduce<u16, i64, u16, i64, u16, i64> for FanOut {
+    fn map(&self, key: &u16, value: &i64, out: &mut MapCollector<u16, i64>) {
+        for offset in 0..(value.unsigned_abs() % 3) {
+            out.emit_map(key.wrapping_add(offset as u16), *value);
+        }
+    }
+
+    fn reduce(&self, key: &u16, values: &[i64], out: &mut ReduceCollector<u16, i64>) {
+        out.emit_reduce(*key, values.len() as i64);
+    }
+}
+
+fn dataset() -> impl Strategy<Value = Vec<(u16, i64)>> {
+    proptest::collection::vec((0u16..32, -1000i64..1000), 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parallel_equals_serial_for_sums(data in dataset(), workers in 1usize..9) {
+        let serial = Job::serial().run(&Sum, data.clone());
+        let parallel = Job::parallel(workers).run(&Sum, data);
+        prop_assert_eq!(serial.output, parallel.output);
+        prop_assert_eq!(serial.stats.groups, parallel.stats.groups);
+        prop_assert_eq!(
+            serial.stats.map_output_records,
+            parallel.stats.map_output_records
+        );
+    }
+
+    #[test]
+    fn parallel_preserves_per_key_order(data in dataset(), workers in 1usize..9) {
+        let serial = Job::serial().run(&Concat, data.clone());
+        let parallel = Job::parallel(workers).run(&Concat, data);
+        prop_assert_eq!(serial.output, parallel.output);
+    }
+
+    #[test]
+    fn parallel_equals_serial_with_fan_out(data in dataset(), workers in 1usize..9) {
+        let serial = Job::serial().run(&FanOut, data.clone());
+        let parallel = Job::parallel(workers).run(&FanOut, data);
+        prop_assert_eq!(serial.output, parallel.output);
+    }
+
+    #[test]
+    fn sum_combiner_is_semantics_preserving(data in dataset(), workers in 1usize..9) {
+        let plain = Job::serial().run(&Sum, data.clone());
+        let combined = Job::parallel(workers)
+            .combiner(FnCombiner(|_k: &u16, vs: Vec<i64>| {
+                vec![vs.iter().sum::<i64>()]
+            }))
+            .run(&Sum, data);
+        prop_assert_eq!(plain.output, combined.output);
+    }
+
+    #[test]
+    fn output_totals_are_conserved(data in dataset()) {
+        let result = Job::serial().run(&Sum, data.clone());
+        let expected: i64 = data.iter().map(|(_, v)| *v).sum();
+        let got: i64 = result.output.iter().map(|(_, v)| *v).sum();
+        prop_assert_eq!(expected, got, "group sums conserve the grand total");
+        prop_assert_eq!(
+            result.stats.map_input_records as usize,
+            data.len()
+        );
+    }
+}

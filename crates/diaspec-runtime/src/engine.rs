@@ -1,0 +1,1668 @@
+//! The orchestration engine.
+//!
+//! [`Orchestrator`] executes a checked DiaSpec design: it owns the entity
+//! [`Registry`], the deterministic event queue, the simulated transport,
+//! and the registered component logic, and it implements the paper's four
+//! IoT activities end to end:
+//!
+//! 1. **Binding entities** — [`Orchestrator::bind_entity`] at any
+//!    lifecycle phase; discovery through the registry.
+//! 2. **Delivering data** — all three models: *event-driven* (processes
+//!    emit source values, routed to `when provided` subscribers),
+//!    *periodic* (the engine polls device families on the declared period,
+//!    batches, groups, and delivers), and *query-driven* (`get` clauses
+//!    through [`ContextApi`]).
+//! 3. **Processing data** — `grouped by` partitioning, optional windows
+//!    (`every <T>`), and MapReduce execution on the `diaspec-mapreduce`
+//!    substrate.
+//! 4. **Actuating entities** — controllers invoke device actions through a
+//!    discover facade that enforces the declared `do ... on ...` contracts.
+//!
+//! The engine also enforces Sense-Compute-Control conformance at runtime:
+//! a component can only read what its declaration says it reads and only
+//! actuate what it declares, publish modes are honored (`always` must
+//! publish, `no` must not), and every value crossing a boundary is checked
+//! against its declared type. Violations are contained and recorded (see
+//! [`Orchestrator::drain_errors`]) so a faulty component cannot silently
+//! corrupt an experiment.
+
+use crate::clock::{EventQueue, SimTime};
+use crate::component::{
+    BatchData, ContainedError, ContextActivation, ContextLogic, ControllerLogic, MapReduceLogic,
+};
+use crate::entity::{AttributeMap, BindingTime, DeviceInstance, EntityId};
+use crate::error::RuntimeError;
+use crate::metrics::RuntimeMetrics;
+use crate::registry::{PolledReading, Registry};
+use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
+use crate::transport::{Transport, TransportConfig};
+use crate::value::Value;
+use diaspec_core::model::{
+    ActivationTrigger, AnnotationArg, CheckedSpec, InputRef, PublishMode, Subscriber,
+};
+use diaspec_mapreduce::{Job, MapCollector, MapReduce, ReduceCollector};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How MapReduce phases declared in the design are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessingMode {
+    /// Single-threaded (the baseline of experiment E10).
+    Serial,
+    /// Parallel over this many worker threads.
+    Parallel(usize),
+}
+
+impl Default for ProcessingMode {
+    fn default() -> Self {
+        ProcessingMode::Serial
+    }
+}
+
+/// Lifecycle phase of the orchestrator, determining the [`BindingTime`]
+/// recorded for newly bound entities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Assembling the application: registering logic, binding
+    /// configuration-time entities.
+    Configuration,
+    /// Infrastructure roll-out: binding deployment-time entities.
+    Deployment,
+    /// Running: periodic deliveries are scheduled; new bindings are
+    /// runtime bindings.
+    Launched,
+}
+
+enum Event {
+    /// A process emitted a source value (event-driven delivery).
+    Emit {
+        entity: EntityId,
+        source: String,
+        value: Value,
+        index: Option<Value>,
+    },
+    /// A source emission arrives at a subscribed context.
+    SourceDeliver {
+        context: String,
+        entity: EntityId,
+        device_type: String,
+        source: String,
+        value: Value,
+        index: Option<Value>,
+    },
+    /// A context publication arrives at a subscribed context.
+    ContextDeliver {
+        context: String,
+        from: String,
+        value: Value,
+    },
+    /// A context publication arrives at a subscribed controller.
+    ControllerDeliver {
+        controller: String,
+        from: String,
+        value: Value,
+    },
+    /// Time to poll a periodic activation.
+    PeriodicPoll {
+        context: String,
+        activation_idx: usize,
+    },
+    /// A gathered periodic batch arrives at its context.
+    BatchDeliver {
+        context: String,
+        activation_idx: usize,
+        readings: Vec<PolledReading>,
+        window_ms: Option<u64>,
+    },
+    /// A simulation process wakes.
+    ProcessWake { idx: usize },
+}
+
+struct ContextRuntime {
+    logic: Option<Box<dyn ContextLogic>>,
+    map_reduce: Option<Arc<dyn MapReduceLogic>>,
+    last_value: Option<Value>,
+    /// Per-activation window accumulation buffers.
+    windows: BTreeMap<usize, WindowBuffer>,
+}
+
+struct WindowBuffer {
+    readings: Vec<PolledReading>,
+    deadline: SimTime,
+}
+
+struct ControllerRuntime {
+    logic: Option<Box<dyn ControllerLogic>>,
+}
+
+struct ProcessSlot {
+    name: String,
+    process: Option<Box<dyn crate::process::Process>>,
+}
+
+/// The orchestration engine. See the [module docs](self) for an overview.
+///
+/// # Examples
+///
+/// A minimal event-driven chain (sensor → context → controller → actuator):
+///
+/// ```
+/// use diaspec_core::compile_str;
+/// use diaspec_runtime::engine::{ContextApi, ControllerApi, Orchestrator};
+/// use diaspec_runtime::component::ContextActivation;
+/// use diaspec_runtime::entity::DeviceInstance;
+/// use diaspec_runtime::error::{ComponentError, DeviceError};
+/// use diaspec_runtime::value::Value;
+/// use std::sync::Arc;
+///
+/// /// A bell that accepts any `ring` actuation.
+/// struct BellDriver;
+/// impl DeviceInstance for BellDriver {
+///     fn query(&mut self, source: &str, _now: u64) -> Result<Value, DeviceError> {
+///         Err(DeviceError::new("bell-1", source, "bells have no sources"))
+///     }
+///     fn invoke(&mut self, _action: &str, _args: &[Value], _now: u64) -> Result<(), DeviceError> {
+///         Ok(())
+///     }
+/// }
+///
+/// fn pressed(
+///     _api: &mut ContextApi<'_>,
+///     activation: ContextActivation<'_>,
+/// ) -> Result<Option<Value>, ComponentError> {
+///     match activation {
+///         ContextActivation::SourceEvent { value, .. } if value.as_bool() == Some(true) => {
+///             Ok(Some(Value::Bool(true)))
+///         }
+///         _ => Ok(None),
+///     }
+/// }
+///
+/// fn ring(
+///     api: &mut ControllerApi<'_>,
+///     _context: &str,
+///     _value: &Value,
+/// ) -> Result<(), ComponentError> {
+///     for bell in api.discover("Bell")?.ids() {
+///         api.invoke(&bell, "ring", &[])?;
+///     }
+///     Ok(())
+/// }
+///
+/// let spec = Arc::new(compile_str(r#"
+///     device Button { source pressed as Boolean; }
+///     device Bell { action ring; }
+///     context Pressed as Boolean { when provided pressed from Button maybe publish; }
+///     controller Ring { when provided Pressed do ring on Bell; }
+/// "#)?);
+/// let mut orch = Orchestrator::new(spec);
+/// orch.register_context("Pressed", pressed)?;
+/// orch.register_controller("Ring", ring)?;
+/// orch.bind_entity("button-1".into(), "Button", Default::default(),
+///     Box::new(|_: &str, _: u64| Ok(Value::Bool(false))))?;
+/// orch.bind_entity("bell-1".into(), "Bell", Default::default(), Box::new(BellDriver))?;
+/// orch.launch()?;
+/// orch.emit_at(5, &"button-1".into(), "pressed", Value::Bool(true), None)?;
+/// orch.run_until(10);
+/// assert_eq!(orch.metrics().actuations, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Orchestrator {
+    spec: Arc<CheckedSpec>,
+    registry: Registry,
+    queue: EventQueue<Event>,
+    transport: Transport,
+    metrics: RuntimeMetrics,
+    contexts: BTreeMap<String, ContextRuntime>,
+    controllers: BTreeMap<String, ControllerRuntime>,
+    processes: Vec<ProcessSlot>,
+    phase: Phase,
+    processing: ProcessingMode,
+    errors: Vec<ContainedError>,
+    trace: TraceBuffer,
+    /// Per-context QoS latency budgets (ms), from `@qos(latencyMs = N)`.
+    qos_budgets: BTreeMap<String, u64>,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator for a checked specification with an ideal
+    /// (zero-latency, lossless) transport.
+    #[must_use]
+    pub fn new(spec: Arc<CheckedSpec>) -> Self {
+        Orchestrator::with_transport(spec, TransportConfig::default())
+    }
+
+    /// Creates an orchestrator with a configured simulated transport.
+    #[must_use]
+    pub fn with_transport(spec: Arc<CheckedSpec>, transport: TransportConfig) -> Self {
+        let contexts = spec
+            .contexts()
+            .map(|c| {
+                (
+                    c.name.clone(),
+                    ContextRuntime {
+                        logic: None,
+                        map_reduce: None,
+                        last_value: None,
+                        windows: BTreeMap::new(),
+                    },
+                )
+            })
+            .collect();
+        let controllers = spec
+            .controllers()
+            .map(|c| {
+                (
+                    c.name.clone(),
+                    ControllerRuntime { logic: None },
+                )
+            })
+            .collect();
+        let qos_budgets = spec
+            .contexts()
+            .filter_map(|ctx| {
+                ctx.annotations
+                    .iter()
+                    .find(|a| a.name == "qos")
+                    .and_then(|a| a.arg("latencyMs"))
+                    .and_then(AnnotationArg::as_int)
+                    .map(|budget| (ctx.name.clone(), budget))
+            })
+            .collect();
+        Orchestrator {
+            registry: Registry::new(Arc::clone(&spec)),
+            spec,
+            queue: EventQueue::new(),
+            transport: Transport::new(transport),
+            metrics: RuntimeMetrics::default(),
+            contexts,
+            controllers,
+            processes: Vec::new(),
+            phase: Phase::Configuration,
+            processing: ProcessingMode::default(),
+            errors: Vec::new(),
+            trace: TraceBuffer::new(),
+            qos_budgets,
+        }
+    }
+
+    /// Enables or disables execution tracing (off by default).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
+    }
+
+    /// Removes and returns all trace events recorded since the last call.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take()
+    }
+
+    /// Number of trace events dropped because the bounded trace buffer
+    /// overflowed (drain with [`Orchestrator::take_trace`] to avoid it).
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.dropped()
+    }
+
+    /// Checks a sampled delivery latency against the receiving context's
+    /// declared `@qos(latencyMs = N)` budget (paper \[15\]).
+    fn check_qos(&mut self, context: &str, latency: crate::clock::SimTime) {
+        if let Some(budget) = self.qos_budgets.get(context) {
+            if latency > *budget {
+                self.metrics.qos_violations += 1;
+                let at = self.queue.now();
+                self.trace.record(
+                    at,
+                    TraceKind::Error {
+                        message: format!(
+                            "QoS violation: delivery to `{context}` took {latency} ms                              (budget {budget} ms)"
+                        ),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Selects how declared MapReduce phases execute.
+    pub fn set_processing_mode(&mut self, mode: ProcessingMode) {
+        self.processing = mode;
+    }
+
+    /// The specification being orchestrated.
+    #[must_use]
+    pub fn spec(&self) -> &CheckedSpec {
+        &self.spec
+    }
+
+    /// Current simulation time in milliseconds.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Engine metrics accumulated so far.
+    #[must_use]
+    pub fn metrics(&self) -> &RuntimeMetrics {
+        &self.metrics
+    }
+
+    /// Read access to the entity registry.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The current lifecycle phase.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The last value published or computed by `context`, if any.
+    #[must_use]
+    pub fn last_value(&self, context: &str) -> Option<&Value> {
+        self.contexts.get(context)?.last_value.as_ref()
+    }
+
+    /// Removes and returns all errors contained since the last call.
+    ///
+    /// The engine never aborts a run on a component or device failure; it
+    /// records the error here and keeps orchestrating, so experiments with
+    /// failure injection can observe exactly what went wrong and when.
+    pub fn drain_errors(&mut self) -> Vec<ContainedError> {
+        std::mem::take(&mut self.errors)
+    }
+
+    fn contain(&mut self, error: RuntimeError) {
+        let at = self.queue.now();
+        self.trace.record(
+            at,
+            TraceKind::Error {
+                message: error.to_string(),
+            },
+        );
+        self.errors.push(ContainedError { at, error });
+        self.metrics.component_errors += 1;
+    }
+
+    // ---- registration (configuration phase) ------------------------------
+
+    /// Registers the logic of a declared context.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unknown`] if the context is not declared,
+    /// [`RuntimeError::Configuration`] if logic was already registered.
+    pub fn register_context(
+        &mut self,
+        name: &str,
+        logic: impl ContextLogic + 'static,
+    ) -> Result<(), RuntimeError> {
+        let runtime = self.contexts.get_mut(name).ok_or_else(|| RuntimeError::Unknown {
+            kind: "context",
+            name: name.to_owned(),
+        })?;
+        if runtime.logic.is_some() {
+            return Err(RuntimeError::Configuration(format!(
+                "context `{name}` already has logic registered"
+            )));
+        }
+        runtime.logic = Some(Box::new(logic));
+        Ok(())
+    }
+
+    /// Registers the MapReduce phases of a context whose design declares
+    /// `with map ... reduce ...`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unknown`] if the context is not declared,
+    /// [`RuntimeError::Configuration`] if the design declares no MapReduce
+    /// for it or phases were already registered.
+    pub fn register_map_reduce(
+        &mut self,
+        name: &str,
+        logic: impl MapReduceLogic + 'static,
+    ) -> Result<(), RuntimeError> {
+        let declared = self
+            .spec
+            .context(name)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "context",
+                name: name.to_owned(),
+            })?
+            .uses_map_reduce();
+        if !declared {
+            return Err(RuntimeError::Configuration(format!(
+                "context `{name}` declares no `with map ... reduce ...` clause"
+            )));
+        }
+        let runtime = self.contexts.get_mut(name).expect("checked above");
+        if runtime.map_reduce.is_some() {
+            return Err(RuntimeError::Configuration(format!(
+                "context `{name}` already has MapReduce phases registered"
+            )));
+        }
+        runtime.map_reduce = Some(Arc::new(logic));
+        Ok(())
+    }
+
+    /// Registers the logic of a declared controller.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unknown`] if the controller is not declared,
+    /// [`RuntimeError::Configuration`] if logic was already registered.
+    pub fn register_controller(
+        &mut self,
+        name: &str,
+        logic: impl ControllerLogic + 'static,
+    ) -> Result<(), RuntimeError> {
+        let runtime = self
+            .controllers
+            .get_mut(name)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "controller",
+                name: name.to_owned(),
+            })?;
+        if runtime.logic.is_some() {
+            return Err(RuntimeError::Configuration(format!(
+                "controller `{name}` already has logic registered"
+            )));
+        }
+        runtime.logic = Some(Box::new(logic));
+        Ok(())
+    }
+
+    // ---- binding ----------------------------------------------------------
+
+    /// Binds an entity at the current lifecycle phase.
+    ///
+    /// # Errors
+    ///
+    /// See [`Registry::bind`].
+    pub fn bind_entity(
+        &mut self,
+        id: EntityId,
+        device_type: &str,
+        attributes: AttributeMap,
+        driver: Box<dyn DeviceInstance>,
+    ) -> Result<(), RuntimeError> {
+        let binding_time = match self.phase {
+            Phase::Configuration => BindingTime::Configuration,
+            Phase::Deployment => BindingTime::Deployment,
+            Phase::Launched => BindingTime::Runtime,
+        };
+        let now = self.queue.now();
+        self.registry
+            .bind(id, device_type, attributes, driver, binding_time, now)
+    }
+
+    /// Unbinds an entity (e.g. a failed or departing device).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unknown`] if the entity is not bound.
+    pub fn unbind_entity(&mut self, id: &EntityId) -> Result<(), RuntimeError> {
+        self.registry.unbind(id).map(|_| ())
+    }
+
+    /// Advances the lifecycle from configuration to deployment.
+    pub fn begin_deployment(&mut self) {
+        if self.phase == Phase::Configuration {
+            self.phase = Phase::Deployment;
+        }
+    }
+
+    /// Spawns a simulation process, first waking at absolute time `at`.
+    pub fn spawn_process_at(
+        &mut self,
+        name: impl Into<String>,
+        process: impl crate::process::Process + 'static,
+        at: SimTime,
+    ) {
+        let idx = self.processes.len();
+        self.processes.push(ProcessSlot {
+            name: name.into(),
+            process: Some(Box::new(process)),
+        });
+        self.queue.schedule(at, Event::ProcessWake { idx });
+    }
+
+    // ---- launch -----------------------------------------------------------
+
+    /// Launches the application: validates that every declared component
+    /// has logic and schedules the periodic deliveries.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Configuration`] naming the first component missing
+    /// its logic (or MapReduce phases).
+    pub fn launch(&mut self) -> Result<(), RuntimeError> {
+        if self.phase == Phase::Launched {
+            return Err(RuntimeError::Configuration(
+                "application is already launched".to_owned(),
+            ));
+        }
+        for (name, runtime) in &self.contexts {
+            if runtime.logic.is_none() {
+                return Err(RuntimeError::Configuration(format!(
+                    "context `{name}` has no logic registered"
+                )));
+            }
+            let declared_mr = self
+                .spec
+                .context(name)
+                .is_some_and(|c| c.uses_map_reduce());
+            if declared_mr && runtime.map_reduce.is_none() {
+                return Err(RuntimeError::Configuration(format!(
+                    "context `{name}` declares MapReduce phases but none were registered"
+                )));
+            }
+        }
+        for (name, runtime) in &self.controllers {
+            if runtime.logic.is_none() {
+                return Err(RuntimeError::Configuration(format!(
+                    "controller `{name}` has no logic registered"
+                )));
+            }
+        }
+
+        // Schedule periodic polls and initialize aggregation windows.
+        let now = self.queue.now();
+        let mut to_schedule = Vec::new();
+        for ctx in self.spec.contexts() {
+            for (idx, activation) in ctx.activations.iter().enumerate() {
+                if let ActivationTrigger::Periodic { period_ms, .. } = activation.trigger {
+                    to_schedule.push((ctx.name.clone(), idx, period_ms));
+                    if let Some(window_ms) =
+                        activation.grouping.as_ref().and_then(|g| g.window_ms)
+                    {
+                        self.contexts
+                            .get_mut(&ctx.name)
+                            .expect("context exists")
+                            .windows
+                            .insert(
+                                idx,
+                                WindowBuffer {
+                                    readings: Vec::new(),
+                                    deadline: now + window_ms,
+                                },
+                            );
+                    }
+                }
+            }
+        }
+        for (context, activation_idx, period_ms) in to_schedule {
+            self.queue.schedule(
+                now + period_ms,
+                Event::PeriodicPoll {
+                    context,
+                    activation_idx,
+                },
+            );
+        }
+        self.phase = Phase::Launched;
+        Ok(())
+    }
+
+    // ---- driving the simulation --------------------------------------------
+
+    /// Emits a source value from an entity at absolute time `at`
+    /// (event-driven delivery). Primarily used by tests and examples;
+    /// simulation processes use [`ProcessApi::emit`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unknown`] if the entity is not bound or its device
+    /// does not declare `source`.
+    pub fn emit_at(
+        &mut self,
+        at: SimTime,
+        entity: &EntityId,
+        source: &str,
+        value: Value,
+        index: Option<Value>,
+    ) -> Result<(), RuntimeError> {
+        let info = self.registry.entity(entity).ok_or_else(|| RuntimeError::Unknown {
+            kind: "entity",
+            name: entity.to_string(),
+        })?;
+        let device = self
+            .spec
+            .device(&info.device_type)
+            .expect("bound entity has declared device");
+        if device.source(source).is_none() {
+            return Err(RuntimeError::Unknown {
+                kind: "source",
+                name: format!("{source} on {}", info.device_type),
+            });
+        }
+        self.queue.schedule(
+            at,
+            Event::Emit {
+                entity: entity.clone(),
+                source: source.to_owned(),
+                value,
+                index,
+            },
+        );
+        Ok(())
+    }
+
+    /// Processes a single event, if any is pending. Returns its timestamp.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (time, event) = self.queue.pop()?;
+        self.dispatch(event);
+        Some(time)
+    }
+
+    /// Runs every event scheduled up to and including `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self.queue.peek_time().is_some_and(|t| t <= deadline) {
+            self.step();
+        }
+    }
+
+    /// Runs for `duration` milliseconds of simulation time from now.
+    pub fn run_for(&mut self, duration: SimTime) {
+        let deadline = self.queue.now().saturating_add(duration);
+        self.run_until(deadline);
+    }
+
+    /// Runs for `duration` milliseconds of simulation time, pacing event
+    /// execution against the wall clock: one simulated millisecond takes
+    /// `1 / time_scale` real milliseconds (`time_scale = 1.0` is real
+    /// time; `60.0` compresses a minute into a second).
+    ///
+    /// Deterministic event *order* is unchanged — only when events
+    /// execute in wall-clock terms. Useful for demos and for driving real
+    /// device drivers that expect wall-clock pacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_scale` is not finite and positive.
+    pub fn run_realtime_for(&mut self, duration: SimTime, time_scale: f64) {
+        assert!(
+            time_scale.is_finite() && time_scale > 0.0,
+            "time_scale must be finite and positive, got {time_scale}"
+        );
+        let sim_start = self.queue.now();
+        let deadline = sim_start.saturating_add(duration);
+        let wall_start = std::time::Instant::now();
+        while let Some(next) = self.queue.peek_time() {
+            if next > deadline {
+                break;
+            }
+            let target_wall =
+                std::time::Duration::from_secs_f64((next - sim_start) as f64 / 1e3 / time_scale);
+            let elapsed = wall_start.elapsed();
+            if target_wall > elapsed {
+                std::thread::sleep(target_wall - elapsed);
+            }
+            self.step();
+        }
+    }
+
+    // ---- event dispatch ----------------------------------------------------
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Emit {
+                entity,
+                source,
+                value,
+                index,
+            } => self.dispatch_emit(&entity, &source, value, index),
+            Event::SourceDeliver {
+                context,
+                entity,
+                device_type,
+                source,
+                value,
+                index,
+            } => {
+                let activation_idx = self.find_source_activation(&context, &device_type, &source);
+                let Some(activation_idx) = activation_idx else {
+                    return;
+                };
+                let input = ContextActivation::SourceEvent {
+                    device_type: &device_type,
+                    entity: &entity,
+                    source: &source,
+                    value: &value,
+                    index: index.as_ref(),
+                };
+                self.activate_context(&context, activation_idx, input);
+            }
+            Event::ContextDeliver {
+                context,
+                from,
+                value,
+            } => {
+                let Some(activation_idx) = self.find_context_activation(&context, &from) else {
+                    return;
+                };
+                let input = ContextActivation::ContextEvent {
+                    context: &from,
+                    value: &value,
+                };
+                self.activate_context(&context, activation_idx, input);
+            }
+            Event::ControllerDeliver {
+                controller,
+                from,
+                value,
+            } => self.activate_controller(&controller, &from, &value),
+            Event::PeriodicPoll {
+                context,
+                activation_idx,
+            } => self.dispatch_periodic_poll(&context, activation_idx),
+            Event::BatchDeliver {
+                context,
+                activation_idx,
+                readings,
+                window_ms,
+            } => self.dispatch_batch(&context, activation_idx, readings, window_ms),
+            Event::ProcessWake { idx } => {
+                let Some(mut process) = self.processes[idx].process.take() else {
+                    return;
+                };
+                let next = {
+                    let mut api = ProcessApi { engine: self };
+                    process.wake(&mut api)
+                };
+                self.processes[idx].process = Some(process);
+                if let Some(at) = next {
+                    self.queue.schedule(at, Event::ProcessWake { idx });
+                }
+            }
+        }
+    }
+
+    fn dispatch_emit(
+        &mut self,
+        entity: &EntityId,
+        source: &str,
+        value: Value,
+        index: Option<Value>,
+    ) {
+        self.metrics.emissions += 1;
+        if self.trace.is_enabled() {
+            let at = self.queue.now();
+            self.trace.record(
+                at,
+                TraceKind::Emission {
+                    entity: entity.to_string(),
+                    source: source.to_owned(),
+                },
+            );
+        }
+        let Some(info) = self.registry.entity(entity) else {
+            return; // entity unbound between emission and dispatch
+        };
+        let device_type = info.device_type.clone();
+        let subscribers: Vec<String> = self
+            .spec
+            .subscribers_of_source(&device_type, source)
+            .into_iter()
+            .filter(|ctx| {
+                // Only event-driven subscriptions consume emissions;
+                // periodic ones poll.
+                ctx.activations.iter().any(|a| {
+                    matches!(
+                        &a.trigger,
+                        ActivationTrigger::DeviceSource { device, source: s }
+                            if s == source && self.spec.device_is_subtype(&device_type, device)
+                    )
+                })
+            })
+            .map(|ctx| ctx.name.clone())
+            .collect();
+        for context in subscribers {
+            match self.transport.send() {
+                Some(latency) => {
+                    self.metrics.messages_delivered += 1;
+                    self.metrics.total_transport_latency_ms += latency;
+                    self.check_qos(&context, latency);
+                    self.queue.schedule_in(
+                        latency,
+                        Event::SourceDeliver {
+                            context,
+                            entity: entity.clone(),
+                            device_type: device_type.clone(),
+                            source: source.to_owned(),
+                            value: value.clone(),
+                            index: index.clone(),
+                        },
+                    );
+                }
+                None => self.metrics.messages_lost += 1,
+            }
+        }
+    }
+
+    fn dispatch_periodic_poll(&mut self, context: &str, activation_idx: usize) {
+        let Some(ctx_decl) = self.spec.context(context) else {
+            return;
+        };
+        let Some(activation) = ctx_decl.activations.get(activation_idx) else {
+            return;
+        };
+        let ActivationTrigger::Periodic {
+            device,
+            source,
+            period_ms,
+        } = activation.trigger.clone()
+        else {
+            return;
+        };
+        let group_attr = activation
+            .grouping
+            .as_ref()
+            .map(|g| g.attribute.clone());
+        let window_ms = activation.grouping.as_ref().and_then(|g| g.window_ms);
+
+        // Poll the whole device family (query-driven under the hood; the
+        // paper requires drivers to support all three delivery modes).
+        let now = self.queue.now();
+        let readings = self
+            .registry
+            .poll(&device, &source, group_attr.as_deref(), now);
+        self.metrics.periodic_deliveries += 1;
+        self.metrics.readings_polled += readings.len() as u64;
+        self.trace.record(
+            now,
+            TraceKind::PeriodicPoll {
+                device: device.clone(),
+                source: source.clone(),
+                readings: readings.len(),
+            },
+        );
+
+        // Each reading crosses the transport; the batch arrives when its
+        // slowest surviving reading does.
+        let mut surviving = Vec::with_capacity(readings.len());
+        let mut max_latency = 0;
+        for reading in readings {
+            match self.transport.send() {
+                Some(latency) => {
+                    self.metrics.messages_delivered += 1;
+                    self.metrics.total_transport_latency_ms += latency;
+                    max_latency = max_latency.max(latency);
+                    surviving.push(reading);
+                }
+                None => self.metrics.messages_lost += 1,
+            }
+        }
+
+        // Window accumulation (`every <T>`): buffer until the deadline.
+        let deliver = if window_ms.is_some() {
+            let runtime = self.contexts.get_mut(context).expect("context exists");
+            let buffer = runtime
+                .windows
+                .get_mut(&activation_idx)
+                .expect("window initialized at launch");
+            buffer.readings.extend(surviving);
+            if now >= buffer.deadline {
+                let batch = std::mem::take(&mut buffer.readings);
+                buffer.deadline = now + window_ms.expect("window present");
+                Some(batch)
+            } else {
+                None
+            }
+        } else {
+            Some(surviving)
+        };
+
+        if let Some(readings) = deliver {
+            self.check_qos(context, max_latency);
+            self.queue.schedule_in(
+                max_latency,
+                Event::BatchDeliver {
+                    context: context.to_owned(),
+                    activation_idx,
+                    readings,
+                    window_ms,
+                },
+            );
+        }
+
+        // Keep the cadence anchored to the poll time, not delivery time.
+        self.queue.schedule(
+            now + period_ms,
+            Event::PeriodicPoll {
+                context: context.to_owned(),
+                activation_idx,
+            },
+        );
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        context: &str,
+        activation_idx: usize,
+        readings: Vec<PolledReading>,
+        window_ms: Option<u64>,
+    ) {
+        let Some(ctx_decl) = self.spec.context(context) else {
+            return;
+        };
+        let Some(activation) = ctx_decl.activations.get(activation_idx) else {
+            return;
+        };
+        let ActivationTrigger::Periodic { device, source, .. } = activation.trigger.clone()
+        else {
+            return;
+        };
+
+        let grouped = activation.grouping.as_ref().map(|_| {
+            let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
+            for reading in &readings {
+                if let Some(group) = &reading.group {
+                    groups
+                        .entry(group.clone())
+                        .or_default()
+                        .push(reading.value.clone());
+                }
+            }
+            groups
+        });
+
+        let reduced = match activation
+            .grouping
+            .as_ref()
+            .and_then(|g| g.map_reduce.as_ref())
+        {
+            Some(_) => {
+                let mr = self
+                    .contexts
+                    .get(context)
+                    .and_then(|r| r.map_reduce.clone());
+                match mr {
+                    Some(mr) => {
+                        self.metrics.map_reduce_executions += 1;
+                        let input: Vec<(Value, Value)> = readings
+                            .iter()
+                            .filter_map(|r| {
+                                r.group.clone().map(|g| (g, r.value.clone()))
+                            })
+                            .collect();
+                        let adapter = LogicAdapter(mr.as_ref());
+                        let result = match self.processing {
+                            ProcessingMode::Serial => {
+                                Job::serial().run_to_map(&adapter, input)
+                            }
+                            ProcessingMode::Parallel(workers) => {
+                                Job::parallel(workers).run_to_map(&adapter, input)
+                            }
+                        };
+                        Some(result.output)
+                    }
+                    None => {
+                        self.contain(RuntimeError::Configuration(format!(
+                            "context `{context}` reached a MapReduce batch without phases"
+                        )));
+                        None
+                    }
+                }
+            }
+            None => None,
+        };
+
+        let batch = BatchData {
+            device_type: device,
+            source,
+            readings,
+            grouped,
+            reduced,
+            window_ms,
+        };
+        self.activate_context(context, activation_idx, ContextActivation::Batch(&batch));
+    }
+
+    // ---- component activation ------------------------------------------------
+
+    fn find_source_activation(
+        &self,
+        context: &str,
+        device_type: &str,
+        source: &str,
+    ) -> Option<usize> {
+        self.spec.context(context)?.activations.iter().position(|a| {
+            matches!(
+                &a.trigger,
+                ActivationTrigger::DeviceSource { device, source: s }
+                    if s == source && self.spec.device_is_subtype(device_type, device)
+            )
+        })
+    }
+
+    fn find_context_activation(&self, context: &str, from: &str) -> Option<usize> {
+        self.spec.context(context)?.activations.iter().position(|a| {
+            matches!(&a.trigger, ActivationTrigger::Context(c) if c == from)
+        })
+    }
+
+    fn activate_context(
+        &mut self,
+        name: &str,
+        activation_idx: usize,
+        input: ContextActivation<'_>,
+    ) {
+        let publish_mode = match self
+            .spec
+            .context(name)
+            .and_then(|c| c.activations.get(activation_idx))
+        {
+            Some(a) => a.publish,
+            None => return,
+        };
+        let Some(mut logic) = self
+            .contexts
+            .get_mut(name)
+            .and_then(|r| r.logic.take())
+        else {
+            self.contain(RuntimeError::ContractViolation {
+                component: name.to_owned(),
+                message: "re-entrant activation (a `get` cycle at runtime?)".to_owned(),
+            });
+            return;
+        };
+        self.metrics.context_activations += 1;
+        if self.trace.is_enabled() {
+            let at = self.queue.now();
+            self.trace.record(
+                at,
+                TraceKind::ContextActivation {
+                    context: name.to_owned(),
+                },
+            );
+        }
+        let result = {
+            let mut api = ContextApi {
+                engine: self,
+                context: name,
+            };
+            logic.activate(&mut api, input)
+        };
+        self.contexts
+            .get_mut(name)
+            .expect("context exists")
+            .logic = Some(logic);
+
+        match result {
+            Err(e) => self.contain(e.into()),
+            Ok(maybe_value) => self.handle_publication(name, publish_mode, maybe_value),
+        }
+    }
+
+    fn handle_publication(
+        &mut self,
+        context: &str,
+        mode: PublishMode,
+        value: Option<Value>,
+    ) {
+        match (mode, value) {
+            (PublishMode::Always, None) => {
+                self.contain(RuntimeError::ContractViolation {
+                    component: context.to_owned(),
+                    message: "activation declared `always publish` but produced no value"
+                        .to_owned(),
+                });
+            }
+            (PublishMode::No, Some(_)) => {
+                self.contain(RuntimeError::ContractViolation {
+                    component: context.to_owned(),
+                    message: "activation declared `no publish` but produced a value".to_owned(),
+                });
+            }
+            (PublishMode::Maybe, None) => {
+                self.metrics.publications_declined += 1;
+            }
+            (PublishMode::No, None) => {}
+            (PublishMode::Always | PublishMode::Maybe, Some(value)) => {
+                self.publish(context, value);
+            }
+        }
+    }
+
+    fn publish(&mut self, context: &str, value: Value) {
+        let output_ty = match self.spec.context(context) {
+            Some(c) => c.output.clone(),
+            None => return,
+        };
+        if !value.conforms_to(&output_ty, &self.spec) {
+            self.contain(RuntimeError::TypeMismatch {
+                at: format!("publication of context `{context}`"),
+                expected: output_ty.to_string(),
+                found: value.to_string(),
+            });
+            return;
+        }
+        self.metrics.publications += 1;
+        if self.trace.is_enabled() {
+            let at = self.queue.now();
+            self.trace.record(
+                at,
+                TraceKind::Publication {
+                    context: context.to_owned(),
+                    value: value.to_string(),
+                },
+            );
+        }
+        if let Some(runtime) = self.contexts.get_mut(context) {
+            runtime.last_value = Some(value.clone());
+        }
+        for subscriber in self.spec.subscribers_of_context(context) {
+            match self.transport.send() {
+                None => {
+                    self.metrics.messages_lost += 1;
+                    continue;
+                }
+                Some(latency) => {
+                    self.metrics.messages_delivered += 1;
+                    self.metrics.total_transport_latency_ms += latency;
+                    if let Subscriber::Context(name) = &subscriber {
+                        self.check_qos(name, latency);
+                    }
+                    let event = match subscriber {
+                        Subscriber::Context(name) => Event::ContextDeliver {
+                            context: name,
+                            from: context.to_owned(),
+                            value: value.clone(),
+                        },
+                        Subscriber::Controller(name) => Event::ControllerDeliver {
+                            controller: name,
+                            from: context.to_owned(),
+                            value: value.clone(),
+                        },
+                    };
+                    self.queue.schedule_in(latency, event);
+                }
+            }
+        }
+    }
+
+    fn activate_controller(&mut self, name: &str, from: &str, value: &Value) {
+        let Some(mut logic) = self
+            .controllers
+            .get_mut(name)
+            .and_then(|r| r.logic.take())
+        else {
+            self.contain(RuntimeError::ContractViolation {
+                component: name.to_owned(),
+                message: "re-entrant controller activation".to_owned(),
+            });
+            return;
+        };
+        self.metrics.controller_activations += 1;
+        if self.trace.is_enabled() {
+            let at = self.queue.now();
+            self.trace.record(
+                at,
+                TraceKind::ControllerActivation {
+                    controller: name.to_owned(),
+                    from: from.to_owned(),
+                },
+            );
+        }
+        let result = {
+            let mut api = ControllerApi {
+                engine: self,
+                controller: name,
+            };
+            logic.on_context(&mut api, from, value)
+        };
+        self.controllers
+            .get_mut(name)
+            .expect("controller exists")
+            .logic = Some(logic);
+        if let Err(e) = result {
+            self.contain(e.into());
+        }
+    }
+
+    /// Computes the on-demand value of a `when required` context.
+    fn compute_on_demand(&mut self, name: &str) -> Result<Value, RuntimeError> {
+        let ctx_decl = self.spec.context(name).ok_or_else(|| RuntimeError::Unknown {
+            kind: "context",
+            name: name.to_owned(),
+        })?;
+        if !ctx_decl.is_required() {
+            return Err(RuntimeError::ContractViolation {
+                component: name.to_owned(),
+                message: "context does not declare `when required`".to_owned(),
+            });
+        }
+        let output_ty = ctx_decl.output.clone();
+        let Some(mut logic) = self
+            .contexts
+            .get_mut(name)
+            .and_then(|r| r.logic.take())
+        else {
+            return Err(RuntimeError::ContractViolation {
+                component: name.to_owned(),
+                message: "re-entrant on-demand computation (a `get` cycle?)".to_owned(),
+            });
+        };
+        self.metrics.on_demand_computations += 1;
+        self.metrics.context_activations += 1;
+        let result = {
+            let mut api = ContextApi {
+                engine: self,
+                context: name,
+            };
+            logic.activate(&mut api, ContextActivation::OnDemand)
+        };
+        self.contexts
+            .get_mut(name)
+            .expect("context exists")
+            .logic = Some(logic);
+
+        let computed = result.map_err(RuntimeError::from)?;
+        let value = match computed {
+            Some(value) => {
+                if !value.conforms_to(&output_ty, &self.spec) {
+                    return Err(RuntimeError::TypeMismatch {
+                        at: format!("on-demand value of context `{name}`"),
+                        expected: output_ty.to_string(),
+                        found: value.to_string(),
+                    });
+                }
+                self.contexts
+                    .get_mut(name)
+                    .expect("context exists")
+                    .last_value = Some(value.clone());
+                value
+            }
+            // Fall back to the most recent value when the logic has
+            // nothing fresher (e.g. it accumulates from periodic polls).
+            None => self
+                .contexts
+                .get(name)
+                .and_then(|r| r.last_value.clone())
+                .ok_or_else(|| RuntimeError::ContractViolation {
+                    component: name.to_owned(),
+                    message: "on-demand computation produced no value and none is cached"
+                        .to_owned(),
+                })?,
+        };
+        Ok(value)
+    }
+
+    /// Whether `context` declares a `get` of the given device source
+    /// (directly or against an ancestor device).
+    fn context_declares_source_get(&self, context: &str, device: &str, source: &str) -> bool {
+        let Some(ctx) = self.spec.context(context) else {
+            return false;
+        };
+        ctx.activations.iter().any(|a| {
+            a.gets.iter().any(|g| match g {
+                InputRef::DeviceSource { device: d, source: s } => {
+                    s == source && self.spec.device_is_subtype(device, d)
+                }
+                InputRef::Context(_) => false,
+            })
+        })
+    }
+
+    fn context_declares_context_get(&self, context: &str, target: &str) -> bool {
+        let Some(ctx) = self.spec.context(context) else {
+            return false;
+        };
+        ctx.activations.iter().any(|a| {
+            a.gets
+                .iter()
+                .any(|g| matches!(g, InputRef::Context(c) if c == target))
+        })
+    }
+
+    /// Whether `controller` declares `do action on device` (allowing the
+    /// concrete device to be a subtype of the declared one).
+    fn controller_declares_action(&self, controller: &str, device: &str, action: &str) -> bool {
+        let Some(ctrl) = self.spec.controller(controller) else {
+            return false;
+        };
+        ctrl.bindings.iter().any(|b| {
+            b.actions
+                .iter()
+                .any(|(a, d)| a == action && self.spec.device_is_subtype(device, d))
+        })
+    }
+
+    fn controller_declares_device(&self, controller: &str, device: &str) -> bool {
+        let Some(ctrl) = self.spec.controller(controller) else {
+            return false;
+        };
+        ctrl.bindings.iter().any(|b| {
+            b.actions
+                .iter()
+                .any(|(_, d)| {
+                    self.spec.device_is_subtype(device, d)
+                        || self.spec.device_is_subtype(d, device)
+                })
+        })
+    }
+}
+
+impl std::fmt::Debug for Orchestrator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Orchestrator")
+            .field("phase", &self.phase)
+            .field("now", &self.queue.now())
+            .field("entities", &self.registry.len())
+            .field("contexts", &self.contexts.len())
+            .field("controllers", &self.controllers.len())
+            .field(
+                "processes",
+                &self
+                    .processes
+                    .iter()
+                    .map(|p| p.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+/// Adapts a dynamic [`MapReduceLogic`] to the typed
+/// [`diaspec_mapreduce::MapReduce`] interface.
+struct LogicAdapter<'a>(&'a dyn MapReduceLogic);
+
+impl MapReduce<Value, Value, Value, Value, Value, Value> for LogicAdapter<'_> {
+    fn map(&self, key: &Value, value: &Value, collector: &mut MapCollector<Value, Value>) {
+        self.0
+            .map(key, value, &mut |k, v| collector.emit_map(k, v));
+    }
+
+    fn reduce(&self, key: &Value, values: &[Value], collector: &mut ReduceCollector<Value, Value>) {
+        collector.emit_reduce(key.clone(), self.0.reduce(key, values));
+    }
+}
+
+/// The query facade handed to [`ContextLogic`] activations: the runtime
+/// counterpart of the generated `discover` parameter in the paper's
+/// Figure 9.
+///
+/// Every read is validated against the calling context's declared `get`
+/// clauses — a context cannot read data its design does not declare
+/// (design/implementation conformance, paper §V).
+pub struct ContextApi<'a> {
+    engine: &'a mut Orchestrator,
+    context: &'a str,
+}
+
+impl ContextApi<'_> {
+    /// Current simulation time in milliseconds.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.engine.queue.now()
+    }
+
+    /// The name of the activated context.
+    #[must_use]
+    pub fn context_name(&self) -> &str {
+        self.context
+    }
+
+    /// Query-driven read of a device source (`get src from Dev`): returns
+    /// the current reading of every bound entity of the device family, in
+    /// deterministic entity order.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ContractViolation`] if the context's design does
+    /// not declare this `get`; device errors surface per the `@error`
+    /// policy.
+    pub fn get_device_source(
+        &mut self,
+        device_type: &str,
+        source: &str,
+    ) -> Result<Vec<(EntityId, Value)>, RuntimeError> {
+        if !self
+            .engine
+            .context_declares_source_get(self.context, device_type, source)
+        {
+            return Err(RuntimeError::ContractViolation {
+                component: self.context.to_owned(),
+                message: format!(
+                    "design declares no `get {source} from {device_type}`"
+                ),
+            });
+        }
+        let now = self.engine.queue.now();
+        let ids = self.engine.registry.discover(device_type).ids();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            if let Some(value) = self.engine.registry.query_source(&id, source, now)? {
+                self.engine.metrics.component_queries += 1;
+                out.push((id, value));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Query-driven read of a single entity's source.
+    ///
+    /// # Errors
+    ///
+    /// As [`ContextApi::get_device_source`], plus
+    /// [`RuntimeError::Unknown`] for an unbound entity.
+    pub fn get_entity_source(
+        &mut self,
+        entity: &EntityId,
+        source: &str,
+    ) -> Result<Option<Value>, RuntimeError> {
+        let device_type = self
+            .engine
+            .registry
+            .entity(entity)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "entity",
+                name: entity.to_string(),
+            })?
+            .device_type
+            .clone();
+        if !self
+            .engine
+            .context_declares_source_get(self.context, &device_type, source)
+        {
+            return Err(RuntimeError::ContractViolation {
+                component: self.context.to_owned(),
+                message: format!(
+                    "design declares no `get {source} from {device_type}`"
+                ),
+            });
+        }
+        let now = self.engine.queue.now();
+        let value = self.engine.registry.query_source(entity, source, now)?;
+        if value.is_some() {
+            self.engine.metrics.component_queries += 1;
+        }
+        Ok(value)
+    }
+
+    /// Pulls the current value of another context (`get Ctx`); the target
+    /// must declare `when required`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ContractViolation`] if this context's design does
+    /// not declare `get <target>`, or the computation fails.
+    pub fn get_context(&mut self, target: &str) -> Result<Value, RuntimeError> {
+        if !self
+            .engine
+            .context_declares_context_get(self.context, target)
+        {
+            return Err(RuntimeError::ContractViolation {
+                component: self.context.to_owned(),
+                message: format!("design declares no `get {target}`"),
+            });
+        }
+        self.engine.metrics.component_queries += 1;
+        self.engine.compute_on_demand(target)
+    }
+
+    /// Attribute-filtered discovery (read-only), e.g. to learn which
+    /// entities exist in a group.
+    #[must_use]
+    pub fn discover(&self, device_type: &str) -> crate::registry::DiscoveryQuery<'_> {
+        self.engine.registry.discover(device_type)
+    }
+}
+
+/// The actuation facade handed to [`ControllerLogic`] activations: the
+/// runtime counterpart of the generated discover object in the paper's
+/// Figure 11.
+///
+/// Actuation is validated against the controller's declared `do ... on
+/// ...` clauses, enforcing the Sense-Compute-Control layering at runtime.
+pub struct ControllerApi<'a> {
+    engine: &'a mut Orchestrator,
+    controller: &'a str,
+}
+
+impl ControllerApi<'_> {
+    /// Current simulation time in milliseconds.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.engine.queue.now()
+    }
+
+    /// The name of the activated controller.
+    #[must_use]
+    pub fn controller_name(&self) -> &str {
+        self.controller
+    }
+
+    /// Discovers entities of a device type this controller actuates.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ContractViolation`] if the controller's design
+    /// declares no action on that device family.
+    pub fn discover(
+        &self,
+        device_type: &str,
+    ) -> Result<crate::registry::DiscoveryQuery<'_>, RuntimeError> {
+        if !self
+            .engine
+            .controller_declares_device(self.controller, device_type)
+        {
+            return Err(RuntimeError::ContractViolation {
+                component: self.controller.to_owned(),
+                message: format!(
+                    "design declares no action on device `{device_type}`"
+                ),
+            });
+        }
+        Ok(self.engine.registry.discover(device_type))
+    }
+
+    /// Invokes a declared action on an entity.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ContractViolation`] if the action/device pair is
+    /// not declared by this controller (SCC enforcement); otherwise see
+    /// [`Registry::invoke`].
+    pub fn invoke(
+        &mut self,
+        entity: &EntityId,
+        action: &str,
+        args: &[Value],
+    ) -> Result<(), RuntimeError> {
+        let device_type = self
+            .engine
+            .registry
+            .entity(entity)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "entity",
+                name: entity.to_string(),
+            })?
+            .device_type
+            .clone();
+        if !self
+            .engine
+            .controller_declares_action(self.controller, &device_type, action)
+        {
+            return Err(RuntimeError::ContractViolation {
+                component: self.controller.to_owned(),
+                message: format!(
+                    "design declares no `do {action} on {device_type}`"
+                ),
+            });
+        }
+        let now = self.engine.queue.now();
+        self.engine.registry.invoke(entity, action, args, now)?;
+        self.engine.metrics.actuations += 1;
+        self.engine.trace.record(
+            now,
+            TraceKind::Actuation {
+                entity: entity.to_string(),
+                action: action.to_owned(),
+            },
+        );
+        Ok(())
+    }
+}
+
+/// The facade handed to simulation [`Process`](crate::process::Process)es.
+pub struct ProcessApi<'a> {
+    engine: &'a mut Orchestrator,
+}
+
+impl ProcessApi<'_> {
+    /// Current simulation time in milliseconds.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.engine.queue.now()
+    }
+
+    /// Emits a source value from an entity (event-driven delivery).
+    ///
+    /// # Errors
+    ///
+    /// See [`Orchestrator::emit_at`].
+    pub fn emit(
+        &mut self,
+        entity: &EntityId,
+        source: &str,
+        value: Value,
+        index: Option<Value>,
+    ) -> Result<(), RuntimeError> {
+        let now = self.engine.queue.now();
+        self.engine.emit_at(now, entity, source, value, index)
+    }
+
+    /// Binds a new entity at runtime (paper §IV: runtime binding).
+    ///
+    /// # Errors
+    ///
+    /// See [`Registry::bind`].
+    pub fn bind_entity(
+        &mut self,
+        id: EntityId,
+        device_type: &str,
+        attributes: AttributeMap,
+        driver: Box<dyn DeviceInstance>,
+    ) -> Result<(), RuntimeError> {
+        self.engine.bind_entity(id, device_type, attributes, driver)
+    }
+
+    /// Unbinds an entity at runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unknown`] if the entity is not bound.
+    pub fn unbind_entity(&mut self, id: &EntityId) -> Result<(), RuntimeError> {
+        self.engine.unbind_entity(id)
+    }
+
+    /// Read-only discovery, letting environment models inspect the world.
+    #[must_use]
+    pub fn discover(&self, device_type: &str) -> crate::registry::DiscoveryQuery<'_> {
+        self.engine.registry.discover(device_type)
+    }
+}

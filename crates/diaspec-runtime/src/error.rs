@@ -1,0 +1,195 @@
+//! Error types of the orchestration runtime.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised by a concrete device implementation (a "driver").
+///
+/// Device errors are recoverable at the orchestration level: the engine
+/// applies the `@error` policy declared on the device (`retry`, `failover`,
+/// `ignore`, `escalate`) before giving up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceError {
+    /// The entity that failed.
+    pub entity: String,
+    /// The operation that failed (source query or action name).
+    pub operation: String,
+    /// Driver-specific description.
+    pub message: String,
+}
+
+impl DeviceError {
+    /// Creates a device error.
+    #[must_use]
+    pub fn new(
+        entity: impl Into<String>,
+        operation: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        DeviceError {
+            entity: entity.into(),
+            operation: operation.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device entity `{}` failed during `{}`: {}",
+            self.entity, self.operation, self.message
+        )
+    }
+}
+
+impl Error for DeviceError {}
+
+/// An error raised by user-supplied context or controller logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentError {
+    /// The component that failed.
+    pub component: String,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl ComponentError {
+    /// Creates a component error.
+    #[must_use]
+    pub fn new(component: impl Into<String>, message: impl Into<String>) -> Self {
+        ComponentError {
+            component: component.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ComponentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "component `{}` failed: {}", self.component, self.message)
+    }
+}
+
+impl Error for ComponentError {}
+
+impl From<RuntimeError> for ComponentError {
+    /// Lets component logic propagate runtime-facade errors (`get`,
+    /// `discover`, `invoke`) with `?`. The engine re-attributes the error
+    /// to the activated component when containing it.
+    fn from(e: RuntimeError) -> Self {
+        ComponentError::new("<runtime>", e.to_string())
+    }
+}
+
+/// Top-level runtime error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A referenced component or entity does not exist.
+    Unknown {
+        /// What kind of thing was looked up ("device", "context", ...).
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// A value did not conform to the type declared in the specification.
+    TypeMismatch {
+        /// Where the mismatch was detected.
+        at: String,
+        /// The expected DiaSpec type.
+        expected: String,
+        /// A description of the offending value.
+        found: String,
+    },
+    /// A design contract was violated at runtime (e.g. an `always publish`
+    /// activation returned no value, or a controller invoked an action it
+    /// never declared).
+    ContractViolation {
+        /// The component at fault.
+        component: String,
+        /// What was violated.
+        message: String,
+    },
+    /// A device driver failed and the declared `@error` policy did not
+    /// recover it.
+    Device(DeviceError),
+    /// User component logic failed.
+    Component(ComponentError),
+    /// A component was registered twice, or logic is missing at launch.
+    Configuration(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Unknown { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            RuntimeError::TypeMismatch {
+                at,
+                expected,
+                found,
+            } => write!(f, "type mismatch at {at}: expected `{expected}`, found {found}"),
+            RuntimeError::ContractViolation { component, message } => {
+                write!(f, "contract violation in `{component}`: {message}")
+            }
+            RuntimeError::Device(e) => write!(f, "{e}"),
+            RuntimeError::Component(e) => write!(f, "{e}"),
+            RuntimeError::Configuration(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Device(e) => Some(e),
+            RuntimeError::Component(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for RuntimeError {
+    fn from(e: DeviceError) -> Self {
+        RuntimeError::Device(e)
+    }
+}
+
+impl From<ComponentError> for RuntimeError {
+    fn from(e: ComponentError) -> Self {
+        RuntimeError::Component(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = RuntimeError::Unknown {
+            kind: "device",
+            name: "Ghost".into(),
+        };
+        assert_eq!(e.to_string(), "unknown device `Ghost`");
+
+        let e = RuntimeError::TypeMismatch {
+            at: "context Alert".into(),
+            expected: "Integer".into(),
+            found: "Float 3.2".into(),
+        };
+        assert!(e.to_string().contains("expected `Integer`"));
+
+        let e = ComponentError::new("Alert", "boom");
+        assert!(e.to_string().contains("Alert"));
+        let wrapped: RuntimeError = e.into();
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn device_error_round_trip() {
+        let e = DeviceError::new("sensor-1", "presence", "battery dead");
+        let wrapped: RuntimeError = e.clone().into();
+        assert_eq!(wrapped, RuntimeError::Device(e));
+    }
+}

@@ -1,0 +1,33 @@
+//! Simulation processes: the actors that drive an orchestrated world.
+//!
+//! The paper's infrastructures are driven by the physical world — cars
+//! arriving at parking lots, cookers left on, seconds ticking. In this
+//! repository those drivers are [`Process`]es: discrete-event actors that
+//! wake at scheduled instants, mutate simulated device state, emit
+//! event-driven source values, and even bind or unbind entities at runtime
+//! (paper §IV: runtime binding).
+//!
+//! Processes live in the same deterministic event queue as the
+//! orchestration itself, so an entire experiment is reproducible from its
+//! seed.
+
+use crate::clock::SimTime;
+use crate::engine::ProcessApi;
+
+/// A discrete-event actor driving the simulated environment.
+pub trait Process: Send {
+    /// Called when the process's scheduled wake time arrives.
+    ///
+    /// Returns the absolute time of the next wake-up, or `None` to stop
+    /// the process. Times in the past are clamped to "immediately".
+    fn wake(&mut self, api: &mut ProcessApi<'_>) -> Option<SimTime>;
+}
+
+impl<F> Process for F
+where
+    F: FnMut(&mut ProcessApi<'_>) -> Option<SimTime> + Send,
+{
+    fn wake(&mut self, api: &mut ProcessApi<'_>) -> Option<SimTime> {
+        self(api)
+    }
+}

@@ -1,0 +1,1135 @@
+//! Entity registry: binding and attribute-based discovery.
+//!
+//! This implements the paper's first IoT activity, *binding entities*
+//! (§IV): concrete entities register against a declared device type with
+//! attribute values (e.g. a presence sensor's `parkingLot`), at any of the
+//! four binding times, and applications discover them by device type —
+//! including subtype matching through `extends` — filtered by attribute
+//! values, as in the generated `discover.parkingEntrancePanels()
+//! .whereLocation(...)` facade of Figure 11.
+//!
+//! The registry also routes query-driven reads and actuations to drivers,
+//! applying the device's declared `@error` policy (`retry`, `failover`,
+//! `ignore`, `escalate`) on driver failures.
+
+use crate::entity::{AttributeMap, BindingTime, DeviceInstance, EntityId};
+use crate::error::{DeviceError, RuntimeError};
+use crate::value::Value;
+use diaspec_core::model::{AnnotationArg, CheckedSpec, Device};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// How the runtime reacts when a device driver fails.
+///
+/// Parsed from the `@error(policy = "...", attempts = N)` annotation of the
+/// paper's §III non-functional extension. The default policy is
+/// [`PolicyKind::Escalate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorPolicy {
+    /// Reaction kind.
+    pub kind: PolicyKind,
+    /// Total attempts for `retry` (including the first call). At least 1.
+    pub attempts: u32,
+}
+
+/// The reaction kinds of an `@error` policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Re-issue the operation on the same entity up to `attempts` times.
+    Retry,
+    /// Try another bound entity of the same device type with identical
+    /// attributes.
+    Failover,
+    /// Swallow the failure; queries yield no reading, actuations no-op.
+    Ignore,
+    /// Propagate the failure to the caller (default).
+    Escalate,
+}
+
+impl Default for ErrorPolicy {
+    fn default() -> Self {
+        ErrorPolicy {
+            kind: PolicyKind::Escalate,
+            attempts: 1,
+        }
+    }
+}
+
+impl ErrorPolicy {
+    /// Extracts the policy from a device's annotations, falling back to the
+    /// default when no `@error` annotation is present.
+    #[must_use]
+    pub fn of_device(device: &Device) -> ErrorPolicy {
+        let Some(ann) = device.annotations.iter().find(|a| a.name == "error") else {
+            return ErrorPolicy::default();
+        };
+        let kind = match ann.arg("policy").and_then(AnnotationArg::as_str) {
+            Some("retry") => PolicyKind::Retry,
+            Some("failover") => PolicyKind::Failover,
+            Some("ignore") => PolicyKind::Ignore,
+            _ => PolicyKind::Escalate,
+        };
+        let attempts = ann
+            .arg("attempts")
+            .and_then(AnnotationArg::as_int)
+            .map_or(3, |n| n.clamp(1, 100) as u32);
+        ErrorPolicy { kind, attempts }
+    }
+}
+
+/// A bound entity's public record (driver excluded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityInfo {
+    /// The entity's unique id.
+    pub id: EntityId,
+    /// The declared device type this entity implements.
+    pub device_type: String,
+    /// Attribute values fixed at binding.
+    pub attributes: AttributeMap,
+    /// When in the lifecycle the entity was bound.
+    pub bound_at: BindingTime,
+    /// Simulation time of binding, in milliseconds.
+    pub bound_time_ms: u64,
+}
+
+struct EntityRecord {
+    info: EntityInfo,
+    driver: Box<dyn DeviceInstance>,
+}
+
+/// One reading collected by a batch poll.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolledReading {
+    /// The polled entity.
+    pub entity: EntityId,
+    /// The value of the grouping attribute, when grouping was requested.
+    pub group: Option<Value>,
+    /// The reading.
+    pub value: Value,
+}
+
+/// Counters describing registry activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Successful source queries (including during batch polls).
+    pub queries: u64,
+    /// Successful action invocations.
+    pub invocations: u64,
+    /// Driver failures observed (before policy handling).
+    pub driver_failures: u64,
+    /// Retries issued by the `retry` policy.
+    pub retries: u64,
+    /// Failovers to sibling entities by the `failover` policy.
+    pub failovers: u64,
+    /// Failures swallowed by the `ignore` policy.
+    pub ignored_failures: u64,
+}
+
+/// The entity registry.
+///
+/// # Examples
+///
+/// ```
+/// use diaspec_core::compile_str;
+/// use diaspec_runtime::entity::BindingTime;
+/// use diaspec_runtime::registry::Registry;
+/// use diaspec_runtime::value::Value;
+/// use std::sync::Arc;
+///
+/// let spec = Arc::new(compile_str(
+///     "device PresenceSensor { attribute parkingLot as String; source presence as Boolean; }",
+/// )?);
+/// let mut registry = Registry::new(spec);
+/// registry.bind(
+///     "sensor-1".into(),
+///     "PresenceSensor",
+///     [("parkingLot".to_owned(), Value::from("A22"))].into_iter().collect(),
+///     Box::new(|_: &str, _: u64| Ok(Value::Bool(true))),
+///     BindingTime::Deployment,
+///     0,
+/// )?;
+/// let found = registry
+///     .discover("PresenceSensor")
+///     .with_attribute("parkingLot", &Value::from("A22"))
+///     .ids();
+/// assert_eq!(found.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Registry {
+    spec: Arc<CheckedSpec>,
+    entities: BTreeMap<EntityId, EntityRecord>,
+    /// Exact-type index: device type name -> bound entity ids.
+    by_type: BTreeMap<String, BTreeSet<EntityId>>,
+    /// Attribute index: (exact device type, attribute, value) -> entity
+    /// ids, so attribute-filtered discovery avoids scanning the family.
+    by_attribute: BTreeMap<(String, String, Value), BTreeSet<EntityId>>,
+    stats: RegistryStats,
+}
+
+impl Registry {
+    /// Creates an empty registry over a checked specification.
+    #[must_use]
+    pub fn new(spec: Arc<CheckedSpec>) -> Self {
+        Registry {
+            spec,
+            entities: BTreeMap::new(),
+            by_type: BTreeMap::new(),
+            by_attribute: BTreeMap::new(),
+            stats: RegistryStats::default(),
+        }
+    }
+
+    /// The specification this registry validates against.
+    #[must_use]
+    pub fn spec(&self) -> &CheckedSpec {
+        &self.spec
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn stats(&self) -> RegistryStats {
+        self.stats
+    }
+
+    /// Binds an entity.
+    ///
+    /// # Errors
+    ///
+    /// - [`RuntimeError::Unknown`] if `device_type` is not declared;
+    /// - [`RuntimeError::Configuration`] if the id is already bound, if an
+    ///   attribute is missing or undeclared;
+    /// - [`RuntimeError::TypeMismatch`] if an attribute value does not
+    ///   conform to its declared type.
+    pub fn bind(
+        &mut self,
+        id: EntityId,
+        device_type: &str,
+        attributes: AttributeMap,
+        driver: Box<dyn DeviceInstance>,
+        bound_at: BindingTime,
+        now_ms: u64,
+    ) -> Result<(), RuntimeError> {
+        let Some(device) = self.spec.device(device_type) else {
+            return Err(RuntimeError::Unknown {
+                kind: "device",
+                name: device_type.to_owned(),
+            });
+        };
+        if self.entities.contains_key(&id) {
+            return Err(RuntimeError::Configuration(format!(
+                "entity `{id}` is already bound"
+            )));
+        }
+        // Every declared attribute must be provided with a conforming value.
+        for attr in &device.attributes {
+            match attributes.get(&attr.name) {
+                None => {
+                    return Err(RuntimeError::Configuration(format!(
+                        "entity `{id}` of device `{device_type}` is missing attribute `{}`",
+                        attr.name
+                    )));
+                }
+                Some(value) if !value.conforms_to(&attr.ty, &self.spec) => {
+                    return Err(RuntimeError::TypeMismatch {
+                        at: format!("attribute `{}` of entity `{id}`", attr.name),
+                        expected: attr.ty.to_string(),
+                        found: value.to_string(),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        // And no undeclared attributes may sneak in.
+        for name in attributes.keys() {
+            if device.attribute(name).is_none() {
+                return Err(RuntimeError::Configuration(format!(
+                    "entity `{id}` supplies attribute `{name}`, which device \
+                     `{device_type}` does not declare"
+                )));
+            }
+        }
+        self.by_type
+            .entry(device_type.to_owned())
+            .or_default()
+            .insert(id.clone());
+        for (attr, value) in &attributes {
+            self.by_attribute
+                .entry((device_type.to_owned(), attr.clone(), value.clone()))
+                .or_default()
+                .insert(id.clone());
+        }
+        self.entities.insert(
+            id.clone(),
+            EntityRecord {
+                info: EntityInfo {
+                    id,
+                    device_type: device_type.to_owned(),
+                    attributes,
+                    bound_at,
+                    bound_time_ms: now_ms,
+                },
+                driver,
+            },
+        );
+        Ok(())
+    }
+
+    /// Unbinds an entity, returning its public record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Unknown`] if the entity is not bound.
+    pub fn unbind(&mut self, id: &EntityId) -> Result<EntityInfo, RuntimeError> {
+        let record = self.entities.remove(id).ok_or_else(|| RuntimeError::Unknown {
+            kind: "entity",
+            name: id.to_string(),
+        })?;
+        if let Some(set) = self.by_type.get_mut(&record.info.device_type) {
+            set.remove(id);
+        }
+        for (attr, value) in &record.info.attributes {
+            if let Some(set) = self.by_attribute.get_mut(&(
+                record.info.device_type.clone(),
+                attr.clone(),
+                value.clone(),
+            )) {
+                set.remove(id);
+            }
+        }
+        Ok(record.info)
+    }
+
+    /// Whether `id` is currently bound.
+    #[must_use]
+    pub fn contains(&self, id: &EntityId) -> bool {
+        self.entities.contains_key(id)
+    }
+
+    /// Number of bound entities.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether no entities are bound.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// The public record of entity `id`.
+    #[must_use]
+    pub fn entity(&self, id: &EntityId) -> Option<&EntityInfo> {
+        self.entities.get(id).map(|r| &r.info)
+    }
+
+    /// Starts a discovery query for entities of `device_type` (or any of
+    /// its subtypes).
+    #[must_use]
+    pub fn discover(&self, device_type: &str) -> DiscoveryQuery<'_> {
+        DiscoveryQuery {
+            registry: self,
+            device_type: device_type.to_owned(),
+            filters: Vec::new(),
+        }
+    }
+
+    fn ids_of_family(&self, device_type: &str) -> Vec<&EntityId> {
+        // Exact-type buckets of the requested type and every subtype.
+        self.by_type
+            .iter()
+            .filter(|(ty, _)| self.spec.device_is_subtype(ty, device_type))
+            .flat_map(|(_, ids)| ids.iter())
+            .collect()
+    }
+
+    /// Reads `source` from entity `id`, applying the device's `@error`
+    /// policy on driver failure.
+    ///
+    /// Returns `Ok(None)` when a failure was swallowed by an `ignore`
+    /// policy (the reading is simply absent).
+    ///
+    /// # Errors
+    ///
+    /// - [`RuntimeError::Unknown`] if the entity is not bound or the source
+    ///   is not declared;
+    /// - [`RuntimeError::Device`] if the driver failed and the policy could
+    ///   not recover;
+    /// - [`RuntimeError::TypeMismatch`] if the driver returned a value not
+    ///   conforming to the declared source type.
+    pub fn query_source(
+        &mut self,
+        id: &EntityId,
+        source: &str,
+        now_ms: u64,
+    ) -> Result<Option<Value>, RuntimeError> {
+        let (device_type, policy, source_ty) = {
+            let record = self.entities.get(id).ok_or_else(|| RuntimeError::Unknown {
+                kind: "entity",
+                name: id.to_string(),
+            })?;
+            let device = self
+                .spec
+                .device(&record.info.device_type)
+                .expect("bound entity has declared device");
+            let src = device.source(source).ok_or_else(|| RuntimeError::Unknown {
+                kind: "source",
+                name: format!("{source} on {}", record.info.device_type),
+            })?;
+            (
+                record.info.device_type.clone(),
+                ErrorPolicy::of_device(device),
+                src.ty.clone(),
+            )
+        };
+
+        match self.query_with_policy(id, &device_type, source, now_ms, policy)? {
+            None => Ok(None),
+            Some(value) => {
+                if !value.conforms_to(&source_ty, &self.spec) {
+                    return Err(RuntimeError::TypeMismatch {
+                        at: format!("source `{source}` of entity `{id}`"),
+                        expected: source_ty.to_string(),
+                        found: value.to_string(),
+                    });
+                }
+                Ok(Some(value))
+            }
+        }
+    }
+
+    fn query_with_policy(
+        &mut self,
+        id: &EntityId,
+        device_type: &str,
+        source: &str,
+        now_ms: u64,
+        policy: ErrorPolicy,
+    ) -> Result<Option<Value>, RuntimeError> {
+        let first = self.raw_query(id, source, now_ms);
+        let err = match first {
+            Ok(value) => return Ok(Some(value)),
+            Err(e) => e,
+        };
+        self.stats.driver_failures += 1;
+        match policy.kind {
+            PolicyKind::Escalate => Err(err.into()),
+            PolicyKind::Ignore => {
+                self.stats.ignored_failures += 1;
+                Ok(None)
+            }
+            PolicyKind::Retry => {
+                for _ in 1..policy.attempts {
+                    self.stats.retries += 1;
+                    match self.raw_query(id, source, now_ms) {
+                        Ok(value) => return Ok(Some(value)),
+                        Err(_) => self.stats.driver_failures += 1,
+                    }
+                }
+                Err(err.into())
+            }
+            PolicyKind::Failover => {
+                // Prefer interchangeable siblings (identical attributes,
+                // e.g. a second sensor in the same parking lot), then fall
+                // back to any entity of the same device family (e.g. a
+                // wing altimeter standing in for the nose one).
+                let attrs = self.entities[id].info.attributes.clone();
+                let family: Vec<EntityId> = self
+                    .ids_of_family(device_type)
+                    .into_iter()
+                    .filter(|sid| *sid != id)
+                    .cloned()
+                    .collect();
+                let (matching, others): (Vec<EntityId>, Vec<EntityId>) = family
+                    .into_iter()
+                    .partition(|sid| self.entities[sid].info.attributes == attrs);
+                for sibling in matching.into_iter().chain(others) {
+                    self.stats.failovers += 1;
+                    if let Ok(value) = self.raw_query(&sibling, source, now_ms) {
+                        return Ok(Some(value));
+                    }
+                    self.stats.driver_failures += 1;
+                }
+                Err(err.into())
+            }
+        }
+    }
+
+    fn raw_query(
+        &mut self,
+        id: &EntityId,
+        source: &str,
+        now_ms: u64,
+    ) -> Result<Value, DeviceError> {
+        let record = self
+            .entities
+            .get_mut(id)
+            .expect("caller validated entity exists");
+        let result = record.driver.query(source, now_ms);
+        if result.is_ok() {
+            self.stats.queries += 1;
+        }
+        result
+    }
+
+    /// Polls `source` on every bound entity of `device_type` (and
+    /// subtypes), optionally attaching the `group_attr` attribute value for
+    /// downstream grouping.
+    ///
+    /// Entities whose driver fails under an `ignore` policy are skipped;
+    /// other policies apply as in [`Registry::query_source`], and an
+    /// unrecovered failure skips the entity as well (the batch must not be
+    /// lost to one broken sensor) while still counting in
+    /// [`RegistryStats::driver_failures`].
+    #[must_use]
+    pub fn poll(
+        &mut self,
+        device_type: &str,
+        source: &str,
+        group_attr: Option<&str>,
+        now_ms: u64,
+    ) -> Vec<PolledReading> {
+        let ids: Vec<EntityId> = self
+            .ids_of_family(device_type)
+            .into_iter()
+            .cloned()
+            .collect();
+        let mut readings = Vec::with_capacity(ids.len());
+        for id in ids {
+            let value = match self.query_source(&id, source, now_ms) {
+                Ok(Some(value)) => value,
+                Ok(None) | Err(_) => continue,
+            };
+            let group = group_attr.and_then(|attr| {
+                self.entities
+                    .get(&id)
+                    .and_then(|r| r.info.attributes.get(attr))
+                    .cloned()
+            });
+            readings.push(PolledReading {
+                entity: id,
+                group,
+                value,
+            });
+        }
+        readings
+    }
+
+    /// Invokes `action` on entity `id`, validating arguments against the
+    /// declared parameter types and applying the `@error` policy.
+    ///
+    /// # Errors
+    ///
+    /// - [`RuntimeError::Unknown`] if the entity or action does not exist;
+    /// - [`RuntimeError::ContractViolation`] on an argument-count mismatch;
+    /// - [`RuntimeError::TypeMismatch`] on an argument-type mismatch;
+    /// - [`RuntimeError::Device`] if the driver failed without recovery.
+    pub fn invoke(
+        &mut self,
+        id: &EntityId,
+        action: &str,
+        args: &[Value],
+        now_ms: u64,
+    ) -> Result<(), RuntimeError> {
+        let policy = {
+            let record = self.entities.get(id).ok_or_else(|| RuntimeError::Unknown {
+                kind: "entity",
+                name: id.to_string(),
+            })?;
+            let device = self
+                .spec
+                .device(&record.info.device_type)
+                .expect("bound entity has declared device");
+            let act = device.action(action).ok_or_else(|| RuntimeError::Unknown {
+                kind: "action",
+                name: format!("{action} on {}", record.info.device_type),
+            })?;
+            if act.params.len() != args.len() {
+                return Err(RuntimeError::ContractViolation {
+                    component: format!("entity `{id}`"),
+                    message: format!(
+                        "action `{action}` takes {} argument(s), got {}",
+                        act.params.len(),
+                        args.len()
+                    ),
+                });
+            }
+            for ((pname, pty), arg) in act.params.iter().zip(args) {
+                if !arg.conforms_to(pty, &self.spec) {
+                    return Err(RuntimeError::TypeMismatch {
+                        at: format!("argument `{pname}` of action `{action}` on `{id}`"),
+                        expected: pty.to_string(),
+                        found: arg.to_string(),
+                    });
+                }
+            }
+            ErrorPolicy::of_device(device)
+        };
+
+        let mut last_err: Option<DeviceError> = None;
+        let attempts = if policy.kind == PolicyKind::Retry {
+            policy.attempts
+        } else {
+            1
+        };
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            let record = self.entities.get_mut(id).expect("validated above");
+            match record.driver.invoke(action, args, now_ms) {
+                Ok(()) => {
+                    self.stats.invocations += 1;
+                    return Ok(());
+                }
+                Err(e) => {
+                    self.stats.driver_failures += 1;
+                    last_err = Some(e);
+                }
+            }
+        }
+        let err = last_err.expect("at least one attempt");
+        match policy.kind {
+            PolicyKind::Ignore => {
+                self.stats.ignored_failures += 1;
+                Ok(())
+            }
+            _ => Err(err.into()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("entities", &self.entities.len())
+            .field("types", &self.by_type.keys().collect::<Vec<_>>())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// A builder-style discovery query: device type plus attribute filters.
+///
+/// Mirrors the generated discover facade of the paper's Figure 11
+/// (`discover.parkingEntrancePanels().whereLocation(...)`).
+#[derive(Debug)]
+pub struct DiscoveryQuery<'r> {
+    registry: &'r Registry,
+    device_type: String,
+    filters: Vec<(String, Value)>,
+}
+
+impl<'r> DiscoveryQuery<'r> {
+    /// Adds an attribute-equality filter.
+    #[must_use]
+    pub fn with_attribute(mut self, name: &str, value: &Value) -> Self {
+        self.filters.push((name.to_owned(), value.clone()));
+        self
+    }
+
+    /// Runs the query, returning matching entity ids in deterministic
+    /// (lexicographic) order.
+    ///
+    /// Attribute filters resolve through the registry's attribute index:
+    /// cost is proportional to the smallest filter's match set per exact
+    /// type, not to the family size.
+    #[must_use]
+    pub fn ids(&self) -> Vec<EntityId> {
+        let mut out: Vec<EntityId> = Vec::new();
+        for (ty, bucket) in &self.registry.by_type {
+            if !self
+                .registry
+                .spec
+                .device_is_subtype(ty, &self.device_type)
+            {
+                continue;
+            }
+            if self.filters.is_empty() {
+                out.extend(bucket.iter().cloned());
+                continue;
+            }
+            // Intersect the per-filter index sets, smallest first.
+            let mut sets: Vec<&BTreeSet<EntityId>> = Vec::with_capacity(self.filters.len());
+            let mut empty = false;
+            for (attr, value) in &self.filters {
+                match self.registry.by_attribute.get(&(
+                    ty.clone(),
+                    attr.clone(),
+                    value.clone(),
+                )) {
+                    Some(set) if !set.is_empty() => sets.push(set),
+                    _ => {
+                        empty = true;
+                        break;
+                    }
+                }
+            }
+            if empty {
+                continue;
+            }
+            sets.sort_by_key(|s| s.len());
+            let (first, rest) = sets.split_first().expect("at least one filter");
+            out.extend(
+                first
+                    .iter()
+                    .filter(|id| rest.iter().all(|set| set.contains(*id)))
+                    .cloned(),
+            );
+        }
+        out.sort();
+        out
+    }
+
+    /// Runs the query, returning full records.
+    #[must_use]
+    pub fn entities(&self) -> Vec<&'r EntityInfo> {
+        let ids = self.ids();
+        ids.iter()
+            .map(|id| &self.registry.entities[id].info)
+            .collect()
+    }
+
+    /// Number of matching entities.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.ids().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diaspec_core::compile_str;
+
+    const SPEC: &str = r#"
+        device PresenceSensor {
+          attribute parkingLot as String;
+          source presence as Boolean;
+        }
+        device DisplayPanel { action update(status as String); }
+        device ParkingEntrancePanel extends DisplayPanel {
+          attribute location as String;
+        }
+        @error(policy = "retry", attempts = 3)
+        device FlakySensor { source reading as Integer; }
+        @error(policy = "ignore")
+        device LossySensor { source reading as Integer; action blink; }
+        @error(policy = "failover")
+        device RedundantSensor {
+          attribute zone as String;
+          source reading as Integer;
+        }
+    "#;
+
+    fn registry() -> Registry {
+        Registry::new(Arc::new(compile_str(SPEC).unwrap()))
+    }
+
+    fn const_driver(v: Value) -> Box<dyn DeviceInstance> {
+        Box::new(move |_: &str, _: u64| Ok(v.clone()))
+    }
+
+    fn attrs(pairs: &[(&str, &str)]) -> AttributeMap {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), Value::from(*v)))
+            .collect()
+    }
+
+    /// A driver failing the first `fail_count` calls, then succeeding.
+    struct FlakyDriver {
+        fail_count: u32,
+        calls: u32,
+        value: Value,
+    }
+
+    impl DeviceInstance for FlakyDriver {
+        fn query(&mut self, _source: &str, _now: u64) -> Result<Value, DeviceError> {
+            self.calls += 1;
+            if self.calls <= self.fail_count {
+                Err(DeviceError::new("flaky", "query", "transient"))
+            } else {
+                Ok(self.value.clone())
+            }
+        }
+
+        fn invoke(&mut self, _action: &str, _args: &[Value], _now: u64) -> Result<(), DeviceError> {
+            self.calls += 1;
+            if self.calls <= self.fail_count {
+                Err(DeviceError::new("flaky", "invoke", "transient"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn bind_and_discover_by_attribute() {
+        let mut reg = registry();
+        for (id, lot) in [("s1", "A22"), ("s2", "A22"), ("s3", "B16")] {
+            reg.bind(
+                id.into(),
+                "PresenceSensor",
+                attrs(&[("parkingLot", lot)]),
+                const_driver(Value::Bool(false)),
+                BindingTime::Deployment,
+                0,
+            )
+            .unwrap();
+        }
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.discover("PresenceSensor").count(), 3);
+        let a22 = reg
+            .discover("PresenceSensor")
+            .with_attribute("parkingLot", &Value::from("A22"))
+            .ids();
+        assert_eq!(a22, vec![EntityId::from("s1"), EntityId::from("s2")]);
+        let none = reg
+            .discover("PresenceSensor")
+            .with_attribute("parkingLot", &Value::from("Z"))
+            .count();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn discovery_includes_subtypes() {
+        let mut reg = registry();
+        reg.bind(
+            "panel-1".into(),
+            "ParkingEntrancePanel",
+            attrs(&[("location", "A22")]),
+            const_driver(Value::Bool(false)),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        // Discovering the base type finds the subtype entity.
+        assert_eq!(reg.discover("DisplayPanel").count(), 1);
+        assert_eq!(reg.discover("ParkingEntrancePanel").count(), 1);
+        // But not the other way round.
+        assert_eq!(reg.discover("PresenceSensor").count(), 0);
+    }
+
+    #[test]
+    fn bind_validates_device_type() {
+        let mut reg = registry();
+        let err = reg
+            .bind(
+                "x".into(),
+                "Ghost",
+                AttributeMap::new(),
+                const_driver(Value::Bool(false)),
+                BindingTime::Launch,
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Unknown { kind: "device", .. }));
+    }
+
+    #[test]
+    fn bind_validates_attributes() {
+        let mut reg = registry();
+        // Missing attribute.
+        let err = reg
+            .bind(
+                "x".into(),
+                "PresenceSensor",
+                AttributeMap::new(),
+                const_driver(Value::Bool(false)),
+                BindingTime::Launch,
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Configuration(_)), "{err}");
+        // Wrong type.
+        let err = reg
+            .bind(
+                "x".into(),
+                "PresenceSensor",
+                [("parkingLot".to_owned(), Value::Int(5))].into_iter().collect(),
+                const_driver(Value::Bool(false)),
+                BindingTime::Launch,
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::TypeMismatch { .. }), "{err}");
+        // Undeclared attribute.
+        let err = reg
+            .bind(
+                "x".into(),
+                "PresenceSensor",
+                attrs(&[("parkingLot", "A22"), ("bogus", "v")]),
+                const_driver(Value::Bool(false)),
+                BindingTime::Launch,
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Configuration(_)), "{err}");
+    }
+
+    #[test]
+    fn double_bind_rejected_and_unbind_frees_id() {
+        let mut reg = registry();
+        let bind = |reg: &mut Registry| {
+            reg.bind(
+                "s1".into(),
+                "PresenceSensor",
+                attrs(&[("parkingLot", "A22")]),
+                const_driver(Value::Bool(true)),
+                BindingTime::Runtime,
+                7,
+            )
+        };
+        bind(&mut reg).unwrap();
+        assert!(bind(&mut reg).is_err());
+        let info = reg.unbind(&"s1".into()).unwrap();
+        assert_eq!(info.bound_at, BindingTime::Runtime);
+        assert_eq!(info.bound_time_ms, 7);
+        assert!(!reg.contains(&"s1".into()));
+        bind(&mut reg).unwrap();
+        assert!(reg.unbind(&"ghost".into()).is_err());
+    }
+
+    #[test]
+    fn query_checks_source_type_conformance() {
+        let mut reg = registry();
+        reg.bind(
+            "s1".into(),
+            "PresenceSensor",
+            attrs(&[("parkingLot", "A22")]),
+            const_driver(Value::Int(42)), // presence declared Boolean!
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        let err = reg.query_source(&"s1".into(), "presence", 0).unwrap_err();
+        assert!(matches!(err, RuntimeError::TypeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn query_unknown_source_rejected() {
+        let mut reg = registry();
+        reg.bind(
+            "s1".into(),
+            "PresenceSensor",
+            attrs(&[("parkingLot", "A22")]),
+            const_driver(Value::Bool(true)),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        assert!(reg.query_source(&"s1".into(), "ghost", 0).is_err());
+        assert!(reg.query_source(&"nobody".into(), "presence", 0).is_err());
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_failures() {
+        let mut reg = registry();
+        reg.bind(
+            "f1".into(),
+            "FlakySensor",
+            AttributeMap::new(),
+            Box::new(FlakyDriver {
+                fail_count: 2,
+                calls: 0,
+                value: Value::Int(9),
+            }),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        // attempts = 3: fails twice, succeeds on the third call.
+        let v = reg.query_source(&"f1".into(), "reading", 0).unwrap();
+        assert_eq!(v, Some(Value::Int(9)));
+        assert_eq!(reg.stats().retries, 2);
+        assert_eq!(reg.stats().driver_failures, 2);
+    }
+
+    #[test]
+    fn retry_policy_gives_up_after_attempts() {
+        let mut reg = registry();
+        reg.bind(
+            "f1".into(),
+            "FlakySensor",
+            AttributeMap::new(),
+            Box::new(FlakyDriver {
+                fail_count: 10,
+                calls: 0,
+                value: Value::Int(9),
+            }),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        assert!(reg.query_source(&"f1".into(), "reading", 0).is_err());
+        assert_eq!(reg.stats().retries, 2, "attempts=3 means 2 retries");
+    }
+
+    #[test]
+    fn ignore_policy_swallows_failures() {
+        let mut reg = registry();
+        reg.bind(
+            "l1".into(),
+            "LossySensor",
+            AttributeMap::new(),
+            Box::new(FlakyDriver {
+                fail_count: u32::MAX,
+                calls: 0,
+                value: Value::Int(0),
+            }),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        assert_eq!(reg.query_source(&"l1".into(), "reading", 0).unwrap(), None);
+        assert_eq!(reg.stats().ignored_failures, 1);
+        // Actuation is also swallowed.
+        reg.invoke(&"l1".into(), "blink", &[], 0).unwrap();
+        assert_eq!(reg.stats().ignored_failures, 2);
+    }
+
+    #[test]
+    fn failover_policy_uses_sibling_with_same_attributes() {
+        let mut reg = registry();
+        reg.bind(
+            "r1".into(),
+            "RedundantSensor",
+            attrs(&[("zone", "north")]),
+            Box::new(FlakyDriver {
+                fail_count: u32::MAX,
+                calls: 0,
+                value: Value::Int(0),
+            }),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        reg.bind(
+            "r2".into(),
+            "RedundantSensor",
+            attrs(&[("zone", "north")]),
+            const_driver(Value::Int(77)),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        reg.bind(
+            "r3".into(),
+            "RedundantSensor",
+            attrs(&[("zone", "south")]), // different zone: only a fallback
+            const_driver(Value::Int(1)),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        // r2 (same zone) is preferred over r3 (fallback).
+        let v = reg.query_source(&"r1".into(), "reading", 0).unwrap();
+        assert_eq!(v, Some(Value::Int(77)));
+        assert_eq!(reg.stats().failovers, 1);
+    }
+
+    #[test]
+    fn failover_falls_back_to_any_family_member() {
+        let mut reg = registry();
+        reg.bind(
+            "r1".into(),
+            "RedundantSensor",
+            attrs(&[("zone", "north")]),
+            Box::new(FlakyDriver {
+                fail_count: u32::MAX,
+                calls: 0,
+                value: Value::Int(0),
+            }),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        // Alone in the family: failover has nowhere to go.
+        assert!(reg.query_source(&"r1".into(), "reading", 0).is_err());
+        // A sibling in another zone still rescues the reading.
+        reg.bind(
+            "r9".into(),
+            "RedundantSensor",
+            attrs(&[("zone", "south")]),
+            const_driver(Value::Int(5)),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        let v = reg.query_source(&"r1".into(), "reading", 0).unwrap();
+        assert_eq!(v, Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn poll_collects_groups_and_skips_failures() {
+        let mut reg = registry();
+        for (id, lot, occupied) in [
+            ("s1", "A22", true),
+            ("s2", "A22", false),
+            ("s3", "B16", true),
+        ] {
+            reg.bind(
+                id.into(),
+                "PresenceSensor",
+                attrs(&[("parkingLot", lot)]),
+                const_driver(Value::Bool(occupied)),
+                BindingTime::Deployment,
+                0,
+            )
+            .unwrap();
+        }
+        let readings = reg.poll("PresenceSensor", "presence", Some("parkingLot"), 10);
+        assert_eq!(readings.len(), 3);
+        assert!(readings
+            .iter()
+            .all(|r| r.group.as_ref().and_then(Value::as_str).is_some()));
+        let ungrouped = reg.poll("PresenceSensor", "presence", None, 10);
+        assert!(ungrouped.iter().all(|r| r.group.is_none()));
+    }
+
+    #[test]
+    fn invoke_validates_signature() {
+        let mut reg = registry();
+        reg.bind(
+            "p1".into(),
+            "ParkingEntrancePanel",
+            attrs(&[("location", "A22")]),
+            Box::new(FlakyDriver {
+                fail_count: 0,
+                calls: 0,
+                value: Value::Bool(false),
+            }),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        // Wrong arity.
+        let err = reg.invoke(&"p1".into(), "update", &[], 0).unwrap_err();
+        assert!(matches!(err, RuntimeError::ContractViolation { .. }), "{err}");
+        // Wrong type.
+        let err = reg
+            .invoke(&"p1".into(), "update", &[Value::Int(3)], 0)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::TypeMismatch { .. }), "{err}");
+        // Unknown action.
+        let err = reg.invoke(&"p1".into(), "explode", &[], 0).unwrap_err();
+        assert!(matches!(err, RuntimeError::Unknown { .. }), "{err}");
+        // Correct call (inherited action from DisplayPanel).
+        reg.invoke(&"p1".into(), "update", &[Value::from("free: 12")], 0)
+            .unwrap();
+        assert_eq!(reg.stats().invocations, 1);
+    }
+
+    #[test]
+    fn error_policy_parsing() {
+        let spec = compile_str(SPEC).unwrap();
+        let flaky = ErrorPolicy::of_device(spec.device("FlakySensor").unwrap());
+        assert_eq!(flaky.kind, PolicyKind::Retry);
+        assert_eq!(flaky.attempts, 3);
+        let lossy = ErrorPolicy::of_device(spec.device("LossySensor").unwrap());
+        assert_eq!(lossy.kind, PolicyKind::Ignore);
+        let plain = ErrorPolicy::of_device(spec.device("PresenceSensor").unwrap());
+        assert_eq!(plain.kind, PolicyKind::Escalate);
+    }
+}

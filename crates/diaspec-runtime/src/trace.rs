@@ -1,0 +1,265 @@
+//! Execution tracing: a timestamped record of every orchestration-level
+//! event.
+//!
+//! Tracing is off by default (it allocates per event); switch it on with
+//! [`Orchestrator::set_tracing`](crate::engine::Orchestrator::set_tracing)
+//! to debug a design or to render a timeline of a scenario run, and drain
+//! the recorded events with
+//! [`Orchestrator::take_trace`](crate::engine::Orchestrator::take_trace).
+
+use crate::clock::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of orchestration event a trace entry records.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A device source emission (event-driven delivery).
+    Emission {
+        /// Emitting entity.
+        entity: String,
+        /// Emitting source.
+        source: String,
+    },
+    /// A periodic poll gathered a batch.
+    PeriodicPoll {
+        /// Polled device type.
+        device: String,
+        /// Polled source.
+        source: String,
+        /// Readings gathered.
+        readings: usize,
+    },
+    /// A context activation started.
+    ContextActivation {
+        /// The activated context.
+        context: String,
+    },
+    /// A context published a value.
+    Publication {
+        /// The publishing context.
+        context: String,
+        /// Rendered value.
+        value: String,
+    },
+    /// A controller activation started.
+    ControllerActivation {
+        /// The activated controller.
+        controller: String,
+        /// The triggering context.
+        from: String,
+    },
+    /// A device action was invoked.
+    Actuation {
+        /// Target entity.
+        entity: String,
+        /// Invoked action.
+        action: String,
+    },
+    /// An error was contained.
+    Error {
+        /// Rendered error.
+        message: String,
+    },
+}
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation time of the event, in milliseconds.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8} ms] ", self.at)?;
+        match &self.kind {
+            TraceKind::Emission { entity, source } => {
+                write!(f, "emit      {entity}.{source}")
+            }
+            TraceKind::PeriodicPoll {
+                device,
+                source,
+                readings,
+            } => write!(f, "poll      {device}.{source} ({readings} readings)"),
+            TraceKind::ContextActivation { context } => {
+                write!(f, "activate  [{context}]")
+            }
+            TraceKind::Publication { context, value } => {
+                write!(f, "publish   [{context}] = {value}")
+            }
+            TraceKind::ControllerActivation { controller, from } => {
+                write!(f, "control   ({controller}) <- [{from}]")
+            }
+            TraceKind::Actuation { entity, action } => {
+                write!(f, "actuate   {entity}.{action}()")
+            }
+            TraceKind::Error { message } => write!(f, "ERROR     {message}"),
+        }
+    }
+}
+
+/// A bounded trace buffer (oldest entries are dropped past the capacity).
+#[derive(Debug)]
+pub(crate) struct TraceBuffer {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    pub(crate) fn new() -> Self {
+        TraceBuffer {
+            events: std::collections::VecDeque::new(),
+            capacity: 100_000,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn record(&mut self, at: SimTime, kind: TraceKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { at, kind });
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut buf = TraceBuffer::new();
+        buf.record(
+            1,
+            TraceKind::Emission {
+                entity: "e".into(),
+                source: "s".into(),
+            },
+        );
+        assert!(buf.take().is_empty());
+        assert!(!buf.is_enabled());
+    }
+
+    #[test]
+    fn enabled_buffer_records_and_drains() {
+        let mut buf = TraceBuffer::new();
+        buf.set_enabled(true);
+        buf.record(
+            5,
+            TraceKind::Publication {
+                context: "C".into(),
+                value: "1".into(),
+            },
+        );
+        buf.record(
+            9,
+            TraceKind::Actuation {
+                entity: "dev".into(),
+                action: "go".into(),
+            },
+        );
+        let events = buf.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, 5);
+        assert!(buf.take().is_empty(), "drained");
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn buffer_is_bounded() {
+        let mut buf = TraceBuffer::new();
+        buf.set_enabled(true);
+        buf.capacity = 3;
+        for i in 0..5 {
+            buf.record(
+                i,
+                TraceKind::ContextActivation {
+                    context: format!("C{i}"),
+                },
+            );
+        }
+        let events = buf.take();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].at, 2, "oldest dropped");
+        assert_eq!(buf.dropped(), 2);
+    }
+
+    #[test]
+    fn display_forms_are_readable() {
+        let samples = [
+            TraceKind::Emission {
+                entity: "sensor-1".into(),
+                source: "v".into(),
+            },
+            TraceKind::PeriodicPoll {
+                device: "PresenceSensor".into(),
+                source: "presence".into(),
+                readings: 12,
+            },
+            TraceKind::ContextActivation {
+                context: "Alert".into(),
+            },
+            TraceKind::Publication {
+                context: "Alert".into(),
+                value: "3".into(),
+            },
+            TraceKind::ControllerActivation {
+                controller: "Notify".into(),
+                from: "Alert".into(),
+            },
+            TraceKind::Actuation {
+                entity: "tv".into(),
+                action: "askQuestion".into(),
+            },
+            TraceKind::Error {
+                message: "boom".into(),
+            },
+        ];
+        for kind in samples {
+            let event = TraceEvent { at: 1500, kind };
+            let text = event.to_string();
+            assert!(text.contains("1500"), "{text}");
+            assert!(text.len() > 15);
+        }
+    }
+
+    #[test]
+    fn trace_events_serialize() {
+        let event = TraceEvent {
+            at: 10,
+            kind: TraceKind::Actuation {
+                entity: "e".into(),
+                action: "a".into(),
+            },
+        };
+        let json = serde_json::to_string(&event).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(event, back);
+    }
+}

@@ -1,0 +1,245 @@
+//! Simulated message transport.
+//!
+//! The paper's infrastructures range from a home LAN to city-wide
+//! low-power WANs (Sigfox, LoRa). Physical networks are not available
+//! here, so the runtime models transport as a per-message latency sample
+//! plus an independent loss probability, applied wherever data crosses a
+//! component boundary: source emissions, context publications, and
+//! periodic batch deliveries. This exercises the same asynchronous
+//! delivery code paths an operator network would, with the network's
+//! characteristics as experiment parameters.
+
+use crate::clock::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Latency distribution for one message hop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Ideal transport: messages arrive instantly.
+    Zero,
+    /// Every message takes exactly this many milliseconds.
+    Fixed(SimTime),
+    /// Uniformly distributed latency in `[min_ms, max_ms]`.
+    Uniform {
+        /// Minimum latency (ms).
+        min_ms: SimTime,
+        /// Maximum latency (ms), inclusive.
+        max_ms: SimTime,
+    },
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Zero
+    }
+}
+
+/// Configuration of the simulated transport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportConfig {
+    /// Latency applied to each delivered message.
+    pub latency: LatencyModel,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub loss_probability: f64,
+    /// RNG seed; two transports with equal seeds and configs behave
+    /// identically.
+    pub seed: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            latency: LatencyModel::Zero,
+            loss_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The transport simulator: decides, per message, whether it is delivered
+/// and with what delay.
+#[derive(Debug)]
+pub struct Transport {
+    config: TransportConfig,
+    rng: StdRng,
+    delivered: u64,
+    dropped: u64,
+    total_latency_ms: u128,
+}
+
+impl Transport {
+    /// Creates a transport from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_probability` is outside `[0, 1]` or a uniform
+    /// latency range is inverted.
+    #[must_use]
+    pub fn new(config: TransportConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.loss_probability),
+            "loss probability {} outside [0, 1]",
+            config.loss_probability
+        );
+        if let LatencyModel::Uniform { min_ms, max_ms } = config.latency {
+            assert!(min_ms <= max_ms, "inverted latency range {min_ms}..{max_ms}");
+        }
+        Transport {
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            delivered: 0,
+            dropped: 0,
+            total_latency_ms: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> TransportConfig {
+        self.config
+    }
+
+    /// Samples the fate of one message: `Some(latency)` when delivered,
+    /// `None` when lost.
+    pub fn send(&mut self) -> Option<SimTime> {
+        if self.config.loss_probability > 0.0
+            && self.rng.gen::<f64>() < self.config.loss_probability
+        {
+            self.dropped += 1;
+            return None;
+        }
+        let latency = match self.config.latency {
+            LatencyModel::Zero => 0,
+            LatencyModel::Fixed(ms) => ms,
+            LatencyModel::Uniform { min_ms, max_ms } => self.rng.gen_range(min_ms..=max_ms),
+        };
+        self.delivered += 1;
+        self.total_latency_ms += u128::from(latency);
+        Some(latency)
+    }
+
+    /// Messages delivered so far.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Mean latency of delivered messages, in milliseconds.
+    #[must_use]
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency_ms as f64 / self.delivered as f64
+        }
+    }
+}
+
+impl Default for Transport {
+    fn default() -> Self {
+        Transport::new(TransportConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_transport_is_instant_and_lossless() {
+        let mut t = Transport::default();
+        for _ in 0..100 {
+            assert_eq!(t.send(), Some(0));
+        }
+        assert_eq!(t.delivered(), 100);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.mean_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn fixed_latency_applied() {
+        let mut t = Transport::new(TransportConfig {
+            latency: LatencyModel::Fixed(25),
+            ..TransportConfig::default()
+        });
+        assert_eq!(t.send(), Some(25));
+        assert_eq!(t.mean_latency_ms(), 25.0);
+    }
+
+    #[test]
+    fn uniform_latency_within_bounds() {
+        let mut t = Transport::new(TransportConfig {
+            latency: LatencyModel::Uniform {
+                min_ms: 10,
+                max_ms: 50,
+            },
+            seed: 42,
+            ..TransportConfig::default()
+        });
+        for _ in 0..1000 {
+            let l = t.send().unwrap();
+            assert!((10..=50).contains(&l));
+        }
+        let mean = t.mean_latency_ms();
+        assert!((25.0..35.0).contains(&mean), "mean {mean} implausible");
+    }
+
+    #[test]
+    fn loss_probability_drops_roughly_that_fraction() {
+        let mut t = Transport::new(TransportConfig {
+            loss_probability: 0.3,
+            seed: 7,
+            ..TransportConfig::default()
+        });
+        for _ in 0..10_000 {
+            let _ = t.send();
+        }
+        let drop_rate = t.dropped() as f64 / 10_000.0;
+        assert!((0.27..0.33).contains(&drop_rate), "drop rate {drop_rate}");
+    }
+
+    #[test]
+    fn same_seed_same_behavior() {
+        let config = TransportConfig {
+            latency: LatencyModel::Uniform {
+                min_ms: 0,
+                max_ms: 100,
+            },
+            loss_probability: 0.1,
+            seed: 99,
+        };
+        let mut a = Transport::new(config);
+        let mut b = Transport::new(config);
+        for _ in 0..500 {
+            assert_eq!(a.send(), b.send());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_loss_probability_rejected() {
+        let _ = Transport::new(TransportConfig {
+            loss_probability: 1.5,
+            ..TransportConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted latency range")]
+    fn inverted_latency_range_rejected() {
+        let _ = Transport::new(TransportConfig {
+            latency: LatencyModel::Uniform {
+                min_ms: 50,
+                max_ms: 10,
+            },
+            ..TransportConfig::default()
+        });
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests of the runtime's core data structures.
+//!
+//! Invariants:
+//! 1. `Value`'s ordering is a total order consistent with equality, and
+//!    hashing is consistent with equality.
+//! 2. `ValueCodec` round-trips every codec-reachable value.
+//! 3. The event queue dequeues in exactly (time, FIFO) order.
+//! 4. The registry's discovery returns exactly the entities whose
+//!    attributes match, under arbitrary bind/unbind interleavings.
+
+use diaspec_runtime::clock::EventQueue;
+use diaspec_runtime::entity::{AttributeMap, BindingTime};
+use diaspec_runtime::registry::Registry;
+use diaspec_runtime::value::{Value, ValueCodec};
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+// ---- generators ---------------------------------------------------------------
+
+fn leaf_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::from),
+        ("[A-Z][a-zA-Z]{0,6}", "[A-Z_0-9]{1,8}")
+            .prop_map(|(e, v)| Value::enum_value(e, v)),
+    ]
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    leaf_value().prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
+            (
+                "[A-Z][a-zA-Z]{0,6}",
+                proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4)
+            )
+                .prop_map(|(name, fields)| Value::Struct {
+                    structure: name,
+                    fields,
+                }),
+        ]
+    })
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- Value order/hash ----------------------------------------------------
+
+    #[test]
+    fn value_ordering_is_total_and_consistent(a in value(), b in value(), c in value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry / consistency with Eq.
+        match a.cmp(&b) {
+            Ordering::Equal => {
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(hash_of(&a), hash_of(&b), "hash consistent with eq");
+            }
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+        }
+        // Transitivity on one sampled triple.
+        let mut sorted = [a, b, c];
+        sorted.sort();
+        prop_assert!(sorted[0] <= sorted[1] && sorted[1] <= sorted[2]);
+        prop_assert!(sorted[0] <= sorted[2]);
+    }
+
+    #[test]
+    fn value_is_reflexively_equal(a in value()) {
+        prop_assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        prop_assert_eq!(&a, &a.clone());
+    }
+
+    // ---- ValueCodec round trips -----------------------------------------------
+
+    #[test]
+    fn codec_round_trips_ints(v in any::<i64>()) {
+        prop_assert_eq!(i64::from_value(&v.into_value()), Some(v));
+    }
+
+    #[test]
+    fn codec_round_trips_floats(v in any::<f64>()) {
+        let back = f64::from_value(&v.into_value()).expect("float round trip");
+        prop_assert!(back == v || (back.is_nan() && v.is_nan()));
+    }
+
+    #[test]
+    fn codec_round_trips_strings(v in ".{0,40}") {
+        prop_assert_eq!(
+            String::from_value(&v.clone().into_value()),
+            Some(v)
+        );
+    }
+
+    #[test]
+    fn codec_round_trips_nested_vecs(v in proptest::collection::vec(
+        proptest::collection::vec(any::<i64>(), 0..5), 0..5,
+    )) {
+        prop_assert_eq!(
+            Vec::<Vec<i64>>::from_value(&v.clone().into_value()),
+            Some(v)
+        );
+    }
+
+    // ---- event queue -----------------------------------------------------------
+
+    #[test]
+    fn event_queue_orders_by_time_then_fifo(times in proptest::collection::vec(0u64..1000, 0..60)) {
+        let mut queue = EventQueue::new();
+        for (seq, t) in times.iter().enumerate() {
+            queue.schedule(*t, seq);
+        }
+        // Reference: stable sort by time preserves insertion order per time.
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().copied().zip(0..times.len()).collect();
+        expected.sort_by_key(|(t, _)| *t);
+        let mut popped = Vec::new();
+        while let Some((t, seq)) = queue.pop() {
+            popped.push((t, seq));
+        }
+        prop_assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn event_queue_clock_never_goes_backwards(
+        ops in proptest::collection::vec((0u64..500, any::<bool>()), 1..80)
+    ) {
+        let mut queue = EventQueue::new();
+        let mut last = 0;
+        for (t, pop) in ops {
+            queue.schedule(t, ());
+            if pop {
+                if let Some((at, ())) = queue.pop() {
+                    prop_assert!(at >= last);
+                    last = at;
+                }
+            }
+        }
+    }
+
+    // ---- registry discovery -----------------------------------------------------
+
+    #[test]
+    fn discovery_matches_exactly_the_matching_entities(
+        zones in proptest::collection::vec(0u8..4, 1..40),
+        unbind_mask in proptest::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let spec = Arc::new(
+            diaspec_core::compile_str(
+                "device Panel { attribute zone as String; action update(s as String); }",
+            )
+            .expect("spec compiles"),
+        );
+        let mut registry = Registry::new(spec);
+        for (i, zone) in zones.iter().enumerate() {
+            let mut attrs = AttributeMap::new();
+            attrs.insert("zone".to_owned(), Value::from(format!("z{zone}")));
+            registry
+                .bind(
+                    format!("e{i}").into(),
+                    "Panel",
+                    attrs,
+                    Box::new(|_: &str, _: u64| Ok(Value::Bool(false))),
+                    BindingTime::Deployment,
+                    0,
+                )
+                .expect("bind");
+        }
+        // Unbind a random subset.
+        let mut alive: Vec<(usize, u8)> = Vec::new();
+        for (i, zone) in zones.iter().enumerate() {
+            let unbound = unbind_mask.get(i).copied().unwrap_or(false);
+            if unbound {
+                registry.unbind(&format!("e{i}").into()).expect("unbind");
+            } else {
+                alive.push((i, *zone));
+            }
+        }
+        prop_assert_eq!(registry.len(), alive.len());
+        for probe in 0u8..4 {
+            let found = registry
+                .discover("Panel")
+                .with_attribute("zone", &Value::from(format!("z{probe}")))
+                .ids();
+            let expected: Vec<String> = {
+                let mut names: Vec<String> = alive
+                    .iter()
+                    .filter(|(_, z)| *z == probe)
+                    .map(|(i, _)| format!("e{i}"))
+                    .collect();
+                names.sort();
+                names
+            };
+            let found_names: Vec<String> =
+                found.iter().map(ToString::to_string).collect();
+            prop_assert_eq!(found_names, expected);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The avionics case study (paper §I/§III, \[9\]): an automated pilot holds
+//! a target altitude through turbulence while the nose altimeter dies —
+//! the declared `@error(policy = "failover")` reroutes its reads to the
+//! wing altimeters without any application code noticing.
+//!
+//! Run with: `cargo run -p diaspec-examples --bin avionics_autopilot`
+
+use diaspec_apps::avionics::{build, AvionicsConfig};
+use diaspec_devices::avionics::FlightState;
+use diaspec_devices::common::FaultMode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = AvionicsConfig {
+        initial: FlightState {
+            altitude_ft: 9_200.0, // start 800 ft low
+            ..FlightState::default()
+        },
+        // The nose altimeter is dead from the start.
+        altimeter_fault: Some(FaultMode::Always),
+        ..AvionicsConfig::default()
+    };
+    let mut app = build(config)?;
+
+    println!("target altitude: 10000 ft, starting at 9200 ft, nose altimeter DEAD");
+    println!("{:>6}  {:>9}  {:>8}", "t (s)", "alt (ft)", "ias (kt)");
+    for minute in 1..=6u64 {
+        app.orchestrator.run_until(minute * 60 * 1000);
+        println!(
+            "{:>6}  {:>9.0}  {:>8.1}",
+            minute * 60,
+            app.altitude_ft(),
+            app.airspeed_kt()
+        );
+    }
+
+    let deviation = (app.altitude_ft() - 10_000.0).abs();
+    println!("\nfinal deviation from target: {deviation:.0} ft");
+    assert!(deviation < 250.0, "autopilot must converge");
+
+    let stats = app.orchestrator.registry().stats();
+    println!(
+        "driver failures: {} (all masked by {} failovers — the declared @error policy)",
+        stats.driver_failures, stats.failovers
+    );
+    assert!(stats.failovers > 0);
+    let errors = app.orchestrator.drain_errors();
+    assert!(
+        errors.is_empty(),
+        "failover kept the application error-free: {errors:?}"
+    );
+    for w in app.warnings.entries() {
+        println!("cockpit warning at {} ms: {}", w.at_ms, w.args[0]);
+    }
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! Tutorial companion (see `docs/TUTORIAL.md`): a fire-alarm application
+//! assembled from the shared home taxonomy (`specs/taxonomy/home.spec`)
+//! plus a 12-line application design, implemented against the *dynamic*
+//! component API (closures) rather than a generated framework — the
+//! lighter-weight path for one-off designs.
+//!
+//! Run with: `cargo run -p diaspec-examples --bin fire_alarm`
+
+use diaspec_core::compile_sources;
+use diaspec_runtime::component::ContextActivation;
+use diaspec_runtime::engine::{ContextApi, ControllerApi, Orchestrator};
+use diaspec_runtime::value::Value;
+use diaspec_devices::common::{ActuationLog, RecordingActuator, SharedCell};
+use diaspec_devices::home::BinarySensorDriver;
+use std::sync::Arc;
+
+const TAXONOMY: &str = include_str!("../specs/taxonomy/home.spec");
+
+const APP: &str = r#"
+    context FireDetected as Boolean {
+      when provided smoke from SmokeDetector
+        maybe publish;
+    }
+    controller SoundAlarm {
+      when provided FireDetected
+        do wail on Siren
+        do notify on NotificationService;
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Compile the taxonomy + the application design together.
+    let spec = Arc::new(compile_sources([
+        ("specs/taxonomy/home.spec", TAXONOMY),
+        ("fire-alarm.spec", APP),
+    ])?);
+    println!(
+        "compiled: {} devices from the taxonomy, {} context(s), {} controller(s)",
+        spec.devices().count(),
+        spec.contexts().count(),
+        spec.controllers().count()
+    );
+
+    // 2. Wire logic with plain closures (the dynamic API).
+    let mut orch = Orchestrator::new(spec);
+    orch.register_context(
+        "FireDetected",
+        |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
+            ContextActivation::SourceEvent { value, entity, .. }
+                if value.as_bool() == Some(true) =>
+            {
+                println!("smoke detected by {entity}!");
+                Ok(Some(Value::Bool(true)))
+            }
+            _ => Ok(None),
+        },
+    )?;
+    orch.register_controller(
+        "SoundAlarm",
+        |api: &mut ControllerApi<'_>, _: &str, _: &Value| {
+            for siren in api.discover("Siren")?.ids() {
+                api.invoke(&siren, "wail", &[])?;
+            }
+            for service in api.discover("NotificationService")?.ids() {
+                api.invoke(
+                    &service,
+                    "notify",
+                    &[Value::from("FIRE detected in the kitchen")],
+                )?;
+            }
+            Ok(())
+        },
+    )?;
+
+    // 3. Bind simulated entities (smoke state is a shared cell).
+    let smoke = SharedCell::new(false);
+    let mut attrs = diaspec_runtime::entity::AttributeMap::new();
+    attrs.insert("room".to_owned(), Value::from("kitchen"));
+    orch.bind_entity(
+        "smoke-kitchen".into(),
+        "SmokeDetector",
+        attrs,
+        Box::new(BinarySensorDriver::new("smoke", smoke.clone())),
+    )?;
+    let siren_log = ActuationLog::new();
+    orch.bind_entity(
+        "siren-hall".into(),
+        "Siren",
+        Default::default(),
+        Box::new(RecordingActuator::new(siren_log.clone())),
+    )?;
+    let notify_log = ActuationLog::new();
+    orch.bind_entity(
+        "push-service".into(),
+        "NotificationService",
+        Default::default(),
+        Box::new(RecordingActuator::new(notify_log.clone())),
+    )?;
+    orch.launch()?;
+
+    // 4. Simulate: smoke at t = 42 s.
+    smoke.set(true);
+    let detector = "smoke-kitchen".into();
+    orch.emit_at(42_000, &detector, "smoke", Value::Bool(true), None)?;
+    orch.run_until(60_000);
+
+    println!(
+        "siren wails: {}, notifications: {}",
+        siren_log.count("wail"),
+        notify_log.count("notify")
+    );
+    assert_eq!(siren_log.count("wail"), 1);
+    assert_eq!(notify_log.count("notify"), 1);
+    assert!(orch.drain_errors().is_empty());
+    println!("fire-alarm chain complete.");
+    Ok(())
+}

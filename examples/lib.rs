@@ -1,0 +1,3 @@
+//! Runnable examples for the diaspec-rs reproduction. Each binary in this
+//! directory exercises the public API on one of the paper's scenarios;
+//! see the repository README for the full list.

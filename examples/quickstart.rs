@@ -1,0 +1,109 @@
+//! Quickstart: design, check, generate, orchestrate — in 80 lines.
+//!
+//! Declares a minimal Sense-Compute-Control application in DiaSpec (a
+//! doorbell), compiles the design, prints its functional chain, and runs
+//! it on the orchestration runtime with a simulated button.
+//!
+//! ```text
+//! cargo run --example is not used here; run with:
+//! cargo run -p diaspec-examples --bin quickstart
+//! ```
+
+use diaspec_core::chains::functional_chains;
+use diaspec_core::compile_str;
+use diaspec_runtime::component::ContextActivation;
+use diaspec_runtime::engine::{ContextApi, ControllerApi, Orchestrator};
+use diaspec_runtime::entity::DeviceInstance;
+use diaspec_runtime::error::{ComponentError, DeviceError};
+use diaspec_runtime::value::Value;
+use std::sync::Arc;
+
+const DESIGN: &str = r#"
+    device Doorbell { source pressed as Boolean; }
+    device Chime    { action ring(times as Integer); }
+
+    context VisitorAtDoor as Boolean {
+        when provided pressed from Doorbell
+            maybe publish;
+    }
+
+    controller Announce {
+        when provided VisitorAtDoor
+            do ring on Chime;
+    }
+"#;
+
+struct ChimeDriver;
+
+impl DeviceInstance for ChimeDriver {
+    fn query(&mut self, source: &str, _now: u64) -> Result<Value, DeviceError> {
+        Err(DeviceError::new("chime", source, "chimes have no sources"))
+    }
+
+    fn invoke(&mut self, _action: &str, args: &[Value], now: u64) -> Result<(), DeviceError> {
+        println!("[{now:>6} ms] chime rings {} time(s)", args[0]);
+        Ok(())
+    }
+}
+
+fn visitor_at_door(
+    _api: &mut ContextApi<'_>,
+    activation: ContextActivation<'_>,
+) -> Result<Option<Value>, ComponentError> {
+    match activation {
+        ContextActivation::SourceEvent { value, .. } if value.as_bool() == Some(true) => {
+            Ok(Some(Value::Bool(true)))
+        }
+        _ => Ok(None),
+    }
+}
+
+fn announce(
+    api: &mut ControllerApi<'_>,
+    _context: &str,
+    _value: &Value,
+) -> Result<(), ComponentError> {
+    for chime in api.discover("Chime")?.ids() {
+        api.invoke(&chime, "ring", &[Value::Int(2)])?;
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Compile the design: parse + semantic checks (SCC conformance,
+    //    typing, publish contracts).
+    let spec = Arc::new(compile_str(DESIGN)?);
+    println!("design checked: {} components", spec.component_count());
+    for chain in functional_chains(&spec) {
+        println!("functional chain: {chain}");
+    }
+
+    // 2. Wire the application: logic per declared component, entities per
+    //    physical device.
+    let mut orch = Orchestrator::new(spec);
+    orch.register_context("VisitorAtDoor", visitor_at_door)?;
+    orch.register_controller("Announce", announce)?;
+    orch.bind_entity(
+        "doorbell-front".into(),
+        "Doorbell",
+        Default::default(),
+        Box::new(|_: &str, _: u64| Ok(Value::Bool(false))),
+    )?;
+    orch.bind_entity("chime-hall".into(), "Chime", Default::default(), Box::new(ChimeDriver))?;
+    orch.launch()?;
+
+    // 3. Drive it: two button presses, one ignored release.
+    let doorbell = "doorbell-front".into();
+    orch.emit_at(1_000, &doorbell, "pressed", Value::Bool(true), None)?;
+    orch.emit_at(1_200, &doorbell, "pressed", Value::Bool(false), None)?;
+    orch.emit_at(5_000, &doorbell, "pressed", Value::Bool(true), None)?;
+    orch.run_until(10_000);
+
+    let m = orch.metrics();
+    println!(
+        "done: {} emissions, {} activations, {} publications, {} actuations",
+        m.emissions, m.context_activations, m.publications, m.actuations
+    );
+    assert_eq!(m.actuations, 2);
+    Ok(())
+}

@@ -1,0 +1,177 @@
+//! E1/E3/E4: end-to-end runs across the orchestration continuum — the
+//! same designs executing from a single home to a city — plus whole-stack
+//! determinism under a realistic (latent, lossy) transport.
+
+use diaspec_apps::parking::{build as build_parking, ParkingAppConfig};
+use diaspec_apps::{cooker, homeassist};
+use diaspec_runtime::transport::{LatencyModel, TransportConfig};
+
+const TEN_MIN: u64 = 10 * 60 * 1000;
+
+fn wan() -> TransportConfig {
+    // A LoRa-class operator network: high latency, some loss.
+    TransportConfig {
+        latency: LatencyModel::Uniform {
+            min_ms: 200,
+            max_ms: 2_000,
+        },
+        loss_probability: 0.02,
+        seed: 7,
+    }
+}
+
+#[test]
+fn continuum_same_design_from_small_to_large() {
+    // E1 / Figure 1: the identical parking design orchestrates 80 sensors
+    // and 8000 sensors; only the binding scale changes.
+    for sensors_per_lot in [10usize, 1000] {
+        let mut app = build_parking(ParkingAppConfig {
+            sensors_per_lot,
+            ..ParkingAppConfig::default()
+        })
+        .unwrap();
+        app.orchestrator.run_until(TEN_MIN);
+        let availability = app.latest_availability().expect("published");
+        let total_free: i64 = availability.iter().map(|a| a.count).sum();
+        let total_sensors = (8 * sensors_per_lot) as i64;
+        assert!(total_free > 0 && total_free < total_sensors);
+        assert_eq!(
+            app.orchestrator.metrics().readings_polled,
+            2 * total_sensors as u64,
+            "both 10-minute contexts (availability + occupancy) polled every sensor once"
+        );
+        assert!(app.orchestrator.drain_errors().is_empty());
+    }
+}
+
+#[test]
+fn cooker_chain_survives_wan_latency() {
+    // E3 over a slow transport: the chains still complete, just later.
+    let mut app = cooker::build(cooker::CookerConfig {
+        alert_after_secs: 3,
+        renotify_every_secs: 60,
+        transport: wan(),
+        ..cooker::CookerConfig::default()
+    })
+    .unwrap();
+    app.start_cooking();
+    app.orchestrator.run_until(60_000);
+    assert!(
+        !app.questions.get().is_empty(),
+        "prompt arrived despite latency"
+    );
+    app.answer(61_000, "yes").unwrap();
+    app.orchestrator.run_until(90_000);
+    assert!(!app.cooker.get().on, "turn-off arrived despite latency");
+    // Mean latency is within the configured band.
+    let mean = app.orchestrator.metrics().mean_transport_latency_ms();
+    assert!((200.0..=2000.0).contains(&mean), "mean latency {mean}");
+}
+
+#[test]
+fn parking_city_on_wan_is_deterministic() {
+    let run = || {
+        let mut app = build_parking(ParkingAppConfig {
+            sensors_per_lot: 50,
+            transport: wan(),
+            ..ParkingAppConfig::default()
+        })
+        .unwrap();
+        app.orchestrator.run_until(2 * 3600 * 1000);
+        (
+            *app.orchestrator.metrics(),
+            app.latest_availability(),
+            app.latest_suggestions(),
+            app.messenger.len(),
+        )
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seed, same city, same events");
+    assert!(first.0.messages_lost > 0, "the lossy path was exercised");
+}
+
+#[test]
+fn homeassist_full_day_is_deterministic() {
+    let run = || {
+        let mut app = homeassist::build(homeassist::HomeAssistConfig {
+            nap: Some((8 * 3600 * 1000, 11 * 3600 * 1000)),
+            transport: wan(),
+            ..homeassist::HomeAssistConfig::default()
+        })
+        .unwrap();
+        app.orchestrator.run_until(24 * 3600 * 1000);
+        (
+            *app.orchestrator.metrics(),
+            app.speaker.len(),
+            app.lights
+                .values()
+                .map(diaspec_devices::common::ActuationLog::len)
+                .sum::<usize>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn emission_from_subtype_reaches_parent_subscription() {
+    // A context subscribed to a base device's source receives emissions
+    // from entities bound as subtypes (the `extends` hierarchy of §III).
+    use diaspec_runtime::component::ContextActivation;
+    use diaspec_runtime::engine::{ContextApi, ControllerApi, Orchestrator};
+    use diaspec_runtime::value::Value;
+    use std::sync::Arc;
+
+    let spec = Arc::new(
+        diaspec_core::compile_str(
+            r#"
+            device BaseSensor { source reading as Float; }
+            device RoomSensor extends BaseSensor { attribute room as String; }
+            device Sink { action absorb; }
+            context AnyReading as Float {
+              when provided reading from BaseSensor always publish;
+            }
+            controller Out { when provided AnyReading do absorb on Sink; }
+            "#,
+        )
+        .unwrap(),
+    );
+    let mut orch = Orchestrator::new(spec);
+    orch.register_context(
+        "AnyReading",
+        |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
+            ContextActivation::SourceEvent {
+                device_type, value, ..
+            } => {
+                assert_eq!(device_type, "RoomSensor", "concrete type visible");
+                Ok(Some((*value).clone()))
+            }
+            _ => Ok(None),
+        },
+    )
+    .unwrap();
+    orch.register_controller(
+        "Out",
+        |_: &mut ControllerApi<'_>, _: &str, _: &Value| Ok(()),
+    )
+    .unwrap();
+    let mut attrs = diaspec_runtime::entity::AttributeMap::new();
+    attrs.insert("room".to_owned(), Value::from("kitchen"));
+    orch.bind_entity(
+        "rs-1".into(),
+        "RoomSensor",
+        attrs,
+        Box::new(|_: &str, _: u64| Ok(Value::Float(20.5))),
+    )
+    .unwrap();
+    orch.launch().unwrap();
+    let sensor = "rs-1".into();
+    orch.emit_at(10, &sensor, "reading", Value::Float(21.0), None)
+        .unwrap();
+    orch.run_until(100);
+    assert_eq!(
+        orch.last_value("AnyReading"),
+        Some(&Value::Float(21.0)),
+        "subtype emission delivered via the base subscription"
+    );
+}

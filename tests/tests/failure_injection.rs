@@ -1,0 +1,274 @@
+//! E14: failure injection against the declared `@error` policies
+//! (paper §III/§VI: non-functional annotations; the avionics case \[9\]).
+//!
+//! For each policy — retry, failover, ignore, escalate — a device is
+//! broken in a running application and the observable behaviour is
+//! asserted: which failures are masked, which surface, and what the
+//! registry recovery statistics record.
+
+use diaspec_apps::avionics::{build as build_avionics, AvionicsConfig};
+use diaspec_devices::avionics::{FlightModelConfig, FlightState};
+use diaspec_devices::common::{ActuationLog, FailingDevice, FaultMode, RecordingActuator};
+use diaspec_runtime::component::ContextActivation;
+use diaspec_runtime::engine::{ContextApi, ControllerApi, Orchestrator};
+use diaspec_runtime::error::RuntimeError;
+use diaspec_runtime::value::Value;
+use std::sync::Arc;
+
+fn calm_avionics() -> AvionicsConfig {
+    AvionicsConfig {
+        dynamics: FlightModelConfig {
+            turbulence_ft: 0.0,
+            ..FlightModelConfig::default()
+        },
+        ..AvionicsConfig::default()
+    }
+}
+
+#[test]
+fn failover_policy_keeps_avionics_flying() {
+    let mut app = build_avionics(AvionicsConfig {
+        altimeter_fault: Some(FaultMode::Always),
+        initial: FlightState {
+            altitude_ft: 9_400.0,
+            ..FlightState::default()
+        },
+        ..calm_avionics()
+    })
+    .unwrap();
+    app.orchestrator.run_until(4 * 60 * 1000);
+    assert!((app.altitude_ft() - 10_000.0).abs() < 200.0);
+    assert!(app.orchestrator.drain_errors().is_empty());
+    let stats = app.orchestrator.registry().stats();
+    assert!(stats.driver_failures > 0);
+    assert!(stats.failovers >= stats.driver_failures / 2);
+}
+
+#[test]
+fn intermittent_fault_is_also_masked() {
+    let mut app = build_avionics(AvionicsConfig {
+        altimeter_fault: Some(FaultMode::Probabilistic {
+            probability: 0.5,
+            seed: 17,
+        }),
+        ..calm_avionics()
+    })
+    .unwrap();
+    app.orchestrator.run_until(2 * 60 * 1000);
+    assert!(app.orchestrator.drain_errors().is_empty());
+    let stats = app.orchestrator.registry().stats();
+    assert!(stats.driver_failures > 10, "{stats:?}");
+    assert_eq!(stats.driver_failures, stats.failovers, "each masked once");
+}
+
+#[test]
+fn retry_policy_masks_transient_airspeed_faults() {
+    // The airspeed sensor declares @error(policy = "retry", attempts = 3).
+    // Replace it with a probabilistically failing driver: with p = 0.5 per
+    // call and 3 attempts, an unmasked failure needs three misses in a row
+    // (p = 0.125) — retries must measurably reduce surfaced errors.
+    let mut app = build_avionics(calm_avionics()).unwrap();
+    app.orchestrator.unbind_entity(&"airspeed-1".into()).unwrap();
+    let aircraft = app.aircraft.clone();
+    app.orchestrator
+        .bind_entity(
+            "airspeed-1".into(),
+            "AirspeedSensor",
+            Default::default(),
+            Box::new(FailingDevice::new(
+                diaspec_devices::avionics::FlightSensorDriver::new(aircraft),
+                FaultMode::Probabilistic {
+                    probability: 0.5,
+                    seed: 23,
+                },
+            )),
+        )
+        .unwrap();
+    app.orchestrator.run_until(2 * 60 * 1000);
+    let stats = app.orchestrator.registry().stats();
+    assert!(stats.retries > 0, "{stats:?}");
+    // Some failures may still escalate after 3 attempts; they surface as
+    // contained component errors, far fewer than the raw failure count.
+    let surfaced = app.orchestrator.drain_errors().len() as u64;
+    assert!(
+        surfaced < stats.driver_failures / 2,
+        "retries masked most failures: surfaced {surfaced}, raw {}",
+        stats.driver_failures
+    );
+}
+
+#[test]
+fn ignore_policy_drops_readings_silently() {
+    let spec = Arc::new(
+        diaspec_core::compile_str(
+            r#"
+            @error(policy = "ignore")
+            device Flaky { source v as Integer; }
+            device Sink { action absorb(total as Integer); }
+            context Sum as Integer {
+              when periodic v from Flaky <1 min> always publish;
+            }
+            controller Out { when provided Sum do absorb on Sink; }
+            "#,
+        )
+        .unwrap(),
+    );
+    let mut orch = Orchestrator::new(spec);
+    orch.register_context(
+        "Sum",
+        |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
+            ContextActivation::Batch(batch) => Ok(Some(Value::Int(
+                batch
+                    .readings
+                    .iter()
+                    .filter_map(|r| r.value.as_int())
+                    .sum(),
+            ))),
+            _ => Ok(None),
+        },
+    )
+    .unwrap();
+    let log = ActuationLog::new();
+    let log_for_controller = log.clone();
+    orch.register_controller(
+        "Out",
+        move |api: &mut ControllerApi<'_>, _: &str, value: &Value| {
+            let _ = &log_for_controller;
+            for sink in api.discover("Sink")?.ids() {
+                api.invoke(&sink, "absorb", &[value.clone()])?;
+            }
+            Ok(())
+        },
+    )
+    .unwrap();
+    // Two healthy sensors and one permanently broken one.
+    for (id, value) in [("f-1", 10i64), ("f-2", 20)] {
+        orch.bind_entity(
+            id.into(),
+            "Flaky",
+            Default::default(),
+            Box::new(move |_: &str, _: u64| Ok(Value::Int(value))),
+        )
+        .unwrap();
+    }
+    orch.bind_entity(
+        "f-broken".into(),
+        "Flaky",
+        Default::default(),
+        Box::new(FailingDevice::new(
+            RecordingActuator::new(ActuationLog::new()),
+            FaultMode::Always,
+        )),
+    )
+    .unwrap();
+    orch.bind_entity(
+        "sink-1".into(),
+        "Sink",
+        Default::default(),
+        Box::new(RecordingActuator::new(log.clone())),
+    )
+    .unwrap();
+    orch.launch().unwrap();
+    orch.run_until(60_000);
+    // The broken sensor's reading is simply absent: sum = 30, no errors.
+    assert_eq!(log.last().unwrap().args[0], Value::Int(30));
+    assert!(orch.drain_errors().is_empty());
+    assert_eq!(orch.registry().stats().ignored_failures, 1);
+    assert_eq!(orch.metrics().readings_polled, 2, "broken one skipped");
+}
+
+#[test]
+fn escalate_policy_surfaces_the_failure() {
+    let spec = Arc::new(
+        diaspec_core::compile_str(
+            r#"
+            device Fragile { source v as Integer; }
+            device Sink { action absorb; }
+            context C as Integer {
+              when provided v from Fragile
+                get v from Fragile
+                always publish;
+            }
+            controller Out { when provided C do absorb on Sink; }
+            "#,
+        )
+        .unwrap(),
+    );
+    let mut orch = Orchestrator::new(spec);
+    orch.register_context(
+        "C",
+        |api: &mut ContextApi<'_>, _: ContextActivation<'_>| {
+            // Default policy is escalate: the failing get propagates.
+            let result = api.get_device_source("Fragile", "v");
+            assert!(matches!(result, Err(RuntimeError::Device(_))), "{result:?}");
+            Err(result.unwrap_err().into())
+        },
+    )
+    .unwrap();
+    orch.register_controller(
+        "Out",
+        |_: &mut ControllerApi<'_>, _: &str, _: &Value| Ok(()),
+    )
+    .unwrap();
+    orch.bind_entity(
+        "fragile-1".into(),
+        "Fragile",
+        Default::default(),
+        Box::new(FailingDevice::new(
+            RecordingActuator::new(ActuationLog::new()),
+            FaultMode::Always,
+        )),
+    )
+    .unwrap();
+    orch.bind_entity(
+        "sink-1".into(),
+        "Sink",
+        Default::default(),
+        Box::new(RecordingActuator::new(ActuationLog::new())),
+    )
+    .unwrap();
+    orch.launch().unwrap();
+    let fragile = "fragile-1".into();
+    orch.emit_at(5, &fragile, "v", Value::Int(1), None).unwrap();
+    orch.run_until(100);
+    let errors = orch.drain_errors();
+    assert_eq!(errors.len(), 1, "{errors:?}");
+}
+
+#[test]
+fn runtime_unbind_rebind_recovers_an_application() {
+    // Losing every sensor surfaces errors; rebinding at runtime (paper
+    // §IV: runtime binding) restores the data flow without a restart.
+    let mut app = build_avionics(calm_avionics()).unwrap();
+    for position in ["NOSE", "LEFT_WING", "RIGHT_WING"] {
+        app.orchestrator
+            .unbind_entity(&format!("altimeter-{position}").into())
+            .unwrap();
+    }
+    app.orchestrator.run_until(3_000);
+    assert!(!app.orchestrator.drain_errors().is_empty());
+
+    // A maintenance process rebinds one altimeter.
+    let aircraft = app.aircraft.clone();
+    let mut attrs = diaspec_runtime::entity::AttributeMap::new();
+    attrs.insert(
+        "position".to_owned(),
+        Value::enum_value("PositionEnum", "NOSE"),
+    );
+    app.orchestrator
+        .bind_entity(
+            "altimeter-NOSE-replacement".into(),
+            "Altimeter",
+            attrs,
+            Box::new(diaspec_devices::avionics::FlightSensorDriver::new(aircraft)),
+        )
+        .unwrap();
+    app.orchestrator.run_until(10_000);
+    let errors = app.orchestrator.drain_errors();
+    // Errors stop once the replacement serves readings.
+    assert!(
+        errors.iter().all(|e| e.at < 4_000),
+        "no errors after the rebind: {errors:?}"
+    );
+    assert!(app.orchestrator.last_value("FlightState").is_some());
+}

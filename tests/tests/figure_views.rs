@@ -1,0 +1,76 @@
+//! E2–E4 (graphical side): the checked-in design diagrams under
+//! `docs/figures/` — the reproduction of the paper's Figures 3 and 4 —
+//! stay in sync with the bundled designs, and each contains the layered
+//! structure the paper draws.
+
+use diaspec_apps::{avionics, cooker, homeassist, parking};
+use diaspec_codegen::dot::generate_dot;
+use diaspec_core::compile_str;
+
+const FIGURES: [(&str, &str, &str); 4] = [
+    ("cooker", cooker::SPEC, include_str!("../../docs/figures/cooker.dot")),
+    ("parking", parking::SPEC, include_str!("../../docs/figures/parking.dot")),
+    ("avionics", avionics::SPEC, include_str!("../../docs/figures/avionics.dot")),
+    (
+        "homeassist",
+        homeassist::SPEC,
+        include_str!("../../docs/figures/homeassist.dot"),
+    ),
+];
+
+#[test]
+fn checked_in_figures_match_regeneration() {
+    for (name, spec_src, checked_in) in FIGURES {
+        let spec = compile_str(spec_src).unwrap();
+        let regenerated = generate_dot(&spec, name);
+        assert_eq!(
+            regenerated, checked_in,
+            "{name}: regenerate with `cargo run -p diaspec-codegen --bin diaspec-gen -- \
+             specs/{name}.spec --dot > docs/figures/{name}.dot`"
+        );
+    }
+}
+
+#[test]
+fn every_figure_has_the_four_scc_layers() {
+    for (name, _, dot) in FIGURES {
+        for cluster in [
+            "cluster_sources",
+            "cluster_contexts",
+            "cluster_controllers",
+            "cluster_actions",
+        ] {
+            assert!(dot.contains(cluster), "{name} missing {cluster}");
+        }
+        assert_eq!(
+            dot.matches('{').count(),
+            dot.matches('}').count(),
+            "{name}: braces balance"
+        );
+    }
+}
+
+#[test]
+fn figure4_parking_diagram_matches_paper_structure() {
+    let (_, _, dot) = FIGURES[1];
+    // Figure 4's fan-out: one source feeding three contexts...
+    for ctx in ["ParkingAvailability", "ParkingUsagePattern", "AverageOccupancy"] {
+        assert!(
+            dot.contains(&format!(
+                "\"src:PresenceSensor.presence\" -> \"ctx:{ctx}\""
+            )),
+            "{dot}"
+        );
+    }
+    // ...the suggestion context combining provided + get...
+    assert!(dot.contains("\"ctx:ParkingAvailability\" -> \"ctx:ParkingSuggestion\""));
+    assert!(dot.contains(
+        "\"ctx:ParkingUsagePattern\" -> \"ctx:ParkingSuggestion\" [style=dashed, label=\"get\""
+    ));
+    // ...and the three controller-to-action chains.
+    assert!(dot.contains("\"ctl:ParkingEntrancePanelController\" -> \"act:ParkingEntrancePanel.update\""));
+    assert!(dot.contains("\"ctl:CityEntrancePanelController\" -> \"act:CityEntrancePanel.update\""));
+    assert!(dot.contains("\"ctl:MessengerController\" -> \"act:Messenger.sendMessage\""));
+    // MapReduce contexts are marked as in Figure 8's declaration.
+    assert!(dot.contains("[MapReduce]"));
+}

@@ -1,0 +1,231 @@
+//! E2: the Sense-Compute-Control paradigm (paper Figure 2) is enforced at
+//! *both* levels — statically by the checker and dynamically by the
+//! runtime — so no implementation can escape the declared architecture.
+
+use diaspec_core::compile_str;
+use diaspec_runtime::component::ContextActivation;
+use diaspec_runtime::engine::{ContextApi, ControllerApi, Orchestrator};
+use diaspec_runtime::error::RuntimeError;
+use diaspec_runtime::value::Value;
+use std::sync::Arc;
+
+// ---- static enforcement --------------------------------------------------------
+
+#[test]
+fn checker_rejects_controller_feeding_a_context() {
+    // "controllers cannot invoke context components" (paper §IV.1).
+    let err = compile_str(
+        r#"
+        device D { source s as Integer; action a; }
+        context C as Integer { when provided s from D always publish; }
+        controller Ctl { when provided C do a on D; }
+        context Downstream as Integer { when provided Ctl always publish; }
+        "#,
+    )
+    .unwrap_err();
+    assert!(err.diagnostics().find("E0223").is_some(), "{err}");
+}
+
+#[test]
+fn checker_rejects_controller_subscribing_to_a_device() {
+    // Controllers receive refined information from contexts, never raw
+    // data: the grammar has no `from` in controller subscriptions, and the
+    // name must resolve to a context.
+    let err = compile_str(
+        r#"
+        device D { source s as Integer; action a; }
+        controller Ctl { when provided D do a on D; }
+        "#,
+    )
+    .unwrap_err();
+    assert!(err.diagnostics().find("E0240").is_some(), "{err}");
+}
+
+#[test]
+fn checker_rejects_action_on_a_context() {
+    let err = compile_str(
+        r#"
+        device D { source s as Integer; }
+        context C as Integer { when provided s from D always publish; }
+        context C2 as Integer { when provided s from D always publish; }
+        controller Ctl { when provided C do something on C2; }
+        "#,
+    )
+    .unwrap_err();
+    assert!(err.diagnostics().find("E0242").is_some(), "{err}");
+}
+
+// ---- dynamic enforcement ---------------------------------------------------------
+
+const SPEC: &str = r#"
+    device Sensor { source v as Integer; }
+    device Other  { source w as Integer; }
+    device Sink   { action absorb; }
+    device OffLimits { action forbidden; }
+    context C as Integer {
+      when provided v from Sensor
+        get w from Other
+        maybe publish;
+    }
+    controller Ctl { when provided C do absorb on Sink; }
+    context Unused as Integer {
+      when provided w from Other maybe publish;
+    }
+    controller Ctl2 { when provided Unused do forbidden on OffLimits; }
+"#;
+
+fn driver(v: i64) -> Box<dyn diaspec_runtime::entity::DeviceInstance> {
+    Box::new(move |_: &str, _: u64| Ok(Value::Int(v)))
+}
+
+struct AbsorbAll;
+impl diaspec_runtime::entity::DeviceInstance for AbsorbAll {
+    fn query(
+        &mut self,
+        s: &str,
+        _n: u64,
+    ) -> Result<Value, diaspec_runtime::error::DeviceError> {
+        Err(diaspec_runtime::error::DeviceError::new("sink", s, "no sources"))
+    }
+    fn invoke(
+        &mut self,
+        _a: &str,
+        _args: &[Value],
+        _n: u64,
+    ) -> Result<(), diaspec_runtime::error::DeviceError> {
+        Ok(())
+    }
+}
+
+#[test]
+fn runtime_rejects_reads_and_actions_beyond_the_design() {
+    let spec = Arc::new(compile_str(SPEC).unwrap());
+    let mut orch = Orchestrator::new(spec);
+    orch.register_context(
+        "C",
+        |api: &mut ContextApi<'_>, activation: ContextActivation<'_>| {
+            if matches!(activation, ContextActivation::SourceEvent { .. }) {
+                // Declared get: allowed.
+                assert!(api.get_device_source("Other", "w").is_ok());
+                // Undeclared get: rejected (the design has no
+                // `get v from Sensor` even though the trigger reads it).
+                assert!(matches!(
+                    api.get_device_source("Sensor", "v"),
+                    Err(RuntimeError::ContractViolation { .. })
+                ));
+                // Undeclared context get: rejected.
+                assert!(matches!(
+                    api.get_context("Unused"),
+                    Err(RuntimeError::ContractViolation { .. })
+                ));
+            }
+            Ok(Some(Value::Int(1)))
+        },
+    )
+    .unwrap();
+    orch.register_context(
+        "Unused",
+        |_: &mut ContextApi<'_>, _: ContextActivation<'_>| Ok(None),
+    )
+    .unwrap();
+    orch.register_controller(
+        "Ctl",
+        |api: &mut ControllerApi<'_>, _: &str, _: &Value| {
+            // Declared action: allowed.
+            for sink in api.discover("Sink")?.ids() {
+                api.invoke(&sink, "absorb", &[])?;
+            }
+            // Action on a device family this controller never declared:
+            // rejected even though *another* controller declares it.
+            let off_limits: diaspec_runtime::entity::EntityId = "off-1".into();
+            assert!(matches!(
+                api.invoke(&off_limits, "forbidden", &[]),
+                Err(RuntimeError::ContractViolation { .. })
+            ));
+            assert!(api.discover("OffLimits").is_err());
+            Ok(())
+        },
+    )
+    .unwrap();
+    orch.register_controller(
+        "Ctl2",
+        |_: &mut ControllerApi<'_>, _: &str, _: &Value| Ok(()),
+    )
+    .unwrap();
+
+    orch.bind_entity("s-1".into(), "Sensor", Default::default(), driver(7))
+        .unwrap();
+    orch.bind_entity("o-1".into(), "Other", Default::default(), driver(9))
+        .unwrap();
+    orch.bind_entity("sink-1".into(), "Sink", Default::default(), Box::new(AbsorbAll))
+        .unwrap();
+    orch.bind_entity(
+        "off-1".into(),
+        "OffLimits",
+        Default::default(),
+        Box::new(AbsorbAll),
+    )
+    .unwrap();
+    orch.launch().unwrap();
+
+    let sensor = "s-1".into();
+    orch.emit_at(100, &sensor, "v", Value::Int(7), None).unwrap();
+    orch.run_until(1_000);
+    assert_eq!(orch.metrics().actuations, 1, "only the declared actuation");
+    assert!(orch.drain_errors().is_empty());
+}
+
+#[test]
+fn runtime_enforces_publish_modes_end_to_end() {
+    let spec = Arc::new(
+        compile_str(
+            r#"
+            device Sensor { source v as Integer; }
+            device Sink { action absorb; }
+            context Never as Integer {
+              when periodic v from Sensor <1 min> no publish;
+              when required;
+            }
+            context Chatty as Integer { when provided v from Sensor always publish; }
+            controller Out { when provided Chatty do absorb on Sink; }
+            "#,
+        )
+        .unwrap(),
+    );
+    let mut orch = Orchestrator::new(spec);
+    // `Never` misbehaves: returns a value from its `no publish` activation.
+    orch.register_context(
+        "Never",
+        |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
+            ContextActivation::Batch(_) => Ok(Some(Value::Int(99))),
+            _ => Ok(Some(Value::Int(0))),
+        },
+    )
+    .unwrap();
+    // `Chatty` misbehaves the other way: stays silent on `always publish`.
+    orch.register_context(
+        "Chatty",
+        |_: &mut ContextApi<'_>, _: ContextActivation<'_>| Ok(None),
+    )
+    .unwrap();
+    orch.register_controller(
+        "Out",
+        |_: &mut ControllerApi<'_>, _: &str, _: &Value| Ok(()),
+    )
+    .unwrap();
+    orch.bind_entity("s-1".into(), "Sensor", Default::default(), driver(1))
+        .unwrap();
+    orch.bind_entity("sink-1".into(), "Sink", Default::default(), Box::new(AbsorbAll))
+        .unwrap();
+    orch.launch().unwrap();
+    let sensor = "s-1".into();
+    orch.emit_at(10, &sensor, "v", Value::Int(1), None).unwrap();
+    orch.run_until(61_000);
+    let errors = orch.drain_errors();
+    let violations = errors
+        .iter()
+        .filter(|e| matches!(e.error, RuntimeError::ContractViolation { .. }))
+        .count();
+    assert_eq!(violations, 2, "both publish violations contained: {errors:?}");
+    assert_eq!(orch.metrics().publications, 0);
+}

@@ -1,0 +1,233 @@
+//! E5: the paper's device declarations (Figures 5 and 6) and application
+//! designs (Figures 7 and 8) — exactly as bundled in `specs/` — parse,
+//! check, and resolve as the paper describes.
+
+use diaspec_apps::{avionics, cooker, homeassist, parking};
+use diaspec_core::chains::functional_chains;
+use diaspec_core::model::{ActivationTrigger, PublishMode};
+use diaspec_core::types::Type;
+use diaspec_core::{compile_str, compile_str_with_warnings};
+
+#[test]
+fn all_bundled_specs_compile_without_warnings() {
+    for (name, src) in [
+        ("cooker", cooker::SPEC),
+        ("parking", parking::SPEC),
+        ("avionics", avionics::SPEC),
+        ("homeassist", homeassist::SPEC),
+    ] {
+        let (model, diags) = compile_str_with_warnings(src)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            diags.is_empty(),
+            "{name} must be warning-free: {diags:?}"
+        );
+        assert!(model.component_count() > 0);
+    }
+}
+
+#[test]
+fn figure5_cooker_device_declarations() {
+    let model = compile_str(cooker::SPEC).unwrap();
+    let clock = model.device("Clock").unwrap();
+    assert_eq!(clock.sources.len(), 3);
+    assert_eq!(clock.source("tickSecond").unwrap().ty, Type::Integer);
+
+    let cooker_dev = model.device("Cooker").unwrap();
+    assert_eq!(cooker_dev.source("consumption").unwrap().ty, Type::Float);
+    assert!(cooker_dev.action("On").is_some());
+    assert!(cooker_dev.action("Off").is_some());
+
+    let prompter = model.device("TvPrompter").unwrap();
+    let answer = prompter.source("answer").unwrap();
+    assert_eq!(answer.ty, Type::String);
+    assert_eq!(
+        answer.index,
+        Some(("questionId".to_owned(), Type::String)),
+        "the indexed-by clause of Figure 5"
+    );
+}
+
+#[test]
+fn figure6_parking_device_declarations() {
+    let model = compile_str(parking::SPEC).unwrap();
+    let sensor = model.device("PresenceSensor").unwrap();
+    assert_eq!(
+        sensor.attribute("parkingLot").unwrap().ty,
+        Type::Enum("ParkingLotEnum".into())
+    );
+    assert_eq!(sensor.source("presence").unwrap().ty, Type::Boolean);
+
+    // The display-panel hierarchy of Figure 6.
+    for panel in ["ParkingEntrancePanel", "CityEntrancePanel"] {
+        let dev = model.device(panel).unwrap();
+        assert_eq!(dev.parent.as_deref(), Some("DisplayPanel"));
+        let update = dev.action("update").unwrap();
+        assert_eq!(update.declared_in, "DisplayPanel", "inherited action");
+        assert_eq!(update.params, vec![("status".to_owned(), Type::String)]);
+        assert!(dev.attribute("location").is_some());
+    }
+    assert!(model.device_is_subtype("ParkingEntrancePanel", "DisplayPanel"));
+    assert!(!model.device_is_subtype("DisplayPanel", "ParkingEntrancePanel"));
+
+    let lots = model.enumeration("ParkingLotEnum").unwrap();
+    assert!(lots.has_variant("A22"));
+    assert!(lots.has_variant("B16"));
+    assert!(lots.has_variant("D6"));
+    assert!(model
+        .enumeration("CityEntranceEnum")
+        .unwrap()
+        .has_variant("NORTH_EAST_14Y"));
+}
+
+#[test]
+fn figure7_cooker_design_contracts() {
+    let model = compile_str(cooker::SPEC).unwrap();
+    let alert = model.context("Alert").unwrap();
+    assert_eq!(alert.output, Type::Integer);
+    assert_eq!(alert.activations.len(), 1);
+    let activation = &alert.activations[0];
+    assert_eq!(
+        activation.trigger,
+        ActivationTrigger::DeviceSource {
+            device: "Clock".into(),
+            source: "tickSecond".into(),
+        }
+    );
+    assert_eq!(activation.gets.len(), 1, "get consumption from Cooker");
+    assert_eq!(activation.publish, PublishMode::Maybe);
+
+    let notify = model.controller("Notify").unwrap();
+    assert_eq!(notify.bindings[0].context, "Alert");
+    assert_eq!(
+        notify.bindings[0].actions,
+        vec![("askQuestion".to_owned(), "TvPrompter".to_owned())]
+    );
+
+    // The two functional chains of Figure 3.
+    let chains: Vec<String> = functional_chains(&model)
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    assert_eq!(
+        chains,
+        vec![
+            "Clock.tickSecond -> [Alert] -> (Notify) -> TvPrompter.askQuestion()",
+            "TvPrompter.answer -> [RemoteTurnOff] -> (TurnOff) -> Cooker.Off()",
+        ]
+    );
+}
+
+#[test]
+fn figure8_parking_design_contracts() {
+    let model = compile_str(parking::SPEC).unwrap();
+
+    // Line 2-5: ParkingAvailability.
+    let availability = model.context("ParkingAvailability").unwrap();
+    assert_eq!(
+        availability.output,
+        Type::Struct("Availability".into()).array()
+    );
+    let activation = &availability.activations[0];
+    match &activation.trigger {
+        ActivationTrigger::Periodic {
+            device,
+            source,
+            period_ms,
+        } => {
+            assert_eq!(device, "PresenceSensor");
+            assert_eq!(source, "presence");
+            assert_eq!(*period_ms, 10 * 60 * 1000, "<10 min>");
+        }
+        other => panic!("expected periodic trigger, got {other:?}"),
+    }
+    let grouping = activation.grouping.as_ref().unwrap();
+    assert_eq!(grouping.attribute, "parkingLot");
+    assert_eq!(
+        grouping.map_reduce,
+        Some((Type::Boolean, Type::Integer)),
+        "with map as Boolean reduce as Integer"
+    );
+    assert_eq!(activation.publish, PublishMode::Always);
+
+    // Lines 8-14: ParkingUsagePattern is pull-only.
+    let usage = model.context("ParkingUsagePattern").unwrap();
+    assert!(usage.is_required());
+    assert!(!usage.publishes());
+
+    // Lines 16-20: AverageOccupancy's 24-hour window.
+    let occupancy = model.context("AverageOccupancy").unwrap();
+    let grouping = occupancy.activations[0].grouping.as_ref().unwrap();
+    assert_eq!(grouping.window_ms, Some(24 * 3600 * 1000), "every <24 hr>");
+
+    // Lines 22-26: ParkingSuggestion combines provided + get.
+    let suggestion = model.context("ParkingSuggestion").unwrap();
+    assert_eq!(
+        suggestion.activations[0].trigger,
+        ActivationTrigger::Context("ParkingAvailability".into())
+    );
+    assert_eq!(suggestion.activations[0].gets.len(), 1);
+
+    // Lines 28-41: three controllers.
+    assert_eq!(model.controllers().count(), 3);
+    assert_eq!(
+        model
+            .controller("MessengerController")
+            .unwrap()
+            .bindings[0]
+            .actions,
+        vec![("sendMessage".to_owned(), "Messenger".to_owned())]
+    );
+
+    // Lines 43-56: the three structures.
+    assert_eq!(
+        model.structure("Availability").unwrap().field("count"),
+        Some(&Type::Integer)
+    );
+    assert_eq!(
+        model.structure("UsagePattern").unwrap().field("level"),
+        Some(&Type::Enum("UsagePatternEnum".into()))
+    );
+    assert_eq!(
+        model.structure("ParkingOccupancy").unwrap().field("occupancy"),
+        Some(&Type::Float)
+    );
+}
+
+#[test]
+fn pretty_printer_round_trips_all_bundled_specs() {
+    for src in [cooker::SPEC, parking::SPEC, avionics::SPEC, homeassist::SPEC] {
+        let (ast, diags) = diaspec_core::parser::parse(src);
+        assert!(!diags.has_errors());
+        let printed = diaspec_core::pretty::pretty(&ast);
+        let (reparsed, rediags) = diaspec_core::parser::parse(&printed);
+        assert!(!rediags.has_errors(), "{printed}");
+        assert_eq!(
+            diaspec_core::pretty::pretty(&reparsed),
+            printed,
+            "pretty-print fixpoint"
+        );
+    }
+}
+
+#[test]
+fn avionics_annotations_resolved() {
+    let model = compile_str(avionics::SPEC).unwrap();
+    let altimeter = model.device("Altimeter").unwrap();
+    let error = altimeter
+        .annotations
+        .iter()
+        .find(|a| a.name == "error")
+        .expect("@error annotation");
+    assert_eq!(
+        error.arg("policy").and_then(|a| a.as_str()),
+        Some("failover")
+    );
+    let flight_state = model.context("FlightState").unwrap();
+    let qos = flight_state
+        .annotations
+        .iter()
+        .find(|a| a.name == "qos")
+        .expect("@qos annotation");
+    assert_eq!(qos.arg("latencyMs").and_then(|a| a.as_int()), Some(200));
+}
