@@ -17,6 +17,8 @@
 
 /// The programming framework generated from `specs/avionics.spec` by the
 /// design compiler (checked in; kept in sync by a golden test).
+// Byte-identical to compiler output (golden-tested): keep rustfmt out.
+#[rustfmt::skip]
 pub mod generated;
 
 use self::generated::*;
@@ -24,7 +26,9 @@ use diaspec_devices::avionics::{
     FlightActuatorDriver, FlightModel, FlightModelConfig, FlightProcess, FlightSensorDriver,
     FlightState,
 };
-use diaspec_devices::common::{ActuationLog, FailingDevice, FaultMode, RecordingActuator, SharedCell};
+use diaspec_devices::common::{
+    ActuationLog, FailingDevice, FaultMode, RecordingActuator, SharedCell,
+};
 use diaspec_runtime::entity::AttributeMap;
 use diaspec_runtime::error::{ComponentError, RuntimeError};
 use diaspec_runtime::transport::TransportConfig;
@@ -215,9 +219,8 @@ impl AvionicsApp {
 ///
 /// Returns [`RuntimeError`] on wiring failure.
 pub fn build(config: AvionicsConfig) -> Result<AvionicsApp, RuntimeError> {
-    let spec = Arc::new(
-        diaspec_core::compile_str(SPEC).expect("bundled avionics.spec must compile"),
-    );
+    let spec =
+        Arc::new(diaspec_core::compile_str(SPEC).expect("bundled avionics.spec must compile"));
     let mut orch = Orchestrator::with_transport(spec, config.transport);
 
     orch.register_context("FlightState", FlightStateAdapter(FlightStateLogic))?;
@@ -263,9 +266,7 @@ pub fn build(config: AvionicsConfig) -> Result<AvionicsApp, RuntimeError> {
         let sensor = FlightSensorDriver::new(aircraft.clone());
         let driver: Box<dyn diaspec_runtime::entity::DeviceInstance> =
             match (&config.altimeter_fault, position) {
-                (Some(fault), PositionEnum::Nose) => {
-                    Box::new(FailingDevice::new(sensor, *fault))
-                }
+                (Some(fault), PositionEnum::Nose) => Box::new(FailingDevice::new(sensor, *fault)),
                 _ => Box::new(sensor),
             };
         orch.bind_entity(

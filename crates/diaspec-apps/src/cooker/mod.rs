@@ -15,11 +15,15 @@
 
 /// The programming framework generated from `specs/cooker.spec` by the
 /// design compiler (checked in; kept in sync by a golden test).
+// Byte-identical to compiler output (golden-tested): keep rustfmt out.
+#[rustfmt::skip]
 pub mod generated;
 
 use self::generated::*;
 use diaspec_devices::common::SharedCell;
-use diaspec_devices::home::{ClockProcess, CookerDriver, CookerState, PromptedQuestion, TvPrompterDriver};
+use diaspec_devices::home::{
+    ClockProcess, CookerDriver, CookerState, PromptedQuestion, TvPrompterDriver,
+};
 use diaspec_runtime::clock::SimTime;
 use diaspec_runtime::entity::{AttributeMap, EntityId};
 use diaspec_runtime::error::{ComponentError, RuntimeError};
@@ -195,9 +199,7 @@ impl CookerApp {
 /// Returns [`RuntimeError`] if the design fails to wire (which would
 /// indicate a generated-framework/design mismatch).
 pub fn build(config: CookerConfig) -> Result<CookerApp, RuntimeError> {
-    let spec = Arc::new(
-        diaspec_core::compile_str(SPEC).expect("bundled cooker.spec must compile"),
-    );
+    let spec = Arc::new(diaspec_core::compile_str(SPEC).expect("bundled cooker.spec must compile"));
     let mut orch = Orchestrator::with_transport(spec, config.transport);
 
     orch.register_context(
@@ -267,7 +269,9 @@ impl diaspec_runtime::entity::DeviceInstance for ClockQueryDriver {
             "tickMinute" => Ok(Value::Int((now_ms / 60_000) as i64)),
             "tickHour" => Ok(Value::Int((now_ms / 3_600_000) as i64)),
             other => Err(diaspec_runtime::error::DeviceError::new(
-                "clock", other, "unknown source",
+                "clock",
+                other,
+                "unknown source",
             )),
         }
     }

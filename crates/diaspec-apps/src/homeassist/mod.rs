@@ -16,6 +16,8 @@
 
 /// The programming framework generated from `specs/homeassist.spec` by the
 /// design compiler (checked in; kept in sync by a golden test).
+// Byte-identical to compiler output (golden-tested): keep rustfmt out.
+#[rustfmt::skip]
 pub mod generated;
 
 use self::generated::*;
@@ -205,9 +207,9 @@ impl NightGuardImpl for NightGuardLogic {
         support: &mut NightGuardSupport<'_, '_>,
         value: String,
     ) -> Result<(), ComponentError> {
-        support.speakers().say(format!(
-            "The {value} door was opened during the night."
-        ))?;
+        support
+            .speakers()
+            .say(format!("The {value} door was opened during the night."))?;
         Ok(())
     }
 }
@@ -318,9 +320,8 @@ pub struct HomeAssistApp {
 ///
 /// Returns [`RuntimeError`] on wiring failure.
 pub fn build(config: HomeAssistConfig) -> Result<HomeAssistApp, RuntimeError> {
-    let spec = Arc::new(
-        diaspec_core::compile_str(SPEC).expect("bundled homeassist.spec must compile"),
-    );
+    let spec =
+        Arc::new(diaspec_core::compile_str(SPEC).expect("bundled homeassist.spec must compile"));
     let mut orch = Orchestrator::with_transport(spec, config.transport);
     orch.set_processing_mode(config.processing);
 
@@ -565,6 +566,9 @@ mod tests {
             app.orchestrator.run_until(20 * MINUTE);
             app.orchestrator.last_value("RoomActivity").cloned()
         };
-        assert_eq!(run(ProcessingMode::Serial), run(ProcessingMode::Parallel(4)));
+        assert_eq!(
+            run(ProcessingMode::Serial),
+            run(ProcessingMode::Parallel(4))
+        );
     }
 }

@@ -18,13 +18,13 @@
 
 /// The programming framework generated from `specs/parking.spec` by the
 /// design compiler (checked in; kept in sync by a golden test).
+// Byte-identical to compiler output (golden-tested): keep rustfmt out.
+#[rustfmt::skip]
 pub mod generated;
 
 use self::generated::*;
 use diaspec_devices::common::{ActuationLog, RecordingActuator};
-use diaspec_devices::parking::{
-    ParkingCityModel, ParkingConfig, PresenceSensorDriver, UsageCurve,
-};
+use diaspec_devices::parking::{ParkingCityModel, ParkingConfig, PresenceSensorDriver, UsageCurve};
 use diaspec_runtime::entity::AttributeMap;
 use diaspec_runtime::error::{ComponentError, RuntimeError};
 use diaspec_runtime::transport::TransportConfig;
@@ -146,8 +146,7 @@ impl ParkingUsagePatternImpl for UsagePatternLogic {
             if readings.is_empty() {
                 continue;
             }
-            let occupied =
-                readings.iter().filter(|o| **o).count() as f64 / readings.len() as f64;
+            let occupied = readings.iter().filter(|o| **o).count() as f64 / readings.len() as f64;
             let entry = self.occupancy.entry(lot).or_insert(occupied);
             *entry = self.alpha * occupied + (1.0 - self.alpha) * *entry;
         }
@@ -338,9 +337,8 @@ impl ParkingApp {
 /// Returns [`RuntimeError`] on wiring failure (design/framework
 /// mismatch).
 pub fn build(config: ParkingAppConfig) -> Result<ParkingApp, RuntimeError> {
-    let spec = Arc::new(
-        diaspec_core::compile_str(SPEC).expect("bundled parking.spec must compile"),
-    );
+    let spec =
+        Arc::new(diaspec_core::compile_str(SPEC).expect("bundled parking.spec must compile"));
     let mut orch = Orchestrator::with_transport(spec, config.transport);
     orch.set_processing_mode(config.processing);
 
@@ -380,8 +378,7 @@ pub fn build(config: ParkingAppConfig) -> Result<ParkingApp, RuntimeError> {
     )?;
 
     // Simulated city: one lot per ParkingLotEnum variant.
-    let lot_names: Vec<&'static str> =
-        ParkingLotEnum::ALL.iter().map(|l| l.name()).collect();
+    let lot_names: Vec<&'static str> = ParkingLotEnum::ALL.iter().map(|l| l.name()).collect();
     let environment = ParkingConfig {
         spaces_per_lot: config.sensors_per_lot,
         ..config.environment
@@ -561,7 +558,10 @@ mod tests {
             app.orchestrator.run_until(TEN_MIN);
             app.latest_availability()
         };
-        assert_eq!(run(ProcessingMode::Serial), run(ProcessingMode::Parallel(4)));
+        assert_eq!(
+            run(ProcessingMode::Serial),
+            run(ProcessingMode::Parallel(4))
+        );
     }
 
     #[test]

@@ -29,11 +29,9 @@ fn bench_scaling(c: &mut Criterion) {
         let data = presence_dataset(readings, 64, 42);
         let mr = CostedAvailability { work };
         group.throughput(Throughput::Elements(readings as u64));
-        group.bench_with_input(
-            BenchmarkId::new("serial", readings),
-            &data,
-            |b, data| b.iter(|| Job::serial().run(&mr, data.clone())),
-        );
+        group.bench_with_input(BenchmarkId::new("serial", readings), &data, |b, data| {
+            b.iter(|| Job::serial().run(&mr, data.clone()))
+        });
         for workers in [2usize, 4, 8] {
             group.bench_with_input(
                 BenchmarkId::new(format!("parallel-{workers}"), readings),

@@ -1,0 +1,80 @@
+//! Observability overhead: the E1 continuum workload with activity
+//! recording off (the default), on, and on with a JSONL observer
+//! attached. The "off" series is the tier-1 configuration — its cost per
+//! event is one branch per record site — so `off` vs `on` bounds what
+//! `set_observability(true)` buys and costs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use diaspec_bench::continuum;
+use diaspec_runtime::obs::{Activity, JsonlSink, LatencyHistogram, ObsHub, SharedSink};
+use diaspec_runtime::ProcessingMode;
+
+fn bench_e1_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/e1");
+    group.sample_size(10);
+    let sensors_per_lot = 25;
+
+    group.bench_function("observability_off", |b| {
+        b.iter(|| continuum::run_scale(sensors_per_lot, ProcessingMode::Serial));
+    });
+    group.bench_function("observability_on", |b| {
+        b.iter(|| {
+            let path = std::env::temp_dir().join("diaspec_obs_bench_trace.jsonl");
+            continuum::observed_run(sensors_per_lot, &path).expect("trace writable")
+        });
+    });
+    group.finish();
+}
+
+fn bench_record_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/record");
+
+    let mut disabled = ObsHub::new();
+    group.bench_function("disabled_hub", |b| {
+        b.iter(|| {
+            disabled.record(
+                black_box(Activity::Delivering),
+                black_box("Ctx"),
+                black_box(42),
+            );
+        });
+    });
+
+    let mut enabled = ObsHub::new();
+    enabled.set_enabled(true);
+    group.bench_function("enabled_hub", |b| {
+        b.iter(|| {
+            enabled.record(
+                black_box(Activity::Delivering),
+                black_box("Ctx"),
+                black_box(42),
+            );
+        });
+    });
+
+    let mut hist = LatencyHistogram::new();
+    group.bench_function("histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.record(black_box(v >> 40));
+        });
+    });
+
+    let mut sinked = ObsHub::new();
+    sinked.attach(Box::new(SharedSink::new(JsonlSink::new(std::io::sink()))));
+    let event = diaspec_runtime::trace::TraceEvent {
+        at: 1,
+        kind: diaspec_runtime::trace::TraceKind::ContextActivation {
+            context: "Ctx".to_owned(),
+        },
+    };
+    group.bench_function("broadcast_to_jsonl_sink", |b| {
+        b.iter(|| sinked.broadcast(black_box(&event)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1_overhead, bench_record_paths);
+criterion_main!(benches);

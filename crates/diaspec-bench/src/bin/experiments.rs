@@ -53,6 +53,66 @@ fn e1_continuum(quick: bool, json: bool) {
     if json {
         println!("{}", serde_json::to_string(&rows).expect("serializable"));
     }
+    e1_latency_breakdown(quick, json);
+}
+
+/// The observed E1 run: per-activity latency percentiles plus a JSONL
+/// trace of every orchestration event (LPWAN-class transport, 20–200 ms
+/// per hop).
+fn e1_latency_breakdown(quick: bool, json: bool) {
+    let sensors_per_lot = if quick { 10 } else { 100 };
+    let trace_path = std::path::Path::new("target/e1_trace.jsonl");
+    if let Some(parent) = trace_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let observed = match continuum::observed_run(sensors_per_lot, trace_path) {
+        Ok(observed) => observed,
+        Err(e) => {
+            eprintln!(
+                "E1 latency breakdown skipped: cannot write {}: {e}",
+                trace_path.display()
+            );
+            return;
+        }
+    };
+    println!(
+        "\nPer-activity latency breakdown ({} sensors, uniform 20-200 ms transport):\n",
+        observed.row.sensors
+    );
+    println!(
+        "{:>12} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8}",
+        "activity", "unit", "count", "p50", "p90", "p99", "max"
+    );
+    for activity in &observed.snapshot.activities {
+        if activity.latency.count == 0 {
+            continue;
+        }
+        println!(
+            "{:>12} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8}",
+            activity.activity,
+            if activity.unit == "ms" {
+                "ms (sim)"
+            } else {
+                "us (wall)"
+            },
+            activity.latency.count,
+            activity.latency.p50,
+            activity.latency.p90,
+            activity.latency.p99,
+            activity.latency.max
+        );
+    }
+    println!(
+        "\nJSONL trace: {} ({} lines)",
+        trace_path.display(),
+        observed.trace_lines
+    );
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&observed.snapshot).expect("serializable")
+        );
+    }
 }
 
 fn e9_generated_share(json: bool) {

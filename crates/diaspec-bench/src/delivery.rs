@@ -15,7 +15,7 @@
 //! so the crossover sits where the change rate passes one change per
 //! sensor per period, exactly the WSN folklore the paper leans on.
 
-use diaspec_devices::common::{SharedCell, CellSensor};
+use diaspec_devices::common::{CellSensor, SharedCell};
 use diaspec_runtime::component::ContextActivation;
 use diaspec_runtime::engine::{ContextApi, ControllerApi, Orchestrator, ProcessApi};
 use diaspec_runtime::entity::EntityId;
@@ -152,11 +152,7 @@ pub fn run(model: Model, sensors: usize, change_rate_per_min: f64, minutes: u64)
                 "Agg",
                 |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
                     ContextActivation::Batch(batch) => Ok(Some(Value::Int(
-                        batch
-                            .readings
-                            .iter()
-                            .filter_map(|r| r.value.as_int())
-                            .sum(),
+                        batch.readings.iter().filter_map(|r| r.value.as_int()).sum(),
                     ))),
                     _ => Ok(None),
                 },
@@ -215,7 +211,11 @@ pub fn run(model: Model, sensors: usize, change_rate_per_min: f64, minutes: u64)
             s: &str,
             _n: u64,
         ) -> Result<Value, diaspec_runtime::error::DeviceError> {
-            Err(diaspec_runtime::error::DeviceError::new("sink", s, "no sources"))
+            Err(diaspec_runtime::error::DeviceError::new(
+                "sink",
+                s,
+                "no sources",
+            ))
         }
         fn invoke(
             &mut self,

@@ -28,7 +28,10 @@ pub fn build_registry(entities: usize, zones: usize) -> Registry {
     let mut registry = Registry::new(spec);
     for i in 0..entities {
         let mut attrs = AttributeMap::new();
-        attrs.insert("zone".to_owned(), Value::from(format!("zone-{}", i % zones)));
+        attrs.insert(
+            "zone".to_owned(),
+            Value::from(format!("zone-{}", i % zones)),
+        );
         attrs.insert("floor".to_owned(), Value::Int((i % 4) as i64));
         registry
             .bind(

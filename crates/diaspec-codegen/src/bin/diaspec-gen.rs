@@ -50,7 +50,8 @@ fn run() -> Result<(), String> {
             "--requirements" => requirements = true,
             "--match" => {
                 match_infra = Some(PathBuf::from(
-                    args.next().ok_or("--match needs an infrastructure JSON file")?,
+                    args.next()
+                        .ok_or("--match needs an infrastructure JSON file")?,
                 ));
             }
             "--help" | "-h" => {
@@ -76,9 +77,8 @@ fn run() -> Result<(), String> {
     if let Some(infra_path) = &match_infra {
         let infra_src = std::fs::read_to_string(infra_path)
             .map_err(|e| format!("cannot read {}: {e}", infra_path.display()))?;
-        let infra: diaspec_core::requirements::Infrastructure =
-            serde_json::from_str(&infra_src)
-                .map_err(|e| format!("invalid infrastructure JSON: {e}"))?;
+        let infra: diaspec_core::requirements::Infrastructure = serde_json::from_str(&infra_src)
+            .map_err(|e| format!("invalid infrastructure JSON: {e}"))?;
         let req = diaspec_core::requirements::estimate(&spec);
         let report = diaspec_core::requirements::match_infrastructure(&spec, &req, &infra);
         print!("{report}");
@@ -115,7 +115,11 @@ fn run() -> Result<(), String> {
     let framework = match language.as_str() {
         "rust" => generate_rust(&spec),
         "java" => generate_java(&spec),
-        other => return Err(format!("unknown language `{other}` (expected rust or java)")),
+        other => {
+            return Err(format!(
+                "unknown language `{other}` (expected rust or java)"
+            ))
+        }
     };
 
     if let Some(dir) = &out {

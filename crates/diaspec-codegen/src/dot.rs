@@ -139,7 +139,10 @@ pub fn generate_dot(spec: &CheckedSpec, title: &str) -> String {
                     let _ = writeln!(
                         out,
                         "    {} -> {};",
-                        quote(&format!("src:{}.{source}", source_owner(spec, device, source))),
+                        quote(&format!(
+                            "src:{}.{source}",
+                            source_owner(spec, device, source)
+                        )),
                         quote(&ctx_id)
                     );
                 }
@@ -151,7 +154,10 @@ pub fn generate_dot(spec: &CheckedSpec, title: &str) -> String {
                     let _ = writeln!(
                         out,
                         "    {} -> {} [label={}];",
-                        quote(&format!("src:{}.{source}", source_owner(spec, device, source))),
+                        quote(&format!(
+                            "src:{}.{source}",
+                            source_owner(spec, device, source)
+                        )),
                         quote(&ctx_id),
                         quote(&format!("every {}", human_period(*period_ms)))
                     );
@@ -217,16 +223,17 @@ fn source_owner<'s>(spec: &'s CheckedSpec, device: &'s str, source: &str) -> &'s
         .map_or(device, |s| {
             // `declared_in` lives in the model as a String; find the
             // device entry to borrow a stable &str.
-            spec.device(&s.declared_in).map_or(device, |d| d.name.as_str())
+            spec.device(&s.declared_in)
+                .map_or(device, |d| d.name.as_str())
         })
 }
 
 fn human_period(ms: u64) -> String {
-    if ms % 3_600_000 == 0 {
+    if ms.is_multiple_of(3_600_000) {
         format!("{} hr", ms / 3_600_000)
-    } else if ms % 60_000 == 0 {
+    } else if ms.is_multiple_of(60_000) {
         format!("{} min", ms / 60_000)
-    } else if ms % 1_000 == 0 {
+    } else if ms.is_multiple_of(1_000) {
         format!("{} sec", ms / 1_000)
     } else {
         format!("{ms} ms")
@@ -264,17 +271,24 @@ mod tests {
         let spec = compile_str(COOKER).unwrap();
         let dot = generate_dot(&spec, "cooker");
         // The two functional chains of Figure 3.
-        assert!(dot.contains("\"src:Clock.tickSecond\" -> \"ctx:Alert\""), "{dot}");
+        assert!(
+            dot.contains("\"src:Clock.tickSecond\" -> \"ctx:Alert\""),
+            "{dot}"
+        );
         assert!(dot.contains("\"ctx:Alert\" -> \"ctl:Notify\""));
         assert!(dot.contains("\"ctl:Notify\" -> \"act:TvPrompter.askQuestion\""));
         assert!(dot.contains("\"src:TvPrompter.answer\" -> \"ctx:RemoteTurnOff\""));
         assert!(dot.contains("\"ctl:TurnOff\" -> \"act:Cooker.Off\""));
         // The query (loop) arrows are dashed.
-        assert!(dot.contains(
-            "\"src:Cooker.consumption\" -> \"ctx:Alert\" [style=dashed, label=\"get\""
-        ));
+        assert!(dot
+            .contains("\"src:Cooker.consumption\" -> \"ctx:Alert\" [style=dashed, label=\"get\""));
         // Four layers are present.
-        for cluster in ["cluster_sources", "cluster_contexts", "cluster_controllers", "cluster_actions"] {
+        for cluster in [
+            "cluster_sources",
+            "cluster_contexts",
+            "cluster_controllers",
+            "cluster_actions",
+        ] {
             assert!(dot.contains(cluster), "{dot}");
         }
     }
@@ -319,11 +333,7 @@ mod tests {
     fn braces_balance_and_title_is_escaped() {
         let spec = compile_str(COOKER).unwrap();
         let dot = generate_dot(&spec, "weird \"title\"");
-        assert_eq!(
-            dot.matches('{').count(),
-            dot.matches('}').count(),
-            "{dot}"
-        );
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count(), "{dot}");
         assert!(dot.contains("weird \\\"title\\\""));
     }
 

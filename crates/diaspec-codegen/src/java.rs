@@ -109,10 +109,18 @@ fn event_and_discover_classes(spec: &CheckedSpec, ctx: &Context) -> Vec<Generate
                 format!("{} value", java_type(&src.ty)),
             ];
             if let Some((index_name, index_ty)) = &src.index {
-                params.push(format!("{} {}", java_type(index_ty), camel_case(index_name)));
+                params.push(format!(
+                    "{} {}",
+                    java_type(index_ty),
+                    camel_case(index_name)
+                ));
             }
             for attr in &dev.attributes {
-                params.push(format!("{} {}", java_type(&attr.ty), camel_case(&attr.name)));
+                params.push(format!(
+                    "{} {}",
+                    java_type(&attr.ty),
+                    camel_case(&attr.name)
+                ));
             }
             w.block(
                 format!("public {event_class}({}) {{", params.join(", ")),
@@ -182,45 +190,37 @@ fn event_and_discover_classes(spec: &CheckedSpec, ctx: &Context) -> Vec<Generate
             ctx.name
         ));
         w.line(" * exposes exactly the declared `get` clauses (paper Figure 9). */");
-        w.block(
-            format!("public interface {discover_class} {{"),
-            "}",
-            |w| {
-                for get in &activation.gets {
-                    match get {
-                        InputRef::DeviceSource {
-                            device: get_device,
-                            source: get_source,
-                        } => {
-                            let ty = java_type(
-                                &spec
-                                    .device(get_device)
-                                    .and_then(|d| d.source(get_source))
-                                    .expect("checked")
-                                    .ty,
-                            );
-                            w.linef(format_args!(
-                                "/** Declared as `get {get_source} from {get_device}`. */"
-                            ));
-                            w.linef(format_args!(
-                                "List<{ty}> get{}From{}();",
-                                pascal_case(get_source),
-                                pascal_case(get_device)
-                            ));
-                        }
-                        InputRef::Context(target) => {
-                            let ty =
-                                java_type(&spec.context(target).expect("checked").output);
-                            w.linef(format_args!("/** Declared as `get {target}`. */"));
-                            w.linef(format_args!(
-                                "{ty} get{}();",
-                                pascal_case(target)
-                            ));
-                        }
+        w.block(format!("public interface {discover_class} {{"), "}", |w| {
+            for get in &activation.gets {
+                match get {
+                    InputRef::DeviceSource {
+                        device: get_device,
+                        source: get_source,
+                    } => {
+                        let ty = java_type(
+                            &spec
+                                .device(get_device)
+                                .and_then(|d| d.source(get_source))
+                                .expect("checked")
+                                .ty,
+                        );
+                        w.linef(format_args!(
+                            "/** Declared as `get {get_source} from {get_device}`. */"
+                        ));
+                        w.linef(format_args!(
+                            "List<{ty}> get{}From{}();",
+                            pascal_case(get_source),
+                            pascal_case(get_device)
+                        ));
+                    }
+                    InputRef::Context(target) => {
+                        let ty = java_type(&spec.context(target).expect("checked").output);
+                        w.linef(format_args!("/** Declared as `get {target}`. */"));
+                        w.linef(format_args!("{ty} get{}();", pascal_case(target)));
                     }
                 }
-            },
-        );
+            }
+        });
         files.push(file(&discover_class, w.finish()));
     }
     files
@@ -263,28 +263,30 @@ fn collector(name: &str, emit: &str) -> GeneratedFile {
     preamble(&mut w);
     w.linef(format_args!(
         "/** Receives records emitted by the {} phase. */",
-        if name == "MapCollector" { "Map" } else { "Reduce" }
+        if name == "MapCollector" {
+            "Map"
+        } else {
+            "Reduce"
+        }
     ));
-    w.block(
-        format!("public final class {name}<K, V> {{"),
-        "}",
-        |w| {
-            w.line("private final java.util.ArrayList<java.util.AbstractMap.SimpleEntry<K, V>> items =");
-            w.line("    new java.util.ArrayList<>();");
-            w.blank();
-            w.block(format!("public void {emit}(K key, V value) {{"), "}", |w| {
-                w.line("items.add(new java.util.AbstractMap.SimpleEntry<>(key, value));");
-            });
-            w.blank();
-            w.block(
-                "public List<java.util.AbstractMap.SimpleEntry<K, V>> items() {",
-                "}",
-                |w| {
-                    w.line("return items;");
-                },
-            );
-        },
-    );
+    w.block(format!("public final class {name}<K, V> {{"), "}", |w| {
+        w.line(
+            "private final java.util.ArrayList<java.util.AbstractMap.SimpleEntry<K, V>> items =",
+        );
+        w.line("    new java.util.ArrayList<>();");
+        w.blank();
+        w.block(format!("public void {emit}(K key, V value) {{"), "}", |w| {
+            w.line("items.add(new java.util.AbstractMap.SimpleEntry<>(key, value));");
+        });
+        w.blank();
+        w.block(
+            "public List<java.util.AbstractMap.SimpleEntry<K, V>> items() {",
+            "}",
+            |w| {
+                w.line("return items;");
+            },
+        );
+    });
     file(name, w.finish())
 }
 
@@ -331,11 +333,7 @@ fn structure(s: &diaspec_core::model::Structure) -> GeneratedFile {
         for (field, ty) in &s.fields {
             w.blank();
             w.block(
-                format!(
-                    "public {} get{}() {{",
-                    java_type(ty),
-                    pascal_case(field)
-                ),
+                format!("public {} get{}() {{", java_type(ty), pascal_case(field)),
                 "}",
                 |w| {
                     w.linef(format_args!("return {};", camel_case(field)));
@@ -453,101 +451,96 @@ fn abstract_context(spec: &CheckedSpec, ctx: &Context) -> GeneratedFile {
             )
         })
         .unwrap_or_default();
-    w.block(format!("public abstract class {class} {{{implements}"), "}", |w| {
-        for activation in &ctx.activations {
-            let cb = callback_name(&activation.trigger);
-            w.blank();
-            match &activation.trigger {
-                ActivationTrigger::DeviceSource { device, source } => {
-                    let event_class = format!(
-                        "{}From{}",
-                        pascal_case(source),
-                        pascal_case(device)
-                    );
-                    w.linef(format_args!(
-                        "/** Design clause: `when provided {source} from {device}`. */"
-                    ));
-                    w.linef(format_args!(
-                        "public abstract {publishable} {cb}("
-                    ));
-                    w.linef(format_args!(
-                        "    {event_class} {},",
-                        camel_case(&event_class)
-                    ));
-                    w.linef(format_args!(
-                        "    DiscoverFor{event_class} discover);"
-                    ));
-                }
-                ActivationTrigger::Context(from) => {
-                    let from_ty = java_type(&spec.context(from).expect("checked").output);
-                    w.linef(format_args!(
-                        "/** Design clause: `when provided {from}`. */"
-                    ));
-                    w.linef(format_args!(
+    w.block(
+        format!("public abstract class {class} {{{implements}"),
+        "}",
+        |w| {
+            for activation in &ctx.activations {
+                let cb = callback_name(&activation.trigger);
+                w.blank();
+                match &activation.trigger {
+                    ActivationTrigger::DeviceSource { device, source } => {
+                        let event_class =
+                            format!("{}From{}", pascal_case(source), pascal_case(device));
+                        w.linef(format_args!(
+                            "/** Design clause: `when provided {source} from {device}`. */"
+                        ));
+                        w.linef(format_args!("public abstract {publishable} {cb}("));
+                        w.linef(format_args!(
+                            "    {event_class} {},",
+                            camel_case(&event_class)
+                        ));
+                        w.linef(format_args!("    DiscoverFor{event_class} discover);"));
+                    }
+                    ActivationTrigger::Context(from) => {
+                        let from_ty = java_type(&spec.context(from).expect("checked").output);
+                        w.linef(format_args!(
+                            "/** Design clause: `when provided {from}`. */"
+                        ));
+                        w.linef(format_args!(
                         "public abstract {publishable} {cb}({from_ty} value, Discover discover);"
                     ));
-                }
-                ActivationTrigger::Periodic { device, source, .. } => {
-                    match activation.grouping.as_ref().and_then(|g| {
-                        g.map_reduce
-                            .as_ref()
-                            .map(|(_, reduce_ty)| (g, reduce_ty))
-                    }) {
-                        Some((grouping, reduce_ty)) => {
-                            // Figure 10's `onPeriodicPresence(Map<...>)`.
-                            w.linef(format_args!(
+                    }
+                    ActivationTrigger::Periodic { device, source, .. } => {
+                        match activation.grouping.as_ref().and_then(|g| {
+                            g.map_reduce.as_ref().map(|(_, reduce_ty)| (g, reduce_ty))
+                        }) {
+                            Some((grouping, reduce_ty)) => {
+                                // Figure 10's `onPeriodicPresence(Map<...>)`.
+                                w.linef(format_args!(
                                 "/** Receives the reduced data of `grouped by {}` (Figure 10). */",
                                 grouping.attribute
                             ));
-                            w.linef(format_args!(
-                                "protected abstract {} {cb}(",
-                                java_type(&ctx.output)
-                            ));
-                            w.linef(format_args!(
-                                "    Map<{}, {}> {}By{});",
-                                java_type(&grouping.attribute_ty),
-                                java_type(reduce_ty),
-                                camel_case(source),
-                                pascal_case(&grouping.attribute)
-                            ));
-                        }
-                        None => {
-                            let src_ty = java_type(
-                                &spec
-                                    .device(device)
-                                    .and_then(|d| d.source(source))
-                                    .expect("checked")
-                                    .ty,
-                            );
-                            let payload = match activation.grouping.as_ref() {
-                                Some(grouping) => format!(
-                                    "Map<{}, List<{src_ty}>> {}By{}",
+                                w.linef(format_args!(
+                                    "protected abstract {} {cb}(",
+                                    java_type(&ctx.output)
+                                ));
+                                w.linef(format_args!(
+                                    "    Map<{}, {}> {}By{});",
                                     java_type(&grouping.attribute_ty),
+                                    java_type(reduce_ty),
                                     camel_case(source),
                                     pascal_case(&grouping.attribute)
-                                ),
-                                None => format!("List<{src_ty}> readings"),
-                            };
-                            w.linef(format_args!(
-                                "/** Design clause: `when periodic {source} from {device}`. */"
-                            ));
-                            w.linef(format_args!(
-                                "protected abstract {} {cb}({payload});",
-                                java_type(&ctx.output)
-                            ));
+                                ));
+                            }
+                            None => {
+                                let src_ty = java_type(
+                                    &spec
+                                        .device(device)
+                                        .and_then(|d| d.source(source))
+                                        .expect("checked")
+                                        .ty,
+                                );
+                                let payload = match activation.grouping.as_ref() {
+                                    Some(grouping) => format!(
+                                        "Map<{}, List<{src_ty}>> {}By{}",
+                                        java_type(&grouping.attribute_ty),
+                                        camel_case(source),
+                                        pascal_case(&grouping.attribute)
+                                    ),
+                                    None => format!("List<{src_ty}> readings"),
+                                };
+                                w.linef(format_args!(
+                                    "/** Design clause: `when periodic {source} from {device}`. */"
+                                ));
+                                w.linef(format_args!(
+                                    "protected abstract {} {cb}({payload});",
+                                    java_type(&ctx.output)
+                                ));
+                            }
                         }
                     }
-                }
-                ActivationTrigger::OnDemand => {
-                    w.line("/** Design clause: `when required`. */");
-                    w.linef(format_args!(
-                        "public abstract {} {cb}();",
-                        java_type(&ctx.output)
-                    ));
+                    ActivationTrigger::OnDemand => {
+                        w.line("/** Design clause: `when required`. */");
+                        w.linef(format_args!(
+                            "public abstract {} {cb}();",
+                            java_type(&ctx.output)
+                        ));
+                    }
                 }
             }
-        }
-    });
+        },
+    );
     file(&class, w.finish())
 }
 
@@ -588,7 +581,9 @@ fn abstract_controller(spec: &CheckedSpec, ctrl: &Controller) -> GeneratedFile {
                 let dev = spec.device(device).expect("checked");
                 w.linef(format_args!("{device}Composite {}s();", camel_case(device)));
                 w.blank();
-                w.linef(format_args!("/** Proxy composite over `{device}` entities. */"));
+                w.linef(format_args!(
+                    "/** Proxy composite over `{device}` entities. */"
+                ));
                 w.block(format!("interface {device}Composite {{"), "}", |w| {
                     for attr in &dev.attributes {
                         w.linef(format_args!(
@@ -667,14 +662,18 @@ mod tests {
             .find(|f| f.path == "AbstractAlert.java")
             .expect("AbstractAlert generated");
         assert!(
-            alert.content.contains("public abstract class AbstractAlert"),
+            alert
+                .content
+                .contains("public abstract class AbstractAlert"),
             "{}",
             alert.content
         );
         assert!(alert
             .content
             .contains("public abstract AlertValuePublishable onTickSecondFromClock("));
-        assert!(alert.content.contains("TickSecondFromClock tickSecondFromClock"));
+        assert!(alert
+            .content
+            .contains("TickSecondFromClock tickSecondFromClock"));
         assert!(alert
             .content
             .contains("DiscoverForTickSecondFromClock discover"));
@@ -688,8 +687,12 @@ mod tests {
             .iter()
             .find(|f| f.path == "AlertValuePublishable.java")
             .expect("publishable wrapper");
-        assert!(vp.content.contains("public static AlertValuePublishable publish(Integer value)"));
-        assert!(vp.content.contains("public static AlertValuePublishable silent()"));
+        assert!(vp
+            .content
+            .contains("public static AlertValuePublishable publish(Integer value)"));
+        assert!(vp
+            .content
+            .contains("public static AlertValuePublishable silent()"));
     }
 
     #[test]

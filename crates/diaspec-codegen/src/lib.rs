@@ -40,8 +40,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-mod emitter;
 pub mod dot;
+mod emitter;
 pub mod java;
 pub mod metrics;
 pub mod naming;
@@ -99,10 +99,7 @@ impl GeneratedFramework {
     /// Total lines (including blanks and comments) across all files.
     #[must_use]
     pub fn total_lines(&self) -> usize {
-        self.files
-            .iter()
-            .map(|f| f.content.lines().count())
-            .sum()
+        self.files.iter().map(|f| f.content.lines().count()).sum()
     }
 
     /// Writes every file under `dir`, creating it if needed.

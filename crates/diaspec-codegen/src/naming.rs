@@ -81,10 +81,10 @@ pub fn camel_case(name: &str) -> String {
 #[must_use]
 pub fn rust_safe(name: &str) -> String {
     const KEYWORDS: &[&str] = &[
-        "as", "break", "const", "continue", "dyn", "else", "enum", "extern", "false", "fn",
-        "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
-        "return", "static", "struct", "trait", "true", "type", "unsafe", "use", "where",
-        "while", "async", "await", "box", "try", "union",
+        "as", "break", "const", "continue", "dyn", "else", "enum", "extern", "false", "fn", "for",
+        "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return",
+        "static", "struct", "trait", "true", "type", "unsafe", "use", "where", "while", "async",
+        "await", "box", "try", "union",
     ];
     const UNRAWABLE: &[&str] = &["self", "Self", "super", "crate"];
     if UNRAWABLE.contains(&name) {

@@ -94,7 +94,11 @@ fn invalid_spec_fails_with_diagnostics() {
     std::fs::create_dir_all(&dir).unwrap();
     let bad = dir.join("bad.spec");
     std::fs::write(&bad, "device D extends Ghost { }").unwrap();
-    let output = gen().arg(&bad).arg("--report").output().expect("binary runs");
+    let output = gen()
+        .arg(&bad)
+        .arg("--report")
+        .output()
+        .expect("binary runs");
     assert!(!output.status.success());
     let stderr = String::from_utf8(output.stderr).unwrap();
     assert!(stderr.contains("E0202"), "{stderr}");

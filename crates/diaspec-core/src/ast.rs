@@ -109,6 +109,8 @@ pub enum TimeUnit {
 impl TimeUnit {
     /// Parses a unit from its source spelling.
     #[must_use]
+    // Not `FromStr`: lookup is infallible-by-`Option`, with no error payload.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<TimeUnit> {
         Some(match s {
             "ms" => TimeUnit::Millis,
@@ -675,10 +677,7 @@ mod tests {
 
     #[test]
     fn type_ref_display_and_base() {
-        let t = TypeRef::Array(
-            Box::new(TypeRef::Named(ident("Availability"))),
-            Span::DUMMY,
-        );
+        let t = TypeRef::Array(Box::new(TypeRef::Named(ident("Availability"))), Span::DUMMY);
         assert_eq!(t.to_string(), "Availability[]");
         assert_eq!(t.base_name(), "Availability");
     }
@@ -701,7 +700,7 @@ mod tests {
                 },
                 Interaction::Required { span: Span::DUMMY },
             ],
-        span: Span::DUMMY,
+            span: Span::DUMMY,
         };
         assert!(ctx.is_required());
         assert!(!ctx.publishes());
@@ -717,7 +716,10 @@ mod tests {
             ],
             span: Span::DUMMY,
         };
-        assert_eq!(ann.arg("policy"), Some(&AnnotationValue::Str("retry".into())));
+        assert_eq!(
+            ann.arg("policy"),
+            Some(&AnnotationValue::Str("retry".into()))
+        );
         assert_eq!(ann.arg("attempts"), Some(&AnnotationValue::Int(3)));
         assert_eq!(ann.arg("missing"), None);
     }

@@ -120,7 +120,11 @@ impl fmt::Display for FunctionalChain {
 pub fn functional_chains(spec: &CheckedSpec) -> Vec<FunctionalChain> {
     let mut chains = Vec::new();
     for device in spec.devices() {
-        for source in device.sources.iter().filter(|s| s.declared_in == device.name) {
+        for source in device
+            .sources
+            .iter()
+            .filter(|s| s.declared_in == device.name)
+        {
             // Only start chains at sources the device declares itself;
             // otherwise every subclass would duplicate its parent's chains.
             // Subscriptions against ancestors are still found because
@@ -275,7 +279,10 @@ mod tests {
         .unwrap();
         let chains = functional_chains(&model);
         assert_eq!(chains.len(), 1);
-        assert_eq!(chains[0].contexts().collect::<Vec<_>>(), vec!["First", "Second"]);
+        assert_eq!(
+            chains[0].contexts().collect::<Vec<_>>(),
+            vec!["First", "Second"]
+        );
         assert_eq!(chains[0].len(), 5);
         assert!(!chains[0].is_empty());
     }
@@ -345,13 +352,23 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert!(context_consumes_source(&model, "C", "BaseSensor", "reading"));
+        assert!(context_consumes_source(
+            &model,
+            "C",
+            "BaseSensor",
+            "reading"
+        ));
         assert!(
             context_consumes_source(&model, "C", "RoomSensor", "reading"),
             "a RoomSensor is a BaseSensor"
         );
         assert!(!context_consumes_source(&model, "C", "Sink", "reading"));
-        assert!(!context_consumes_source(&model, "Ghost", "BaseSensor", "reading"));
+        assert!(!context_consumes_source(
+            &model,
+            "Ghost",
+            "BaseSensor",
+            "reading"
+        ));
     }
 
     #[test]

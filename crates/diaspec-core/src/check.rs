@@ -386,9 +386,9 @@ impl<'a> Checker<'a> {
         // Track member names to reject duplicates/overrides. Attributes,
         // sources and actions live in separate namespaces on a device.
         let check_member = |diags: &mut Diagnostics,
-                                existing: &mut BTreeMap<String, (String, Span)>,
-                                kind: &str,
-                                name: &ast::Ident|
+                            existing: &mut BTreeMap<String, (String, Span)>,
+                            kind: &str,
+                            name: &ast::Ident|
          -> bool {
             if let Some((owner, prev_span)) = existing.get(name.as_str()) {
                 let (code, what) = if owner == decl.name.as_str() {
@@ -407,10 +407,7 @@ impl<'a> Checker<'a> {
                 diags.push(diag);
                 false
             } else {
-                existing.insert(
-                    name.name.clone(),
-                    (decl.name.name.clone(), name.span),
-                );
+                existing.insert(name.name.clone(), (decl.name.name.clone(), name.span));
                 true
             }
         };
@@ -571,11 +568,7 @@ impl<'a> Checker<'a> {
 
     /// Resolves `source from Device`, reporting errors. Returns the source
     /// type on success.
-    fn resolve_device_source(
-        &mut self,
-        device: &ast::Ident,
-        source: &ast::Ident,
-    ) -> Option<Type> {
+    fn resolve_device_source(&mut self, device: &ast::Ident, source: &ast::Ident) -> Option<Type> {
         match self.name_kind(&device.name) {
             Some(NameKind::Device) => {}
             Some(other) => {
@@ -601,18 +594,15 @@ impl<'a> Checker<'a> {
         match dev.source(&source.name) {
             Some(s) => Some(s.ty.clone()),
             None => {
-                let available: Vec<&str> =
-                    dev.sources.iter().map(|s| s.name.as_str()).collect();
+                let available: Vec<&str> = dev.sources.iter().map(|s| s.name.as_str()).collect();
                 let mut diag = Diagnostic::error(
                     "E0221",
                     format!("device `{device}` has no source `{source}`"),
                     source.span,
                 );
                 if !available.is_empty() {
-                    diag = diag.with_note(
-                        format!("available sources: {}", available.join(", ")),
-                        None,
-                    );
+                    diag = diag
+                        .with_note(format!("available sources: {}", available.join(", ")), None);
                 }
                 self.diags.push(diag);
                 None
@@ -1016,10 +1006,7 @@ impl<'a> Checker<'a> {
                                     );
                                     if !available.is_empty() {
                                         diag = diag.with_note(
-                                            format!(
-                                                "available actions: {}",
-                                                available.join(", ")
-                                            ),
+                                            format!("available actions: {}", available.join(", ")),
                                             None,
                                         );
                                     }
@@ -1046,10 +1033,7 @@ impl<'a> Checker<'a> {
                             ));
                         }
                     }
-                    actions.push((
-                        do_action.action.name.clone(),
-                        do_action.device.name.clone(),
-                    ));
+                    actions.push((do_action.action.name.clone(), do_action.device.name.clone()));
                 }
                 bindings.push(ControllerBinding {
                     context: interaction.context.name.clone(),
@@ -1141,10 +1125,7 @@ impl<'a> Checker<'a> {
                     .map_or(Span::DUMMY, |(_, s)| *s);
                 self.diags.push(Diagnostic::error(
                     "E0229",
-                    format!(
-                        "cycle among context subscriptions: {}",
-                        cycle.join(" -> ")
-                    ),
+                    format!("cycle among context subscriptions: {}", cycle.join(" -> ")),
                     span,
                 ));
                 return; // one cycle report is enough to act on
@@ -1155,10 +1136,7 @@ impl<'a> Checker<'a> {
     fn lint_unused(&mut self) {
         for ctx in self.model.contexts.values() {
             if ctx.publishes() && self.model_subscriber_count(&ctx.name) == 0 {
-                let span = self
-                    .names
-                    .get(&ctx.name)
-                    .map_or(Span::DUMMY, |(_, s)| *s);
+                let span = self.names.get(&ctx.name).map_or(Span::DUMMY, |(_, s)| *s);
                 self.diags.push(Diagnostic::warning(
                     "W0303",
                     format!(
@@ -1706,10 +1684,7 @@ mod tests {
         let ctx = model.context("Availability").unwrap();
         let grouping = ctx.activations[0].grouping.as_ref().unwrap();
         assert_eq!(grouping.attribute_ty, Type::Enum("Lot".into()));
-        assert_eq!(
-            grouping.map_reduce,
-            Some((Type::Boolean, Type::Integer))
-        );
+        assert_eq!(grouping.map_reduce, Some((Type::Boolean, Type::Integer)));
         assert_eq!(grouping.window_ms, None);
     }
 
@@ -1758,6 +1733,9 @@ mod tests {
         assert!(diags.is_empty(), "{diags:?}");
         let ctx = model.unwrap();
         let ann = &ctx.context("C").unwrap().annotations[0];
-        assert_eq!(ann.arg("latencyMs").and_then(AnnotationArg::as_int), Some(50));
+        assert_eq!(
+            ann.arg("latencyMs").and_then(AnnotationArg::as_int),
+            Some(50)
+        );
     }
 }

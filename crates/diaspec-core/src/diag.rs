@@ -85,7 +85,10 @@ impl Diagnostic {
     #[must_use]
     pub fn render(&self, map: &SourceMap) -> String {
         let pos = map.line_col(self.span.start);
-        let mut out = format!("{}[{}]: {} at {pos}\n", self.severity, self.code, self.message);
+        let mut out = format!(
+            "{}[{}]: {} at {pos}\n",
+            self.severity, self.code, self.message
+        );
         out.push_str(&map.snippet(self.span));
         for (note, nspan) in &self.notes {
             out.push('\n');

@@ -196,16 +196,14 @@ impl<'src> Lexer<'src> {
                 }
             }
         }
-        self.tokens
-            .push(Token::new(TokenKind::Str(value), Span::new(start, self.pos)));
+        self.tokens.push(Token::new(
+            TokenKind::Str(value),
+            Span::new(start, self.pos),
+        ));
     }
 
     fn number(&mut self, start: usize) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit())
-        {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
             self.pos += 1;
         }
         let text = &self.src[start..self.pos];

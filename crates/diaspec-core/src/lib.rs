@@ -103,9 +103,7 @@ pub fn compile_str(source: &str) -> Result<CheckedSpec, CompileError> {
 /// # Errors
 ///
 /// Returns a [`CompileError`] if the specification contains errors.
-pub fn compile_str_with_warnings(
-    source: &str,
-) -> Result<(CheckedSpec, Diagnostics), CompileError> {
+pub fn compile_str_with_warnings(source: &str) -> Result<(CheckedSpec, Diagnostics), CompileError> {
     let map = SourceMap::new(source);
     let (spec, mut diags) = parser::parse(source);
     if diags.has_errors() {
@@ -203,7 +201,10 @@ mod tests {
     fn compile_sources_attributes_errors_to_files() {
         let err = compile_sources([
             ("taxonomy.spec", "device D { source s as Integer; }"),
-            ("app.spec", "context C as Integer { when provided ghost from D always publish; }"),
+            (
+                "app.spec",
+                "context C as Integer { when provided ghost from D always publish; }",
+            ),
         ])
         .unwrap_err();
         let report = err.to_string();
@@ -215,7 +216,10 @@ mod tests {
     fn compile_sources_spans_cross_file_references() {
         // The app subscribes to a device declared in the taxonomy file.
         let model = compile_sources([
-            ("taxonomy.spec", "device Sensor { source v as Integer; }\ndevice Sink { action a; }"),
+            (
+                "taxonomy.spec",
+                "device Sensor { source v as Integer; }\ndevice Sink { action a; }",
+            ),
             (
                 "app.spec",
                 "context C as Integer { when provided v from Sensor always publish; }\n\

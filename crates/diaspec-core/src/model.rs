@@ -469,9 +469,10 @@ impl CheckedSpec {
     pub fn subscribers_of_context(&self, name: &str) -> Vec<Subscriber> {
         let mut out = Vec::new();
         for ctx in self.contexts.values() {
-            let hit = ctx.activations.iter().any(|a| {
-                matches!(&a.trigger, ActivationTrigger::Context(c) if c == name)
-            });
+            let hit = ctx
+                .activations
+                .iter()
+                .any(|a| matches!(&a.trigger, ActivationTrigger::Context(c) if c == name));
             if hit {
                 out.push(Subscriber::Context(ctx.name.clone()));
             }
@@ -493,7 +494,10 @@ impl CheckedSpec {
             .values()
             .filter(|ctx| {
                 ctx.activations.iter().any(|a| match &a.trigger {
-                    ActivationTrigger::DeviceSource { device: d, source: s }
+                    ActivationTrigger::DeviceSource {
+                        device: d,
+                        source: s,
+                    }
                     | ActivationTrigger::Periodic {
                         device: d,
                         source: s,

@@ -1191,9 +1191,7 @@ mod tests {
 
     #[test]
     fn nested_array_types_parse() {
-        let spec = parse_ok(
-            "context C as Integer[][] { when provided X always publish; }",
-        );
+        let spec = parse_ok("context C as Integer[][] { when provided X always publish; }");
         let ctx = spec.contexts().next().unwrap();
         assert_eq!(ctx.output.to_string(), "Integer[][]");
         assert_eq!(ctx.output.base_name(), "Integer");
@@ -1231,9 +1229,8 @@ mod tests {
 
     #[test]
     fn error_unknown_time_unit() {
-        let (_, diags) = parse(
-            "context C as Integer { when periodic p from S <3 weeks> always publish; }",
-        );
+        let (_, diags) =
+            parse("context C as Integer { when periodic p from S <3 weeks> always publish; }");
         assert!(diags.find("E0103").is_some());
     }
 
@@ -1276,10 +1273,23 @@ mod tests {
     fn parser_never_loops_on_pathological_input() {
         // A selection of degenerate inputs; the parser must terminate on all.
         for src in [
-            "{", "}", ";", "@", "@@@@", "device", "context", "controller",
-            "when when when", "device {", "context C as {",
-            "controller C { when }", "enumeration E {", "structure S { x",
-            "<<<<>>>>", "device D extends {", "@e( device D {}",
+            "{",
+            "}",
+            ";",
+            "@",
+            "@@@@",
+            "device",
+            "context",
+            "controller",
+            "when when when",
+            "device {",
+            "context C as {",
+            "controller C { when }",
+            "enumeration E {",
+            "structure S { x",
+            "<<<<>>>>",
+            "device D extends {",
+            "@e( device D {}",
         ] {
             let _ = parse(src);
         }

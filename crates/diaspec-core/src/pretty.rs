@@ -99,7 +99,11 @@ fn grouping(out: &mut String, g: &Grouping) {
         let _ = write!(out, " every {w}");
     }
     if let Some(mr) = &g.map_reduce {
-        let _ = write!(out, "\n    with map as {} reduce as {}", mr.map_ty, mr.reduce_ty);
+        let _ = write!(
+            out,
+            "\n    with map as {} reduce as {}",
+            mr.map_ty, mr.reduce_ty
+        );
     }
 }
 

@@ -197,7 +197,11 @@ impl fmt::Display for MatchReport {
             self.estimated_msgs_per_hour
         )?;
         for finding in &self.findings {
-            writeln!(f, "  [{}] {}: {}", finding.severity, finding.subject, finding.message)?;
+            writeln!(
+                f,
+                "  [{}] {}: {}",
+                finding.severity, finding.subject, finding.message
+            )?;
         }
         Ok(())
     }

@@ -61,6 +61,8 @@ pub enum Keyword {
 impl Keyword {
     /// Looks up a keyword from its source spelling.
     #[must_use]
+    // Not `FromStr`: lookup is infallible-by-`Option`, with no error payload.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {
@@ -255,7 +257,11 @@ mod tests {
 
     #[test]
     fn non_keywords_are_not_keywords() {
-        assert_eq!(Keyword::from_str("Device"), None, "keywords are case-sensitive");
+        assert_eq!(
+            Keyword::from_str("Device"),
+            None,
+            "keywords are case-sensitive"
+        );
         assert_eq!(Keyword::from_str("devices"), None);
         assert_eq!(Keyword::from_str(""), None);
     }

@@ -79,13 +79,16 @@ fn gen_spec() -> impl Strategy<Value = GenSpec> {
             let n = seeds.len();
             let devices: Vec<_> = (0..n).map(gen_device).collect();
             let contexts = proptest::collection::vec(
-                (0..n, any::<usize>(), any::<bool>(), proptest::option::of(any::<usize>())),
+                (
+                    0..n,
+                    any::<usize>(),
+                    any::<bool>(),
+                    proptest::option::of(any::<usize>()),
+                ),
                 1..5,
             );
-            let controllers = proptest::collection::vec(
-                (any::<usize>(), 0..n, any::<usize>()),
-                0..4,
-            );
+            let controllers =
+                proptest::collection::vec((any::<usize>(), 0..n, any::<usize>()), 0..4);
             (devices, contexts, controllers)
         })
         .prop_map(|(devices, contexts, controllers)| GenSpec {
@@ -134,9 +137,8 @@ fn render(spec: &GenSpec) -> String {
         if *periodic {
             let _ = writeln!(
                 out,
-                "  when periodic {source} from {}{} <5 min>{} always publish;",
+                "  when periodic {source} from {} <5 min>{} always publish;",
                 dev.name,
-                "",
                 group_clause.clone().unwrap_or_default()
             );
         } else {
@@ -257,7 +259,7 @@ proptest! {
         let mut last_end = 0;
         for tok in &tokens {
             prop_assert!(tok.span.start >= last_end, "overlapping spans");
-            prop_assert!(tok.span.end <= input.len() || tok.span.len() == 0);
+            prop_assert!(tok.span.end <= input.len() || tok.span.is_empty());
             last_end = tok.span.start;
         }
     }

@@ -304,10 +304,7 @@ mod tests {
     fn sensor_driver_reads_all_sources() {
         let model = FlightModel::new(FlightState::default(), calm_config());
         let mut sensor = FlightSensorDriver::new(model.state());
-        assert_eq!(
-            sensor.query("altitude", 0).unwrap(),
-            Value::Float(10_000.0)
-        );
+        assert_eq!(sensor.query("altitude", 0).unwrap(), Value::Float(10_000.0));
         assert_eq!(sensor.query("airspeed", 0).unwrap(), Value::Float(250.0));
         assert_eq!(sensor.query("heading", 0).unwrap(), Value::Float(90.0));
         assert!(sensor.query("fuel", 0).is_err());

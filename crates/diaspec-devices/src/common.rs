@@ -189,8 +189,7 @@ impl RecordingActuator {
     /// Pre-sets a queryable source value.
     #[must_use]
     pub fn with_source(self, source: impl Into<String>, value: Value) -> Self {
-        self.sources
-            .update(|map| map.insert(source.into(), value));
+        self.sources.update(|map| map.insert(source.into(), value));
         self
     }
 
@@ -205,9 +204,7 @@ impl DeviceInstance for RecordingActuator {
     fn query(&mut self, source: &str, _now_ms: u64) -> Result<Value, DeviceError> {
         self.sources
             .update(|map| map.get(source).cloned())
-            .ok_or_else(|| {
-                DeviceError::new("<recording actuator>", source, "source not set")
-            })
+            .ok_or_else(|| DeviceError::new("<recording actuator>", source, "source not set"))
     }
 
     fn invoke(&mut self, action: &str, args: &[Value], now_ms: u64) -> Result<(), DeviceError> {
@@ -274,7 +271,11 @@ impl<D> FailingDevice<D> {
 impl<D: DeviceInstance> DeviceInstance for FailingDevice<D> {
     fn query(&mut self, source: &str, now_ms: u64) -> Result<Value, DeviceError> {
         if self.should_fail() {
-            Err(DeviceError::new("<failing device>", source, "injected fault"))
+            Err(DeviceError::new(
+                "<failing device>",
+                source,
+                "injected fault",
+            ))
         } else {
             self.inner.query(source, now_ms)
         }
@@ -282,7 +283,11 @@ impl<D: DeviceInstance> DeviceInstance for FailingDevice<D> {
 
     fn invoke(&mut self, action: &str, args: &[Value], now_ms: u64) -> Result<(), DeviceError> {
         if self.should_fail() {
-            Err(DeviceError::new("<failing device>", action, "injected fault"))
+            Err(DeviceError::new(
+                "<failing device>",
+                action,
+                "injected fault",
+            ))
         } else {
             self.inner.invoke(action, args, now_ms)
         }
@@ -317,23 +322,22 @@ mod tests {
     #[test]
     fn recording_actuator_logs_and_serves_sources() {
         let log = ActuationLog::new();
-        let mut device = RecordingActuator::new(log.clone())
-            .with_source("status", Value::from("idle"));
+        let mut device =
+            RecordingActuator::new(log.clone()).with_source("status", Value::from("idle"));
         assert!(log.is_empty());
         device
             .invoke("update", &[Value::from("free: 3")], 500)
             .unwrap();
-        device.invoke("update", &[Value::from("free: 2")], 900).unwrap();
+        device
+            .invoke("update", &[Value::from("free: 2")], 900)
+            .unwrap();
         device.invoke("reset", &[], 1000).unwrap();
         assert_eq!(log.len(), 3);
         assert_eq!(log.count("update"), 2);
         let last = log.last().unwrap();
         assert_eq!(last.action, "reset");
         assert_eq!(last.at_ms, 1000);
-        assert_eq!(
-            log.entries()[0].args,
-            vec![Value::from("free: 3")]
-        );
+        assert_eq!(log.entries()[0].args, vec![Value::from("free: 3")]);
         assert_eq!(device.query("status", 0).unwrap(), Value::from("idle"));
         assert!(device.query("missing", 0).is_err());
         // Sources can be updated after the fact.
@@ -354,10 +358,7 @@ mod tests {
         assert!(d.query("s", 0).is_err());
         assert_eq!(d.query("s", 0).unwrap(), Value::Int(1));
         // Always: never succeeds.
-        let mut d = FailingDevice::new(
-            RecordingActuator::new(log.clone()),
-            FaultMode::Always,
-        );
+        let mut d = FailingDevice::new(RecordingActuator::new(log.clone()), FaultMode::Always);
         for _ in 0..5 {
             assert!(d.invoke("a", &[], 0).is_err());
         }

@@ -52,9 +52,9 @@ impl CookerDriver {
 impl DeviceInstance for CookerDriver {
     fn query(&mut self, source: &str, _now_ms: u64) -> Result<Value, DeviceError> {
         match source {
-            "consumption" => Ok(self.state.update(|s| {
-                Value::Float(if s.on { s.load_kw } else { s.standby_kw })
-            })),
+            "consumption" => Ok(self
+                .state
+                .update(|s| Value::Float(if s.on { s.load_kw } else { s.standby_kw }))),
             other => Err(DeviceError::new("cooker", other, "unknown source")),
         }
     }
@@ -161,7 +161,11 @@ impl DeviceInstance for BinarySensorDriver {
     }
 
     fn invoke(&mut self, action: &str, _args: &[Value], _now_ms: u64) -> Result<(), DeviceError> {
-        Err(DeviceError::new("binary-sensor", action, "sensors have no actions"))
+        Err(DeviceError::new(
+            "binary-sensor",
+            action,
+            "sensors have no actions",
+        ))
     }
 }
 
@@ -203,12 +207,7 @@ impl Process for ClockProcess {
             return None;
         }
         self.seconds += 1;
-        let _ = api.emit(
-            &self.entity,
-            "tickSecond",
-            Value::Int(self.seconds),
-            None,
-        );
+        let _ = api.emit(&self.entity, "tickSecond", Value::Int(self.seconds), None);
         if self.seconds % 60 == 0 {
             let _ = api.emit(
                 &self.entity,
@@ -232,17 +231,18 @@ impl Process for ClockProcess {
 /// A scripted scenario: a list of `(time, action)` steps executed on the
 /// simulated home state — the "older adult" of the cooker case study.
 pub struct ScenarioProcess {
-    steps: Vec<(SimTime, Box<dyn FnMut(&mut ProcessApi<'_>) + Send>)>,
+    steps: Vec<(SimTime, ScenarioStep)>,
     next: usize,
 }
+
+/// One scripted action, run against the engine when its time arrives.
+pub type ScenarioStep = Box<dyn for<'a> FnMut(&mut ProcessApi<'a>) + Send>;
 
 impl ScenarioProcess {
     /// Creates a scenario from `(time, step)` pairs; steps run in time
     /// order regardless of insertion order.
     #[must_use]
-    pub fn new(
-        mut steps: Vec<(SimTime, Box<dyn FnMut(&mut ProcessApi<'_>) + Send>)>,
-    ) -> Self {
+    pub fn new(mut steps: Vec<(SimTime, ScenarioStep)>) -> Self {
         steps.sort_by_key(|(t, _)| *t);
         ScenarioProcess { steps, next: 0 }
     }
@@ -322,8 +322,14 @@ mod tests {
         let o1 = order.clone();
         let o2 = order.clone();
         let scenario = ScenarioProcess::new(vec![
-            (200, Box::new(move |_api: &mut ProcessApi<'_>| o2.update(|v| v.push(2)))),
-            (100, Box::new(move |_api: &mut ProcessApi<'_>| o1.update(|v| v.push(1)))),
+            (
+                200,
+                Box::new(move |_api: &mut ProcessApi<'_>| o2.update(|v| v.push(2))),
+            ),
+            (
+                100,
+                Box::new(move |_api: &mut ProcessApi<'_>| o1.update(|v| v.push(1))),
+            ),
         ]);
         assert_eq!(scenario.first_step_time(), Some(100));
         // Full execution is covered by the engine-level tests in the apps

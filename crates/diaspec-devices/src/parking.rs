@@ -252,9 +252,9 @@ impl DeviceInstance for PresenceSensorDriver {
         match source {
             "presence" => {
                 let index = self.space_index;
-                let occupied = self.lot.update(|spaces| {
-                    spaces.get(index).copied().ok_or(())
-                });
+                let occupied = self
+                    .lot
+                    .update(|spaces| spaces.get(index).copied().ok_or(()));
                 match occupied {
                     Ok(o) => Ok(Value::Bool(o)),
                     Err(()) => Err(DeviceError::new(

@@ -1,7 +1,7 @@
 //! Serial and parallel MapReduce executors.
 //!
 //! The serial executor is the measurement baseline; the parallel executor
-//! fans both phases out over crossbeam scoped worker threads. Both produce
+//! fans both phases out over scoped worker threads. Both produce
 //! byte-identical output (final records sorted by intermediate key, with
 //! per-key emission order preserved), so experiments compare *time*, never
 //! correctness.
@@ -109,11 +109,7 @@ impl<C> Job<C> {
     /// Output order is: ascending intermediate key (`K2`), then the order
     /// in which the Reduce invocation emitted — identical for the serial
     /// and parallel executors.
-    pub fn run<K1, V1, K2, V2, K3, V3, MR, I>(
-        &self,
-        mr: &MR,
-        input: I,
-    ) -> MapReduceResult<K3, V3>
+    pub fn run<K1, V1, K2, V2, K3, V3, MR, I>(&self, mr: &MR, input: I) -> MapReduceResult<K3, V3>
     where
         MR: MapReduce<K1, V1, K2, V2, K3, V3>,
         I: IntoIterator<Item = (K1, V1)>,
@@ -246,11 +242,11 @@ impl<C> Job<C> {
         let map_start = Instant::now();
         let chunk_size = input.len().div_ceil(workers).max(1);
         let chunks: Vec<&[(K1, V1)]> = input.chunks(chunk_size).collect();
-        let partials: Vec<BTreeMap<K2, Vec<V2>>> = crossbeam::thread::scope(|scope| {
+        let partials: Vec<BTreeMap<K2, Vec<V2>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut collector = MapCollector::new();
                         for (k, v) in chunk {
                             mr.map(k, v, &mut collector);
@@ -273,8 +269,7 @@ impl<C> Job<C> {
                 .into_iter()
                 .map(|h| h.join().expect("map worker panicked"))
                 .collect()
-        })
-        .expect("map scope panicked");
+        });
         stats.map_time = map_start.elapsed();
 
         // Shuffle: merge the per-worker partial groups. Workers are merged
@@ -296,11 +291,11 @@ impl<C> Job<C> {
         let reduce_start = Instant::now();
         let entries: Vec<(&K2, &Vec<V2>)> = groups.iter().collect();
         let chunk_size = entries.len().div_ceil(workers).max(1);
-        let output: Vec<(K3, V3)> = crossbeam::thread::scope(|scope| {
+        let output: Vec<(K3, V3)> = std::thread::scope(|scope| {
             let handles: Vec<_> = entries
                 .chunks(chunk_size)
                 .map(|chunk| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut out = ReduceCollector::new();
                         for (k, vs) in chunk {
                             mr.reduce(k, vs, &mut out);
@@ -313,8 +308,7 @@ impl<C> Job<C> {
                 .into_iter()
                 .flat_map(|h| h.join().expect("reduce worker panicked"))
                 .collect()
-        })
-        .expect("reduce scope panicked");
+        });
         stats.reduce_output_records = output.len() as u64;
         stats.reduce_time = reduce_start.elapsed();
         output

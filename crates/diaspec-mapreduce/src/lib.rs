@@ -155,9 +155,9 @@ mod tests {
     #[test]
     fn combiner_preserves_result() {
         let without = Job::serial().run_to_map(&WordCount, corpus());
-        let job = Job::parallel(4).combiner(FnCombiner(
-            |_word: &String, counts: Vec<u64>| vec![counts.iter().sum::<u64>()],
-        ));
+        let job = Job::parallel(4).combiner(FnCombiner(|_word: &String, counts: Vec<u64>| {
+            vec![counts.iter().sum::<u64>()]
+        }));
         let with = job.run_to_map(&WordCount, corpus());
         assert_eq!(without.output, with.output);
     }

@@ -33,6 +33,7 @@ use crate::component::{
 use crate::entity::{AttributeMap, BindingTime, DeviceInstance, EntityId};
 use crate::error::RuntimeError;
 use crate::metrics::RuntimeMetrics;
+use crate::obs::{self, Activity, ObsHub};
 use crate::registry::{PolledReading, Registry};
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
 use crate::transport::{Transport, TransportConfig};
@@ -45,18 +46,13 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// How MapReduce phases declared in the design are executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ProcessingMode {
     /// Single-threaded (the baseline of experiment E10).
+    #[default]
     Serial,
     /// Parallel over this many worker threads.
     Parallel(usize),
-}
-
-impl Default for ProcessingMode {
-    fn default() -> Self {
-        ProcessingMode::Serial
-    }
 }
 
 /// Lifecycle phase of the orchestrator, determining the [`BindingTime`]
@@ -220,6 +216,7 @@ pub struct Orchestrator {
     processing: ProcessingMode,
     errors: Vec<ContainedError>,
     trace: TraceBuffer,
+    obs: ObsHub,
     /// Per-context QoS latency budgets (ms), from `@qos(latencyMs = N)`.
     qos_budgets: BTreeMap<String, u64>,
 }
@@ -251,12 +248,7 @@ impl Orchestrator {
             .collect();
         let controllers = spec
             .controllers()
-            .map(|c| {
-                (
-                    c.name.clone(),
-                    ControllerRuntime { logic: None },
-                )
-            })
+            .map(|c| (c.name.clone(), ControllerRuntime { logic: None }))
             .collect();
         let qos_budgets = spec
             .contexts()
@@ -282,6 +274,7 @@ impl Orchestrator {
             processing: ProcessingMode::default(),
             errors: Vec::new(),
             trace: TraceBuffer::new(),
+            obs: ObsHub::new(),
             qos_budgets,
         }
     }
@@ -297,10 +290,76 @@ impl Orchestrator {
     }
 
     /// Number of trace events dropped because the bounded trace buffer
-    /// overflowed (drain with [`Orchestrator::take_trace`] to avoid it).
+    /// overflowed since the last [`Orchestrator::take_trace`] (draining
+    /// resets the counter, so each drain reports a fresh window).
     #[must_use]
     pub fn trace_dropped(&self) -> u64 {
         self.trace.dropped()
+    }
+
+    /// Enables or disables activity-duration recording (off by default).
+    ///
+    /// While enabled, the engine attributes durations to the paper's four
+    /// activities — binding, delivering, processing, actuating — labeled
+    /// with the component or device family involved, and the simulated
+    /// transport keeps a per-hop latency histogram. Read the results with
+    /// [`Orchestrator::observation`]. While disabled, the per-event cost
+    /// is a single branch.
+    pub fn set_observability(&mut self, enabled: bool) {
+        self.obs.set_enabled(enabled);
+        if enabled {
+            self.transport.enable_latency_histogram();
+        }
+    }
+
+    /// Attaches an observability sink: it is streamed every trace event
+    /// the engine produces (independently of the bounded trace buffer)
+    /// and receives each snapshot published with
+    /// [`Orchestrator::publish_observation`].
+    pub fn attach_observer(&mut self, observer: Box<dyn obs::Observer>) {
+        self.obs.attach(observer);
+    }
+
+    /// A point-in-time snapshot of the activity-labeled measurements.
+    #[must_use]
+    pub fn observation(&self) -> obs::ObsSnapshot {
+        self.obs.snapshot(self.queue.now())
+    }
+
+    /// Builds a snapshot and pushes it to every attached observer.
+    pub fn publish_observation(&mut self) -> obs::ObsSnapshot {
+        self.obs.publish(self.queue.now())
+    }
+
+    /// Read access to the activity-duration histograms.
+    #[must_use]
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
+    }
+
+    /// Read access to the simulated transport (delivery counters and the
+    /// optional per-hop latency histogram).
+    #[must_use]
+    pub fn transport(&self) -> &Transport {
+        &self.transport
+    }
+
+    /// Whether trace events need to be materialized: either the bounded
+    /// buffer wants them or an observer is attached.
+    fn trace_active(&self) -> bool {
+        self.trace.is_enabled() || self.obs.has_observers()
+    }
+
+    /// Routes one trace event to the bounded buffer and the observers.
+    fn record_trace(&mut self, at: SimTime, kind: TraceKind) {
+        if self.obs.has_observers() {
+            let event = TraceEvent {
+                at,
+                kind: kind.clone(),
+            };
+            self.obs.broadcast(&event);
+        }
+        self.trace.record(at, kind);
     }
 
     /// Checks a sampled delivery latency against the receiving context's
@@ -310,7 +369,7 @@ impl Orchestrator {
             if latency > *budget {
                 self.metrics.qos_violations += 1;
                 let at = self.queue.now();
-                self.trace.record(
+                self.record_trace(
                     at,
                     TraceKind::Error {
                         message: format!(
@@ -374,7 +433,7 @@ impl Orchestrator {
 
     fn contain(&mut self, error: RuntimeError) {
         let at = self.queue.now();
-        self.trace.record(
+        self.record_trace(
             at,
             TraceKind::Error {
                 message: error.to_string(),
@@ -397,10 +456,13 @@ impl Orchestrator {
         name: &str,
         logic: impl ContextLogic + 'static,
     ) -> Result<(), RuntimeError> {
-        let runtime = self.contexts.get_mut(name).ok_or_else(|| RuntimeError::Unknown {
-            kind: "context",
-            name: name.to_owned(),
-        })?;
+        let runtime = self
+            .contexts
+            .get_mut(name)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "context",
+                name: name.to_owned(),
+            })?;
         if runtime.logic.is_some() {
             return Err(RuntimeError::Configuration(format!(
                 "context `{name}` already has logic registered"
@@ -493,8 +555,15 @@ impl Orchestrator {
             Phase::Launched => BindingTime::Runtime,
         };
         let now = self.queue.now();
-        self.registry
-            .bind(id, device_type, attributes, driver, binding_time, now)
+        let started = self.obs.is_enabled().then(std::time::Instant::now);
+        let result = self
+            .registry
+            .bind(id, device_type, attributes, driver, binding_time, now);
+        if let (Some(t0), Ok(())) = (started, &result) {
+            self.obs
+                .record(Activity::Binding, device_type, obs::elapsed_us(t0));
+        }
+        result
     }
 
     /// Unbinds an entity (e.g. a failed or departing device).
@@ -549,10 +618,7 @@ impl Orchestrator {
                     "context `{name}` has no logic registered"
                 )));
             }
-            let declared_mr = self
-                .spec
-                .context(name)
-                .is_some_and(|c| c.uses_map_reduce());
+            let declared_mr = self.spec.context(name).is_some_and(|c| c.uses_map_reduce());
             if declared_mr && runtime.map_reduce.is_none() {
                 return Err(RuntimeError::Configuration(format!(
                     "context `{name}` declares MapReduce phases but none were registered"
@@ -574,8 +640,7 @@ impl Orchestrator {
             for (idx, activation) in ctx.activations.iter().enumerate() {
                 if let ActivationTrigger::Periodic { period_ms, .. } = activation.trigger {
                     to_schedule.push((ctx.name.clone(), idx, period_ms));
-                    if let Some(window_ms) =
-                        activation.grouping.as_ref().and_then(|g| g.window_ms)
+                    if let Some(window_ms) = activation.grouping.as_ref().and_then(|g| g.window_ms)
                     {
                         self.contexts
                             .get_mut(&ctx.name)
@@ -623,10 +688,13 @@ impl Orchestrator {
         value: Value,
         index: Option<Value>,
     ) -> Result<(), RuntimeError> {
-        let info = self.registry.entity(entity).ok_or_else(|| RuntimeError::Unknown {
-            kind: "entity",
-            name: entity.to_string(),
-        })?;
+        let info = self
+            .registry
+            .entity(entity)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "entity",
+                name: entity.to_string(),
+            })?;
         let device = self
             .spec
             .device(&info.device_type)
@@ -767,10 +835,16 @@ impl Orchestrator {
                 let Some(mut process) = self.processes[idx].process.take() else {
                     return;
                 };
+                let started = self.obs.is_enabled().then(std::time::Instant::now);
                 let next = {
                     let mut api = ProcessApi { engine: self };
                     process.wake(&mut api)
                 };
+                if let Some(t0) = started {
+                    let label = format!("process:{}", self.processes[idx].name);
+                    self.obs
+                        .record(Activity::Processing, &label, obs::elapsed_us(t0));
+                }
                 self.processes[idx].process = Some(process);
                 if let Some(at) = next {
                     self.queue.schedule(at, Event::ProcessWake { idx });
@@ -787,9 +861,9 @@ impl Orchestrator {
         index: Option<Value>,
     ) {
         self.metrics.emissions += 1;
-        if self.trace.is_enabled() {
+        if self.trace_active() {
             let at = self.queue.now();
-            self.trace.record(
+            self.record_trace(
                 at,
                 TraceKind::Emission {
                     entity: entity.to_string(),
@@ -823,6 +897,7 @@ impl Orchestrator {
                 Some(latency) => {
                     self.metrics.messages_delivered += 1;
                     self.metrics.total_transport_latency_ms += latency;
+                    self.obs.record(Activity::Delivering, &context, latency);
                     self.check_qos(&context, latency);
                     self.queue.schedule_in(
                         latency,
@@ -856,10 +931,7 @@ impl Orchestrator {
         else {
             return;
         };
-        let group_attr = activation
-            .grouping
-            .as_ref()
-            .map(|g| g.attribute.clone());
+        let group_attr = activation.grouping.as_ref().map(|g| g.attribute.clone());
         let window_ms = activation.grouping.as_ref().and_then(|g| g.window_ms);
 
         // Poll the whole device family (query-driven under the hood; the
@@ -870,7 +942,7 @@ impl Orchestrator {
             .poll(&device, &source, group_attr.as_deref(), now);
         self.metrics.periodic_deliveries += 1;
         self.metrics.readings_polled += readings.len() as u64;
-        self.trace.record(
+        self.record_trace(
             now,
             TraceKind::PeriodicPoll {
                 device: device.clone(),
@@ -888,6 +960,7 @@ impl Orchestrator {
                 Some(latency) => {
                     self.metrics.messages_delivered += 1;
                     self.metrics.total_transport_latency_ms += latency;
+                    self.obs.record(Activity::Delivering, context, latency);
                     max_latency = max_latency.max(latency);
                     surviving.push(reading);
                 }
@@ -896,7 +969,7 @@ impl Orchestrator {
         }
 
         // Window accumulation (`every <T>`): buffer until the deadline.
-        let deliver = if window_ms.is_some() {
+        let deliver = if let Some(window_ms) = window_ms {
             let runtime = self.contexts.get_mut(context).expect("context exists");
             let buffer = runtime
                 .windows
@@ -905,7 +978,7 @@ impl Orchestrator {
             buffer.readings.extend(surviving);
             if now >= buffer.deadline {
                 let batch = std::mem::take(&mut buffer.readings);
-                buffer.deadline = now + window_ms.expect("window present");
+                buffer.deadline = now + window_ms;
                 Some(batch)
             } else {
                 None
@@ -950,8 +1023,7 @@ impl Orchestrator {
         let Some(activation) = ctx_decl.activations.get(activation_idx) else {
             return;
         };
-        let ActivationTrigger::Periodic { device, source, .. } = activation.trigger.clone()
-        else {
+        let ActivationTrigger::Periodic { device, source, .. } = activation.trigger.clone() else {
             return;
         };
 
@@ -983,19 +1055,31 @@ impl Orchestrator {
                         self.metrics.map_reduce_executions += 1;
                         let input: Vec<(Value, Value)> = readings
                             .iter()
-                            .filter_map(|r| {
-                                r.group.clone().map(|g| (g, r.value.clone()))
-                            })
+                            .filter_map(|r| r.group.clone().map(|g| (g, r.value.clone())))
                             .collect();
                         let adapter = LogicAdapter(mr.as_ref());
                         let result = match self.processing {
-                            ProcessingMode::Serial => {
-                                Job::serial().run_to_map(&adapter, input)
-                            }
+                            ProcessingMode::Serial => Job::serial().run_to_map(&adapter, input),
                             ProcessingMode::Parallel(workers) => {
                                 Job::parallel(workers).run_to_map(&adapter, input)
                             }
                         };
+                        if self.obs.is_enabled() {
+                            // Surface the executor's per-phase wall times
+                            // as processing durations.
+                            for (phase, time) in [
+                                ("map", result.stats.map_time),
+                                ("shuffle", result.stats.shuffle_time),
+                                ("reduce", result.stats.reduce_time),
+                            ] {
+                                let us = u64::try_from(time.as_micros()).unwrap_or(u64::MAX);
+                                self.obs.record(
+                                    Activity::Processing,
+                                    &format!("{context}/{phase}"),
+                                    us,
+                                );
+                            }
+                        }
                         Some(result.output)
                     }
                     None => {
@@ -1028,19 +1112,25 @@ impl Orchestrator {
         device_type: &str,
         source: &str,
     ) -> Option<usize> {
-        self.spec.context(context)?.activations.iter().position(|a| {
-            matches!(
-                &a.trigger,
-                ActivationTrigger::DeviceSource { device, source: s }
-                    if s == source && self.spec.device_is_subtype(device_type, device)
-            )
-        })
+        self.spec
+            .context(context)?
+            .activations
+            .iter()
+            .position(|a| {
+                matches!(
+                    &a.trigger,
+                    ActivationTrigger::DeviceSource { device, source: s }
+                        if s == source && self.spec.device_is_subtype(device_type, device)
+                )
+            })
     }
 
     fn find_context_activation(&self, context: &str, from: &str) -> Option<usize> {
-        self.spec.context(context)?.activations.iter().position(|a| {
-            matches!(&a.trigger, ActivationTrigger::Context(c) if c == from)
-        })
+        self.spec
+            .context(context)?
+            .activations
+            .iter()
+            .position(|a| matches!(&a.trigger, ActivationTrigger::Context(c) if c == from))
     }
 
     fn activate_context(
@@ -1057,11 +1147,7 @@ impl Orchestrator {
             Some(a) => a.publish,
             None => return,
         };
-        let Some(mut logic) = self
-            .contexts
-            .get_mut(name)
-            .and_then(|r| r.logic.take())
-        else {
+        let Some(mut logic) = self.contexts.get_mut(name).and_then(|r| r.logic.take()) else {
             self.contain(RuntimeError::ContractViolation {
                 component: name.to_owned(),
                 message: "re-entrant activation (a `get` cycle at runtime?)".to_owned(),
@@ -1069,15 +1155,16 @@ impl Orchestrator {
             return;
         };
         self.metrics.context_activations += 1;
-        if self.trace.is_enabled() {
+        if self.trace_active() {
             let at = self.queue.now();
-            self.trace.record(
+            self.record_trace(
                 at,
                 TraceKind::ContextActivation {
                     context: name.to_owned(),
                 },
             );
         }
+        let started = self.obs.is_enabled().then(std::time::Instant::now);
         let result = {
             let mut api = ContextApi {
                 engine: self,
@@ -1085,10 +1172,11 @@ impl Orchestrator {
             };
             logic.activate(&mut api, input)
         };
-        self.contexts
-            .get_mut(name)
-            .expect("context exists")
-            .logic = Some(logic);
+        if let Some(t0) = started {
+            self.obs
+                .record(Activity::Processing, name, obs::elapsed_us(t0));
+        }
+        self.contexts.get_mut(name).expect("context exists").logic = Some(logic);
 
         match result {
             Err(e) => self.contain(e.into()),
@@ -1096,12 +1184,7 @@ impl Orchestrator {
         }
     }
 
-    fn handle_publication(
-        &mut self,
-        context: &str,
-        mode: PublishMode,
-        value: Option<Value>,
-    ) {
+    fn handle_publication(&mut self, context: &str, mode: PublishMode, value: Option<Value>) {
         match (mode, value) {
             (PublishMode::Always, None) => {
                 self.contain(RuntimeError::ContractViolation {
@@ -1140,9 +1223,9 @@ impl Orchestrator {
             return;
         }
         self.metrics.publications += 1;
-        if self.trace.is_enabled() {
+        if self.trace_active() {
             let at = self.queue.now();
-            self.trace.record(
+            self.record_trace(
                 at,
                 TraceKind::Publication {
                     context: context.to_owned(),
@@ -1162,6 +1245,14 @@ impl Orchestrator {
                 Some(latency) => {
                     self.metrics.messages_delivered += 1;
                     self.metrics.total_transport_latency_ms += latency;
+                    if self.obs.is_enabled() {
+                        let target = match &subscriber {
+                            Subscriber::Context(name) | Subscriber::Controller(name) => {
+                                name.as_str()
+                            }
+                        };
+                        self.obs.record(Activity::Delivering, target, latency);
+                    }
                     if let Subscriber::Context(name) = &subscriber {
                         self.check_qos(name, latency);
                     }
@@ -1184,11 +1275,7 @@ impl Orchestrator {
     }
 
     fn activate_controller(&mut self, name: &str, from: &str, value: &Value) {
-        let Some(mut logic) = self
-            .controllers
-            .get_mut(name)
-            .and_then(|r| r.logic.take())
-        else {
+        let Some(mut logic) = self.controllers.get_mut(name).and_then(|r| r.logic.take()) else {
             self.contain(RuntimeError::ContractViolation {
                 component: name.to_owned(),
                 message: "re-entrant controller activation".to_owned(),
@@ -1196,9 +1283,9 @@ impl Orchestrator {
             return;
         };
         self.metrics.controller_activations += 1;
-        if self.trace.is_enabled() {
+        if self.trace_active() {
             let at = self.queue.now();
-            self.trace.record(
+            self.record_trace(
                 at,
                 TraceKind::ControllerActivation {
                     controller: name.to_owned(),
@@ -1206,6 +1293,7 @@ impl Orchestrator {
                 },
             );
         }
+        let started = self.obs.is_enabled().then(std::time::Instant::now);
         let result = {
             let mut api = ControllerApi {
                 engine: self,
@@ -1213,6 +1301,10 @@ impl Orchestrator {
             };
             logic.on_context(&mut api, from, value)
         };
+        if let Some(t0) = started {
+            self.obs
+                .record(Activity::Processing, name, obs::elapsed_us(t0));
+        }
         self.controllers
             .get_mut(name)
             .expect("controller exists")
@@ -1224,10 +1316,13 @@ impl Orchestrator {
 
     /// Computes the on-demand value of a `when required` context.
     fn compute_on_demand(&mut self, name: &str) -> Result<Value, RuntimeError> {
-        let ctx_decl = self.spec.context(name).ok_or_else(|| RuntimeError::Unknown {
-            kind: "context",
-            name: name.to_owned(),
-        })?;
+        let ctx_decl = self
+            .spec
+            .context(name)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "context",
+                name: name.to_owned(),
+            })?;
         if !ctx_decl.is_required() {
             return Err(RuntimeError::ContractViolation {
                 component: name.to_owned(),
@@ -1235,11 +1330,7 @@ impl Orchestrator {
             });
         }
         let output_ty = ctx_decl.output.clone();
-        let Some(mut logic) = self
-            .contexts
-            .get_mut(name)
-            .and_then(|r| r.logic.take())
-        else {
+        let Some(mut logic) = self.contexts.get_mut(name).and_then(|r| r.logic.take()) else {
             return Err(RuntimeError::ContractViolation {
                 component: name.to_owned(),
                 message: "re-entrant on-demand computation (a `get` cycle?)".to_owned(),
@@ -1247,6 +1338,7 @@ impl Orchestrator {
         };
         self.metrics.on_demand_computations += 1;
         self.metrics.context_activations += 1;
+        let started = self.obs.is_enabled().then(std::time::Instant::now);
         let result = {
             let mut api = ContextApi {
                 engine: self,
@@ -1254,10 +1346,11 @@ impl Orchestrator {
             };
             logic.activate(&mut api, ContextActivation::OnDemand)
         };
-        self.contexts
-            .get_mut(name)
-            .expect("context exists")
-            .logic = Some(logic);
+        if let Some(t0) = started {
+            self.obs
+                .record(Activity::Processing, name, obs::elapsed_us(t0));
+        }
+        self.contexts.get_mut(name).expect("context exists").logic = Some(logic);
 
         let computed = result.map_err(RuntimeError::from)?;
         let value = match computed {
@@ -1298,9 +1391,10 @@ impl Orchestrator {
         };
         ctx.activations.iter().any(|a| {
             a.gets.iter().any(|g| match g {
-                InputRef::DeviceSource { device: d, source: s } => {
-                    s == source && self.spec.device_is_subtype(device, d)
-                }
+                InputRef::DeviceSource {
+                    device: d,
+                    source: s,
+                } => s == source && self.spec.device_is_subtype(device, d),
                 InputRef::Context(_) => false,
             })
         })
@@ -1335,12 +1429,9 @@ impl Orchestrator {
             return false;
         };
         ctrl.bindings.iter().any(|b| {
-            b.actions
-                .iter()
-                .any(|(_, d)| {
-                    self.spec.device_is_subtype(device, d)
-                        || self.spec.device_is_subtype(d, device)
-                })
+            b.actions.iter().any(|(_, d)| {
+                self.spec.device_is_subtype(device, d) || self.spec.device_is_subtype(d, device)
+            })
         })
     }
 }
@@ -1372,8 +1463,7 @@ struct LogicAdapter<'a>(&'a dyn MapReduceLogic);
 
 impl MapReduce<Value, Value, Value, Value, Value, Value> for LogicAdapter<'_> {
     fn map(&self, key: &Value, value: &Value, collector: &mut MapCollector<Value, Value>) {
-        self.0
-            .map(key, value, &mut |k, v| collector.emit_map(k, v));
+        self.0.map(key, value, &mut |k, v| collector.emit_map(k, v));
     }
 
     fn reduce(&self, key: &Value, values: &[Value], collector: &mut ReduceCollector<Value, Value>) {
@@ -1426,9 +1516,7 @@ impl ContextApi<'_> {
         {
             return Err(RuntimeError::ContractViolation {
                 component: self.context.to_owned(),
-                message: format!(
-                    "design declares no `get {source} from {device_type}`"
-                ),
+                message: format!("design declares no `get {source} from {device_type}`"),
             });
         }
         let now = self.engine.queue.now();
@@ -1470,9 +1558,7 @@ impl ContextApi<'_> {
         {
             return Err(RuntimeError::ContractViolation {
                 component: self.context.to_owned(),
-                message: format!(
-                    "design declares no `get {source} from {device_type}`"
-                ),
+                message: format!("design declares no `get {source} from {device_type}`"),
             });
         }
         let now = self.engine.queue.now();
@@ -1552,9 +1638,7 @@ impl ControllerApi<'_> {
         {
             return Err(RuntimeError::ContractViolation {
                 component: self.controller.to_owned(),
-                message: format!(
-                    "design declares no action on device `{device_type}`"
-                ),
+                message: format!("design declares no action on device `{device_type}`"),
             });
         }
         Ok(self.engine.registry.discover(device_type))
@@ -1589,15 +1673,20 @@ impl ControllerApi<'_> {
         {
             return Err(RuntimeError::ContractViolation {
                 component: self.controller.to_owned(),
-                message: format!(
-                    "design declares no `do {action} on {device_type}`"
-                ),
+                message: format!("design declares no `do {action} on {device_type}`"),
             });
         }
         let now = self.engine.queue.now();
+        let started = self.engine.obs.is_enabled().then(std::time::Instant::now);
         self.engine.registry.invoke(entity, action, args, now)?;
+        if let Some(t0) = started {
+            let label = format!("{device_type}.{action}");
+            self.engine
+                .obs
+                .record(Activity::Actuating, &label, obs::elapsed_us(t0));
+        }
         self.engine.metrics.actuations += 1;
-        self.engine.trace.record(
+        self.engine.record_trace(
             now,
             TraceKind::Actuation {
                 entity: entity.to_string(),

@@ -128,7 +128,10 @@ impl fmt::Display for RuntimeError {
                 at,
                 expected,
                 found,
-            } => write!(f, "type mismatch at {at}: expected `{expected}`, found {found}"),
+            } => write!(
+                f,
+                "type mismatch at {at}: expected `{expected}`, found {found}"
+            ),
             RuntimeError::ContractViolation { component, message } => {
                 write!(f, "contract violation in `{component}`: {message}")
             }

@@ -33,6 +33,7 @@ pub mod engine;
 pub mod entity;
 pub mod error;
 pub mod metrics;
+pub mod obs;
 pub mod process;
 pub mod registry;
 pub mod trace;
@@ -41,4 +42,5 @@ pub mod value;
 
 pub use engine::{Orchestrator, Phase, ProcessingMode};
 pub use error::RuntimeError;
+pub use obs::{Activity, LatencyHistogram, ObsSnapshot, Observer};
 pub use value::Value;

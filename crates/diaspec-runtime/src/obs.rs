@@ -1,0 +1,915 @@
+//! Observability: activity-labeled metrics, latency histograms, and a
+//! pluggable observer/export layer.
+//!
+//! The paper organizes IoT orchestration into four activities — *binding
+//! entities*, *delivering data*, *processing data*, and *actuating
+//! entities* (§IV). Where [`crate::metrics::RuntimeMetrics`] counts
+//! orchestration events globally, this module attributes **durations** to
+//! those four activities, labeled by the component or device family
+//! involved:
+//!
+//! - [`Activity`] names the four paper activities;
+//! - [`LatencyHistogram`] is a zero-dependency log-bucketed histogram
+//!   (mergeable, with p50/p90/p99/max readouts);
+//! - [`Observer`] is the pluggable sink interface: attached observers
+//!   receive every [`TraceEvent`] as it happens plus on-demand
+//!   [`ObsSnapshot`]s — [`BufferSink`] keeps a bounded in-memory window,
+//!   [`JsonlSink`] streams JSON Lines to any writer, and
+//!   [`render_prometheus`] renders a snapshot in the Prometheus text
+//!   exposition style;
+//! - [`ObsHub`] ties it together inside the
+//!   [`Orchestrator`](crate::engine::Orchestrator).
+//!
+//! Delivery durations are *simulation* milliseconds (transport latency);
+//! binding, processing, and actuation durations are *wall-clock*
+//! microseconds (simulation time does not advance while component logic
+//! runs). Each activity snapshot carries its unit.
+//!
+//! Everything is **off by default**: with observability disabled and no
+//! observers attached, the engine's hot path pays a single branch per
+//! candidate record site (see the `obs` benchmark in `diaspec-bench`).
+
+use crate::clock::SimTime;
+use crate::trace::TraceEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+// ---- activities -----------------------------------------------------------
+
+/// The four orchestration activities of the paper (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activity {
+    /// Binding entities: attribute-based discovery and registration.
+    Binding,
+    /// Delivering data: a value crossing the (simulated) network.
+    Delivering,
+    /// Processing data: component logic, windows, MapReduce phases.
+    Processing,
+    /// Actuating entities: invoking a declared device action.
+    Actuating,
+}
+
+impl Activity {
+    /// All four activities, in paper order.
+    pub const ALL: [Activity; 4] = [
+        Activity::Binding,
+        Activity::Delivering,
+        Activity::Processing,
+        Activity::Actuating,
+    ];
+
+    /// Stable lower-case label (used in exports).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Activity::Binding => "binding",
+            Activity::Delivering => "delivering",
+            Activity::Processing => "processing",
+            Activity::Actuating => "actuating",
+        }
+    }
+
+    /// Unit of the durations recorded under this activity.
+    ///
+    /// Delivery is measured on the simulation clock (milliseconds);
+    /// the other three do not advance simulated time, so they are
+    /// measured on the wall clock (microseconds).
+    #[must_use]
+    pub fn unit(self) -> &'static str {
+        match self {
+            Activity::Delivering => "ms",
+            _ => "us",
+        }
+    }
+
+    /// Dense index in `0..4`, for array-backed storage.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Activity::Binding => 0,
+            Activity::Delivering => 1,
+            Activity::Processing => 2,
+            Activity::Actuating => 3,
+        }
+    }
+}
+
+/// Wall-clock microseconds elapsed since `start`, saturated to `u64`.
+#[must_use]
+pub fn elapsed_us(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+// ---- histogram ------------------------------------------------------------
+
+/// Values below this resolve to exact single-value buckets.
+const LINEAR_LIMIT: u64 = 16;
+/// Sub-buckets per power of two above the linear region (3 mantissa bits:
+/// relative quantization error is at most 1/8).
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count: 16 exact buckets + 8 per power of two for
+/// exponents 4..=63.
+const BUCKETS: usize = LINEAR_LIMIT as usize + (63 - 3) * SUB;
+
+/// A log-bucketed latency histogram.
+///
+/// Values up to 15 land in exact buckets; larger values are bucketed
+/// log-linearly (8 sub-buckets per power of two, ≤ 12.5% relative
+/// error). Recording is O(1) with no allocation; histograms merge
+/// exactly (merging two histograms yields the same buckets as recording
+/// the union of their streams).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of a value.
+    fn bucket_of(value: u64) -> usize {
+        if value < LINEAR_LIMIT {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros(); // >= 4
+        let sub = ((value >> (exp - SUB_BITS)) as usize) & (SUB - 1);
+        LINEAR_LIMIT as usize + (exp as usize - 4) * SUB + sub
+    }
+
+    /// Smallest value that maps to bucket `i`.
+    fn bucket_lower(i: usize) -> u64 {
+        if i < LINEAR_LIMIT as usize {
+            return i as u64;
+        }
+        let j = i - LINEAR_LIMIT as usize;
+        let exp = 4 + (j / SUB) as u32;
+        let sub = (j % SUB) as u64;
+        (SUB as u64 + sub) << (exp - SUB_BITS)
+    }
+
+    /// Largest value that maps to bucket `i`.
+    fn bucket_upper(i: usize) -> u64 {
+        if i + 1 >= BUCKETS {
+            u64::MAX
+        } else {
+            Self::bucket_lower(i + 1) - 1
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded durations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of recorded durations (saturated to `u64`).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        u64::try_from(self.sum).unwrap_or(u64::MAX)
+    }
+
+    /// Smallest recorded duration (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded duration (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean recorded duration (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) of the recorded
+    /// durations, up to bucket resolution. Exact for values below 16 and
+    /// for the extremes: `quantile(0.0)` and `quantile(1.0)` never fall
+    /// outside `[min, max]`. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Self::bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one. Equivalent to having
+    /// recorded both underlying streams into a single histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// A serializable summary (count, sum, extremes, mean, p50/p90/p99).
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Serializable summary of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of recorded durations.
+    pub sum: u64,
+    /// Smallest recorded duration.
+    pub min: u64,
+    /// Largest recorded duration.
+    pub max: u64,
+    /// Mean recorded duration.
+    pub mean: f64,
+    /// Median (up to bucket resolution).
+    pub p50: u64,
+    /// 90th percentile (up to bucket resolution).
+    pub p90: u64,
+    /// 99th percentile (up to bucket resolution).
+    pub p99: u64,
+}
+
+// ---- snapshots ------------------------------------------------------------
+
+/// Point-in-time export of everything the hub has measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsSnapshot {
+    /// Simulation time of the snapshot, in milliseconds.
+    pub at: SimTime,
+    /// One entry per [`Activity`], in paper order.
+    pub activities: Vec<ActivitySnapshot>,
+}
+
+impl ObsSnapshot {
+    /// The snapshot of one activity, by its label.
+    #[must_use]
+    pub fn activity(&self, activity: Activity) -> Option<&ActivitySnapshot> {
+        self.activities
+            .iter()
+            .find(|a| a.activity == activity.label())
+    }
+}
+
+/// Measurements attributed to one activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivitySnapshot {
+    /// Activity label (`binding`, `delivering`, `processing`, `actuating`).
+    pub activity: String,
+    /// Unit of the recorded durations (`ms` simulated or `us` wall).
+    pub unit: String,
+    /// Latency distribution of the activity.
+    pub latency: HistogramSummary,
+    /// Operation counts per component / device-family label.
+    pub labels: BTreeMap<String, u64>,
+}
+
+// ---- observers ------------------------------------------------------------
+
+/// A pluggable observability sink.
+///
+/// Attached to an [`Orchestrator`](crate::engine::Orchestrator) via
+/// [`attach_observer`](crate::engine::Orchestrator::attach_observer), an
+/// observer is streamed every [`TraceEvent`] the engine produces
+/// (regardless of whether the bounded internal trace buffer is enabled)
+/// and receives an [`ObsSnapshot`] whenever one is published.
+pub trait Observer {
+    /// Called for each orchestration-level trace event, as it happens.
+    fn on_event(&mut self, _event: &TraceEvent) {}
+
+    /// Called when a metrics snapshot is published.
+    fn on_snapshot(&mut self, _snapshot: &ObsSnapshot) {}
+}
+
+/// A bounded in-memory sink: the observer counterpart of the engine's
+/// internal trace buffer. Oldest events are dropped past the capacity;
+/// the drop counter resets when the buffer is drained.
+#[derive(Debug)]
+pub struct BufferSink {
+    events: std::collections::VecDeque<TraceEvent>,
+    snapshots: Vec<ObsSnapshot>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl BufferSink {
+    /// Creates a sink holding at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BufferSink {
+            events: std::collections::VecDeque::new(),
+            snapshots: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Drains the buffered events, resetting the drop counter.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        self.dropped = 0;
+        self.events.drain(..).collect()
+    }
+
+    /// Drains the buffered snapshots.
+    pub fn take_snapshots(&mut self) -> Vec<ObsSnapshot> {
+        std::mem::take(&mut self.snapshots)
+    }
+
+    /// Events dropped since the last [`BufferSink::take`].
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Observer for BufferSink {
+    fn on_event(&mut self, event: &TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event.clone());
+    }
+
+    fn on_snapshot(&mut self, snapshot: &ObsSnapshot) {
+        self.snapshots.push(snapshot.clone());
+    }
+}
+
+/// A JSON Lines sink: one JSON object per line, `{"trace": ...}` for
+/// events and `{"snapshot": ...}` for snapshots.
+///
+/// Write errors do not disturb the orchestration; they are counted and
+/// reported by [`JsonlSink::write_errors`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    lines: u64,
+    write_errors: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            lines: 0,
+            write_errors: 0,
+        }
+    }
+
+    /// Lines successfully written so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Failed writes so far.
+    #[must_use]
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's flush error.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Unwraps the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    /// Read access to the underlying writer (e.g. to inspect an
+    /// in-memory buffer through a [`SharedSink`]).
+    pub fn writer(&self) -> &W {
+        &self.writer
+    }
+
+    fn write_line(&mut self, line: &str) {
+        match writeln!(self.writer, "{line}") {
+            Ok(()) => self.lines += 1,
+            Err(_) => self.write_errors += 1,
+        }
+    }
+}
+
+impl<W: Write> Observer for JsonlSink<W> {
+    fn on_event(&mut self, event: &TraceEvent) {
+        if let Ok(json) = serde_json::to_string(event) {
+            self.write_line(&format!("{{\"trace\":{json}}}"));
+        }
+    }
+
+    fn on_snapshot(&mut self, snapshot: &ObsSnapshot) {
+        if let Ok(json) = serde_json::to_string(snapshot) {
+            self.write_line(&format!("{{\"snapshot\":{json}}}"));
+        }
+        let _ = self.flush();
+    }
+}
+
+/// A cloneable handle that shares one sink between the orchestrator and
+/// the caller: attach a clone, keep the original to inspect the sink
+/// after (or during) the run.
+#[derive(Debug)]
+pub struct SharedSink<S>(Arc<Mutex<S>>);
+
+impl<S> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        SharedSink(Arc::clone(&self.0))
+    }
+}
+
+impl<S> SharedSink<S> {
+    /// Wraps a sink in a shared handle.
+    pub fn new(sink: S) -> Self {
+        SharedSink(Arc::new(Mutex::new(sink)))
+    }
+
+    /// Runs `f` with exclusive access to the sink.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        let mut guard = self
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut guard)
+    }
+}
+
+impl<S: Observer> Observer for SharedSink<S> {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.with(|s| s.on_event(event));
+    }
+
+    fn on_snapshot(&mut self, snapshot: &ObsSnapshot) {
+        self.with(|s| s.on_snapshot(snapshot));
+    }
+}
+
+// ---- Prometheus text exposition -------------------------------------------
+
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a snapshot in the Prometheus text exposition style:
+/// a `diaspec_activity_operations_total` counter per activity/label pair
+/// and a `diaspec_activity_latency` summary (p50/p90/p99 + sum + count)
+/// per activity.
+#[must_use]
+pub fn render_prometheus(snapshot: &ObsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# HELP diaspec_activity_operations_total Operations observed per activity and component.\n",
+    );
+    out.push_str("# TYPE diaspec_activity_operations_total counter\n");
+    for act in &snapshot.activities {
+        for (label, count) in &act.labels {
+            out.push_str(&format!(
+                "diaspec_activity_operations_total{{activity=\"{}\",component=\"{}\"}} {}\n",
+                act.activity,
+                escape_label(label),
+                count
+            ));
+        }
+    }
+    out.push_str(
+        "# HELP diaspec_activity_latency Duration distribution per activity (ms simulated for delivering, us wall otherwise).\n",
+    );
+    out.push_str("# TYPE diaspec_activity_latency summary\n");
+    for act in &snapshot.activities {
+        let base = format!("activity=\"{}\",unit=\"{}\"", act.activity, act.unit);
+        for (q, v) in [
+            ("0.5", act.latency.p50),
+            ("0.9", act.latency.p90),
+            ("0.99", act.latency.p99),
+        ] {
+            out.push_str(&format!(
+                "diaspec_activity_latency{{{base},quantile=\"{q}\"}} {v}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "diaspec_activity_latency_sum{{{base}}} {}\n",
+            act.latency.sum
+        ));
+        out.push_str(&format!(
+            "diaspec_activity_latency_count{{{base}}} {}\n",
+            act.latency.count
+        ));
+    }
+    out
+}
+
+// ---- the hub --------------------------------------------------------------
+
+struct ActivityStats {
+    hist: LatencyHistogram,
+    labels: BTreeMap<String, u64>,
+}
+
+impl ActivityStats {
+    fn new() -> Self {
+        ActivityStats {
+            hist: LatencyHistogram::new(),
+            labels: BTreeMap::new(),
+        }
+    }
+}
+
+/// The engine-side aggregation point: per-activity histograms, labeled
+/// operation counters, and the list of attached [`Observer`]s.
+///
+/// Duration recording is off by default ([`ObsHub::set_enabled`]); trace
+/// events flow to observers whenever any are attached.
+pub struct ObsHub {
+    enabled: bool,
+    activities: [ActivityStats; 4],
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl std::fmt::Debug for ObsHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsHub")
+            .field("enabled", &self.enabled)
+            .field("observers", &self.observers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        ObsHub::new()
+    }
+}
+
+impl ObsHub {
+    /// Creates a hub with recording disabled and no observers.
+    #[must_use]
+    pub fn new() -> Self {
+        ObsHub {
+            enabled: false,
+            activities: [
+                ActivityStats::new(),
+                ActivityStats::new(),
+                ActivityStats::new(),
+                ActivityStats::new(),
+            ],
+            observers: Vec::new(),
+        }
+    }
+
+    /// Enables or disables duration recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether duration recording is on. This is the only check on the
+    /// disabled hot path.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Attaches an observer sink.
+    pub fn attach(&mut self, observer: Box<dyn Observer>) {
+        self.observers.push(observer);
+    }
+
+    /// Whether any observer is attached.
+    #[must_use]
+    pub fn has_observers(&self) -> bool {
+        !self.observers.is_empty()
+    }
+
+    /// Records one duration under `activity`, labeled with the component
+    /// or device-family name. No-op while disabled.
+    pub fn record(&mut self, activity: Activity, label: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let stats = &mut self.activities[activity.index()];
+        stats.hist.record(value);
+        match stats.labels.get_mut(label) {
+            Some(count) => *count += 1,
+            None => {
+                stats.labels.insert(label.to_owned(), 1);
+            }
+        }
+    }
+
+    /// Read access to one activity's histogram.
+    #[must_use]
+    pub fn histogram(&self, activity: Activity) -> &LatencyHistogram {
+        &self.activities[activity.index()].hist
+    }
+
+    /// Streams a trace event to every attached observer.
+    pub fn broadcast(&mut self, event: &TraceEvent) {
+        for observer in &mut self.observers {
+            observer.on_event(event);
+        }
+    }
+
+    /// Builds a snapshot of everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self, at: SimTime) -> ObsSnapshot {
+        ObsSnapshot {
+            at,
+            activities: Activity::ALL
+                .iter()
+                .map(|&activity| {
+                    let stats = &self.activities[activity.index()];
+                    ActivitySnapshot {
+                        activity: activity.label().to_owned(),
+                        unit: activity.unit().to_owned(),
+                        latency: stats.hist.summary(),
+                        labels: stats.labels.clone(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds a snapshot and pushes it to every attached observer.
+    pub fn publish(&mut self, at: SimTime) -> ObsSnapshot {
+        let snapshot = self.snapshot(at);
+        for observer in &mut self.observers {
+            observer.on_snapshot(&snapshot);
+        }
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceKind;
+
+    #[test]
+    fn small_values_have_exact_buckets() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        // Below LINEAR_LIMIT every value is its own bucket, so quantiles
+        // are exact.
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn bucket_boundaries_round_trip() {
+        // The lower bound of every bucket maps back to that bucket, and
+        // so does its upper bound.
+        for i in 0..BUCKETS {
+            let lo = LatencyHistogram::bucket_lower(i);
+            assert_eq!(LatencyHistogram::bucket_of(lo), i, "lower of bucket {i}");
+            let hi = LatencyHistogram::bucket_upper(i);
+            assert_eq!(LatencyHistogram::bucket_of(hi), i, "upper of bucket {i}");
+        }
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        h.record(1000);
+        let q = h.quantile(0.5);
+        // One sample: any quantile must return a value within bucket
+        // resolution (12.5%) of it — and clamping makes it exact here.
+        assert_eq!(q, 1000);
+        h.record(2000);
+        let p99 = h.quantile(0.99);
+        assert!(p99 <= 2000 && p99 as f64 >= 2000.0 * 0.875, "{p99}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        let mut state = 0x1234_5678_u64;
+        for _ in 0..1000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(state >> 40);
+        }
+        let mut prev = 0;
+        for i in 0..=100 {
+            let q = h.quantile(f64::from(i) / 100.0);
+            assert!(q >= prev, "quantile regressed at {i}%: {q} < {prev}");
+            prev = q;
+        }
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut union = LatencyHistogram::new();
+        for v in [0u64, 3, 17, 999, 1_000_000] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [5u64, 17, 40_000] {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn disabled_hub_records_nothing() {
+        let mut hub = ObsHub::new();
+        hub.record(Activity::Delivering, "Ctx", 5);
+        assert!(hub.histogram(Activity::Delivering).is_empty());
+        hub.set_enabled(true);
+        hub.record(Activity::Delivering, "Ctx", 5);
+        hub.record(Activity::Delivering, "Ctx", 7);
+        let snap = hub.snapshot(42);
+        let delivering = snap.activity(Activity::Delivering).unwrap();
+        assert_eq!(delivering.latency.count, 2);
+        assert_eq!(delivering.labels["Ctx"], 2);
+        assert_eq!(delivering.unit, "ms");
+        assert_eq!(snap.at, 42);
+    }
+
+    #[test]
+    fn buffer_sink_is_bounded_and_resets_dropped_on_take() {
+        let mut sink = BufferSink::new(2);
+        for at in 0..5 {
+            sink.on_event(&TraceEvent {
+                at,
+                kind: TraceKind::ContextActivation {
+                    context: "C".into(),
+                },
+            });
+        }
+        assert_eq!(sink.dropped(), 3);
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, 3, "oldest dropped");
+        assert_eq!(sink.dropped(), 0, "drained buffers start a fresh window");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.on_event(&TraceEvent {
+            at: 7,
+            kind: TraceKind::Actuation {
+                entity: "tv".into(),
+                action: "on".into(),
+            },
+        });
+        let mut hub = ObsHub::new();
+        hub.set_enabled(true);
+        hub.record(Activity::Actuating, "Tv.on", 12);
+        sink.on_snapshot(&hub.snapshot(9));
+        assert_eq!(sink.lines(), 2);
+        assert_eq!(sink.write_errors(), 0);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let trace: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert!(!trace["trace"].is_null());
+        let snap: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(snap["snapshot"]["at"].as_u64(), Some(9));
+    }
+
+    #[test]
+    fn shared_sink_exposes_contents_after_attachment() {
+        let shared = SharedSink::new(BufferSink::new(10));
+        let mut hub = ObsHub::new();
+        hub.attach(Box::new(shared.clone()));
+        assert!(hub.has_observers());
+        hub.broadcast(&TraceEvent {
+            at: 1,
+            kind: TraceKind::Error {
+                message: "x".into(),
+            },
+        });
+        assert_eq!(shared.with(|s| s.take().len()), 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_counters_and_summaries() {
+        let mut hub = ObsHub::new();
+        hub.set_enabled(true);
+        hub.record(Activity::Delivering, "AvgTemp", 10);
+        hub.record(Activity::Delivering, "AvgTemp", 30);
+        hub.record(Activity::Processing, "AvgTemp", 250);
+        let text = render_prometheus(&hub.snapshot(0));
+        assert!(text.contains(
+            "diaspec_activity_operations_total{activity=\"delivering\",component=\"AvgTemp\"} 2"
+        ));
+        assert!(text.contains("# TYPE diaspec_activity_latency summary"));
+        assert!(
+            text.contains("diaspec_activity_latency_count{activity=\"delivering\",unit=\"ms\"} 2")
+        );
+        assert!(text.contains("quantile=\"0.99\""));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut hub = ObsHub::new();
+        hub.set_enabled(true);
+        hub.record(Activity::Binding, "PresenceSensor", 90);
+        let snap = hub.snapshot(123);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ObsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -10,6 +10,12 @@
 //! Processes live in the same deterministic event queue as the
 //! orchestration itself, so an entire experiment is reproducible from its
 //! seed.
+//!
+//! When observability is on
+//! ([`Orchestrator::set_observability`](crate::engine::Orchestrator::set_observability)),
+//! each wake's wall-clock duration is recorded under the *processing*
+//! activity, labeled `process:<name>` — environment-model cost shows up
+//! in the same per-activity breakdown as component logic.
 
 use crate::clock::SimTime;
 use crate::engine::ProcessApi;

@@ -280,10 +280,13 @@ impl Registry {
     ///
     /// Returns [`RuntimeError::Unknown`] if the entity is not bound.
     pub fn unbind(&mut self, id: &EntityId) -> Result<EntityInfo, RuntimeError> {
-        let record = self.entities.remove(id).ok_or_else(|| RuntimeError::Unknown {
-            kind: "entity",
-            name: id.to_string(),
-        })?;
+        let record = self
+            .entities
+            .remove(id)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "entity",
+                name: id.to_string(),
+            })?;
         if let Some(set) = self.by_type.get_mut(&record.info.device_type) {
             set.remove(id);
         }
@@ -638,11 +641,7 @@ impl<'r> DiscoveryQuery<'r> {
     pub fn ids(&self) -> Vec<EntityId> {
         let mut out: Vec<EntityId> = Vec::new();
         for (ty, bucket) in &self.registry.by_type {
-            if !self
-                .registry
-                .spec
-                .device_is_subtype(ty, &self.device_type)
-            {
+            if !self.registry.spec.device_is_subtype(ty, &self.device_type) {
                 continue;
             }
             if self.filters.is_empty() {
@@ -653,11 +652,11 @@ impl<'r> DiscoveryQuery<'r> {
             let mut sets: Vec<&BTreeSet<EntityId>> = Vec::with_capacity(self.filters.len());
             let mut empty = false;
             for (attr, value) in &self.filters {
-                match self.registry.by_attribute.get(&(
-                    ty.clone(),
-                    attr.clone(),
-                    value.clone(),
-                )) {
+                match self
+                    .registry
+                    .by_attribute
+                    .get(&(ty.clone(), attr.clone(), value.clone()))
+                {
                     Some(set) if !set.is_empty() => sets.push(set),
                     _ => {
                         empty = true;
@@ -847,7 +846,9 @@ mod tests {
             .bind(
                 "x".into(),
                 "PresenceSensor",
-                [("parkingLot".to_owned(), Value::Int(5))].into_iter().collect(),
+                [("parkingLot".to_owned(), Value::Int(5))]
+                    .into_iter()
+                    .collect(),
                 const_driver(Value::Bool(false)),
                 BindingTime::Launch,
                 0,
@@ -1106,7 +1107,10 @@ mod tests {
         .unwrap();
         // Wrong arity.
         let err = reg.invoke(&"p1".into(), "update", &[], 0).unwrap_err();
-        assert!(matches!(err, RuntimeError::ContractViolation { .. }), "{err}");
+        assert!(
+            matches!(err, RuntimeError::ContractViolation { .. }),
+            "{err}"
+        );
         // Wrong type.
         let err = reg
             .invoke(&"p1".into(), "update", &[Value::Int(3)], 0)

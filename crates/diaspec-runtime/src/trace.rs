@@ -140,6 +140,9 @@ impl TraceBuffer {
     }
 
     pub(crate) fn take(&mut self) -> Vec<TraceEvent> {
+        // Draining starts a fresh observation window: a stale drop count
+        // from a previous run would otherwise misreport later drains.
+        self.dropped = 0;
         self.events.drain(..).collect()
     }
 
@@ -204,10 +207,11 @@ mod tests {
                 },
             );
         }
+        assert_eq!(buf.dropped(), 2);
         let events = buf.take();
         assert_eq!(events.len(), 3);
         assert_eq!(events[0].at, 2, "oldest dropped");
-        assert_eq!(buf.dropped(), 2);
+        assert_eq!(buf.dropped(), 0, "drain resets the drop counter");
     }
 
     #[test]

@@ -10,13 +10,15 @@
 //! characteristics as experiment parameters.
 
 use crate::clock::SimTime;
+use crate::obs::LatencyHistogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Latency distribution for one message hop.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LatencyModel {
     /// Ideal transport: messages arrive instantly.
+    #[default]
     Zero,
     /// Every message takes exactly this many milliseconds.
     Fixed(SimTime),
@@ -27,12 +29,6 @@ pub enum LatencyModel {
         /// Maximum latency (ms), inclusive.
         max_ms: SimTime,
     },
-}
-
-impl Default for LatencyModel {
-    fn default() -> Self {
-        LatencyModel::Zero
-    }
 }
 
 /// Configuration of the simulated transport.
@@ -66,6 +62,9 @@ pub struct Transport {
     delivered: u64,
     dropped: u64,
     total_latency_ms: u128,
+    /// Per-hop latency distribution, kept only when observability asks
+    /// for it (see [`Transport::enable_latency_histogram`]).
+    histogram: Option<LatencyHistogram>,
 }
 
 impl Transport {
@@ -83,7 +82,10 @@ impl Transport {
             config.loss_probability
         );
         if let LatencyModel::Uniform { min_ms, max_ms } = config.latency {
-            assert!(min_ms <= max_ms, "inverted latency range {min_ms}..{max_ms}");
+            assert!(
+                min_ms <= max_ms,
+                "inverted latency range {min_ms}..{max_ms}"
+            );
         }
         Transport {
             config,
@@ -91,7 +93,22 @@ impl Transport {
             delivered: 0,
             dropped: 0,
             total_latency_ms: 0,
+            histogram: None,
         }
+    }
+
+    /// Starts recording every delivered message's latency into a
+    /// histogram (off by default: the common path pays nothing).
+    pub fn enable_latency_histogram(&mut self) {
+        if self.histogram.is_none() {
+            self.histogram = Some(LatencyHistogram::new());
+        }
+    }
+
+    /// The per-hop latency histogram, if enabled.
+    #[must_use]
+    pub fn latency_histogram(&self) -> Option<&LatencyHistogram> {
+        self.histogram.as_ref()
     }
 
     /// The configuration in effect.
@@ -116,6 +133,9 @@ impl Transport {
         };
         self.delivered += 1;
         self.total_latency_ms += u128::from(latency);
+        if let Some(histogram) = &mut self.histogram {
+            histogram.record(latency);
+        }
         Some(latency)
     }
 
@@ -220,6 +240,27 @@ mod tests {
         for _ in 0..500 {
             assert_eq!(a.send(), b.send());
         }
+    }
+
+    #[test]
+    fn latency_histogram_tracks_delivered_messages() {
+        let mut t = Transport::new(TransportConfig {
+            latency: LatencyModel::Uniform {
+                min_ms: 10,
+                max_ms: 50,
+            },
+            seed: 11,
+            ..TransportConfig::default()
+        });
+        assert!(t.latency_histogram().is_none(), "off by default");
+        t.enable_latency_histogram();
+        for _ in 0..200 {
+            let _ = t.send();
+        }
+        let h = t.latency_histogram().expect("enabled");
+        assert_eq!(h.count(), t.delivered());
+        assert!(h.min() >= 10 && h.max() <= 50);
+        assert!(h.quantile(0.5) >= 10);
     }
 
     #[test]

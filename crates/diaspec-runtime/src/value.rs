@@ -188,10 +188,7 @@ impl Value {
                         .enumeration(name)
                         .is_some_and(|e| e.has_variant(variant))
             }
-            (
-                Value::Struct { structure, fields },
-                Type::Struct(name),
-            ) => {
+            (Value::Struct { structure, fields }, Type::Struct(name)) => {
                 if structure != name {
                     return false;
                 }
@@ -200,9 +197,7 @@ impl Value {
                 };
                 decl.fields.len() == fields.len()
                     && decl.fields.iter().all(|(fname, fty)| {
-                        fields
-                            .get(fname)
-                            .is_some_and(|v| v.conforms_to(fty, spec))
+                        fields.get(fname).is_some_and(|v| v.conforms_to(fty, spec))
                     })
             }
             (Value::Array(items), Type::Array(elem)) => {
@@ -482,10 +477,7 @@ mod tests {
         assert_eq!(Value::Bool(true).as_bool(), Some(true));
         assert_eq!(Value::from("hi").as_str(), Some("hi"));
         assert_eq!(Value::Int(3).as_float(), None);
-        assert_eq!(
-            Value::enum_value("E", "A").as_variant(),
-            Some("A")
-        );
+        assert_eq!(Value::enum_value("E", "A").as_variant(), Some("A"));
         let arr: Value = vec![1i64, 2, 3].into();
         assert_eq!(arr.as_array().unwrap().len(), 3);
     }
@@ -495,7 +487,10 @@ mod tests {
         let v = Value::structure(
             "Availability",
             [
-                ("parkingLot".to_owned(), Value::enum_value("ParkingLotEnum", "A22")),
+                (
+                    "parkingLot".to_owned(),
+                    Value::enum_value("ParkingLotEnum", "A22"),
+                ),
                 ("count".to_owned(), Value::Int(12)),
             ],
         );
@@ -531,20 +526,23 @@ mod tests {
         let good = Value::structure(
             "Availability",
             [
-                ("parkingLot".to_owned(), Value::enum_value("ParkingLotEnum", "B16")),
+                (
+                    "parkingLot".to_owned(),
+                    Value::enum_value("ParkingLotEnum", "B16"),
+                ),
                 ("count".to_owned(), Value::Int(4)),
             ],
         );
         assert!(good.conforms_to(&ty, &s));
-        let missing_field = Value::structure(
-            "Availability",
-            [("count".to_owned(), Value::Int(4))],
-        );
+        let missing_field = Value::structure("Availability", [("count".to_owned(), Value::Int(4))]);
         assert!(!missing_field.conforms_to(&ty, &s));
         let extra_field = Value::structure(
             "Availability",
             [
-                ("parkingLot".to_owned(), Value::enum_value("ParkingLotEnum", "B16")),
+                (
+                    "parkingLot".to_owned(),
+                    Value::enum_value("ParkingLotEnum", "B16"),
+                ),
                 ("count".to_owned(), Value::Int(4)),
                 ("bogus".to_owned(), Value::Int(0)),
             ],
@@ -553,7 +551,10 @@ mod tests {
         let wrong_field_type = Value::structure(
             "Availability",
             [
-                ("parkingLot".to_owned(), Value::enum_value("ParkingLotEnum", "B16")),
+                (
+                    "parkingLot".to_owned(),
+                    Value::enum_value("ParkingLotEnum", "B16"),
+                ),
                 ("count".to_owned(), Value::Float(4.0)),
             ],
         );
@@ -567,7 +568,10 @@ mod tests {
         let good: Value = vec![1i64, 2].into();
         assert!(good.conforms_to(&ty, &s));
         let empty = Value::Array(vec![]);
-        assert!(empty.conforms_to(&ty, &s), "empty array conforms to any array type");
+        assert!(
+            empty.conforms_to(&ty, &s),
+            "empty array conforms to any array type"
+        );
         let mixed = Value::Array(vec![Value::Int(1), Value::Bool(false)]);
         assert!(!mixed.conforms_to(&ty, &s));
     }
@@ -587,7 +591,7 @@ mod tests {
 
     #[test]
     fn cross_type_ordering_is_stable() {
-        let mut values = vec![
+        let mut values = [
             Value::Array(vec![]),
             Value::from("s"),
             Value::Int(1),
@@ -643,7 +647,10 @@ mod tests {
         let v = Value::structure(
             "Availability",
             [
-                ("parkingLot".to_owned(), Value::enum_value("ParkingLotEnum", "A22")),
+                (
+                    "parkingLot".to_owned(),
+                    Value::enum_value("ParkingLotEnum", "A22"),
+                ),
                 ("count".to_owned(), Value::Int(12)),
             ],
         );

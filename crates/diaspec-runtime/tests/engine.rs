@@ -131,9 +131,7 @@ fn parking_orchestrator(transport: TransportConfig, sensors_per_lot: usize) -> O
                 let reduced = batch.reduced.as_ref().expect("map/reduce declared");
                 let list: Vec<Value> = reduced
                     .iter()
-                    .map(|(lot, count)| {
-                        availability_struct(lot, count.as_int().unwrap_or(0))
-                    })
+                    .map(|(lot, count)| availability_struct(lot, count.as_int().unwrap_or(0)))
                     .collect();
                 Ok(Some(Value::Array(list)))
             }
@@ -151,17 +149,16 @@ fn parking_orchestrator(transport: TransportConfig, sensors_per_lot: usize) -> O
         |api: &mut ControllerApi<'_>, _from: &str, value: &Value| {
             for availability in value.as_array().unwrap_or(&[]) {
                 let lot = availability.field("parkingLot").expect("struct field");
-                let count = availability.field("count").and_then(Value::as_int).unwrap_or(0);
+                let count = availability
+                    .field("count")
+                    .and_then(Value::as_int)
+                    .unwrap_or(0);
                 let panels = api
                     .discover("ParkingEntrancePanel")?
                     .with_attribute("location", lot)
                     .ids();
                 for panel in panels {
-                    api.invoke(
-                        &panel,
-                        "update",
-                        &[Value::from(format!("free: {count}"))],
-                    )?;
+                    api.invoke(&panel, "update", &[Value::from(format!("free: {count}"))])?;
                 }
             }
             Ok(())
@@ -365,10 +362,7 @@ fn parking_periodic_mapreduce_updates_panels() {
     let list = value.as_array().unwrap();
     assert_eq!(list.len(), 3);
     for availability in list {
-        assert_eq!(
-            availability.field("count").and_then(Value::as_int),
-            Some(5)
-        );
+        assert_eq!(availability.field("count").and_then(Value::as_int), Some(5));
     }
 
     // Three more periods.
@@ -421,11 +415,7 @@ fn window_aggregates_multiple_periods() {
         |_api: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
             ContextActivation::Batch(batch) => {
                 // Average over the whole window.
-                let sum: i64 = batch
-                    .readings
-                    .iter()
-                    .filter_map(|r| r.value.as_int())
-                    .sum();
+                let sum: i64 = batch.readings.iter().filter_map(|r| r.value.as_int()).sum();
                 let n = batch.readings.len().max(1);
                 assert_eq!(batch.window_ms, Some(3_600_000));
                 Ok(Some(Value::Float(sum as f64 / n as f64)))
@@ -438,7 +428,7 @@ fn window_aggregates_multiple_periods() {
         "Out",
         |api: &mut ControllerApi<'_>, _from: &str, value: &Value| {
             for sink in api.discover("Sink")?.ids() {
-                api.invoke(&sink, "absorb", &[value.clone()])?;
+                api.invoke(&sink, "absorb", std::slice::from_ref(value))?;
             }
             Ok(())
         },
@@ -559,7 +549,8 @@ fn on_demand_context_pulled_via_get() {
     orch.run_until(2 * 60 * 1000);
     // Emit a spike of 17: deviation = 7 over the baseline of 10.
     let s1: EntityId = "s1".into();
-    orch.emit_at(130_000, &s1, "v", Value::Int(17), None).unwrap();
+    orch.emit_at(130_000, &s1, "v", Value::Int(17), None)
+        .unwrap();
     orch.run_until(140_000);
 
     assert!(orch.drain_errors().is_empty());
@@ -594,10 +585,9 @@ fn undeclared_get_is_rejected() {
         |_: &mut ContextApi<'_>, _: ContextActivation<'_>| Ok(None),
     )
     .unwrap();
-    orch.register_controller(
-        "Notify",
-        |_: &mut ControllerApi<'_>, _: &str, _: &Value| Ok(()),
-    )
+    orch.register_controller("Notify", |_: &mut ControllerApi<'_>, _: &str, _: &Value| {
+        Ok(())
+    })
     .unwrap();
     orch.register_controller(
         "TurnOff",
@@ -747,10 +737,9 @@ fn published_value_type_checked() {
     );
     let mut orch = Orchestrator::new(spec);
     // Publishes a Float where Integer is declared.
-    orch.register_context(
-        "C",
-        |_: &mut ContextApi<'_>, _: ContextActivation<'_>| Ok(Some(Value::Float(1.5))),
-    )
+    orch.register_context("C", |_: &mut ContextApi<'_>, _: ContextActivation<'_>| {
+        Ok(Some(Value::Float(1.5)))
+    })
     .unwrap();
     orch.register_controller(
         "Out",
@@ -794,21 +783,17 @@ fn transport_latency_delays_delivery() {
         .unwrap(),
     );
     let mut orch = Orchestrator::with_transport(spec, transport);
-    orch.register_context(
-        "C",
-        |_: &mut ContextApi<'_>, _: ContextActivation<'_>| Ok(Some(Value::Int(1))),
-    )
+    orch.register_context("C", |_: &mut ContextApi<'_>, _: ContextActivation<'_>| {
+        Ok(Some(Value::Int(1)))
+    })
     .unwrap();
     let actuations = Arc::new(AtomicU64::new(0));
-    orch.register_controller(
-        "Out",
-        |api: &mut ControllerApi<'_>, _: &str, _: &Value| {
-            for sink in api.discover("Sink")?.ids() {
-                api.invoke(&sink, "absorb", &[])?;
-            }
-            Ok(())
-        },
-    )
+    orch.register_controller("Out", |api: &mut ControllerApi<'_>, _: &str, _: &Value| {
+        for sink in api.discover("Sink")?.ids() {
+            api.invoke(&sink, "absorb", &[])?;
+        }
+        Ok(())
+    })
     .unwrap();
     orch.bind_entity(
         "s1".into(),
@@ -856,10 +841,9 @@ fn lossy_transport_drops_messages() {
         .unwrap(),
     );
     let mut orch = Orchestrator::with_transport(spec, transport);
-    orch.register_context(
-        "C",
-        |_: &mut ContextApi<'_>, _: ContextActivation<'_>| Ok(Some(Value::Int(1))),
-    )
+    orch.register_context("C", |_: &mut ContextApi<'_>, _: ContextActivation<'_>| {
+        Ok(Some(Value::Int(1)))
+    })
     .unwrap();
     orch.register_controller(
         "Out",
@@ -876,7 +860,8 @@ fn lossy_transport_drops_messages() {
     orch.launch().unwrap();
     let s1: EntityId = "s1".into();
     for t in 0..10 {
-        orch.emit_at(t * 100, &s1, "v", Value::Int(1), None).unwrap();
+        orch.emit_at(t * 100, &s1, "v", Value::Int(1), None)
+            .unwrap();
     }
     orch.run_until(10_000);
     assert_eq!(orch.metrics().messages_lost, 10);
@@ -1000,9 +985,11 @@ fn registration_validates_names_and_duplicates() {
         orch.register_context("Ghost", nop_ctx).unwrap_err(),
         RuntimeError::Unknown { .. }
     ));
-    orch.register_context("ParkingAvailability", nop_ctx).unwrap();
+    orch.register_context("ParkingAvailability", nop_ctx)
+        .unwrap();
     assert!(
-        orch.register_context("ParkingAvailability", nop_ctx).is_err(),
+        orch.register_context("ParkingAvailability", nop_ctx)
+            .is_err(),
         "duplicate logic registration must be rejected"
     );
     // ParkingAvailability declares map/reduce: first registration is fine,
@@ -1094,9 +1081,7 @@ fn entities_bound_and_unbound_mid_run_affect_subsequent_polls() {
     orch.register_context(
         "Count",
         |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
-            ContextActivation::Batch(batch) => {
-                Ok(Some(Value::Int(batch.readings.len() as i64)))
-            }
+            ContextActivation::Batch(batch) => Ok(Some(Value::Int(batch.readings.len() as i64))),
             _ => Ok(None),
         },
     )

@@ -25,8 +25,7 @@ fn leaf_value() -> impl Strategy<Value = Value> {
         any::<f64>().prop_map(Value::Float),
         any::<bool>().prop_map(Value::Bool),
         "[a-zA-Z0-9 ]{0,12}".prop_map(Value::from),
-        ("[A-Z][a-zA-Z]{0,6}", "[A-Z_0-9]{1,8}")
-            .prop_map(|(e, v)| Value::enum_value(e, v)),
+        ("[A-Z][a-zA-Z]{0,6}", "[A-Z_0-9]{1,8}").prop_map(|(e, v)| Value::enum_value(e, v)),
     ]
 }
 

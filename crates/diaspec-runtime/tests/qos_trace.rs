@@ -40,15 +40,12 @@ fn build(transport: TransportConfig) -> Orchestrator {
         },
     )
     .unwrap();
-    orch.register_controller(
-        "Out",
-        |api: &mut ControllerApi<'_>, _: &str, _: &Value| {
-            for sink in api.discover("Sink")?.ids() {
-                api.invoke(&sink, "absorb", &[])?;
-            }
-            Ok(())
-        },
-    )
+    orch.register_controller("Out", |api: &mut ControllerApi<'_>, _: &str, _: &Value| {
+        for sink in api.discover("Sink")?.ids() {
+            api.invoke(&sink, "absorb", &[])?;
+        }
+        Ok(())
+    })
     .unwrap();
     orch.bind_entity(
         "s-1".into(),
@@ -71,7 +68,8 @@ fn fast_transport_respects_the_qos_budget() {
     });
     let sensor = "s-1".into();
     for t in 0..10 {
-        orch.emit_at(t * 1000, &sensor, "v", Value::Int(1), None).unwrap();
+        orch.emit_at(t * 1000, &sensor, "v", Value::Int(1), None)
+            .unwrap();
     }
     orch.run_until(20_000);
     assert_eq!(orch.metrics().qos_violations, 0);
@@ -85,7 +83,8 @@ fn slow_transport_counts_qos_violations() {
     });
     let sensor = "s-1".into();
     for t in 0..10 {
-        orch.emit_at(t * 1000, &sensor, "v", Value::Int(1), None).unwrap();
+        orch.emit_at(t * 1000, &sensor, "v", Value::Int(1), None)
+            .unwrap();
     }
     orch.run_until(20_000);
     // Every source->context delivery violates; publications to the
@@ -102,7 +101,8 @@ fn trace_records_the_full_chain_in_order() {
     let mut orch = build(TransportConfig::default());
     orch.set_tracing(true);
     let sensor = "s-1".into();
-    orch.emit_at(100, &sensor, "v", Value::Int(7), None).unwrap();
+    orch.emit_at(100, &sensor, "v", Value::Int(7), None)
+        .unwrap();
     orch.run_until(1_000);
     let trace = orch.take_trace();
     let kinds: Vec<&'static str> = trace
@@ -133,7 +133,8 @@ fn trace_records_the_full_chain_in_order() {
 fn tracing_off_records_nothing() {
     let mut orch = build(TransportConfig::default());
     let sensor = "s-1".into();
-    orch.emit_at(100, &sensor, "v", Value::Int(7), None).unwrap();
+    orch.emit_at(100, &sensor, "v", Value::Int(7), None)
+        .unwrap();
     orch.run_until(1_000);
     assert!(orch.take_trace().is_empty());
     assert!(orch.metrics().actuations > 0, "the run itself happened");
@@ -147,7 +148,8 @@ fn qos_violation_appears_in_trace() {
     });
     orch.set_tracing(true);
     let sensor = "s-1".into();
-    orch.emit_at(100, &sensor, "v", Value::Int(7), None).unwrap();
+    orch.emit_at(100, &sensor, "v", Value::Int(7), None)
+        .unwrap();
     orch.run_until(2_000);
     let trace = orch.take_trace();
     assert!(

@@ -45,8 +45,11 @@ enum Op {
 
 fn op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), any::<i64>(), any::<u16>())
-            .prop_map(|(idx, v, delay)| Op::Emit { idx, v, delay }),
+        (any::<u8>(), any::<i64>(), any::<u16>()).prop_map(|(idx, v, delay)| Op::Emit {
+            idx,
+            v,
+            delay
+        }),
         any::<u8>().prop_map(Op::Bind),
         any::<u8>().prop_map(Op::Unbind),
         any::<u16>().prop_map(Op::Run),
@@ -59,9 +62,7 @@ fn build(transport: TransportConfig) -> Orchestrator {
     orch.register_context(
         "Batch",
         |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
-            ContextActivation::Batch(batch) => {
-                Ok(Some(Value::Int(batch.readings.len() as i64)))
-            }
+            ContextActivation::Batch(batch) => Ok(Some(Value::Int(batch.readings.len() as i64))),
             _ => Ok(None),
         },
     )
@@ -105,12 +106,12 @@ fn build(transport: TransportConfig) -> Orchestrator {
 
 struct SinkDriver;
 impl diaspec_runtime::entity::DeviceInstance for SinkDriver {
-    fn query(
-        &mut self,
-        s: &str,
-        _n: u64,
-    ) -> Result<Value, diaspec_runtime::error::DeviceError> {
-        Err(diaspec_runtime::error::DeviceError::new("sink", s, "no sources"))
+    fn query(&mut self, s: &str, _n: u64) -> Result<Value, diaspec_runtime::error::DeviceError> {
+        Err(diaspec_runtime::error::DeviceError::new(
+            "sink",
+            s,
+            "no sources",
+        ))
     }
     fn invoke(
         &mut self,

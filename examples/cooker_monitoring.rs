@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for q in app.questions.get() {
         println!("t={}  TV prompt: {}", fmt(q.at_ms), q.question);
     }
-    assert!(!app.questions.get().is_empty(), "a prompt must have appeared");
+    assert!(
+        !app.questions.get().is_empty(),
+        "a prompt must have appeared"
+    );
 
     // The resident answers "yes" two minutes later.
     let answer_at = 14 * 60 * 1000;

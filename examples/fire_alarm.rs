@@ -7,11 +7,11 @@
 //! Run with: `cargo run -p diaspec-examples --bin fire_alarm`
 
 use diaspec_core::compile_sources;
+use diaspec_devices::common::{ActuationLog, RecordingActuator, SharedCell};
+use diaspec_devices::home::BinarySensorDriver;
 use diaspec_runtime::component::ContextActivation;
 use diaspec_runtime::engine::{ContextApi, ControllerApi, Orchestrator};
 use diaspec_runtime::value::Value;
-use diaspec_devices::common::{ActuationLog, RecordingActuator, SharedCell};
-use diaspec_devices::home::BinarySensorDriver;
 use std::sync::Arc;
 
 const TAXONOMY: &str = include_str!("../specs/taxonomy/home.spec");

@@ -77,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nmetrics: {} periodic deliveries, {} readings polled, {} MapReduce runs, \
          {} publications, {} actuations",
-        m.periodic_deliveries, m.readings_polled, m.map_reduce_executions, m.publications,
+        m.periodic_deliveries,
+        m.readings_polled,
+        m.map_reduce_executions,
+        m.publications,
         m.actuations
     );
     println!("wall-clock: {wall:?} for {hours} simulated hour(s)");

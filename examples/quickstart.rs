@@ -89,7 +89,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Default::default(),
         Box::new(|_: &str, _: u64| Ok(Value::Bool(false))),
     )?;
-    orch.bind_entity("chime-hall".into(), "Chime", Default::default(), Box::new(ChimeDriver))?;
+    orch.bind_entity(
+        "chime-hall".into(),
+        "Chime",
+        Default::default(),
+        Box::new(ChimeDriver),
+    )?;
     orch.launch()?;
 
     // 3. Drive it: two button presses, one ignored release.

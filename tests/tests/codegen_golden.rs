@@ -12,7 +12,11 @@ use diaspec_codegen::{generate_java, generate_rust, metrics};
 use diaspec_core::compile_str;
 
 const APPS: [(&str, &str, &str); 4] = [
-    ("cooker", cooker::SPEC, include_str!("../../crates/diaspec-apps/src/cooker/generated.rs")),
+    (
+        "cooker",
+        cooker::SPEC,
+        include_str!("../../crates/diaspec-apps/src/cooker/generated.rs"),
+    ),
     (
         "parking",
         parking::SPEC,
@@ -62,12 +66,18 @@ fn figure9_java_abstract_alert() {
     let alert = java.file("AbstractAlert.java").expect("AbstractAlert.java");
     // The exact shape of Figure 9: callback name, event parameter, and
     // discover parameter, returning the publishable wrapper.
-    assert!(alert.content.contains("public abstract class AbstractAlert"));
+    assert!(alert
+        .content
+        .contains("public abstract class AbstractAlert"));
     assert!(alert
         .content
         .contains("public abstract AlertValuePublishable onTickSecondFromClock("));
-    assert!(alert.content.contains("TickSecondFromClock tickSecondFromClock"));
-    assert!(alert.content.contains("DiscoverForTickSecondFromClock discover"));
+    assert!(alert
+        .content
+        .contains("TickSecondFromClock tickSecondFromClock"));
+    assert!(alert
+        .content
+        .contains("DiscoverForTickSecondFromClock discover"));
 
     let publishable = java
         .file("AlertValuePublishable.java")
@@ -185,7 +195,8 @@ fn rust_framework_mirrors_figures_with_rust_idioms() {
     ));
     // Figure 11 as a typed proxy.
     assert!(module.contains("pub fn where_location(mut self, value: ParkingLotEnum) -> Self"));
-    assert!(module.contains("pub fn update(&mut self, status: String) -> Result<usize, ComponentError>"));
+    assert!(module
+        .contains("pub fn update(&mut self, status: String) -> Result<usize, ComponentError>"));
 }
 
 // ---- generation metrics (E9 inputs) -----------------------------------------------

@@ -68,7 +68,9 @@ fn retry_policy_masks_transient_airspeed_faults() {
     // call and 3 attempts, an unmasked failure needs three misses in a row
     // (p = 0.125) — retries must measurably reduce surfaced errors.
     let mut app = build_avionics(calm_avionics()).unwrap();
-    app.orchestrator.unbind_entity(&"airspeed-1".into()).unwrap();
+    app.orchestrator
+        .unbind_entity(&"airspeed-1".into())
+        .unwrap();
     let aircraft = app.aircraft.clone();
     app.orchestrator
         .bind_entity(
@@ -118,11 +120,7 @@ fn ignore_policy_drops_readings_silently() {
         "Sum",
         |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
             ContextActivation::Batch(batch) => Ok(Some(Value::Int(
-                batch
-                    .readings
-                    .iter()
-                    .filter_map(|r| r.value.as_int())
-                    .sum(),
+                batch.readings.iter().filter_map(|r| r.value.as_int()).sum(),
             ))),
             _ => Ok(None),
         },
@@ -135,7 +133,7 @@ fn ignore_policy_drops_readings_silently() {
         move |api: &mut ControllerApi<'_>, _: &str, value: &Value| {
             let _ = &log_for_controller;
             for sink in api.discover("Sink")?.ids() {
-                api.invoke(&sink, "absorb", &[value.clone()])?;
+                api.invoke(&sink, "absorb", std::slice::from_ref(value))?;
             }
             Ok(())
         },
@@ -195,15 +193,12 @@ fn escalate_policy_surfaces_the_failure() {
         .unwrap(),
     );
     let mut orch = Orchestrator::new(spec);
-    orch.register_context(
-        "C",
-        |api: &mut ContextApi<'_>, _: ContextActivation<'_>| {
-            // Default policy is escalate: the failing get propagates.
-            let result = api.get_device_source("Fragile", "v");
-            assert!(matches!(result, Err(RuntimeError::Device(_))), "{result:?}");
-            Err(result.unwrap_err().into())
-        },
-    )
+    orch.register_context("C", |api: &mut ContextApi<'_>, _: ContextActivation<'_>| {
+        // Default policy is escalate: the failing get propagates.
+        let result = api.get_device_source("Fragile", "v");
+        assert!(matches!(result, Err(RuntimeError::Device(_))), "{result:?}");
+        Err(result.unwrap_err().into())
+    })
     .unwrap();
     orch.register_controller(
         "Out",

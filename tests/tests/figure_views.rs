@@ -8,9 +8,21 @@ use diaspec_codegen::dot::generate_dot;
 use diaspec_core::compile_str;
 
 const FIGURES: [(&str, &str, &str); 4] = [
-    ("cooker", cooker::SPEC, include_str!("../../docs/figures/cooker.dot")),
-    ("parking", parking::SPEC, include_str!("../../docs/figures/parking.dot")),
-    ("avionics", avionics::SPEC, include_str!("../../docs/figures/avionics.dot")),
+    (
+        "cooker",
+        cooker::SPEC,
+        include_str!("../../docs/figures/cooker.dot"),
+    ),
+    (
+        "parking",
+        parking::SPEC,
+        include_str!("../../docs/figures/parking.dot"),
+    ),
+    (
+        "avionics",
+        avionics::SPEC,
+        include_str!("../../docs/figures/avionics.dot"),
+    ),
     (
         "homeassist",
         homeassist::SPEC,
@@ -54,11 +66,13 @@ fn every_figure_has_the_four_scc_layers() {
 fn figure4_parking_diagram_matches_paper_structure() {
     let (_, _, dot) = FIGURES[1];
     // Figure 4's fan-out: one source feeding three contexts...
-    for ctx in ["ParkingAvailability", "ParkingUsagePattern", "AverageOccupancy"] {
+    for ctx in [
+        "ParkingAvailability",
+        "ParkingUsagePattern",
+        "AverageOccupancy",
+    ] {
         assert!(
-            dot.contains(&format!(
-                "\"src:PresenceSensor.presence\" -> \"ctx:{ctx}\""
-            )),
+            dot.contains(&format!("\"src:PresenceSensor.presence\" -> \"ctx:{ctx}\"")),
             "{dot}"
         );
     }
@@ -68,7 +82,8 @@ fn figure4_parking_diagram_matches_paper_structure() {
         "\"ctx:ParkingUsagePattern\" -> \"ctx:ParkingSuggestion\" [style=dashed, label=\"get\""
     ));
     // ...and the three controller-to-action chains.
-    assert!(dot.contains("\"ctl:ParkingEntrancePanelController\" -> \"act:ParkingEntrancePanel.update\""));
+    assert!(dot
+        .contains("\"ctl:ParkingEntrancePanelController\" -> \"act:ParkingEntrancePanel.update\""));
     assert!(dot.contains("\"ctl:CityEntrancePanelController\" -> \"act:CityEntrancePanel.update\""));
     assert!(dot.contains("\"ctl:MessengerController\" -> \"act:Messenger.sendMessage\""));
     // MapReduce contexts are marked as in Figure 8's declaration.

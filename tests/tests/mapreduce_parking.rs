@@ -6,9 +6,7 @@
 //! without transport loss — and that the typed generated interface
 //! round-trips values faithfully.
 
-use diaspec_apps::parking::generated::{
-    ParkingAvailabilityMapReduce, ParkingLotEnum,
-};
+use diaspec_apps::parking::generated::{ParkingAvailabilityMapReduce, ParkingLotEnum};
 use diaspec_apps::parking::{build, ParkingAppConfig};
 use diaspec_devices::parking::ParkingConfig;
 use diaspec_mapreduce::{Job, MapCollector, MapReduce, ReduceCollector};
@@ -74,8 +72,8 @@ fn engine_mapreduce_equals_direct_count() {
     app.orchestrator.run_until(TEN_MIN);
     let availability = app.latest_availability().expect("published");
     for a in &availability {
-        let direct = app.lots[a.parking_lot.name()]
-            .update(|spaces| spaces.iter().filter(|o| !**o).count());
+        let direct =
+            app.lots[a.parking_lot.name()].update(|spaces| spaces.iter().filter(|o| !**o).count());
         assert_eq!(a.count, direct as i64, "lot {}", a.parking_lot.name());
     }
     assert_eq!(app.orchestrator.metrics().map_reduce_executions, 1);

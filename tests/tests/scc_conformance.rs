@@ -80,12 +80,12 @@ fn driver(v: i64) -> Box<dyn diaspec_runtime::entity::DeviceInstance> {
 
 struct AbsorbAll;
 impl diaspec_runtime::entity::DeviceInstance for AbsorbAll {
-    fn query(
-        &mut self,
-        s: &str,
-        _n: u64,
-    ) -> Result<Value, diaspec_runtime::error::DeviceError> {
-        Err(diaspec_runtime::error::DeviceError::new("sink", s, "no sources"))
+    fn query(&mut self, s: &str, _n: u64) -> Result<Value, diaspec_runtime::error::DeviceError> {
+        Err(diaspec_runtime::error::DeviceError::new(
+            "sink",
+            s,
+            "no sources",
+        ))
     }
     fn invoke(
         &mut self,
@@ -128,37 +128,38 @@ fn runtime_rejects_reads_and_actions_beyond_the_design() {
         |_: &mut ContextApi<'_>, _: ContextActivation<'_>| Ok(None),
     )
     .unwrap();
-    orch.register_controller(
-        "Ctl",
-        |api: &mut ControllerApi<'_>, _: &str, _: &Value| {
-            // Declared action: allowed.
-            for sink in api.discover("Sink")?.ids() {
-                api.invoke(&sink, "absorb", &[])?;
-            }
-            // Action on a device family this controller never declared:
-            // rejected even though *another* controller declares it.
-            let off_limits: diaspec_runtime::entity::EntityId = "off-1".into();
-            assert!(matches!(
-                api.invoke(&off_limits, "forbidden", &[]),
-                Err(RuntimeError::ContractViolation { .. })
-            ));
-            assert!(api.discover("OffLimits").is_err());
-            Ok(())
-        },
-    )
+    orch.register_controller("Ctl", |api: &mut ControllerApi<'_>, _: &str, _: &Value| {
+        // Declared action: allowed.
+        for sink in api.discover("Sink")?.ids() {
+            api.invoke(&sink, "absorb", &[])?;
+        }
+        // Action on a device family this controller never declared:
+        // rejected even though *another* controller declares it.
+        let off_limits: diaspec_runtime::entity::EntityId = "off-1".into();
+        assert!(matches!(
+            api.invoke(&off_limits, "forbidden", &[]),
+            Err(RuntimeError::ContractViolation { .. })
+        ));
+        assert!(api.discover("OffLimits").is_err());
+        Ok(())
+    })
     .unwrap();
-    orch.register_controller(
-        "Ctl2",
-        |_: &mut ControllerApi<'_>, _: &str, _: &Value| Ok(()),
-    )
+    orch.register_controller("Ctl2", |_: &mut ControllerApi<'_>, _: &str, _: &Value| {
+        Ok(())
+    })
     .unwrap();
 
     orch.bind_entity("s-1".into(), "Sensor", Default::default(), driver(7))
         .unwrap();
     orch.bind_entity("o-1".into(), "Other", Default::default(), driver(9))
         .unwrap();
-    orch.bind_entity("sink-1".into(), "Sink", Default::default(), Box::new(AbsorbAll))
-        .unwrap();
+    orch.bind_entity(
+        "sink-1".into(),
+        "Sink",
+        Default::default(),
+        Box::new(AbsorbAll),
+    )
+    .unwrap();
     orch.bind_entity(
         "off-1".into(),
         "OffLimits",
@@ -169,7 +170,8 @@ fn runtime_rejects_reads_and_actions_beyond_the_design() {
     orch.launch().unwrap();
 
     let sensor = "s-1".into();
-    orch.emit_at(100, &sensor, "v", Value::Int(7), None).unwrap();
+    orch.emit_at(100, &sensor, "v", Value::Int(7), None)
+        .unwrap();
     orch.run_until(1_000);
     assert_eq!(orch.metrics().actuations, 1, "only the declared actuation");
     assert!(orch.drain_errors().is_empty());
@@ -215,8 +217,13 @@ fn runtime_enforces_publish_modes_end_to_end() {
     .unwrap();
     orch.bind_entity("s-1".into(), "Sensor", Default::default(), driver(1))
         .unwrap();
-    orch.bind_entity("sink-1".into(), "Sink", Default::default(), Box::new(AbsorbAll))
-        .unwrap();
+    orch.bind_entity(
+        "sink-1".into(),
+        "Sink",
+        Default::default(),
+        Box::new(AbsorbAll),
+    )
+    .unwrap();
     orch.launch().unwrap();
     let sensor = "s-1".into();
     orch.emit_at(10, &sensor, "v", Value::Int(1), None).unwrap();
@@ -226,6 +233,9 @@ fn runtime_enforces_publish_modes_end_to_end() {
         .iter()
         .filter(|e| matches!(e.error, RuntimeError::ContractViolation { .. }))
         .count();
-    assert_eq!(violations, 2, "both publish violations contained: {errors:?}");
+    assert_eq!(
+        violations, 2,
+        "both publish violations contained: {errors:?}"
+    );
     assert_eq!(orch.metrics().publications, 0);
 }

@@ -16,12 +16,9 @@ fn all_bundled_specs_compile_without_warnings() {
         ("avionics", avionics::SPEC),
         ("homeassist", homeassist::SPEC),
     ] {
-        let (model, diags) = compile_str_with_warnings(src)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(
-            diags.is_empty(),
-            "{name} must be warning-free: {diags:?}"
-        );
+        let (model, diags) =
+            compile_str_with_warnings(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(diags.is_empty(), "{name} must be warning-free: {diags:?}");
         assert!(model.component_count() > 0);
     }
 }
@@ -171,11 +168,7 @@ fn figure8_parking_design_contracts() {
     // Lines 28-41: three controllers.
     assert_eq!(model.controllers().count(), 3);
     assert_eq!(
-        model
-            .controller("MessengerController")
-            .unwrap()
-            .bindings[0]
-            .actions,
+        model.controller("MessengerController").unwrap().bindings[0].actions,
         vec![("sendMessage".to_owned(), "Messenger".to_owned())]
     );
 
@@ -189,14 +182,22 @@ fn figure8_parking_design_contracts() {
         Some(&Type::Enum("UsagePatternEnum".into()))
     );
     assert_eq!(
-        model.structure("ParkingOccupancy").unwrap().field("occupancy"),
+        model
+            .structure("ParkingOccupancy")
+            .unwrap()
+            .field("occupancy"),
         Some(&Type::Float)
     );
 }
 
 #[test]
 fn pretty_printer_round_trips_all_bundled_specs() {
-    for src in [cooker::SPEC, parking::SPEC, avionics::SPEC, homeassist::SPEC] {
+    for src in [
+        cooker::SPEC,
+        parking::SPEC,
+        avionics::SPEC,
+        homeassist::SPEC,
+    ] {
         let (ast, diags) = diaspec_core::parser::parse(src);
         assert!(!diags.has_errors());
         let printed = diaspec_core::pretty::pretty(&ast);

@@ -42,11 +42,14 @@ fn taxonomy_alone_is_a_valid_specification() {
     // The sensor hierarchy resolves.
     assert!(model.device_is_subtype("MotionDetector", "HomeSensor"));
     assert!(model.device_is_subtype("SmokeDetector", "HomeSensor"));
-    assert!(model
-        .device("DoorContact")
-        .unwrap()
-        .attribute("room")
-        .is_some(), "inherited attribute");
+    assert!(
+        model
+            .device("DoorContact")
+            .unwrap()
+            .attribute("room")
+            .is_some(),
+        "inherited attribute"
+    );
 }
 
 #[test]
@@ -54,15 +57,14 @@ fn two_applications_share_one_taxonomy() {
     let fire = compile_sources([("home.spec", TAXONOMY), ("fire.spec", FIRE_APP)]).unwrap();
     assert!(fire.context("FireDetected").is_some());
     assert_eq!(
-        fire.controller("SoundAlarm").unwrap().bindings[0].actions.len(),
+        fire.controller("SoundAlarm").unwrap().bindings[0]
+            .actions
+            .len(),
         2
     );
 
-    let night = compile_sources([
-        ("home.spec", TAXONOMY),
-        ("nightlight.spec", NIGHTLIGHT_APP),
-    ])
-    .unwrap();
+    let night =
+        compile_sources([("home.spec", TAXONOMY), ("nightlight.spec", NIGHTLIGHT_APP)]).unwrap();
     assert!(night.context("NightMotion").is_some());
     // Both models embed the same taxonomy devices.
     assert_eq!(

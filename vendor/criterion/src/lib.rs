@@ -1,0 +1,213 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! Keeps the workspace's bench targets compiling and runnable without the
+//! real crate (unfetchable in this network-isolated build). Measurement
+//! is intentionally simple: per benchmark, one warm-up call followed by
+//! timed iterations under a small time budget, reporting the mean and
+//! minimum wall-clock time per iteration. No statistical analysis, plots,
+//! or baseline storage.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts (and ignores) criterion CLI arguments for API parity.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes consumed per iteration.
+    Bytes(u64),
+    /// Logical elements consumed per iteration.
+    Elements(u64),
+}
+
+/// A named benchmark with a parameter, e.g. `parse/small`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed iterations to attempt per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        self.report(&id.full, &bencher);
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        self.report(&name.into(), &bencher);
+    }
+
+    /// Ends the group (report lines are already printed; kept for parity).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let mean = bencher.mean();
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(n) => format!(
+                ", {:.1} MiB/s",
+                n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+            ),
+            Throughput::Elements(n) => {
+                format!(", {:.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+        });
+        println!(
+            "{}/{}: mean {:?}, min {:?} over {} iters{}",
+            self.name,
+            id,
+            mean,
+            bencher.min,
+            bencher.iters,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Hands the routine under test to the timing loop.
+pub struct Bencher {
+    max_iters: usize,
+    total: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(max_iters: usize) -> Self {
+        Bencher {
+            max_iters: max_iters.max(1),
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine`: one warm-up call, then iterations until the
+    /// sample count or a 200 ms budget is reached, whichever comes first.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        for _ in 0..self.max_iters {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            let elapsed = t0.elapsed();
+            self.total += elapsed;
+            self.min = self.min.min(elapsed);
+            self.iters += 1;
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.iters).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// Opaque value barrier, re-exported for call-site parity.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,102 @@
+//! Test-case execution: deterministic seeds, failure reporting.
+
+use crate::strategy::TestRng;
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many generated cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property (from `prop_assert!` and friends).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runs `case` for each generated input; panics on the first failure,
+/// printing the generated inputs. Seeds derive from the test name, so
+/// runs are reproducible without a persistence file.
+///
+/// # Panics
+///
+/// Panics when a case fails, carrying the case description and message.
+pub fn run(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+) {
+    let base = fnv1a(name.as_bytes());
+    for index in 0..u64::from(config.cases) {
+        let mut rng = TestRng::new(base ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let (description, outcome) = case(&mut rng);
+        if let Err(error) = outcome {
+            panic!(
+                "proptest `{name}` failed at case {index}/{}\n  inputs: {description}\n  {error}",
+                config.cases
+            );
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_executes_requested_cases() {
+        let mut count = 0;
+        run(&ProptestConfig::with_cases(17), "t", |_| {
+            count += 1;
+            (String::new(), Ok(()))
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs: x = 3")]
+    fn failures_carry_case_inputs() {
+        run(&ProptestConfig::with_cases(1), "f", |_| {
+            (
+                "x = 3; ".to_string(),
+                Err(TestCaseError::fail("boom".into())),
+            )
+        });
+    }
+}

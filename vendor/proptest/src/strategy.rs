@@ -1,0 +1,540 @@
+//! Strategies: deterministic value generators with combinators.
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// The per-case random source: SplitMix64.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed; equal seeds give equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A float uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A `usize` uniform in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_u64() % span) as usize
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `map`.
+    fn prop_map<O: Debug, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Feeds generated values into a second, dependent strategy.
+    fn prop_flat_map<S, F>(self, flat_map: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap {
+            inner: self,
+            flat_map,
+        }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `branch`
+    /// receives a strategy for sub-values (leaves or deeper branches) and
+    /// returns the composite level. `depth` bounds the nesting; the
+    /// remaining upstream tuning parameters are accepted for signature
+    /// parity and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> ArcStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(ArcStrategy<Self::Value>) -> R,
+    {
+        let leaf = ArcStrategy::new(self);
+        let mut layer = leaf.clone();
+        for _ in 0..depth {
+            let deeper = ArcStrategy::new(branch(layer));
+            layer = ArcStrategy::new(Union::new(vec![leaf.clone(), deeper]));
+        }
+        layer
+    }
+}
+
+/// Maps generated values through a function.
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// Chains a dependent strategy off generated values.
+pub struct FlatMap<S, F> {
+    inner: S,
+    flat_map: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.flat_map)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A clone-able, type-erased strategy handle.
+pub struct ArcStrategy<V> {
+    generate: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for ArcStrategy<V> {
+    fn clone(&self) -> Self {
+        ArcStrategy {
+            generate: Rc::clone(&self.generate),
+        }
+    }
+}
+
+impl<V: Debug> ArcStrategy<V> {
+    /// Erases a concrete strategy behind a shared handle.
+    pub fn new<S: Strategy<Value = V> + 'static>(inner: S) -> Self {
+        ArcStrategy {
+            generate: Rc::new(move |rng| inner.generate(rng)),
+        }
+    }
+}
+
+impl<V: Debug> Strategy for ArcStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.generate)(rng)
+    }
+}
+
+/// Uniform choice among alternatives (the engine behind `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<ArcStrategy<V>>,
+}
+
+impl<V: Debug> Union<V> {
+    /// Builds a union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<ArcStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.usize_in(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- `any::<T>()` ---------------------------------------------------------
+
+/// Types with a whole-domain default strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy form of [`Arbitrary`]; created by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The whole-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Mostly finite magnitudes across many scales; occasionally raw
+        // bit patterns so NaN and the infinities are exercised too.
+        if rng.next_u64().is_multiple_of(8) {
+            f64::from_bits(rng.next_u64())
+        } else {
+            let magnitude = 10f64.powi((rng.next_u64() % 19) as i32 - 9);
+            (rng.unit_f64() * 2.0 - 1.0) * magnitude
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('?')
+    }
+}
+
+// ---- ranges as strategies -------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---- tuples and vectors of strategies -------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+// ---- regex string strategies ----------------------------------------------
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_matching(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_matching(self, rng)
+    }
+}
+
+/// One parsed regex element plus its repetition bounds.
+struct Piece {
+    kind: PieceKind,
+    min: usize,
+    max: usize,
+}
+
+enum PieceKind {
+    Literal(char),
+    /// `.`: any printable character except newline.
+    Dot,
+    /// `[...]`: inclusive character ranges.
+    Class(Vec<(char, char)>),
+}
+
+/// Generates a string matching the subset of regex syntax the workspace
+/// uses: literals, `.`, `[...]` classes with ranges, and the quantifiers
+/// `*`, `+`, `?`, `{n}`, `{m,n}`.
+fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse_pattern(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.usize_in(piece.min..piece.max + 1)
+        };
+        for _ in 0..count {
+            out.push(sample_piece(&piece.kind, rng));
+        }
+    }
+    out
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let kind = match chars[i] {
+            '.' => {
+                i += 1;
+                PieceKind::Dot
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ]
+                PieceKind::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = match chars[i] {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                };
+                i += 1;
+                PieceKind::Literal(c)
+            }
+            other => {
+                i += 1;
+                PieceKind::Literal(other)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '*' => {
+                    i += 1;
+                    (0, 16)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 16)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated {} quantifier")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        )
+                    } else {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { kind, min, max });
+    }
+    pieces
+}
+
+fn sample_piece(kind: &PieceKind, rng: &mut TestRng) -> char {
+    match kind {
+        PieceKind::Literal(c) => *c,
+        PieceKind::Dot => {
+            // Printable ASCII most of the time; occasional multi-byte
+            // characters so UTF-8 boundary handling gets exercised.
+            if rng.next_u64().is_multiple_of(8) {
+                const EXOTIC: [char; 6] = ['é', 'λ', '→', '本', '😀', '\u{00a0}'];
+                EXOTIC[rng.usize_in(0..EXOTIC.len())]
+            } else {
+                char::from_u32(0x20 + (rng.next_u64() % 0x5F) as u32).unwrap_or(' ')
+            }
+        }
+        PieceKind::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = (rng.next_u64() % u64::from(total)) as u32;
+            for (lo, hi) in ranges {
+                let width = *hi as u32 - *lo as u32 + 1;
+                if pick < width {
+                    return char::from_u32(*lo as u32 + pick).unwrap_or(*lo);
+                }
+                pick -= width;
+            }
+            unreachable!("class sampling is exhaustive")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_punctuation() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z0-9 {};()<>,@=\n\t]*", &mut rng);
+            assert!(s.len() <= 16);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " {};()<>,@=\n\t".contains(c)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)] // payloads exist only to exercise generation
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 6, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::new(99);
+        for _ in 0..100 {
+            let _ = strat.generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let strat = Union::new(vec![
+            ArcStrategy::new(Just(1u8)),
+            ArcStrategy::new(Just(2u8)),
+        ]);
+        let mut rng = TestRng::new(3);
+        let draws: Vec<u8> = (0..50).map(|_| strat.generate(&mut rng)).collect();
+        assert!(draws.contains(&1) && draws.contains(&2));
+    }
+}

@@ -1,0 +1,498 @@
+//! Offline drop-in subset of the `serde` API.
+//!
+//! The workspace builds in a network-isolated environment, so the real
+//! `serde` cannot be fetched. This vendored stub keeps the call-site
+//! surface identical — `use serde::{Serialize, Deserialize};` plus
+//! `#[derive(Serialize, Deserialize)]` — but replaces serde's visitor
+//! architecture with a simple tree data model ([`content::Value`]): a type
+//! serializes *to* a tree and deserializes *from* one. `serde_json` (also
+//! vendored) renders and parses that tree as JSON, following upstream
+//! serde_json conventions (externally tagged enums, objects for structs),
+//! so emitted JSON is interoperable with standard tooling.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped value tree.
+pub mod content {
+    /// A dynamically typed serialized value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// A boolean.
+        Bool(bool),
+        /// A signed integer.
+        Int(i64),
+        /// An unsigned integer above `i64::MAX`.
+        UInt(u64),
+        /// A floating-point number.
+        Float(f64),
+        /// A string.
+        String(String),
+        /// An ordered sequence.
+        Array(Vec<Value>),
+        /// An ordered map with string keys (preserves insertion order).
+        Object(Vec<(String, Value)>),
+    }
+
+    static NULL: Value = Value::Null;
+
+    impl Value {
+        /// The value as a bool, if it is one.
+        #[must_use]
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The value as an `i64`, if losslessly representable.
+        #[must_use]
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Int(i) => Some(*i),
+                Value::UInt(u) => i64::try_from(*u).ok(),
+                _ => None,
+            }
+        }
+
+        /// The value as a `u64`, if losslessly representable.
+        #[must_use]
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Int(i) => u64::try_from(*i).ok(),
+                Value::UInt(u) => Some(*u),
+                _ => None,
+            }
+        }
+
+        /// The value as an `f64` (integers convert).
+        #[must_use]
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Float(f) => Some(*f),
+                Value::Int(i) => Some(*i as f64),
+                Value::UInt(u) => Some(*u as f64),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice, if it is a string.
+        #[must_use]
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as an array slice, if it is an array.
+        #[must_use]
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The value as object entries, if it is an object.
+        #[must_use]
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(entries) => Some(entries),
+                _ => None,
+            }
+        }
+
+        /// Whether the value is `null`.
+        #[must_use]
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        /// Member lookup on objects; `None` for other kinds.
+        #[must_use]
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()?
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+        }
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        fn index(&self, idx: usize) -> &Value {
+            self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+        }
+    }
+}
+
+use content::Value;
+
+/// A (de)serialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into the [`content::Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_content(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from the [`content::Value`] data
+/// model.
+pub trait Deserialize: Sized {
+    /// Deserializes an instance from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not have the expected shape.
+    fn from_content(value: &Value) -> Result<Self, Error>;
+}
+
+// ---- identity impls for the data model itself -----------------------------
+
+impl Serialize for Value {
+    fn to_content(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Value { Value::Int(i64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_content(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_i64()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| Error::new(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Value {
+                let wide = u64::from(*self);
+                match i64::try_from(wide) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_u64()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| Error::new(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_content(&self) -> Value {
+        (*self as u64).to_content()
+    }
+}
+impl Deserialize for usize {
+    fn from_content(value: &Value) -> Result<Self, Error> {
+        value
+            .as_u64()
+            .and_then(|u| usize::try_from(u).ok())
+            .ok_or_else(|| Error::new("expected usize"))
+    }
+}
+
+impl Serialize for isize {
+    fn to_content(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+impl Deserialize for isize {
+    fn from_content(value: &Value) -> Result<Self, Error> {
+        value
+            .as_i64()
+            .and_then(|i| isize::try_from(i).ok())
+            .ok_or_else(|| Error::new("expected isize"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(value: &Value) -> Result<Self, Error> {
+        // serde_json renders non-finite floats as null; accept it back.
+        if value.is_null() {
+            return Ok(f64::NAN);
+        }
+        value.as_f64().ok_or_else(|| Error::new("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(value: &Value) -> Result<Self, Error> {
+        Ok(f64::from_content(value)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::new("expected bool"))
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(value: &Value) -> Result<Self, Error> {
+        let s = value.as_str().ok_or_else(|| Error::new("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Value {
+        (**self).to_content()
+    }
+}
+
+// ---- container impls ------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::new("expected array"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Value {
+        match self {
+            Some(v) => v.to_content(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_content(value).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Value {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(value: &Value) -> Result<Self, Error> {
+        T::from_content(value).map(Box::new)
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_content(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_content(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::new("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array().ok_or_else(|| Error::new("expected tuple array"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::new("tuple arity mismatch"));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ---- derive support helpers -----------------------------------------------
+
+/// Looks up `name` in the entries of a serialized struct and
+/// deserializes it; absent fields deserialize from `null` (so `Option`
+/// fields default to `None`).
+///
+/// # Errors
+///
+/// Returns [`Error`] when the field is present but malformed, or absent
+/// and not nullable.
+pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v),
+        None => {
+            T::from_content(&Value::Null).map_err(|_| Error::new(format!("missing field `{name}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::content::Value;
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_content(&42i64.to_content()).unwrap(), 42);
+        assert_eq!(u64::from_content(&7u64.to_content()).unwrap(), 7);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_owned().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn option_none_is_null_and_back() {
+        let none: Option<u64> = None;
+        assert!(none.to_content().is_null());
+        assert_eq!(Option::<u64>::from_content(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_struct_field_errors_unless_nullable() {
+        let entries = vec![("a".to_owned(), Value::Int(1))];
+        assert_eq!(super::field::<i64>(&entries, "a").unwrap(), 1);
+        assert!(super::field::<i64>(&entries, "b").is_err());
+        assert_eq!(super::field::<Option<i64>>(&entries, "b").unwrap(), None);
+    }
+
+    #[test]
+    fn object_indexing() {
+        let v = Value::Object(vec![("k".into(), Value::Int(3))]);
+        assert_eq!(v["k"].as_i64(), Some(3));
+        assert!(v["absent"].is_null());
+    }
+}

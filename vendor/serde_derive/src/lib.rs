@@ -1,0 +1,392 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which cannot be fetched in this network-isolated build). The parser
+//! handles exactly the shapes this workspace uses: non-generic structs
+//! with named fields, and non-generic enums whose variants are unit,
+//! tuple, or struct-like. Generated code follows upstream serde_json's
+//! externally tagged enum convention, so the JSON output is
+//! interoperable:
+//!
+//! - struct           → `{"field": ...}`
+//! - unit variant     → `"Variant"`
+//! - newtype variant  → `{"Variant": value}`
+//! - tuple variant    → `{"Variant": [v0, v1, ...]}`
+//! - struct variant   → `{"Variant": {"field": ...}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (tree-model `to_content`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => serialize_struct(&item.name, fields),
+        Shape::Enum(variants) => serialize_enum(&item.name, variants),
+    };
+    code.parse()
+        .expect("derive(Serialize): generated code parses")
+}
+
+/// Derives `serde::Deserialize` (tree-model `from_content`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => deserialize_struct(&item.name, fields),
+        Shape::Enum(variants) => deserialize_enum(&item.name, variants),
+    };
+    code.parse()
+        .expect("derive(Deserialize): generated code parses")
+}
+
+// ---- input model ----------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many unnamed fields.
+    Tuple(usize),
+    /// Struct variant with these named fields.
+    Named(Vec<String>),
+}
+
+// ---- parsing --------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut trees = input.into_iter().peekable();
+    // Skip outer attributes, doc comments, and visibility to reach the
+    // `struct` / `enum` keyword.
+    let mut is_enum = None;
+    for tree in trees.by_ref() {
+        if let TokenTree::Ident(ident) = &tree {
+            match ident.to_string().as_str() {
+                "struct" => {
+                    is_enum = Some(false);
+                    break;
+                }
+                "enum" => {
+                    is_enum = Some(true);
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    let is_enum = is_enum.expect("derive input must be a struct or enum");
+    let name = match trees.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected type name after struct/enum, got {other:?}"),
+    };
+    let body = loop {
+        match trees.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive does not support generic type `{name}`")
+            }
+            Some(_) => continue,
+            None => panic!("missing body for `{name}`"),
+        }
+    };
+    let shape = if is_enum {
+        Shape::Enum(parse_variants(body))
+    } else {
+        Shape::Struct(parse_named_fields(body))
+    };
+    Item { name, shape }
+}
+
+/// Extracts field names from a brace-group body of `name: Type` pairs.
+/// Types are skipped entirely (commas inside `<...>` are angle-depth
+/// tracked; parenthesised tuples arrive as single groups).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut trees = body.into_iter().peekable();
+    loop {
+        skip_attributes_and_visibility(&mut trees);
+        let name = match trees.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type_until_comma(&mut trees);
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut trees = body.into_iter().peekable();
+    loop {
+        skip_attributes_and_visibility(&mut trees);
+        let name = match trees.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let kind = match trees.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_segments(g.stream());
+                trees.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                trees.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push(Variant { name, kind });
+                break;
+            }
+            other => panic!("expected `,` after variant `{name}`, got {other:?}"),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn skip_attributes_and_visibility(
+    trees: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) {
+    loop {
+        match trees.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                trees.next();
+                trees.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                trees.next();
+                // Optional restriction: pub(crate), pub(super), ...
+                if let Some(TokenTree::Group(g)) = trees.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        trees.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes type tokens up to (and including) the next comma that is not
+/// nested inside `<...>`.
+fn skip_type_until_comma(trees: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0usize;
+    for tree in trees.by_ref() {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Number of comma-separated segments at angle-depth zero (tuple-variant
+/// arity). Empty stream → 0.
+fn count_top_level_segments(stream: TokenStream) -> usize {
+    let mut segments = 0usize;
+    let mut in_segment = false;
+    let mut angle_depth = 0usize;
+    for tree in stream {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    in_segment = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !in_segment {
+            segments += 1;
+            in_segment = true;
+        }
+    }
+    segments
+}
+
+// ---- code generation ------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::content::Value {{\n\
+                 ::serde::content::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(value: &::serde::content::Value) -> Result<Self, ::serde::Error> {{\n\
+                 let entries = value.as_object().ok_or_else(|| \
+                     ::serde::Error::new(\"expected object for struct {name}\"))?;\n\
+                 Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vn} => ::serde::content::Value::String(\"{vn}\".to_string()),"
+                ),
+                VariantKind::Tuple(1) => format!(
+                    "{name}::{vn}(f0) => ::serde::content::Value::Object(vec![\
+                         (\"{vn}\".to_string(), ::serde::Serialize::to_content(f0))]),"
+                ),
+                VariantKind::Tuple(n) => {
+                    let binds = (0..*n).map(|i| format!("f{i}")).collect::<Vec<_>>().join(", ");
+                    let items = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(f{i}),"))
+                        .collect::<String>();
+                    format!(
+                        "{name}::{vn}({binds}) => ::serde::content::Value::Object(vec![\
+                             (\"{vn}\".to_string(), ::serde::content::Value::Array(vec![{items}]))]),"
+                    )
+                }
+                VariantKind::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let entries = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_content({f})),"
+                            )
+                        })
+                        .collect::<String>();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => ::serde::content::Value::Object(vec![\
+                             (\"{vn}\".to_string(), ::serde::content::Value::Object(vec![{entries}]))]),"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::content::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{vn}\" => return Ok({name}::{vn}),", vn = v.name))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_content(inner)?)),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let fields = (0..*n)
+                        .map(|i| {
+                            format!("::serde::Deserialize::from_content(&items[{i}])?,")
+                        })
+                        .collect::<String>();
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                             let items = inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::new(\"expected array for {name}::{vn}\"))?;\n\
+                             if items.len() != {n} {{\n\
+                                 return Err(::serde::Error::new(\"arity mismatch for {name}::{vn}\"));\n\
+                             }}\n\
+                             Ok({name}::{vn}({fields}))\n\
+                         }}"
+                    ))
+                }
+                VariantKind::Named(fields) => {
+                    let inits = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?,"))
+                        .collect::<String>();
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                             let entries = inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::new(\"expected object for {name}::{vn}\"))?;\n\
+                             Ok({name}::{vn} {{ {inits} }})\n\
+                         }}"
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(value: &::serde::content::Value) -> Result<Self, ::serde::Error> {{\n\
+                 if let Some(tag) = value.as_str() {{\n\
+                     match tag {{ {unit_arms} _ => {{}} }}\n\
+                     return Err(::serde::Error::new(\
+                         format!(\"unknown unit variant `{{tag}}` for enum {name}\")));\n\
+                 }}\n\
+                 let entries = value.as_object().ok_or_else(|| \
+                     ::serde::Error::new(\"expected string or single-key object for enum {name}\"))?;\n\
+                 if entries.len() != 1 {{\n\
+                     return Err(::serde::Error::new(\"expected single-key object for enum {name}\"));\n\
+                 }}\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => Err(::serde::Error::new(\
+                         format!(\"unknown variant `{{other}}` for enum {name}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,499 @@
+//! Offline drop-in subset of the `serde_json` API.
+//!
+//! Renders and parses the vendored serde data model ([`Value`]) as JSON.
+//! Follows upstream serde_json conventions: compact output with no spaces
+//! (`to_string`), two-space indent (`to_string_pretty`), externally tagged
+//! enums (handled by the derive), and `null` for non-finite floats.
+//! Finite floats with no fractional part print with a trailing `.0` so
+//! they parse back as floats rather than integers.
+
+#![forbid(unsafe_code)]
+
+pub use serde::content::Value;
+use serde::{Deserialize, Serialize};
+
+/// A JSON (de)serialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible for this implementation; `Result` kept for API parity.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to JSON with two-space indentation.
+///
+/// # Errors
+///
+/// Infallible for this implementation; `Result` kept for API parity.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Serializes `value` to compact JSON bytes.
+///
+/// # Errors
+///
+/// Infallible for this implementation; `Result` kept for API parity.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a `T` from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or shape mismatch.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse(input)?;
+    T::from_content(&value).map_err(Error::from)
+}
+
+/// Deserializes a `T` from JSON bytes (must be UTF-8).
+///
+/// # Errors
+///
+/// Returns [`Error`] on invalid UTF-8, malformed JSON, or shape mismatch.
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+// ---- writer ---------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if f.fract() == 0.0 && f.abs() < 1e15 {
+        // Keep a decimal point so the value parses back as a float.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ---------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error(format!("invalid token at byte {}", self.pos)))
+                }
+            }
+            b't' => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error(format!("invalid token at byte {}", self.pos)))
+                }
+            }
+            b'f' => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error(format!("invalid token at byte {}", self.pos)))
+                }
+            }
+            b'"' => self.string().map(Value::String),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error(format!(
+                "unexpected byte `{}` at {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `]`, got `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}`, got `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain bytes in one slice.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pair?
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| Error("invalid \\u escape".into()))?);
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+        let text = std::str::from_utf8(slice).map_err(|_| Error("invalid \\u escape".into()))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| Error("invalid \\u escape".into()))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else if let Ok(i) = text.parse::<i64>() {
+            Ok(Value::Int(i))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Value::UInt(u))
+        } else {
+            // Out-of-range integer literal: fall back to float semantics.
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+/// Re-exported data model for `serde_json::value::Value` paths.
+pub mod value {
+    pub use super::Value;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(-3)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::String("x\"\n".into())),
+            ("d".into(), Value::Float(2.5)),
+        ]);
+        let json = to_string(&v).unwrap();
+        assert_eq!(
+            json,
+            "{\"a\":-3,\"b\":[true,null],\"c\":\"x\\\"\\n\",\"d\":2.5}"
+        );
+        let back: Value = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn whole_floats_keep_decimal_point() {
+        let json = to_string(&Value::Float(4.0)).unwrap();
+        assert_eq!(json, "4.0");
+        let back: Value = from_str(&json).unwrap();
+        assert_eq!(back, Value::Float(4.0));
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v = Value::Object(vec![("k".into(), Value::Array(vec![Value::Int(1)]))]);
+        let json = to_string_pretty(&v).unwrap();
+        assert_eq!(json, "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn parses_unicode_escapes_and_surrogates() {
+        let v: Value = from_str("\"\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, Value::String("é😀".into()));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn large_u64_round_trips() {
+        let big = u64::MAX;
+        let json = to_string(&big).unwrap();
+        let back: u64 = from_str(&json).unwrap();
+        assert_eq!(back, big);
+    }
+}
