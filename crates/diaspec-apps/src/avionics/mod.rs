@@ -13,7 +13,10 @@
 //!
 //! Failure injection is built in: [`AvionicsConfig::altimeter_fault`]
 //! wraps one altimeter with a programmable fault so experiments can watch
-//! the declared failover policy recover (experiment E14).
+//! the declared failover policy recover (experiment E14), and
+//! [`AvionicsConfig::elevator_fault`] fails the primary elevator so the
+//! design-declared `@error(policy = "retry", fallback = "neutral")`
+//! drives the backup surface to its safe position.
 
 /// The programming framework generated from `specs/avionics.spec` by the
 /// design compiler (checked in; kept in sync by a golden test).
@@ -56,6 +59,10 @@ pub struct AvionicsConfig {
     pub initial: FlightState,
     /// Optional fault injected into the nose altimeter.
     pub altimeter_fault: Option<FaultMode>,
+    /// Optional fault injected into the primary elevator. When set, a
+    /// backup elevator is bound too; the Elevator's declared `@error`
+    /// policy retries the command and then falls back to `neutral`.
+    pub elevator_fault: Option<FaultMode>,
     /// Simulated transport.
     pub transport: TransportConfig,
 }
@@ -70,6 +77,7 @@ impl Default for AvionicsConfig {
             dynamics: FlightModelConfig::default(),
             initial: FlightState::default(),
             altimeter_fault: None,
+            elevator_fault: None,
             transport: TransportConfig::default(),
         }
     }
@@ -197,6 +205,9 @@ pub struct AvionicsApp {
     pub aircraft: SharedCell<FlightState>,
     /// Cockpit warnings issued so far.
     pub warnings: ActuationLog,
+    /// Actions the backup elevator received (empty unless
+    /// [`AvionicsConfig::elevator_fault`] is set).
+    pub backup_elevator: ActuationLog,
 }
 
 impl AvionicsApp {
@@ -288,12 +299,31 @@ pub fn build(config: AvionicsConfig) -> Result<AvionicsApp, RuntimeError> {
         AttributeMap::new(),
         Box::new(FlightSensorDriver::new(aircraft.clone())),
     )?;
+    // The primary elevator may carry an injected fault; the design's
+    // declared `@error(policy = "retry", fallback = "neutral")` then
+    // retries the command and finally drives a redundant surface to its
+    // safe position.
+    let backup_elevator = ActuationLog::new();
+    let elevator = FlightActuatorDriver::new(aircraft.clone());
+    let elevator_driver: Box<dyn diaspec_runtime::entity::DeviceInstance> =
+        match &config.elevator_fault {
+            Some(fault) => Box::new(FailingDevice::new(elevator, *fault)),
+            None => Box::new(elevator),
+        };
     orch.bind_entity(
         "elevator-1".into(),
         "Elevator",
         AttributeMap::new(),
-        Box::new(FlightActuatorDriver::new(aircraft.clone())),
+        elevator_driver,
     )?;
+    if config.elevator_fault.is_some() {
+        orch.bind_entity(
+            "elevator-backup".into(),
+            "Elevator",
+            AttributeMap::new(),
+            Box::new(RecordingActuator::new(backup_elevator.clone())),
+        )?;
+    }
     orch.bind_entity(
         "throttle-1".into(),
         "Throttle",
@@ -319,6 +349,7 @@ pub fn build(config: AvionicsConfig) -> Result<AvionicsApp, RuntimeError> {
         orchestrator: orch,
         aircraft,
         warnings,
+        backup_elevator,
     })
 }
 
@@ -419,6 +450,33 @@ mod tests {
         assert!(app.orchestrator.drain_errors().is_empty());
         let stats = app.orchestrator.registry().stats();
         assert!(stats.failovers > 0, "failover path exercised: {stats:?}");
+    }
+
+    #[test]
+    fn declared_error_policy_drives_backup_elevator_to_neutral() {
+        let mut app = build(AvionicsConfig {
+            elevator_fault: Some(FaultMode::Always),
+            initial: FlightState {
+                altitude_ft: 9_000.0, // deviation forces pitch commands
+                ..FlightState::default()
+            },
+            ..calm()
+        })
+        .unwrap();
+        app.orchestrator.run_until(30 * 1000);
+        let stats = app.orchestrator.registry().stats();
+        assert!(stats.retries > 0, "retry attempts made first: {stats:?}");
+        assert!(
+            stats.fallback_invocations > 0,
+            "declared fallback fired: {stats:?}"
+        );
+        assert!(
+            app.backup_elevator.count("neutral") > 0,
+            "backup surface driven to neutral: {:?}",
+            app.backup_elevator.entries()
+        );
+        // The fallback masks the failure: no contained errors surface.
+        assert!(app.orchestrator.drain_errors().is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! `--quick` shrinks the sweeps for smoke-testing; `--json` additionally
 //! dumps machine-readable rows.
 
-use diaspec_bench::{continuum, delivery, discovery, processing, share};
+use diaspec_bench::{churn, continuum, delivery, discovery, processing, share};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +20,7 @@ fn main() {
     e10_processing(quick, json);
     e11_delivery(quick, json);
     e12_discovery(quick, json);
+    e16_churn(quick, json);
 }
 
 fn heading(title: &str) {
@@ -201,6 +202,49 @@ fn e11_delivery(quick: bool, json: bool) {
     }
     if json {
         println!("{}", serde_json::to_string(&all).expect("serializable"));
+    }
+}
+
+fn e16_churn(quick: bool, json: bool) {
+    heading(
+        "E16 — recovery cost under device churn (leases + retry + standby rebinds, seeded faults)",
+    );
+    let scales: &[usize] = if quick { &[20, 100] } else { &[20, 100, 1_000] };
+    println!(
+        "{:>8} {:>8} {:>7} {:>8} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9} {:>7} {:>10}",
+        "sensors",
+        "crashes",
+        "faults",
+        "retries",
+        "abandoned",
+        "expiries",
+        "rebinds",
+        "rec. ev.",
+        "p50 (ms)",
+        "p99 (ms)",
+        "errors",
+        "wall (ms)"
+    );
+    let rows = churn::sweep(scales);
+    for row in &rows {
+        println!(
+            "{:>8} {:>8} {:>7} {:>8} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9} {:>7} {:>10.1}",
+            row.sensors,
+            row.crashes,
+            row.faults_injected,
+            row.delivery_retries,
+            row.deliveries_abandoned,
+            row.lease_expiries,
+            row.rebinds,
+            row.recovery_events,
+            row.recovery_p50_ms,
+            row.recovery_p99_ms,
+            row.errors,
+            row.wall_ms
+        );
+    }
+    if json {
+        println!("{}", serde_json::to_string(&rows).expect("serializable"));
     }
 }
 

@@ -6,6 +6,8 @@
 //!
 //! - [`continuum`] — E1: the same design from tens to tens of thousands of
 //!   sensors;
+//! - [`churn`] — E16: recovery cost under seeded device churn (leases,
+//!   retries, standby rebinds);
 //! - [`delivery`] — E11: message volume and latency of the three data
 //!   delivery models;
 //! - [`processing`] — E10: serial vs. parallel MapReduce;
@@ -20,6 +22,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod churn;
 pub mod continuum;
 pub mod delivery;
 pub mod discovery;

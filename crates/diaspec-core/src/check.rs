@@ -31,8 +31,9 @@
 //! | E0241 | controller bound to a non-publishing context |
 //! | E0242 | unknown device in `do` clause |
 //! | E0243 | unknown action on device |
-//! | E0250 | invalid `@error` policy |
+//! | E0250 | invalid `@error` policy or argument |
 //! | E0251 | invalid `@qos` argument |
+//! | E0252 | `@error` fallback is not a declared parameterless action |
 //! | E0301 | grouping attribute type is not groupable |
 //! | W0301 | grouped context output is not an array type |
 //! | W0302 | context neither publishes nor is required |
@@ -40,6 +41,7 @@
 //! | W0305 | aggregation window is not a multiple of the period |
 //! | W0306 | unknown annotation name |
 //! | W0307 | unknown `@qos` argument |
+//! | W0308 | unknown `@error` argument |
 
 use crate::ast::{self, Spec};
 use crate::diag::{Diagnostic, Diagnostics};
@@ -467,6 +469,40 @@ impl<'a> Checker<'a> {
         }
 
         let annotations = self.resolve_annotations(&decl.annotations);
+        // The declared @error fallback must be an action the runtime can
+        // invoke blind — declared (or inherited) on this device, with no
+        // parameters.
+        for ann in &decl.annotations {
+            if ann.name.as_str() != "error" {
+                continue;
+            }
+            let fallback = match ann.arg("fallback") {
+                Some(ast::AnnotationValue::Str(name) | ast::AnnotationValue::Ident(name)) => name,
+                _ => continue,
+            };
+            match actions.iter().find(|a: &&Action| a.name == *fallback) {
+                Some(action) if action.params.is_empty() => {}
+                Some(_) => {
+                    self.diags.push(Diagnostic::error(
+                        "E0252",
+                        format!(
+                            "@error fallback `{fallback}` takes parameters; a fallback action must be parameterless"
+                        ),
+                        ann.span,
+                    ));
+                }
+                None => {
+                    self.diags.push(Diagnostic::error(
+                        "E0252",
+                        format!(
+                            "@error fallback `{fallback}` is not an action of device `{}`",
+                            decl.name
+                        ),
+                        ann.span,
+                    ));
+                }
+            }
+        }
         self.model.devices.insert(
             decl.name.name.clone(),
             Device {
@@ -503,6 +539,56 @@ impl<'a> Checker<'a> {
                                 ),
                                 ann.span,
                             ));
+                        }
+                    } else {
+                        self.diags.push(Diagnostic::error(
+                            "E0250",
+                            "@error requires a `policy` argument".to_string(),
+                            ann.span,
+                        ));
+                    }
+                    for (key, value) in &ann.args {
+                        match key.as_str() {
+                            "policy" => {}
+                            "attempts" => {
+                                let ok = matches!(
+                                    value,
+                                    ast::AnnotationValue::Int(v) if *v >= 1
+                                );
+                                if !ok {
+                                    self.diags.push(Diagnostic::error(
+                                        "E0250",
+                                        format!(
+                                            "@error argument `attempts` must be a positive integer, got `{value}`"
+                                        ),
+                                        ann.span,
+                                    ));
+                                }
+                            }
+                            "fallback" => {
+                                let ok = matches!(
+                                    value,
+                                    ast::AnnotationValue::Str(_) | ast::AnnotationValue::Ident(_)
+                                );
+                                if !ok {
+                                    self.diags.push(Diagnostic::error(
+                                        "E0250",
+                                        format!(
+                                            "@error argument `fallback` must name an action, got `{value}`"
+                                        ),
+                                        ann.span,
+                                    ));
+                                }
+                            }
+                            other => {
+                                self.diags.push(Diagnostic::warning(
+                                    "W0308",
+                                    format!(
+                                        "unknown @error argument `{other}` (known: policy, attempts, fallback)"
+                                    ),
+                                    ann.span,
+                                ));
+                            }
                         }
                     }
                 }
@@ -1552,6 +1638,101 @@ mod tests {
         assert_eq!(
             ann.arg("policy").and_then(AnnotationArg::as_str),
             Some("retry")
+        );
+    }
+
+    #[test]
+    fn error_without_policy_rejected() {
+        expect_error(
+            r#"
+            @error(attempts = 3)
+            device D { source s as Integer; }
+            "#,
+            "E0250",
+        );
+    }
+
+    #[test]
+    fn error_with_bad_attempts_rejected() {
+        expect_error(
+            r#"
+            @error(policy = "retry", attempts = 0)
+            device D { source s as Integer; }
+            "#,
+            "E0250",
+        );
+        expect_error(
+            r#"
+            @error(policy = "retry", attempts = "three")
+            device D { source s as Integer; }
+            "#,
+            "E0250",
+        );
+    }
+
+    #[test]
+    fn error_with_non_action_fallback_rejected() {
+        expect_error(
+            r#"
+            @error(policy = "retry", fallback = 7)
+            device D { source s as Integer; action safe; }
+            "#,
+            "E0250",
+        );
+    }
+
+    #[test]
+    fn unknown_error_argument_warned() {
+        expect_warning(
+            r#"
+            @error(policy = "retry", atempts = 3)
+            device D { source s as Integer; action a; }
+            context C as Integer { when provided s from D always publish; }
+            controller Ct { when provided C do a on D; }
+            "#,
+            "W0308",
+        );
+    }
+
+    #[test]
+    fn fallback_must_name_a_declared_action() {
+        expect_error(
+            r#"
+            @error(policy = "retry", fallback = "vanish")
+            device D { source s as Integer; action safe; }
+            "#,
+            "E0252",
+        );
+    }
+
+    #[test]
+    fn fallback_must_be_parameterless() {
+        expect_error(
+            r#"
+            @error(policy = "retry", fallback = "adjust")
+            device D { source s as Integer; action adjust(level as Integer); }
+            "#,
+            "E0252",
+        );
+    }
+
+    #[test]
+    fn fallback_may_be_inherited() {
+        let (model, diags) = check_src(
+            r#"
+            device Base { action neutral; }
+            @error(policy = "retry", attempts = 2, fallback = "neutral")
+            device D extends Base { source s as Integer; action a; }
+            context C as Integer { when provided s from D always publish; }
+            controller Ct { when provided C do a on D; }
+            "#,
+        );
+        assert!(!diags.has_errors(), "{diags:?}");
+        let model = model.unwrap();
+        let ann = &model.device("D").unwrap().annotations[0];
+        assert_eq!(
+            ann.arg("fallback").and_then(AnnotationArg::as_str),
+            Some("neutral")
         );
     }
 

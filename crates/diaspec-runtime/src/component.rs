@@ -96,6 +96,25 @@ pub trait ContextLogic: Send {
         api: &mut ContextApi<'_>,
         activation: ContextActivation<'_>,
     ) -> Result<Option<Value>, ComponentError>;
+
+    /// Called after the runtime re-binds `replacement` for a lost entity
+    /// `lost` whose device type this context's design references. The
+    /// default implementation does nothing; override to re-prime state
+    /// tied to the lost entity.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report failures as [`ComponentError`]; the engine
+    /// records them and keeps orchestrating.
+    fn on_recovery(
+        &mut self,
+        api: &mut ContextApi<'_>,
+        lost: &EntityId,
+        replacement: &EntityId,
+    ) -> Result<(), ComponentError> {
+        let _ = (api, lost, replacement);
+        Ok(())
+    }
 }
 
 impl<F> ContextLogic for F
@@ -126,6 +145,25 @@ pub trait ControllerLogic: Send {
         context: &str,
         value: &Value,
     ) -> Result<(), ComponentError>;
+
+    /// Called after the runtime re-binds `replacement` for a lost entity
+    /// `lost` whose device type this controller's design actuates. The
+    /// default implementation does nothing; override to re-issue state
+    /// the lost actuator held (e.g. a setpoint).
+    ///
+    /// # Errors
+    ///
+    /// Implementations report failures as [`ComponentError`]; the engine
+    /// records them and keeps orchestrating.
+    fn on_recovery(
+        &mut self,
+        api: &mut ControllerApi<'_>,
+        lost: &EntityId,
+        replacement: &EntityId,
+    ) -> Result<(), ComponentError> {
+        let _ = (api, lost, replacement);
+        Ok(())
+    }
 }
 
 impl<F> ControllerLogic for F

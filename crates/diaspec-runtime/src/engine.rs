@@ -32,11 +32,12 @@ use crate::component::{
 };
 use crate::entity::{AttributeMap, BindingTime, DeviceInstance, EntityId};
 use crate::error::RuntimeError;
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, RecoveryConfig};
 use crate::metrics::RuntimeMetrics;
 use crate::obs::{self, Activity, ObsHub};
-use crate::registry::{PolledReading, Registry};
+use crate::registry::{ErrorPolicy, PolledReading, Registry};
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
-use crate::transport::{Transport, TransportConfig};
+use crate::transport::{SendOutcome, Transport, TransportConfig};
 use crate::value::Value;
 use diaspec_core::model::{
     ActivationTrigger, AnnotationArg, CheckedSpec, InputRef, PublishMode, Subscriber,
@@ -69,6 +70,7 @@ pub enum Phase {
     Launched,
 }
 
+#[derive(Clone)]
 enum Event {
     /// A process emitted a source value (event-driven delivery).
     Emit {
@@ -112,6 +114,39 @@ enum Event {
     },
     /// A simulation process wakes.
     ProcessWake { idx: usize },
+    /// A scheduled fault fires (index into the fault plan).
+    Fault { idx: usize },
+    /// Periodic lease sweep (scheduled when leases are enabled).
+    LeaseCheck,
+    /// A delivery dropped by an injected fault is re-sent with backoff.
+    Redeliver {
+        event: Box<Event>,
+        /// The send attempt this resend constitutes (initial send = 1).
+        attempt: u32,
+        /// When the initial send happened, for the retry timeout.
+        first_sent_at: SimTime,
+    },
+}
+
+impl Event {
+    /// Display label of the component a delivery event is addressed to.
+    fn target(&self) -> &str {
+        match self {
+            Event::SourceDeliver { context, .. }
+            | Event::ContextDeliver { context, .. }
+            | Event::BatchDeliver { context, .. } => context,
+            Event::ControllerDeliver { controller, .. } => controller,
+            _ => "",
+        }
+    }
+
+    /// Whether the event is addressed to a context (QoS budgets apply).
+    fn targets_context(&self) -> bool {
+        matches!(
+            self,
+            Event::SourceDeliver { .. } | Event::ContextDeliver { .. } | Event::BatchDeliver { .. }
+        )
+    }
 }
 
 struct ContextRuntime {
@@ -219,6 +254,10 @@ pub struct Orchestrator {
     obs: ObsHub,
     /// Per-context QoS latency budgets (ms), from `@qos(latencyMs = N)`.
     qos_budgets: BTreeMap<String, u64>,
+    /// Seeded fault injector, when fault injection is enabled.
+    faults: Option<FaultInjector>,
+    /// Recovery machinery configuration (leases, delivery retry).
+    recovery: RecoveryConfig,
 }
 
 impl Orchestrator {
@@ -276,7 +315,67 @@ impl Orchestrator {
             trace: TraceBuffer::new(),
             obs: ObsHub::new(),
             qos_budgets,
+            faults: None,
+            recovery: RecoveryConfig::default(),
         }
+    }
+
+    /// Enables seeded fault injection for this run. Must be called before
+    /// [`Orchestrator::launch`] so the plan's scheduled faults (crashes,
+    /// restarts, partition windows) are installed in the event queue.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Configuration`] if already launched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan probability is outside `[0, 1]`.
+    pub fn enable_faults(&mut self, plan: FaultPlan) -> Result<(), RuntimeError> {
+        if self.phase == Phase::Launched {
+            return Err(RuntimeError::Configuration(
+                "enable_faults must be called before launch".to_owned(),
+            ));
+        }
+        self.faults = Some(FaultInjector::new(plan));
+        Ok(())
+    }
+
+    /// Enables the recovery machinery: lease-based bindings (stamped onto
+    /// already-bound entities immediately) and/or per-delivery retry with
+    /// exponential backoff. Must be called before
+    /// [`Orchestrator::launch`] so the periodic lease sweep is scheduled.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Configuration`] if already launched.
+    pub fn enable_recovery(&mut self, config: RecoveryConfig) -> Result<(), RuntimeError> {
+        if self.phase == Phase::Launched {
+            return Err(RuntimeError::Configuration(
+                "enable_recovery must be called before launch".to_owned(),
+            ));
+        }
+        self.registry
+            .set_lease_ttl(config.lease_ttl_ms, self.queue.now());
+        self.recovery = config;
+        Ok(())
+    }
+
+    /// Registers a standby entity that [`Registry::expire_leases`] can
+    /// promote when a lease expires (automatic re-discovery).
+    ///
+    /// # Errors
+    ///
+    /// See [`Registry::register_standby`].
+    pub fn register_standby(
+        &mut self,
+        id: EntityId,
+        device_type: &str,
+        attributes: AttributeMap,
+        driver: Box<dyn DeviceInstance>,
+    ) -> Result<(), RuntimeError> {
+        self.registry
+            .register_standby(id, device_type, attributes, driver)
     }
 
     /// Enables or disables execution tracing (off by default).
@@ -666,6 +765,22 @@ impl Orchestrator {
                 },
             );
         }
+
+        // Install the fault plan's clock-driven faults and the lease sweep.
+        if let Some(injector) = &self.faults {
+            let scheduled: Vec<(usize, SimTime)> = injector
+                .scheduled()
+                .iter()
+                .enumerate()
+                .map(|(idx, fault)| (idx, fault.at_ms))
+                .collect();
+            for (idx, at_ms) in scheduled {
+                self.queue.schedule(at_ms, Event::Fault { idx });
+            }
+        }
+        if let Some(interval) = self.recovery.lease_check_interval_ms() {
+            self.queue.schedule(now + interval, Event::LeaseCheck);
+        }
         self.phase = Phase::Launched;
         Ok(())
     }
@@ -850,6 +965,17 @@ impl Orchestrator {
                     self.queue.schedule(at, Event::ProcessWake { idx });
                 }
             }
+            Event::Fault { idx } => self.dispatch_fault(idx),
+            Event::LeaseCheck => self.dispatch_lease_check(),
+            Event::Redeliver {
+                event,
+                attempt,
+                first_sent_at,
+            } => {
+                let target = event.target().to_owned();
+                let qos_context = event.targets_context();
+                self.send_event(&target, qos_context, *event, attempt, first_sent_at);
+            }
         }
     }
 
@@ -860,6 +986,10 @@ impl Orchestrator {
         value: Value,
         index: Option<Value>,
     ) {
+        // A crashed device emits nothing until it restarts.
+        if self.faults.is_some() && self.registry.is_crashed(entity) {
+            return;
+        }
         self.metrics.emissions += 1;
         if self.trace_active() {
             let at = self.queue.now();
@@ -892,28 +1022,328 @@ impl Orchestrator {
             })
             .map(|ctx| ctx.name.clone())
             .collect();
+        let now = self.queue.now();
         for context in subscribers {
-            match self.transport.send() {
-                Some(latency) => {
-                    self.metrics.messages_delivered += 1;
-                    self.metrics.total_transport_latency_ms += latency;
-                    self.obs.record(Activity::Delivering, &context, latency);
-                    self.check_qos(&context, latency);
-                    self.queue.schedule_in(
-                        latency,
-                        Event::SourceDeliver {
-                            context,
-                            entity: entity.clone(),
-                            device_type: device_type.clone(),
-                            source: source.to_owned(),
-                            value: value.clone(),
-                            index: index.clone(),
-                        },
-                    );
-                }
-                None => self.metrics.messages_lost += 1,
+            let event = Event::SourceDeliver {
+                context: context.clone(),
+                entity: entity.clone(),
+                device_type: device_type.clone(),
+                source: source.to_owned(),
+                value: value.clone(),
+                index: index.clone(),
+            };
+            self.send_event(&context, true, event, 1, now);
+        }
+    }
+
+    /// Samples one message across the transport, applying the fault
+    /// injector when enabled; injected message faults are counted and
+    /// traced here.
+    fn sample_send(&mut self) -> SendOutcome {
+        let Some(injector) = self.faults.as_mut() else {
+            return SendOutcome::without_faults(self.transport.send());
+        };
+        let outcome = self.transport.send_through(injector);
+        let at = self.queue.now();
+        if outcome.fault_dropped {
+            self.metrics.faults_injected += 1;
+            if self.trace_active() {
+                self.record_trace(
+                    at,
+                    TraceKind::FaultInjected {
+                        fault: "message drop".to_owned(),
+                    },
+                );
             }
         }
+        if outcome.extra_delay_ms > 0 {
+            self.metrics.faults_injected += 1;
+            if self.trace_active() {
+                self.record_trace(
+                    at,
+                    TraceKind::FaultInjected {
+                        fault: format!("message delay +{} ms", outcome.extra_delay_ms),
+                    },
+                );
+            }
+        }
+        if outcome.duplicate.is_some() {
+            self.metrics.faults_injected += 1;
+            if self.trace_active() {
+                self.record_trace(
+                    at,
+                    TraceKind::FaultInjected {
+                        fault: "message duplicate".to_owned(),
+                    },
+                );
+            }
+        }
+        outcome
+    }
+
+    /// Sends `event` across the transport (and the fault injector when
+    /// enabled): schedules it on delivery, schedules the injected
+    /// duplicate copy too, and arranges retry-with-backoff when the fault
+    /// injector dropped the message. `attempt` numbers the send (initial
+    /// send = 1) and `first_sent_at` anchors the retry timeout.
+    fn send_event(
+        &mut self,
+        target: &str,
+        qos_context: bool,
+        event: Event,
+        attempt: u32,
+        first_sent_at: SimTime,
+    ) {
+        let outcome = self.sample_send();
+        if let Some(latency) = outcome.duplicate {
+            self.metrics.messages_delivered += 1;
+            self.metrics.total_transport_latency_ms += latency;
+            self.obs.record(Activity::Delivering, target, latency);
+            self.queue.schedule_in(latency, event.clone());
+        }
+        match outcome.delivery {
+            Some(latency) => {
+                self.metrics.messages_delivered += 1;
+                self.metrics.total_transport_latency_ms += latency;
+                self.obs.record(Activity::Delivering, target, latency);
+                if qos_context {
+                    self.check_qos(target, latency);
+                }
+                self.queue.schedule_in(latency, event);
+            }
+            None if outcome.fault_dropped => {
+                self.schedule_retry(target, event, attempt, first_sent_at);
+            }
+            None => self.metrics.messages_lost += 1,
+        }
+    }
+
+    /// Arranges a backoff resend after the fault injector dropped a
+    /// delivery. `failed_attempt` is the send attempt that just failed
+    /// (initial send = 1); the delivery is abandoned once the configured
+    /// retry budget or timeout is exhausted — or immediately when no
+    /// retry is configured.
+    fn schedule_retry(
+        &mut self,
+        target: &str,
+        event: Event,
+        failed_attempt: u32,
+        first_sent_at: SimTime,
+    ) {
+        let Some(retry) = self.recovery.retry else {
+            self.metrics.messages_lost += 1;
+            return;
+        };
+        let now = self.queue.now();
+        let backoff = retry.backoff_ms(failed_attempt);
+        let retries_exhausted = failed_attempt > retry.max_attempts;
+        let timed_out =
+            now.saturating_add(backoff).saturating_sub(first_sent_at) > retry.timeout_ms;
+        if retries_exhausted || timed_out {
+            self.metrics.deliveries_abandoned += 1;
+            self.metrics.messages_lost += 1;
+            return;
+        }
+        self.metrics.delivery_retries += 1;
+        self.record_trace(
+            now,
+            TraceKind::DeliveryRetry {
+                to: target.to_owned(),
+                attempt: failed_attempt,
+            },
+        );
+        // Recovery cost: the backoff this delivery now waits out.
+        self.obs.record(Activity::Recovering, target, backoff);
+        self.queue.schedule_in(
+            backoff,
+            Event::Redeliver {
+                event: Box::new(event),
+                attempt: failed_attempt + 1,
+                first_sent_at,
+            },
+        );
+    }
+
+    /// Applies a scheduled fault (crash, restart, partition transition).
+    fn dispatch_fault(&mut self, idx: usize) {
+        let Some(kind) = self
+            .faults
+            .as_ref()
+            .and_then(|injector| injector.scheduled().get(idx))
+            .map(|fault| fault.kind.clone())
+        else {
+            return;
+        };
+        let applied = match &kind {
+            FaultKind::DeviceCrash { entity } => {
+                let ok = self.registry.set_crashed(entity, true).is_ok();
+                if ok {
+                    self.faults
+                        .as_mut()
+                        .expect("fault injector enabled")
+                        .count_injection();
+                }
+                ok
+            }
+            FaultKind::DeviceRestart { entity } => {
+                let ok = self.registry.set_crashed(entity, false).is_ok();
+                if ok {
+                    self.faults
+                        .as_mut()
+                        .expect("fault injector enabled")
+                        .count_injection();
+                }
+                ok
+            }
+            FaultKind::PartitionStart => {
+                self.faults
+                    .as_mut()
+                    .expect("fault injector enabled")
+                    .set_partitioned(true);
+                true
+            }
+            FaultKind::PartitionEnd => {
+                self.faults
+                    .as_mut()
+                    .expect("fault injector enabled")
+                    .set_partitioned(false);
+                true
+            }
+        };
+        if applied {
+            self.metrics.faults_injected += 1;
+            let at = self.queue.now();
+            self.record_trace(
+                at,
+                TraceKind::FaultInjected {
+                    fault: kind.to_string(),
+                },
+            );
+        }
+    }
+
+    /// Periodic lease sweep: expires silent bindings, promotes standbys,
+    /// traces the transitions, and notifies interested components.
+    fn dispatch_lease_check(&mut self) {
+        let Some(interval) = self.recovery.lease_check_interval_ms() else {
+            return;
+        };
+        let now = self.queue.now();
+        let transitions = self.registry.expire_leases(now);
+        for transition in &transitions {
+            self.metrics.lease_expiries += 1;
+            self.record_trace(
+                now,
+                TraceKind::LeaseExpired {
+                    entity: transition.lost.id.to_string(),
+                },
+            );
+            // Recovery cost: how long the loss went undetected (bounded
+            // by the sweep interval).
+            self.obs.record(
+                Activity::Recovering,
+                &transition.lost.device_type,
+                now.saturating_sub(transition.deadline),
+            );
+            if let Some(replacement) = &transition.replacement {
+                self.metrics.rebinds += 1;
+                self.record_trace(
+                    now,
+                    TraceKind::Rebound {
+                        lost: transition.lost.id.to_string(),
+                        replacement: replacement.to_string(),
+                    },
+                );
+            }
+        }
+        for transition in transitions {
+            if let Some(replacement) = transition.replacement {
+                self.notify_recovery(
+                    &transition.lost.id,
+                    &transition.lost.device_type,
+                    &replacement,
+                );
+            }
+        }
+        self.queue.schedule(now + interval, Event::LeaseCheck);
+    }
+
+    /// Invokes the `on_recovery` hook of every component whose design
+    /// references the lost device's family.
+    fn notify_recovery(&mut self, lost: &EntityId, device_type: &str, replacement: &EntityId) {
+        let controllers: Vec<String> = self
+            .controllers
+            .keys()
+            .filter(|name| self.controller_declares_device(name, device_type))
+            .cloned()
+            .collect();
+        for name in controllers {
+            let Some(mut logic) = self.controllers.get_mut(&name).and_then(|r| r.logic.take())
+            else {
+                continue;
+            };
+            let result = {
+                let mut api = ControllerApi {
+                    engine: self,
+                    controller: &name,
+                };
+                logic.on_recovery(&mut api, lost, replacement)
+            };
+            self.controllers
+                .get_mut(&name)
+                .expect("controller exists")
+                .logic = Some(logic);
+            if let Err(e) = result {
+                self.contain(e.into());
+            }
+        }
+        let contexts: Vec<String> = self
+            .contexts
+            .keys()
+            .filter(|name| self.context_references_device(name, device_type))
+            .cloned()
+            .collect();
+        for name in contexts {
+            let Some(mut logic) = self.contexts.get_mut(&name).and_then(|r| r.logic.take()) else {
+                continue;
+            };
+            let result = {
+                let mut api = ContextApi {
+                    engine: self,
+                    context: &name,
+                };
+                logic.on_recovery(&mut api, lost, replacement)
+            };
+            self.contexts.get_mut(&name).expect("context exists").logic = Some(logic);
+            if let Err(e) = result {
+                self.contain(e.into());
+            }
+        }
+    }
+
+    /// Whether `context`'s design references the device family (a source
+    /// subscription, a periodic poll, or a `get` of one of its sources).
+    fn context_references_device(&self, context: &str, device_type: &str) -> bool {
+        let Some(ctx) = self.spec.context(context) else {
+            return false;
+        };
+        ctx.activations.iter().any(|a| {
+            let triggered = match &a.trigger {
+                ActivationTrigger::DeviceSource { device, .. }
+                | ActivationTrigger::Periodic { device, .. } => {
+                    self.spec.device_is_subtype(device_type, device)
+                }
+                _ => false,
+            };
+            triggered
+                || a.gets.iter().any(|g| {
+                    matches!(
+                        g,
+                        InputRef::DeviceSource { device, .. }
+                            if self.spec.device_is_subtype(device_type, device)
+                    )
+                })
+        })
     }
 
     fn dispatch_periodic_poll(&mut self, context: &str, activation_idx: usize) {
@@ -956,7 +1386,17 @@ impl Orchestrator {
         let mut surviving = Vec::with_capacity(readings.len());
         let mut max_latency = 0;
         for reading in readings {
-            match self.transport.send() {
+            let outcome = self.sample_send();
+            if let Some(latency) = outcome.duplicate {
+                // At-least-once delivery: the injected duplicate shows up
+                // as a second copy of the reading in the batch.
+                self.metrics.messages_delivered += 1;
+                self.metrics.total_transport_latency_ms += latency;
+                self.obs.record(Activity::Delivering, context, latency);
+                max_latency = max_latency.max(latency);
+                surviving.push(reading.clone());
+            }
+            match outcome.delivery {
                 Some(latency) => {
                     self.metrics.messages_delivered += 1;
                     self.metrics.total_transport_latency_ms += latency;
@@ -964,6 +1404,8 @@ impl Orchestrator {
                     max_latency = max_latency.max(latency);
                     surviving.push(reading);
                 }
+                // Dropped poll readings are not retried: the next poll
+                // supersedes them.
                 None => self.metrics.messages_lost += 1,
             }
         }
@@ -1236,41 +1678,29 @@ impl Orchestrator {
         if let Some(runtime) = self.contexts.get_mut(context) {
             runtime.last_value = Some(value.clone());
         }
+        let now = self.queue.now();
         for subscriber in self.spec.subscribers_of_context(context) {
-            match self.transport.send() {
-                None => {
-                    self.metrics.messages_lost += 1;
-                    continue;
-                }
-                Some(latency) => {
-                    self.metrics.messages_delivered += 1;
-                    self.metrics.total_transport_latency_ms += latency;
-                    if self.obs.is_enabled() {
-                        let target = match &subscriber {
-                            Subscriber::Context(name) | Subscriber::Controller(name) => {
-                                name.as_str()
-                            }
-                        };
-                        self.obs.record(Activity::Delivering, target, latency);
-                    }
-                    if let Subscriber::Context(name) = &subscriber {
-                        self.check_qos(name, latency);
-                    }
-                    let event = match subscriber {
-                        Subscriber::Context(name) => Event::ContextDeliver {
-                            context: name,
-                            from: context.to_owned(),
-                            value: value.clone(),
-                        },
-                        Subscriber::Controller(name) => Event::ControllerDeliver {
-                            controller: name,
-                            from: context.to_owned(),
-                            value: value.clone(),
-                        },
-                    };
-                    self.queue.schedule_in(latency, event);
-                }
-            }
+            let (target, qos_context, event) = match subscriber {
+                Subscriber::Context(name) => (
+                    name.clone(),
+                    true,
+                    Event::ContextDeliver {
+                        context: name,
+                        from: context.to_owned(),
+                        value: value.clone(),
+                    },
+                ),
+                Subscriber::Controller(name) => (
+                    name.clone(),
+                    false,
+                    Event::ControllerDeliver {
+                        controller: name,
+                        from: context.to_owned(),
+                        value: value.clone(),
+                    },
+                ),
+            };
+            self.send_event(&target, qos_context, event, 1, now);
         }
     }
 
@@ -1678,6 +2108,7 @@ impl ControllerApi<'_> {
         }
         let now = self.engine.queue.now();
         let started = self.engine.obs.is_enabled().then(std::time::Instant::now);
+        let fallbacks_before = self.engine.registry.stats().fallback_invocations;
         self.engine.registry.invoke(entity, action, args, now)?;
         if let Some(t0) = started {
             let label = format!("{device_type}.{action}");
@@ -1693,6 +2124,26 @@ impl ControllerApi<'_> {
                 action: action.to_owned(),
             },
         );
+        // The registry masked the failure with the device's declared
+        // `@error(fallback = ...)` action: surface it as a recovery event.
+        let masked = self.engine.registry.stats().fallback_invocations - fallbacks_before;
+        if masked > 0 {
+            self.engine.metrics.fallback_actuations += masked;
+            let fallback = self
+                .engine
+                .spec
+                .device(&device_type)
+                .map(ErrorPolicy::of_device)
+                .and_then(|policy| policy.fallback)
+                .unwrap_or_default();
+            self.engine.record_trace(
+                now,
+                TraceKind::FallbackActuation {
+                    entity: entity.to_string(),
+                    action: fallback,
+                },
+            );
+        }
         Ok(())
     }
 }

@@ -1,0 +1,473 @@
+//! Fault injection and recovery configuration (paper §VI: error handling
+//! as a design-level concern).
+//!
+//! The paper's §VI names error handling and QoS as the extensions that
+//! turn the DiaSpec methodology into a dependable orchestration stack; at
+//! city scale, device churn and lossy links are the normal case, not the
+//! exception. This module supplies both halves of experiment E14's
+//! failure story:
+//!
+//! - [`FaultPlan`] / [`FaultInjector`] — a *deterministic, clock-driven*
+//!   fault injector. Scheduled faults (device crash/restart, link
+//!   partition windows) fire at exact simulation times; per-message
+//!   faults (drop, duplication, extra delay) are sampled from a seeded
+//!   RNG that is independent of the transport's, so adding faults never
+//!   perturbs the healthy-path event sequence of a run with the same
+//!   seed.
+//! - [`RecoveryConfig`] / [`RetryConfig`] — the recovery machinery the
+//!   engine executes against those faults: lease-based bindings with
+//!   expiry and automatic standby promotion (see
+//!   [`Registry`](crate::registry::Registry)), and per-delivery retry
+//!   with exponential backoff and a timeout.
+//!
+//! Both sides flow through the observability layer: every injected fault
+//! and every recovery action is traced (see
+//! [`TraceKind`](crate::trace::TraceKind)) and recovery cost is recorded
+//! under [`Activity::Recovering`](crate::obs::Activity::Recovering).
+
+use crate::clock::SimTime;
+use crate::entity::EntityId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---- faults ----------------------------------------------------------------
+
+/// A deterministic fault applied at a scheduled simulation time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The entity stops serving queries/invocations and stops renewing
+    /// its lease (it stays bound until the lease expires).
+    DeviceCrash {
+        /// The crashing entity.
+        entity: EntityId,
+    },
+    /// A previously crashed entity resumes service (if it is still
+    /// bound; an entity whose lease already expired stays gone).
+    DeviceRestart {
+        /// The restarting entity.
+        entity: EntityId,
+    },
+    /// The link partitions: every message is dropped until the matching
+    /// [`FaultKind::PartitionEnd`].
+    PartitionStart,
+    /// The link heals.
+    PartitionEnd,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::DeviceCrash { entity } => write!(f, "crash {entity}"),
+            FaultKind::DeviceRestart { entity } => write!(f, "restart {entity}"),
+            FaultKind::PartitionStart => write!(f, "partition start"),
+            FaultKind::PartitionEnd => write!(f, "partition end"),
+        }
+    }
+}
+
+/// One scheduled fault: what happens, and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Absolute simulation time at which the fault fires.
+    pub at_ms: SimTime,
+    /// The fault.
+    pub kind: FaultKind,
+}
+
+/// The full fault scenario of a run: scheduled faults plus per-message
+/// fault probabilities. All sampling is seeded — two runs with equal
+/// plans inject byte-identical fault sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the injector's RNG (independent of the transport seed).
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a message is dropped by a fault
+    /// (on top of the transport's own loss model).
+    pub drop_probability: f64,
+    /// Probability in `[0, 1]` that a delivered message is duplicated.
+    pub duplicate_probability: f64,
+    /// Probability in `[0, 1]` that a delivered message is delayed by
+    /// [`FaultPlan::delay_ms`] extra milliseconds.
+    pub delay_probability: f64,
+    /// Extra delay applied to delayed messages.
+    pub delay_ms: SimTime,
+    /// Clock-driven faults, fired by the engine at their exact times.
+    pub scheduled: Vec<ScheduledFault>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            delay_probability: 0.0,
+            delay_ms: 0,
+            scheduled: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults and the given seed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the per-message drop probability.
+    #[must_use]
+    pub fn drop_messages(mut self, probability: f64) -> Self {
+        self.drop_probability = probability;
+        self
+    }
+
+    /// Sets the per-message duplication probability.
+    #[must_use]
+    pub fn duplicate_messages(mut self, probability: f64) -> Self {
+        self.duplicate_probability = probability;
+        self
+    }
+
+    /// Delays each message by `delay_ms` extra with the given probability.
+    #[must_use]
+    pub fn delay_messages(mut self, probability: f64, delay_ms: SimTime) -> Self {
+        self.delay_probability = probability;
+        self.delay_ms = delay_ms;
+        self
+    }
+
+    /// Crashes `entity` at `at_ms`.
+    #[must_use]
+    pub fn crash_at(mut self, at_ms: SimTime, entity: impl Into<EntityId>) -> Self {
+        self.scheduled.push(ScheduledFault {
+            at_ms,
+            kind: FaultKind::DeviceCrash {
+                entity: entity.into(),
+            },
+        });
+        self
+    }
+
+    /// Restarts `entity` at `at_ms`.
+    #[must_use]
+    pub fn restart_at(mut self, at_ms: SimTime, entity: impl Into<EntityId>) -> Self {
+        self.scheduled.push(ScheduledFault {
+            at_ms,
+            kind: FaultKind::DeviceRestart {
+                entity: entity.into(),
+            },
+        });
+        self
+    }
+
+    /// Partitions the link over `[from_ms, until_ms)`.
+    #[must_use]
+    pub fn partition(mut self, from_ms: SimTime, until_ms: SimTime) -> Self {
+        assert!(from_ms < until_ms, "empty partition window");
+        self.scheduled.push(ScheduledFault {
+            at_ms: from_ms,
+            kind: FaultKind::PartitionStart,
+        });
+        self.scheduled.push(ScheduledFault {
+            at_ms: until_ms,
+            kind: FaultKind::PartitionEnd,
+        });
+        self
+    }
+}
+
+/// The fate of one message after fault sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Delivered, possibly with extra delay and/or a duplicate copy.
+    Deliver {
+        /// Extra latency injected on top of the transport's sample.
+        extra_delay_ms: SimTime,
+        /// Whether a duplicate copy also arrives.
+        duplicated: bool,
+    },
+    /// Dropped by an injected fault (or a partition window).
+    Drop,
+}
+
+/// The seeded fault sampler consulted by the engine on every send, plus
+/// the partition state toggled by scheduled faults.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    partitioned: bool,
+    injected: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        for (name, p) in [
+            ("drop", plan.drop_probability),
+            ("duplicate", plan.duplicate_probability),
+            ("delay", plan.delay_probability),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} probability {p} outside [0, 1]"
+            );
+        }
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultInjector {
+            plan,
+            rng,
+            partitioned: false,
+            injected: 0,
+        }
+    }
+
+    /// The scheduled faults of the plan (in declaration order; the engine
+    /// schedules each at its `at_ms`).
+    #[must_use]
+    pub fn scheduled(&self) -> &[ScheduledFault] {
+        &self.plan.scheduled
+    }
+
+    /// Whether the link is currently partitioned.
+    #[must_use]
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Applies a partition start/end (called by the engine when the
+    /// scheduled fault fires).
+    pub fn set_partitioned(&mut self, partitioned: bool) {
+        self.partitioned = partitioned;
+        self.injected += 1;
+    }
+
+    /// Counts one injected fault (crash/restart applied by the engine).
+    pub fn count_injection(&mut self) {
+        self.injected += 1;
+    }
+
+    /// Total faults injected so far (messages affected + scheduled
+    /// faults applied).
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Samples the fate of one message. Deterministic per seed and call
+    /// sequence.
+    pub fn message_fate(&mut self) -> MessageFate {
+        if self.partitioned {
+            self.injected += 1;
+            return MessageFate::Drop;
+        }
+        if self.plan.drop_probability > 0.0 && self.rng.gen::<f64>() < self.plan.drop_probability {
+            self.injected += 1;
+            return MessageFate::Drop;
+        }
+        let extra_delay_ms = if self.plan.delay_probability > 0.0
+            && self.rng.gen::<f64>() < self.plan.delay_probability
+        {
+            self.injected += 1;
+            self.plan.delay_ms
+        } else {
+            0
+        };
+        let duplicated = self.plan.duplicate_probability > 0.0
+            && self.rng.gen::<f64>() < self.plan.duplicate_probability;
+        if duplicated {
+            self.injected += 1;
+        }
+        MessageFate::Deliver {
+            extra_delay_ms,
+            duplicated,
+        }
+    }
+}
+
+// ---- recovery ---------------------------------------------------------------
+
+/// Per-delivery retry with exponential backoff and a timeout: a dropped
+/// delivery is re-sent after `base_backoff_ms`, then twice that, and so
+/// on, until it is delivered, `max_attempts` retries have failed, or the
+/// message has been in flight longer than `timeout_ms`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Maximum number of retry attempts after the initial send.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff_ms: SimTime,
+    /// Total in-flight budget: no retry is scheduled past this.
+    pub timeout_ms: SimTime,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 3,
+            base_backoff_ms: 100,
+            timeout_ms: 10_000,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Backoff before retry `attempt` (1-based): `base * 2^(attempt-1)`.
+    #[must_use]
+    pub fn backoff_ms(&self, attempt: u32) -> SimTime {
+        self.base_backoff_ms.saturating_mul(
+            1u64.checked_shl(attempt.saturating_sub(1))
+                .unwrap_or(u64::MAX),
+        )
+    }
+}
+
+/// The recovery machinery the engine runs: lease-based bindings and
+/// delivery retry. Disabled by default — a run without recovery behaves
+/// exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryConfig {
+    /// When set, every bound entity holds a lease of this many
+    /// milliseconds, renewed on each successful query/poll/invocation.
+    /// An expired lease unbinds the entity and promotes a standby (see
+    /// [`Registry::register_standby`](crate::registry::Registry::register_standby)).
+    pub lease_ttl_ms: Option<SimTime>,
+    /// Delivery retry policy for dropped messages.
+    pub retry: Option<RetryConfig>,
+}
+
+impl RecoveryConfig {
+    /// Enables leases with the given TTL.
+    #[must_use]
+    pub fn with_leases(mut self, ttl_ms: SimTime) -> Self {
+        assert!(ttl_ms > 0, "zero lease TTL");
+        self.lease_ttl_ms = Some(ttl_ms);
+        self
+    }
+
+    /// Enables delivery retry.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Interval at which the engine checks for expired leases: half the
+    /// TTL, at least 1 ms.
+    #[must_use]
+    pub fn lease_check_interval_ms(&self) -> Option<SimTime> {
+        self.lease_ttl_ms.map(|ttl| (ttl / 2).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_faults() {
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        for _ in 0..1000 {
+            assert_eq!(
+                inj.message_fate(),
+                MessageFate::Deliver {
+                    extra_delay_ms: 0,
+                    duplicated: false
+                }
+            );
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let plan = FaultPlan::seeded(42)
+            .drop_messages(0.2)
+            .duplicate_messages(0.1)
+            .delay_messages(0.3, 500);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for _ in 0..500 {
+            assert_eq!(a.message_fate(), b.message_fate());
+        }
+        assert_eq!(a.injected(), b.injected());
+        assert!(a.injected() > 0);
+    }
+
+    #[test]
+    fn partition_drops_everything_until_healed() {
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        inj.set_partitioned(true);
+        for _ in 0..10 {
+            assert_eq!(inj.message_fate(), MessageFate::Drop);
+        }
+        inj.set_partitioned(false);
+        assert!(matches!(inj.message_fate(), MessageFate::Deliver { .. }));
+    }
+
+    #[test]
+    fn drop_rate_roughly_matches_probability() {
+        let mut inj = FaultInjector::new(FaultPlan::seeded(7).drop_messages(0.25));
+        let drops = (0..10_000)
+            .filter(|_| inj.message_fate() == MessageFate::Drop)
+            .count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((0.22..0.28).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn plan_builder_schedules_faults_in_order() {
+        let plan = FaultPlan::seeded(1)
+            .crash_at(5_000, "altimeter-NOSE")
+            .restart_at(20_000, "altimeter-NOSE")
+            .partition(30_000, 40_000);
+        assert_eq!(plan.scheduled.len(), 4);
+        assert_eq!(
+            plan.scheduled[0].kind,
+            FaultKind::DeviceCrash {
+                entity: "altimeter-NOSE".into()
+            }
+        );
+        assert_eq!(plan.scheduled[2].at_ms, 30_000);
+        assert_eq!(plan.scheduled[3].kind, FaultKind::PartitionEnd);
+        assert_eq!(plan.scheduled[0].kind.to_string(), "crash altimeter-NOSE");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_probability_rejected() {
+        let _ = FaultInjector::new(FaultPlan::default().drop_messages(1.5));
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_saturating() {
+        let retry = RetryConfig {
+            max_attempts: 5,
+            base_backoff_ms: 100,
+            timeout_ms: 60_000,
+        };
+        assert_eq!(retry.backoff_ms(1), 100);
+        assert_eq!(retry.backoff_ms(2), 200);
+        assert_eq!(retry.backoff_ms(3), 400);
+        assert_eq!(retry.backoff_ms(64), u64::MAX, "saturates, no overflow");
+    }
+
+    #[test]
+    fn recovery_config_defaults_to_disabled() {
+        let config = RecoveryConfig::default();
+        assert!(config.lease_ttl_ms.is_none());
+        assert!(config.retry.is_none());
+        assert_eq!(config.lease_check_interval_ms(), None);
+        let config = config.with_leases(5_000).with_retry(RetryConfig::default());
+        assert_eq!(config.lease_check_interval_ms(), Some(2_500));
+    }
+}

@@ -19,7 +19,10 @@
 //! of control, as in the paper's generated frameworks), and simulated
 //! environments drive the world through [`process`] actors. Simulated
 //! [`transport`] latency/loss stands in for the paper's operator networks
-//! (see `DESIGN.md`, *Substitutions*).
+//! (see `DESIGN.md`, *Substitutions*). The [`fault`] subsystem injects
+//! seeded device crashes, message drops/delays/duplicates, and link
+//! partitions, and configures the recovery machinery (leases, delivery
+//! retry, declared fallbacks) that masks them (§VI error handling).
 //!
 //! Everything is deterministic given a seed: experiments are reproducible
 //! event-for-event.
@@ -32,6 +35,7 @@ pub mod component;
 pub mod engine;
 pub mod entity;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod obs;
 pub mod process;

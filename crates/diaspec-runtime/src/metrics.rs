@@ -42,6 +42,19 @@ pub struct RuntimeMetrics {
     /// Deliveries whose transport latency exceeded the receiving
     /// context's declared `@qos(latencyMs = N)` budget.
     pub qos_violations: u64,
+    /// Faults applied by the fault injector (crashes, restarts, drops,
+    /// duplicates, delays, partition windows).
+    pub faults_injected: u64,
+    /// Dropped deliveries re-sent with backoff (per retry attempt).
+    pub delivery_retries: u64,
+    /// Deliveries abandoned after exhausting their retry budget.
+    pub deliveries_abandoned: u64,
+    /// Leases that expired without renewal.
+    pub lease_expiries: u64,
+    /// Expired entities for which a standby was promoted and re-bound.
+    pub rebinds: u64,
+    /// Failed actuations masked by a declared `@error(fallback = ...)`.
+    pub fallback_actuations: u64,
 }
 
 impl RuntimeMetrics {
@@ -59,6 +72,14 @@ impl RuntimeMetrics {
     #[must_use]
     pub fn messages_sent(&self) -> u64 {
         self.messages_delivered + self.messages_lost
+    }
+
+    /// Total recovery actions taken by the engine (delivery retries,
+    /// lease expiries, rebinds, fallback actuations). Zero in a run with
+    /// faults disabled.
+    #[must_use]
+    pub fn recovery_actions(&self) -> u64 {
+        self.delivery_retries + self.lease_expiries + self.rebinds + self.fallback_actuations
     }
 }
 

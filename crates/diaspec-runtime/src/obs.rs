@@ -5,10 +5,12 @@
 //! entities*, *delivering data*, *processing data*, and *actuating
 //! entities* (§IV). Where [`crate::metrics::RuntimeMetrics`] counts
 //! orchestration events globally, this module attributes **durations** to
-//! those four activities, labeled by the component or device family
+//! those activities, labeled by the component or device family
 //! involved:
 //!
-//! - [`Activity`] names the four paper activities;
+//! - [`Activity`] names the four paper activities, plus *recovering* —
+//!   the cost of the §VI error-handling extension (lease expiry to
+//!   rebind, retry backoff, fallback actuation; see [`crate::fault`]);
 //! - [`LatencyHistogram`] is a zero-dependency log-bucketed histogram
 //!   (mergeable, with p50/p90/p99/max readouts);
 //! - [`Observer`] is the pluggable sink interface: attached observers
@@ -38,7 +40,8 @@ use std::sync::{Arc, Mutex};
 
 // ---- activities -----------------------------------------------------------
 
-/// The four orchestration activities of the paper (§IV).
+/// The four orchestration activities of the paper (§IV), plus recovery
+/// (the §VI error-handling extension).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Activity {
     /// Binding entities: attribute-based discovery and registration.
@@ -49,15 +52,19 @@ pub enum Activity {
     Processing,
     /// Actuating entities: invoking a declared device action.
     Actuating,
+    /// Recovering from injected faults: lease expiry to rebind, delivery
+    /// retry backoff, fallback actuations (see [`crate::fault`]).
+    Recovering,
 }
 
 impl Activity {
-    /// All four activities, in paper order.
-    pub const ALL: [Activity; 4] = [
+    /// All activities: the paper's four in paper order, then recovery.
+    pub const ALL: [Activity; 5] = [
         Activity::Binding,
         Activity::Delivering,
         Activity::Processing,
         Activity::Actuating,
+        Activity::Recovering,
     ];
 
     /// Stable lower-case label (used in exports).
@@ -68,23 +75,26 @@ impl Activity {
             Activity::Delivering => "delivering",
             Activity::Processing => "processing",
             Activity::Actuating => "actuating",
+            Activity::Recovering => "recovering",
         }
     }
 
     /// Unit of the durations recorded under this activity.
     ///
-    /// Delivery is measured on the simulation clock (milliseconds);
-    /// the other three do not advance simulated time, so they are
-    /// measured on the wall clock (microseconds).
+    /// Delivery and recovery are measured on the simulation clock
+    /// (milliseconds — recovery cost is dominated by backoff delays and
+    /// lease timeouts, which are simulated time); the other three do not
+    /// advance simulated time, so they are measured on the wall clock
+    /// (microseconds).
     #[must_use]
     pub fn unit(self) -> &'static str {
         match self {
-            Activity::Delivering => "ms",
+            Activity::Delivering | Activity::Recovering => "ms",
             _ => "us",
         }
     }
 
-    /// Dense index in `0..4`, for array-backed storage.
+    /// Dense index in `0..5`, for array-backed storage.
     #[must_use]
     pub fn index(self) -> usize {
         match self {
@@ -92,6 +102,7 @@ impl Activity {
             Activity::Delivering => 1,
             Activity::Processing => 2,
             Activity::Actuating => 3,
+            Activity::Recovering => 4,
         }
     }
 }
@@ -310,7 +321,7 @@ pub struct HistogramSummary {
 pub struct ObsSnapshot {
     /// Simulation time of the snapshot, in milliseconds.
     pub at: SimTime,
-    /// One entry per [`Activity`], in paper order.
+    /// One entry per [`Activity`], in [`Activity::ALL`] order.
     pub activities: Vec<ActivitySnapshot>,
 }
 
@@ -327,7 +338,8 @@ impl ObsSnapshot {
 /// Measurements attributed to one activity.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ActivitySnapshot {
-    /// Activity label (`binding`, `delivering`, `processing`, `actuating`).
+    /// Activity label (`binding`, `delivering`, `processing`,
+    /// `actuating`, `recovering`).
     pub activity: String,
     /// Unit of the recorded durations (`ms` simulated or `us` wall).
     pub unit: String,
@@ -526,8 +538,13 @@ impl<S: Observer> Observer for SharedSink<S> {
 
 // ---- Prometheus text exposition -------------------------------------------
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote, and line feed.
 fn escape_label(value: &str) -> String {
-    value.replace('\\', "\\\\").replace('"', "\\\"")
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Renders a snapshot in the Prometheus text exposition style:
@@ -601,7 +618,7 @@ impl ActivityStats {
 /// events flow to observers whenever any are attached.
 pub struct ObsHub {
     enabled: bool,
-    activities: [ActivityStats; 4],
+    activities: [ActivityStats; 5],
     observers: Vec<Box<dyn Observer>>,
 }
 
@@ -627,6 +644,7 @@ impl ObsHub {
         ObsHub {
             enabled: false,
             activities: [
+                ActivityStats::new(),
                 ActivityStats::new(),
                 ActivityStats::new(),
                 ActivityStats::new(),
@@ -900,6 +918,60 @@ mod tests {
             text.contains("diaspec_activity_latency_count{activity=\"delivering\",unit=\"ms\"} 2")
         );
         assert!(text.contains("quantile=\"0.99\""));
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let mut hub = ObsHub::new();
+        hub.set_enabled(true);
+        hub.record(Activity::Processing, "weird\\label\"with\nnewline", 1);
+        let text = render_prometheus(&hub.snapshot(0));
+        assert!(
+            text.contains("component=\"weird\\\\label\\\"with\\nnewline\""),
+            "{text}"
+        );
+        // The raw newline must not split the sample line in two.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("diaspec_activity_"),
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_renders_a_fully_empty_snapshot() {
+        let hub = ObsHub::new();
+        let text = render_prometheus(&hub.snapshot(0));
+        // No counters (no labels recorded), but every activity still gets
+        // a well-formed summary with zero counts.
+        assert!(text.contains("# TYPE diaspec_activity_operations_total counter"));
+        for activity in Activity::ALL {
+            assert!(
+                text.contains(&format!(
+                    "diaspec_activity_latency_count{{activity=\"{}\",unit=\"{}\"}} 0",
+                    activity.label(),
+                    activity.unit()
+                )),
+                "{text}"
+            );
+        }
+        for line in text.lines() {
+            assert!(!line.trim_end().is_empty(), "blank exposition line");
+        }
+    }
+
+    #[test]
+    fn recovering_activity_is_exported() {
+        let mut hub = ObsHub::new();
+        hub.set_enabled(true);
+        hub.record(Activity::Recovering, "Altimeter", 5_000);
+        let snap = hub.snapshot(1);
+        let rec = snap.activity(Activity::Recovering).unwrap();
+        assert_eq!(rec.unit, "ms");
+        assert_eq!(rec.latency.count, 1);
+        assert_eq!(rec.labels["Altimeter"], 1);
+        assert_eq!(snap.activities.len(), Activity::ALL.len());
     }
 
     #[test]

@@ -21,15 +21,20 @@ use std::sync::Arc;
 
 /// How the runtime reacts when a device driver fails.
 ///
-/// Parsed from the `@error(policy = "...", attempts = N)` annotation of the
-/// paper's §III non-functional extension. The default policy is
-/// [`PolicyKind::Escalate`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Parsed from the `@error(policy = "...", attempts = N, fallback = "a")`
+/// annotation of the paper's §III non-functional extension. The default
+/// policy is [`PolicyKind::Escalate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorPolicy {
     /// Reaction kind.
     pub kind: PolicyKind,
     /// Total attempts for `retry` (including the first call). At least 1.
     pub attempts: u32,
+    /// Declared fallback action: when an actuation fails beyond what the
+    /// policy can mask, this parameterless action is invoked instead — on
+    /// the failed entity first, then on its device family (a safe-state
+    /// actuation, e.g. `neutral` on a redundant elevator).
+    pub fallback: Option<String>,
 }
 
 /// The reaction kinds of an `@error` policy.
@@ -51,6 +56,7 @@ impl Default for ErrorPolicy {
         ErrorPolicy {
             kind: PolicyKind::Escalate,
             attempts: 1,
+            fallback: None,
         }
     }
 }
@@ -73,7 +79,15 @@ impl ErrorPolicy {
             .arg("attempts")
             .and_then(AnnotationArg::as_int)
             .map_or(3, |n| n.clamp(1, 100) as u32);
-        ErrorPolicy { kind, attempts }
+        let fallback = ann
+            .arg("fallback")
+            .and_then(AnnotationArg::as_str)
+            .map(str::to_owned);
+        ErrorPolicy {
+            kind,
+            attempts,
+            fallback,
+        }
     }
 }
 
@@ -95,6 +109,34 @@ pub struct EntityInfo {
 struct EntityRecord {
     info: EntityInfo,
     driver: Box<dyn DeviceInstance>,
+    /// Lease deadline: the entity must renew (by serving a query, poll,
+    /// or invocation) before this time or be unbound by
+    /// [`Registry::expire_leases`]. `None` when leases are off.
+    lease_expires_at: Option<u64>,
+    /// A crashed entity stays bound (until its lease expires) but fails
+    /// every operation and never renews its lease.
+    crashed: bool,
+}
+
+/// A validated entity waiting to replace an expired one (see
+/// [`Registry::register_standby`]).
+struct StandbyRecord {
+    device_type: String,
+    attributes: AttributeMap,
+    driver: Box<dyn DeviceInstance>,
+}
+
+/// One lease expiry processed by [`Registry::expire_leases`]: the lost
+/// entity, and the standby promoted in its place (if any matched).
+#[derive(Debug)]
+pub struct LeaseTransition {
+    /// The entity whose lease ran out (already unbound).
+    pub lost: EntityInfo,
+    /// The lease deadline that passed; the sweep time minus this is the
+    /// detection latency (bounded by the sweep interval).
+    pub deadline: u64,
+    /// The standby re-bound as its replacement, when one was available.
+    pub replacement: Option<EntityId>,
 }
 
 /// One reading collected by a batch poll.
@@ -123,6 +165,12 @@ pub struct RegistryStats {
     pub failovers: u64,
     /// Failures swallowed by the `ignore` policy.
     pub ignored_failures: u64,
+    /// Leases that expired without renewal.
+    pub lease_expiries: u64,
+    /// Standby promotions performed after a lease expiry.
+    pub rebinds: u64,
+    /// Failed actuations masked by a declared `@error(fallback = ...)`.
+    pub fallback_invocations: u64,
 }
 
 /// The entity registry.
@@ -163,6 +211,10 @@ pub struct Registry {
     /// Attribute index: (exact device type, attribute, value) -> entity
     /// ids, so attribute-filtered discovery avoids scanning the family.
     by_attribute: BTreeMap<(String, String, Value), BTreeSet<EntityId>>,
+    /// Validated spares awaiting promotion by [`Registry::expire_leases`].
+    standbys: BTreeMap<EntityId, StandbyRecord>,
+    /// Lease duration applied to (re)bound entities; `None` disables leases.
+    lease_ttl_ms: Option<u64>,
     stats: RegistryStats,
 }
 
@@ -175,6 +227,8 @@ impl Registry {
             entities: BTreeMap::new(),
             by_type: BTreeMap::new(),
             by_attribute: BTreeMap::new(),
+            standbys: BTreeMap::new(),
+            lease_ttl_ms: None,
             stats: RegistryStats::default(),
         }
     }
@@ -209,13 +263,51 @@ impl Registry {
         bound_at: BindingTime,
         now_ms: u64,
     ) -> Result<(), RuntimeError> {
+        self.check_binding(&id, device_type, &attributes)?;
+        self.by_type
+            .entry(device_type.to_owned())
+            .or_default()
+            .insert(id.clone());
+        for (attr, value) in &attributes {
+            self.by_attribute
+                .entry((device_type.to_owned(), attr.clone(), value.clone()))
+                .or_default()
+                .insert(id.clone());
+        }
+        self.entities.insert(
+            id.clone(),
+            EntityRecord {
+                info: EntityInfo {
+                    id,
+                    device_type: device_type.to_owned(),
+                    attributes,
+                    bound_at,
+                    bound_time_ms: now_ms,
+                },
+                driver,
+                lease_expires_at: self.lease_ttl_ms.map(|ttl| now_ms.saturating_add(ttl)),
+                crashed: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Validates that `id` is free and that `attributes` conform to the
+    /// declaration of `device_type` (shared by [`Registry::bind`] and
+    /// [`Registry::register_standby`]).
+    fn check_binding(
+        &self,
+        id: &EntityId,
+        device_type: &str,
+        attributes: &AttributeMap,
+    ) -> Result<(), RuntimeError> {
         let Some(device) = self.spec.device(device_type) else {
             return Err(RuntimeError::Unknown {
                 kind: "device",
                 name: device_type.to_owned(),
             });
         };
-        if self.entities.contains_key(&id) {
+        if self.entities.contains_key(id) || self.standbys.contains_key(id) {
             return Err(RuntimeError::Configuration(format!(
                 "entity `{id}` is already bound"
             )));
@@ -248,29 +340,6 @@ impl Registry {
                 )));
             }
         }
-        self.by_type
-            .entry(device_type.to_owned())
-            .or_default()
-            .insert(id.clone());
-        for (attr, value) in &attributes {
-            self.by_attribute
-                .entry((device_type.to_owned(), attr.clone(), value.clone()))
-                .or_default()
-                .insert(id.clone());
-        }
-        self.entities.insert(
-            id.clone(),
-            EntityRecord {
-                info: EntityInfo {
-                    id,
-                    device_type: device_type.to_owned(),
-                    attributes,
-                    bound_at,
-                    bound_time_ms: now_ms,
-                },
-                driver,
-            },
-        );
         Ok(())
     }
 
@@ -464,13 +533,21 @@ impl Registry {
         source: &str,
         now_ms: u64,
     ) -> Result<Value, DeviceError> {
+        let lease_ttl = self.lease_ttl_ms;
         let record = self
             .entities
             .get_mut(id)
             .expect("caller validated entity exists");
+        if record.crashed {
+            return Err(DeviceError::new(id.to_string(), source, "device crashed"));
+        }
         let result = record.driver.query(source, now_ms);
         if result.is_ok() {
             self.stats.queries += 1;
+            // Serving a read successfully renews the entity's lease.
+            if let Some(ttl) = lease_ttl {
+                record.lease_expires_at = Some(now_ms.saturating_add(ttl));
+            }
         }
         result
     }
@@ -579,12 +656,8 @@ impl Registry {
             if attempt > 0 {
                 self.stats.retries += 1;
             }
-            let record = self.entities.get_mut(id).expect("validated above");
-            match record.driver.invoke(action, args, now_ms) {
-                Ok(()) => {
-                    self.stats.invocations += 1;
-                    return Ok(());
-                }
+            match self.raw_invoke(id, action, args, now_ms) {
+                Ok(()) => return Ok(()),
                 Err(e) => {
                     self.stats.driver_failures += 1;
                     last_err = Some(e);
@@ -597,8 +670,215 @@ impl Registry {
                 self.stats.ignored_failures += 1;
                 Ok(())
             }
-            _ => Err(err.into()),
+            _ => {
+                if let Some(fallback) = policy.fallback.as_deref() {
+                    if self.invoke_fallback(id, fallback, now_ms) {
+                        return Ok(());
+                    }
+                }
+                Err(err.into())
+            }
         }
+    }
+
+    /// Calls the driver directly, maintaining counters and lease renewal.
+    fn raw_invoke(
+        &mut self,
+        id: &EntityId,
+        action: &str,
+        args: &[Value],
+        now_ms: u64,
+    ) -> Result<(), DeviceError> {
+        let lease_ttl = self.lease_ttl_ms;
+        let record = self
+            .entities
+            .get_mut(id)
+            .expect("caller validated entity exists");
+        if record.crashed {
+            return Err(DeviceError::new(id.to_string(), action, "device crashed"));
+        }
+        record.driver.invoke(action, args, now_ms)?;
+        self.stats.invocations += 1;
+        // Serving an actuation successfully renews the entity's lease.
+        if let Some(ttl) = lease_ttl {
+            record.lease_expires_at = Some(now_ms.saturating_add(ttl));
+        }
+        Ok(())
+    }
+
+    /// Drives the declared `@error(fallback = ...)` action after an
+    /// unrecovered actuation failure: a parameterless safe-state actuation
+    /// tried on the failed entity first, then across its device family
+    /// (interchangeable siblings preferred). Returns whether any target
+    /// acknowledged it.
+    fn invoke_fallback(&mut self, id: &EntityId, action: &str, now_ms: u64) -> bool {
+        let (device_type, attrs) = {
+            let info = &self.entities[id].info;
+            (info.device_type.clone(), info.attributes.clone())
+        };
+        let family: Vec<EntityId> = self
+            .ids_of_family(&device_type)
+            .into_iter()
+            .filter(|sid| *sid != id)
+            .cloned()
+            .collect();
+        let (matching, others): (Vec<EntityId>, Vec<EntityId>) = family
+            .into_iter()
+            .partition(|sid| self.entities[sid].info.attributes == attrs);
+        for target in std::iter::once(id.clone()).chain(matching).chain(others) {
+            if self.raw_invoke(&target, action, &[], now_ms).is_ok() {
+                self.stats.fallback_invocations += 1;
+                return true;
+            }
+            self.stats.driver_failures += 1;
+        }
+        false
+    }
+
+    /// Enables (or disables) lease-based bindings: every bound entity must
+    /// renew its lease — by successfully serving a query, poll, or
+    /// invocation — within `ttl_ms`, or [`Registry::expire_leases`] will
+    /// unbind it. Existing bindings are stamped with a fresh lease starting
+    /// at `now_ms`; `None` clears all leases.
+    pub fn set_lease_ttl(&mut self, ttl_ms: Option<u64>, now_ms: u64) {
+        self.lease_ttl_ms = ttl_ms;
+        for record in self.entities.values_mut() {
+            record.lease_expires_at = ttl_ms.map(|ttl| now_ms.saturating_add(ttl));
+        }
+    }
+
+    /// The lease deadline of entity `id`, when leases are enabled and the
+    /// entity is bound.
+    #[must_use]
+    pub fn lease_of(&self, id: &EntityId) -> Option<u64> {
+        self.entities.get(id).and_then(|r| r.lease_expires_at)
+    }
+
+    /// Marks entity `id` as crashed (`true`) or restarted (`false`). A
+    /// crashed entity stays bound — until its lease expires — but fails
+    /// every query and actuation and never renews its lease.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Unknown`] if the entity is not bound.
+    pub fn set_crashed(&mut self, id: &EntityId, crashed: bool) -> Result<(), RuntimeError> {
+        let record = self
+            .entities
+            .get_mut(id)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "entity",
+                name: id.to_string(),
+            })?;
+        record.crashed = crashed;
+        Ok(())
+    }
+
+    /// Whether entity `id` is currently marked crashed.
+    #[must_use]
+    pub fn is_crashed(&self, id: &EntityId) -> bool {
+        self.entities.get(id).is_some_and(|r| r.crashed)
+    }
+
+    /// Registers a standby entity: validated exactly like [`Registry::bind`]
+    /// but invisible to discovery, queries, and actuations until
+    /// [`Registry::expire_leases`] promotes it to replace an expired entity
+    /// of the same device type.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Registry::bind`].
+    pub fn register_standby(
+        &mut self,
+        id: EntityId,
+        device_type: &str,
+        attributes: AttributeMap,
+        driver: Box<dyn DeviceInstance>,
+    ) -> Result<(), RuntimeError> {
+        self.check_binding(&id, device_type, &attributes)?;
+        self.standbys.insert(
+            id,
+            StandbyRecord {
+                device_type: device_type.to_owned(),
+                attributes,
+                driver,
+            },
+        );
+        Ok(())
+    }
+
+    /// Number of standby entities awaiting promotion.
+    #[must_use]
+    pub fn standby_count(&self) -> usize {
+        self.standbys.len()
+    }
+
+    /// Unbinds every entity whose lease deadline is at or before `now_ms`
+    /// and promotes a standby replacement where one is available — a
+    /// standby of the same device type with identical attributes is
+    /// preferred, then any standby of the exact type, in id order.
+    /// Replacements are bound at [`BindingTime::Runtime`] with a fresh
+    /// lease.
+    ///
+    /// Leases are heartbeat-based: only devices that produce data renew
+    /// through their own traffic, so silence is meaningful for them
+    /// alone. A pure actuator (no declared sources) is reaped only once
+    /// marked crashed — its failures otherwise surface at actuation time
+    /// through the declared `@error` policy.
+    pub fn expire_leases(&mut self, now_ms: u64) -> Vec<LeaseTransition> {
+        let expired: Vec<(EntityId, u64)> = self
+            .entities
+            .iter()
+            .filter_map(|(id, r)| {
+                let heartbeat_expected = r.crashed
+                    || self
+                        .spec
+                        .device(&r.info.device_type)
+                        .is_some_and(|d| !d.sources.is_empty());
+                if !heartbeat_expected {
+                    return None;
+                }
+                r.lease_expires_at
+                    .filter(|t| *t <= now_ms)
+                    .map(|deadline| (id.clone(), deadline))
+            })
+            .collect();
+        let mut transitions = Vec::with_capacity(expired.len());
+        for (id, deadline) in expired {
+            self.stats.lease_expiries += 1;
+            let lost = self.unbind(&id).expect("expired entity is bound");
+            let replacement = self.promote_standby(&lost, now_ms);
+            transitions.push(LeaseTransition {
+                lost,
+                deadline,
+                replacement,
+            });
+        }
+        transitions
+    }
+
+    fn promote_standby(&mut self, lost: &EntityInfo, now_ms: u64) -> Option<EntityId> {
+        let id = self
+            .standbys
+            .iter()
+            .find(|(_, s)| s.device_type == lost.device_type && s.attributes == lost.attributes)
+            .or_else(|| {
+                self.standbys
+                    .iter()
+                    .find(|(_, s)| s.device_type == lost.device_type)
+            })
+            .map(|(id, _)| id.clone())?;
+        let standby = self.standbys.remove(&id).expect("just found");
+        self.bind(
+            id.clone(),
+            &standby.device_type,
+            standby.attributes,
+            standby.driver,
+            BindingTime::Runtime,
+            now_ms,
+        )
+        .expect("standby was validated at registration");
+        self.stats.rebinds += 1;
+        Some(id)
     }
 }
 
@@ -606,6 +886,7 @@ impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Registry")
             .field("entities", &self.entities.len())
+            .field("standbys", &self.standbys.len())
             .field("types", &self.by_type.keys().collect::<Vec<_>>())
             .field("stats", &self.stats)
             .finish()
@@ -718,6 +999,11 @@ mod tests {
         device RedundantSensor {
           attribute zone as String;
           source reading as Integer;
+        }
+        @error(policy = "retry", attempts = 2, fallback = "neutral")
+        device SafeActuator {
+          action engage(level as Integer);
+          action neutral;
         }
     "#;
 
@@ -1131,9 +1417,265 @@ mod tests {
         let flaky = ErrorPolicy::of_device(spec.device("FlakySensor").unwrap());
         assert_eq!(flaky.kind, PolicyKind::Retry);
         assert_eq!(flaky.attempts, 3);
+        assert_eq!(flaky.fallback, None);
         let lossy = ErrorPolicy::of_device(spec.device("LossySensor").unwrap());
         assert_eq!(lossy.kind, PolicyKind::Ignore);
         let plain = ErrorPolicy::of_device(spec.device("PresenceSensor").unwrap());
         assert_eq!(plain.kind, PolicyKind::Escalate);
+        let safe = ErrorPolicy::of_device(spec.device("SafeActuator").unwrap());
+        assert_eq!(safe.fallback.as_deref(), Some("neutral"));
+    }
+
+    /// A driver whose `failing` action always errors; everything else
+    /// succeeds (queries included).
+    struct FailingActionDriver {
+        failing: &'static str,
+    }
+
+    impl DeviceInstance for FailingActionDriver {
+        fn query(&mut self, _source: &str, _now: u64) -> Result<Value, DeviceError> {
+            Ok(Value::Int(0))
+        }
+
+        fn invoke(&mut self, action: &str, _args: &[Value], _now: u64) -> Result<(), DeviceError> {
+            if action == self.failing {
+                Err(DeviceError::new("selective", action, "jammed"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn leases_renew_on_activity_and_expire_without_it() {
+        let mut reg = registry();
+        reg.set_lease_ttl(Some(100), 0);
+        reg.bind(
+            "s1".into(),
+            "PresenceSensor",
+            attrs(&[("parkingLot", "A22")]),
+            const_driver(Value::Bool(true)),
+            BindingTime::Deployment,
+            0,
+        )
+        .unwrap();
+        assert_eq!(reg.lease_of(&"s1".into()), Some(100));
+        // Serving a query at t=50 pushes the deadline to t=150.
+        reg.query_source(&"s1".into(), "presence", 50).unwrap();
+        assert_eq!(reg.lease_of(&"s1".into()), Some(150));
+        assert!(reg.expire_leases(149).is_empty());
+        let transitions = reg.expire_leases(150);
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(transitions[0].lost.id, EntityId::from("s1"));
+        assert!(transitions[0].replacement.is_none());
+        assert!(!reg.contains(&"s1".into()));
+        assert_eq!(reg.stats().lease_expiries, 1);
+        assert_eq!(reg.stats().rebinds, 0);
+    }
+
+    #[test]
+    fn crashed_entity_fails_everything_and_never_renews() {
+        let mut reg = registry();
+        reg.set_lease_ttl(Some(100), 0);
+        reg.bind(
+            "s1".into(),
+            "PresenceSensor",
+            attrs(&[("parkingLot", "A22")]),
+            const_driver(Value::Bool(true)),
+            BindingTime::Deployment,
+            0,
+        )
+        .unwrap();
+        reg.set_crashed(&"s1".into(), true).unwrap();
+        assert!(reg.is_crashed(&"s1".into()));
+        // The driver would answer, but the crash masks it — and the
+        // failed query must not renew the lease.
+        assert!(reg.query_source(&"s1".into(), "presence", 50).is_err());
+        assert_eq!(reg.lease_of(&"s1".into()), Some(100));
+        assert_eq!(reg.expire_leases(100).len(), 1);
+        // A restart lifts the crash flag.
+        assert!(reg.set_crashed(&"ghost".into(), false).is_err());
+        assert!(!reg.is_crashed(&"s1".into()));
+    }
+
+    #[test]
+    fn standby_promotion_prefers_matching_attributes() {
+        let mut reg = registry();
+        reg.set_lease_ttl(Some(100), 0);
+        reg.bind(
+            "r1".into(),
+            "RedundantSensor",
+            attrs(&[("zone", "north")]),
+            const_driver(Value::Int(1)),
+            BindingTime::Deployment,
+            0,
+        )
+        .unwrap();
+        reg.register_standby(
+            "sb-a".into(),
+            "RedundantSensor",
+            attrs(&[("zone", "south")]),
+            const_driver(Value::Int(2)),
+        )
+        .unwrap();
+        reg.register_standby(
+            "sb-b".into(),
+            "RedundantSensor",
+            attrs(&[("zone", "north")]),
+            const_driver(Value::Int(3)),
+        )
+        .unwrap();
+        assert_eq!(reg.standby_count(), 2);
+        let transitions = reg.expire_leases(100);
+        assert_eq!(transitions.len(), 1);
+        // sb-b matches the lost entity's attributes exactly and wins over
+        // the lexicographically earlier sb-a.
+        assert_eq!(transitions[0].replacement, Some(EntityId::from("sb-b")));
+        assert_eq!(reg.standby_count(), 1);
+        assert_eq!(reg.stats().rebinds, 1);
+        let info = reg.entity(&"sb-b".into()).unwrap();
+        assert_eq!(info.bound_at, BindingTime::Runtime);
+        assert_eq!(info.bound_time_ms, 100);
+        // The replacement starts with a fresh lease.
+        assert_eq!(reg.lease_of(&"sb-b".into()), Some(200));
+        assert_eq!(
+            reg.query_source(&"sb-b".into(), "reading", 100).unwrap(),
+            Some(Value::Int(3))
+        );
+    }
+
+    #[test]
+    fn idle_actuator_keeps_its_lease_until_crashed() {
+        let mut reg = registry();
+        reg.set_lease_ttl(Some(100), 0);
+        reg.bind(
+            "panel".into(),
+            "DisplayPanel",
+            AttributeMap::new(),
+            const_driver(Value::Bool(true)),
+            BindingTime::Deployment,
+            0,
+        )
+        .unwrap();
+        // No sources means no heartbeat to miss: the idle actuator
+        // survives the sweep long past its nominal deadline.
+        assert!(reg.expire_leases(10_000).is_empty());
+        assert!(reg.contains(&"panel".into()));
+        // Once crashed it is reaped like any silent device.
+        reg.set_crashed(&"panel".into(), true).unwrap();
+        assert_eq!(reg.expire_leases(10_000).len(), 1);
+        assert!(!reg.contains(&"panel".into()));
+    }
+
+    #[test]
+    fn standby_ids_share_the_bind_namespace() {
+        let mut reg = registry();
+        reg.bind(
+            "s1".into(),
+            "PresenceSensor",
+            attrs(&[("parkingLot", "A22")]),
+            const_driver(Value::Bool(true)),
+            BindingTime::Deployment,
+            0,
+        )
+        .unwrap();
+        // A standby cannot reuse a bound id, and vice versa.
+        assert!(reg
+            .register_standby(
+                "s1".into(),
+                "PresenceSensor",
+                attrs(&[("parkingLot", "A22")]),
+                const_driver(Value::Bool(true)),
+            )
+            .is_err());
+        reg.register_standby(
+            "sb".into(),
+            "PresenceSensor",
+            attrs(&[("parkingLot", "A22")]),
+            const_driver(Value::Bool(true)),
+        )
+        .unwrap();
+        assert!(reg
+            .bind(
+                "sb".into(),
+                "PresenceSensor",
+                attrs(&[("parkingLot", "A22")]),
+                const_driver(Value::Bool(true)),
+                BindingTime::Runtime,
+                0,
+            )
+            .is_err());
+        // Standby attributes are validated against the declaration.
+        assert!(reg
+            .register_standby(
+                "bad".into(),
+                "PresenceSensor",
+                AttributeMap::new(),
+                const_driver(Value::Bool(true))
+            )
+            .is_err());
+        assert!(reg
+            .register_standby(
+                "bad".into(),
+                "Ghost",
+                AttributeMap::new(),
+                const_driver(Value::Bool(true))
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn fallback_action_masks_failed_actuation_on_same_entity() {
+        let mut reg = registry();
+        reg.bind(
+            "a1".into(),
+            "SafeActuator",
+            AttributeMap::new(),
+            Box::new(FailingActionDriver { failing: "engage" }),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        // `engage` fails both retry attempts, then the declared fallback
+        // `neutral` succeeds on the same entity.
+        reg.invoke(&"a1".into(), "engage", &[Value::Int(5)], 0)
+            .unwrap();
+        assert_eq!(reg.stats().retries, 1, "attempts=2 means 1 retry");
+        assert_eq!(reg.stats().fallback_invocations, 1);
+    }
+
+    #[test]
+    fn fallback_action_fails_over_to_a_family_sibling() {
+        let mut reg = registry();
+        reg.bind(
+            "a1".into(),
+            "SafeActuator",
+            AttributeMap::new(),
+            Box::new(FlakyDriver {
+                fail_count: u32::MAX,
+                calls: 0,
+                value: Value::Int(0),
+            }),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        // Alone, even the fallback fails: the error escalates.
+        assert!(reg
+            .invoke(&"a1".into(), "engage", &[Value::Int(5)], 0)
+            .is_err());
+        // With a healthy sibling, the fallback lands there.
+        reg.bind(
+            "a2".into(),
+            "SafeActuator",
+            AttributeMap::new(),
+            Box::new(FailingActionDriver { failing: "engage" }),
+            BindingTime::Launch,
+            0,
+        )
+        .unwrap();
+        reg.invoke(&"a1".into(), "engage", &[Value::Int(5)], 0)
+            .unwrap();
+        assert_eq!(reg.stats().fallback_invocations, 1);
     }
 }

@@ -61,6 +61,38 @@ pub enum TraceKind {
         /// Rendered error.
         message: String,
     },
+    /// The fault injector applied a fault (see
+    /// [`fault`](crate::fault)).
+    FaultInjected {
+        /// Rendered fault (e.g. `crash altimeter-NOSE`).
+        fault: String,
+    },
+    /// A bound entity's lease ran out without renewal.
+    LeaseExpired {
+        /// The entity whose lease expired.
+        entity: String,
+    },
+    /// The registry re-bound a replacement for a lost entity.
+    Rebound {
+        /// The entity that was lost.
+        lost: String,
+        /// The standby promoted in its place.
+        replacement: String,
+    },
+    /// A dropped delivery was re-sent with backoff.
+    DeliveryRetry {
+        /// The receiving component.
+        to: String,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+    },
+    /// A failed actuation was masked by its declared fallback action.
+    FallbackActuation {
+        /// Target entity.
+        entity: String,
+        /// The fallback action invoked.
+        action: String,
+    },
 }
 
 /// One trace entry.
@@ -97,6 +129,19 @@ impl fmt::Display for TraceEvent {
                 write!(f, "actuate   {entity}.{action}()")
             }
             TraceKind::Error { message } => write!(f, "ERROR     {message}"),
+            TraceKind::FaultInjected { fault } => write!(f, "FAULT     {fault}"),
+            TraceKind::LeaseExpired { entity } => {
+                write!(f, "lease     {entity} expired")
+            }
+            TraceKind::Rebound { lost, replacement } => {
+                write!(f, "rebind    {lost} -> {replacement}")
+            }
+            TraceKind::DeliveryRetry { to, attempt } => {
+                write!(f, "retry     -> {to} (attempt {attempt})")
+            }
+            TraceKind::FallbackActuation { entity, action } => {
+                write!(f, "fallback  {entity}.{action}()")
+            }
         }
     }
 }
@@ -243,6 +288,24 @@ mod tests {
             },
             TraceKind::Error {
                 message: "boom".into(),
+            },
+            TraceKind::FaultInjected {
+                fault: "crash altimeter-NOSE".into(),
+            },
+            TraceKind::LeaseExpired {
+                entity: "altimeter-NOSE".into(),
+            },
+            TraceKind::Rebound {
+                lost: "altimeter-NOSE".into(),
+                replacement: "altimeter-SPARE".into(),
+            },
+            TraceKind::DeliveryRetry {
+                to: "FlightState".into(),
+                attempt: 2,
+            },
+            TraceKind::FallbackActuation {
+                entity: "elevator-1".into(),
+                action: "neutral".into(),
             },
         ];
         for kind in samples {

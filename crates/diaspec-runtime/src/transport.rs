@@ -10,6 +10,7 @@
 //! characteristics as experiment parameters.
 
 use crate::clock::SimTime;
+use crate::fault::{FaultInjector, MessageFate};
 use crate::obs::LatencyHistogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,6 +50,36 @@ impl Default for TransportConfig {
             latency: LatencyModel::Zero,
             loss_probability: 0.0,
             seed: 0,
+        }
+    }
+}
+
+/// The outcome of a [`Transport::send_through`]: a send across a link
+/// with fault injection layered on top of the transport's own model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendOutcome {
+    /// `Some(latency)` when the primary copy is delivered.
+    pub delivery: Option<SimTime>,
+    /// `Some(latency)` when a fault duplicated the message and the
+    /// duplicate copy also survived the transport.
+    pub duplicate: Option<SimTime>,
+    /// The message was dropped by an injected fault (as opposed to the
+    /// transport's own loss model).
+    pub fault_dropped: bool,
+    /// Injected extra delay included in `delivery` (0 when none).
+    pub extra_delay_ms: SimTime,
+}
+
+impl SendOutcome {
+    /// Wraps a plain [`Transport::send`] result: no injector involved, so
+    /// no duplicate, no injected drop, no extra delay.
+    #[must_use]
+    pub fn without_faults(delivery: Option<SimTime>) -> Self {
+        SendOutcome {
+            delivery,
+            duplicate: None,
+            fault_dropped: false,
+            extra_delay_ms: 0,
         }
     }
 }
@@ -117,26 +148,94 @@ impl Transport {
         self.config
     }
 
-    /// Samples the fate of one message: `Some(latency)` when delivered,
-    /// `None` when lost.
-    pub fn send(&mut self) -> Option<SimTime> {
+    /// Samples loss and latency without touching the counters.
+    fn sample_delivery(&mut self) -> Option<SimTime> {
         if self.config.loss_probability > 0.0
             && self.rng.gen::<f64>() < self.config.loss_probability
         {
-            self.dropped += 1;
             return None;
         }
-        let latency = match self.config.latency {
+        Some(match self.config.latency {
             LatencyModel::Zero => 0,
             LatencyModel::Fixed(ms) => ms,
             LatencyModel::Uniform { min_ms, max_ms } => self.rng.gen_range(min_ms..=max_ms),
-        };
+        })
+    }
+
+    fn record_delivery(&mut self, latency: SimTime) {
         self.delivered += 1;
         self.total_latency_ms += u128::from(latency);
         if let Some(histogram) = &mut self.histogram {
             histogram.record(latency);
         }
-        Some(latency)
+    }
+
+    /// Samples the fate of one message: `Some(latency)` when delivered,
+    /// `None` when lost.
+    pub fn send(&mut self) -> Option<SimTime> {
+        match self.sample_delivery() {
+            Some(latency) => {
+                self.record_delivery(latency);
+                Some(latency)
+            }
+            None => {
+                self.dropped += 1;
+                None
+            }
+        }
+    }
+
+    /// Sends one message across a link with fault injection layered on:
+    /// the injector decides drop/delay/duplication first (seeded
+    /// independently of the transport, so fault-free paths are
+    /// unaffected), then the transport's own loss and latency apply.
+    /// Injected extra delay is accounted in the latency statistics.
+    pub fn send_through(&mut self, faults: &mut FaultInjector) -> SendOutcome {
+        match faults.message_fate() {
+            MessageFate::Drop => {
+                self.dropped += 1;
+                SendOutcome {
+                    delivery: None,
+                    duplicate: None,
+                    fault_dropped: true,
+                    extra_delay_ms: 0,
+                }
+            }
+            MessageFate::Deliver {
+                extra_delay_ms,
+                duplicated,
+            } => {
+                let delivery = match self.sample_delivery() {
+                    Some(latency) => {
+                        let total = latency.saturating_add(extra_delay_ms);
+                        self.record_delivery(total);
+                        Some(total)
+                    }
+                    None => {
+                        self.dropped += 1;
+                        None
+                    }
+                };
+                // The duplicate copy takes its own independent path.
+                let duplicate = if duplicated {
+                    self.sample_delivery().inspect(|&latency| {
+                        self.record_delivery(latency);
+                    })
+                } else {
+                    None
+                };
+                SendOutcome {
+                    delivery,
+                    duplicate,
+                    fault_dropped: false,
+                    extra_delay_ms: if delivery.is_some() {
+                        extra_delay_ms
+                    } else {
+                        0
+                    },
+                }
+            }
+        }
     }
 
     /// Messages delivered so far.
@@ -261,6 +360,58 @@ mod tests {
         assert_eq!(h.count(), t.delivered());
         assert!(h.min() >= 10 && h.max() <= 50);
         assert!(h.quantile(0.5) >= 10);
+    }
+
+    #[test]
+    fn send_through_layers_faults_over_the_transport() {
+        use crate::fault::FaultPlan;
+        let mut t = Transport::new(TransportConfig {
+            latency: LatencyModel::Fixed(10),
+            ..TransportConfig::default()
+        });
+        t.enable_latency_histogram();
+        // A guaranteed delay fault adds to the transport latency and is
+        // visible in the histogram.
+        let mut inj = FaultInjector::new(FaultPlan::seeded(3).delay_messages(1.0, 90));
+        let out = t.send_through(&mut inj);
+        assert_eq!(out.delivery, Some(100));
+        assert_eq!(out.extra_delay_ms, 90);
+        assert!(!out.fault_dropped);
+        assert_eq!(t.latency_histogram().unwrap().max(), 100);
+        // A guaranteed drop fault loses the message without consuming
+        // the transport's loss sample.
+        let mut inj = FaultInjector::new(FaultPlan::seeded(3).drop_messages(1.0));
+        let out = t.send_through(&mut inj);
+        assert_eq!(out.delivery, None);
+        assert!(out.fault_dropped);
+        // A guaranteed duplicate delivers two copies.
+        let mut inj = FaultInjector::new(FaultPlan::seeded(3).duplicate_messages(1.0));
+        let out = t.send_through(&mut inj);
+        assert_eq!(out.delivery, Some(10));
+        assert_eq!(out.duplicate, Some(10));
+        assert_eq!(t.delivered(), 3);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn send_through_with_empty_plan_equals_plain_send() {
+        let config = TransportConfig {
+            latency: LatencyModel::Uniform {
+                min_ms: 5,
+                max_ms: 50,
+            },
+            loss_probability: 0.2,
+            seed: 31,
+        };
+        let mut plain = Transport::new(config);
+        let mut faulty = Transport::new(config);
+        let mut inj = FaultInjector::new(crate::fault::FaultPlan::default());
+        for _ in 0..300 {
+            let out = faulty.send_through(&mut inj);
+            assert_eq!(out.delivery, plain.send());
+            assert_eq!(out.duplicate, None);
+        }
+        assert_eq!(inj.injected(), 0);
     }
 
     #[test]

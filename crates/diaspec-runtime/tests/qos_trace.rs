@@ -115,6 +115,11 @@ fn trace_records_the_full_chain_in_order() {
             TraceKind::ControllerActivation { .. } => "controller",
             TraceKind::Actuation { .. } => "actuate",
             TraceKind::Error { .. } => "error",
+            TraceKind::FaultInjected { .. }
+            | TraceKind::LeaseExpired { .. }
+            | TraceKind::Rebound { .. }
+            | TraceKind::DeliveryRetry { .. }
+            | TraceKind::FallbackActuation { .. } => "recovery",
         })
         .collect();
     assert_eq!(

@@ -12,6 +12,8 @@ use diaspec_devices::common::{ActuationLog, FailingDevice, FaultMode, RecordingA
 use diaspec_runtime::component::ContextActivation;
 use diaspec_runtime::engine::{ContextApi, ControllerApi, Orchestrator};
 use diaspec_runtime::error::RuntimeError;
+use diaspec_runtime::fault::{FaultPlan, RecoveryConfig, RetryConfig};
+use diaspec_runtime::trace::TraceKind;
 use diaspec_runtime::value::Value;
 use std::sync::Arc;
 
@@ -228,6 +230,223 @@ fn escalate_policy_surfaces_the_failure() {
     orch.run_until(100);
     let errors = orch.drain_errors();
     assert_eq!(errors.len(), 1, "{errors:?}");
+}
+
+// ---- the seeded fault plan + recovery machinery (leases, retry, fallback) ------
+
+/// A small churn scenario: one leased sensor polled every second feeds a
+/// relay context whose publications actuate a sink; a standby sensor
+/// waits for promotion. With `faults` a seeded plan drops ~30% of
+/// messages and crashes the primary sensor at t = 5.5 s.
+const CHURN_SPEC: &str = r#"
+    @error(policy = "ignore")
+    device Sensor { attribute zone as String; source v as Integer; }
+    device Sink { action absorb(total as Integer); }
+    context Relay as Integer {
+      when periodic v from Sensor <1 sec> maybe publish;
+    }
+    controller Out { when provided Relay do absorb on Sink; }
+"#;
+
+fn build_churn(faults: bool) -> (Orchestrator, ActuationLog) {
+    let spec = Arc::new(diaspec_core::compile_str(CHURN_SPEC).unwrap());
+    let mut orch = Orchestrator::new(spec);
+    orch.register_context(
+        "Relay",
+        |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
+            ContextActivation::Batch(batch) if !batch.readings.is_empty() => Ok(Some(Value::Int(
+                batch.readings.iter().filter_map(|r| r.value.as_int()).sum(),
+            ))),
+            _ => Ok(None),
+        },
+    )
+    .unwrap();
+    let log = ActuationLog::new();
+    let sink_log = log.clone();
+    orch.register_controller(
+        "Out",
+        move |api: &mut ControllerApi<'_>, _: &str, value: &Value| {
+            let _ = &sink_log;
+            for sink in api.discover("Sink")?.ids() {
+                api.invoke(&sink, "absorb", std::slice::from_ref(value))?;
+            }
+            Ok(())
+        },
+    )
+    .unwrap();
+    let mut attrs = diaspec_runtime::entity::AttributeMap::new();
+    attrs.insert("zone".to_owned(), Value::Str("east".into()));
+    orch.bind_entity(
+        "sensor-a".into(),
+        "Sensor",
+        attrs.clone(),
+        Box::new(|_: &str, _: u64| Ok(Value::Int(5))),
+    )
+    .unwrap();
+    orch.bind_entity(
+        "sink-1".into(),
+        "Sink",
+        Default::default(),
+        Box::new(RecordingActuator::new(log.clone())),
+    )
+    .unwrap();
+    orch.register_standby(
+        "sensor-b".into(),
+        "Sensor",
+        attrs,
+        Box::new(|_: &str, _: u64| Ok(Value::Int(7))),
+    )
+    .unwrap();
+    if faults {
+        orch.enable_faults(
+            FaultPlan::seeded(42)
+                .drop_messages(0.3)
+                .crash_at(5_500, "sensor-a"),
+        )
+        .unwrap();
+    }
+    // Recovery machinery is on in BOTH runs: leases with a 2 s TTL and
+    // default exponential-backoff retry. Without faults it must be free.
+    orch.enable_recovery(
+        RecoveryConfig::default()
+            .with_leases(2_000)
+            .with_retry(RetryConfig::default()),
+    )
+    .unwrap();
+    orch.set_tracing(true);
+    orch.launch().unwrap();
+    (orch, log)
+}
+
+fn is_recovery_kind(kind: &TraceKind) -> bool {
+    matches!(
+        kind,
+        TraceKind::FaultInjected { .. }
+            | TraceKind::LeaseExpired { .. }
+            | TraceKind::Rebound { .. }
+            | TraceKind::DeliveryRetry { .. }
+            | TraceKind::FallbackActuation { .. }
+    )
+}
+
+#[test]
+fn seeded_crash_expires_lease_rebinds_standby_and_retries_drops() {
+    let (mut orch, log) = build_churn(true);
+    orch.run_until(20_000);
+    let trace = orch.take_trace();
+
+    // 1. The scheduled crash was injected and traced.
+    let crash_at = trace
+        .iter()
+        .find_map(|e| match &e.kind {
+            TraceKind::FaultInjected { fault } if fault == "crash sensor-a" => Some(e.at),
+            _ => None,
+        })
+        .expect("crash injected");
+    assert_eq!(crash_at, 5_500);
+
+    // 2. The crashed device stops renewing its lease; the sweep detects
+    // the expiry at the deadline (last renewal at t = 5 s + 2 s TTL).
+    let expiry = trace
+        .iter()
+        .find(|e| matches!(&e.kind, TraceKind::LeaseExpired { entity } if entity == "sensor-a"))
+        .expect("lease expired");
+    assert_eq!(expiry.at, 7_000);
+
+    // 3. The registry re-binds the matching standby in the same sweep.
+    assert!(
+        trace.iter().any(|e| matches!(
+            &e.kind,
+            TraceKind::Rebound { lost, replacement }
+                if lost == "sensor-a" && replacement == "sensor-b" && e.at == 7_000
+        )),
+        "standby promoted: {trace:#?}"
+    );
+
+    // 4. Dropped deliveries were retried with backoff.
+    assert!(
+        trace
+            .iter()
+            .any(|e| matches!(&e.kind, TraceKind::DeliveryRetry { to, attempt: 1 } if to == "Out")),
+        "first retry traced: {trace:#?}"
+    );
+    let metrics = orch.metrics();
+    assert!(metrics.delivery_retries > 0, "{metrics:?}");
+    assert_eq!(metrics.lease_expiries, 1, "{metrics:?}");
+    assert_eq!(metrics.rebinds, 1, "{metrics:?}");
+    assert!(metrics.faults_injected > 1, "crash + drops: {metrics:?}");
+
+    // 5. The replacement keeps the chain alive: the sink is actuated with
+    // the standby's reading (7) after the rebind.
+    assert!(
+        log.entries().iter().any(|a| a.args[0] == Value::Int(7)),
+        "standby readings reached the sink: {:?}",
+        log.entries()
+    );
+    assert!(orch.drain_errors().is_empty(), "recovery masked everything");
+}
+
+#[test]
+fn seeded_fault_run_is_reproducible_event_for_event() {
+    let (mut a, _) = build_churn(true);
+    let (mut b, _) = build_churn(true);
+    a.run_until(20_000);
+    b.run_until(20_000);
+    let render = |orch: &mut Orchestrator| -> Vec<String> {
+        orch.take_trace().iter().map(ToString::to_string).collect()
+    };
+    assert_eq!(render(&mut a), render(&mut b));
+    assert_eq!(format!("{:?}", a.metrics()), format!("{:?}", b.metrics()));
+}
+
+#[test]
+fn fault_free_run_produces_zero_recovery_events() {
+    let (mut orch, log) = build_churn(false);
+    orch.run_until(20_000);
+    let trace = orch.take_trace();
+    assert!(
+        !trace.iter().any(|e| is_recovery_kind(&e.kind)),
+        "no recovery events without faults: {trace:#?}"
+    );
+    let metrics = orch.metrics();
+    assert_eq!(metrics.recovery_actions(), 0, "{metrics:?}");
+    assert_eq!(metrics.faults_injected, 0, "{metrics:?}");
+    assert_eq!(metrics.deliveries_abandoned, 0, "{metrics:?}");
+    // Every poll publication reaches the sink: polls at 1..=20 s.
+    assert_eq!(log.count("absorb"), 20, "{:?}", log.entries());
+    assert!(orch.drain_errors().is_empty());
+}
+
+#[test]
+fn declared_elevator_fallback_fires_and_is_traced() {
+    // The avionics design declares
+    // `@error(policy = "retry", attempts = 2, fallback = "neutral")` on
+    // the Elevator: with the primary surface dead, the runtime retries
+    // and then drives the backup surface to neutral — visible in the
+    // trace as a fallback actuation.
+    let mut app = build_avionics(AvionicsConfig {
+        elevator_fault: Some(FaultMode::Always),
+        initial: FlightState {
+            altitude_ft: 9_000.0,
+            ..FlightState::default()
+        },
+        ..calm_avionics()
+    })
+    .unwrap();
+    app.orchestrator.set_tracing(true);
+    app.orchestrator.run_until(30_000);
+    let trace = app.orchestrator.take_trace();
+    assert!(
+        trace.iter().any(|e| matches!(
+            &e.kind,
+            TraceKind::FallbackActuation { entity, action }
+                if entity == "elevator-1" && action == "neutral"
+        )),
+        "declared fallback in the trace: {trace:#?}"
+    );
+    assert!(app.orchestrator.metrics().fallback_actuations > 0);
+    assert!(app.backup_elevator.count("neutral") > 0);
+    assert!(app.orchestrator.drain_errors().is_empty());
 }
 
 #[test]
