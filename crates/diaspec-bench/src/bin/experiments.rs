@@ -8,7 +8,7 @@
 //! `--quick` shrinks the sweeps for smoke-testing; `--json` additionally
 //! dumps machine-readable rows.
 
-use diaspec_bench::{churn, continuum, delivery, discovery, processing, share};
+use diaspec_bench::{churn, continuum, delivery, discovery, processing, share, taskfaults};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +21,7 @@ fn main() {
     e11_delivery(quick, json);
     e12_discovery(quick, json);
     e16_churn(quick, json);
+    e17_taskfaults(quick, json);
 }
 
 fn heading(title: &str) {
@@ -240,6 +241,40 @@ fn e16_churn(quick: bool, json: bool) {
             row.recovery_p50_ms,
             row.recovery_p99_ms,
             row.errors,
+            row.wall_ms
+        );
+    }
+    if json {
+        println!("{}", serde_json::to_string(&rows).expect("serializable"));
+    }
+}
+
+fn e17_taskfaults(quick: bool, json: bool) {
+    heading("E17 — fault-tolerant processing: coverage + wall-clock vs injected task-failure rate");
+    let scales: &[usize] = if quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
+    println!(
+        "{:>8} {:>9} {:>7} {:>9} {:>8} {:>7} {:>7} {:>10}",
+        "sensors", "workers", "rate", "coverage", "retries", "failed", "faults", "wall (ms)"
+    );
+    let rows = taskfaults::sweep(scales, &[0.0, 0.05, 0.2, 0.5], 8);
+    for row in &rows {
+        println!(
+            "{:>8} {:>9} {:>7.2} {:>8}% {:>8} {:>7} {:>7} {:>10.2}",
+            row.sensors,
+            if row.workers == 0 {
+                "serial".to_owned()
+            } else {
+                row.workers.to_string()
+            },
+            row.failure_rate,
+            row.coverage_pct,
+            row.task_retries,
+            row.tasks_failed,
+            row.injected_faults,
             row.wall_ms
         );
     }

@@ -11,6 +11,8 @@
 //! - [`delivery`] — E11: message volume and latency of the three data
 //!   delivery models;
 //! - [`processing`] — E10: serial vs. parallel MapReduce;
+//! - [`taskfaults`] — E17: coverage and wall-clock vs injected
+//!   task-failure rate;
 //! - [`discovery`] — E12: entity discovery latency vs. registry size;
 //! - [`share`] — E9: the generated-code fraction.
 //!
@@ -28,3 +30,4 @@ pub mod delivery;
 pub mod discovery;
 pub mod processing;
 pub mod share;
+pub mod taskfaults;

@@ -34,6 +34,7 @@
 //! | E0250 | invalid `@error` policy or argument |
 //! | E0251 | invalid `@qos` argument |
 //! | E0252 | `@error` fallback is not a declared parameterless action |
+//! | E0253 | invalid `@quality` argument |
 //! | E0301 | grouping attribute type is not groupable |
 //! | W0301 | grouped context output is not an array type |
 //! | W0302 | context neither publishes nor is required |
@@ -42,6 +43,7 @@
 //! | W0306 | unknown annotation name |
 //! | W0307 | unknown `@qos` argument |
 //! | W0308 | unknown `@error` argument |
+//! | W0309 | unknown `@quality` argument |
 
 use crate::ast::{self, Spec};
 use crate::diag::{Diagnostic, Diagnostics};
@@ -622,10 +624,58 @@ impl<'a> Checker<'a> {
                         }
                     }
                 }
+                "quality" => {
+                    for (key, value) in &ann.args {
+                        match key.as_str() {
+                            "coverage" => {
+                                let ok = matches!(
+                                    value,
+                                    ast::AnnotationValue::Int(v) if (1..=100).contains(v)
+                                );
+                                if !ok {
+                                    self.diags.push(Diagnostic::error(
+                                        "E0253",
+                                        format!(
+                                            "@quality argument `coverage` must be a percentage \
+                                             between 1 and 100, got `{value}`"
+                                        ),
+                                        ann.span,
+                                    ));
+                                }
+                            }
+                            "deadlineMs" => {
+                                let ok = matches!(
+                                    value,
+                                    ast::AnnotationValue::Int(v) if *v > 0
+                                );
+                                if !ok {
+                                    self.diags.push(Diagnostic::error(
+                                        "E0253",
+                                        format!(
+                                            "@quality argument `deadlineMs` must be a positive \
+                                             integer, got `{value}`"
+                                        ),
+                                        ann.span,
+                                    ));
+                                }
+                            }
+                            other => {
+                                self.diags.push(Diagnostic::warning(
+                                    "W0309",
+                                    format!(
+                                        "unknown @quality argument `{other}` (known: coverage, \
+                                         deadlineMs)"
+                                    ),
+                                    ann.span,
+                                ));
+                            }
+                        }
+                    }
+                }
                 other => {
                     self.diags.push(Diagnostic::warning(
                         "W0306",
-                        format!("unknown annotation `@{other}` (known: @error, @qos)"),
+                        format!("unknown annotation `@{other}` (known: @error, @qos, @quality)"),
                         ann.span,
                     ));
                 }
@@ -1917,6 +1967,71 @@ mod tests {
         assert_eq!(
             ann.arg("latencyMs").and_then(AnnotationArg::as_int),
             Some(50)
+        );
+    }
+
+    #[test]
+    fn invalid_quality_argument_rejected() {
+        // Coverage is a percentage: zero and >100 are both out of range.
+        expect_error(
+            r#"
+            device D { source s as Integer; }
+            @quality(coverage = 0)
+            context C as Integer { when provided s from D always publish; }
+            "#,
+            "E0253",
+        );
+        expect_error(
+            r#"
+            device D { source s as Integer; }
+            @quality(coverage = 120)
+            context C as Integer { when provided s from D always publish; }
+            "#,
+            "E0253",
+        );
+        expect_error(
+            r#"
+            device D { source s as Integer; }
+            @quality(deadlineMs = "soon")
+            context C as Integer { when provided s from D always publish; }
+            "#,
+            "E0253",
+        );
+    }
+
+    #[test]
+    fn unknown_quality_argument_warns() {
+        expect_warning(
+            r#"
+            device D { source s as Integer; action a; }
+            @quality(freshness = 9)
+            context C as Integer { when provided s from D always publish; }
+            controller Ct { when provided C do a on D; }
+            "#,
+            "W0309",
+        );
+    }
+
+    #[test]
+    fn valid_quality_accepted() {
+        let (model, diags) = check_src(
+            r#"
+            device D { source s as Integer; action a; }
+            @quality(coverage = 80, deadlineMs = 500)
+            context C as Integer { when provided s from D always publish; }
+            controller Ct { when provided C do a on D; }
+            "#,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        let ctx = model.unwrap();
+        let ann = &ctx.context("C").unwrap().annotations[0];
+        assert_eq!(
+            ann.arg("coverage").and_then(AnnotationArg::as_int),
+            Some(80)
+        );
+        assert_eq!(
+            ann.arg("deadlineMs").and_then(AnnotationArg::as_int),
+            Some(500)
         );
     }
 }

@@ -1,16 +1,38 @@
-//! Serial and parallel MapReduce executors.
+//! Serial and parallel MapReduce executors with task-level fault
+//! tolerance.
 //!
 //! The serial executor is the measurement baseline; the parallel executor
-//! fans both phases out over scoped worker threads. Both produce
-//! byte-identical output (final records sorted by intermediate key, with
-//! per-key emission order preserved), so experiments compare *time*, never
-//! correctness.
+//! fans both phases out over a pool of scoped worker threads pulling from
+//! a shared task queue. Both produce byte-identical output (final records
+//! sorted by intermediate key, with per-key emission order preserved), so
+//! experiments compare *time*, never correctness.
+//!
+//! Fault tolerance follows the original MapReduce design (Dean &
+//! Ghemawat, OSDI'04):
+//!
+//! - every task attempt runs under `catch_unwind`, so a panicking user
+//!   function becomes a structured [`TaskError`] instead of tearing down
+//!   the process;
+//! - failed attempts are retried up to [`Job::task_retries`] times;
+//! - straggling attempts are speculatively re-executed when
+//!   [`Job::speculation`] is configured — first result wins, the loser is
+//!   discarded, and output stays byte-identical because results are
+//!   assembled by task index, never by arrival order;
+//! - with [`Job::allow_partial`], tasks that exhaust their budget are
+//!   *dropped* rather than fatal: the job completes degraded and the
+//!   [`CoverageReport`] in its stats accounts for exactly what was lost.
 
 use crate::collector::{MapCollector, ReduceCollector};
-use crate::stats::ExecutionStats;
+use crate::fault::{
+    JobError, SpeculationConfig, TaskError, TaskFailure, TaskFault, TaskFaultPlan, TaskPhase,
+};
+use crate::stats::{CoverageReport, ExecutionStats};
 use crate::{Combiner, MapReduce};
-use std::collections::BTreeMap;
-use std::time::Instant;
+use std::cell::Cell;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Condvar, Mutex, Once};
+use std::time::{Duration, Instant};
 
 /// Which execution strategy a [`Job`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,7 +41,8 @@ pub enum Executor {
     Serial,
     /// Map and Reduce phases run on this many worker threads.
     Parallel {
-        /// Number of worker threads (clamped to at least 1).
+        /// Number of worker threads (clamped to at least 1, and capped
+        /// per phase at the phase's task count).
         workers: usize,
     },
 }
@@ -38,10 +61,14 @@ impl<K2, V2> Combiner<K2, V2> for NoCombiner {
 /// (ascending intermediate key, per-key emission order) plus statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MapReduceResult<K3, V3> {
-    /// The final records.
+    /// The final records. In a degraded run ([`Job::allow_partial`]),
+    /// records belonging to permanently failed tasks are absent.
     pub output: Vec<(K3, V3)>,
-    /// Execution statistics.
+    /// Execution statistics, including the [`CoverageReport`].
     pub stats: ExecutionStats,
+    /// Tasks that exhausted their retry budget (empty unless the job ran
+    /// with [`Job::allow_partial`]).
+    pub failed_tasks: Vec<TaskError>,
 }
 
 /// Result shaped as a map, for the common one-record-per-key case — the
@@ -51,50 +78,72 @@ pub struct MapReduceResult<K3, V3> {
 pub struct MappedResult<K3, V3> {
     /// Final records keyed by `K3`. Later emissions for the same key win.
     pub output: BTreeMap<K3, V3>,
-    /// Execution statistics.
+    /// Execution statistics, including the [`CoverageReport`].
     pub stats: ExecutionStats,
+    /// Tasks that exhausted their retry budget (empty unless the job ran
+    /// with [`Job::allow_partial`]).
+    pub failed_tasks: Vec<TaskError>,
 }
 
-/// A configured MapReduce execution: strategy plus optional combiner.
+/// A configured MapReduce execution: strategy, optional combiner, and
+/// fault-tolerance knobs.
 ///
 /// Construct with [`Job::serial`] or [`Job::parallel`], optionally add a
-/// [`Combiner`] with [`Job::combiner`], then call [`Job::run`] or
-/// [`Job::run_to_map`].
+/// [`Combiner`] with [`Job::combiner`] and fault tolerance with
+/// [`Job::task_retries`] / [`Job::fault_plan`] / [`Job::speculation`] /
+/// [`Job::allow_partial`], then call [`Job::run`] ([`Job::try_run`] for
+/// structured errors) or [`Job::run_to_map`] ([`Job::try_run_to_map`]).
 #[derive(Debug, Clone)]
 pub struct Job<C = NoCombiner> {
     executor: Executor,
     combiner: C,
+    faults: Option<TaskFaultPlan>,
+    max_retries: u32,
+    speculation: Option<SpeculationConfig>,
+    allow_partial: bool,
+    tasks: Option<usize>,
 }
 
 impl Job<NoCombiner> {
     /// A single-threaded job (the experiment baseline).
     #[must_use]
     pub fn serial() -> Self {
-        Job {
-            executor: Executor::Serial,
-            combiner: NoCombiner,
-        }
+        Job::new(Executor::Serial)
     }
 
     /// A parallel job over `workers` threads (clamped to at least 1).
     #[must_use]
     pub fn parallel(workers: usize) -> Self {
+        Job::new(Executor::Parallel {
+            workers: workers.max(1),
+        })
+    }
+
+    fn new(executor: Executor) -> Self {
         Job {
-            executor: Executor::Parallel {
-                workers: workers.max(1),
-            },
+            executor,
             combiner: NoCombiner,
+            faults: None,
+            max_retries: 0,
+            speculation: None,
+            allow_partial: false,
+            tasks: None,
         }
     }
 }
 
 impl<C> Job<C> {
-    /// Replaces the combiner, keeping the execution strategy.
+    /// Replaces the combiner, keeping every other setting.
     #[must_use]
     pub fn combiner<C2>(self, combiner: C2) -> Job<C2> {
         Job {
             executor: self.executor,
             combiner,
+            faults: self.faults,
+            max_retries: self.max_retries,
+            speculation: self.speculation,
+            allow_partial: self.allow_partial,
+            tasks: self.tasks,
         }
     }
 
@@ -104,11 +153,64 @@ impl<C> Job<C> {
         self.executor
     }
 
+    /// Injects the given seeded [`TaskFaultPlan`] into task attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan holds a probability outside `[0, 1]`.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: TaskFaultPlan) -> Self {
+        plan.validate();
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Retries each failed task up to `retries` times (default 0).
+    #[must_use]
+    pub fn task_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Enables speculative re-execution of straggling tasks. Only the
+    /// parallel executor speculates — with a single worker there is no
+    /// idle capacity to race a duplicate on.
+    #[must_use]
+    pub fn speculation(mut self, config: SpeculationConfig) -> Self {
+        self.speculation = Some(config);
+        self
+    }
+
+    /// Lets the job complete in degraded mode when tasks exhaust their
+    /// retry budget, instead of failing outright: lost tasks are dropped
+    /// from the output and accounted in the [`CoverageReport`].
+    #[must_use]
+    pub fn allow_partial(mut self, allow: bool) -> Self {
+        self.allow_partial = allow;
+        self
+    }
+
+    /// Overrides the number of tasks per phase (input chunks for Map,
+    /// key-range partitions for Reduce). Defaults to the worker count —
+    /// override it to decouple fault granularity from parallelism, e.g.
+    /// to give the serial executor task-level fault isolation.
+    #[must_use]
+    pub fn tasks(mut self, tasks: usize) -> Self {
+        self.tasks = Some(tasks.max(1));
+        self
+    }
+
     /// Runs the job, returning final records in deterministic order.
     ///
     /// Output order is: ascending intermediate key (`K2`), then the order
     /// in which the Reduce invocation emitted — identical for the serial
     /// and parallel executors.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`JobError`] message if a task exhausts its retry
+    /// budget and [`Job::allow_partial`] is off; use [`Job::try_run`] to
+    /// handle that structurally.
     pub fn run<K1, V1, K2, V2, K3, V3, MR, I>(&self, mr: &MR, input: I) -> MapReduceResult<K3, V3>
     where
         MR: MapReduce<K1, V1, K2, V2, K3, V3>,
@@ -121,27 +223,17 @@ impl<C> Job<C> {
         V3: Send,
         C: Combiner<K2, V2>,
     {
-        let input: Vec<(K1, V1)> = input.into_iter().collect();
-        let mut stats = ExecutionStats {
-            map_input_records: input.len() as u64,
-            ..ExecutionStats::default()
-        };
-        match self.executor {
-            Executor::Serial => {
-                stats.workers = 1;
-                let output = self.run_serial(mr, input, &mut stats);
-                MapReduceResult { output, stats }
-            }
-            Executor::Parallel { workers } => {
-                stats.workers = workers;
-                let output = self.run_parallel(mr, input, workers, &mut stats);
-                MapReduceResult { output, stats }
-            }
-        }
+        self.try_run(mr, input)
+            .unwrap_or_else(|err| panic!("{err}"))
     }
 
     /// Runs the job, collapsing the output into a `BTreeMap` (later
     /// emissions for the same final key overwrite earlier ones).
+    ///
+    /// # Panics
+    ///
+    /// As [`Job::run`]; use [`Job::try_run_to_map`] to handle task
+    /// failure structurally.
     pub fn run_to_map<K1, V1, K2, V2, K3, V3, MR, I>(
         &self,
         mr: &MR,
@@ -158,74 +250,48 @@ impl<C> Job<C> {
         V3: Send,
         C: Combiner<K2, V2>,
     {
-        let result = self.run(mr, input);
-        MappedResult {
-            output: result.output.into_iter().collect(),
-            stats: result.stats,
-        }
+        self.try_run_to_map(mr, input)
+            .unwrap_or_else(|err| panic!("{err}"))
     }
 
-    fn run_serial<K1, V1, K2, V2, K3, V3, MR>(
+    /// As [`Job::run_to_map`], but task failure beyond the retry budget
+    /// surfaces as a [`JobError`] instead of a panic.
+    pub fn try_run_to_map<K1, V1, K2, V2, K3, V3, MR, I>(
         &self,
         mr: &MR,
-        input: Vec<(K1, V1)>,
-        stats: &mut ExecutionStats,
-    ) -> Vec<(K3, V3)>
+        input: I,
+    ) -> Result<MappedResult<K3, V3>, JobError>
     where
         MR: MapReduce<K1, V1, K2, V2, K3, V3>,
-        K2: Ord,
+        I: IntoIterator<Item = (K1, V1)>,
+        K1: Send + Sync,
+        V1: Send + Sync,
+        K2: Ord + Send + Sync,
+        V2: Send + Sync,
+        K3: Ord + Send,
+        V3: Send,
         C: Combiner<K2, V2>,
     {
-        // Map.
-        let map_start = Instant::now();
-        let mut collector = MapCollector::new();
-        for (k, v) in &input {
-            mr.map(k, v, &mut collector);
-        }
-        let intermediate = collector.into_items();
-        stats.map_time = map_start.elapsed();
-
-        // Shuffle.
-        let shuffle_start = Instant::now();
-        let mut groups: BTreeMap<K2, Vec<V2>> = BTreeMap::new();
-        for (k, v) in intermediate {
-            groups.entry(k).or_default().push(v);
-        }
-        // The combiner runs here in serial mode: with one worker there is
-        // no shuffle traffic to save, but running it keeps serial and
-        // parallel semantics identical for combiners that transform values.
-        let groups: BTreeMap<K2, Vec<V2>> = groups
-            .into_iter()
-            .map(|(k, vs)| {
-                let combined = self.combiner.combine(&k, vs);
-                (k, combined)
-            })
-            .collect();
-        stats.map_output_records = groups.values().map(|v| v.len() as u64).sum();
-        stats.groups = groups.len() as u64;
-        stats.shuffle_time = shuffle_start.elapsed();
-
-        // Reduce.
-        let reduce_start = Instant::now();
-        let mut out = ReduceCollector::new();
-        for (k, vs) in &groups {
-            mr.reduce(k, vs, &mut out);
-        }
-        let output = out.into_items();
-        stats.reduce_output_records = output.len() as u64;
-        stats.reduce_time = reduce_start.elapsed();
-        output
+        let result = self.try_run(mr, input)?;
+        Ok(MappedResult {
+            output: result.output.into_iter().collect(),
+            stats: result.stats,
+            failed_tasks: result.failed_tasks,
+        })
     }
 
-    fn run_parallel<K1, V1, K2, V2, K3, V3, MR>(
+    /// As [`Job::run`], but task failure beyond the retry budget surfaces
+    /// as a [`JobError`] instead of a panic. With [`Job::allow_partial`],
+    /// the job never errs: it completes degraded and reports the damage
+    /// in `failed_tasks` and the [`CoverageReport`].
+    pub fn try_run<K1, V1, K2, V2, K3, V3, MR, I>(
         &self,
         mr: &MR,
-        input: Vec<(K1, V1)>,
-        workers: usize,
-        stats: &mut ExecutionStats,
-    ) -> Vec<(K3, V3)>
+        input: I,
+    ) -> Result<MapReduceResult<K3, V3>, JobError>
     where
         MR: MapReduce<K1, V1, K2, V2, K3, V3>,
+        I: IntoIterator<Item = (K1, V1)>,
         K1: Send + Sync,
         V1: Send + Sync,
         K2: Ord + Send + Sync,
@@ -234,84 +300,546 @@ impl<C> Job<C> {
         V3: Send,
         C: Combiner<K2, V2>,
     {
-        let workers = workers.max(1);
+        let input: Vec<(K1, V1)> = input.into_iter().collect();
+        let requested_workers = match self.executor {
+            Executor::Serial => 1,
+            Executor::Parallel { workers } => workers.max(1),
+        };
+        let n_tasks = self.tasks.unwrap_or(requested_workers).max(1);
+        let faults = self.faults.as_ref().filter(|plan| !plan.is_empty());
+        let speculation = self.speculation.as_ref();
+
+        let mut stats = ExecutionStats {
+            map_input_records: input.len() as u64,
+            ..ExecutionStats::default()
+        };
+        let mut coverage = CoverageReport {
+            map_records_total: input.len() as u64,
+            ..CoverageReport::default()
+        };
+        let mut failed_tasks: Vec<TaskError> = Vec::new();
         let combiner = &self.combiner;
 
-        // Map phase: each worker maps a contiguous chunk and pre-groups
-        // locally (running the combiner on its partial groups).
+        // Map phase: each task maps a contiguous chunk and pre-groups
+        // locally (running the combiner on its partial groups, tracking
+        // the pre-combine value count per key for coverage accounting).
         let map_start = Instant::now();
-        let chunk_size = input.len().div_ceil(workers).max(1);
+        let chunk_size = input.len().div_ceil(n_tasks).max(1);
         let chunks: Vec<&[(K1, V1)]> = input.chunks(chunk_size).collect();
-        let partials: Vec<BTreeMap<K2, Vec<V2>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
+        coverage.map_tasks = chunks.len() as u32;
+        let map_work = |task: usize| -> BTreeMap<K2, (Vec<V2>, u64)> {
+            let mut collector = MapCollector::new();
+            for (k, v) in chunks[task] {
+                mr.map(k, v, &mut collector);
+            }
+            let mut local: BTreeMap<K2, Vec<V2>> = BTreeMap::new();
+            for (k, v) in collector.into_items() {
+                local.entry(k).or_default().push(v);
+            }
+            local
                 .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let mut collector = MapCollector::new();
-                        for (k, v) in chunk {
-                            mr.map(k, v, &mut collector);
-                        }
-                        let mut local: BTreeMap<K2, Vec<V2>> = BTreeMap::new();
-                        for (k, v) in collector.into_items() {
-                            local.entry(k).or_default().push(v);
-                        }
-                        local
-                            .into_iter()
-                            .map(|(k, vs)| {
-                                let combined = combiner.combine(&k, vs);
-                                (k, combined)
-                            })
-                            .collect()
-                    })
+                .map(|(k, vs)| {
+                    let raw = vs.len() as u64;
+                    let combined = combiner.combine(&k, vs);
+                    (k, (combined, raw))
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("map worker panicked"))
                 .collect()
-        });
+        };
+        let map_out = run_phase(
+            chunks.len(),
+            requested_workers,
+            TaskPhase::Map,
+            faults,
+            self.max_retries,
+            speculation,
+            &map_work,
+        );
         stats.map_time = map_start.elapsed();
-
-        // Shuffle: merge the per-worker partial groups. Workers are merged
-        // in chunk order, so per-key value order equals the serial
-        // executor's input order.
-        let shuffle_start = Instant::now();
-        let mut groups: BTreeMap<K2, Vec<V2>> = BTreeMap::new();
-        for partial in partials {
-            for (k, vs) in partial {
-                groups.entry(k).or_default().extend(vs);
+        let map_workers = map_out.workers;
+        absorb_phase(&mut coverage, &mut stats, &map_out);
+        let mut partials: Vec<BTreeMap<K2, (Vec<V2>, u64)>> = Vec::with_capacity(chunks.len());
+        for (task, result) in map_out.results.into_iter().enumerate() {
+            match result {
+                Ok(partial) => partials.push(partial),
+                Err(err) => {
+                    coverage.map_tasks_failed += 1;
+                    coverage.map_records_lost += chunks[task].len() as u64;
+                    failed_tasks.push(err);
+                }
             }
         }
-        stats.map_output_records = groups.values().map(|v| v.len() as u64).sum();
+        if !self.allow_partial && !failed_tasks.is_empty() {
+            return Err(JobError {
+                failed: failed_tasks,
+            });
+        }
+
+        // Shuffle: merge the per-task partial groups. Tasks are merged in
+        // chunk order, so per-key value order equals the serial
+        // executor's input order.
+        let shuffle_start = Instant::now();
+        let mut groups: BTreeMap<K2, (Vec<V2>, u64)> = BTreeMap::new();
+        for partial in partials {
+            for (k, (vs, raw)) in partial {
+                let entry = groups.entry(k).or_insert_with(|| (Vec::new(), 0));
+                entry.0.extend(vs);
+                entry.1 += raw;
+            }
+        }
+        stats.map_output_records = groups.values().map(|(vs, _)| vs.len() as u64).sum();
         stats.groups = groups.len() as u64;
+        coverage.group_values_total = groups.values().map(|(_, raw)| *raw).sum();
         stats.shuffle_time = shuffle_start.elapsed();
 
         // Reduce phase: partition the key space contiguously, reduce each
-        // partition on its own worker, concatenate in partition order.
+        // partition as one task, concatenate in partition order.
         let reduce_start = Instant::now();
-        let entries: Vec<(&K2, &Vec<V2>)> = groups.iter().collect();
-        let chunk_size = entries.len().div_ceil(workers).max(1);
-        let output: Vec<(K3, V3)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = entries
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let mut out = ReduceCollector::new();
-                        for (k, vs) in chunk {
-                            mr.reduce(k, vs, &mut out);
-                        }
-                        out.into_items()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("reduce worker panicked"))
-                .collect()
-        });
+        let entries: Vec<(&K2, &Vec<V2>, u64)> =
+            groups.iter().map(|(k, (vs, raw))| (k, vs, *raw)).collect();
+        let chunk_size = entries.len().div_ceil(n_tasks).max(1);
+        let partitions: Vec<&[(&K2, &Vec<V2>, u64)]> = entries.chunks(chunk_size).collect();
+        coverage.reduce_tasks = partitions.len() as u32;
+        let reduce_work = |task: usize| -> Vec<(K3, V3)> {
+            let mut out = ReduceCollector::new();
+            for (k, vs, _) in partitions[task] {
+                mr.reduce(k, vs, &mut out);
+            }
+            out.into_items()
+        };
+        let reduce_out = run_phase(
+            partitions.len(),
+            requested_workers,
+            TaskPhase::Reduce,
+            faults,
+            self.max_retries,
+            speculation,
+            &reduce_work,
+        );
+        absorb_phase(&mut coverage, &mut stats, &reduce_out);
+        let mut output: Vec<(K3, V3)> = Vec::new();
+        for (task, result) in reduce_out.results.into_iter().enumerate() {
+            match result {
+                Ok(records) => output.extend(records),
+                Err(err) => {
+                    coverage.reduce_tasks_failed += 1;
+                    coverage.group_values_lost +=
+                        partitions[task].iter().map(|(_, _, raw)| raw).sum::<u64>();
+                    failed_tasks.push(err);
+                }
+            }
+        }
         stats.reduce_output_records = output.len() as u64;
         stats.reduce_time = reduce_start.elapsed();
-        output
+        stats.workers = map_workers.max(reduce_out.workers).max(1);
+        stats.coverage = coverage;
+
+        if !self.allow_partial && coverage.reduce_tasks_failed > 0 {
+            return Err(JobError {
+                failed: failed_tasks,
+            });
+        }
+        Ok(MapReduceResult {
+            output,
+            stats,
+            failed_tasks,
+        })
+    }
+}
+
+/// Folds one phase's fault-tolerance counters into the job totals.
+fn absorb_phase<T>(
+    coverage: &mut CoverageReport,
+    stats: &mut ExecutionStats,
+    out: &PhaseOutcome<T>,
+) {
+    coverage.task_retries += out.retries;
+    coverage.speculative_attempts += out.speculative;
+    coverage.injected_faults += out.injected;
+    stats.recovery_time += out.recovery;
+}
+
+/// Everything one phase execution produced.
+struct PhaseOutcome<T> {
+    /// Per-task outcome, indexed by task.
+    results: Vec<Result<T, TaskError>>,
+    /// Worker threads actually used (0 when the phase had no tasks).
+    workers: usize,
+    /// Failed attempts re-queued within the retry budget.
+    retries: u32,
+    /// Speculative duplicate attempts launched.
+    speculative: u32,
+    /// Attempts the fault plan injected into.
+    injected: u32,
+    /// Wall time of attempts whose result was discarded.
+    recovery: Duration,
+}
+
+/// Runs `n_tasks` tasks on up to `requested_workers` threads, retrying
+/// failures and (optionally) speculating on stragglers.
+fn run_phase<T, F>(
+    n_tasks: usize,
+    requested_workers: usize,
+    phase: TaskPhase,
+    faults: Option<&TaskFaultPlan>,
+    max_retries: u32,
+    speculation: Option<&SpeculationConfig>,
+    work: &F,
+) -> PhaseOutcome<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n_tasks == 0 {
+        return PhaseOutcome {
+            results: Vec::new(),
+            workers: 0,
+            retries: 0,
+            speculative: 0,
+            injected: 0,
+            recovery: Duration::ZERO,
+        };
+    }
+    // Cap the pool at the task count: a task never runs on two pool
+    // threads at once unless speculation duplicates it, so extra threads
+    // would only pay spawn/join cost.
+    let workers = requested_workers.min(n_tasks).max(1);
+    if workers == 1 {
+        run_phase_sequential(n_tasks, phase, faults, max_retries, work)
+    } else {
+        run_phase_pool(
+            n_tasks,
+            workers,
+            phase,
+            faults,
+            max_retries,
+            speculation,
+            work,
+        )
+    }
+}
+
+/// Single-threaded phase driver: same retry semantics as the pool, no
+/// thread spawns, no speculation (there is no idle capacity to race on).
+fn run_phase_sequential<T, F>(
+    n_tasks: usize,
+    phase: TaskPhase,
+    faults: Option<&TaskFaultPlan>,
+    max_retries: u32,
+    work: &F,
+) -> PhaseOutcome<T>
+where
+    F: Fn(usize) -> T,
+{
+    let mut out = PhaseOutcome {
+        results: Vec::with_capacity(n_tasks),
+        workers: 1,
+        retries: 0,
+        speculative: 0,
+        injected: 0,
+        recovery: Duration::ZERO,
+    };
+    for task in 0..n_tasks {
+        let mut failures = 0u32;
+        let result = loop {
+            let started = Instant::now();
+            let (attempt_result, injected) =
+                run_attempt(phase, task, failures + 1, faults, || work(task));
+            if injected {
+                out.injected += 1;
+            }
+            match attempt_result {
+                Ok(value) => break Ok(value),
+                Err(failure) => {
+                    failures += 1;
+                    out.recovery += started.elapsed();
+                    if failures <= max_retries {
+                        out.retries += 1;
+                        continue;
+                    }
+                    break Err(TaskError {
+                        phase,
+                        task,
+                        attempts: failures,
+                        failure,
+                    });
+                }
+            }
+        };
+        out.results.push(result);
+    }
+    out
+}
+
+/// State shared by the pool workers of one phase.
+struct PoolState<T> {
+    /// Attempts ready to run: `(task, attempt_number)`.
+    pending: VecDeque<(usize, u32)>,
+    /// Per-task resolution slot; the first successful attempt wins.
+    slots: Vec<Option<Result<T, TaskError>>>,
+    /// Attempts of each task currently executing on some worker.
+    live: Vec<u32>,
+    /// Start of the oldest live attempt per task (straggler detection).
+    started: Vec<Option<Instant>>,
+    /// Attempt numbers handed out per task.
+    launched: Vec<u32>,
+    /// Concluded failed attempts per task.
+    failures: Vec<u32>,
+    /// Tasks not yet resolved.
+    outstanding: usize,
+    /// Durations of winning attempts (speculation baseline).
+    durations: Vec<Duration>,
+    retries: u32,
+    speculative: u32,
+    injected: u32,
+    recovery: Duration,
+}
+
+impl<T> PoolState<T> {
+    fn new(n_tasks: usize) -> Self {
+        PoolState {
+            pending: (0..n_tasks).map(|task| (task, 1)).collect(),
+            slots: (0..n_tasks).map(|_| None).collect(),
+            live: vec![0; n_tasks],
+            started: vec![None; n_tasks],
+            launched: vec![1; n_tasks],
+            failures: vec![0; n_tasks],
+            outstanding: n_tasks,
+            durations: Vec::new(),
+            retries: 0,
+            speculative: 0,
+            injected: 0,
+            recovery: Duration::ZERO,
+        }
+    }
+
+    fn has_pending_for(&self, task: usize) -> bool {
+        self.pending.iter().any(|(t, _)| *t == task)
+    }
+
+    /// The straggling task most worth duplicating, if any: a single live
+    /// attempt, nothing queued, running longer than the speculation
+    /// threshold derived from completed-task durations.
+    fn pick_straggler(&self, spec: &SpeculationConfig) -> Option<usize> {
+        if self.durations.len() < spec.min_observations {
+            return None;
+        }
+        let mut sorted = self.durations.clone();
+        sorted.sort();
+        let index = ((sorted.len() as f64) * spec.quantile.clamp(0.0, 1.0)).ceil() as usize;
+        let baseline = sorted[index.saturating_sub(1).min(sorted.len() - 1)];
+        let threshold = baseline
+            .mul_f64(spec.multiplier.max(1.0))
+            .max(spec.min_elapsed);
+        (0..self.slots.len()).find(|&task| {
+            self.slots[task].is_none()
+                && self.live[task] == 1
+                && !self.has_pending_for(task)
+                && self.started[task].is_some_and(|s| s.elapsed() > threshold)
+        })
+    }
+}
+
+/// Multi-threaded phase driver: a shared queue of task attempts drained
+/// by `workers` scoped threads; idle workers speculate on stragglers.
+fn run_phase_pool<T, F>(
+    n_tasks: usize,
+    workers: usize,
+    phase: TaskPhase,
+    faults: Option<&TaskFaultPlan>,
+    max_retries: u32,
+    speculation: Option<&SpeculationConfig>,
+    work: &F,
+) -> PhaseOutcome<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let state = Mutex::new(PoolState::<T>::new(n_tasks));
+    let ready = Condvar::new();
+    let worker_loop = || {
+        let mut guard = state.lock().expect("pool lock");
+        loop {
+            if guard.outstanding == 0 {
+                ready.notify_all();
+                return;
+            }
+            let Some((task, attempt)) = guard.pending.pop_front() else {
+                // Idle: speculate on a straggler, or wait for work. The
+                // short timeout re-checks straggler thresholds, which
+                // advance with wall time rather than with events.
+                if let Some(spec) = speculation {
+                    if let Some(task) = guard.pick_straggler(spec) {
+                        let attempt = guard.launched[task] + 1;
+                        guard.launched[task] = attempt;
+                        guard.pending.push_back((task, attempt));
+                        guard.speculative += 1;
+                        continue;
+                    }
+                }
+                let (next, _timeout) = ready
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .expect("pool lock");
+                guard = next;
+                continue;
+            };
+            guard.live[task] += 1;
+            if guard.started[task].is_none() {
+                guard.started[task] = Some(Instant::now());
+            }
+            drop(guard);
+            let attempt_start = Instant::now();
+            let (attempt_result, injected) =
+                run_attempt(phase, task, attempt, faults, || work(task));
+            let elapsed = attempt_start.elapsed();
+            guard = state.lock().expect("pool lock");
+            guard.live[task] -= 1;
+            if guard.live[task] == 0 {
+                guard.started[task] = None;
+            }
+            if injected {
+                guard.injected += 1;
+            }
+            let resolved = guard.slots[task].is_some();
+            match attempt_result {
+                Ok(value) => {
+                    if resolved {
+                        // A duplicate already won the race; discard.
+                        guard.recovery += elapsed;
+                    } else {
+                        guard.slots[task] = Some(Ok(value));
+                        guard.outstanding -= 1;
+                        guard.durations.push(elapsed);
+                        // Orphan any queued duplicates of this task.
+                        guard.pending.retain(|(t, _)| *t != task);
+                        ready.notify_all();
+                    }
+                }
+                Err(failure) => {
+                    guard.recovery += elapsed;
+                    if !resolved {
+                        guard.failures[task] += 1;
+                        let failures = guard.failures[task];
+                        if failures <= max_retries {
+                            let attempt = guard.launched[task] + 1;
+                            guard.launched[task] = attempt;
+                            guard.pending.push_back((task, attempt));
+                            guard.retries += 1;
+                            ready.notify_all();
+                        } else if guard.live[task] == 0 && !guard.has_pending_for(task) {
+                            // Out of budget and no duplicate can still
+                            // save the task: permanently failed.
+                            guard.slots[task] = Some(Err(TaskError {
+                                phase,
+                                task,
+                                attempts: failures,
+                                failure,
+                            }));
+                            guard.outstanding -= 1;
+                            ready.notify_all();
+                        }
+                        // Otherwise a still-running or queued duplicate
+                        // decides the task's fate.
+                    }
+                }
+            }
+        }
+    };
+    std::thread::scope(|scope| {
+        // Spawn through a shared reference so every worker runs the same
+        // (non-Copy) closure.
+        let worker = &worker_loop;
+        for _ in 0..workers {
+            scope.spawn(worker);
+        }
+    });
+    let state = state.into_inner().expect("pool lock");
+    PhaseOutcome {
+        results: state
+            .slots
+            .into_iter()
+            .map(|slot| slot.expect("every task resolved"))
+            .collect(),
+        workers,
+        retries: state.retries,
+        speculative: state.speculative,
+        injected: state.injected,
+        recovery: state.recovery,
+    }
+}
+
+thread_local! {
+    /// Set while a task attempt executes under `catch_unwind`: its panics
+    /// are converted into structured [`TaskError`]s, so the default
+    /// "thread panicked" stderr noise would be misleading.
+    static SILENCE_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Installs (once per process) a panic hook that suppresses output for
+/// panics the executor catches and converts, delegating every other
+/// panic to the previously installed hook.
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SILENCE_PANICS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs one task attempt under `catch_unwind`, applying the injected
+/// fate first. Returns the outcome plus whether a fault was injected.
+fn run_attempt<T>(
+    phase: TaskPhase,
+    task: usize,
+    attempt: u32,
+    faults: Option<&TaskFaultPlan>,
+    work: impl FnOnce() -> T,
+) -> (Result<T, TaskFailure>, bool) {
+    let fate = faults.and_then(|plan| plan.fate(phase, task, attempt));
+    if fate == Some(TaskFault::WorkerLost) {
+        // The worker vanishes: the attempt never runs and never reports.
+        return (Err(TaskFailure::WorkerLost), true);
+    }
+    let injected = fate.is_some();
+    install_quiet_hook();
+    SILENCE_PANICS.with(|silence| silence.set(true));
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        match fate {
+            Some(TaskFault::Panic) => {
+                panic!("injected fault: {phase} task {task} attempt {attempt} panicked")
+            }
+            Some(TaskFault::Delay { ms }) => std::thread::sleep(Duration::from_millis(ms)),
+            _ => {}
+        }
+        work()
+    }));
+    SILENCE_PANICS.with(|silence| silence.set(false));
+    match caught {
+        Ok(value) => (Ok(value), injected),
+        Err(payload) => (
+            Err(TaskFailure::Panicked {
+                // `&*` reaches the payload itself: a bare `&payload`
+                // would coerce the Box into `dyn Any` and defeat the
+                // downcasts below.
+                message: panic_message(&*payload),
+            }),
+            injected,
+        ),
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "<opaque panic payload>".to_string()
     }
 }
 
@@ -342,6 +870,7 @@ mod tests {
         assert!(result.output.is_empty());
         assert_eq!(result.stats.map_input_records, 0);
         assert_eq!(result.stats.groups, 0);
+        assert!(result.stats.coverage.is_complete());
         let result = Job::parallel(4).run(&SumPerKey, Vec::new());
         assert!(result.output.is_empty());
     }
@@ -375,13 +904,22 @@ mod tests {
         assert_eq!(result.stats.groups, 10);
         assert_eq!(result.stats.reduce_output_records, 10);
         assert!(result.stats.total_time() >= result.stats.map_time);
+        assert_eq!(result.stats.coverage.map_tasks, 4);
+        assert_eq!(result.stats.coverage.map_records_total, 100);
+        assert_eq!(result.stats.coverage.group_values_total, 100);
+        assert!(result.stats.coverage.is_complete());
+        assert_eq!(result.stats.recovery_time, Duration::ZERO);
     }
 
     #[test]
-    fn more_workers_than_records_is_fine() {
+    fn workers_capped_at_task_count() {
         let data = dataset(3, 3);
         let result = Job::parallel(64).run(&SumPerKey, data);
         assert_eq!(result.output.len(), 3);
+        // 3 records -> 3 map chunks, 3 groups -> 3 reduce partitions:
+        // only 3 of the 64 requested threads are worth spawning.
+        assert_eq!(result.stats.workers, 3);
+        assert_eq!(result.stats.coverage.map_tasks, 3);
     }
 
     #[test]
@@ -425,6 +963,8 @@ mod tests {
         );
         // At most workers * keys intermediate records after combining.
         assert!(with_combiner.stats.map_output_records <= 4 * 5);
+        // Coverage accounting sees through the combiner: raw counts.
+        assert_eq!(with_combiner.stats.coverage.group_values_total, 10_000);
     }
 
     #[test]
@@ -454,5 +994,189 @@ mod tests {
         let result = Job::parallel(2).run(&EvensOnly, data);
         assert_eq!(result.output, vec![(2, 2)]);
         assert_eq!(result.stats.groups, 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance.
+    // ------------------------------------------------------------------
+
+    /// Panics while mapping any record whose value is divisible by 97.
+    struct PanicsOn97;
+    impl MapReduce<u32, i64, u32, i64, u32, i64> for PanicsOn97 {
+        fn map(&self, key: &u32, value: &i64, out: &mut MapCollector<u32, i64>) {
+            assert!(
+                value % 97 != 0 || *value == 0,
+                "user map panicked on {value}"
+            );
+            out.emit_map(*key, *value);
+        }
+        fn reduce(&self, key: &u32, values: &[i64], out: &mut ReduceCollector<u32, i64>) {
+            out.emit_reduce(*key, values.iter().sum());
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_retried_and_heals_byte_identically() {
+        let data = dataset(1_000, 13);
+        let clean = Job::parallel(4).run(&SumPerKey, data.clone());
+        let plan = TaskFaultPlan::seeded(11).panic_task(TaskPhase::Map, 1, 2);
+        let healed = Job::parallel(4)
+            .fault_plan(plan)
+            .task_retries(2)
+            .run(&SumPerKey, data);
+        assert_eq!(clean.output, healed.output);
+        assert!(healed.failed_tasks.is_empty());
+        let coverage = healed.stats.coverage;
+        assert!(coverage.is_complete());
+        assert_eq!(coverage.task_retries, 2);
+        assert_eq!(coverage.injected_faults, 2);
+        assert_eq!(coverage.fraction_covered(), 1.0);
+    }
+
+    #[test]
+    fn user_panic_surfaces_as_structured_job_error() {
+        // No injected faults at all: a genuinely panicking user function
+        // must yield a JobError, not abort the process (old behavior was
+        // `h.join().expect("map worker panicked")`).
+        let data = dataset(1_000, 13); // contains 97, 194, ...
+        let err = Job::parallel(4)
+            .try_run(&PanicsOn97, data)
+            .expect_err("map panics must fail the job");
+        assert!(!err.failed.is_empty());
+        let first = &err.failed[0];
+        assert_eq!(first.phase, TaskPhase::Map);
+        assert_eq!(first.attempts, 1);
+        match &first.failure {
+            TaskFailure::Panicked { message } => {
+                assert!(message.contains("user map panicked"), "{message}")
+            }
+            other => panic!("expected panic failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "map task 0 failed")]
+    fn run_still_panics_when_partial_results_not_allowed() {
+        let plan = TaskFaultPlan::seeded(1).panic_task(TaskPhase::Map, 0, 10);
+        let _ = Job::parallel(2)
+            .fault_plan(plan)
+            .run(&SumPerKey, dataset(100, 5));
+    }
+
+    #[test]
+    fn exhausted_retries_complete_degraded_with_exact_coverage() {
+        let data = dataset(100, 4);
+        let plan = TaskFaultPlan::seeded(5).panic_task(TaskPhase::Map, 0, 10);
+        let result = Job::parallel(4)
+            .fault_plan(plan)
+            .task_retries(1)
+            .allow_partial(true)
+            .run(&SumPerKey, data.clone());
+        assert_eq!(result.failed_tasks.len(), 1);
+        let failed = &result.failed_tasks[0];
+        assert_eq!(
+            (failed.phase, failed.task, failed.attempts),
+            (TaskPhase::Map, 0, 2)
+        );
+        let coverage = result.stats.coverage;
+        assert_eq!(coverage.map_tasks, 4);
+        assert_eq!(coverage.map_tasks_failed, 1);
+        assert_eq!(coverage.map_records_total, 100);
+        assert_eq!(coverage.map_records_lost, 25);
+        assert_eq!(coverage.task_retries, 1);
+        assert_eq!(coverage.percent_covered(), 75);
+        // The output is exactly the fault-free output of the surviving
+        // three chunks.
+        let surviving: Vec<(u32, i64)> = data[25..].to_vec();
+        let expected = Job::serial().run(&SumPerKey, surviving);
+        assert_eq!(result.output, expected.output);
+    }
+
+    #[test]
+    fn lost_reduce_worker_drops_exactly_its_partition() {
+        let data = dataset(100, 8);
+        let plan = TaskFaultPlan::seeded(3).lose_task(TaskPhase::Reduce, 0, 10);
+        let result = Job::parallel(4)
+            .fault_plan(plan)
+            .allow_partial(true)
+            .run(&SumPerKey, data);
+        let coverage = result.stats.coverage;
+        assert_eq!(coverage.reduce_tasks, 4);
+        assert_eq!(coverage.reduce_tasks_failed, 1);
+        // 8 groups over 4 partitions: the first partition held keys 0-1,
+        // which got 13 values each (100 records over 8 keys).
+        assert_eq!(coverage.group_values_total, 100);
+        assert_eq!(coverage.group_values_lost, 26);
+        assert_eq!(result.failed_tasks[0].failure, TaskFailure::WorkerLost);
+        let keys: Vec<u32> = result.output.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn serial_executor_gets_task_isolation_via_tasks_override() {
+        let data = dataset(100, 4);
+        let plan = TaskFaultPlan::seeded(2).panic_task(TaskPhase::Map, 3, 10);
+        let result = Job::serial()
+            .tasks(4)
+            .fault_plan(plan)
+            .allow_partial(true)
+            .run(&SumPerKey, data);
+        assert_eq!(result.stats.workers, 1);
+        let coverage = result.stats.coverage;
+        assert_eq!(coverage.map_tasks, 4);
+        assert_eq!(coverage.map_tasks_failed, 1);
+        assert_eq!(coverage.percent_covered(), 75);
+    }
+
+    #[test]
+    fn probabilistic_faults_are_deterministic_per_seed() {
+        let data = dataset(2_000, 11);
+        let job = || {
+            Job::parallel(4)
+                .tasks(16)
+                .fault_plan(TaskFaultPlan::seeded(99).panic_tasks(0.4).lose_workers(0.2))
+                .task_retries(3)
+                .allow_partial(true)
+                .run(&SumPerKey, data.clone())
+        };
+        let first = job();
+        let second = job();
+        assert_eq!(first.output, second.output);
+        assert_eq!(first.failed_tasks, second.failed_tasks);
+        assert_eq!(
+            first.stats.coverage.task_retries,
+            second.stats.coverage.task_retries
+        );
+        assert_eq!(
+            first.stats.coverage.injected_faults,
+            second.stats.coverage.injected_faults
+        );
+    }
+
+    #[test]
+    fn straggler_is_speculatively_duplicated() {
+        let data = dataset(800, 16);
+        let plan = TaskFaultPlan::seeded(8).delay_task(TaskPhase::Map, 0, 400, 1);
+        let result = Job::parallel(4)
+            .tasks(8)
+            .fault_plan(plan)
+            .speculation(SpeculationConfig {
+                quantile: 0.5,
+                multiplier: 2.0,
+                min_observations: 2,
+                min_elapsed: Duration::from_millis(20),
+            })
+            .run(&SumPerKey, data.clone());
+        let clean = Job::serial().run(&SumPerKey, data);
+        assert_eq!(
+            result.output, clean.output,
+            "first result wins, byte-identical"
+        );
+        assert!(result.failed_tasks.is_empty());
+        assert!(
+            result.stats.coverage.speculative_attempts >= 1,
+            "the 400 ms straggler must attract a backup task"
+        );
+        assert!(result.stats.coverage.is_complete());
     }
 }

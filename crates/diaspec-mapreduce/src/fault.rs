@@ -1,0 +1,467 @@
+//! Seeded task-level fault injection for the MapReduce executors.
+//!
+//! The original MapReduce design (Dean & Ghemawat, OSDI'04) assumes that
+//! *task* failure is the common case at scale: a map or reduce task can
+//! panic, stall, or lose its worker, and the framework — not the
+//! application — re-executes it. This module supplies the deterministic
+//! fault side of that story for experiments and acceptance tests:
+//!
+//! - [`TaskFaultPlan`] — a seeded plan of per-attempt faults
+//!   ([`TaskFault::Panic`], [`TaskFault::WorkerLost`],
+//!   [`TaskFault::Delay`]), either *targeted* at an exact task for its
+//!   first N attempts or sampled probabilistically;
+//! - determinism by construction: the fate of an attempt is a **pure
+//!   function** of `(seed, phase, task, attempt)` — a split-mix hash, not
+//!   a shared RNG — so the injected fault sequence is byte-identical no
+//!   matter how worker threads interleave, and identical between the
+//!   serial and parallel executors at the same task granularity.
+//!
+//! The recovery half (bounded retries, speculation, coverage accounting)
+//! lives in the executor; see [`Job`](crate::Job).
+
+use std::time::Duration;
+
+/// Which executor phase a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TaskPhase {
+    /// A map task (one contiguous input chunk).
+    Map,
+    /// A reduce task (one contiguous run of shuffled groups).
+    Reduce,
+}
+
+impl std::fmt::Display for TaskPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskPhase::Map => write!(f, "map"),
+            TaskPhase::Reduce => write!(f, "reduce"),
+        }
+    }
+}
+
+/// What an injected fault does to one task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskFault {
+    /// The attempt panics mid-task (exercises the executor's
+    /// `catch_unwind` isolation; the panic is real, not simulated).
+    Panic,
+    /// The worker executing the attempt is lost: the attempt produces no
+    /// result and no panic — it simply never reports back.
+    WorkerLost,
+    /// The attempt stalls for this long before doing its work, turning
+    /// the task into a straggler (speculation bait).
+    Delay {
+        /// Extra latency injected before the attempt runs.
+        ms: u64,
+    },
+}
+
+impl std::fmt::Display for TaskFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskFault::Panic => write!(f, "panic"),
+            TaskFault::WorkerLost => write!(f, "lost worker"),
+            TaskFault::Delay { ms } => write!(f, "delay +{ms} ms"),
+        }
+    }
+}
+
+/// A fault targeted at one exact task: its first `attempts` attempts
+/// suffer `fault`, later attempts run clean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetedTaskFault {
+    /// The phase of the targeted task.
+    pub phase: TaskPhase,
+    /// The task index within the phase (0-based).
+    pub task: usize,
+    /// The fault injected into each targeted attempt.
+    pub fault: TaskFault,
+    /// How many attempts (1-based, from the first) are faulted.
+    pub attempts: u32,
+}
+
+/// A seeded plan of task-level faults, consulted once per task attempt.
+///
+/// Probabilities apply independently per attempt, so a probabilistically
+/// faulted task heals itself under retry with probability
+/// `1 - p^(retries + 1)`. Targeted faults take precedence over sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskFaultPlan {
+    /// Seed of the per-attempt hash (independent of any other RNG).
+    pub seed: u64,
+    /// Probability in `[0, 1]` that an attempt panics.
+    pub panic_probability: f64,
+    /// Probability in `[0, 1]` that an attempt's worker is lost.
+    pub lost_probability: f64,
+    /// Probability in `[0, 1]` that an attempt is delayed by
+    /// [`TaskFaultPlan::delay_ms`].
+    pub delay_probability: f64,
+    /// Stall applied to delayed attempts.
+    pub delay_ms: u64,
+    /// Exact-task faults, checked before any sampling.
+    pub targeted: Vec<TargetedTaskFault>,
+}
+
+impl Default for TaskFaultPlan {
+    fn default() -> Self {
+        TaskFaultPlan {
+            seed: 0,
+            panic_probability: 0.0,
+            lost_probability: 0.0,
+            delay_probability: 0.0,
+            delay_ms: 0,
+            targeted: Vec::new(),
+        }
+    }
+}
+
+impl TaskFaultPlan {
+    /// A plan with no faults and the given seed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        TaskFaultPlan {
+            seed,
+            ..TaskFaultPlan::default()
+        }
+    }
+
+    /// Sets the per-attempt panic probability.
+    #[must_use]
+    pub fn panic_tasks(mut self, probability: f64) -> Self {
+        self.panic_probability = probability;
+        self
+    }
+
+    /// Sets the per-attempt lost-worker probability.
+    #[must_use]
+    pub fn lose_workers(mut self, probability: f64) -> Self {
+        self.lost_probability = probability;
+        self
+    }
+
+    /// Delays each attempt by `delay_ms` with the given probability.
+    #[must_use]
+    pub fn delay_tasks(mut self, probability: f64, delay_ms: u64) -> Self {
+        self.delay_probability = probability;
+        self.delay_ms = delay_ms;
+        self
+    }
+
+    /// Panics the first `attempts` attempts of one exact task.
+    #[must_use]
+    pub fn panic_task(self, phase: TaskPhase, task: usize, attempts: u32) -> Self {
+        self.target(phase, task, TaskFault::Panic, attempts)
+    }
+
+    /// Loses the worker of the first `attempts` attempts of one task.
+    #[must_use]
+    pub fn lose_task(self, phase: TaskPhase, task: usize, attempts: u32) -> Self {
+        self.target(phase, task, TaskFault::WorkerLost, attempts)
+    }
+
+    /// Delays the first `attempts` attempts of one task by `ms`.
+    #[must_use]
+    pub fn delay_task(self, phase: TaskPhase, task: usize, ms: u64, attempts: u32) -> Self {
+        self.target(phase, task, TaskFault::Delay { ms }, attempts)
+    }
+
+    fn target(mut self, phase: TaskPhase, task: usize, fault: TaskFault, attempts: u32) -> Self {
+        self.targeted.push(TargetedTaskFault {
+            phase,
+            task,
+            fault,
+            attempts,
+        });
+        self
+    }
+
+    /// Whether the plan can inject anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.targeted.is_empty()
+            && self.panic_probability == 0.0
+            && self.lost_probability == 0.0
+            && self.delay_probability == 0.0
+    }
+
+    /// Validates all probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("panic", self.panic_probability),
+            ("lost", self.lost_probability),
+            ("delay", self.delay_probability),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} probability {p} outside [0, 1]"
+            );
+        }
+    }
+
+    /// The fate of one attempt — a pure function of
+    /// `(seed, phase, task, attempt)` (`attempt` is 1-based), so the
+    /// injected sequence is independent of thread interleaving.
+    #[must_use]
+    pub fn fate(&self, phase: TaskPhase, task: usize, attempt: u32) -> Option<TaskFault> {
+        for t in &self.targeted {
+            if t.phase == phase && t.task == task && attempt <= t.attempts {
+                return Some(t.fault);
+            }
+        }
+        let base = self
+            .seed
+            .wrapping_add(match phase {
+                TaskPhase::Map => 0x4d41_5054,
+                TaskPhase::Reduce => 0x5245_4455,
+            })
+            .wrapping_add((task as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        if self.panic_probability > 0.0 && unit(base, 1) < self.panic_probability {
+            return Some(TaskFault::Panic);
+        }
+        if self.lost_probability > 0.0 && unit(base, 2) < self.lost_probability {
+            return Some(TaskFault::WorkerLost);
+        }
+        if self.delay_probability > 0.0 && unit(base, 3) < self.delay_probability {
+            return Some(TaskFault::Delay { ms: self.delay_ms });
+        }
+        None
+    }
+}
+
+/// SplitMix64 finalizer: a well-mixed `[0, 1)` draw from `(state, stream)`.
+fn unit(state: u64, stream: u64) -> f64 {
+    let mut z = state.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Why a task permanently failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskFailure {
+    /// Every attempt panicked; the message is from the last panic payload.
+    Panicked {
+        /// The panic message of the final attempt (`<opaque panic
+        /// payload>` for non-string payloads).
+        message: String,
+    },
+    /// Every attempt's worker was lost before reporting a result.
+    WorkerLost,
+}
+
+impl std::fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskFailure::Panicked { message } => write!(f, "panicked: {message}"),
+            TaskFailure::WorkerLost => write!(f, "worker lost"),
+        }
+    }
+}
+
+/// A task that exhausted its retry budget: the structured record the
+/// executor returns instead of poisoning the orchestrator with a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// The phase of the failed task.
+    pub phase: TaskPhase,
+    /// The task index within the phase (0-based).
+    pub task: usize,
+    /// Total attempts made (initial execution + retries).
+    pub attempts: u32,
+    /// Why the final attempt failed.
+    pub failure: TaskFailure,
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} task {} failed after {} attempt{}: {}",
+            self.phase,
+            self.task,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.failure
+        )
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// A job that could not produce a complete result and was not allowed to
+/// return a partial one (see [`Job::allow_partial`](crate::Job::allow_partial)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Every task that exhausted its retry budget.
+    pub failed: Vec<TaskError>,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MapReduce job failed ({} task", self.failed.len())?;
+        if self.failed.len() != 1 {
+            write!(f, "s")?;
+        }
+        write!(f, "): ")?;
+        for (i, task) in self.failed.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{task}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// When the executor launches a speculative duplicate of a straggling
+/// task (Dean & Ghemawat §3.6: "backup tasks").
+///
+/// A task is a straggler once its oldest live attempt has run longer
+/// than `multiplier` times the `quantile` of completed task durations in
+/// the same phase — and at least `min_observations` tasks have completed
+/// (no baseline, no speculation) and `min_elapsed` wall time has passed
+/// (never speculate near-instant tasks). The duplicate races the
+/// original; the first result wins and the loser is discarded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationConfig {
+    /// Latency quantile of completed tasks used as the baseline, in
+    /// `(0, 1]` (e.g. `0.75` = the 75th percentile).
+    pub quantile: f64,
+    /// How many times the baseline an attempt must exceed to be
+    /// considered straggling.
+    pub multiplier: f64,
+    /// Completed tasks required before any speculation.
+    pub min_observations: usize,
+    /// Minimum elapsed time of the straggling attempt.
+    pub min_elapsed: Duration,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig {
+            quantile: 0.75,
+            multiplier: 2.0,
+            min_observations: 3,
+            min_elapsed: Duration::from_millis(5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_faults() {
+        let plan = TaskFaultPlan::seeded(9);
+        assert!(plan.is_empty());
+        for task in 0..100 {
+            for attempt in 1..4 {
+                assert_eq!(plan.fate(TaskPhase::Map, task, attempt), None);
+                assert_eq!(plan.fate(TaskPhase::Reduce, task, attempt), None);
+            }
+        }
+    }
+
+    #[test]
+    fn fate_is_a_pure_function_of_coordinates() {
+        let plan = TaskFaultPlan::seeded(42)
+            .panic_tasks(0.3)
+            .lose_workers(0.1)
+            .delay_tasks(0.2, 50);
+        let other = plan.clone();
+        for task in 0..200 {
+            for attempt in 1..5 {
+                assert_eq!(
+                    plan.fate(TaskPhase::Map, task, attempt),
+                    other.fate(TaskPhase::Map, task, attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probabilistic_rates_roughly_match() {
+        let plan = TaskFaultPlan::seeded(7).panic_tasks(0.25);
+        let panics = (0..10_000)
+            .filter(|task| plan.fate(TaskPhase::Map, *task, 1) == Some(TaskFault::Panic))
+            .count();
+        let rate = panics as f64 / 10_000.0;
+        assert!((0.22..0.28).contains(&rate), "panic rate {rate}");
+    }
+
+    #[test]
+    fn phases_and_attempts_sample_independently() {
+        let plan = TaskFaultPlan::seeded(1).panic_tasks(0.5);
+        let map: Vec<bool> = (0..64)
+            .map(|t| plan.fate(TaskPhase::Map, t, 1).is_some())
+            .collect();
+        let reduce: Vec<bool> = (0..64)
+            .map(|t| plan.fate(TaskPhase::Reduce, t, 1).is_some())
+            .collect();
+        let second: Vec<bool> = (0..64)
+            .map(|t| plan.fate(TaskPhase::Map, t, 2).is_some())
+            .collect();
+        assert_ne!(map, reduce, "phase feeds the hash");
+        assert_ne!(map, second, "attempt feeds the hash");
+    }
+
+    #[test]
+    fn targeted_fault_hits_exact_attempts_then_clears() {
+        let plan = TaskFaultPlan::seeded(3).panic_task(TaskPhase::Map, 2, 2);
+        assert_eq!(plan.fate(TaskPhase::Map, 2, 1), Some(TaskFault::Panic));
+        assert_eq!(plan.fate(TaskPhase::Map, 2, 2), Some(TaskFault::Panic));
+        assert_eq!(plan.fate(TaskPhase::Map, 2, 3), None);
+        assert_eq!(plan.fate(TaskPhase::Map, 1, 1), None);
+        assert_eq!(plan.fate(TaskPhase::Reduce, 2, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_probability_rejected() {
+        TaskFaultPlan::seeded(0).panic_tasks(1.5).validate();
+    }
+
+    #[test]
+    fn display_forms_are_readable() {
+        let err = TaskError {
+            phase: TaskPhase::Map,
+            task: 3,
+            attempts: 3,
+            failure: TaskFailure::Panicked {
+                message: "boom".into(),
+            },
+        };
+        assert_eq!(
+            err.to_string(),
+            "map task 3 failed after 3 attempts: panicked: boom"
+        );
+        let job = JobError {
+            failed: vec![
+                err,
+                TaskError {
+                    phase: TaskPhase::Reduce,
+                    task: 0,
+                    attempts: 1,
+                    failure: TaskFailure::WorkerLost,
+                },
+            ],
+        };
+        let text = job.to_string();
+        assert!(text.contains("2 tasks"), "{text}");
+        assert!(
+            text.contains("reduce task 0 failed after 1 attempt"),
+            "{text}"
+        );
+        assert_eq!(TaskFault::Delay { ms: 40 }.to_string(), "delay +40 ms");
+        assert_eq!(TaskFault::WorkerLost.to_string(), "lost worker");
+    }
+}

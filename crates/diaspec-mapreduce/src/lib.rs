@@ -17,7 +17,13 @@
 //!   compare the two (experiment E10);
 //! - optional [`Combiner`] — per-worker local pre-aggregation, the classic
 //!   MapReduce optimization, used by the ablation benchmarks;
-//! - [`ExecutionStats`] — per-phase record counts and wall-clock timings.
+//! - [`ExecutionStats`] — per-phase record counts and wall-clock timings,
+//!   including a [`CoverageReport`] of task-level fault tolerance;
+//! - task fault tolerance in the spirit of the original MapReduce paper:
+//!   panic isolation via `catch_unwind`, bounded per-task retries,
+//!   speculative straggler re-execution ([`SpeculationConfig`]), degraded
+//!   partial results, and a seeded, deterministic [`TaskFaultPlan`] for
+//!   injecting panics, stalls, and lost workers into task attempts.
 //!
 //! ## Example: parking availability (paper Figure 10)
 //!
@@ -54,11 +60,15 @@
 
 mod collector;
 mod executor;
+pub mod fault;
 mod stats;
 
 pub use collector::{MapCollector, ReduceCollector};
 pub use executor::{Executor, Job, MapReduceResult, MappedResult};
-pub use stats::ExecutionStats;
+pub use fault::{
+    JobError, SpeculationConfig, TaskError, TaskFailure, TaskFault, TaskFaultPlan, TaskPhase,
+};
+pub use stats::{CoverageReport, ExecutionStats};
 
 /// The application-facing MapReduce interface, mirroring the generated
 /// `MapReduce<K1, V1, K2, V2, K3, V3>` interface of the paper's Figure 10.

@@ -1,4 +1,4 @@
-//! Per-execution statistics.
+//! Per-execution statistics and coverage accounting.
 
 use std::time::Duration;
 
@@ -17,7 +17,10 @@ pub struct ExecutionStats {
     pub groups: u64,
     /// Final records emitted by the Reduce phase.
     pub reduce_output_records: u64,
-    /// Worker threads used (1 for the serial executor).
+    /// Worker threads used (1 for the serial executor; for the parallel
+    /// executor, the largest thread pool either phase actually spawned —
+    /// capped at the phase's task count, so small jobs never pay for
+    /// idle threads).
     pub workers: usize,
     /// Wall-clock time of the Map phase (including combining).
     pub map_time: Duration,
@@ -25,6 +28,12 @@ pub struct ExecutionStats {
     pub shuffle_time: Duration,
     /// Wall-clock time of the Reduce phase.
     pub reduce_time: Duration,
+    /// Wall-clock time burnt on attempts whose result was discarded:
+    /// failed attempts that were retried or abandoned, and superseded
+    /// speculative duplicates. Zero on a fault-free run.
+    pub recovery_time: Duration,
+    /// Task-level fault-tolerance accounting for this execution.
+    pub coverage: CoverageReport,
 }
 
 impl ExecutionStats {
@@ -32,6 +41,82 @@ impl ExecutionStats {
     #[must_use]
     pub fn total_time(&self) -> Duration {
         self.map_time + self.shuffle_time + self.reduce_time
+    }
+}
+
+/// Coverage accounting for one execution: how many tasks ran, were
+/// retried, speculated, or permanently failed, and what fraction of the
+/// input the surviving tasks covered.
+///
+/// A fault-free run reports every `*_failed`/`*_lost` field as zero and
+/// [`CoverageReport::fraction_covered`] as exactly `1.0`. All counts are
+/// deterministic for a fixed seed and task layout **except**
+/// `speculative_attempts`, which depends on real wall-clock straggling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Map tasks in the job (contiguous input chunks).
+    pub map_tasks: u32,
+    /// Reduce tasks in the job (contiguous key-range partitions).
+    pub reduce_tasks: u32,
+    /// Failed attempts that were re-queued within the retry budget.
+    pub task_retries: u32,
+    /// Speculative duplicate attempts launched for stragglers.
+    pub speculative_attempts: u32,
+    /// Attempts into which the fault plan injected a fault.
+    pub injected_faults: u32,
+    /// Map tasks that exhausted their retry budget.
+    pub map_tasks_failed: u32,
+    /// Reduce tasks that exhausted their retry budget.
+    pub reduce_tasks_failed: u32,
+    /// Input records assigned to map tasks (all of them).
+    pub map_records_total: u64,
+    /// Input records assigned to permanently failed map tasks.
+    pub map_records_lost: u64,
+    /// Grouped intermediate values entering the Reduce phase (counted
+    /// before combining, so combiners do not distort coverage).
+    pub group_values_total: u64,
+    /// Grouped intermediate values assigned to permanently failed reduce
+    /// tasks (counted before combining).
+    pub group_values_lost: u64,
+}
+
+impl CoverageReport {
+    /// Whether every task ultimately succeeded.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.map_tasks_failed == 0 && self.reduce_tasks_failed == 0
+    }
+
+    /// Tasks that exhausted their retry budget, across both phases.
+    #[must_use]
+    pub fn tasks_failed(&self) -> u32 {
+        self.map_tasks_failed + self.reduce_tasks_failed
+    }
+
+    /// Fraction of the input the final output covers, in `[0, 1]`.
+    ///
+    /// The product of the surviving map fraction (input records whose map
+    /// task succeeded) and the surviving reduce fraction (grouped values
+    /// whose reduce task succeeded); an empty phase counts as fully
+    /// covered. `1.0` exactly when [`CoverageReport::is_complete`].
+    #[must_use]
+    pub fn fraction_covered(&self) -> f64 {
+        fn surviving(total: u64, lost: u64) -> f64 {
+            if total == 0 {
+                1.0
+            } else {
+                (total - total.min(lost)) as f64 / total as f64
+            }
+        }
+        surviving(self.map_records_total, self.map_records_lost)
+            * surviving(self.group_values_total, self.group_values_lost)
+    }
+
+    /// [`CoverageReport::fraction_covered`] as a whole percentage,
+    /// rounded down so a lossy run never rounds up to 100.
+    #[must_use]
+    pub fn percent_covered(&self) -> u32 {
+        (self.fraction_covered() * 100.0).floor() as u32
     }
 }
 
@@ -48,5 +133,44 @@ mod tests {
             ..ExecutionStats::default()
         };
         assert_eq!(stats.total_time(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn default_coverage_is_complete() {
+        let coverage = CoverageReport::default();
+        assert!(coverage.is_complete());
+        assert_eq!(coverage.fraction_covered(), 1.0);
+        assert_eq!(coverage.percent_covered(), 100);
+    }
+
+    #[test]
+    fn coverage_fraction_multiplies_phase_survival() {
+        let coverage = CoverageReport {
+            map_tasks: 4,
+            reduce_tasks: 2,
+            map_tasks_failed: 1,
+            reduce_tasks_failed: 1,
+            map_records_total: 100,
+            map_records_lost: 25,
+            group_values_total: 60,
+            group_values_lost: 30,
+            ..CoverageReport::default()
+        };
+        assert!(!coverage.is_complete());
+        assert_eq!(coverage.tasks_failed(), 2);
+        let expected = 0.75 * 0.5;
+        assert!((coverage.fraction_covered() - expected).abs() < 1e-12);
+        assert_eq!(coverage.percent_covered(), 37);
+    }
+
+    #[test]
+    fn percent_rounds_down() {
+        let coverage = CoverageReport {
+            map_records_total: 3,
+            map_records_lost: 1,
+            ..CoverageReport::default()
+        };
+        // 2/3 = 66.66 % floors to 66, never 67.
+        assert_eq!(coverage.percent_covered(), 66);
     }
 }

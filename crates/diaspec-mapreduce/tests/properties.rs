@@ -103,3 +103,94 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Fault-tolerance properties: injected task faults that stay within the
+// retry budget are invisible in the output, and seeded fault plans are
+// fully deterministic.
+// ---------------------------------------------------------------------
+
+use diaspec_mapreduce::{TaskFault, TaskFaultPlan, TaskPhase};
+
+fn targeted_faults() -> impl Strategy<Value = Vec<(TaskPhase, usize, TaskFault, u32)>> {
+    let phase = prop_oneof![Just(TaskPhase::Map), Just(TaskPhase::Reduce)];
+    let fault = prop_oneof![Just(TaskFault::Panic), Just(TaskFault::WorkerLost)];
+    // Attempts <= 2 with a retry budget of 2: every task ultimately
+    // succeeds.
+    proptest::collection::vec((phase, 0usize..16, fault, 1u32..3), 0..6)
+}
+
+fn plan_from(seed: u64, faults: &[(TaskPhase, usize, TaskFault, u32)]) -> TaskFaultPlan {
+    let mut plan = TaskFaultPlan::seeded(seed);
+    for (phase, task, fault, attempts) in faults {
+        plan = match fault {
+            TaskFault::Panic => plan.panic_task(*phase, *task, *attempts),
+            TaskFault::WorkerLost => plan.lose_task(*phase, *task, *attempts),
+            TaskFault::Delay { ms } => plan.delay_task(*phase, *task, *ms, *attempts),
+        };
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fault_injected_parallel_is_byte_identical_when_all_tasks_heal(
+        data in dataset(),
+        workers in 2usize..9,
+        seed in 0u64..1000,
+        faults in targeted_faults(),
+    ) {
+        let serial = Job::serial().run(&Concat, data.clone());
+        let injected = Job::parallel(workers)
+            .fault_plan(plan_from(seed, &faults))
+            .task_retries(2)
+            .run(&Concat, data);
+        // Every fault window (<= 2 attempts) fits in the retry budget, so
+        // the job heals completely and the order-sensitive output is
+        // byte-identical to the fault-free serial baseline.
+        prop_assert_eq!(serial.output, injected.output);
+        prop_assert!(injected.failed_tasks.is_empty());
+        prop_assert!(injected.stats.coverage.is_complete());
+        prop_assert_eq!(injected.stats.coverage.fraction_covered(), 1.0);
+    }
+
+    #[test]
+    fn probabilistic_fault_runs_are_deterministic_per_seed(
+        data in dataset(),
+        workers in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let job = || Job::parallel(workers)
+            .tasks(8)
+            .fault_plan(TaskFaultPlan::seeded(seed).panic_tasks(0.3).lose_workers(0.2))
+            .task_retries(1)
+            .allow_partial(true)
+            .run(&Sum, data.clone());
+        let first = job();
+        let second = job();
+        prop_assert_eq!(first.output, second.output);
+        prop_assert_eq!(first.failed_tasks, second.failed_tasks);
+        prop_assert_eq!(first.stats.coverage, second.stats.coverage);
+    }
+
+    #[test]
+    fn degraded_coverage_never_exceeds_complete(
+        data in dataset(),
+        seed in 0u64..1000,
+    ) {
+        let result = Job::parallel(4)
+            .fault_plan(TaskFaultPlan::seeded(seed).panic_tasks(0.5))
+            .allow_partial(true)
+            .run(&Sum, data);
+        let coverage = result.stats.coverage;
+        let fraction = coverage.fraction_covered();
+        prop_assert!((0.0..=1.0).contains(&fraction));
+        prop_assert_eq!(coverage.is_complete(), fraction == 1.0);
+        prop_assert_eq!(
+            coverage.tasks_failed() as usize,
+            result.failed_tasks.len()
+        );
+    }
+}

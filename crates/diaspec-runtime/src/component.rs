@@ -41,6 +41,11 @@ pub struct BatchData {
     /// Result of the declared MapReduce phases, when `with map ... reduce
     /// ...` is present: final value per group key.
     pub reduced: Option<BTreeMap<Value, Value>>,
+    /// Task-level coverage accounting of the MapReduce execution that
+    /// produced [`BatchData::reduced`]. `Some` exactly when `reduced` is;
+    /// a degraded batch reports a fraction below 1 here, so context logic
+    /// can weigh partial results.
+    pub coverage: Option<diaspec_mapreduce::CoverageReport>,
     /// The aggregation window in milliseconds, when `every <T>` is present.
     pub window_ms: Option<u64>,
 }
@@ -221,6 +226,7 @@ mod tests {
             readings: vec![],
             grouped: None,
             reduced: None,
+            coverage: None,
             window_ms: Some(1000),
         };
         let clone = batch.clone();

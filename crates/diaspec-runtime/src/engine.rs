@@ -42,9 +42,10 @@ use crate::value::Value;
 use diaspec_core::model::{
     ActivationTrigger, AnnotationArg, CheckedSpec, InputRef, PublishMode, Subscriber,
 };
-use diaspec_mapreduce::{Job, MapCollector, MapReduce, ReduceCollector};
+use diaspec_mapreduce::{ExecutionStats, Job, MapCollector, MapReduce, ReduceCollector, TaskError};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// How MapReduce phases declared in the design are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -146,6 +147,25 @@ impl Event {
             self,
             Event::SourceDeliver { .. } | Event::ContextDeliver { .. } | Event::BatchDeliver { .. }
         )
+    }
+}
+
+/// A context's declared batch-quality expectations
+/// (`@quality(coverage = N, deadlineMs = M)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QualityBudget {
+    /// Minimum acceptable input coverage, in whole percent (1–100).
+    coverage_pct: u32,
+    /// Wall-clock processing deadline for one batch, when declared.
+    deadline_ms: Option<u64>,
+}
+
+impl Default for QualityBudget {
+    fn default() -> Self {
+        QualityBudget {
+            coverage_pct: 100,
+            deadline_ms: None,
+        }
     }
 }
 
@@ -254,6 +274,10 @@ pub struct Orchestrator {
     obs: ObsHub,
     /// Per-context QoS latency budgets (ms), from `@qos(latencyMs = N)`.
     qos_budgets: BTreeMap<String, u64>,
+    /// Per-context batch quality budgets, from `@quality(coverage = N,
+    /// deadlineMs = M)`. Contexts without the annotation expect complete
+    /// (100 %) coverage and have no deadline.
+    quality_budgets: BTreeMap<String, QualityBudget>,
     /// Seeded fault injector, when fault injection is enabled.
     faults: Option<FaultInjector>,
     /// Recovery machinery configuration (leases, delivery retry).
@@ -300,6 +324,28 @@ impl Orchestrator {
                     .map(|budget| (ctx.name.clone(), budget))
             })
             .collect();
+        let quality_budgets = spec
+            .contexts()
+            .filter_map(|ctx| {
+                ctx.annotations
+                    .iter()
+                    .find(|a| a.name == "quality")
+                    .map(|a| {
+                        let coverage_pct = a
+                            .arg("coverage")
+                            .and_then(AnnotationArg::as_int)
+                            .map_or(100, |pct| u32::try_from(pct.min(100)).unwrap_or(100));
+                        let deadline_ms = a.arg("deadlineMs").and_then(AnnotationArg::as_int);
+                        (
+                            ctx.name.clone(),
+                            QualityBudget {
+                                coverage_pct,
+                                deadline_ms,
+                            },
+                        )
+                    })
+            })
+            .collect();
         Orchestrator {
             registry: Registry::new(Arc::clone(&spec)),
             spec,
@@ -315,6 +361,7 @@ impl Orchestrator {
             trace: TraceBuffer::new(),
             obs: ObsHub::new(),
             qos_budgets,
+            quality_budgets,
             faults: None,
             recovery: RecoveryConfig::default(),
         }
@@ -1482,7 +1529,7 @@ impl Orchestrator {
             groups
         });
 
-        let reduced = match activation
+        let (reduced, coverage) = match activation
             .grouping
             .as_ref()
             .and_then(|g| g.map_reduce.as_ref())
@@ -1500,39 +1547,64 @@ impl Orchestrator {
                             .filter_map(|r| r.group.clone().map(|g| (g, r.value.clone())))
                             .collect();
                         let adapter = LogicAdapter(mr.as_ref());
-                        let result = match self.processing {
-                            ProcessingMode::Serial => Job::serial().run_to_map(&adapter, input),
-                            ProcessingMode::Parallel(workers) => {
-                                Job::parallel(workers).run_to_map(&adapter, input)
-                            }
-                        };
-                        if self.obs.is_enabled() {
-                            // Surface the executor's per-phase wall times
-                            // as processing durations.
-                            for (phase, time) in [
-                                ("map", result.stats.map_time),
-                                ("shuffle", result.stats.shuffle_time),
-                                ("reduce", result.stats.reduce_time),
-                            ] {
-                                let us = u64::try_from(time.as_micros()).unwrap_or(u64::MAX);
-                                self.obs.record(
-                                    Activity::Processing,
-                                    &format!("{context}/{phase}"),
-                                    us,
+                        let mut job = match self.processing {
+                            ProcessingMode::Serial => Job::serial(),
+                            ProcessingMode::Parallel(workers) => Job::parallel(workers),
+                        }
+                        .task_retries(self.recovery.task_retries)
+                        .allow_partial(true);
+                        if let Some(speculation) = self.recovery.task_speculation {
+                            job = job.speculation(speculation);
+                        }
+                        if let Some(plan) = self.faults.as_ref().and_then(FaultInjector::task_plan)
+                        {
+                            job = job.fault_plan(plan.clone());
+                        }
+                        match job.try_run_to_map(&adapter, input) {
+                            Ok(result) => {
+                                if self.obs.is_enabled() {
+                                    // Surface the executor's per-phase wall
+                                    // times as processing durations.
+                                    for (phase, time) in [
+                                        ("map", result.stats.map_time),
+                                        ("shuffle", result.stats.shuffle_time),
+                                        ("reduce", result.stats.reduce_time),
+                                    ] {
+                                        let us =
+                                            u64::try_from(time.as_micros()).unwrap_or(u64::MAX);
+                                        self.obs.record(
+                                            Activity::Processing,
+                                            &format!("{context}/{phase}"),
+                                            us,
+                                        );
+                                    }
+                                }
+                                self.account_batch_processing(
+                                    context,
+                                    &result.stats,
+                                    &result.failed_tasks,
                                 );
+                                (Some(result.output), Some(result.stats.coverage))
+                            }
+                            Err(err) => {
+                                // Unreachable while `allow_partial` is set,
+                                // but contained rather than trusted.
+                                self.contain(RuntimeError::Configuration(format!(
+                                    "context `{context}` batch processing failed: {err}"
+                                )));
+                                (None, None)
                             }
                         }
-                        Some(result.output)
                     }
                     None => {
                         self.contain(RuntimeError::Configuration(format!(
                             "context `{context}` reached a MapReduce batch without phases"
                         )));
-                        None
+                        (None, None)
                     }
                 }
             }
-            None => None,
+            None => (None, None),
         };
 
         let batch = BatchData {
@@ -1541,9 +1613,84 @@ impl Orchestrator {
             readings,
             grouped,
             reduced,
+            coverage,
             window_ms,
         };
         self.activate_context(context, activation_idx, ContextActivation::Batch(&batch));
+    }
+
+    /// Folds one batch execution's fault-tolerance outcome into metrics,
+    /// traces, observability, and the context's `@quality` verdict.
+    fn account_batch_processing(
+        &mut self,
+        context: &str,
+        stats: &ExecutionStats,
+        failed_tasks: &[TaskError],
+    ) {
+        let coverage = stats.coverage;
+        self.metrics.task_retries += u64::from(coverage.task_retries);
+        self.metrics.task_speculations += u64::from(coverage.speculative_attempts);
+        self.metrics.tasks_failed += failed_tasks.len() as u64;
+        if coverage.injected_faults > 0 {
+            self.metrics.faults_injected += u64::from(coverage.injected_faults);
+            if let Some(injector) = self.faults.as_mut() {
+                for _ in 0..coverage.injected_faults {
+                    injector.count_injection();
+                }
+            }
+        }
+        let at = self.queue.now();
+        if self.trace_active() {
+            for failed in failed_tasks {
+                self.record_trace(
+                    at,
+                    TraceKind::TaskFailed {
+                        context: context.to_owned(),
+                        phase: failed.phase.to_string(),
+                        task: u32::try_from(failed.task).unwrap_or(u32::MAX),
+                        attempts: failed.attempts,
+                    },
+                );
+            }
+        }
+        if self.obs.is_enabled() && !stats.recovery_time.is_zero() {
+            let us = u64::try_from(stats.recovery_time.as_micros()).unwrap_or(u64::MAX);
+            self.obs
+                .record(Activity::Recovering, &format!("{context}/tasks"), us);
+        }
+        let budget = self
+            .quality_budgets
+            .get(context)
+            .copied()
+            .unwrap_or_default();
+        // A missed processing deadline is a QoS violation, not lost
+        // coverage: the results are complete, just late.
+        if budget
+            .deadline_ms
+            .is_some_and(|ms| stats.total_time() > Duration::from_millis(ms))
+        {
+            self.metrics.qos_violations += 1;
+        }
+        let coverage_pct = coverage.percent_covered();
+        if coverage_pct < budget.coverage_pct {
+            self.metrics.batches_degraded += 1;
+            if self.trace_active() {
+                self.record_trace(
+                    at,
+                    TraceKind::BatchDegraded {
+                        context: context.to_owned(),
+                        coverage_pct,
+                        threshold_pct: budget.coverage_pct,
+                        failed_tasks: u32::try_from(failed_tasks.len()).unwrap_or(u32::MAX),
+                    },
+                );
+            }
+            self.contain(RuntimeError::DegradedBatch {
+                context: context.to_owned(),
+                coverage_pct,
+                threshold_pct: budget.coverage_pct,
+            });
+        }
     }
 
     // ---- component activation ------------------------------------------------

@@ -118,6 +118,16 @@ pub enum RuntimeError {
     Component(ComponentError),
     /// A component was registered twice, or logic is missing at launch.
     Configuration(String),
+    /// A processed batch completed with partial results below its
+    /// `@quality` coverage threshold (tasks exhausted their retries).
+    DegradedBatch {
+        /// The processing context.
+        context: String,
+        /// Whole-percent input coverage achieved (floored).
+        coverage_pct: u32,
+        /// The coverage threshold that was missed.
+        threshold_pct: u32,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -138,6 +148,15 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Device(e) => write!(f, "{e}"),
             RuntimeError::Component(e) => write!(f, "{e}"),
             RuntimeError::Configuration(msg) => write!(f, "configuration error: {msg}"),
+            RuntimeError::DegradedBatch {
+                context,
+                coverage_pct,
+                threshold_pct,
+            } => write!(
+                f,
+                "degraded batch in `{context}`: coverage {coverage_pct}% \
+                 below the {threshold_pct}% quality threshold"
+            ),
         }
     }
 }
@@ -187,6 +206,20 @@ mod tests {
         assert!(e.to_string().contains("Alert"));
         let wrapped: RuntimeError = e.into();
         assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn degraded_batch_display() {
+        let e = RuntimeError::DegradedBatch {
+            context: "ParkingAvailability".into(),
+            coverage_pct: 66,
+            threshold_pct: 80,
+        };
+        assert_eq!(
+            e.to_string(),
+            "degraded batch in `ParkingAvailability`: coverage 66% \
+             below the 80% quality threshold"
+        );
     }
 
     #[test]

@@ -30,6 +30,8 @@ use crate::entity::EntityId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub use diaspec_mapreduce::{SpeculationConfig, TaskFault, TaskFaultPlan, TaskPhase};
+
 // ---- faults ----------------------------------------------------------------
 
 /// A deterministic fault applied at a scheduled simulation time.
@@ -93,6 +95,12 @@ pub struct FaultPlan {
     pub delay_ms: SimTime,
     /// Clock-driven faults, fired by the engine at their exact times.
     pub scheduled: Vec<ScheduledFault>,
+    /// Task-level faults injected into the MapReduce processing activity
+    /// (panicking, stalled, and lost map/reduce task attempts). Unlike
+    /// the message faults above, task fates are a pure hash of
+    /// `(seed, phase, task, attempt)`, so they are deterministic even
+    /// across worker-thread interleavings.
+    pub tasks: Option<TaskFaultPlan>,
 }
 
 impl Default for FaultPlan {
@@ -104,6 +112,7 @@ impl Default for FaultPlan {
             delay_probability: 0.0,
             delay_ms: 0,
             scheduled: Vec::new(),
+            tasks: None,
         }
     }
 }
@@ -161,6 +170,14 @@ impl FaultPlan {
                 entity: entity.into(),
             },
         });
+        self
+    }
+
+    /// Injects the given task-level fault plan into the MapReduce
+    /// processing path (map/reduce task panics, stalls, lost workers).
+    #[must_use]
+    pub fn fault_tasks(mut self, tasks: TaskFaultPlan) -> Self {
+        self.tasks = Some(tasks);
         self
     }
 
@@ -222,6 +239,9 @@ impl FaultInjector {
                 "{name} probability {p} outside [0, 1]"
             );
         }
+        if let Some(tasks) = &plan.tasks {
+            tasks.validate();
+        }
         let rng = StdRng::seed_from_u64(plan.seed);
         FaultInjector {
             plan,
@@ -236,6 +256,12 @@ impl FaultInjector {
     #[must_use]
     pub fn scheduled(&self) -> &[ScheduledFault] {
         &self.plan.scheduled
+    }
+
+    /// The task-level fault plan for the processing activity, if any.
+    #[must_use]
+    pub fn task_plan(&self) -> Option<&TaskFaultPlan> {
+        self.plan.tasks.as_ref()
     }
 
     /// Whether the link is currently partitioned.
@@ -331,10 +357,11 @@ impl RetryConfig {
     }
 }
 
-/// The recovery machinery the engine runs: lease-based bindings and
-/// delivery retry. Disabled by default — a run without recovery behaves
+/// The recovery machinery the engine runs: lease-based bindings,
+/// delivery retry, and task-level re-execution in the processing
+/// activity. Disabled by default — a run without recovery behaves
 /// exactly as before.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RecoveryConfig {
     /// When set, every bound entity holds a lease of this many
     /// milliseconds, renewed on each successful query/poll/invocation.
@@ -343,6 +370,12 @@ pub struct RecoveryConfig {
     pub lease_ttl_ms: Option<SimTime>,
     /// Delivery retry policy for dropped messages.
     pub retry: Option<RetryConfig>,
+    /// How many times a failed map/reduce task is re-executed before the
+    /// batch completes degraded (0 = a single failure loses the task).
+    pub task_retries: u32,
+    /// When set, straggling map/reduce tasks are speculatively
+    /// re-executed (first result wins, byte-identical output).
+    pub task_speculation: Option<SpeculationConfig>,
 }
 
 impl RecoveryConfig {
@@ -358,6 +391,20 @@ impl RecoveryConfig {
     #[must_use]
     pub fn with_retry(mut self, retry: RetryConfig) -> Self {
         self.retry = Some(retry);
+        self
+    }
+
+    /// Re-executes each failed map/reduce task up to `retries` times.
+    #[must_use]
+    pub fn with_task_retries(mut self, retries: u32) -> Self {
+        self.task_retries = retries;
+        self
+    }
+
+    /// Enables speculative re-execution of straggling tasks.
+    #[must_use]
+    pub fn with_task_speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.task_speculation = Some(speculation);
         self
     }
 
@@ -466,8 +513,36 @@ mod tests {
         let config = RecoveryConfig::default();
         assert!(config.lease_ttl_ms.is_none());
         assert!(config.retry.is_none());
+        assert_eq!(config.task_retries, 0);
+        assert!(config.task_speculation.is_none());
         assert_eq!(config.lease_check_interval_ms(), None);
         let config = config.with_leases(5_000).with_retry(RetryConfig::default());
         assert_eq!(config.lease_check_interval_ms(), Some(2_500));
+        let config = config
+            .with_task_retries(2)
+            .with_task_speculation(SpeculationConfig::default());
+        assert_eq!(config.task_retries, 2);
+        assert!(config.task_speculation.is_some());
+    }
+
+    #[test]
+    fn fault_plan_embeds_task_plan() {
+        let plan = FaultPlan::seeded(4).fault_tasks(TaskFaultPlan::seeded(4).panic_task(
+            TaskPhase::Map,
+            0,
+            2,
+        ));
+        let injector = FaultInjector::new(plan);
+        let tasks = injector.task_plan().expect("task plan embedded");
+        assert_eq!(tasks.fate(TaskPhase::Map, 0, 1), Some(TaskFault::Panic));
+        assert_eq!(tasks.fate(TaskPhase::Map, 0, 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_task_probability_rejected() {
+        let _ = FaultInjector::new(
+            FaultPlan::default().fault_tasks(TaskFaultPlan::seeded(0).panic_tasks(-0.5)),
+        );
     }
 }

@@ -55,6 +55,17 @@ pub struct RuntimeMetrics {
     pub rebinds: u64,
     /// Failed actuations masked by a declared `@error(fallback = ...)`.
     pub fallback_actuations: u64,
+    /// Failed map/reduce task attempts re-executed during batch
+    /// processing.
+    pub task_retries: u64,
+    /// Speculative duplicate attempts launched for straggling tasks.
+    pub task_speculations: u64,
+    /// Map/reduce tasks that exhausted their retry budget (their share
+    /// of the batch was lost).
+    pub tasks_failed: u64,
+    /// Processed batches that landed below their `@quality` coverage
+    /// threshold.
+    pub batches_degraded: u64,
 }
 
 impl RuntimeMetrics {
@@ -75,11 +86,15 @@ impl RuntimeMetrics {
     }
 
     /// Total recovery actions taken by the engine (delivery retries,
-    /// lease expiries, rebinds, fallback actuations). Zero in a run with
-    /// faults disabled.
+    /// lease expiries, rebinds, fallback actuations, task retries). Zero
+    /// in a run with faults disabled.
     #[must_use]
     pub fn recovery_actions(&self) -> u64 {
-        self.delivery_retries + self.lease_expiries + self.rebinds + self.fallback_actuations
+        self.delivery_retries
+            + self.lease_expiries
+            + self.rebinds
+            + self.fallback_actuations
+            + self.task_retries
     }
 }
 

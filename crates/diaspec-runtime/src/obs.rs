@@ -53,7 +53,8 @@ pub enum Activity {
     /// Actuating entities: invoking a declared device action.
     Actuating,
     /// Recovering from injected faults: lease expiry to rebind, delivery
-    /// retry backoff, fallback actuations (see [`crate::fault`]).
+    /// retry backoff, fallback actuations, and map/reduce task
+    /// re-execution time (see [`crate::fault`]).
     Recovering,
 }
 

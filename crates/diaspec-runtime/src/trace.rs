@@ -93,6 +93,30 @@ pub enum TraceKind {
         /// The fallback action invoked.
         action: String,
     },
+    /// A map/reduce task exhausted its retry budget during batch
+    /// processing (the batch continued with partial results).
+    TaskFailed {
+        /// The processing context.
+        context: String,
+        /// `map` or `reduce`.
+        phase: String,
+        /// Task index within the phase.
+        task: u32,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A processed batch landed below its `@quality` coverage threshold
+    /// (or a fault-free completeness expectation when undeclared).
+    BatchDegraded {
+        /// The processing context.
+        context: String,
+        /// Whole-percent input coverage achieved (floored).
+        coverage_pct: u32,
+        /// The coverage threshold that was missed.
+        threshold_pct: u32,
+        /// Tasks that permanently failed in this batch.
+        failed_tasks: u32,
+    },
 }
 
 /// One trace entry.
@@ -142,6 +166,25 @@ impl fmt::Display for TraceEvent {
             TraceKind::FallbackActuation { entity, action } => {
                 write!(f, "fallback  {entity}.{action}()")
             }
+            TraceKind::TaskFailed {
+                context,
+                phase,
+                task,
+                attempts,
+            } => write!(
+                f,
+                "task      [{context}] {phase} task {task} failed after {attempts} attempts"
+            ),
+            TraceKind::BatchDegraded {
+                context,
+                coverage_pct,
+                threshold_pct,
+                failed_tasks,
+            } => write!(
+                f,
+                "degraded  [{context}] coverage {coverage_pct}% < {threshold_pct}% \
+                 ({failed_tasks} tasks lost)"
+            ),
         }
     }
 }
@@ -306,6 +349,18 @@ mod tests {
             TraceKind::FallbackActuation {
                 entity: "elevator-1".into(),
                 action: "neutral".into(),
+            },
+            TraceKind::TaskFailed {
+                context: "ParkingAvailability".into(),
+                phase: "map".into(),
+                task: 3,
+                attempts: 4,
+            },
+            TraceKind::BatchDegraded {
+                context: "ParkingAvailability".into(),
+                coverage_pct: 66,
+                threshold_pct: 80,
+                failed_tasks: 1,
             },
         ];
         for kind in samples {

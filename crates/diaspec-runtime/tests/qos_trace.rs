@@ -119,7 +119,9 @@ fn trace_records_the_full_chain_in_order() {
             | TraceKind::LeaseExpired { .. }
             | TraceKind::Rebound { .. }
             | TraceKind::DeliveryRetry { .. }
-            | TraceKind::FallbackActuation { .. } => "recovery",
+            | TraceKind::FallbackActuation { .. }
+            | TraceKind::TaskFailed { .. }
+            | TraceKind::BatchDegraded { .. } => "recovery",
         })
         .collect();
     assert_eq!(
