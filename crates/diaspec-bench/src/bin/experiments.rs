@@ -8,7 +8,7 @@
 //! `--quick` shrinks the sweeps for smoke-testing; `--json` additionally
 //! dumps machine-readable rows.
 
-use diaspec_bench::{churn, continuum, delivery, discovery, processing, share, taskfaults};
+use diaspec_bench::{churn, continuum, delivery, discovery, fanout, processing, share, taskfaults};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +22,7 @@ fn main() {
     e12_discovery(quick, json);
     e16_churn(quick, json);
     e17_taskfaults(quick, json);
+    e18_fanout(quick, json);
 }
 
 fn heading(title: &str) {
@@ -280,6 +281,49 @@ fn e17_taskfaults(quick: bool, json: bool) {
     }
     if json {
         println!("{}", serde_json::to_string(&rows).expect("serializable"));
+    }
+}
+
+fn e18_fanout(quick: bool, json: bool) {
+    heading("E18 — subscriber fan-out × payload size (zero-copy delivery pipeline)");
+    let fanouts: &[usize] = if quick {
+        &[1, 10, 100]
+    } else {
+        &[1, 10, 100, 1_000]
+    };
+    let emissions_at_1k = if quick { 20 } else { 100 };
+    println!(
+        "{:>7} {:>11} {:>9} {:>10} {:>11} {:>13} {:>13} {:>10}",
+        "fanout", "payload", "emit", "delivered", "copied", "deep copy", "deliv/s", "wall (ms)"
+    );
+    let rows = fanout::sweep(fanouts, emissions_at_1k);
+    for row in &rows {
+        println!(
+            "{:>7} {:>11} {:>9} {:>10} {:>11} {:>13} {:>13.0} {:>10.1}",
+            row.fanout,
+            row.payload,
+            row.emissions,
+            row.deliveries,
+            human_bytes(row.copied_bytes),
+            human_bytes(row.deep_copy_bytes),
+            row.deliveries_per_sec,
+            row.wall_ms
+        );
+    }
+    if json {
+        println!("{}", serde_json::to_string(&rows).expect("serializable"));
+    }
+}
+
+fn human_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{:.1} GiB", bytes as f64 / (1u64 << 30) as f64)
+    } else if bytes >= 1 << 20 {
+        format!("{:.1} MiB", bytes as f64 / (1u64 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1} KiB", bytes as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{bytes} B")
     }
 }
 

@@ -14,6 +14,8 @@
 //! - [`taskfaults`] — E17: coverage and wall-clock vs injected
 //!   task-failure rate;
 //! - [`discovery`] — E12: entity discovery latency vs. registry size;
+//! - [`fanout`] — E18: subscriber fan-out × payload size (zero-copy
+//!   delivery);
 //! - [`share`] — E9: the generated-code fraction.
 //!
 //! E13 (compiler throughput) lives in `benches/compiler.rs`.
@@ -28,6 +30,7 @@ pub mod churn;
 pub mod continuum;
 pub mod delivery;
 pub mod discovery;
+pub mod fanout;
 pub mod processing;
 pub mod share;
 pub mod taskfaults;

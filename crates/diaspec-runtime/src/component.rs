@@ -19,6 +19,7 @@ use crate::clock::SimTime;
 use crate::engine::{ContextApi, ControllerApi};
 use crate::entity::EntityId;
 use crate::error::ComponentError;
+use crate::payload::Payload;
 use crate::registry::PolledReading;
 use crate::value::Value;
 use std::collections::BTreeMap;
@@ -36,8 +37,10 @@ pub struct BatchData {
     /// transport are absent.
     pub readings: Vec<PolledReading>,
     /// Readings grouped by the `grouped by` attribute value, when the
-    /// activation declares grouping.
-    pub grouped: Option<BTreeMap<Value, Vec<Value>>>,
+    /// activation declares grouping. Keys and readings are shared
+    /// [`Payload`] handles into the batch — grouping never deep-copies a
+    /// reading (a `&Payload` dereferences to [`Value`] for consumers).
+    pub grouped: Option<BTreeMap<Payload, Vec<Payload>>>,
     /// Result of the declared MapReduce phases, when `with map ... reduce
     /// ...` is present: final value per group key.
     pub reduced: Option<BTreeMap<Value, Value>>,

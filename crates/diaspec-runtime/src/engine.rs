@@ -18,6 +18,13 @@
 //! 4. **Actuating entities** — controllers invoke device actions through a
 //!    discover facade that enforces the declared `do ... on ...` contracts.
 //!
+//! Delivery itself is organized as an explicit four-stage pipeline —
+//! *admit → route → schedule → dispatch* — in the `engine/deliver`
+//! submodules (see `docs/ARCHITECTURE.md` for the stage-to-paper
+//! mapping). Values travel the pipeline as shared
+//! [`Payload`] handles: wrapped once at admission, cloned by handle
+//! everywhere else.
+//!
 //! The engine also enforces Sense-Compute-Control conformance at runtime:
 //! a component can only read what its declaration says it reads and only
 //! actuate what it declares, publish modes are honored (`always` must
@@ -26,26 +33,33 @@
 //! [`Orchestrator::drain_errors`]) so a faulty component cannot silently
 //! corrupt an experiment.
 
+mod api;
+mod deliver;
+
+pub use api::{ContextApi, ControllerApi, ProcessApi};
+
+use self::deliver::{Event, RouteTable};
 use crate::clock::{EventQueue, SimTime};
-use crate::component::{
-    BatchData, ContainedError, ContextActivation, ContextLogic, ControllerLogic, MapReduceLogic,
-};
+use crate::component::{ContainedError, ContextLogic, ControllerLogic, MapReduceLogic};
 use crate::entity::{AttributeMap, BindingTime, DeviceInstance, EntityId};
 use crate::error::RuntimeError;
-use crate::fault::{FaultInjector, FaultKind, FaultPlan, RecoveryConfig};
+use crate::fault::{FaultInjector, FaultPlan, RecoveryConfig};
 use crate::metrics::RuntimeMetrics;
 use crate::obs::{self, Activity, ObsHub};
-use crate::registry::{ErrorPolicy, PolledReading, Registry};
+use crate::payload::Payload;
+use crate::registry::{PolledReading, Registry};
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
-use crate::transport::{SendOutcome, Transport, TransportConfig};
+use crate::transport::{Transport, TransportConfig};
 use crate::value::Value;
-use diaspec_core::model::{
-    ActivationTrigger, AnnotationArg, CheckedSpec, InputRef, PublishMode, Subscriber,
-};
-use diaspec_mapreduce::{ExecutionStats, Job, MapCollector, MapReduce, ReduceCollector, TaskError};
+use diaspec_core::model::{ActivationTrigger, AnnotationArg, CheckedSpec};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Duration;
+
+/// Hard cap on buffered contained errors. A pathological run (millions of
+/// contract violations) stops growing the error buffer here; further
+/// errors are counted in [`Orchestrator::errors_dropped`] instead of
+/// buffered, so memory stays bounded while the count stays honest.
+const ERRORS_CAP: usize = 100_000;
 
 /// How MapReduce phases declared in the design are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,85 +85,6 @@ pub enum Phase {
     Launched,
 }
 
-#[derive(Clone)]
-enum Event {
-    /// A process emitted a source value (event-driven delivery).
-    Emit {
-        entity: EntityId,
-        source: String,
-        value: Value,
-        index: Option<Value>,
-    },
-    /// A source emission arrives at a subscribed context.
-    SourceDeliver {
-        context: String,
-        entity: EntityId,
-        device_type: String,
-        source: String,
-        value: Value,
-        index: Option<Value>,
-    },
-    /// A context publication arrives at a subscribed context.
-    ContextDeliver {
-        context: String,
-        from: String,
-        value: Value,
-    },
-    /// A context publication arrives at a subscribed controller.
-    ControllerDeliver {
-        controller: String,
-        from: String,
-        value: Value,
-    },
-    /// Time to poll a periodic activation.
-    PeriodicPoll {
-        context: String,
-        activation_idx: usize,
-    },
-    /// A gathered periodic batch arrives at its context.
-    BatchDeliver {
-        context: String,
-        activation_idx: usize,
-        readings: Vec<PolledReading>,
-        window_ms: Option<u64>,
-    },
-    /// A simulation process wakes.
-    ProcessWake { idx: usize },
-    /// A scheduled fault fires (index into the fault plan).
-    Fault { idx: usize },
-    /// Periodic lease sweep (scheduled when leases are enabled).
-    LeaseCheck,
-    /// A delivery dropped by an injected fault is re-sent with backoff.
-    Redeliver {
-        event: Box<Event>,
-        /// The send attempt this resend constitutes (initial send = 1).
-        attempt: u32,
-        /// When the initial send happened, for the retry timeout.
-        first_sent_at: SimTime,
-    },
-}
-
-impl Event {
-    /// Display label of the component a delivery event is addressed to.
-    fn target(&self) -> &str {
-        match self {
-            Event::SourceDeliver { context, .. }
-            | Event::ContextDeliver { context, .. }
-            | Event::BatchDeliver { context, .. } => context,
-            Event::ControllerDeliver { controller, .. } => controller,
-            _ => "",
-        }
-    }
-
-    /// Whether the event is addressed to a context (QoS budgets apply).
-    fn targets_context(&self) -> bool {
-        matches!(
-            self,
-            Event::SourceDeliver { .. } | Event::ContextDeliver { .. } | Event::BatchDeliver { .. }
-        )
-    }
-}
-
 /// A context's declared batch-quality expectations
 /// (`@quality(coverage = N, deadlineMs = M)`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,7 +107,9 @@ impl Default for QualityBudget {
 struct ContextRuntime {
     logic: Option<Box<dyn ContextLogic>>,
     map_reduce: Option<Arc<dyn MapReduceLogic>>,
-    last_value: Option<Value>,
+    /// The most recent published/computed value, cached as a shared
+    /// handle (it is also in flight to subscribers).
+    last_value: Option<Payload>,
     /// Per-activation window accumulation buffers.
     windows: BTreeMap<usize, WindowBuffer>,
 }
@@ -270,8 +207,14 @@ pub struct Orchestrator {
     phase: Phase,
     processing: ProcessingMode,
     errors: Vec<ContainedError>,
+    /// Errors discarded after [`ERRORS_CAP`] buffered entries; reset by
+    /// [`Orchestrator::drain_errors`].
+    errors_dropped: u64,
     trace: TraceBuffer,
     obs: ObsHub,
+    /// Precomputed subscription routes (stage 2 of the delivery
+    /// pipeline), shared so fan-out can iterate while scheduling.
+    routes: Arc<RouteTable>,
     /// Per-context QoS latency budgets (ms), from `@qos(latencyMs = N)`.
     qos_budgets: BTreeMap<String, u64>,
     /// Per-context batch quality budgets, from `@quality(coverage = N,
@@ -346,6 +289,7 @@ impl Orchestrator {
                     })
             })
             .collect();
+        let routes = Arc::new(RouteTable::build(&spec));
         Orchestrator {
             registry: Registry::new(Arc::clone(&spec)),
             spec,
@@ -358,8 +302,10 @@ impl Orchestrator {
             phase: Phase::Configuration,
             processing: ProcessingMode::default(),
             errors: Vec::new(),
+            errors_dropped: 0,
             trace: TraceBuffer::new(),
             obs: ObsHub::new(),
+            routes,
             qos_budgets,
             quality_budgets,
             faults: None,
@@ -408,7 +354,7 @@ impl Orchestrator {
         Ok(())
     }
 
-    /// Registers a standby entity that [`Registry::expire_leases`] can
+    /// Registers a standby entity that `Registry::expire_leases` can
     /// promote when a lease expires (automatic re-discovery).
     ///
     /// # Errors
@@ -508,25 +454,6 @@ impl Orchestrator {
         self.trace.record(at, kind);
     }
 
-    /// Checks a sampled delivery latency against the receiving context's
-    /// declared `@qos(latencyMs = N)` budget (paper \[15\]).
-    fn check_qos(&mut self, context: &str, latency: crate::clock::SimTime) {
-        if let Some(budget) = self.qos_budgets.get(context) {
-            if latency > *budget {
-                self.metrics.qos_violations += 1;
-                let at = self.queue.now();
-                self.record_trace(
-                    at,
-                    TraceKind::Error {
-                        message: format!(
-                            "QoS violation: delivery to `{context}` took {latency} ms                              (budget {budget} ms)"
-                        ),
-                    },
-                );
-            }
-        }
-    }
-
     /// Selects how declared MapReduce phases execute.
     pub fn set_processing_mode(&mut self, mode: ProcessingMode) {
         self.processing = mode;
@@ -565,7 +492,7 @@ impl Orchestrator {
     /// The last value published or computed by `context`, if any.
     #[must_use]
     pub fn last_value(&self, context: &str) -> Option<&Value> {
-        self.contexts.get(context)?.last_value.as_ref()
+        self.contexts.get(context)?.last_value.as_deref()
     }
 
     /// Removes and returns all errors contained since the last call.
@@ -573,8 +500,20 @@ impl Orchestrator {
     /// The engine never aborts a run on a component or device failure; it
     /// records the error here and keeps orchestrating, so experiments with
     /// failure injection can observe exactly what went wrong and when.
+    /// At most 100 000 errors are buffered between drains; the overflow
+    /// count is reported by [`Orchestrator::errors_dropped`].
     pub fn drain_errors(&mut self) -> Vec<ContainedError> {
+        self.errors_dropped = 0;
         std::mem::take(&mut self.errors)
+    }
+
+    /// Number of contained errors discarded because the bounded error
+    /// buffer was full since the last [`Orchestrator::drain_errors`]
+    /// (draining resets the counter). Every discarded error was still
+    /// counted in [`RuntimeMetrics::component_errors`] and traced.
+    #[must_use]
+    pub fn errors_dropped(&self) -> u64 {
+        self.errors_dropped
     }
 
     fn contain(&mut self, error: RuntimeError) {
@@ -585,100 +524,12 @@ impl Orchestrator {
                 message: error.to_string(),
             },
         );
-        self.errors.push(ContainedError { at, error });
+        if self.errors.len() < ERRORS_CAP {
+            self.errors.push(ContainedError { at, error });
+        } else {
+            self.errors_dropped += 1;
+        }
         self.metrics.component_errors += 1;
-    }
-
-    // ---- registration (configuration phase) ------------------------------
-
-    /// Registers the logic of a declared context.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::Unknown`] if the context is not declared,
-    /// [`RuntimeError::Configuration`] if logic was already registered.
-    pub fn register_context(
-        &mut self,
-        name: &str,
-        logic: impl ContextLogic + 'static,
-    ) -> Result<(), RuntimeError> {
-        let runtime = self
-            .contexts
-            .get_mut(name)
-            .ok_or_else(|| RuntimeError::Unknown {
-                kind: "context",
-                name: name.to_owned(),
-            })?;
-        if runtime.logic.is_some() {
-            return Err(RuntimeError::Configuration(format!(
-                "context `{name}` already has logic registered"
-            )));
-        }
-        runtime.logic = Some(Box::new(logic));
-        Ok(())
-    }
-
-    /// Registers the MapReduce phases of a context whose design declares
-    /// `with map ... reduce ...`.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::Unknown`] if the context is not declared,
-    /// [`RuntimeError::Configuration`] if the design declares no MapReduce
-    /// for it or phases were already registered.
-    pub fn register_map_reduce(
-        &mut self,
-        name: &str,
-        logic: impl MapReduceLogic + 'static,
-    ) -> Result<(), RuntimeError> {
-        let declared = self
-            .spec
-            .context(name)
-            .ok_or_else(|| RuntimeError::Unknown {
-                kind: "context",
-                name: name.to_owned(),
-            })?
-            .uses_map_reduce();
-        if !declared {
-            return Err(RuntimeError::Configuration(format!(
-                "context `{name}` declares no `with map ... reduce ...` clause"
-            )));
-        }
-        let runtime = self.contexts.get_mut(name).expect("checked above");
-        if runtime.map_reduce.is_some() {
-            return Err(RuntimeError::Configuration(format!(
-                "context `{name}` already has MapReduce phases registered"
-            )));
-        }
-        runtime.map_reduce = Some(Arc::new(logic));
-        Ok(())
-    }
-
-    /// Registers the logic of a declared controller.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::Unknown`] if the controller is not declared,
-    /// [`RuntimeError::Configuration`] if logic was already registered.
-    pub fn register_controller(
-        &mut self,
-        name: &str,
-        logic: impl ControllerLogic + 'static,
-    ) -> Result<(), RuntimeError> {
-        let runtime = self
-            .controllers
-            .get_mut(name)
-            .ok_or_else(|| RuntimeError::Unknown {
-                kind: "controller",
-                name: name.to_owned(),
-            })?;
-        if runtime.logic.is_some() {
-            return Err(RuntimeError::Configuration(format!(
-                "controller `{name}` already has logic registered"
-            )));
-        }
-        runtime.logic = Some(Box::new(logic));
-        Ok(())
     }
 
     // ---- binding ----------------------------------------------------------
@@ -834,51 +685,6 @@ impl Orchestrator {
 
     // ---- driving the simulation --------------------------------------------
 
-    /// Emits a source value from an entity at absolute time `at`
-    /// (event-driven delivery). Primarily used by tests and examples;
-    /// simulation processes use [`ProcessApi::emit`].
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::Unknown`] if the entity is not bound or its device
-    /// does not declare `source`.
-    pub fn emit_at(
-        &mut self,
-        at: SimTime,
-        entity: &EntityId,
-        source: &str,
-        value: Value,
-        index: Option<Value>,
-    ) -> Result<(), RuntimeError> {
-        let info = self
-            .registry
-            .entity(entity)
-            .ok_or_else(|| RuntimeError::Unknown {
-                kind: "entity",
-                name: entity.to_string(),
-            })?;
-        let device = self
-            .spec
-            .device(&info.device_type)
-            .expect("bound entity has declared device");
-        if device.source(source).is_none() {
-            return Err(RuntimeError::Unknown {
-                kind: "source",
-                name: format!("{source} on {}", info.device_type),
-            });
-        }
-        self.queue.schedule(
-            at,
-            Event::Emit {
-                entity: entity.clone(),
-                source: source.to_owned(),
-                value,
-                index,
-            },
-        );
-        Ok(())
-    }
-
     /// Processes a single event, if any is pending. Returns its timestamp.
     pub fn step(&mut self) -> Option<SimTime> {
         let (time, event) = self.queue.pop()?;
@@ -932,1085 +738,6 @@ impl Orchestrator {
             self.step();
         }
     }
-
-    // ---- event dispatch ----------------------------------------------------
-
-    fn dispatch(&mut self, event: Event) {
-        match event {
-            Event::Emit {
-                entity,
-                source,
-                value,
-                index,
-            } => self.dispatch_emit(&entity, &source, value, index),
-            Event::SourceDeliver {
-                context,
-                entity,
-                device_type,
-                source,
-                value,
-                index,
-            } => {
-                let activation_idx = self.find_source_activation(&context, &device_type, &source);
-                let Some(activation_idx) = activation_idx else {
-                    return;
-                };
-                let input = ContextActivation::SourceEvent {
-                    device_type: &device_type,
-                    entity: &entity,
-                    source: &source,
-                    value: &value,
-                    index: index.as_ref(),
-                };
-                self.activate_context(&context, activation_idx, input);
-            }
-            Event::ContextDeliver {
-                context,
-                from,
-                value,
-            } => {
-                let Some(activation_idx) = self.find_context_activation(&context, &from) else {
-                    return;
-                };
-                let input = ContextActivation::ContextEvent {
-                    context: &from,
-                    value: &value,
-                };
-                self.activate_context(&context, activation_idx, input);
-            }
-            Event::ControllerDeliver {
-                controller,
-                from,
-                value,
-            } => self.activate_controller(&controller, &from, &value),
-            Event::PeriodicPoll {
-                context,
-                activation_idx,
-            } => self.dispatch_periodic_poll(&context, activation_idx),
-            Event::BatchDeliver {
-                context,
-                activation_idx,
-                readings,
-                window_ms,
-            } => self.dispatch_batch(&context, activation_idx, readings, window_ms),
-            Event::ProcessWake { idx } => {
-                let Some(mut process) = self.processes[idx].process.take() else {
-                    return;
-                };
-                let started = self.obs.is_enabled().then(std::time::Instant::now);
-                let next = {
-                    let mut api = ProcessApi { engine: self };
-                    process.wake(&mut api)
-                };
-                if let Some(t0) = started {
-                    let label = format!("process:{}", self.processes[idx].name);
-                    self.obs
-                        .record(Activity::Processing, &label, obs::elapsed_us(t0));
-                }
-                self.processes[idx].process = Some(process);
-                if let Some(at) = next {
-                    self.queue.schedule(at, Event::ProcessWake { idx });
-                }
-            }
-            Event::Fault { idx } => self.dispatch_fault(idx),
-            Event::LeaseCheck => self.dispatch_lease_check(),
-            Event::Redeliver {
-                event,
-                attempt,
-                first_sent_at,
-            } => {
-                let target = event.target().to_owned();
-                let qos_context = event.targets_context();
-                self.send_event(&target, qos_context, *event, attempt, first_sent_at);
-            }
-        }
-    }
-
-    fn dispatch_emit(
-        &mut self,
-        entity: &EntityId,
-        source: &str,
-        value: Value,
-        index: Option<Value>,
-    ) {
-        // A crashed device emits nothing until it restarts.
-        if self.faults.is_some() && self.registry.is_crashed(entity) {
-            return;
-        }
-        self.metrics.emissions += 1;
-        if self.trace_active() {
-            let at = self.queue.now();
-            self.record_trace(
-                at,
-                TraceKind::Emission {
-                    entity: entity.to_string(),
-                    source: source.to_owned(),
-                },
-            );
-        }
-        let Some(info) = self.registry.entity(entity) else {
-            return; // entity unbound between emission and dispatch
-        };
-        let device_type = info.device_type.clone();
-        let subscribers: Vec<String> = self
-            .spec
-            .subscribers_of_source(&device_type, source)
-            .into_iter()
-            .filter(|ctx| {
-                // Only event-driven subscriptions consume emissions;
-                // periodic ones poll.
-                ctx.activations.iter().any(|a| {
-                    matches!(
-                        &a.trigger,
-                        ActivationTrigger::DeviceSource { device, source: s }
-                            if s == source && self.spec.device_is_subtype(&device_type, device)
-                    )
-                })
-            })
-            .map(|ctx| ctx.name.clone())
-            .collect();
-        let now = self.queue.now();
-        for context in subscribers {
-            let event = Event::SourceDeliver {
-                context: context.clone(),
-                entity: entity.clone(),
-                device_type: device_type.clone(),
-                source: source.to_owned(),
-                value: value.clone(),
-                index: index.clone(),
-            };
-            self.send_event(&context, true, event, 1, now);
-        }
-    }
-
-    /// Samples one message across the transport, applying the fault
-    /// injector when enabled; injected message faults are counted and
-    /// traced here.
-    fn sample_send(&mut self) -> SendOutcome {
-        let Some(injector) = self.faults.as_mut() else {
-            return SendOutcome::without_faults(self.transport.send());
-        };
-        let outcome = self.transport.send_through(injector);
-        let at = self.queue.now();
-        if outcome.fault_dropped {
-            self.metrics.faults_injected += 1;
-            if self.trace_active() {
-                self.record_trace(
-                    at,
-                    TraceKind::FaultInjected {
-                        fault: "message drop".to_owned(),
-                    },
-                );
-            }
-        }
-        if outcome.extra_delay_ms > 0 {
-            self.metrics.faults_injected += 1;
-            if self.trace_active() {
-                self.record_trace(
-                    at,
-                    TraceKind::FaultInjected {
-                        fault: format!("message delay +{} ms", outcome.extra_delay_ms),
-                    },
-                );
-            }
-        }
-        if outcome.duplicate.is_some() {
-            self.metrics.faults_injected += 1;
-            if self.trace_active() {
-                self.record_trace(
-                    at,
-                    TraceKind::FaultInjected {
-                        fault: "message duplicate".to_owned(),
-                    },
-                );
-            }
-        }
-        outcome
-    }
-
-    /// Sends `event` across the transport (and the fault injector when
-    /// enabled): schedules it on delivery, schedules the injected
-    /// duplicate copy too, and arranges retry-with-backoff when the fault
-    /// injector dropped the message. `attempt` numbers the send (initial
-    /// send = 1) and `first_sent_at` anchors the retry timeout.
-    fn send_event(
-        &mut self,
-        target: &str,
-        qos_context: bool,
-        event: Event,
-        attempt: u32,
-        first_sent_at: SimTime,
-    ) {
-        let outcome = self.sample_send();
-        if let Some(latency) = outcome.duplicate {
-            self.metrics.messages_delivered += 1;
-            self.metrics.total_transport_latency_ms += latency;
-            self.obs.record(Activity::Delivering, target, latency);
-            self.queue.schedule_in(latency, event.clone());
-        }
-        match outcome.delivery {
-            Some(latency) => {
-                self.metrics.messages_delivered += 1;
-                self.metrics.total_transport_latency_ms += latency;
-                self.obs.record(Activity::Delivering, target, latency);
-                if qos_context {
-                    self.check_qos(target, latency);
-                }
-                self.queue.schedule_in(latency, event);
-            }
-            None if outcome.fault_dropped => {
-                self.schedule_retry(target, event, attempt, first_sent_at);
-            }
-            None => self.metrics.messages_lost += 1,
-        }
-    }
-
-    /// Arranges a backoff resend after the fault injector dropped a
-    /// delivery. `failed_attempt` is the send attempt that just failed
-    /// (initial send = 1); the delivery is abandoned once the configured
-    /// retry budget or timeout is exhausted — or immediately when no
-    /// retry is configured.
-    fn schedule_retry(
-        &mut self,
-        target: &str,
-        event: Event,
-        failed_attempt: u32,
-        first_sent_at: SimTime,
-    ) {
-        let Some(retry) = self.recovery.retry else {
-            self.metrics.messages_lost += 1;
-            return;
-        };
-        let now = self.queue.now();
-        let backoff = retry.backoff_ms(failed_attempt);
-        let retries_exhausted = failed_attempt > retry.max_attempts;
-        let timed_out =
-            now.saturating_add(backoff).saturating_sub(first_sent_at) > retry.timeout_ms;
-        if retries_exhausted || timed_out {
-            self.metrics.deliveries_abandoned += 1;
-            self.metrics.messages_lost += 1;
-            return;
-        }
-        self.metrics.delivery_retries += 1;
-        self.record_trace(
-            now,
-            TraceKind::DeliveryRetry {
-                to: target.to_owned(),
-                attempt: failed_attempt,
-            },
-        );
-        // Recovery cost: the backoff this delivery now waits out.
-        self.obs.record(Activity::Recovering, target, backoff);
-        self.queue.schedule_in(
-            backoff,
-            Event::Redeliver {
-                event: Box::new(event),
-                attempt: failed_attempt + 1,
-                first_sent_at,
-            },
-        );
-    }
-
-    /// Applies a scheduled fault (crash, restart, partition transition).
-    fn dispatch_fault(&mut self, idx: usize) {
-        let Some(kind) = self
-            .faults
-            .as_ref()
-            .and_then(|injector| injector.scheduled().get(idx))
-            .map(|fault| fault.kind.clone())
-        else {
-            return;
-        };
-        let applied = match &kind {
-            FaultKind::DeviceCrash { entity } => {
-                let ok = self.registry.set_crashed(entity, true).is_ok();
-                if ok {
-                    self.faults
-                        .as_mut()
-                        .expect("fault injector enabled")
-                        .count_injection();
-                }
-                ok
-            }
-            FaultKind::DeviceRestart { entity } => {
-                let ok = self.registry.set_crashed(entity, false).is_ok();
-                if ok {
-                    self.faults
-                        .as_mut()
-                        .expect("fault injector enabled")
-                        .count_injection();
-                }
-                ok
-            }
-            FaultKind::PartitionStart => {
-                self.faults
-                    .as_mut()
-                    .expect("fault injector enabled")
-                    .set_partitioned(true);
-                true
-            }
-            FaultKind::PartitionEnd => {
-                self.faults
-                    .as_mut()
-                    .expect("fault injector enabled")
-                    .set_partitioned(false);
-                true
-            }
-        };
-        if applied {
-            self.metrics.faults_injected += 1;
-            let at = self.queue.now();
-            self.record_trace(
-                at,
-                TraceKind::FaultInjected {
-                    fault: kind.to_string(),
-                },
-            );
-        }
-    }
-
-    /// Periodic lease sweep: expires silent bindings, promotes standbys,
-    /// traces the transitions, and notifies interested components.
-    fn dispatch_lease_check(&mut self) {
-        let Some(interval) = self.recovery.lease_check_interval_ms() else {
-            return;
-        };
-        let now = self.queue.now();
-        let transitions = self.registry.expire_leases(now);
-        for transition in &transitions {
-            self.metrics.lease_expiries += 1;
-            self.record_trace(
-                now,
-                TraceKind::LeaseExpired {
-                    entity: transition.lost.id.to_string(),
-                },
-            );
-            // Recovery cost: how long the loss went undetected (bounded
-            // by the sweep interval).
-            self.obs.record(
-                Activity::Recovering,
-                &transition.lost.device_type,
-                now.saturating_sub(transition.deadline),
-            );
-            if let Some(replacement) = &transition.replacement {
-                self.metrics.rebinds += 1;
-                self.record_trace(
-                    now,
-                    TraceKind::Rebound {
-                        lost: transition.lost.id.to_string(),
-                        replacement: replacement.to_string(),
-                    },
-                );
-            }
-        }
-        for transition in transitions {
-            if let Some(replacement) = transition.replacement {
-                self.notify_recovery(
-                    &transition.lost.id,
-                    &transition.lost.device_type,
-                    &replacement,
-                );
-            }
-        }
-        self.queue.schedule(now + interval, Event::LeaseCheck);
-    }
-
-    /// Invokes the `on_recovery` hook of every component whose design
-    /// references the lost device's family.
-    fn notify_recovery(&mut self, lost: &EntityId, device_type: &str, replacement: &EntityId) {
-        let controllers: Vec<String> = self
-            .controllers
-            .keys()
-            .filter(|name| self.controller_declares_device(name, device_type))
-            .cloned()
-            .collect();
-        for name in controllers {
-            let Some(mut logic) = self.controllers.get_mut(&name).and_then(|r| r.logic.take())
-            else {
-                continue;
-            };
-            let result = {
-                let mut api = ControllerApi {
-                    engine: self,
-                    controller: &name,
-                };
-                logic.on_recovery(&mut api, lost, replacement)
-            };
-            self.controllers
-                .get_mut(&name)
-                .expect("controller exists")
-                .logic = Some(logic);
-            if let Err(e) = result {
-                self.contain(e.into());
-            }
-        }
-        let contexts: Vec<String> = self
-            .contexts
-            .keys()
-            .filter(|name| self.context_references_device(name, device_type))
-            .cloned()
-            .collect();
-        for name in contexts {
-            let Some(mut logic) = self.contexts.get_mut(&name).and_then(|r| r.logic.take()) else {
-                continue;
-            };
-            let result = {
-                let mut api = ContextApi {
-                    engine: self,
-                    context: &name,
-                };
-                logic.on_recovery(&mut api, lost, replacement)
-            };
-            self.contexts.get_mut(&name).expect("context exists").logic = Some(logic);
-            if let Err(e) = result {
-                self.contain(e.into());
-            }
-        }
-    }
-
-    /// Whether `context`'s design references the device family (a source
-    /// subscription, a periodic poll, or a `get` of one of its sources).
-    fn context_references_device(&self, context: &str, device_type: &str) -> bool {
-        let Some(ctx) = self.spec.context(context) else {
-            return false;
-        };
-        ctx.activations.iter().any(|a| {
-            let triggered = match &a.trigger {
-                ActivationTrigger::DeviceSource { device, .. }
-                | ActivationTrigger::Periodic { device, .. } => {
-                    self.spec.device_is_subtype(device_type, device)
-                }
-                _ => false,
-            };
-            triggered
-                || a.gets.iter().any(|g| {
-                    matches!(
-                        g,
-                        InputRef::DeviceSource { device, .. }
-                            if self.spec.device_is_subtype(device_type, device)
-                    )
-                })
-        })
-    }
-
-    fn dispatch_periodic_poll(&mut self, context: &str, activation_idx: usize) {
-        let Some(ctx_decl) = self.spec.context(context) else {
-            return;
-        };
-        let Some(activation) = ctx_decl.activations.get(activation_idx) else {
-            return;
-        };
-        let ActivationTrigger::Periodic {
-            device,
-            source,
-            period_ms,
-        } = activation.trigger.clone()
-        else {
-            return;
-        };
-        let group_attr = activation.grouping.as_ref().map(|g| g.attribute.clone());
-        let window_ms = activation.grouping.as_ref().and_then(|g| g.window_ms);
-
-        // Poll the whole device family (query-driven under the hood; the
-        // paper requires drivers to support all three delivery modes).
-        let now = self.queue.now();
-        let readings = self
-            .registry
-            .poll(&device, &source, group_attr.as_deref(), now);
-        self.metrics.periodic_deliveries += 1;
-        self.metrics.readings_polled += readings.len() as u64;
-        self.record_trace(
-            now,
-            TraceKind::PeriodicPoll {
-                device: device.clone(),
-                source: source.clone(),
-                readings: readings.len(),
-            },
-        );
-
-        // Each reading crosses the transport; the batch arrives when its
-        // slowest surviving reading does.
-        let mut surviving = Vec::with_capacity(readings.len());
-        let mut max_latency = 0;
-        for reading in readings {
-            let outcome = self.sample_send();
-            if let Some(latency) = outcome.duplicate {
-                // At-least-once delivery: the injected duplicate shows up
-                // as a second copy of the reading in the batch.
-                self.metrics.messages_delivered += 1;
-                self.metrics.total_transport_latency_ms += latency;
-                self.obs.record(Activity::Delivering, context, latency);
-                max_latency = max_latency.max(latency);
-                surviving.push(reading.clone());
-            }
-            match outcome.delivery {
-                Some(latency) => {
-                    self.metrics.messages_delivered += 1;
-                    self.metrics.total_transport_latency_ms += latency;
-                    self.obs.record(Activity::Delivering, context, latency);
-                    max_latency = max_latency.max(latency);
-                    surviving.push(reading);
-                }
-                // Dropped poll readings are not retried: the next poll
-                // supersedes them.
-                None => self.metrics.messages_lost += 1,
-            }
-        }
-
-        // Window accumulation (`every <T>`): buffer until the deadline.
-        let deliver = if let Some(window_ms) = window_ms {
-            let runtime = self.contexts.get_mut(context).expect("context exists");
-            let buffer = runtime
-                .windows
-                .get_mut(&activation_idx)
-                .expect("window initialized at launch");
-            buffer.readings.extend(surviving);
-            if now >= buffer.deadline {
-                let batch = std::mem::take(&mut buffer.readings);
-                buffer.deadline = now + window_ms;
-                Some(batch)
-            } else {
-                None
-            }
-        } else {
-            Some(surviving)
-        };
-
-        if let Some(readings) = deliver {
-            self.check_qos(context, max_latency);
-            self.queue.schedule_in(
-                max_latency,
-                Event::BatchDeliver {
-                    context: context.to_owned(),
-                    activation_idx,
-                    readings,
-                    window_ms,
-                },
-            );
-        }
-
-        // Keep the cadence anchored to the poll time, not delivery time.
-        self.queue.schedule(
-            now + period_ms,
-            Event::PeriodicPoll {
-                context: context.to_owned(),
-                activation_idx,
-            },
-        );
-    }
-
-    fn dispatch_batch(
-        &mut self,
-        context: &str,
-        activation_idx: usize,
-        readings: Vec<PolledReading>,
-        window_ms: Option<u64>,
-    ) {
-        let Some(ctx_decl) = self.spec.context(context) else {
-            return;
-        };
-        let Some(activation) = ctx_decl.activations.get(activation_idx) else {
-            return;
-        };
-        let ActivationTrigger::Periodic { device, source, .. } = activation.trigger.clone() else {
-            return;
-        };
-
-        let grouped = activation.grouping.as_ref().map(|_| {
-            let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
-            for reading in &readings {
-                if let Some(group) = &reading.group {
-                    groups
-                        .entry(group.clone())
-                        .or_default()
-                        .push(reading.value.clone());
-                }
-            }
-            groups
-        });
-
-        let (reduced, coverage) = match activation
-            .grouping
-            .as_ref()
-            .and_then(|g| g.map_reduce.as_ref())
-        {
-            Some(_) => {
-                let mr = self
-                    .contexts
-                    .get(context)
-                    .and_then(|r| r.map_reduce.clone());
-                match mr {
-                    Some(mr) => {
-                        self.metrics.map_reduce_executions += 1;
-                        let input: Vec<(Value, Value)> = readings
-                            .iter()
-                            .filter_map(|r| r.group.clone().map(|g| (g, r.value.clone())))
-                            .collect();
-                        let adapter = LogicAdapter(mr.as_ref());
-                        let mut job = match self.processing {
-                            ProcessingMode::Serial => Job::serial(),
-                            ProcessingMode::Parallel(workers) => Job::parallel(workers),
-                        }
-                        .task_retries(self.recovery.task_retries)
-                        .allow_partial(true);
-                        if let Some(speculation) = self.recovery.task_speculation {
-                            job = job.speculation(speculation);
-                        }
-                        if let Some(plan) = self.faults.as_ref().and_then(FaultInjector::task_plan)
-                        {
-                            job = job.fault_plan(plan.clone());
-                        }
-                        match job.try_run_to_map(&adapter, input) {
-                            Ok(result) => {
-                                if self.obs.is_enabled() {
-                                    // Surface the executor's per-phase wall
-                                    // times as processing durations.
-                                    for (phase, time) in [
-                                        ("map", result.stats.map_time),
-                                        ("shuffle", result.stats.shuffle_time),
-                                        ("reduce", result.stats.reduce_time),
-                                    ] {
-                                        let us =
-                                            u64::try_from(time.as_micros()).unwrap_or(u64::MAX);
-                                        self.obs.record(
-                                            Activity::Processing,
-                                            &format!("{context}/{phase}"),
-                                            us,
-                                        );
-                                    }
-                                }
-                                self.account_batch_processing(
-                                    context,
-                                    &result.stats,
-                                    &result.failed_tasks,
-                                );
-                                (Some(result.output), Some(result.stats.coverage))
-                            }
-                            Err(err) => {
-                                // Unreachable while `allow_partial` is set,
-                                // but contained rather than trusted.
-                                self.contain(RuntimeError::Configuration(format!(
-                                    "context `{context}` batch processing failed: {err}"
-                                )));
-                                (None, None)
-                            }
-                        }
-                    }
-                    None => {
-                        self.contain(RuntimeError::Configuration(format!(
-                            "context `{context}` reached a MapReduce batch without phases"
-                        )));
-                        (None, None)
-                    }
-                }
-            }
-            None => (None, None),
-        };
-
-        let batch = BatchData {
-            device_type: device,
-            source,
-            readings,
-            grouped,
-            reduced,
-            coverage,
-            window_ms,
-        };
-        self.activate_context(context, activation_idx, ContextActivation::Batch(&batch));
-    }
-
-    /// Folds one batch execution's fault-tolerance outcome into metrics,
-    /// traces, observability, and the context's `@quality` verdict.
-    fn account_batch_processing(
-        &mut self,
-        context: &str,
-        stats: &ExecutionStats,
-        failed_tasks: &[TaskError],
-    ) {
-        let coverage = stats.coverage;
-        self.metrics.task_retries += u64::from(coverage.task_retries);
-        self.metrics.task_speculations += u64::from(coverage.speculative_attempts);
-        self.metrics.tasks_failed += failed_tasks.len() as u64;
-        if coverage.injected_faults > 0 {
-            self.metrics.faults_injected += u64::from(coverage.injected_faults);
-            if let Some(injector) = self.faults.as_mut() {
-                for _ in 0..coverage.injected_faults {
-                    injector.count_injection();
-                }
-            }
-        }
-        let at = self.queue.now();
-        if self.trace_active() {
-            for failed in failed_tasks {
-                self.record_trace(
-                    at,
-                    TraceKind::TaskFailed {
-                        context: context.to_owned(),
-                        phase: failed.phase.to_string(),
-                        task: u32::try_from(failed.task).unwrap_or(u32::MAX),
-                        attempts: failed.attempts,
-                    },
-                );
-            }
-        }
-        if self.obs.is_enabled() && !stats.recovery_time.is_zero() {
-            let us = u64::try_from(stats.recovery_time.as_micros()).unwrap_or(u64::MAX);
-            self.obs
-                .record(Activity::Recovering, &format!("{context}/tasks"), us);
-        }
-        let budget = self
-            .quality_budgets
-            .get(context)
-            .copied()
-            .unwrap_or_default();
-        // A missed processing deadline is a QoS violation, not lost
-        // coverage: the results are complete, just late.
-        if budget
-            .deadline_ms
-            .is_some_and(|ms| stats.total_time() > Duration::from_millis(ms))
-        {
-            self.metrics.qos_violations += 1;
-        }
-        let coverage_pct = coverage.percent_covered();
-        if coverage_pct < budget.coverage_pct {
-            self.metrics.batches_degraded += 1;
-            if self.trace_active() {
-                self.record_trace(
-                    at,
-                    TraceKind::BatchDegraded {
-                        context: context.to_owned(),
-                        coverage_pct,
-                        threshold_pct: budget.coverage_pct,
-                        failed_tasks: u32::try_from(failed_tasks.len()).unwrap_or(u32::MAX),
-                    },
-                );
-            }
-            self.contain(RuntimeError::DegradedBatch {
-                context: context.to_owned(),
-                coverage_pct,
-                threshold_pct: budget.coverage_pct,
-            });
-        }
-    }
-
-    // ---- component activation ------------------------------------------------
-
-    fn find_source_activation(
-        &self,
-        context: &str,
-        device_type: &str,
-        source: &str,
-    ) -> Option<usize> {
-        self.spec
-            .context(context)?
-            .activations
-            .iter()
-            .position(|a| {
-                matches!(
-                    &a.trigger,
-                    ActivationTrigger::DeviceSource { device, source: s }
-                        if s == source && self.spec.device_is_subtype(device_type, device)
-                )
-            })
-    }
-
-    fn find_context_activation(&self, context: &str, from: &str) -> Option<usize> {
-        self.spec
-            .context(context)?
-            .activations
-            .iter()
-            .position(|a| matches!(&a.trigger, ActivationTrigger::Context(c) if c == from))
-    }
-
-    fn activate_context(
-        &mut self,
-        name: &str,
-        activation_idx: usize,
-        input: ContextActivation<'_>,
-    ) {
-        let publish_mode = match self
-            .spec
-            .context(name)
-            .and_then(|c| c.activations.get(activation_idx))
-        {
-            Some(a) => a.publish,
-            None => return,
-        };
-        let Some(mut logic) = self.contexts.get_mut(name).and_then(|r| r.logic.take()) else {
-            self.contain(RuntimeError::ContractViolation {
-                component: name.to_owned(),
-                message: "re-entrant activation (a `get` cycle at runtime?)".to_owned(),
-            });
-            return;
-        };
-        self.metrics.context_activations += 1;
-        if self.trace_active() {
-            let at = self.queue.now();
-            self.record_trace(
-                at,
-                TraceKind::ContextActivation {
-                    context: name.to_owned(),
-                },
-            );
-        }
-        let started = self.obs.is_enabled().then(std::time::Instant::now);
-        let result = {
-            let mut api = ContextApi {
-                engine: self,
-                context: name,
-            };
-            logic.activate(&mut api, input)
-        };
-        if let Some(t0) = started {
-            self.obs
-                .record(Activity::Processing, name, obs::elapsed_us(t0));
-        }
-        self.contexts.get_mut(name).expect("context exists").logic = Some(logic);
-
-        match result {
-            Err(e) => self.contain(e.into()),
-            Ok(maybe_value) => self.handle_publication(name, publish_mode, maybe_value),
-        }
-    }
-
-    fn handle_publication(&mut self, context: &str, mode: PublishMode, value: Option<Value>) {
-        match (mode, value) {
-            (PublishMode::Always, None) => {
-                self.contain(RuntimeError::ContractViolation {
-                    component: context.to_owned(),
-                    message: "activation declared `always publish` but produced no value"
-                        .to_owned(),
-                });
-            }
-            (PublishMode::No, Some(_)) => {
-                self.contain(RuntimeError::ContractViolation {
-                    component: context.to_owned(),
-                    message: "activation declared `no publish` but produced a value".to_owned(),
-                });
-            }
-            (PublishMode::Maybe, None) => {
-                self.metrics.publications_declined += 1;
-            }
-            (PublishMode::No, None) => {}
-            (PublishMode::Always | PublishMode::Maybe, Some(value)) => {
-                self.publish(context, value);
-            }
-        }
-    }
-
-    fn publish(&mut self, context: &str, value: Value) {
-        let output_ty = match self.spec.context(context) {
-            Some(c) => c.output.clone(),
-            None => return,
-        };
-        if !value.conforms_to(&output_ty, &self.spec) {
-            self.contain(RuntimeError::TypeMismatch {
-                at: format!("publication of context `{context}`"),
-                expected: output_ty.to_string(),
-                found: value.to_string(),
-            });
-            return;
-        }
-        self.metrics.publications += 1;
-        if self.trace_active() {
-            let at = self.queue.now();
-            self.record_trace(
-                at,
-                TraceKind::Publication {
-                    context: context.to_owned(),
-                    value: value.to_string(),
-                },
-            );
-        }
-        if let Some(runtime) = self.contexts.get_mut(context) {
-            runtime.last_value = Some(value.clone());
-        }
-        let now = self.queue.now();
-        for subscriber in self.spec.subscribers_of_context(context) {
-            let (target, qos_context, event) = match subscriber {
-                Subscriber::Context(name) => (
-                    name.clone(),
-                    true,
-                    Event::ContextDeliver {
-                        context: name,
-                        from: context.to_owned(),
-                        value: value.clone(),
-                    },
-                ),
-                Subscriber::Controller(name) => (
-                    name.clone(),
-                    false,
-                    Event::ControllerDeliver {
-                        controller: name,
-                        from: context.to_owned(),
-                        value: value.clone(),
-                    },
-                ),
-            };
-            self.send_event(&target, qos_context, event, 1, now);
-        }
-    }
-
-    fn activate_controller(&mut self, name: &str, from: &str, value: &Value) {
-        let Some(mut logic) = self.controllers.get_mut(name).and_then(|r| r.logic.take()) else {
-            self.contain(RuntimeError::ContractViolation {
-                component: name.to_owned(),
-                message: "re-entrant controller activation".to_owned(),
-            });
-            return;
-        };
-        self.metrics.controller_activations += 1;
-        if self.trace_active() {
-            let at = self.queue.now();
-            self.record_trace(
-                at,
-                TraceKind::ControllerActivation {
-                    controller: name.to_owned(),
-                    from: from.to_owned(),
-                },
-            );
-        }
-        let started = self.obs.is_enabled().then(std::time::Instant::now);
-        let result = {
-            let mut api = ControllerApi {
-                engine: self,
-                controller: name,
-            };
-            logic.on_context(&mut api, from, value)
-        };
-        if let Some(t0) = started {
-            self.obs
-                .record(Activity::Processing, name, obs::elapsed_us(t0));
-        }
-        self.controllers
-            .get_mut(name)
-            .expect("controller exists")
-            .logic = Some(logic);
-        if let Err(e) = result {
-            self.contain(e.into());
-        }
-    }
-
-    /// Computes the on-demand value of a `when required` context.
-    fn compute_on_demand(&mut self, name: &str) -> Result<Value, RuntimeError> {
-        let ctx_decl = self
-            .spec
-            .context(name)
-            .ok_or_else(|| RuntimeError::Unknown {
-                kind: "context",
-                name: name.to_owned(),
-            })?;
-        if !ctx_decl.is_required() {
-            return Err(RuntimeError::ContractViolation {
-                component: name.to_owned(),
-                message: "context does not declare `when required`".to_owned(),
-            });
-        }
-        let output_ty = ctx_decl.output.clone();
-        let Some(mut logic) = self.contexts.get_mut(name).and_then(|r| r.logic.take()) else {
-            return Err(RuntimeError::ContractViolation {
-                component: name.to_owned(),
-                message: "re-entrant on-demand computation (a `get` cycle?)".to_owned(),
-            });
-        };
-        self.metrics.on_demand_computations += 1;
-        self.metrics.context_activations += 1;
-        let started = self.obs.is_enabled().then(std::time::Instant::now);
-        let result = {
-            let mut api = ContextApi {
-                engine: self,
-                context: name,
-            };
-            logic.activate(&mut api, ContextActivation::OnDemand)
-        };
-        if let Some(t0) = started {
-            self.obs
-                .record(Activity::Processing, name, obs::elapsed_us(t0));
-        }
-        self.contexts.get_mut(name).expect("context exists").logic = Some(logic);
-
-        let computed = result.map_err(RuntimeError::from)?;
-        let value = match computed {
-            Some(value) => {
-                if !value.conforms_to(&output_ty, &self.spec) {
-                    return Err(RuntimeError::TypeMismatch {
-                        at: format!("on-demand value of context `{name}`"),
-                        expected: output_ty.to_string(),
-                        found: value.to_string(),
-                    });
-                }
-                self.contexts
-                    .get_mut(name)
-                    .expect("context exists")
-                    .last_value = Some(value.clone());
-                value
-            }
-            // Fall back to the most recent value when the logic has
-            // nothing fresher (e.g. it accumulates from periodic polls).
-            None => self
-                .contexts
-                .get(name)
-                .and_then(|r| r.last_value.clone())
-                .ok_or_else(|| RuntimeError::ContractViolation {
-                    component: name.to_owned(),
-                    message: "on-demand computation produced no value and none is cached"
-                        .to_owned(),
-                })?,
-        };
-        Ok(value)
-    }
-
-    /// Whether `context` declares a `get` of the given device source
-    /// (directly or against an ancestor device).
-    fn context_declares_source_get(&self, context: &str, device: &str, source: &str) -> bool {
-        let Some(ctx) = self.spec.context(context) else {
-            return false;
-        };
-        ctx.activations.iter().any(|a| {
-            a.gets.iter().any(|g| match g {
-                InputRef::DeviceSource {
-                    device: d,
-                    source: s,
-                } => s == source && self.spec.device_is_subtype(device, d),
-                InputRef::Context(_) => false,
-            })
-        })
-    }
-
-    fn context_declares_context_get(&self, context: &str, target: &str) -> bool {
-        let Some(ctx) = self.spec.context(context) else {
-            return false;
-        };
-        ctx.activations.iter().any(|a| {
-            a.gets
-                .iter()
-                .any(|g| matches!(g, InputRef::Context(c) if c == target))
-        })
-    }
-
-    /// Whether `controller` declares `do action on device` (allowing the
-    /// concrete device to be a subtype of the declared one).
-    fn controller_declares_action(&self, controller: &str, device: &str, action: &str) -> bool {
-        let Some(ctrl) = self.spec.controller(controller) else {
-            return false;
-        };
-        ctrl.bindings.iter().any(|b| {
-            b.actions
-                .iter()
-                .any(|(a, d)| a == action && self.spec.device_is_subtype(device, d))
-        })
-    }
-
-    fn controller_declares_device(&self, controller: &str, device: &str) -> bool {
-        let Some(ctrl) = self.spec.controller(controller) else {
-            return false;
-        };
-        ctrl.bindings.iter().any(|b| {
-            b.actions.iter().any(|(_, d)| {
-                self.spec.device_is_subtype(device, d) || self.spec.device_is_subtype(d, device)
-            })
-        })
-    }
 }
 
 impl std::fmt::Debug for Orchestrator {
@@ -2031,325 +758,5 @@ impl std::fmt::Debug for Orchestrator {
             )
             .field("pending_events", &self.queue.len())
             .finish()
-    }
-}
-
-/// Adapts a dynamic [`MapReduceLogic`] to the typed
-/// [`diaspec_mapreduce::MapReduce`] interface.
-struct LogicAdapter<'a>(&'a dyn MapReduceLogic);
-
-impl MapReduce<Value, Value, Value, Value, Value, Value> for LogicAdapter<'_> {
-    fn map(&self, key: &Value, value: &Value, collector: &mut MapCollector<Value, Value>) {
-        self.0.map(key, value, &mut |k, v| collector.emit_map(k, v));
-    }
-
-    fn reduce(&self, key: &Value, values: &[Value], collector: &mut ReduceCollector<Value, Value>) {
-        collector.emit_reduce(key.clone(), self.0.reduce(key, values));
-    }
-}
-
-/// The query facade handed to [`ContextLogic`] activations: the runtime
-/// counterpart of the generated `discover` parameter in the paper's
-/// Figure 9.
-///
-/// Every read is validated against the calling context's declared `get`
-/// clauses — a context cannot read data its design does not declare
-/// (design/implementation conformance, paper §V).
-pub struct ContextApi<'a> {
-    engine: &'a mut Orchestrator,
-    context: &'a str,
-}
-
-impl ContextApi<'_> {
-    /// Current simulation time in milliseconds.
-    #[must_use]
-    pub fn now(&self) -> SimTime {
-        self.engine.queue.now()
-    }
-
-    /// The name of the activated context.
-    #[must_use]
-    pub fn context_name(&self) -> &str {
-        self.context
-    }
-
-    /// Query-driven read of a device source (`get src from Dev`): returns
-    /// the current reading of every bound entity of the device family, in
-    /// deterministic entity order.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::ContractViolation`] if the context's design does
-    /// not declare this `get`; device errors surface per the `@error`
-    /// policy.
-    pub fn get_device_source(
-        &mut self,
-        device_type: &str,
-        source: &str,
-    ) -> Result<Vec<(EntityId, Value)>, RuntimeError> {
-        if !self
-            .engine
-            .context_declares_source_get(self.context, device_type, source)
-        {
-            return Err(RuntimeError::ContractViolation {
-                component: self.context.to_owned(),
-                message: format!("design declares no `get {source} from {device_type}`"),
-            });
-        }
-        let now = self.engine.queue.now();
-        let ids = self.engine.registry.discover(device_type).ids();
-        let mut out = Vec::with_capacity(ids.len());
-        for id in ids {
-            if let Some(value) = self.engine.registry.query_source(&id, source, now)? {
-                self.engine.metrics.component_queries += 1;
-                out.push((id, value));
-            }
-        }
-        Ok(out)
-    }
-
-    /// Query-driven read of a single entity's source.
-    ///
-    /// # Errors
-    ///
-    /// As [`ContextApi::get_device_source`], plus
-    /// [`RuntimeError::Unknown`] for an unbound entity.
-    pub fn get_entity_source(
-        &mut self,
-        entity: &EntityId,
-        source: &str,
-    ) -> Result<Option<Value>, RuntimeError> {
-        let device_type = self
-            .engine
-            .registry
-            .entity(entity)
-            .ok_or_else(|| RuntimeError::Unknown {
-                kind: "entity",
-                name: entity.to_string(),
-            })?
-            .device_type
-            .clone();
-        if !self
-            .engine
-            .context_declares_source_get(self.context, &device_type, source)
-        {
-            return Err(RuntimeError::ContractViolation {
-                component: self.context.to_owned(),
-                message: format!("design declares no `get {source} from {device_type}`"),
-            });
-        }
-        let now = self.engine.queue.now();
-        let value = self.engine.registry.query_source(entity, source, now)?;
-        if value.is_some() {
-            self.engine.metrics.component_queries += 1;
-        }
-        Ok(value)
-    }
-
-    /// Pulls the current value of another context (`get Ctx`); the target
-    /// must declare `when required`.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::ContractViolation`] if this context's design does
-    /// not declare `get <target>`, or the computation fails.
-    pub fn get_context(&mut self, target: &str) -> Result<Value, RuntimeError> {
-        if !self
-            .engine
-            .context_declares_context_get(self.context, target)
-        {
-            return Err(RuntimeError::ContractViolation {
-                component: self.context.to_owned(),
-                message: format!("design declares no `get {target}`"),
-            });
-        }
-        self.engine.metrics.component_queries += 1;
-        self.engine.compute_on_demand(target)
-    }
-
-    /// Attribute-filtered discovery (read-only), e.g. to learn which
-    /// entities exist in a group.
-    #[must_use]
-    pub fn discover(&self, device_type: &str) -> crate::registry::DiscoveryQuery<'_> {
-        self.engine.registry.discover(device_type)
-    }
-}
-
-/// The actuation facade handed to [`ControllerLogic`] activations: the
-/// runtime counterpart of the generated discover object in the paper's
-/// Figure 11.
-///
-/// Actuation is validated against the controller's declared `do ... on
-/// ...` clauses, enforcing the Sense-Compute-Control layering at runtime.
-pub struct ControllerApi<'a> {
-    engine: &'a mut Orchestrator,
-    controller: &'a str,
-}
-
-impl ControllerApi<'_> {
-    /// Current simulation time in milliseconds.
-    #[must_use]
-    pub fn now(&self) -> SimTime {
-        self.engine.queue.now()
-    }
-
-    /// The name of the activated controller.
-    #[must_use]
-    pub fn controller_name(&self) -> &str {
-        self.controller
-    }
-
-    /// Discovers entities of a device type this controller actuates.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::ContractViolation`] if the controller's design
-    /// declares no action on that device family.
-    pub fn discover(
-        &self,
-        device_type: &str,
-    ) -> Result<crate::registry::DiscoveryQuery<'_>, RuntimeError> {
-        if !self
-            .engine
-            .controller_declares_device(self.controller, device_type)
-        {
-            return Err(RuntimeError::ContractViolation {
-                component: self.controller.to_owned(),
-                message: format!("design declares no action on device `{device_type}`"),
-            });
-        }
-        Ok(self.engine.registry.discover(device_type))
-    }
-
-    /// Invokes a declared action on an entity.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::ContractViolation`] if the action/device pair is
-    /// not declared by this controller (SCC enforcement); otherwise see
-    /// [`Registry::invoke`].
-    pub fn invoke(
-        &mut self,
-        entity: &EntityId,
-        action: &str,
-        args: &[Value],
-    ) -> Result<(), RuntimeError> {
-        let device_type = self
-            .engine
-            .registry
-            .entity(entity)
-            .ok_or_else(|| RuntimeError::Unknown {
-                kind: "entity",
-                name: entity.to_string(),
-            })?
-            .device_type
-            .clone();
-        if !self
-            .engine
-            .controller_declares_action(self.controller, &device_type, action)
-        {
-            return Err(RuntimeError::ContractViolation {
-                component: self.controller.to_owned(),
-                message: format!("design declares no `do {action} on {device_type}`"),
-            });
-        }
-        let now = self.engine.queue.now();
-        let started = self.engine.obs.is_enabled().then(std::time::Instant::now);
-        let fallbacks_before = self.engine.registry.stats().fallback_invocations;
-        self.engine.registry.invoke(entity, action, args, now)?;
-        if let Some(t0) = started {
-            let label = format!("{device_type}.{action}");
-            self.engine
-                .obs
-                .record(Activity::Actuating, &label, obs::elapsed_us(t0));
-        }
-        self.engine.metrics.actuations += 1;
-        self.engine.record_trace(
-            now,
-            TraceKind::Actuation {
-                entity: entity.to_string(),
-                action: action.to_owned(),
-            },
-        );
-        // The registry masked the failure with the device's declared
-        // `@error(fallback = ...)` action: surface it as a recovery event.
-        let masked = self.engine.registry.stats().fallback_invocations - fallbacks_before;
-        if masked > 0 {
-            self.engine.metrics.fallback_actuations += masked;
-            let fallback = self
-                .engine
-                .spec
-                .device(&device_type)
-                .map(ErrorPolicy::of_device)
-                .and_then(|policy| policy.fallback)
-                .unwrap_or_default();
-            self.engine.record_trace(
-                now,
-                TraceKind::FallbackActuation {
-                    entity: entity.to_string(),
-                    action: fallback,
-                },
-            );
-        }
-        Ok(())
-    }
-}
-
-/// The facade handed to simulation [`Process`](crate::process::Process)es.
-pub struct ProcessApi<'a> {
-    engine: &'a mut Orchestrator,
-}
-
-impl ProcessApi<'_> {
-    /// Current simulation time in milliseconds.
-    #[must_use]
-    pub fn now(&self) -> SimTime {
-        self.engine.queue.now()
-    }
-
-    /// Emits a source value from an entity (event-driven delivery).
-    ///
-    /// # Errors
-    ///
-    /// See [`Orchestrator::emit_at`].
-    pub fn emit(
-        &mut self,
-        entity: &EntityId,
-        source: &str,
-        value: Value,
-        index: Option<Value>,
-    ) -> Result<(), RuntimeError> {
-        let now = self.engine.queue.now();
-        self.engine.emit_at(now, entity, source, value, index)
-    }
-
-    /// Binds a new entity at runtime (paper §IV: runtime binding).
-    ///
-    /// # Errors
-    ///
-    /// See [`Registry::bind`].
-    pub fn bind_entity(
-        &mut self,
-        id: EntityId,
-        device_type: &str,
-        attributes: AttributeMap,
-        driver: Box<dyn DeviceInstance>,
-    ) -> Result<(), RuntimeError> {
-        self.engine.bind_entity(id, device_type, attributes, driver)
-    }
-
-    /// Unbinds an entity at runtime.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::Unknown`] if the entity is not bound.
-    pub fn unbind_entity(&mut self, id: &EntityId) -> Result<(), RuntimeError> {
-        self.engine.unbind_entity(id)
-    }
-
-    /// Read-only discovery, letting environment models inspect the world.
-    #[must_use]
-    pub fn discover(&self, device_type: &str) -> crate::registry::DiscoveryQuery<'_> {
-        self.engine.registry.discover(device_type)
     }
 }

@@ -1,0 +1,474 @@
+//! Component registration, the component-facing facades, and the runtime
+//! conformance checks behind them.
+//!
+//! The engine hands these facades to registered logic: [`ContextApi`] to
+//! context activations, [`ControllerApi`] to controller activations, and
+//! [`ProcessApi`] to simulation processes. Each facade validates every
+//! read or actuation against the calling component's *declared*
+//! interactions (`get` clauses, `do ... on ...` bindings), enforcing the
+//! paper's Sense-Compute-Control conformance at runtime: a component
+//! cannot touch data or devices its design does not declare.
+
+use crate::clock::SimTime;
+use crate::component::{ContextLogic, ControllerLogic, MapReduceLogic};
+use crate::engine::Orchestrator;
+use crate::entity::{AttributeMap, DeviceInstance, EntityId};
+use crate::error::RuntimeError;
+use crate::obs::{self, Activity};
+use crate::registry::ErrorPolicy;
+use crate::trace::TraceKind;
+use crate::value::Value;
+use diaspec_core::model::InputRef;
+use std::sync::Arc;
+
+impl Orchestrator {
+    /// Registers the logic of a declared context.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unknown`] if the context is not declared,
+    /// [`RuntimeError::Configuration`] if logic was already registered.
+    pub fn register_context(
+        &mut self,
+        name: &str,
+        logic: impl ContextLogic + 'static,
+    ) -> Result<(), RuntimeError> {
+        let runtime = self
+            .contexts
+            .get_mut(name)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "context",
+                name: name.to_owned(),
+            })?;
+        if runtime.logic.is_some() {
+            return Err(RuntimeError::Configuration(format!(
+                "context `{name}` already has logic registered"
+            )));
+        }
+        runtime.logic = Some(Box::new(logic));
+        Ok(())
+    }
+
+    /// Registers the MapReduce phases of a context whose design declares
+    /// `with map ... reduce ...`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unknown`] if the context is not declared,
+    /// [`RuntimeError::Configuration`] if the design declares no MapReduce
+    /// for it or phases were already registered.
+    pub fn register_map_reduce(
+        &mut self,
+        name: &str,
+        logic: impl MapReduceLogic + 'static,
+    ) -> Result<(), RuntimeError> {
+        let declared = self
+            .spec
+            .context(name)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "context",
+                name: name.to_owned(),
+            })?
+            .uses_map_reduce();
+        if !declared {
+            return Err(RuntimeError::Configuration(format!(
+                "context `{name}` declares no `with map ... reduce ...` clause"
+            )));
+        }
+        let runtime = self.contexts.get_mut(name).expect("checked above");
+        if runtime.map_reduce.is_some() {
+            return Err(RuntimeError::Configuration(format!(
+                "context `{name}` already has MapReduce phases registered"
+            )));
+        }
+        runtime.map_reduce = Some(Arc::new(logic));
+        Ok(())
+    }
+
+    /// Registers the logic of a declared controller.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unknown`] if the controller is not declared,
+    /// [`RuntimeError::Configuration`] if logic was already registered.
+    pub fn register_controller(
+        &mut self,
+        name: &str,
+        logic: impl ControllerLogic + 'static,
+    ) -> Result<(), RuntimeError> {
+        let runtime = self
+            .controllers
+            .get_mut(name)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "controller",
+                name: name.to_owned(),
+            })?;
+        if runtime.logic.is_some() {
+            return Err(RuntimeError::Configuration(format!(
+                "controller `{name}` already has logic registered"
+            )));
+        }
+        runtime.logic = Some(Box::new(logic));
+        Ok(())
+    }
+
+    /// Whether `context` declares a `get` of the given device source
+    /// (directly or against an ancestor device).
+    fn context_declares_source_get(&self, context: &str, device: &str, source: &str) -> bool {
+        let Some(ctx) = self.spec.context(context) else {
+            return false;
+        };
+        ctx.activations.iter().any(|a| {
+            a.gets.iter().any(|g| match g {
+                InputRef::DeviceSource {
+                    device: d,
+                    source: s,
+                } => s == source && self.spec.device_is_subtype(device, d),
+                InputRef::Context(_) => false,
+            })
+        })
+    }
+
+    fn context_declares_context_get(&self, context: &str, target: &str) -> bool {
+        let Some(ctx) = self.spec.context(context) else {
+            return false;
+        };
+        ctx.activations.iter().any(|a| {
+            a.gets
+                .iter()
+                .any(|g| matches!(g, InputRef::Context(c) if c == target))
+        })
+    }
+
+    /// Whether `controller` declares `do action on device` (allowing the
+    /// concrete device to be a subtype of the declared one).
+    fn controller_declares_action(&self, controller: &str, device: &str, action: &str) -> bool {
+        let Some(ctrl) = self.spec.controller(controller) else {
+            return false;
+        };
+        ctrl.bindings.iter().any(|b| {
+            b.actions
+                .iter()
+                .any(|(a, d)| a == action && self.spec.device_is_subtype(device, d))
+        })
+    }
+
+    pub(crate) fn controller_declares_device(&self, controller: &str, device: &str) -> bool {
+        let Some(ctrl) = self.spec.controller(controller) else {
+            return false;
+        };
+        ctrl.bindings.iter().any(|b| {
+            b.actions.iter().any(|(_, d)| {
+                self.spec.device_is_subtype(device, d) || self.spec.device_is_subtype(d, device)
+            })
+        })
+    }
+}
+
+/// The query facade handed to
+/// [`ContextLogic`](crate::component::ContextLogic) activations: the
+/// runtime counterpart of the generated `discover` parameter in the
+/// paper's Figure 9.
+///
+/// Every read is validated against the calling context's declared `get`
+/// clauses — a context cannot read data its design does not declare
+/// (design/implementation conformance, paper §V).
+pub struct ContextApi<'a> {
+    pub(crate) engine: &'a mut Orchestrator,
+    pub(crate) context: &'a str,
+}
+
+impl ContextApi<'_> {
+    /// Current simulation time in milliseconds.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.engine.queue.now()
+    }
+
+    /// The name of the activated context.
+    #[must_use]
+    pub fn context_name(&self) -> &str {
+        self.context
+    }
+
+    /// Query-driven read of a device source (`get src from Dev`): returns
+    /// the current reading of every bound entity of the device family, in
+    /// deterministic entity order.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ContractViolation`] if the context's design does
+    /// not declare this `get`; device errors surface per the `@error`
+    /// policy.
+    pub fn get_device_source(
+        &mut self,
+        device_type: &str,
+        source: &str,
+    ) -> Result<Vec<(EntityId, Value)>, RuntimeError> {
+        if !self
+            .engine
+            .context_declares_source_get(self.context, device_type, source)
+        {
+            return Err(RuntimeError::ContractViolation {
+                component: self.context.to_owned(),
+                message: format!("design declares no `get {source} from {device_type}`"),
+            });
+        }
+        let now = self.engine.queue.now();
+        let ids = self.engine.registry.discover(device_type).ids();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            if let Some(value) = self.engine.registry.query_source(&id, source, now)? {
+                self.engine.metrics.component_queries += 1;
+                out.push((id, value));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Query-driven read of a single entity's source.
+    ///
+    /// # Errors
+    ///
+    /// As [`ContextApi::get_device_source`], plus
+    /// [`RuntimeError::Unknown`] for an unbound entity.
+    pub fn get_entity_source(
+        &mut self,
+        entity: &EntityId,
+        source: &str,
+    ) -> Result<Option<Value>, RuntimeError> {
+        let device_type = self
+            .engine
+            .registry
+            .entity(entity)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "entity",
+                name: entity.to_string(),
+            })?
+            .device_type
+            .clone();
+        if !self
+            .engine
+            .context_declares_source_get(self.context, &device_type, source)
+        {
+            return Err(RuntimeError::ContractViolation {
+                component: self.context.to_owned(),
+                message: format!("design declares no `get {source} from {device_type}`"),
+            });
+        }
+        let now = self.engine.queue.now();
+        let value = self.engine.registry.query_source(entity, source, now)?;
+        if value.is_some() {
+            self.engine.metrics.component_queries += 1;
+        }
+        Ok(value)
+    }
+
+    /// Pulls the current value of another context (`get Ctx`); the target
+    /// must declare `when required`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ContractViolation`] if this context's design does
+    /// not declare `get <target>`, or the computation fails.
+    pub fn get_context(&mut self, target: &str) -> Result<Value, RuntimeError> {
+        if !self
+            .engine
+            .context_declares_context_get(self.context, target)
+        {
+            return Err(RuntimeError::ContractViolation {
+                component: self.context.to_owned(),
+                message: format!("design declares no `get {target}`"),
+            });
+        }
+        self.engine.metrics.component_queries += 1;
+        self.engine.compute_on_demand(target)
+    }
+
+    /// Attribute-filtered discovery (read-only), e.g. to learn which
+    /// entities exist in a group.
+    #[must_use]
+    pub fn discover(&self, device_type: &str) -> crate::registry::DiscoveryQuery<'_> {
+        self.engine.registry.discover(device_type)
+    }
+}
+
+/// The actuation facade handed to
+/// [`ControllerLogic`](crate::component::ControllerLogic) activations:
+/// the runtime counterpart of the generated discover object in the
+/// paper's Figure 11.
+///
+/// Actuation is validated against the controller's declared `do ... on
+/// ...` clauses, enforcing the Sense-Compute-Control layering at runtime.
+pub struct ControllerApi<'a> {
+    pub(crate) engine: &'a mut Orchestrator,
+    pub(crate) controller: &'a str,
+}
+
+impl ControllerApi<'_> {
+    /// Current simulation time in milliseconds.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.engine.queue.now()
+    }
+
+    /// The name of the activated controller.
+    #[must_use]
+    pub fn controller_name(&self) -> &str {
+        self.controller
+    }
+
+    /// Discovers entities of a device type this controller actuates.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ContractViolation`] if the controller's design
+    /// declares no action on that device family.
+    pub fn discover(
+        &self,
+        device_type: &str,
+    ) -> Result<crate::registry::DiscoveryQuery<'_>, RuntimeError> {
+        if !self
+            .engine
+            .controller_declares_device(self.controller, device_type)
+        {
+            return Err(RuntimeError::ContractViolation {
+                component: self.controller.to_owned(),
+                message: format!("design declares no action on device `{device_type}`"),
+            });
+        }
+        Ok(self.engine.registry.discover(device_type))
+    }
+
+    /// Invokes a declared action on an entity.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ContractViolation`] if the action/device pair is
+    /// not declared by this controller (SCC enforcement); otherwise see
+    /// [`crate::registry::Registry::invoke`].
+    pub fn invoke(
+        &mut self,
+        entity: &EntityId,
+        action: &str,
+        args: &[Value],
+    ) -> Result<(), RuntimeError> {
+        let device_type = self
+            .engine
+            .registry
+            .entity(entity)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "entity",
+                name: entity.to_string(),
+            })?
+            .device_type
+            .clone();
+        if !self
+            .engine
+            .controller_declares_action(self.controller, &device_type, action)
+        {
+            return Err(RuntimeError::ContractViolation {
+                component: self.controller.to_owned(),
+                message: format!("design declares no `do {action} on {device_type}`"),
+            });
+        }
+        let now = self.engine.queue.now();
+        let started = self.engine.obs.is_enabled().then(std::time::Instant::now);
+        let fallbacks_before = self.engine.registry.stats().fallback_invocations;
+        self.engine.registry.invoke(entity, action, args, now)?;
+        if let Some(t0) = started {
+            let label = format!("{device_type}.{action}");
+            self.engine
+                .obs
+                .record(Activity::Actuating, &label, obs::elapsed_us(t0));
+        }
+        self.engine.metrics.actuations += 1;
+        self.engine.record_trace(
+            now,
+            TraceKind::Actuation {
+                entity: entity.to_string(),
+                action: action.to_owned(),
+            },
+        );
+        // The registry masked the failure with the device's declared
+        // `@error(fallback = ...)` action: surface it as a recovery event.
+        let masked = self.engine.registry.stats().fallback_invocations - fallbacks_before;
+        if masked > 0 {
+            self.engine.metrics.fallback_actuations += masked;
+            let fallback = self
+                .engine
+                .spec
+                .device(&device_type)
+                .map(ErrorPolicy::of_device)
+                .and_then(|policy| policy.fallback)
+                .unwrap_or_default();
+            self.engine.record_trace(
+                now,
+                TraceKind::FallbackActuation {
+                    entity: entity.to_string(),
+                    action: fallback,
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+/// The facade handed to simulation [`Process`](crate::process::Process)es.
+pub struct ProcessApi<'a> {
+    pub(crate) engine: &'a mut Orchestrator,
+}
+
+impl ProcessApi<'_> {
+    /// Current simulation time in milliseconds.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.engine.queue.now()
+    }
+
+    /// Emits a source value from an entity (event-driven delivery).
+    ///
+    /// # Errors
+    ///
+    /// See [`Orchestrator::emit_at`].
+    pub fn emit(
+        &mut self,
+        entity: &EntityId,
+        source: &str,
+        value: Value,
+        index: Option<Value>,
+    ) -> Result<(), RuntimeError> {
+        let now = self.engine.queue.now();
+        self.engine.emit_at(now, entity, source, value, index)
+    }
+
+    /// Binds a new entity at runtime (paper §IV: runtime binding).
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::registry::Registry::bind`].
+    pub fn bind_entity(
+        &mut self,
+        id: EntityId,
+        device_type: &str,
+        attributes: AttributeMap,
+        driver: Box<dyn DeviceInstance>,
+    ) -> Result<(), RuntimeError> {
+        self.engine.bind_entity(id, device_type, attributes, driver)
+    }
+
+    /// Unbinds an entity at runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Unknown`] if the entity is not bound.
+    pub fn unbind_entity(&mut self, id: &EntityId) -> Result<(), RuntimeError> {
+        self.engine.unbind_entity(id)
+    }
+
+    /// Read-only discovery, letting environment models inspect the world.
+    #[must_use]
+    pub fn discover(&self, device_type: &str) -> crate::registry::DiscoveryQuery<'_> {
+        self.engine.registry.discover(device_type)
+    }
+}

@@ -1,0 +1,906 @@
+//! Stage 4 — **dispatch**: a due event leaves the queue and activates
+//! its target.
+//!
+//! Dispatch is the pipeline's consumer end: it pattern-matches the due
+//! [`Event`] and drives the paper's activities — component activation
+//! (contexts and controllers, with Sense-Compute-Control conformance
+//! enforced), periodic polling with window accumulation, batch
+//! processing on the MapReduce substrate, scheduled faults, lease
+//! sweeps, and recovery notification. Payload-carrying events hand the
+//! borrowed value straight to component logic (`&Payload` dereferences
+//! to [`Value`]) — the pipeline never deep-copies a value between
+//! admission and activation.
+
+use crate::component::{BatchData, ContextActivation, MapReduceLogic};
+use crate::engine::{ContextApi, ControllerApi, Orchestrator, ProcessApi, ProcessingMode};
+use crate::error::RuntimeError;
+use crate::fault::{FaultInjector, FaultKind};
+use crate::obs::{self, Activity};
+use crate::payload::Payload;
+use crate::registry::PolledReading;
+use crate::trace::TraceKind;
+use crate::value::Value;
+use diaspec_core::model::{ActivationTrigger, InputRef};
+use diaspec_mapreduce::{ExecutionStats, Job, MapCollector, MapReduce, ReduceCollector, TaskError};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use super::Event;
+
+impl Orchestrator {
+    /// Consumes one due event.
+    pub(crate) fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Emit {
+                entity,
+                source,
+                value,
+                index,
+            } => self.dispatch_emit(&entity, &source, &value, index.as_ref()),
+            Event::SourceDeliver {
+                context,
+                entity,
+                device_type,
+                source,
+                value,
+                index,
+                activation_idx,
+            } => {
+                let input = ContextActivation::SourceEvent {
+                    device_type: &device_type,
+                    entity: &entity,
+                    source: &source,
+                    value: &value,
+                    index: index.as_deref(),
+                };
+                self.activate_context(&context, activation_idx, input);
+            }
+            Event::ContextDeliver {
+                context,
+                from,
+                value,
+                activation_idx,
+            } => {
+                let input = ContextActivation::ContextEvent {
+                    context: &from,
+                    value: &value,
+                };
+                self.activate_context(&context, activation_idx, input);
+            }
+            Event::ControllerDeliver {
+                controller,
+                from,
+                value,
+            } => self.activate_controller(&controller, &from, &value),
+            Event::PeriodicPoll {
+                context,
+                activation_idx,
+            } => self.dispatch_periodic_poll(&context, activation_idx),
+            Event::BatchDeliver {
+                context,
+                activation_idx,
+                readings,
+                window_ms,
+            } => self.dispatch_batch(&context, activation_idx, readings, window_ms),
+            Event::ProcessWake { idx } => {
+                let Some(mut process) = self.processes[idx].process.take() else {
+                    return;
+                };
+                let started = self.obs.is_enabled().then(std::time::Instant::now);
+                let next = {
+                    let mut api = ProcessApi { engine: self };
+                    process.wake(&mut api)
+                };
+                if let Some(t0) = started {
+                    let label = format!("process:{}", self.processes[idx].name);
+                    self.obs
+                        .record(Activity::Processing, &label, obs::elapsed_us(t0));
+                }
+                self.processes[idx].process = Some(process);
+                if let Some(at) = next {
+                    self.queue.schedule(at, Event::ProcessWake { idx });
+                }
+            }
+            Event::Fault { idx } => self.dispatch_fault(idx),
+            Event::LeaseCheck => self.dispatch_lease_check(),
+            Event::Redeliver {
+                event,
+                attempt,
+                first_sent_at,
+            } => {
+                let target = event.target().to_owned();
+                let qos_context = event.targets_context();
+                self.send_event(&target, qos_context, *event, attempt, first_sent_at);
+            }
+        }
+    }
+
+    /// Applies a scheduled fault (crash, restart, partition transition).
+    fn dispatch_fault(&mut self, idx: usize) {
+        let Some(kind) = self
+            .faults
+            .as_ref()
+            .and_then(|injector| injector.scheduled().get(idx))
+            .map(|fault| fault.kind.clone())
+        else {
+            return;
+        };
+        let applied = match &kind {
+            FaultKind::DeviceCrash { entity } => {
+                let ok = self.registry.set_crashed(entity, true).is_ok();
+                if ok {
+                    self.faults
+                        .as_mut()
+                        .expect("fault injector enabled")
+                        .count_injection();
+                }
+                ok
+            }
+            FaultKind::DeviceRestart { entity } => {
+                let ok = self.registry.set_crashed(entity, false).is_ok();
+                if ok {
+                    self.faults
+                        .as_mut()
+                        .expect("fault injector enabled")
+                        .count_injection();
+                }
+                ok
+            }
+            FaultKind::PartitionStart => {
+                self.faults
+                    .as_mut()
+                    .expect("fault injector enabled")
+                    .set_partitioned(true);
+                true
+            }
+            FaultKind::PartitionEnd => {
+                self.faults
+                    .as_mut()
+                    .expect("fault injector enabled")
+                    .set_partitioned(false);
+                true
+            }
+        };
+        if applied {
+            self.metrics.faults_injected += 1;
+            let at = self.queue.now();
+            self.record_trace(
+                at,
+                TraceKind::FaultInjected {
+                    fault: kind.to_string(),
+                },
+            );
+        }
+    }
+
+    /// Periodic lease sweep: expires silent bindings, promotes standbys,
+    /// traces the transitions, and notifies interested components.
+    fn dispatch_lease_check(&mut self) {
+        let Some(interval) = self.recovery.lease_check_interval_ms() else {
+            return;
+        };
+        let now = self.queue.now();
+        let transitions = self.registry.expire_leases(now);
+        for transition in &transitions {
+            self.metrics.lease_expiries += 1;
+            self.record_trace(
+                now,
+                TraceKind::LeaseExpired {
+                    entity: transition.lost.id.to_string(),
+                },
+            );
+            // Recovery cost: how long the loss went undetected (bounded
+            // by the sweep interval).
+            self.obs.record(
+                Activity::Recovering,
+                &transition.lost.device_type,
+                now.saturating_sub(transition.deadline),
+            );
+            if let Some(replacement) = &transition.replacement {
+                self.metrics.rebinds += 1;
+                self.record_trace(
+                    now,
+                    TraceKind::Rebound {
+                        lost: transition.lost.id.to_string(),
+                        replacement: replacement.to_string(),
+                    },
+                );
+            }
+        }
+        for transition in transitions {
+            if let Some(replacement) = transition.replacement {
+                self.notify_recovery(
+                    &transition.lost.id,
+                    &transition.lost.device_type,
+                    &replacement,
+                );
+            }
+        }
+        self.queue.schedule(now + interval, Event::LeaseCheck);
+    }
+
+    /// Invokes the `on_recovery` hook of every component whose design
+    /// references the lost device's family.
+    fn notify_recovery(
+        &mut self,
+        lost: &crate::entity::EntityId,
+        device_type: &str,
+        replacement: &crate::entity::EntityId,
+    ) {
+        let controllers: Vec<String> = self
+            .controllers
+            .keys()
+            .filter(|name| self.controller_declares_device(name, device_type))
+            .cloned()
+            .collect();
+        for name in controllers {
+            let Some(mut logic) = self.controllers.get_mut(&name).and_then(|r| r.logic.take())
+            else {
+                continue;
+            };
+            let result = {
+                let mut api = ControllerApi {
+                    engine: self,
+                    controller: &name,
+                };
+                logic.on_recovery(&mut api, lost, replacement)
+            };
+            self.controllers
+                .get_mut(&name)
+                .expect("controller exists")
+                .logic = Some(logic);
+            if let Err(e) = result {
+                self.contain(e.into());
+            }
+        }
+        let contexts: Vec<String> = self
+            .contexts
+            .keys()
+            .filter(|name| self.context_references_device(name, device_type))
+            .cloned()
+            .collect();
+        for name in contexts {
+            let Some(mut logic) = self.contexts.get_mut(&name).and_then(|r| r.logic.take()) else {
+                continue;
+            };
+            let result = {
+                let mut api = ContextApi {
+                    engine: self,
+                    context: &name,
+                };
+                logic.on_recovery(&mut api, lost, replacement)
+            };
+            self.contexts.get_mut(&name).expect("context exists").logic = Some(logic);
+            if let Err(e) = result {
+                self.contain(e.into());
+            }
+        }
+    }
+
+    /// Whether `context`'s design references the device family (a source
+    /// subscription, a periodic poll, or a `get` of one of its sources).
+    fn context_references_device(&self, context: &str, device_type: &str) -> bool {
+        let Some(ctx) = self.spec.context(context) else {
+            return false;
+        };
+        ctx.activations.iter().any(|a| {
+            let triggered = match &a.trigger {
+                ActivationTrigger::DeviceSource { device, .. }
+                | ActivationTrigger::Periodic { device, .. } => {
+                    self.spec.device_is_subtype(device_type, device)
+                }
+                _ => false,
+            };
+            triggered
+                || a.gets.iter().any(|g| {
+                    matches!(
+                        g,
+                        InputRef::DeviceSource { device, .. }
+                            if self.spec.device_is_subtype(device_type, device)
+                    )
+                })
+        })
+    }
+
+    fn dispatch_periodic_poll(&mut self, context: &str, activation_idx: usize) {
+        let Some(ctx_decl) = self.spec.context(context) else {
+            return;
+        };
+        let Some(activation) = ctx_decl.activations.get(activation_idx) else {
+            return;
+        };
+        let ActivationTrigger::Periodic {
+            device,
+            source,
+            period_ms,
+        } = activation.trigger.clone()
+        else {
+            return;
+        };
+        let group_attr = activation.grouping.as_ref().map(|g| g.attribute.clone());
+        let window_ms = activation.grouping.as_ref().and_then(|g| g.window_ms);
+
+        // Poll the whole device family (query-driven under the hood; the
+        // paper requires drivers to support all three delivery modes).
+        let now = self.queue.now();
+        let readings = self
+            .registry
+            .poll(&device, &source, group_attr.as_deref(), now);
+        self.metrics.periodic_deliveries += 1;
+        self.metrics.readings_polled += readings.len() as u64;
+        self.record_trace(
+            now,
+            TraceKind::PeriodicPoll {
+                device: device.clone(),
+                source: source.clone(),
+                readings: readings.len(),
+            },
+        );
+
+        // Each reading crosses the transport; the batch arrives when its
+        // slowest surviving reading does. Readings carry payload handles,
+        // so the injected-duplicate copy is a handle clone.
+        let mut surviving = Vec::with_capacity(readings.len());
+        let mut max_latency = 0;
+        for reading in readings {
+            let outcome = self.sample_send();
+            if let Some(latency) = outcome.duplicate {
+                // At-least-once delivery: the injected duplicate shows up
+                // as a second copy of the reading in the batch.
+                self.metrics.messages_delivered += 1;
+                self.metrics.total_transport_latency_ms += latency;
+                self.obs.record(Activity::Delivering, context, latency);
+                max_latency = max_latency.max(latency);
+                surviving.push(reading.clone());
+            }
+            match outcome.delivery {
+                Some(latency) => {
+                    self.metrics.messages_delivered += 1;
+                    self.metrics.total_transport_latency_ms += latency;
+                    self.obs.record(Activity::Delivering, context, latency);
+                    max_latency = max_latency.max(latency);
+                    surviving.push(reading);
+                }
+                // Dropped poll readings are not retried: the next poll
+                // supersedes them.
+                None => self.metrics.messages_lost += 1,
+            }
+        }
+
+        // Window accumulation (`every <T>`): buffer until the deadline.
+        let deliver = if let Some(window_ms) = window_ms {
+            let runtime = self.contexts.get_mut(context).expect("context exists");
+            let buffer = runtime
+                .windows
+                .get_mut(&activation_idx)
+                .expect("window initialized at launch");
+            buffer.readings.extend(surviving);
+            if now >= buffer.deadline {
+                let batch = std::mem::take(&mut buffer.readings);
+                buffer.deadline = now + window_ms;
+                Some(batch)
+            } else {
+                None
+            }
+        } else {
+            Some(surviving)
+        };
+
+        if let Some(readings) = deliver {
+            self.check_qos(context, max_latency);
+            self.queue.schedule_in(
+                max_latency,
+                Event::BatchDeliver {
+                    context: context.to_owned(),
+                    activation_idx,
+                    readings,
+                    window_ms,
+                },
+            );
+        }
+
+        // Keep the cadence anchored to the poll time, not delivery time.
+        self.queue.schedule(
+            now + period_ms,
+            Event::PeriodicPoll {
+                context: context.to_owned(),
+                activation_idx,
+            },
+        );
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        context: &str,
+        activation_idx: usize,
+        readings: Vec<PolledReading>,
+        window_ms: Option<u64>,
+    ) {
+        let Some(ctx_decl) = self.spec.context(context) else {
+            return;
+        };
+        let Some(activation) = ctx_decl.activations.get(activation_idx) else {
+            return;
+        };
+        let ActivationTrigger::Periodic { device, source, .. } = activation.trigger.clone() else {
+            return;
+        };
+
+        // Grouping shares the batch's payload handles — a 10k-reading
+        // batch groups with 10k pointer bumps, not 10k value copies.
+        let grouped = activation.grouping.as_ref().map(|_| {
+            let mut groups: BTreeMap<Payload, Vec<Payload>> = BTreeMap::new();
+            for reading in &readings {
+                if let Some(group) = &reading.group {
+                    groups
+                        .entry(group.clone())
+                        .or_default()
+                        .push(reading.value.clone());
+                }
+            }
+            groups
+        });
+
+        let (reduced, coverage) = match activation
+            .grouping
+            .as_ref()
+            .and_then(|g| g.map_reduce.as_ref())
+        {
+            Some(_) => {
+                let mr = self
+                    .contexts
+                    .get(context)
+                    .and_then(|r| r.map_reduce.clone());
+                match mr {
+                    Some(mr) => {
+                        self.metrics.map_reduce_executions += 1;
+                        // Chunk ingestion clones handles: the executor's
+                        // input records share the batch's values.
+                        let input: Vec<(Payload, Payload)> = readings
+                            .iter()
+                            .filter_map(|r| r.group.clone().map(|g| (g, r.value.clone())))
+                            .collect();
+                        let adapter = LogicAdapter(mr.as_ref());
+                        let mut job = match self.processing {
+                            ProcessingMode::Serial => Job::serial(),
+                            ProcessingMode::Parallel(workers) => Job::parallel(workers),
+                        }
+                        .task_retries(self.recovery.task_retries)
+                        .allow_partial(true);
+                        if let Some(speculation) = self.recovery.task_speculation {
+                            job = job.speculation(speculation);
+                        }
+                        if let Some(plan) = self.faults.as_ref().and_then(FaultInjector::task_plan)
+                        {
+                            job = job.fault_plan(plan.clone());
+                        }
+                        match job.try_run_to_map(&adapter, input) {
+                            Ok(result) => {
+                                if self.obs.is_enabled() {
+                                    // Surface the executor's per-phase wall
+                                    // times as processing durations.
+                                    for (phase, time) in [
+                                        ("map", result.stats.map_time),
+                                        ("shuffle", result.stats.shuffle_time),
+                                        ("reduce", result.stats.reduce_time),
+                                    ] {
+                                        let us =
+                                            u64::try_from(time.as_micros()).unwrap_or(u64::MAX);
+                                        self.obs.record(
+                                            Activity::Processing,
+                                            &format!("{context}/{phase}"),
+                                            us,
+                                        );
+                                    }
+                                }
+                                self.account_batch_processing(
+                                    context,
+                                    &result.stats,
+                                    &result.failed_tasks,
+                                );
+                                (Some(result.output), Some(result.stats.coverage))
+                            }
+                            Err(err) => {
+                                // Unreachable while `allow_partial` is set,
+                                // but contained rather than trusted.
+                                self.contain(RuntimeError::Configuration(format!(
+                                    "context `{context}` batch processing failed: {err}"
+                                )));
+                                (None, None)
+                            }
+                        }
+                    }
+                    None => {
+                        self.contain(RuntimeError::Configuration(format!(
+                            "context `{context}` reached a MapReduce batch without phases"
+                        )));
+                        (None, None)
+                    }
+                }
+            }
+            None => (None, None),
+        };
+
+        let batch = BatchData {
+            device_type: device,
+            source,
+            readings,
+            grouped,
+            reduced,
+            coverage,
+            window_ms,
+        };
+        self.activate_context(context, activation_idx, ContextActivation::Batch(&batch));
+    }
+
+    /// Folds one batch execution's fault-tolerance outcome into metrics,
+    /// traces, observability, and the context's `@quality` verdict.
+    fn account_batch_processing(
+        &mut self,
+        context: &str,
+        stats: &ExecutionStats,
+        failed_tasks: &[TaskError],
+    ) {
+        let coverage = stats.coverage;
+        self.metrics.task_retries += u64::from(coverage.task_retries);
+        self.metrics.task_speculations += u64::from(coverage.speculative_attempts);
+        self.metrics.tasks_failed += failed_tasks.len() as u64;
+        if coverage.injected_faults > 0 {
+            self.metrics.faults_injected += u64::from(coverage.injected_faults);
+            if let Some(injector) = self.faults.as_mut() {
+                for _ in 0..coverage.injected_faults {
+                    injector.count_injection();
+                }
+            }
+        }
+        let at = self.queue.now();
+        if self.trace_active() {
+            for failed in failed_tasks {
+                self.record_trace(
+                    at,
+                    TraceKind::TaskFailed {
+                        context: context.to_owned(),
+                        phase: failed.phase.to_string(),
+                        task: u32::try_from(failed.task).unwrap_or(u32::MAX),
+                        attempts: failed.attempts,
+                    },
+                );
+            }
+        }
+        if self.obs.is_enabled() && !stats.recovery_time.is_zero() {
+            let us = u64::try_from(stats.recovery_time.as_micros()).unwrap_or(u64::MAX);
+            self.obs
+                .record(Activity::Recovering, &format!("{context}/tasks"), us);
+        }
+        let budget = self
+            .quality_budgets
+            .get(context)
+            .copied()
+            .unwrap_or_default();
+        // A missed processing deadline is a QoS violation, not lost
+        // coverage: the results are complete, just late.
+        if budget
+            .deadline_ms
+            .is_some_and(|ms| stats.total_time() > Duration::from_millis(ms))
+        {
+            self.metrics.qos_violations += 1;
+        }
+        let coverage_pct = coverage.percent_covered();
+        if coverage_pct < budget.coverage_pct {
+            self.metrics.batches_degraded += 1;
+            if self.trace_active() {
+                self.record_trace(
+                    at,
+                    TraceKind::BatchDegraded {
+                        context: context.to_owned(),
+                        coverage_pct,
+                        threshold_pct: budget.coverage_pct,
+                        failed_tasks: u32::try_from(failed_tasks.len()).unwrap_or(u32::MAX),
+                    },
+                );
+            }
+            self.contain(RuntimeError::DegradedBatch {
+                context: context.to_owned(),
+                coverage_pct,
+                threshold_pct: budget.coverage_pct,
+            });
+        }
+    }
+
+    // ---- component activation ---------------------------------------------
+
+    fn activate_context(
+        &mut self,
+        name: &str,
+        activation_idx: usize,
+        input: ContextActivation<'_>,
+    ) {
+        let publish_mode = match self
+            .spec
+            .context(name)
+            .and_then(|c| c.activations.get(activation_idx))
+        {
+            Some(a) => a.publish,
+            None => return,
+        };
+        let Some(mut logic) = self.contexts.get_mut(name).and_then(|r| r.logic.take()) else {
+            self.contain(RuntimeError::ContractViolation {
+                component: name.to_owned(),
+                message: "re-entrant activation (a `get` cycle at runtime?)".to_owned(),
+            });
+            return;
+        };
+        self.metrics.context_activations += 1;
+        if self.trace_active() {
+            let at = self.queue.now();
+            self.record_trace(
+                at,
+                TraceKind::ContextActivation {
+                    context: name.to_owned(),
+                },
+            );
+        }
+        let started = self.obs.is_enabled().then(std::time::Instant::now);
+        let result = {
+            let mut api = ContextApi {
+                engine: self,
+                context: name,
+            };
+            logic.activate(&mut api, input)
+        };
+        if let Some(t0) = started {
+            self.obs
+                .record(Activity::Processing, name, obs::elapsed_us(t0));
+        }
+        self.contexts.get_mut(name).expect("context exists").logic = Some(logic);
+
+        match result {
+            Err(e) => self.contain(e.into()),
+            Ok(maybe_value) => self.handle_publication(name, publish_mode, maybe_value),
+        }
+    }
+
+    fn activate_controller(&mut self, name: &str, from: &str, value: &Value) {
+        let Some(mut logic) = self.controllers.get_mut(name).and_then(|r| r.logic.take()) else {
+            self.contain(RuntimeError::ContractViolation {
+                component: name.to_owned(),
+                message: "re-entrant controller activation".to_owned(),
+            });
+            return;
+        };
+        self.metrics.controller_activations += 1;
+        if self.trace_active() {
+            let at = self.queue.now();
+            self.record_trace(
+                at,
+                TraceKind::ControllerActivation {
+                    controller: name.to_owned(),
+                    from: from.to_owned(),
+                },
+            );
+        }
+        let started = self.obs.is_enabled().then(std::time::Instant::now);
+        let result = {
+            let mut api = ControllerApi {
+                engine: self,
+                controller: name,
+            };
+            logic.on_context(&mut api, from, value)
+        };
+        if let Some(t0) = started {
+            self.obs
+                .record(Activity::Processing, name, obs::elapsed_us(t0));
+        }
+        self.controllers
+            .get_mut(name)
+            .expect("controller exists")
+            .logic = Some(logic);
+        if let Err(e) = result {
+            self.contain(e.into());
+        }
+    }
+
+    /// Computes the on-demand value of a `when required` context.
+    pub(crate) fn compute_on_demand(&mut self, name: &str) -> Result<Value, RuntimeError> {
+        let ctx_decl = self
+            .spec
+            .context(name)
+            .ok_or_else(|| RuntimeError::Unknown {
+                kind: "context",
+                name: name.to_owned(),
+            })?;
+        if !ctx_decl.is_required() {
+            return Err(RuntimeError::ContractViolation {
+                component: name.to_owned(),
+                message: "context does not declare `when required`".to_owned(),
+            });
+        }
+        let output_ty = ctx_decl.output.clone();
+        let Some(mut logic) = self.contexts.get_mut(name).and_then(|r| r.logic.take()) else {
+            return Err(RuntimeError::ContractViolation {
+                component: name.to_owned(),
+                message: "re-entrant on-demand computation (a `get` cycle?)".to_owned(),
+            });
+        };
+        self.metrics.on_demand_computations += 1;
+        self.metrics.context_activations += 1;
+        let started = self.obs.is_enabled().then(std::time::Instant::now);
+        let result = {
+            let mut api = ContextApi {
+                engine: self,
+                context: name,
+            };
+            logic.activate(&mut api, ContextActivation::OnDemand)
+        };
+        if let Some(t0) = started {
+            self.obs
+                .record(Activity::Processing, name, obs::elapsed_us(t0));
+        }
+        self.contexts.get_mut(name).expect("context exists").logic = Some(logic);
+
+        let computed = result.map_err(RuntimeError::from)?;
+        let value = match computed {
+            Some(value) => {
+                if !value.conforms_to(&output_ty, &self.spec) {
+                    return Err(RuntimeError::TypeMismatch {
+                        at: format!("on-demand value of context `{name}`"),
+                        expected: output_ty.to_string(),
+                        found: value.to_string(),
+                    });
+                }
+                self.contexts
+                    .get_mut(name)
+                    .expect("context exists")
+                    .last_value = Some(Payload::new(value.clone()));
+                value
+            }
+            // Fall back to the most recent value when the logic has
+            // nothing fresher (e.g. it accumulates from periodic polls).
+            None => self
+                .contexts
+                .get(name)
+                .and_then(|r| r.last_value.as_deref().cloned())
+                .ok_or_else(|| RuntimeError::ContractViolation {
+                    component: name.to_owned(),
+                    message: "on-demand computation produced no value and none is cached"
+                        .to_owned(),
+                })?,
+        };
+        Ok(value)
+    }
+}
+
+/// Adapts a dynamic [`MapReduceLogic`] to the typed
+/// [`diaspec_mapreduce::MapReduce`] interface. Input records are payload
+/// handles; `&Payload` dereferences to [`Value`] at the trait boundary.
+struct LogicAdapter<'a>(&'a dyn MapReduceLogic);
+
+impl MapReduce<Payload, Payload, Value, Value, Value, Value> for LogicAdapter<'_> {
+    fn map(&self, key: &Payload, value: &Payload, collector: &mut MapCollector<Value, Value>) {
+        self.0.map(key, value, &mut |k, v| collector.emit_map(k, v));
+    }
+
+    fn reduce(&self, key: &Value, values: &[Value], collector: &mut ReduceCollector<Value, Value>) {
+        collector.emit_reduce(key.clone(), self.0.reduce(key, values));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diaspec_core::compile_str;
+    use std::sync::Arc;
+
+    /// A driver that accepts any actuation and serves no sources.
+    struct AcceptAllDriver;
+
+    impl crate::entity::DeviceInstance for AcceptAllDriver {
+        fn query(&mut self, source: &str, _now: u64) -> Result<Value, crate::error::DeviceError> {
+            Err(crate::error::DeviceError::new("test", source, "no sources"))
+        }
+
+        fn invoke(
+            &mut self,
+            _action: &str,
+            _args: &[Value],
+            _now: u64,
+        ) -> Result<(), crate::error::DeviceError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn end_to_end_chain_activates_each_stage_once() {
+        let spec = Arc::new(
+            compile_str(
+                r#"
+                device Button { source pressed as Boolean; }
+                device Bell { action ring; }
+                context Pressed as Boolean {
+                  when provided pressed from Button always publish;
+                }
+                controller Ring { when provided Pressed do ring on Bell; }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut orch = Orchestrator::new(spec);
+        orch.register_context(
+            "Pressed",
+            |_: &mut ContextApi<'_>, _: ContextActivation<'_>| Ok(Some(Value::Bool(true))),
+        )
+        .unwrap();
+        orch.register_controller("Ring", |api: &mut ControllerApi<'_>, _: &str, _: &Value| {
+            for bell in api.discover("Bell")?.ids() {
+                api.invoke(&bell, "ring", &[])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        orch.bind_entity(
+            "b1".into(),
+            "Button",
+            Default::default(),
+            Box::new(|_: &str, _: u64| Ok(Value::Bool(false))),
+        )
+        .unwrap();
+        orch.bind_entity(
+            "bell-1".into(),
+            "Bell",
+            Default::default(),
+            Box::new(AcceptAllDriver),
+        )
+        .unwrap();
+        orch.launch().unwrap();
+        orch.emit_at(5, &"b1".into(), "pressed", Value::Bool(true), None)
+            .unwrap();
+        orch.run_until(10);
+        assert_eq!(orch.metrics().emissions, 1);
+        assert_eq!(orch.metrics().context_activations, 1);
+        assert_eq!(orch.metrics().publications, 1);
+        assert_eq!(orch.metrics().controller_activations, 1);
+        assert_eq!(orch.metrics().actuations, 1);
+    }
+
+    #[test]
+    fn fan_out_shares_one_payload_across_all_deliveries() {
+        let spec = Arc::new(
+            compile_str(
+                r#"
+                device Sensor { source reading as Integer; }
+                context A as Integer { when provided reading from Sensor maybe publish; }
+                context B as Integer { when provided reading from Sensor maybe publish; }
+                context C as Integer { when provided reading from Sensor maybe publish; }
+                "#,
+            )
+            .unwrap(),
+        );
+        let mut orch = Orchestrator::new(spec);
+        for name in ["A", "B", "C"] {
+            orch.register_context(
+                name,
+                |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| {
+                    if let ContextActivation::SourceEvent { value, .. } = activation {
+                        assert_eq!(value.as_int(), Some(42));
+                    }
+                    Ok(None)
+                },
+            )
+            .unwrap();
+        }
+        orch.bind_entity(
+            "s1".into(),
+            "Sensor",
+            Default::default(),
+            Box::new(|_: &str, _: u64| Ok(Value::Int(42))),
+        )
+        .unwrap();
+        orch.launch().unwrap();
+        orch.emit_at(1, &"s1".into(), "reading", Value::Int(42), None)
+            .unwrap();
+        orch.run_until(5);
+        assert_eq!(orch.metrics().emissions, 1);
+        assert_eq!(orch.metrics().context_activations, 3);
+        assert_eq!(orch.metrics().messages_delivered, 3);
+    }
+}

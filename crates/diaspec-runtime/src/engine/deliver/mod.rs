@@ -1,0 +1,197 @@
+//! The staged delivery pipeline.
+//!
+//! Every message the orchestrator moves — source emissions, context
+//! publications, periodic batches, retries — flows through four explicit
+//! stages, mirroring the paper's §IV *delivering data* activity:
+//!
+//! 1. [`admit`] — a value enters the pipeline: it is validated against
+//!    the design (declared source, output type, publish mode), counted,
+//!    traced, and wrapped **exactly once** into a shared
+//!    [`Payload`](crate::payload::Payload) handle;
+//! 2. [`route`] — the admitted payload is resolved to its subscribers
+//!    through the precomputed [`RouteTable`] (built from the immutable
+//!    spec at construction), yielding one delivery event per subscriber —
+//!    fan-out to N subscribers is N handle clones, never N deep copies;
+//! 3. [`schedule`] — each delivery event crosses the simulated transport:
+//!    latency is sampled, injected faults (drop / delay / duplicate) are
+//!    applied and traced, QoS budgets are checked, and
+//!    retry-with-backoff is arranged for dropped deliveries;
+//! 4. [`dispatch`] — a due event leaves the queue and activates its
+//!    target component (context, controller, process, or the engine's own
+//!    periodic / fault / lease machinery).
+//!
+//! The stages communicate through the [`Event`] vocabulary below. Stage
+//! order is load-bearing: admission side effects (metrics, traces) happen
+//! before routing, and scheduling decisions (duplicate before primary)
+//! are part of the engine's deterministic event order — the
+//! pipeline-equivalence golden tests pin both.
+
+pub(crate) mod admit;
+pub(crate) mod dispatch;
+pub(crate) mod route;
+pub(crate) mod schedule;
+
+pub(crate) use route::RouteTable;
+
+use crate::clock::SimTime;
+use crate::entity::EntityId;
+use crate::payload::Payload;
+use crate::registry::PolledReading;
+
+/// A scheduled pipeline event. Delivery events carry their value as a
+/// shared [`Payload`] handle, so cloning an event (fan-out, injected
+/// duplicates, retry re-sends) never deep-copies the value.
+#[derive(Clone)]
+pub(crate) enum Event {
+    /// A process emitted a source value (event-driven delivery).
+    Emit {
+        entity: EntityId,
+        source: String,
+        value: Payload,
+        index: Option<Payload>,
+    },
+    /// A source emission arrives at a subscribed context. The activation
+    /// index was resolved at route time (the route predicate equals the
+    /// activation-lookup predicate, so the resolution cannot diverge).
+    SourceDeliver {
+        context: String,
+        entity: EntityId,
+        device_type: String,
+        source: String,
+        value: Payload,
+        index: Option<Payload>,
+        activation_idx: usize,
+    },
+    /// A context publication arrives at a subscribed context.
+    ContextDeliver {
+        context: String,
+        from: String,
+        value: Payload,
+        activation_idx: usize,
+    },
+    /// A context publication arrives at a subscribed controller.
+    ControllerDeliver {
+        controller: String,
+        from: String,
+        value: Payload,
+    },
+    /// Time to poll a periodic activation.
+    PeriodicPoll {
+        context: String,
+        activation_idx: usize,
+    },
+    /// A gathered periodic batch arrives at its context.
+    BatchDeliver {
+        context: String,
+        activation_idx: usize,
+        readings: Vec<PolledReading>,
+        window_ms: Option<u64>,
+    },
+    /// A simulation process wakes.
+    ProcessWake { idx: usize },
+    /// A scheduled fault fires (index into the fault plan).
+    Fault { idx: usize },
+    /// Periodic lease sweep (scheduled when leases are enabled).
+    LeaseCheck,
+    /// A delivery dropped by an injected fault is re-sent with backoff.
+    Redeliver {
+        event: Box<Event>,
+        /// The send attempt this resend constitutes (initial send = 1).
+        attempt: u32,
+        /// When the initial send happened, for the retry timeout.
+        first_sent_at: SimTime,
+    },
+}
+
+impl Event {
+    /// Display label of the component a delivery event is addressed to.
+    pub(crate) fn target(&self) -> &str {
+        match self {
+            Event::SourceDeliver { context, .. }
+            | Event::ContextDeliver { context, .. }
+            | Event::BatchDeliver { context, .. } => context,
+            Event::ControllerDeliver { controller, .. } => controller,
+            _ => "",
+        }
+    }
+
+    /// Whether the event is addressed to a context (QoS budgets apply).
+    pub(crate) fn targets_context(&self) -> bool {
+        matches!(
+            self,
+            Event::SourceDeliver { .. } | Event::ContextDeliver { .. } | Event::BatchDeliver { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn delivery_events_name_their_target() {
+        let ev = Event::ContextDeliver {
+            context: "Occupancy".into(),
+            from: "Presence".into(),
+            value: Payload::new(Value::Bool(true)),
+            activation_idx: 0,
+        };
+        assert_eq!(ev.target(), "Occupancy");
+        assert!(ev.targets_context());
+        let ev = Event::ControllerDeliver {
+            controller: "Panel".into(),
+            from: "Occupancy".into(),
+            value: Payload::new(Value::Int(3)),
+        };
+        assert_eq!(ev.target(), "Panel");
+        assert!(!ev.targets_context());
+        assert_eq!(Event::LeaseCheck.target(), "");
+        assert!(!Event::LeaseCheck.targets_context());
+    }
+
+    #[test]
+    fn contained_errors_are_bounded_under_sustained_failure() {
+        use crate::engine::{Orchestrator, ERRORS_CAP};
+        use crate::error::RuntimeError;
+        use diaspec_core::compile_str;
+        use std::sync::Arc;
+
+        let spec = Arc::new(compile_str("device D { source s as Integer; }").unwrap());
+        let mut orch = Orchestrator::new(spec);
+        // A pathological run: one million contained failures. The buffer
+        // must stop growing at the cap while the counters stay honest.
+        const TOTAL: u64 = 1_000_000;
+        for _ in 0..TOTAL {
+            orch.contain(RuntimeError::Configuration("boom".to_owned()));
+        }
+        assert_eq!(orch.metrics().component_errors, TOTAL);
+        assert_eq!(
+            orch.errors_dropped(),
+            TOTAL - u64::try_from(ERRORS_CAP).unwrap()
+        );
+        let buffered = orch.drain_errors();
+        assert_eq!(buffered.len(), ERRORS_CAP);
+        // Draining resets the overflow window.
+        assert_eq!(orch.errors_dropped(), 0);
+        orch.contain(RuntimeError::Configuration("boom".to_owned()));
+        assert_eq!(orch.errors_dropped(), 0);
+        assert_eq!(orch.drain_errors().len(), 1);
+    }
+
+    #[test]
+    fn cloning_an_event_shares_its_payload() {
+        let value = Payload::new(Value::Str("big".into()));
+        let ev = Event::Emit {
+            entity: "s1".into(),
+            source: "presence".into(),
+            value: value.clone(),
+            index: None,
+        };
+        let copy = ev.clone();
+        // Original handle + event + clone = 3 handles, one value.
+        assert_eq!(value.handle_count(), 3);
+        drop(copy);
+        assert_eq!(value.handle_count(), 2);
+    }
+}

@@ -38,6 +38,7 @@ pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod obs;
+pub mod payload;
 pub mod process;
 pub mod registry;
 pub mod trace;
@@ -47,4 +48,5 @@ pub mod value;
 pub use engine::{Orchestrator, Phase, ProcessingMode};
 pub use error::RuntimeError;
 pub use obs::{Activity, LatencyHistogram, ObsSnapshot, Observer};
+pub use payload::Payload;
 pub use value::Value;

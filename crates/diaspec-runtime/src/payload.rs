@@ -1,0 +1,145 @@
+//! Zero-copy payload handle: the unit of data the delivery pipeline moves.
+//!
+//! A [`Payload`] is a cheaply clonable, immutable handle to a [`Value`]
+//! (`Arc<Value>` under the hood). Every value entering the pipeline —
+//! source emissions, polled readings, context publications — is wrapped
+//! exactly once at admission; from there, fan-out to N subscribers,
+//! injected duplicates, retry re-sends, window accumulation, and MapReduce
+//! chunk ingestion all clone the *handle* (one pointer bump) instead of
+//! deep-copying the value.
+//!
+//! `Payload` dereferences to [`Value`], so read-only consumers
+//! (`payload.as_int()`, `ValueCodec::from_value(&payload)`) are unchanged.
+//! Payloads are immutable by construction: mutating a value requires
+//! building a new one, which keeps shared fan-out sound.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A shared, immutable handle to a [`Value`] flowing through the delivery
+/// pipeline. Cloning is one atomic reference-count increment, independent
+/// of the value's size.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Payload(Arc<Value>);
+
+impl Payload {
+    /// Wraps a value for pipeline transport (one allocation).
+    #[must_use]
+    pub fn new(value: Value) -> Self {
+        Payload(Arc::new(value))
+    }
+
+    /// Read access to the carried value.
+    #[must_use]
+    pub fn value(&self) -> &Value {
+        &self.0
+    }
+
+    /// Extracts the value, cloning only if the payload is still shared.
+    #[must_use]
+    pub fn into_value(self) -> Value {
+        Arc::try_unwrap(self.0).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// How many handles (this one included) currently share the value.
+    /// Diagnostic only — the count is racy under parallel executors.
+    #[must_use]
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+impl Deref for Payload {
+    type Target = Value;
+
+    fn deref(&self) -> &Value {
+        &self.0
+    }
+}
+
+impl AsRef<Value> for Payload {
+    fn as_ref(&self) -> &Value {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<Value> for Payload {
+    fn borrow(&self) -> &Value {
+        &self.0
+    }
+}
+
+impl From<Value> for Payload {
+    fn from(value: Value) -> Self {
+        Payload::new(value)
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&*self.0, f)
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+impl PartialEq<Value> for Payload {
+    fn eq(&self, other: &Value) -> bool {
+        *self.0 == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_value() {
+        let payload = Payload::new(Value::Str("shared".into()));
+        let copy = payload.clone();
+        assert_eq!(payload, copy);
+        assert_eq!(payload.handle_count(), 2);
+        assert!(std::ptr::eq(payload.value(), copy.value()));
+    }
+
+    #[test]
+    fn derefs_to_value_accessors() {
+        let payload = Payload::from(Value::Int(7));
+        assert_eq!(payload.as_int(), Some(7));
+        assert_eq!(payload.to_string(), "7");
+        assert_eq!(payload, Value::Int(7));
+    }
+
+    #[test]
+    fn into_value_avoids_cloning_when_unshared() {
+        let payload = Payload::new(Value::Int(1));
+        assert_eq!(payload.into_value(), Value::Int(1));
+        let shared = Payload::new(Value::Int(2));
+        let keep = shared.clone();
+        assert_eq!(shared.into_value(), Value::Int(2));
+        assert_eq!(keep.as_int(), Some(2));
+    }
+
+    #[test]
+    fn ordering_and_hash_follow_the_value() {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<Payload, i64> = BTreeMap::new();
+        map.insert(Payload::from(Value::Int(2)), 2);
+        map.insert(Payload::from(Value::Int(1)), 1);
+        let keys: Vec<i64> = map.keys().filter_map(|p| p.as_int()).collect();
+        assert_eq!(keys, vec![1, 2]);
+        // Borrow<Value> allows lookups by plain value.
+        assert_eq!(map.get(&Value::Int(2)), Some(&2));
+    }
+
+    #[test]
+    fn payload_is_pointer_sized() {
+        assert_eq!(std::mem::size_of::<Payload>(), std::mem::size_of::<usize>());
+    }
+}

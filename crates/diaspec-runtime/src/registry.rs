@@ -14,10 +14,15 @@
 
 use crate::entity::{AttributeMap, BindingTime, DeviceInstance, EntityId};
 use crate::error::{DeviceError, RuntimeError};
+use crate::payload::Payload;
 use crate::value::Value;
 use diaspec_core::model::{AnnotationArg, CheckedSpec, Device};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+mod indexes;
+
+use indexes::Indexes;
 
 /// How the runtime reacts when a device driver fails.
 ///
@@ -140,14 +145,19 @@ pub struct LeaseTransition {
 }
 
 /// One reading collected by a batch poll.
+///
+/// The grouping key and the reading travel as shared [`Payload`] handles:
+/// window accumulation, injected duplicates, grouping, and MapReduce
+/// chunk ingestion downstream all clone the handle, never the value.
+/// `&reading.value` dereferences to [`Value`] for consumers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PolledReading {
     /// The polled entity.
     pub entity: EntityId,
     /// The value of the grouping attribute, when grouping was requested.
-    pub group: Option<Value>,
+    pub group: Option<Payload>,
     /// The reading.
-    pub value: Value,
+    pub value: Payload,
 }
 
 /// Counters describing registry activity.
@@ -206,11 +216,10 @@ pub struct RegistryStats {
 pub struct Registry {
     spec: Arc<CheckedSpec>,
     entities: BTreeMap<EntityId, EntityRecord>,
-    /// Exact-type index: device type name -> bound entity ids.
-    by_type: BTreeMap<String, BTreeSet<EntityId>>,
-    /// Attribute index: (exact device type, attribute, value) -> entity
-    /// ids, so attribute-filtered discovery avoids scanning the family.
-    by_attribute: BTreeMap<(String, String, Value), BTreeSet<EntityId>>,
+    /// Read-optimized discovery indexes (exact type, attribute, family);
+    /// all mutation funnels through bind/unbind so keys mirror live
+    /// bindings exactly.
+    indexes: Indexes,
     /// Validated spares awaiting promotion by [`Registry::expire_leases`].
     standbys: BTreeMap<EntityId, StandbyRecord>,
     /// Lease duration applied to (re)bound entities; `None` disables leases.
@@ -223,10 +232,9 @@ impl Registry {
     #[must_use]
     pub fn new(spec: Arc<CheckedSpec>) -> Self {
         Registry {
+            indexes: Indexes::new(&spec),
             spec,
             entities: BTreeMap::new(),
-            by_type: BTreeMap::new(),
-            by_attribute: BTreeMap::new(),
             standbys: BTreeMap::new(),
             lease_ttl_ms: None,
             stats: RegistryStats::default(),
@@ -264,16 +272,7 @@ impl Registry {
         now_ms: u64,
     ) -> Result<(), RuntimeError> {
         self.check_binding(&id, device_type, &attributes)?;
-        self.by_type
-            .entry(device_type.to_owned())
-            .or_default()
-            .insert(id.clone());
-        for (attr, value) in &attributes {
-            self.by_attribute
-                .entry((device_type.to_owned(), attr.clone(), value.clone()))
-                .or_default()
-                .insert(id.clone());
-        }
+        self.indexes.insert(&id, device_type, &attributes);
         self.entities.insert(
             id.clone(),
             EntityRecord {
@@ -343,7 +342,9 @@ impl Registry {
         Ok(())
     }
 
-    /// Unbinds an entity, returning its public record.
+    /// Unbinds an entity, returning its public record. Index buckets that
+    /// become empty are deleted with it, so churn (unbind/rebind cycles)
+    /// cannot accumulate stale index keys.
     ///
     /// # Errors
     ///
@@ -356,18 +357,8 @@ impl Registry {
                 kind: "entity",
                 name: id.to_string(),
             })?;
-        if let Some(set) = self.by_type.get_mut(&record.info.device_type) {
-            set.remove(id);
-        }
-        for (attr, value) in &record.info.attributes {
-            if let Some(set) = self.by_attribute.get_mut(&(
-                record.info.device_type.clone(),
-                attr.clone(),
-                value.clone(),
-            )) {
-                set.remove(id);
-            }
-        }
+        self.indexes
+            .remove(id, &record.info.device_type, &record.info.attributes);
         Ok(record.info)
     }
 
@@ -407,12 +398,10 @@ impl Registry {
     }
 
     fn ids_of_family(&self, device_type: &str) -> Vec<&EntityId> {
-        // Exact-type buckets of the requested type and every subtype.
-        self.by_type
-            .iter()
-            .filter(|(ty, _)| self.spec.device_is_subtype(ty, device_type))
-            .flat_map(|(_, ids)| ids.iter())
-            .collect()
+        // Exact-type buckets of the requested type and every subtype,
+        // walked through the precomputed family member list (name order,
+        // matching the former full-index subtype scan).
+        self.indexes.ids_of_family(device_type).collect()
     }
 
     /// Reads `source` from entity `id`, applying the device's `@error`
@@ -585,11 +574,14 @@ impl Registry {
                     .get(&id)
                     .and_then(|r| r.info.attributes.get(attr))
                     .cloned()
+                    .map(Payload::new)
             });
             readings.push(PolledReading {
                 entity: id,
                 group,
-                value,
+                // Wrapped once here at pipeline admission; every hop
+                // downstream shares the handle.
+                value: Payload::new(value),
             });
         }
         readings
@@ -887,7 +879,7 @@ impl std::fmt::Debug for Registry {
         f.debug_struct("Registry")
             .field("entities", &self.entities.len())
             .field("standbys", &self.standbys.len())
-            .field("types", &self.by_type.keys().collect::<Vec<_>>())
+            .field("types", &self.indexes.bound_types().collect::<Vec<_>>())
             .field("stats", &self.stats)
             .finish()
     }
@@ -917,14 +909,16 @@ impl<'r> DiscoveryQuery<'r> {
     ///
     /// Attribute filters resolve through the registry's attribute index:
     /// cost is proportional to the smallest filter's match set per exact
-    /// type, not to the family size.
+    /// type, not to the family size. The family itself comes from the
+    /// precomputed member list, so an unrelated type's bindings are never
+    /// visited.
     #[must_use]
     pub fn ids(&self) -> Vec<EntityId> {
         let mut out: Vec<EntityId> = Vec::new();
-        for (ty, bucket) in &self.registry.by_type {
-            if !self.registry.spec.device_is_subtype(ty, &self.device_type) {
+        for ty in self.registry.indexes.family_members(&self.device_type) {
+            let Some(bucket) = self.registry.indexes.type_bucket(ty) else {
                 continue;
-            }
+            };
             if self.filters.is_empty() {
                 out.extend(bucket.iter().cloned());
                 continue;
@@ -933,11 +927,7 @@ impl<'r> DiscoveryQuery<'r> {
             let mut sets: Vec<&BTreeSet<EntityId>> = Vec::with_capacity(self.filters.len());
             let mut empty = false;
             for (attr, value) in &self.filters {
-                match self
-                    .registry
-                    .by_attribute
-                    .get(&(ty.clone(), attr.clone(), value.clone()))
-                {
+                match self.registry.indexes.attribute_bucket(ty, attr, value) {
                     Some(set) if !set.is_empty() => sets.push(set),
                     _ => {
                         empty = true;
@@ -1370,7 +1360,7 @@ mod tests {
         assert_eq!(readings.len(), 3);
         assert!(readings
             .iter()
-            .all(|r| r.group.as_ref().and_then(Value::as_str).is_some()));
+            .all(|r| r.group.as_deref().and_then(Value::as_str).is_some()));
         let ungrouped = reg.poll("PresenceSensor", "presence", None, 10);
         assert!(ungrouped.iter().all(|r| r.group.is_none()));
     }
@@ -1677,5 +1667,80 @@ mod tests {
         reg.invoke(&"a1".into(), "engage", &[Value::Int(5)], 0)
             .unwrap();
         assert_eq!(reg.stats().fallback_invocations, 1);
+    }
+
+    /// Property test for the index writer path: under seeded
+    /// bind/unbind/rebind churn the discovery indexes must mirror the live
+    /// bindings exactly — no stale `(type, attribute, value)` or type key
+    /// may outlive its last binding, and no binding may go unindexed.
+    #[test]
+    fn index_keys_mirror_live_bindings_under_churn() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut reg = registry();
+        let mut rng = StdRng::seed_from_u64(0x1D_CB5);
+        let types = ["PresenceSensor", "RedundantSensor", "ParkingEntrancePanel"];
+        let zones = ["A22", "B16", "C07", "D41"];
+        let mut peak_attr_keys = 0usize;
+
+        for round in 0..2_000u32 {
+            let slot = rng.gen_range(0..40u32);
+            let id = EntityId::from(format!("churn-{slot}"));
+            if reg.contains(&id) {
+                reg.unbind(&id).unwrap();
+            }
+            // Two thirds of the rounds rebind the slot under a fresh
+            // type/attribute combination; the rest leave it unbound.
+            if round % 3 != 2 {
+                let ty = types[rng.gen_range(0..types.len())];
+                let attr = match ty {
+                    "PresenceSensor" => ("parkingLot", zones[rng.gen_range(0..zones.len())]),
+                    "RedundantSensor" => ("zone", zones[rng.gen_range(0..zones.len())]),
+                    _ => ("location", zones[rng.gen_range(0..zones.len())]),
+                };
+                reg.bind(
+                    id,
+                    ty,
+                    attrs(&[attr]),
+                    const_driver(Value::Bool(true)),
+                    BindingTime::Runtime,
+                    u64::from(round),
+                )
+                .unwrap();
+            }
+            peak_attr_keys = peak_attr_keys.max(reg.indexes.attribute_key_count());
+            if round % 100 == 0 {
+                reg.indexes
+                    .mirrors(
+                        reg.entities.iter().map(|(id, rec)| {
+                            (id, rec.info.device_type.as_str(), &rec.info.attributes)
+                        }),
+                    )
+                    .expect("indexes mirror live bindings");
+            }
+        }
+        reg.indexes
+            .mirrors(
+                reg.entities
+                    .iter()
+                    .map(|(id, rec)| (id, rec.info.device_type.as_str(), &rec.info.attributes)),
+            )
+            .expect("indexes mirror live bindings after churn");
+        // Key space is bounded by the live combination count, not by the
+        // churn volume: 3 types x 4 zones = 12 possible attribute keys.
+        assert!(
+            peak_attr_keys <= types.len() * zones.len(),
+            "attribute keys leaked under churn: peak {peak_attr_keys}"
+        );
+        assert!(reg.indexes.type_key_count() <= types.len());
+        // Discovery still agrees with a full scan of the live bindings.
+        let discovered = reg.discover("DisplayPanel").count();
+        let scanned = reg
+            .entities
+            .values()
+            .filter(|rec| rec.info.device_type == "ParkingEntrancePanel")
+            .count();
+        assert_eq!(discovered, scanned);
     }
 }

@@ -206,6 +206,35 @@ impl Value {
             _ => false,
         }
     }
+
+    /// Estimated in-memory footprint of this value in bytes, counting the
+    /// enum discriminant plus every transitively owned heap allocation.
+    ///
+    /// Used by the fan-out experiment (E18) to account for how many bytes
+    /// a deep copy of a payload would move, versus the pointer-sized
+    /// [`Payload`](crate::payload::Payload) clone the delivery pipeline
+    /// performs.
+    #[must_use]
+    pub fn deep_size(&self) -> u64 {
+        let inline = std::mem::size_of::<Value>() as u64;
+        let heap = match self {
+            Value::Int(_) | Value::Float(_) | Value::Bool(_) => 0,
+            Value::Str(s) => s.capacity() as u64,
+            Value::Enum {
+                enumeration,
+                variant,
+            } => (enumeration.capacity() + variant.capacity()) as u64,
+            Value::Struct { structure, fields } => {
+                structure.capacity() as u64
+                    + fields
+                        .iter()
+                        .map(|(name, value)| name.capacity() as u64 + value.deep_size())
+                        .sum::<u64>()
+            }
+            Value::Array(items) => items.iter().map(Value::deep_size).sum(),
+        };
+        inline + heap
+    }
 }
 
 /// Conversion between Rust types and dynamic [`Value`]s.
