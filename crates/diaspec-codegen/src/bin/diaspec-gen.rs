@@ -4,18 +4,44 @@
 //!
 //! ```text
 //! diaspec-gen <SPEC.spec> --language rust|java --out <DIR> [--report]
+//! diaspec-gen lint <SPEC.spec>... [--format json|sarif] [--deny warnings]
+//!                  [--allow CODE] [--warn CODE] [--deny CODE]
+//!                  [--fleet N] [--capacity]
 //! ```
 //!
 //! Compiles a DiaSpec design and writes the generated programming
 //! framework into `<DIR>` (Rust: a single `framework.rs`; Java: one file
 //! per class). With `--report`, prints a JSON generation report (file
 //! list, generated LoC, abstract-method count) to stdout.
+//!
+//! The `lint` subcommand runs the checker plus every whole-design
+//! analysis pass (actuation conflicts, feedback loops, reachability,
+//! rate propagation) and exits non-zero when any diagnostic ends up
+//! error-severity after the level flags are applied.
 
+use diaspec_codegen::lint::{lint_source, LintFormat, LintLevel, LintOptions};
 use diaspec_codegen::{generate_java, generate_rust, metrics};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("lint") {
+        args.next();
+        return match run_lint(args) {
+            Ok(failed) => {
+                if failed {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(message) => {
+                eprintln!("diaspec-gen: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -23,6 +49,81 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses lint flags, lints every given spec, prints the outcome, and
+/// returns whether any file failed.
+fn run_lint(mut args: impl Iterator<Item = String>) -> Result<bool, String> {
+    let mut options = LintOptions::default();
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                options.format = match args.next().as_deref() {
+                    Some("human") => LintFormat::Human,
+                    Some("json") => LintFormat::Json,
+                    Some("sarif") => LintFormat::Sarif,
+                    Some(other) => {
+                        return Err(format!(
+                            "unknown format `{other}` (expected human, json, or sarif)"
+                        ))
+                    }
+                    None => return Err("--format needs a value".to_owned()),
+                };
+            }
+            "--deny" => match args.next() {
+                Some(value) if value == "warnings" => options.deny_warnings = true,
+                Some(code) => {
+                    options.levels.insert(code, LintLevel::Deny);
+                }
+                None => return Err("--deny needs `warnings` or a code".to_owned()),
+            },
+            "--allow" => {
+                let code = args.next().ok_or("--allow needs a diagnostic code")?;
+                options.levels.insert(code, LintLevel::Allow);
+            }
+            "--warn" => {
+                let code = args.next().ok_or("--warn needs a diagnostic code")?;
+                options.levels.insert(code, LintLevel::Warn);
+            }
+            "--fleet" => {
+                let value = args.next().ok_or("--fleet needs a device count")?;
+                options.fleet_size = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--fleet needs an integer, got `{value}`"))?,
+                );
+            }
+            "--capacity" => options.capacity = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: diaspec-gen lint <SPEC.spec>... [--format human|json|sarif] \
+                     [--deny warnings] [--allow CODE] [--warn CODE] [--deny CODE] \
+                     [--fleet N] [--capacity]"
+                );
+                return Ok(false);
+            }
+            other if !other.starts_with('-') => files.push(PathBuf::from(other)),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if files.is_empty() {
+        return Err("lint needs at least one <SPEC.spec> argument".to_owned());
+    }
+
+    let mut failed = false;
+    for path in &files {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let outcome = lint_source(&path.display().to_string(), &source, &options);
+        print!("{}", outcome.rendered);
+        if !outcome.rendered.ends_with('\n') {
+            println!();
+        }
+        failed |= outcome.failed();
+    }
+    Ok(failed)
 }
 
 fn run() -> Result<(), String> {

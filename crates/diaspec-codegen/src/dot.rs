@@ -7,7 +7,9 @@
 //! checked specification: render with `dot -Tsvg` to reproduce the
 //! figures for any design.
 
+use diaspec_core::analysis::{analyze, LoopKind};
 use diaspec_core::model::{ActivationTrigger, CheckedSpec, InputRef, Subscriber};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 /// Escapes a string for use inside a double-quoted DOT id.
@@ -23,6 +25,12 @@ fn quote(s: &str) -> String {
 ///   are labeled with their period.
 /// - Dashed edges: query-driven reads (`get` clauses), the paper's loop
 ///   arrows.
+///
+/// Static-analysis findings are drawn into the view: `do` edges involved
+/// in an actuation conflict are red and bold; `do` edges that close an
+/// environment feedback loop are orange, with a dotted return edge from
+/// the actuated action back to the sensing source that re-enters the
+/// design.
 ///
 /// # Examples
 ///
@@ -43,6 +51,33 @@ fn quote(s: &str) -> String {
 /// ```
 #[must_use]
 pub fn generate_dot(spec: &CheckedSpec, title: &str) -> String {
+    // Overlay data from the static analyzer: which `do` edges conflict,
+    // which close environment loops, and where those loops re-enter.
+    let report = analyze(spec);
+    let mut conflict_edges: BTreeSet<(String, String, String)> = BTreeSet::new();
+    for conflict in &report.conflicts {
+        for site in [&conflict.first, &conflict.second] {
+            conflict_edges.insert((
+                site.controller.clone(),
+                site.device.clone(),
+                site.action.clone(),
+            ));
+        }
+    }
+    let mut loop_edges: BTreeMap<(String, String, String), LoopKind> = BTreeMap::new();
+    let mut env_edges: BTreeSet<(String, String, String, String)> = BTreeSet::new();
+    for lp in &report.loops {
+        loop_edges
+            .entry((lp.controller.clone(), lp.device.clone(), lp.action.clone()))
+            .or_insert(lp.kind);
+        env_edges.insert((
+            lp.device.clone(),
+            lp.action.clone(),
+            source_owner(spec, &lp.feedback_device, &lp.source).to_owned(),
+            lp.source.clone(),
+        ));
+    }
+
     let mut out = String::new();
     let _ = writeln!(out, "digraph {} {{", quote(title));
     let _ = writeln!(out, "    rankdir=LR;");
@@ -202,14 +237,36 @@ pub fn generate_dot(spec: &CheckedSpec, title: &str) -> String {
     for ctrl in spec.controllers() {
         for binding in &ctrl.bindings {
             for (action, device) in &binding.actions {
+                let key = (ctrl.name.clone(), device.clone(), action.clone());
+                let attrs = if conflict_edges.contains(&key) {
+                    " [color=red, penwidth=2, tooltip=\"actuation conflict\"]"
+                } else {
+                    match loop_edges.get(&key) {
+                        Some(LoopKind::Event) => {
+                            " [color=orange, penwidth=2, tooltip=\"feedback loop\"]"
+                        }
+                        Some(LoopKind::Query) => " [color=orange, tooltip=\"feedback loop (get)\"]",
+                        None => "",
+                    }
+                };
                 let _ = writeln!(
                     out,
-                    "    {} -> {};",
+                    "    {} -> {}{attrs};",
                     quote(&format!("ctl:{}", ctrl.name)),
                     quote(&format!("act:{device}.{action}"))
                 );
             }
         }
+    }
+    // Environment return edges of detected feedback loops: the physical
+    // coupling from an actuated device back into a sensed source.
+    for (device, action, owner, source) in &env_edges {
+        let _ = writeln!(
+            out,
+            "    {} -> {} [style=dotted, color=orange, label=\"environment\", constraint=false];",
+            quote(&format!("act:{device}.{action}")),
+            quote(&format!("src:{owner}.{source}"))
+        );
     }
     out.push_str("}\n");
     out
@@ -335,6 +392,51 @@ mod tests {
         let dot = generate_dot(&spec, "weird \"title\"");
         assert_eq!(dot.matches('{').count(), dot.matches('}').count(), "{dot}");
         assert!(dot.contains("weird \\\"title\\\""));
+    }
+
+    #[test]
+    fn conflicting_do_edges_are_highlighted() {
+        let spec = compile_str(
+            r#"
+            device Probe { source v as Integer; }
+            device Valve { action close; }
+            context Hot as Integer { when provided v from Probe always publish; }
+            controller A { when provided Hot do close on Valve; }
+            controller B { when provided Hot do close on Valve; }
+            "#,
+        )
+        .unwrap();
+        let dot = generate_dot(&spec, "conflict");
+        assert!(
+            dot.contains("\"ctl:A\" -> \"act:Valve.close\" [color=red"),
+            "{dot}"
+        );
+        assert!(
+            dot.contains("\"ctl:B\" -> \"act:Valve.close\" [color=red"),
+            "{dot}"
+        );
+    }
+
+    #[test]
+    fn feedback_loops_get_environment_return_edges() {
+        let spec = compile_str(COOKER).unwrap();
+        let dot = generate_dot(&spec, "cooker");
+        // TurnOff closes a query-driven loop through Cooker.consumption.
+        assert!(
+            dot.contains("\"ctl:TurnOff\" -> \"act:Cooker.Off\" [color=orange"),
+            "{dot}"
+        );
+        assert!(
+            dot.contains(
+                "\"act:Cooker.Off\" -> \"src:Cooker.consumption\" [style=dotted, color=orange"
+            ),
+            "{dot}"
+        );
+        // Notify does not loop: TvPrompter answers never reach Alert.
+        assert!(
+            dot.contains("\"ctl:Notify\" -> \"act:TvPrompter.askQuestion\";"),
+            "{dot}"
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@
 pub mod dot;
 mod emitter;
 pub mod java;
+pub mod lint;
 pub mod metrics;
 pub mod naming;
 pub mod rust;

@@ -1,0 +1,472 @@
+//! The `lint` driver: whole-design diagnostics with configurable levels
+//! and machine-readable output.
+//!
+//! Linting a specification runs the full pipeline — parse, check, and
+//! every [`diaspec_core::analysis`] pass — and renders the combined
+//! diagnostics one of three ways:
+//!
+//! - **human** — source-line + caret rendering (the compiler style);
+//! - **json** — a stable object per diagnostic for scripting;
+//! - **sarif** — a SARIF 2.1.0 log for code-scanning UIs.
+//!
+//! Severities are policy, not fact: `--deny warnings` promotes every
+//! warning to an error, and per-code overrides (`--allow W0403`,
+//! `--deny W0401`, `--warn E0401`) pick individual rules out, with the
+//! per-code setting winning over the blanket flag — the same layering as
+//! `rustc -D warnings -A some_lint`.
+
+use diaspec_core::analysis::{analyze_with, AnalysisOptions};
+use diaspec_core::diag::{Diagnostic, Severity};
+use diaspec_core::span::{SourceMap, Span};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Effective level for one diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Drop the diagnostic entirely.
+    Allow,
+    /// Report as a warning (does not fail the lint).
+    Warn,
+    /// Report as an error (fails the lint).
+    Deny,
+}
+
+/// Output format of [`lint_source`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintFormat {
+    /// Caret diagnostics for terminals.
+    #[default]
+    Human,
+    /// One JSON object for the whole run.
+    Json,
+    /// A SARIF 2.1.0 log.
+    Sarif,
+}
+
+/// Configuration of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Output format.
+    pub format: LintFormat,
+    /// Promote all warnings without a per-code override to errors.
+    pub deny_warnings: bool,
+    /// Per-code overrides; these win over `deny_warnings`.
+    pub levels: BTreeMap<String, LintLevel>,
+    /// Fleet-size hypothesis forwarded to the capacity report.
+    pub fleet_size: Option<u64>,
+    /// Append the static capacity report to human output.
+    pub capacity: bool,
+}
+
+/// The result of linting one specification.
+#[derive(Debug, Clone)]
+pub struct LintOutcome {
+    /// The formatted output, ready to print.
+    pub rendered: String,
+    /// Diagnostics that ended up error-severity after level mapping.
+    pub errors: usize,
+    /// Diagnostics that ended up warning-severity.
+    pub warnings: usize,
+}
+
+impl LintOutcome {
+    /// Whether the lint should exit non-zero.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.errors > 0
+    }
+}
+
+/// Lints `source` (read from `file`, used for reporting only) and
+/// renders the outcome according to `options`.
+///
+/// Parse or check *errors* short-circuit the analysis passes (there is
+/// no model to analyze) but still render in the requested format, so a
+/// SARIF consumer sees broken designs too.
+#[must_use]
+pub fn lint_source(file: &str, source: &str, options: &LintOptions) -> LintOutcome {
+    let map = SourceMap::new(source);
+    let analysis_options = AnalysisOptions {
+        fleet_size: options
+            .fleet_size
+            .unwrap_or(AnalysisOptions::default().fleet_size),
+    };
+    let (raw, capacity) = match diaspec_core::compile_str_with_warnings(source) {
+        Ok((spec, warnings)) => {
+            let report = analyze_with(&spec, &analysis_options);
+            let mut diags: Vec<Diagnostic> = warnings.iter().cloned().collect();
+            diags.extend(report.diagnostics.iter().cloned());
+            (diags, Some(report.capacity))
+        }
+        Err(error) => (error.diagnostics().iter().cloned().collect(), None),
+    };
+
+    // Severity policy: per-code override, else the blanket flag.
+    let mut kept: Vec<Diagnostic> = Vec::new();
+    for mut diag in raw {
+        match options.levels.get(diag.code) {
+            Some(LintLevel::Allow) => continue,
+            Some(LintLevel::Warn) => diag.severity = Severity::Warning,
+            Some(LintLevel::Deny) => diag.severity = Severity::Error,
+            None => {
+                if options.deny_warnings && diag.severity == Severity::Warning {
+                    diag.severity = Severity::Error;
+                }
+            }
+        }
+        kept.push(diag);
+    }
+    let errors = kept
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = kept.len() - errors;
+
+    let rendered = match options.format {
+        LintFormat::Human => {
+            let mut out = String::new();
+            for diag in &kept {
+                out.push_str(&diag.render(&map));
+                out.push('\n');
+            }
+            let _ = writeln!(out, "{file}: {errors} error(s), {warnings} warning(s)");
+            if options.capacity {
+                if let Some(capacity) = &capacity {
+                    let _ = writeln!(out, "{capacity}");
+                }
+            }
+            out
+        }
+        LintFormat::Json => {
+            serde_json::to_string_pretty(&json_log(file, &map, &kept, errors, warnings))
+                .expect("lint JSON serializes")
+        }
+        LintFormat::Sarif => serde_json::to_string_pretty(&sarif_log(file, &map, &kept))
+            .expect("lint SARIF serializes"),
+    };
+
+    LintOutcome {
+        rendered,
+        errors,
+        warnings,
+    }
+}
+
+fn severity_str(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    }
+}
+
+/// A `{line, column, endLine, endColumn}` fragment for a span.
+fn region(map: &SourceMap, span: Span) -> Vec<(String, Value)> {
+    let start = map.line_col(span.start);
+    let end = map.line_col(span.end);
+    vec![
+        ("startLine".to_owned(), Value::UInt(u64::from(start.line))),
+        ("startColumn".to_owned(), Value::UInt(u64::from(start.col))),
+        ("endLine".to_owned(), Value::UInt(u64::from(end.line))),
+        ("endColumn".to_owned(), Value::UInt(u64::from(end.col))),
+    ]
+}
+
+fn json_log(
+    file: &str,
+    map: &SourceMap,
+    diags: &[Diagnostic],
+    errors: usize,
+    warnings: usize,
+) -> Value {
+    let items: Vec<Value> = diags
+        .iter()
+        .map(|diag| {
+            let pos = map.line_col(diag.span.start);
+            let notes: Vec<Value> = diag
+                .notes
+                .iter()
+                .map(|(message, span)| {
+                    let mut entries = vec![("message".to_owned(), Value::String(message.clone()))];
+                    if let Some(span) = span {
+                        let pos = map.line_col(span.start);
+                        entries.push(("line".to_owned(), Value::UInt(u64::from(pos.line))));
+                        entries.push(("column".to_owned(), Value::UInt(u64::from(pos.col))));
+                    }
+                    Value::Object(entries)
+                })
+                .collect();
+            Value::Object(vec![
+                ("code".to_owned(), Value::String(diag.code.to_owned())),
+                (
+                    "level".to_owned(),
+                    Value::String(severity_str(diag.severity).to_owned()),
+                ),
+                ("message".to_owned(), Value::String(diag.message.clone())),
+                ("line".to_owned(), Value::UInt(u64::from(pos.line))),
+                ("column".to_owned(), Value::UInt(u64::from(pos.col))),
+                ("notes".to_owned(), Value::Array(notes)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("file".to_owned(), Value::String(file.to_owned())),
+        ("errors".to_owned(), Value::UInt(errors as u64)),
+        ("warnings".to_owned(), Value::UInt(warnings as u64)),
+        ("diagnostics".to_owned(), Value::Array(items)),
+    ])
+}
+
+/// Builds a minimal but valid SARIF 2.1.0 log: one run, one rule entry
+/// per distinct code, one result per diagnostic (notes become related
+/// locations' messages inline).
+fn sarif_log(file: &str, map: &SourceMap, diags: &[Diagnostic]) -> Value {
+    let mut rule_ids: Vec<&str> = diags.iter().map(|d| d.code).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+    let rules: Vec<Value> = rule_ids
+        .iter()
+        .map(|id| Value::Object(vec![("id".to_owned(), Value::String((*id).to_owned()))]))
+        .collect();
+
+    let results: Vec<Value> = diags
+        .iter()
+        .map(|diag| {
+            // Fold the notes into the message text: SARIF viewers always
+            // show message.text, while relatedLocations support varies.
+            let mut text = diag.message.clone();
+            for (note, _) in &diag.notes {
+                text.push_str("\nnote: ");
+                text.push_str(note);
+            }
+            let location = Value::Object(vec![(
+                "physicalLocation".to_owned(),
+                Value::Object(vec![
+                    (
+                        "artifactLocation".to_owned(),
+                        Value::Object(vec![("uri".to_owned(), Value::String(file.to_owned()))]),
+                    ),
+                    ("region".to_owned(), Value::Object(region(map, diag.span))),
+                ]),
+            )]);
+            Value::Object(vec![
+                ("ruleId".to_owned(), Value::String(diag.code.to_owned())),
+                (
+                    "level".to_owned(),
+                    Value::String(severity_str(diag.severity).to_owned()),
+                ),
+                (
+                    "message".to_owned(),
+                    Value::Object(vec![("text".to_owned(), Value::String(text))]),
+                ),
+                ("locations".to_owned(), Value::Array(vec![location])),
+            ])
+        })
+        .collect();
+
+    Value::Object(vec![
+        (
+            "$schema".to_owned(),
+            Value::String("https://json.schemastore.org/sarif-2.1.0.json".to_owned()),
+        ),
+        ("version".to_owned(), Value::String("2.1.0".to_owned())),
+        (
+            "runs".to_owned(),
+            Value::Array(vec![Value::Object(vec![
+                (
+                    "tool".to_owned(),
+                    Value::Object(vec![(
+                        "driver".to_owned(),
+                        Value::Object(vec![
+                            ("name".to_owned(), Value::String("diaspec-lint".to_owned())),
+                            (
+                                "informationUri".to_owned(),
+                                Value::String("https://github.com/diaspec/diaspec".to_owned()),
+                            ),
+                            ("rules".to_owned(), Value::Array(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results".to_owned(), Value::Array(results)),
+            ])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CONFLICT: &str = r#"
+        device Probe { source v as Integer; }
+        device Valve { action close; }
+        context Hot as Integer { when provided v from Probe always publish; }
+        controller A { when provided Hot do close on Valve; }
+        controller B { when provided Hot do close on Valve; }
+    "#;
+
+    const LOOPY: &str = r#"
+        device Heater { source temperature as Float; action heat; }
+        context Cold as Float { when provided temperature from Heater always publish; }
+        controller Thermostat { when provided Cold do heat on Heater; }
+    "#;
+
+    #[test]
+    fn human_output_renders_carets_and_summary() {
+        let outcome = lint_source("x.spec", CONFLICT, &LintOptions::default());
+        assert_eq!(outcome.errors, 1);
+        assert!(outcome.failed());
+        assert!(outcome.rendered.contains("error[E0401]"));
+        assert!(outcome.rendered.contains("^"), "{}", outcome.rendered);
+        assert!(outcome
+            .rendered
+            .contains("x.spec: 1 error(s), 0 warning(s)"));
+    }
+
+    #[test]
+    fn deny_warnings_promotes() {
+        let outcome = lint_source(
+            "x.spec",
+            LOOPY,
+            &LintOptions {
+                deny_warnings: true,
+                ..LintOptions::default()
+            },
+        );
+        assert!(outcome.failed());
+        assert!(outcome.rendered.contains("error[W0402]"));
+    }
+
+    #[test]
+    fn per_code_override_wins_over_blanket() {
+        let mut levels = BTreeMap::new();
+        levels.insert("W0402".to_owned(), LintLevel::Warn);
+        let outcome = lint_source(
+            "x.spec",
+            LOOPY,
+            &LintOptions {
+                deny_warnings: true,
+                levels,
+                ..LintOptions::default()
+            },
+        );
+        assert!(!outcome.failed());
+        assert_eq!(outcome.warnings, 1);
+    }
+
+    #[test]
+    fn allow_drops_the_diagnostic() {
+        let mut levels = BTreeMap::new();
+        levels.insert("W0402".to_owned(), LintLevel::Allow);
+        let outcome = lint_source(
+            "x.spec",
+            LOOPY,
+            &LintOptions {
+                levels,
+                ..LintOptions::default()
+            },
+        );
+        assert_eq!(outcome.errors + outcome.warnings, 0);
+        assert!(!outcome.failed());
+    }
+
+    #[test]
+    fn json_format_is_parseable_and_located() {
+        let outcome = lint_source(
+            "x.spec",
+            CONFLICT,
+            &LintOptions {
+                format: LintFormat::Json,
+                ..LintOptions::default()
+            },
+        );
+        let value: Value = serde_json::from_str(&outcome.rendered).unwrap();
+        assert_eq!(value.get("file").and_then(Value::as_str), Some("x.spec"));
+        assert_eq!(value.get("errors").and_then(Value::as_u64), Some(1));
+        let diags = value.get("diagnostics").and_then(Value::as_array).unwrap();
+        assert_eq!(diags[0].get("code").and_then(Value::as_str), Some("E0401"));
+        // The span points at the first `do` clause, not 1:1.
+        assert!(diags[0].get("line").and_then(Value::as_u64).unwrap() > 1);
+    }
+
+    #[test]
+    fn sarif_log_has_required_shape() {
+        let outcome = lint_source(
+            "x.spec",
+            CONFLICT,
+            &LintOptions {
+                format: LintFormat::Sarif,
+                ..LintOptions::default()
+            },
+        );
+        let value: Value = serde_json::from_str(&outcome.rendered).unwrap();
+        assert_eq!(value.get("version").and_then(Value::as_str), Some("2.1.0"));
+        assert!(value
+            .get("$schema")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("sarif-2.1.0"));
+        let run = &value.get("runs").and_then(Value::as_array).unwrap()[0];
+        let driver = run.get("tool").and_then(|t| t.get("driver")).unwrap();
+        assert_eq!(
+            driver.get("name").and_then(Value::as_str),
+            Some("diaspec-lint")
+        );
+        let results = run.get("results").and_then(Value::as_array).unwrap();
+        let result = &results[0];
+        assert_eq!(result.get("ruleId").and_then(Value::as_str), Some("E0401"));
+        assert_eq!(result.get("level").and_then(Value::as_str), Some("error"));
+        let region = result.get("locations").and_then(Value::as_array).unwrap()[0]
+            .get("physicalLocation")
+            .and_then(|l| l.get("region"))
+            .unwrap();
+        assert!(region.get("startLine").and_then(Value::as_u64).unwrap() > 1);
+        // Provenance chains ride along in the message text.
+        let text = result
+            .get("message")
+            .and_then(|m| m.get("text"))
+            .and_then(Value::as_str)
+            .unwrap();
+        assert!(text.contains("actuation chain"), "{text}");
+    }
+
+    #[test]
+    fn broken_specs_still_render_in_sarif() {
+        let outcome = lint_source(
+            "x.spec",
+            "device { }",
+            &LintOptions {
+                format: LintFormat::Sarif,
+                ..LintOptions::default()
+            },
+        );
+        assert!(outcome.failed());
+        let value: Value = serde_json::from_str(&outcome.rendered).unwrap();
+        assert!(!value.get("runs").and_then(Value::as_array).unwrap()[0]
+            .get("results")
+            .and_then(Value::as_array)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn capacity_report_appended_on_request() {
+        let outcome = lint_source(
+            "x.spec",
+            r#"
+            device Meter { source reading as Float; }
+            device K { action a; }
+            context Usage as Float { when periodic reading from Meter <1 min> always publish; }
+            controller Out { when provided Usage do a on K; }
+            "#,
+            &LintOptions {
+                capacity: true,
+                fleet_size: Some(100),
+                ..LintOptions::default()
+            },
+        );
+        assert!(outcome.rendered.contains("capacity report"));
+        assert!(outcome.rendered.contains("fleet hypothesis: 100"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Pass 2: actuation-conflict detection (E0401 / W0401).
+//!
+//! Two `do` clauses conflict when they perform the *same action* on
+//! *overlapping device sets* — in a tree-shaped `extends` taxonomy, two
+//! device families overlap exactly when one root is a subtype of the
+//! other. The severity depends on the coupling of the two clauses:
+//!
+//! - **E0401** — both clauses are triggered by the *same context*, so a
+//!   single publication is guaranteed to actuate the shared devices
+//!   twice. This is a design error: the effects race with no ordering.
+//! - **W0401** — the clauses sit on *distinct trigger chains*. Whether
+//!   the double actuation happens depends on runtime timing, so the
+//!   analyzer reports it as a warning with both provenance chains.
+
+use crate::chains::{functional_chains, ChainStep, FunctionalChain};
+use crate::diag::{Diagnostic, Diagnostics};
+use crate::model::CheckedSpec;
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+
+use super::graph::{families_overlap, family_intersection};
+
+/// One `do` clause, located precisely enough to report a conflict.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActuationSite {
+    /// The controller performing the actuation.
+    pub controller: String,
+    /// The context whose publication triggers the binding.
+    pub trigger_context: String,
+    /// Action name.
+    pub action: String,
+    /// Declared target device (names its whole `extends` family).
+    pub device: String,
+    /// Span of the `do ... on ...` clause.
+    pub span: Span,
+    /// A full sensing-to-actuation provenance chain ending at this site,
+    /// rendered as `Device.source -> [Ctx] -> (Ctrl) -> Device.action()`.
+    pub chain: Option<String>,
+}
+
+/// A pair of `do` clauses performing the same action on overlapping
+/// device sets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActuationConflict {
+    /// First site, in (controller, binding, clause) declaration order.
+    pub first: ActuationSite,
+    /// Second site.
+    pub second: ActuationSite,
+    /// Devices actuated by *both* clauses (the family intersection).
+    pub shared_devices: Vec<String>,
+    /// Whether both clauses fire from the same context publication
+    /// (guaranteed double actuation, E0401) rather than from distinct
+    /// trigger chains (W0401).
+    pub same_trigger: bool,
+}
+
+impl ActuationConflict {
+    /// The diagnostic code this conflict reports under.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        if self.same_trigger {
+            "E0401"
+        } else {
+            "W0401"
+        }
+    }
+}
+
+/// Detects actuation conflicts and reports them into `diags`.
+pub(crate) fn detect(spec: &CheckedSpec, diags: &mut Diagnostics) -> Vec<ActuationConflict> {
+    let chains = functional_chains(spec);
+    let mut sites = Vec::new();
+    for ctrl in spec.controllers() {
+        for binding in &ctrl.bindings {
+            for (index, (action, device)) in binding.actions.iter().enumerate() {
+                sites.push(ActuationSite {
+                    controller: ctrl.name.clone(),
+                    trigger_context: binding.context.clone(),
+                    action: action.clone(),
+                    device: device.clone(),
+                    span: binding.action_span(index),
+                    chain: provenance(&chains, &ctrl.name, &binding.context, action, device),
+                });
+            }
+        }
+    }
+
+    let mut conflicts = Vec::new();
+    for (i, first) in sites.iter().enumerate() {
+        for second in &sites[i + 1..] {
+            if first.action != second.action
+                || !families_overlap(spec, &first.device, &second.device)
+            {
+                continue;
+            }
+            let conflict = ActuationConflict {
+                first: first.clone(),
+                second: second.clone(),
+                shared_devices: family_intersection(spec, &first.device, &second.device)
+                    .into_iter()
+                    .map(str::to_owned)
+                    .collect(),
+                same_trigger: first.trigger_context == second.trigger_context,
+            };
+            diags.push(render(&conflict));
+            conflicts.push(conflict);
+        }
+    }
+    conflicts
+}
+
+/// The first functional chain ending in `... -> [trigger] -> (controller)
+/// -> device.action()`, rendered for provenance.
+fn provenance(
+    chains: &[FunctionalChain],
+    controller: &str,
+    trigger: &str,
+    action: &str,
+    device: &str,
+) -> Option<String> {
+    chains
+        .iter()
+        .find(|chain| {
+            let steps = &chain.steps;
+            let n = steps.len();
+            n >= 3
+                && steps[n - 1]
+                    == ChainStep::Action {
+                        device: device.to_owned(),
+                        action: action.to_owned(),
+                    }
+                && steps[n - 2] == ChainStep::Controller(controller.to_owned())
+                && steps[n - 3] == ChainStep::Context(trigger.to_owned())
+        })
+        .map(ToString::to_string)
+}
+
+fn render(conflict: &ActuationConflict) -> Diagnostic {
+    let (first, second) = (&conflict.first, &conflict.second);
+    let shared = conflict.shared_devices.join("`, `");
+    let heading = if first.controller == second.controller {
+        format!(
+            "controller `{}` performs `{}` twice on overlapping devices (`{shared}`)",
+            first.controller, first.action
+        )
+    } else {
+        format!(
+            "controllers `{}` and `{}` both perform `{}` on overlapping devices (`{shared}`)",
+            first.controller, second.controller, first.action
+        )
+    };
+    let mut diag = if conflict.same_trigger {
+        Diagnostic::error(
+            "E0401",
+            format!(
+                "{heading}: both `do` clauses fire on every publication of `{}`, guaranteeing a duplicate actuation",
+                first.trigger_context
+            ),
+            first.span,
+        )
+    } else {
+        Diagnostic::warning(
+            "W0401",
+            format!(
+                "{heading} via distinct trigger chains (`{}` and `{}`)",
+                first.trigger_context, second.trigger_context
+            ),
+            first.span,
+        )
+    };
+    diag = diag.with_note(
+        format!(
+            "conflicting `do` clause in controller `{}` here",
+            second.controller
+        ),
+        Some(second.span),
+    );
+    if let Some(chain) = &first.chain {
+        diag = diag.with_note(format!("first actuation chain: {chain}"), None);
+    }
+    if let Some(chain) = &second.chain {
+        diag = diag.with_note(format!("second actuation chain: {chain}"), None);
+    }
+    diag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_str;
+
+    fn analyze(src: &str) -> (Vec<ActuationConflict>, Diagnostics) {
+        let spec = compile_str(src).unwrap();
+        let mut diags = Diagnostics::new();
+        let conflicts = detect(&spec, &mut diags);
+        (conflicts, diags)
+    }
+
+    #[test]
+    fn same_trigger_is_an_error() {
+        let (conflicts, diags) = analyze(
+            r#"
+            device Probe { source v as Integer; }
+            device Valve { action close; }
+            context Hot as Integer { when provided v from Probe always publish; }
+            controller A { when provided Hot do close on Valve; }
+            controller B { when provided Hot do close on Valve; }
+            "#,
+        );
+        assert_eq!(conflicts.len(), 1);
+        assert!(conflicts[0].same_trigger);
+        assert_eq!(conflicts[0].code(), "E0401");
+        assert_eq!(conflicts[0].shared_devices, vec!["Valve"]);
+        let diag = diags.find("E0401").unwrap();
+        assert!(diag.message.contains("`A`") && diag.message.contains("`B`"));
+        // Both provenance chains ride along as notes.
+        assert!(diag
+            .notes
+            .iter()
+            .any(|(n, _)| n.contains("first actuation chain")));
+        assert!(diag
+            .notes
+            .iter()
+            .any(|(n, _)| n.contains("second actuation chain")));
+    }
+
+    #[test]
+    fn distinct_chains_warn_with_subtype_overlap() {
+        let (conflicts, diags) = analyze(
+            r#"
+            device Probe { source v as Integer; source w as Integer; }
+            device Lamp { action lit; }
+            device HallLamp extends Lamp { attribute hall as String; }
+            context X as Integer { when provided v from Probe always publish; }
+            context Y as Integer { when provided w from Probe always publish; }
+            controller A { when provided X do lit on Lamp; }
+            controller B { when provided Y do lit on HallLamp; }
+            "#,
+        );
+        assert_eq!(conflicts.len(), 1);
+        assert!(!conflicts[0].same_trigger);
+        assert_eq!(conflicts[0].code(), "W0401");
+        assert_eq!(conflicts[0].shared_devices, vec!["HallLamp"]);
+        assert!(diags.find("E0401").is_none());
+    }
+
+    #[test]
+    fn disjoint_siblings_do_not_conflict() {
+        let (conflicts, diags) = analyze(
+            r#"
+            device Probe { source v as Integer; }
+            device Lamp { action lit; }
+            device HallLamp extends Lamp { attribute hall as String; }
+            device YardLamp extends Lamp { attribute yard as String; }
+            context X as Integer { when provided v from Probe always publish; }
+            controller A { when provided X do lit on HallLamp; }
+            controller B { when provided X do lit on YardLamp; }
+            "#,
+        );
+        assert!(conflicts.is_empty());
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn different_actions_do_not_conflict() {
+        let (conflicts, _) = analyze(
+            r#"
+            device Probe { source v as Integer; }
+            device Lamp { action lit; action dark; }
+            context X as Integer { when provided v from Probe always publish; }
+            controller A { when provided X do lit on Lamp; }
+            controller B { when provided X do dark on Lamp; }
+            "#,
+        );
+        assert!(conflicts.is_empty());
+    }
+
+    #[test]
+    fn duplicate_clause_within_one_binding() {
+        let (conflicts, diags) = analyze(
+            r#"
+            device Probe { source v as Integer; }
+            device Horn { action honk; }
+            context X as Integer { when provided v from Probe always publish; }
+            controller A { when provided X do honk on Horn do honk on Horn; }
+            "#,
+        );
+        assert_eq!(conflicts.len(), 1);
+        assert!(conflicts[0].same_trigger);
+        let diag = diags.find("E0401").unwrap();
+        assert!(diag.message.contains("performs `honk` twice"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Whole-design static analysis over a [`CheckedSpec`].
+//!
+//! Where [`check`](crate::check) validates declarations one at a time,
+//! this module reasons about the *composition*: what happens when every
+//! declared interaction contract runs against a shared environment. The
+//! paper's promise that an orchestration design is "verifiable before
+//! deployment" lives here. Four passes share one dataflow graph:
+//!
+//! 1. [`graph`] — builds the Sense-Compute-Control dataflow graph with
+//!    attribute-refined device sets;
+//! 2. [`conflicts`] — actuation-conflict detection;
+//! 3. [`loops`] — environment feedback-loop detection;
+//! 4. [`reach`] / [`rates`] — reachability, rate propagation, and the
+//!    static capacity report.
+//!
+//! Every finding carries a stable diagnostic code, continuing the
+//! checker's numbering into the 04xx block:
+//!
+//! | Code | Rule |
+//! |------|------|
+//! | E0401 | guaranteed duplicate actuation from a single publication |
+//! | W0401 | actuation conflict via distinct trigger chains |
+//! | W0402 | event-driven environment feedback loop |
+//! | W0403 | feedback loop closed only through `get` reads |
+//! | W0404 | aggregation window shorter than the delivery period |
+//! | W0405 | unreachable context or controller |
+//! | W0406 | dead device: family never sensed nor actuated |
+//!
+//! # Examples
+//!
+//! ```
+//! use diaspec_core::{compile_str, analysis::analyze};
+//!
+//! let spec = compile_str(r#"
+//!     device Heater { source temperature as Float; action heat; }
+//!     context Cold as Float { when provided temperature from Heater always publish; }
+//!     controller Thermostat { when provided Cold do heat on Heater; }
+//! "#)?;
+//! let report = analyze(&spec);
+//! // Heating changes the temperature the trigger context senses:
+//! assert!(report.diagnostics.find("W0402").is_some());
+//! assert!(report.conflict_free());
+//! # Ok::<(), diaspec_core::diag::CompileError>(())
+//! ```
+
+pub mod conflicts;
+pub mod graph;
+pub mod loops;
+pub mod rates;
+pub mod reach;
+
+pub use conflicts::{ActuationConflict, ActuationSite};
+pub use graph::DesignGraph;
+pub use loops::{FeedbackLoop, LoopKind};
+pub use rates::{CapacityReport, EdgeCapacity};
+pub use reach::Reachability;
+
+use crate::diag::Diagnostics;
+use crate::model::CheckedSpec;
+
+/// Tuning knobs for [`analyze_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Fleet-size hypothesis for the capacity report: how many deployed
+    /// devices to assume per referenced device family.
+    pub fleet_size: u64,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions { fleet_size: 1000 }
+    }
+}
+
+/// The combined result of all analysis passes.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// All findings, in pass order (conflicts, loops, reachability,
+    /// rates), each with a stable code from the module table.
+    pub diagnostics: Diagnostics,
+    /// The shared dataflow graph the passes ran on.
+    pub graph: DesignGraph,
+    /// Actuation conflicts (E0401 / W0401).
+    pub conflicts: Vec<ActuationConflict>,
+    /// Environment feedback loops (W0402 / W0403).
+    pub loops: Vec<FeedbackLoop>,
+    /// Unreachable components and dead devices (W0405 / W0406).
+    pub reachability: Reachability,
+    /// Rate propagation under the fleet-size hypothesis.
+    pub capacity: CapacityReport,
+}
+
+impl AnalysisReport {
+    /// Whether no actuation conflict was found — the property the code
+    /// generator advertises in generated framework headers.
+    #[must_use]
+    pub fn conflict_free(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+
+    /// Whether no environment feedback loop was found.
+    #[must_use]
+    pub fn loop_free(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Whether the analysis produced no finding at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Runs every analysis pass with default [`AnalysisOptions`].
+#[must_use]
+pub fn analyze(spec: &CheckedSpec) -> AnalysisReport {
+    analyze_with(spec, &AnalysisOptions::default())
+}
+
+/// Runs every analysis pass with explicit options.
+#[must_use]
+pub fn analyze_with(spec: &CheckedSpec, options: &AnalysisOptions) -> AnalysisReport {
+    let graph = DesignGraph::build(spec);
+    let mut diagnostics = Diagnostics::new();
+    let conflicts = conflicts::detect(spec, &mut diagnostics);
+    let loops = loops::detect(spec, &graph, &mut diagnostics);
+    let reachability = reach::detect(spec, &mut diagnostics);
+    let capacity = rates::detect(spec, options.fleet_size, &mut diagnostics);
+    AnalysisReport {
+        diagnostics,
+        graph,
+        conflicts,
+        loops,
+        reachability,
+        capacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_str;
+
+    #[test]
+    fn clean_design_reports_nothing() {
+        let spec = compile_str(
+            r#"
+            device Sensor { source motion as Boolean; }
+            device Light { action lit; }
+            context Presence as Boolean { when provided motion from Sensor always publish; }
+            controller Lights { when provided Presence do lit on Light; }
+            "#,
+        )
+        .unwrap();
+        let report = analyze(&spec);
+        assert!(report.is_clean());
+        assert!(report.conflict_free());
+        assert!(report.loop_free());
+        assert!(report.reachability.dead_devices.is_empty());
+    }
+
+    #[test]
+    fn passes_compose_in_one_report() {
+        let spec = compile_str(
+            r#"
+            device Heater { source temperature as Float; action heat; }
+            device Ghost { source boo as String; }
+            context Cold as Float { when provided temperature from Heater always publish; }
+            controller A { when provided Cold do heat on Heater; }
+            controller B { when provided Cold do heat on Heater; }
+            "#,
+        )
+        .unwrap();
+        let report = analyze(&spec);
+        // One conflict (A vs B, same trigger), two loops (one per do
+        // clause), one dead device.
+        assert_eq!(report.conflicts.len(), 1);
+        assert!(report.conflicts[0].same_trigger);
+        assert_eq!(report.loops.len(), 2);
+        assert_eq!(report.reachability.dead_devices, vec!["Ghost"]);
+        assert!(report.diagnostics.find("E0401").is_some());
+        assert!(report.diagnostics.find("W0402").is_some());
+        assert!(report.diagnostics.find("W0406").is_some());
+    }
+
+    #[test]
+    fn fleet_size_option_reaches_capacity_report() {
+        let spec = compile_str(
+            r#"
+            device Meter { source reading as Float; }
+            device K { action a; }
+            context Usage as Float { when periodic reading from Meter <1 min> always publish; }
+            controller Out { when provided Usage do a on K; }
+            "#,
+        )
+        .unwrap();
+        let report = analyze_with(&spec, &AnalysisOptions { fleet_size: 7 });
+        assert_eq!(report.capacity.fleet_size, 7);
+        assert_eq!(report.capacity.edges[0].msgs_per_hour, Some(7.0 * 60.0));
+    }
+}

@@ -514,6 +514,7 @@ impl<'a> Checker<'a> {
                 sources,
                 actions,
                 annotations,
+                span: decl.name.span,
             },
         );
     }
@@ -873,6 +874,7 @@ impl<'a> Checker<'a> {
             ));
         }
         let window_ms = grouping.window.map(|w| w.as_millis());
+        let window_span = grouping.window.map(|w| w.span);
         if let (Some(window), Some(period)) = (window_ms, period_ms) {
             if period > 0 && window % period != 0 {
                 self.diags.push(Diagnostic::warning(
@@ -894,6 +896,7 @@ impl<'a> Checker<'a> {
             attribute: grouping.attribute.name.clone(),
             attribute_ty,
             window_ms,
+            window_span,
             map_reduce,
         })
     }
@@ -944,6 +947,7 @@ impl<'a> Checker<'a> {
                             gets,
                             grouping: grouping_model,
                             publish: convert_publish(*publish),
+                            span: *span,
                         });
                     }
                     ast::Interaction::Periodic {
@@ -981,14 +985,16 @@ impl<'a> Checker<'a> {
                             gets,
                             grouping: grouping_model,
                             publish: convert_publish(*publish),
+                            span: *span,
                         });
                     }
-                    ast::Interaction::Required { .. } => {
+                    ast::Interaction::Required { span } => {
                         activations.push(Activation {
                             trigger: ActivationTrigger::OnDemand,
                             gets: Vec::new(),
                             grouping: None,
                             publish: PublishMode::No,
+                            span: *span,
                         });
                     }
                 }
@@ -1012,6 +1018,7 @@ impl<'a> Checker<'a> {
                     output,
                     activations,
                     annotations,
+                    span: decl.name.span,
                 },
             );
         }
@@ -1125,6 +1132,7 @@ impl<'a> Checker<'a> {
                     }
                 }
                 let mut actions = Vec::new();
+                let mut action_spans = Vec::new();
                 for do_action in &interaction.actions {
                     match self.name_kind(&do_action.device.name) {
                         Some(NameKind::Device) => {
@@ -1170,10 +1178,13 @@ impl<'a> Checker<'a> {
                         }
                     }
                     actions.push((do_action.action.name.clone(), do_action.device.name.clone()));
+                    action_spans.push(do_action.span);
                 }
                 bindings.push(ControllerBinding {
                     context: interaction.context.name.clone(),
                     actions,
+                    context_span: interaction.context.span,
+                    action_spans,
                 });
             }
             let annotations = self.resolve_annotations(&decl.annotations);
@@ -1183,6 +1194,7 @@ impl<'a> Checker<'a> {
                     name: decl.name.name.clone(),
                     bindings,
                     annotations,
+                    span: decl.name.span,
                 },
             );
         }

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analysis;
 pub mod ast;
 pub mod chains;
 pub mod check;

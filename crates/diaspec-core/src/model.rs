@@ -10,6 +10,7 @@
 //! [`diaspec-codegen`]: https://docs.rs/diaspec-codegen
 //! [`diaspec-runtime`]: https://docs.rs/diaspec-runtime
 
+use crate::span::Span;
 use crate::types::Type;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -113,6 +114,9 @@ pub struct Device {
     pub actions: Vec<Action>,
     /// Non-functional annotations (own only).
     pub annotations: Vec<ResolvedAnnotation>,
+    /// Span of the declaring name in the source (DUMMY when synthesized).
+    #[serde(default)]
+    pub span: Span,
 }
 
 impl Device {
@@ -209,6 +213,9 @@ pub struct GroupingModel {
     pub attribute_ty: Type,
     /// Optional aggregation window in milliseconds (`every <24 hr>`).
     pub window_ms: Option<u64>,
+    /// Span of the `every <...>` window literal, when declared.
+    #[serde(default)]
+    pub window_span: Option<Span>,
     /// Optional MapReduce typing: (map output type, reduce output type).
     pub map_reduce: Option<(Type, Type)>,
 }
@@ -245,6 +252,9 @@ pub struct Activation {
     pub grouping: Option<GroupingModel>,
     /// Publication mode.
     pub publish: PublishMode,
+    /// Span of the whole `when ...;` interaction in the source.
+    #[serde(default)]
+    pub span: Span,
 }
 
 /// A resolved context component.
@@ -258,6 +268,9 @@ pub struct Context {
     pub activations: Vec<Activation>,
     /// Non-functional annotations.
     pub annotations: Vec<ResolvedAnnotation>,
+    /// Span of the declaring name in the source (DUMMY when synthesized).
+    #[serde(default)]
+    pub span: Span,
 }
 
 impl Context {
@@ -293,6 +306,31 @@ pub struct ControllerBinding {
     pub context: String,
     /// Actions performed when triggered: (action name, device name).
     pub actions: Vec<(String, String)>,
+    /// Span of the triggering-context name in the source.
+    #[serde(default)]
+    pub context_span: Span,
+    /// Spans of each `do ... on ...` clause, parallel to [`actions`].
+    ///
+    /// May be empty for synthesized bindings; use [`action_span`] for a
+    /// lookup that falls back to [`context_span`].
+    ///
+    /// [`actions`]: ControllerBinding::actions
+    /// [`action_span`]: ControllerBinding::action_span
+    /// [`context_span`]: ControllerBinding::context_span
+    #[serde(default)]
+    pub action_spans: Vec<Span>,
+}
+
+impl ControllerBinding {
+    /// The span of the `index`-th `do` clause, falling back to the
+    /// binding's context span for synthesized bindings.
+    #[must_use]
+    pub fn action_span(&self, index: usize) -> Span {
+        self.action_spans
+            .get(index)
+            .copied()
+            .unwrap_or(self.context_span)
+    }
 }
 
 /// A resolved controller component.
@@ -304,6 +342,9 @@ pub struct Controller {
     pub bindings: Vec<ControllerBinding>,
     /// Non-functional annotations.
     pub annotations: Vec<ResolvedAnnotation>,
+    /// Span of the declaring name in the source (DUMMY when synthesized).
+    #[serde(default)]
+    pub span: Span,
 }
 
 /// A resolved structure (record) type.

@@ -4,6 +4,7 @@
 //! original specification text, so that diagnostics can show precise
 //! locations and code generators can cite the declaration they expanded.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A half-open byte range `[start, end)` into a specification source text.
@@ -22,7 +23,7 @@ use std::fmt;
 /// assert!(span.contains(5));
 /// assert!(!span.contains(10));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Span {
     /// Byte offset of the first character.
     pub start: usize,
@@ -70,6 +71,14 @@ impl Span {
     #[must_use]
     pub fn contains(&self, pos: usize) -> bool {
         pos >= self.start && pos < self.end
+    }
+}
+
+impl Default for Span {
+    /// The default span is [`Span::DUMMY`], so model values deserialized
+    /// from older snapshots (without location data) still load.
+    fn default() -> Self {
+        Span::DUMMY
     }
 }
 

@@ -1,0 +1,109 @@
+//! Consistency guard for the diagnostic-code tables.
+//!
+//! The stable code set is documented in three places: the checker
+//! rustdoc (`diaspec_core::check`), the analysis rustdoc
+//! (`diaspec_core::analysis`), and the user-facing reference
+//! (`docs/LANGUAGE.md`). Nothing ties them together at compile time, so
+//! this test parses the markdown tables out of all three and fails the
+//! build the moment they drift apart.
+
+use diaspec_core::analysis::analyze;
+use diaspec_core::span::Span;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+const CHECK_RS: &str = include_str!("../../crates/diaspec-core/src/check.rs");
+const ANALYSIS_RS: &str = include_str!("../../crates/diaspec-core/src/analysis/mod.rs");
+const LANGUAGE_MD: &str = include_str!("../../docs/LANGUAGE.md");
+
+/// Extracts every diagnostic code that appears as the first column of a
+/// markdown table row (`| E0401 | ... |`), in plain markdown or behind
+/// `//!` doc-comment markers.
+fn codes_in(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in text.lines() {
+        let line = line.trim_start();
+        let line = line.strip_prefix("//!").unwrap_or(line).trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let mut cells = line.split('|').map(str::trim);
+        cells.next(); // text before the leading `|` is empty
+        if let Some(cell) = cells.next() {
+            if cell.len() == 5
+                && (cell.starts_with('E') || cell.starts_with('W'))
+                && cell[1..].chars().all(|c| c.is_ascii_digit())
+            {
+                out.insert(cell.to_owned());
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn code_tables_never_drift_apart() {
+    let checker = codes_in(CHECK_RS);
+    let analysis = codes_in(ANALYSIS_RS);
+    let reference = codes_in(LANGUAGE_MD);
+    assert!(
+        !checker.is_empty() && !analysis.is_empty(),
+        "table parser found nothing — did a module doc change format?"
+    );
+    let disjoint: Vec<_> = checker.intersection(&analysis).collect();
+    assert!(
+        disjoint.is_empty(),
+        "codes documented by both the checker and the analyzer: {disjoint:?}"
+    );
+    let rustdoc: BTreeSet<_> = checker.union(&analysis).cloned().collect();
+    let missing: Vec<_> = rustdoc.difference(&reference).collect();
+    let stale: Vec<_> = reference.difference(&rustdoc).collect();
+    assert!(
+        missing.is_empty() && stale.is_empty(),
+        "docs/LANGUAGE.md disagrees with the rustdoc tables — \
+         missing from LANGUAGE.md: {missing:?}, only in LANGUAGE.md: {stale:?}"
+    );
+}
+
+#[test]
+fn analysis_table_lists_exactly_the_emitted_codes() {
+    let analysis = codes_in(ANALYSIS_RS);
+    let expected: BTreeSet<String> = [
+        "E0401", "W0401", "W0402", "W0403", "W0404", "W0405", "W0406",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+    assert_eq!(analysis, expected);
+}
+
+/// Every diagnostic an analysis pass produces on the negative fixtures
+/// must carry a real source span — a `Span::DUMMY` would render as a
+/// caret at 1:1, pointing the user at nothing.
+#[test]
+fn fixture_diagnostics_carry_real_spans() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../specs/lint");
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("specs/lint exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("spec") {
+            continue;
+        }
+        seen += 1;
+        let source = std::fs::read_to_string(&path).unwrap();
+        let (spec, warnings) = diaspec_core::compile_str_with_warnings(&source)
+            .unwrap_or_else(|e| panic!("fixture {} does not compile: {e}", path.display()));
+        let report = analyze(&spec);
+        for diag in warnings.iter().chain(report.diagnostics.iter()) {
+            assert_ne!(
+                diag.span,
+                Span::DUMMY,
+                "{}: {} `{}` has a dummy span",
+                path.display(),
+                diag.code,
+                diag.message
+            );
+        }
+    }
+    assert!(seen >= 7, "expected at least 7 fixtures, found {seen}");
+}

@@ -1,0 +1,324 @@
+//! E19 integration tests for the whole-design static analyzer.
+//!
+//! Three layers:
+//!
+//! 1. **Lint goldens** — the full human-format lint output of every
+//!    shipped design is golden-tested, so a precision regression in any
+//!    pass (a lost finding, a new false positive, a moved span) shows
+//!    up as a diff. Re-bless with `UPDATE_GOLDENS=1`.
+//! 2. **Negative fixtures** — each diagnostic code is pinned to a
+//!    minimal fixture in `specs/lint/`, asserting the code, the exact
+//!    source text under the primary span, and (for conflicts) both
+//!    provenance chains.
+//! 3. **Dynamic cross-validation** — a seeded runtime scenario whose
+//!    trace exhibits a double actuation must correspond to a statically
+//!    reported conflict, and a conflict-free design must not.
+
+use diaspec_codegen::lint::{lint_source, LintFormat, LintOptions};
+use diaspec_core::analysis::analyze;
+use diaspec_runtime::component::ContextActivation;
+use diaspec_runtime::engine::{ContextApi, ControllerApi, Orchestrator};
+use diaspec_runtime::value::Value;
+use serde_json::Value as Json;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join(rel)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("goldens")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden {name} unreadable ({e}); bless with UPDATE_GOLDENS=1"));
+    assert_eq!(expected, actual, "lint output diverged from golden {name}");
+}
+
+// ---- 1. lint goldens for the shipped designs -----------------------------------
+
+#[test]
+fn shipped_designs_lint_to_goldens() {
+    for name in ["cooker", "parking", "avionics", "homeassist"] {
+        let rel = format!("specs/{name}.spec");
+        let source = std::fs::read_to_string(repo_path(&rel)).unwrap();
+        let outcome = lint_source(&rel, &source, &LintOptions::default());
+        assert!(
+            !outcome.failed(),
+            "{name}: shipped designs must not contain hard analysis errors"
+        );
+        assert_matches_golden(&format!("lint_{name}.txt"), &outcome.rendered);
+    }
+}
+
+// ---- 2. negative fixtures -------------------------------------------------------
+
+/// (fixture, expected code, text the primary span must cover).
+const FIXTURES: [(&str, &str, &str); 7] = [
+    ("conflict_same_trigger", "E0401", "do sound on Siren"),
+    ("conflict_distinct_chains", "W0401", "do setOn on Light"),
+    ("feedback_event", "W0402", "do heat on Radiator"),
+    ("feedback_query", "W0403", "do shutOff on Pump"),
+    ("rate_window", "W0404", "1 min"),
+    ("dead_required", "W0405", "Forgotten"),
+    ("dead_device", "W0406", "Barometer"),
+];
+
+fn fixture_source(name: &str) -> String {
+    std::fs::read_to_string(repo_path(&format!("specs/lint/{name}.spec"))).unwrap()
+}
+
+#[test]
+fn every_code_has_a_fixture_with_an_exact_span() {
+    for (name, code, covered) in FIXTURES {
+        let source = fixture_source(name);
+        let spec = diaspec_core::compile_str(&source)
+            .unwrap_or_else(|e| panic!("{name} must compile: {e}"));
+        let report = analyze(&spec);
+        let diag = report
+            .diagnostics
+            .find(code)
+            .unwrap_or_else(|| panic!("{name}: expected {code}, got {:?}", report.diagnostics));
+        let spanned = &source[diag.span.start..diag.span.end];
+        assert!(
+            spanned.contains(covered),
+            "{name}: {code} span covers `{spanned}`, expected it to cover `{covered}`"
+        );
+    }
+}
+
+#[test]
+fn same_trigger_conflict_reports_both_chains() {
+    let source = fixture_source("conflict_same_trigger");
+    let spec = diaspec_core::compile_str(&source).unwrap();
+    let report = analyze(&spec);
+    assert_eq!(report.conflicts.len(), 1);
+    let conflict = &report.conflicts[0];
+    assert!(conflict.same_trigger);
+    assert_eq!(conflict.code(), "E0401");
+    let diag = report.diagnostics.find("E0401").unwrap();
+    let notes: Vec<&str> = diag.notes.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(
+        notes.iter().any(|n| n
+            == &"first actuation chain: SmokeSensor.smoke -> [Alarm] -> (Alert) -> Siren.sound()"),
+        "missing first chain in {notes:?}"
+    );
+    assert!(
+        notes.iter().any(|n| n
+            == &"second actuation chain: SmokeSensor.smoke -> [Alarm] -> (Evacuate) -> Siren.sound()"),
+        "missing second chain in {notes:?}"
+    );
+    // The secondary span points at the other `do` clause.
+    let (_, second_span) = diag
+        .notes
+        .iter()
+        .find(|(n, _)| n.starts_with("conflicting `do` clause"))
+        .expect("secondary-site note");
+    let span = second_span.expect("secondary site carries a span");
+    assert!(source[span.start..span.end].contains("do sound on Siren"));
+}
+
+#[test]
+fn distinct_chain_conflict_names_both_trigger_chains() {
+    let source = fixture_source("conflict_distinct_chains");
+    let spec = diaspec_core::compile_str(&source).unwrap();
+    let report = analyze(&spec);
+    assert_eq!(report.conflicts.len(), 1);
+    let conflict = &report.conflicts[0];
+    assert!(!conflict.same_trigger);
+    assert_eq!(conflict.shared_devices, vec!["HallLight"]);
+    let diag = report.diagnostics.find("W0401").unwrap();
+    let notes: Vec<&str> = diag.notes.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(notes
+        .iter()
+        .any(|n| n
+            .contains("MotionSensor.motion -> [Presence] -> (WelcomeHome) -> HallLight.setOn()")));
+    assert!(notes
+        .iter()
+        .any(|n| n.contains("Clock.tickMinute -> [Schedule] -> (EveningScene) -> Light.setOn()")));
+}
+
+#[test]
+fn fixtures_fail_lint_under_deny_warnings() {
+    for (name, code, _) in FIXTURES {
+        let source = fixture_source(name);
+        let outcome = lint_source(
+            &format!("specs/lint/{name}.spec"),
+            &source,
+            &LintOptions {
+                deny_warnings: true,
+                ..LintOptions::default()
+            },
+        );
+        assert!(outcome.failed(), "{name} must fail with --deny warnings");
+        assert!(
+            outcome.rendered.contains(&format!("error[{code}]")),
+            "{name}: {code} not promoted in\n{}",
+            outcome.rendered
+        );
+    }
+}
+
+#[test]
+fn sarif_output_for_a_shipped_design_is_well_formed() {
+    let source = std::fs::read_to_string(repo_path("specs/homeassist.spec")).unwrap();
+    let outcome = lint_source(
+        "specs/homeassist.spec",
+        &source,
+        &LintOptions {
+            format: LintFormat::Sarif,
+            ..LintOptions::default()
+        },
+    );
+    let log: Json = serde_json::from_str(&outcome.rendered).unwrap();
+    assert_eq!(log.get("version").and_then(Json::as_str), Some("2.1.0"));
+    let runs = log.get("runs").and_then(Json::as_array).unwrap();
+    let results = runs[0].get("results").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        results[0].get("ruleId").and_then(Json::as_str),
+        Some("W0401")
+    );
+    let uri = results[0]
+        .get("locations")
+        .and_then(Json::as_array)
+        .unwrap()[0]
+        .get("physicalLocation")
+        .and_then(|l| l.get("artifactLocation"))
+        .and_then(|l| l.get("uri"))
+        .and_then(Json::as_str)
+        .unwrap();
+    assert_eq!(uri, "specs/homeassist.spec");
+}
+
+// ---- 3. dynamic cross-validation ------------------------------------------------
+
+const CONFLICTED: &str = r#"
+    device Button { source press as Integer; }
+    device Bell { action ring(n as Integer); }
+    context Chime as Integer { when provided press from Button always publish; }
+    controller RingA { when provided Chime do ring on Bell; }
+    controller RingB { when provided Chime do ring on Bell; }
+"#;
+
+const CLEAN: &str = r#"
+    device Button { source press as Integer; }
+    device Bell { action ring(n as Integer); }
+    context Chime as Integer { when provided press from Button always publish; }
+    controller RingA { when provided Chime do ring on Bell; }
+"#;
+
+/// Builds and runs the scenario, returning `(controller, entity)` pairs
+/// for every actuation, attributed via the most recent controller
+/// activation in the trace.
+fn run_and_attribute(spec_src: &str, controllers: &[&'static str]) -> Vec<(String, String)> {
+    let spec = Arc::new(diaspec_core::compile_str(spec_src).unwrap());
+    let mut orch = Orchestrator::new(spec);
+    orch.register_context(
+        "Chime",
+        |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
+            ContextActivation::SourceEvent { value, .. } => Ok(Some(value.clone())),
+            _ => Ok(None),
+        },
+    )
+    .unwrap();
+    for name in controllers {
+        orch.register_controller(
+            name,
+            move |api: &mut ControllerApi<'_>, _: &str, value: &Value| {
+                for bell in api.discover("Bell")?.ids() {
+                    api.invoke(&bell, "ring", std::slice::from_ref(value))?;
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+    }
+    orch.bind_entity(
+        "button-1".into(),
+        "Button",
+        Default::default(),
+        Box::new(|_: &str, _: u64| Ok(Value::Int(0))),
+    )
+    .unwrap();
+    orch.bind_entity(
+        "bell-1".into(),
+        "Bell",
+        Default::default(),
+        Box::new(diaspec_devices::common::RecordingActuator::new(
+            diaspec_devices::common::ActuationLog::new(),
+        )),
+    )
+    .unwrap();
+    orch.set_tracing(true);
+    orch.launch().unwrap();
+    let button = "button-1".into();
+    orch.emit_at(10, &button, "press", Value::Int(1), None)
+        .unwrap();
+    orch.run_until(1_000);
+    assert!(orch.drain_errors().is_empty());
+
+    let mut active = String::new();
+    let mut actuations = Vec::new();
+    for event in orch.take_trace() {
+        use diaspec_runtime::trace::TraceKind;
+        match event.kind {
+            TraceKind::ControllerActivation { controller, .. } => active = controller,
+            TraceKind::Actuation { entity, .. } => {
+                actuations.push((active.clone(), entity));
+            }
+            _ => {}
+        }
+    }
+    actuations
+}
+
+#[test]
+fn runtime_double_actuation_matches_static_conflict_verdict() {
+    // Statically: one guaranteed conflict between RingA and RingB.
+    let spec = diaspec_core::compile_str(CONFLICTED).unwrap();
+    let report = analyze(&spec);
+    assert_eq!(report.conflicts.len(), 1);
+    assert!(report.conflicts[0].same_trigger);
+    let predicted = [
+        report.conflicts[0].first.controller.as_str(),
+        report.conflicts[0].second.controller.as_str(),
+    ];
+
+    // Dynamically: one publication actuates bell-1 twice, once per
+    // statically implicated controller.
+    let actuations = run_and_attribute(CONFLICTED, &["RingA", "RingB"]);
+    assert_eq!(
+        actuations.len(),
+        2,
+        "one press, two actuations: {actuations:?}"
+    );
+    assert!(actuations.iter().all(|(_, entity)| entity == "bell-1"));
+    let mut observed: Vec<&str> = actuations.iter().map(|(c, _)| c.as_str()).collect();
+    observed.sort_unstable();
+    let mut expected = predicted.to_vec();
+    expected.sort_unstable();
+    assert_eq!(
+        observed, expected,
+        "actuating controllers match the static conflict"
+    );
+}
+
+#[test]
+fn conflict_free_design_actuates_once() {
+    let spec = diaspec_core::compile_str(CLEAN).unwrap();
+    assert!(analyze(&spec).conflict_free());
+    let actuations = run_and_attribute(CLEAN, &["RingA"]);
+    assert_eq!(actuations.len(), 1, "{actuations:?}");
+}

@@ -458,6 +458,22 @@ pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<
     }
 }
 
+/// Like [`field`], but for fields marked `#[serde(default)]`: an absent
+/// field yields `T::default()` instead of an error.
+///
+/// # Errors
+///
+/// Returns [`Error`] only when the field is present but malformed.
+pub fn field_or_default<T: Deserialize + Default>(
+    entries: &[(String, Value)],
+    name: &str,
+) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v),
+        None => Ok(T::default()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::content::Value;

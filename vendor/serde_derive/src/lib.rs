@@ -14,11 +14,16 @@
 //! - newtype variant  → `{"Variant": value}`
 //! - tuple variant    → `{"Variant": [v0, v1, ...]}`
 //! - struct variant   → `{"Variant": {"field": ...}}`
+//!
+//! The only field attribute understood is `#[serde(default)]`: on
+//! deserialization an absent field yields `Default::default()` instead
+//! of an error. Other `#[serde(...)]` forms are rejected at compile time
+//! rather than silently ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` (tree-model `to_content`).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item.shape {
@@ -30,7 +35,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` (tree-model `from_content`).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item.shape {
@@ -50,8 +55,14 @@ struct Item {
 
 enum Shape {
     /// Named fields, in declaration order.
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// Whether the field carries `#[serde(default)]`.
+    default: bool,
 }
 
 struct Variant {
@@ -64,7 +75,7 @@ enum VariantKind {
     /// Tuple variant with this many unnamed fields.
     Tuple(usize),
     /// Struct variant with these named fields.
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 // ---- parsing --------------------------------------------------------------
@@ -115,11 +126,11 @@ fn parse_item(input: TokenStream) -> Item {
 /// Extracts field names from a brace-group body of `name: Type` pairs.
 /// Types are skipped entirely (commas inside `<...>` are angle-depth
 /// tracked; parenthesised tuples arrive as single groups).
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut trees = body.into_iter().peekable();
     loop {
-        skip_attributes_and_visibility(&mut trees);
+        let default = skip_attributes_and_visibility(&mut trees);
         let name = match trees.next() {
             Some(TokenTree::Ident(ident)) => ident.to_string(),
             None => break,
@@ -130,7 +141,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
             other => panic!("expected `:` after field `{name}`, got {other:?}"),
         }
         skip_type_until_comma(&mut trees);
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
 }
@@ -171,14 +182,20 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
     variants
 }
 
+/// Skips attributes, doc comments, and visibility before a field or
+/// variant, returning whether a `#[serde(default)]` attribute was among
+/// them. Any other `#[serde(...)]` form is rejected.
 fn skip_attributes_and_visibility(
     trees: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
-) {
+) -> bool {
+    let mut default = false;
     loop {
         match trees.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 trees.next();
-                trees.next(); // the [...] group
+                if let Some(TokenTree::Group(g)) = trees.next() {
+                    default |= parse_serde_attribute(g.stream());
+                }
             }
             Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
                 trees.next();
@@ -189,8 +206,34 @@ fn skip_attributes_and_visibility(
                     }
                 }
             }
-            _ => return,
+            _ => return default,
         }
+    }
+}
+
+/// Recognizes the bracketed body of a `#[serde(...)]` attribute. Returns
+/// true for `serde(default)`; panics on any other serde form (the shim
+/// would otherwise silently change serialization semantics); returns
+/// false for non-serde attributes.
+fn parse_serde_attribute(stream: TokenStream) -> bool {
+    let mut trees = stream.into_iter();
+    match trees.next() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match trees.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let args: Vec<String> = g.stream().into_iter().map(|t| t.to_string()).collect();
+            if args == ["default"] {
+                true
+            } else {
+                panic!(
+                    "vendored serde_derive supports only #[serde(default)], got #[serde({})]",
+                    args.join("")
+                )
+            }
+        }
+        other => panic!("malformed #[serde] attribute: {other:?}"),
     }
 }
 
@@ -238,10 +281,26 @@ fn count_top_level_segments(stream: TokenStream) -> usize {
 
 // ---- code generation ------------------------------------------------------
 
-fn serialize_struct(name: &str, fields: &[String]) -> String {
+/// The initializer expression for one named field: `#[serde(default)]`
+/// fields tolerate absence via [`field_or_default`].
+///
+/// [`field_or_default`]: ../serde/fn.field_or_default.html
+fn field_init(f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!("{name}: ::serde::field_or_default(entries, \"{name}\")?,")
+    } else {
+        format!("{name}: ::serde::field(entries, \"{name}\")?,")
+    }
+}
+
+fn serialize_struct(name: &str, fields: &[Field]) -> String {
     let entries: String = fields
         .iter()
-        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"))
+        .map(|f| {
+            let f = &f.name;
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),")
+        })
         .collect();
     format!(
         "impl ::serde::Serialize for {name} {{\n\
@@ -252,11 +311,8 @@ fn serialize_struct(name: &str, fields: &[String]) -> String {
     )
 }
 
-fn deserialize_struct(name: &str, fields: &[String]) -> String {
-    let inits: String = fields
-        .iter()
-        .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?,"))
-        .collect();
+fn deserialize_struct(name: &str, fields: &[Field]) -> String {
+    let inits: String = fields.iter().map(field_init).collect();
     format!(
         "impl ::serde::Deserialize for {name} {{\n\
              fn from_content(value: &::serde::content::Value) -> Result<Self, ::serde::Error> {{\n\
@@ -292,10 +348,15 @@ fn serialize_enum(name: &str, variants: &[Variant]) -> String {
                     )
                 }
                 VariantKind::Named(fields) => {
-                    let binds = fields.join(", ");
+                    let binds = fields
+                        .iter()
+                        .map(|f| f.name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ");
                     let entries = fields
                         .iter()
                         .map(|f| {
+                            let f = &f.name;
                             format!(
                                 "(\"{f}\".to_string(), ::serde::Serialize::to_content({f})),"
                             )
@@ -351,10 +412,7 @@ fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
                     ))
                 }
                 VariantKind::Named(fields) => {
-                    let inits = fields
-                        .iter()
-                        .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?,"))
-                        .collect::<String>();
+                    let inits = fields.iter().map(field_init).collect::<String>();
                     Some(format!(
                         "\"{vn}\" => {{\n\
                              let entries = inner.as_object().ok_or_else(|| \
