@@ -7,7 +7,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use diaspec_bench::continuum;
 use diaspec_runtime::obs::{Activity, JsonlSink, LatencyHistogram, ObsHub, SharedSink};
-use diaspec_runtime::ProcessingMode;
+use diaspec_runtime::{ProcessingMode, SpanCtx, SpanStage};
 
 fn bench_e1_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs/e1");
@@ -76,5 +76,49 @@ fn bench_record_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_e1_overhead, bench_record_paths);
+/// The three states of a span site: disabled (one branch, the tier-1
+/// configuration), cheap tracing (IDs + stage histograms, no span
+/// records — the load-harness mode), and full materialization (the
+/// buffered spans Perfetto export drains).
+fn bench_span_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/spans");
+
+    let disabled = ObsHub::new();
+    group.bench_function("disabled_gate", |b| {
+        b.iter(|| {
+            black_box(black_box(&disabled).spans_enabled()) || black_box(SpanCtx::NONE).is_active()
+        });
+    });
+
+    let mut cheap = ObsHub::new();
+    cheap.set_spans_enabled(true);
+    cheap.set_span_buffering(false);
+    assert!(!cheap.spans_materializing());
+    group.bench_function("cheap_open_close", |b| {
+        b.iter(|| {
+            let trace = cheap.mint_trace();
+            let id = cheap.open_span(trace, 0, black_box(SpanStage::Dispatch), "", 0);
+            cheap.close_span(id, 0, black_box(7));
+        });
+    });
+
+    let mut full = ObsHub::new();
+    full.set_spans_enabled(true);
+    group.bench_function("materialized_open_close", |b| {
+        b.iter(|| {
+            let trace = full.mint_trace();
+            let id = full.open_span(trace, 0, black_box(SpanStage::Dispatch), "SpotAvail", 0);
+            full.close_span(id, 0, black_box(7));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e1_overhead,
+    bench_record_paths,
+    bench_span_paths
+);
 criterion_main!(benches);

@@ -2,27 +2,90 @@
 //! `EXPERIMENTS.md` (the per-experiment index lives in `DESIGN.md`).
 //!
 //! ```text
-//! cargo run --release -p diaspec-bench --bin experiments [-- --quick] [-- --json]
+//! cargo run --release -p diaspec-bench --bin experiments \
+//!     [-- --quick] [-- --json] [-- --only eNN] [-- --check-bench-json [path]]
 //! ```
 //!
 //! `--quick` shrinks the sweeps for smoke-testing; `--json` additionally
-//! dumps machine-readable rows.
+//! dumps machine-readable rows; `--only eNN` runs a single experiment
+//! (e.g. `--only e20`); `--check-bench-json [path]` validates an
+//! existing `BENCH_delivery.json` against the schema guard and exits.
 
-use diaspec_bench::{churn, continuum, delivery, discovery, fanout, processing, share, taskfaults};
+use diaspec_bench::{
+    churn, continuum, delivery, discovery, fanout, loadgen, processing, share, taskfaults,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
 
-    e1_continuum(quick, json);
-    e9_generated_share(json);
-    e10_processing(quick, json);
-    e11_delivery(quick, json);
-    e12_discovery(quick, json);
-    e16_churn(quick, json);
-    e17_taskfaults(quick, json);
-    e18_fanout(quick, json);
+    if let Some(i) = args.iter().position(|a| a == "--check-bench-json") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map_or("BENCH_delivery.json", String::as_str);
+        check_bench_json(path);
+        return;
+    }
+
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let run = |name: &str| only.is_none_or(|o| o == name);
+
+    if run("e1") {
+        e1_continuum(quick, json);
+    }
+    if run("e9") {
+        e9_generated_share(json);
+    }
+    if run("e10") {
+        e10_processing(quick, json);
+    }
+    if run("e11") {
+        e11_delivery(quick, json);
+    }
+    if run("e12") {
+        e12_discovery(quick, json);
+    }
+    if run("e16") {
+        e16_churn(quick, json);
+    }
+    if run("e17") {
+        e17_taskfaults(quick, json);
+    }
+    if run("e18") {
+        e18_fanout(quick, json);
+    }
+    if run("e20") {
+        e20_load(quick, json);
+    }
+}
+
+/// Validates `path` against the E20 schema guard; exits non-zero on any
+/// missing field or violated invariant (the CI guard entry point).
+fn check_bench_json(path: &str) {
+    let payload = match std::fs::read_to_string(path) {
+        Ok(payload) => payload,
+        Err(e) => {
+            eprintln!("{path}: cannot read: {e}");
+            std::process::exit(1);
+        }
+    };
+    match loadgen::check_report(&payload) {
+        Ok(report) => println!(
+            "{path}: ok ({} offered rates, knee {} msgs/s)",
+            report.rates.len(),
+            report.knee_msgs_per_sec
+        ),
+        Err(e) => {
+            eprintln!("{path}: schema guard failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn heading(title: &str) {
@@ -324,6 +387,94 @@ fn human_bytes(bytes: u64) -> String {
         format!("{:.1} KiB", bytes as f64 / (1u64 << 10) as f64)
     } else {
         format!("{bytes} B")
+    }
+}
+
+fn e20_load(quick: bool, json: bool) {
+    heading("E20 — open-loop load harness: latency under load (coordinated-omission-free)");
+    let config = if quick {
+        loadgen::LoadConfig::quick()
+    } else {
+        loadgen::LoadConfig::full()
+    };
+    let report = loadgen::sweep(&config, quick);
+    println!(
+        "{:>12} {:>12} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "offered/s", "achieved/s", "messages", "late", "p50 (us)", "p99 (us)", "p99.9", "max (us)"
+    );
+    for rate in &report.rates {
+        println!(
+            "{:>12} {:>12} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            rate.offered_msgs_per_sec,
+            rate.achieved_msgs_per_sec,
+            rate.messages,
+            rate.late_starts,
+            rate.end_to_end_us.p50,
+            rate.end_to_end_us.p99,
+            rate.end_to_end_us.p999,
+            rate.end_to_end_us.max
+        );
+    }
+    if report.knee_msgs_per_sec > 0 {
+        println!(
+            "\nThroughput knee: {} msgs/s offered",
+            report.knee_msgs_per_sec
+        );
+    } else {
+        println!("\nThroughput knee: below the lowest offered rate");
+    }
+    // Per-stage breakdown at the heaviest sustained rate (or the last
+    // rate when nothing was sustained).
+    let detail = report
+        .rates
+        .iter()
+        .rfind(|r| r.offered_msgs_per_sec <= report.knee_msgs_per_sec.max(1))
+        .or(report.rates.last());
+    if let Some(rate) = detail {
+        println!(
+            "\nPer-stage latency at {} msgs/s offered:\n",
+            rate.offered_msgs_per_sec
+        );
+        println!(
+            "{:>10} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8}",
+            "stage", "unit", "count", "p50", "p99", "p99.9", "max"
+        );
+        for stage in &rate.stages {
+            println!(
+                "{:>10} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8}",
+                stage.stage,
+                if stage.unit == "ms" {
+                    "ms (sim)"
+                } else {
+                    "us (wall)"
+                },
+                stage.latency.count,
+                stage.latency.p50,
+                stage.latency.p99,
+                stage.latency.p999,
+                stage.latency.max
+            );
+        }
+    }
+    let bench_path = "BENCH_delivery.json";
+    match serde_json::to_string(&report) {
+        Ok(payload) => match std::fs::write(bench_path, &payload) {
+            Ok(()) => println!("\nMachine-readable report: {bench_path}"),
+            Err(e) => eprintln!("\ncannot write {bench_path}: {e}"),
+        },
+        Err(e) => eprintln!("\ncannot serialize load report: {e}"),
+    }
+    let trace_path = std::path::Path::new("target/e20_perfetto.json");
+    if let Some(parent) = trace_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let sample = loadgen::perfetto_sample(if quick { 50 } else { 200 }, 8);
+    match std::fs::write(trace_path, &sample) {
+        Ok(()) => println!("Perfetto sample trace: {}", trace_path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", trace_path.display()),
+    }
+    if json {
+        println!("{}", serde_json::to_string(&report).expect("serializable"));
     }
 }
 

@@ -16,6 +16,8 @@
 //! - [`discovery`] — E12: entity discovery latency vs. registry size;
 //! - [`fanout`] — E18: subscriber fan-out × payload size (zero-copy
 //!   delivery);
+//! - [`loadgen`] — E20: open-loop load harness, latency-under-load
+//!   percentiles and the throughput knee;
 //! - [`share`] — E9: the generated-code fraction.
 //!
 //! E13 (compiler throughput) lives in `benches/compiler.rs`.
@@ -31,6 +33,7 @@ pub mod continuum;
 pub mod delivery;
 pub mod discovery;
 pub mod fanout;
+pub mod loadgen;
 pub mod processing;
 pub mod share;
 pub mod taskfaults;

@@ -10,6 +10,7 @@
 //! off/on comparison).
 
 use diaspec_runtime::obs::{Activity, ObsHub};
+use diaspec_runtime::SpanCtx;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -36,4 +37,37 @@ fn disabled_record_path_is_near_zero() {
     );
     // Nothing was recorded.
     assert!(hub.histogram(Activity::Delivering).is_empty());
+}
+
+#[test]
+fn disabled_span_sites_stay_within_the_single_branch_budget() {
+    let hub = ObsHub::new();
+    assert!(!hub.spans_enabled(), "span tracing must be off by default");
+
+    // With tracing off, a span site in the engine reduces to exactly one
+    // of these two checks: the emission entry gate (`spans_enabled`) or
+    // the propagated-context gate (`SpanCtx::is_active`, trace_id != 0).
+    // No IDs are minted, no labels built, no histograms touched. Bound
+    // both branches directly.
+    for _ in 0..10_000u64 {
+        assert!(!black_box(&hub).spans_enabled());
+        assert!(!black_box(SpanCtx::NONE).is_active());
+    }
+    let n = 2_000_000u64;
+    let start = Instant::now();
+    for _ in 0..n {
+        if black_box(&hub).spans_enabled() {
+            unreachable!("tracing is off");
+        }
+        if black_box(SpanCtx::NONE).is_active() {
+            unreachable!("no active span context");
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let ns_per_site = elapsed.as_nanos() as f64 / n as f64;
+    assert!(
+        ns_per_site < 50.0,
+        "disabled span site costs {ns_per_site:.1} ns; expected ~1 ns"
+    );
 }

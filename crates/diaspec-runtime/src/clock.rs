@@ -121,6 +121,12 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Iterates over the pending events in arbitrary (heap) order — for
+    /// occupancy sampling, not consumption.
+    pub fn iter(&self) -> impl Iterator<Item = &E> {
+        self.heap.iter().map(|Reverse(entry)| &entry.event)
+    }
+
     /// Whether no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -182,6 +188,9 @@ mod tests {
         assert_eq!(q.peek_time(), Some(3));
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
+        let mut pending: Vec<u8> = q.iter().copied().collect();
+        pending.sort_unstable();
+        assert_eq!(pending, vec![0, 1], "iter sees every pending event");
     }
 
     #[test]

@@ -48,6 +48,7 @@ use crate::metrics::RuntimeMetrics;
 use crate::obs::{self, Activity, ObsHub};
 use crate::payload::Payload;
 use crate::registry::{PolledReading, Registry};
+use crate::spans::{SpanCtx, SpanEvent, SpanStage};
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
 use crate::transport::{Transport, TransportConfig};
 use crate::value::Value;
@@ -225,6 +226,10 @@ pub struct Orchestrator {
     faults: Option<FaultInjector>,
     /// Recovery machinery configuration (leases, delivery retry).
     recovery: RecoveryConfig,
+    /// The span under which in-flight component logic runs, so actuations
+    /// and query-driven computations nest under the activating compute
+    /// span. [`SpanCtx::NONE`] outside an activation or with tracing off.
+    span_cursor: SpanCtx,
 }
 
 impl Orchestrator {
@@ -310,6 +315,7 @@ impl Orchestrator {
             quality_budgets,
             faults: None,
             recovery: RecoveryConfig::default(),
+            span_cursor: SpanCtx::NONE,
         }
     }
 
@@ -412,15 +418,128 @@ impl Orchestrator {
         self.obs.attach(observer);
     }
 
-    /// A point-in-time snapshot of the activity-labeled measurements.
+    /// Enables or disables causal span tracing (off by default).
+    ///
+    /// While enabled, the engine mints a trace at every publication and
+    /// threads parent/child span IDs through admit → route → schedule →
+    /// dispatch, context/controller activations, actuations, retries, and
+    /// recovery episodes. Enabling also turns on span buffering (drain
+    /// with [`Orchestrator::take_spans`]). While disabled, the per-site
+    /// cost is a single branch.
+    pub fn set_span_tracing(&mut self, enabled: bool) {
+        self.obs.set_spans_enabled(enabled);
+    }
+
+    /// Controls whether completed spans are buffered for
+    /// [`Orchestrator::take_spans`]. Turning buffering off while tracing
+    /// stays on keeps the IDs and per-stage histograms (the load-harness
+    /// configuration) without materializing span events.
+    pub fn set_span_buffering(&mut self, enabled: bool) {
+        self.obs.set_span_buffering(enabled);
+    }
+
+    /// Removes and returns all spans completed since the last call.
+    pub fn take_spans(&mut self) -> Vec<SpanEvent> {
+        self.obs.take_spans()
+    }
+
+    /// Spans dropped because the bounded span buffer overflowed since the
+    /// last [`Orchestrator::take_spans`] (draining resets the counter).
+    #[must_use]
+    pub fn spans_dropped(&self) -> u64 {
+        self.obs.spans_dropped()
+    }
+
+    /// Number of currently open (unclosed) spans. Zero whenever the
+    /// engine is quiescent — every span the pipeline opens is closed
+    /// before control returns to the caller.
+    #[must_use]
+    pub fn open_spans(&self) -> usize {
+        self.obs.open_span_count()
+    }
+
+    /// Opens a wall-clock span as a child of `parent` if tracing is
+    /// active for that context, returning the handle [`end_wall_span`]
+    /// needs. The label closure only runs when spans are materialized.
+    fn begin_wall_span(
+        &mut self,
+        parent: SpanCtx,
+        stage: SpanStage,
+        label: &dyn Fn() -> String,
+    ) -> Option<(u64, std::time::Instant)> {
+        if !parent.is_active() {
+            return None;
+        }
+        let text = if self.obs.spans_materializing() {
+            label()
+        } else {
+            String::new()
+        };
+        let now = self.queue.now();
+        let id = self
+            .obs
+            .open_span(parent.trace_id, parent.parent, stage, &text, now);
+        Some((id, std::time::Instant::now()))
+    }
+
+    /// Closes a span opened by [`begin_wall_span`], recording its
+    /// wall-clock extent.
+    fn end_wall_span(&mut self, open: Option<(u64, std::time::Instant)>) {
+        if let Some((id, t0)) = open {
+            let now = self.queue.now();
+            self.obs.close_span(id, now, obs::elapsed_us(t0));
+        }
+    }
+
+    /// Samples the engine's occupancy gauges: event-queue composition,
+    /// contained-error buffer fill, and open spans.
+    fn sample_gauges(&self) -> Vec<obs::GaugeSample> {
+        let mut pending_emit = 0u64;
+        let mut pending_delivery = 0u64;
+        let mut pending_poll = 0u64;
+        let mut pending_retry = 0u64;
+        for event in self.queue.iter() {
+            match event {
+                Event::Emit { .. } => pending_emit += 1,
+                Event::SourceDeliver { .. }
+                | Event::ContextDeliver { .. }
+                | Event::ControllerDeliver { .. }
+                | Event::BatchDeliver { .. } => pending_delivery += 1,
+                Event::PeriodicPoll { .. } => pending_poll += 1,
+                Event::Redeliver { .. } => pending_retry += 1,
+                _ => {}
+            }
+        }
+        let gauge = |name: &str, value: u64| obs::GaugeSample {
+            name: name.to_owned(),
+            value,
+        };
+        vec![
+            gauge("queue_depth", self.queue.len() as u64),
+            gauge("queue_pending_emits", pending_emit),
+            gauge("queue_pending_deliveries", pending_delivery),
+            gauge("queue_pending_polls", pending_poll),
+            gauge("queue_pending_retries", pending_retry),
+            gauge("error_buffer_fill", self.errors.len() as u64),
+            gauge("error_buffer_capacity", ERRORS_CAP as u64),
+            gauge("open_spans", self.obs.open_span_count() as u64),
+        ]
+    }
+
+    /// A point-in-time snapshot of the activity-labeled measurements,
+    /// per-stage latency breakdowns, and occupancy gauges.
     #[must_use]
     pub fn observation(&self) -> obs::ObsSnapshot {
-        self.obs.snapshot(self.queue.now())
+        let mut snapshot = self.obs.snapshot(self.queue.now());
+        snapshot.gauges = self.sample_gauges();
+        snapshot
     }
 
     /// Builds a snapshot and pushes it to every attached observer.
     pub fn publish_observation(&mut self) -> obs::ObsSnapshot {
-        self.obs.publish(self.queue.now())
+        let snapshot = self.observation();
+        self.obs.publish_snapshot(&snapshot);
+        snapshot
     }
 
     /// Read access to the activity-duration histograms.

@@ -16,6 +16,7 @@ use crate::entity::{AttributeMap, DeviceInstance, EntityId};
 use crate::error::RuntimeError;
 use crate::obs::{self, Activity};
 use crate::registry::ErrorPolicy;
+use crate::spans::SpanStage;
 use crate::trace::TraceKind;
 use crate::value::Value;
 use diaspec_core::model::InputRef;
@@ -373,14 +374,36 @@ impl ControllerApi<'_> {
             });
         }
         let now = self.engine.queue.now();
-        let started = self.engine.obs.is_enabled().then(std::time::Instant::now);
+        // One Instant serves both the activity histogram and the actuate
+        // span; taken only when either consumer is live.
+        let cursor = self.engine.span_cursor;
+        let started =
+            (self.engine.obs.is_enabled() || cursor.is_active()).then(std::time::Instant::now);
         let fallbacks_before = self.engine.registry.stats().fallback_invocations;
         self.engine.registry.invoke(entity, action, args, now)?;
         if let Some(t0) = started {
-            let label = format!("{device_type}.{action}");
-            self.engine
-                .obs
-                .record(Activity::Actuating, &label, obs::elapsed_us(t0));
+            let us = obs::elapsed_us(t0);
+            if self.engine.obs.is_enabled() {
+                let label = format!("{device_type}.{action}");
+                self.engine.obs.record(Activity::Actuating, &label, us);
+            }
+            if cursor.is_active() {
+                // The actuate span nests inside the controller's open
+                // compute span.
+                let label = if self.engine.obs.spans_materializing() {
+                    format!("{device_type}.{action}")
+                } else {
+                    String::new()
+                };
+                let id = self.engine.obs.open_span(
+                    cursor.trace_id,
+                    cursor.parent,
+                    SpanStage::Actuate,
+                    &label,
+                    now,
+                );
+                self.engine.obs.close_span(id, now, us);
+            }
         }
         self.engine.metrics.actuations += 1;
         self.engine.record_trace(
@@ -406,9 +429,26 @@ impl ControllerApi<'_> {
                 now,
                 TraceKind::FallbackActuation {
                     entity: entity.to_string(),
-                    action: fallback,
+                    action: fallback.clone(),
                 },
             );
+            // A masked fallback is a recovery episode inside the same
+            // trace: a sibling of the actuate span.
+            if cursor.is_active() {
+                let label = if self.engine.obs.spans_materializing() {
+                    format!("{device_type}.{fallback}")
+                } else {
+                    String::new()
+                };
+                self.engine.obs.record_span(
+                    cursor.trace_id,
+                    cursor.parent,
+                    SpanStage::Recover,
+                    &label,
+                    now,
+                    now,
+                );
+            }
         }
         Ok(())
     }

@@ -17,7 +17,9 @@
 use crate::engine::Orchestrator;
 use crate::entity::EntityId;
 use crate::error::RuntimeError;
+use crate::obs;
 use crate::payload::Payload;
+use crate::spans::{SpanCtx, SpanStage};
 use crate::trace::TraceKind;
 use crate::value::Value;
 use diaspec_core::model::PublishMode;
@@ -74,7 +76,10 @@ impl Orchestrator {
         Ok(())
     }
 
-    /// Admits one due emission and hands it to the route stage.
+    /// Admits one due emission and hands it to the route stage. Every
+    /// emission mints a fresh trace when span tracing is on; the admit
+    /// span closes before routing begins (the stages are sequential, not
+    /// nested).
     pub(crate) fn dispatch_emit(
         &mut self,
         entity: &EntityId,
@@ -82,10 +87,37 @@ impl Orchestrator {
         value: &Payload,
         index: Option<&Payload>,
     ) {
-        let Some(device_type) = self.admit_emission(entity, source) else {
+        let admit = if self.obs.spans_enabled() {
+            let trace_id = self.obs.mint_trace();
+            let label = if self.obs.spans_materializing() {
+                format!("{entity}.{source}")
+            } else {
+                String::new()
+            };
+            let now = self.queue.now();
+            let id = self
+                .obs
+                .open_span(trace_id, 0, SpanStage::Admit, &label, now);
+            Some((trace_id, id, std::time::Instant::now()))
+        } else {
+            None
+        };
+        let device_type = self.admit_emission(entity, source);
+        let span = match admit {
+            Some((trace_id, id, t0)) => {
+                let now = self.queue.now();
+                self.obs.close_span(id, now, obs::elapsed_us(t0));
+                SpanCtx {
+                    trace_id,
+                    parent: id,
+                }
+            }
+            None => SpanCtx::NONE,
+        };
+        let Some(device_type) = device_type else {
             return;
         };
-        self.fan_out_emission(&device_type, entity, source, value, index);
+        self.fan_out_emission(&device_type, entity, source, value, index, span);
     }
 
     /// Entry checks and bookkeeping for an emission; returns the emitting
@@ -112,11 +144,14 @@ impl Orchestrator {
     }
 
     /// Enforces an activation's declared publish mode on its result.
+    /// `span` carries the activating computation's trace so the resulting
+    /// publication joins it ([`SpanCtx::NONE`] starts a fresh trace).
     pub(crate) fn handle_publication(
         &mut self,
         context: &str,
         mode: PublishMode,
         value: Option<Value>,
+        span: SpanCtx,
     ) {
         match (mode, value) {
             (PublishMode::Always, None) => {
@@ -137,14 +172,14 @@ impl Orchestrator {
             }
             (PublishMode::No, None) => {}
             (PublishMode::Always | PublishMode::Maybe, Some(value)) => {
-                self.publish(context, value);
+                self.publish(context, value, span);
             }
         }
     }
 
     /// Admits one context publication — conformance check, bookkeeping,
     /// last-value cache — then hands it to the route stage.
-    fn publish(&mut self, context: &str, value: Value) {
+    fn publish(&mut self, context: &str, value: Value, span: SpanCtx) {
         let output_ty = match self.spec.context(context) {
             Some(c) => c.output.clone(),
             None => return,
@@ -157,6 +192,26 @@ impl Orchestrator {
             });
             return;
         }
+        let admit = if self.obs.spans_enabled() {
+            let trace_id = if span.is_active() {
+                span.trace_id
+            } else {
+                self.obs.mint_trace()
+            };
+            let parent = if span.is_active() { span.parent } else { 0 };
+            let label = if self.obs.spans_materializing() {
+                context.to_owned()
+            } else {
+                String::new()
+            };
+            let now = self.queue.now();
+            let id = self
+                .obs
+                .open_span(trace_id, parent, SpanStage::Admit, &label, now);
+            Some((trace_id, id, std::time::Instant::now()))
+        } else {
+            None
+        };
         let payload = Payload::new(value);
         self.metrics.publications += 1;
         if self.trace_active() {
@@ -172,7 +227,18 @@ impl Orchestrator {
         if let Some(runtime) = self.contexts.get_mut(context) {
             runtime.last_value = Some(payload.clone());
         }
-        self.fan_out_publication(context, &payload);
+        let ctx = match admit {
+            Some((trace_id, id, t0)) => {
+                let now = self.queue.now();
+                self.obs.close_span(id, now, obs::elapsed_us(t0));
+                SpanCtx {
+                    trace_id,
+                    parent: id,
+                }
+            }
+            None => SpanCtx::NONE,
+        };
+        self.fan_out_publication(context, &payload, ctx);
     }
 }
 

@@ -18,6 +18,7 @@ use crate::fault::{FaultInjector, FaultKind};
 use crate::obs::{self, Activity};
 use crate::payload::Payload;
 use crate::registry::PolledReading;
+use crate::spans::{SpanCtx, SpanStage};
 use crate::trace::TraceKind;
 use crate::value::Value;
 use diaspec_core::model::{ActivationTrigger, InputRef};
@@ -45,7 +46,13 @@ impl Orchestrator {
                 value,
                 index,
                 activation_idx,
+                span,
             } => {
+                let open = self.begin_wall_span(span, SpanStage::Dispatch, &|| context.clone());
+                let ctx = open.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+                    trace_id: span.trace_id,
+                    parent: id,
+                });
                 let input = ContextActivation::SourceEvent {
                     device_type: &device_type,
                     entity: &entity,
@@ -53,25 +60,42 @@ impl Orchestrator {
                     value: &value,
                     index: index.as_deref(),
                 };
-                self.activate_context(&context, activation_idx, input);
+                self.activate_context(&context, activation_idx, input, ctx);
+                self.end_wall_span(open);
             }
             Event::ContextDeliver {
                 context,
                 from,
                 value,
                 activation_idx,
+                span,
             } => {
+                let open = self.begin_wall_span(span, SpanStage::Dispatch, &|| context.clone());
+                let ctx = open.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+                    trace_id: span.trace_id,
+                    parent: id,
+                });
                 let input = ContextActivation::ContextEvent {
                     context: &from,
                     value: &value,
                 };
-                self.activate_context(&context, activation_idx, input);
+                self.activate_context(&context, activation_idx, input, ctx);
+                self.end_wall_span(open);
             }
             Event::ControllerDeliver {
                 controller,
                 from,
                 value,
-            } => self.activate_controller(&controller, &from, &value),
+                span,
+            } => {
+                let open = self.begin_wall_span(span, SpanStage::Dispatch, &|| controller.clone());
+                let ctx = open.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+                    trace_id: span.trace_id,
+                    parent: id,
+                });
+                self.activate_controller(&controller, &from, &value, ctx);
+                self.end_wall_span(open);
+            }
             Event::PeriodicPoll {
                 context,
                 activation_idx,
@@ -81,7 +105,8 @@ impl Orchestrator {
                 activation_idx,
                 readings,
                 window_ms,
-            } => self.dispatch_batch(&context, activation_idx, readings, window_ms),
+                span,
+            } => self.dispatch_batch(&context, activation_idx, readings, window_ms, span),
             Event::ProcessWake { idx } => {
                 let Some(mut process) = self.processes[idx].process.take() else {
                     return;
@@ -196,6 +221,24 @@ impl Orchestrator {
                 &transition.lost.device_type,
                 now.saturating_sub(transition.deadline),
             );
+            // Each recovery episode is its own trace: a root recover span
+            // spanning the undetected-loss window.
+            if self.obs.spans_enabled() {
+                let trace_id = self.obs.mint_trace();
+                let label = if self.obs.spans_materializing() {
+                    transition.lost.device_type.clone()
+                } else {
+                    String::new()
+                };
+                self.obs.record_span(
+                    trace_id,
+                    0,
+                    SpanStage::Recover,
+                    &label,
+                    transition.deadline.min(now),
+                    now,
+                );
+            }
             if let Some(replacement) = &transition.replacement {
                 self.metrics.rebinds += 1;
                 self.record_trace(
@@ -322,7 +365,24 @@ impl Orchestrator {
 
         // Poll the whole device family (query-driven under the hood; the
         // paper requires drivers to support all three delivery modes).
+        // Each poll mints one trace; its admit span covers the poll and
+        // the per-reading transport sampling (individual readings are not
+        // traced — one span per reading would dwarf the data).
         let now = self.queue.now();
+        let admit = if self.obs.spans_enabled() {
+            let trace_id = self.obs.mint_trace();
+            let label = if self.obs.spans_materializing() {
+                format!("{context}/poll")
+            } else {
+                String::new()
+            };
+            let id = self
+                .obs
+                .open_span(trace_id, 0, SpanStage::Admit, &label, now);
+            Some((trace_id, id, std::time::Instant::now()))
+        } else {
+            None
+        };
         let readings = self
             .registry
             .poll(&device, &source, group_attr.as_deref(), now);
@@ -366,6 +426,16 @@ impl Orchestrator {
                 None => self.metrics.messages_lost += 1,
             }
         }
+        let span = match admit {
+            Some((trace_id, id, t0)) => {
+                self.obs.close_span(id, now, obs::elapsed_us(t0));
+                SpanCtx {
+                    trace_id,
+                    parent: id,
+                }
+            }
+            None => SpanCtx::NONE,
+        };
 
         // Window accumulation (`every <T>`): buffer until the deadline.
         let deliver = if let Some(window_ms) = window_ms {
@@ -388,6 +458,14 @@ impl Orchestrator {
 
         if let Some(readings) = deliver {
             self.check_qos(context, max_latency);
+            // One schedule span stands for the whole batch hop (the batch
+            // arrives with its slowest surviving reading). A window flush
+            // is attributed to the poll that flushed it.
+            let batch_span = if span.is_active() {
+                self.schedule_span(span, context, max_latency)
+            } else {
+                SpanCtx::NONE
+            };
             self.queue.schedule_in(
                 max_latency,
                 Event::BatchDeliver {
@@ -395,6 +473,7 @@ impl Orchestrator {
                     activation_idx,
                     readings,
                     window_ms,
+                    span: batch_span,
                 },
             );
         }
@@ -415,8 +494,10 @@ impl Orchestrator {
         activation_idx: usize,
         readings: Vec<PolledReading>,
         window_ms: Option<u64>,
+        span: SpanCtx,
     ) {
-        let Some(ctx_decl) = self.spec.context(context) else {
+        let spec = std::sync::Arc::clone(&self.spec);
+        let Some(ctx_decl) = spec.context(context) else {
             return;
         };
         let Some(activation) = ctx_decl.activations.get(activation_idx) else {
@@ -425,6 +506,11 @@ impl Orchestrator {
         let ActivationTrigger::Periodic { device, source, .. } = activation.trigger.clone() else {
             return;
         };
+        let open = self.begin_wall_span(span, SpanStage::Dispatch, &|| context.to_owned());
+        let ctx = open.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+            trace_id: span.trace_id,
+            parent: id,
+        });
 
         // Grouping shares the batch's payload handles — a 10k-reading
         // batch groups with 10k pointer bumps, not 10k value copies.
@@ -454,6 +540,15 @@ impl Orchestrator {
                 match mr {
                     Some(mr) => {
                         self.metrics.map_reduce_executions += 1;
+                        // Batch ingestion into the MapReduce substrate is
+                        // its own span; the per-phase wall times become
+                        // compute spans nested under it.
+                        let ingest =
+                            self.begin_wall_span(ctx, SpanStage::Ingest, &|| context.to_owned());
+                        let ingest_ctx = ingest.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+                            trace_id: ctx.trace_id,
+                            parent: id,
+                        });
                         // Chunk ingestion clones handles: the executor's
                         // input records share the batch's values.
                         let input: Vec<(Payload, Payload)> = readings
@@ -474,16 +569,17 @@ impl Orchestrator {
                         {
                             job = job.fault_plan(plan.clone());
                         }
-                        match job.try_run_to_map(&adapter, input) {
+                        let outcome = match job.try_run_to_map(&adapter, input) {
                             Ok(result) => {
+                                let phases = [
+                                    ("map", result.stats.map_time),
+                                    ("shuffle", result.stats.shuffle_time),
+                                    ("reduce", result.stats.reduce_time),
+                                ];
                                 if self.obs.is_enabled() {
                                     // Surface the executor's per-phase wall
                                     // times as processing durations.
-                                    for (phase, time) in [
-                                        ("map", result.stats.map_time),
-                                        ("shuffle", result.stats.shuffle_time),
-                                        ("reduce", result.stats.reduce_time),
-                                    ] {
+                                    for (phase, time) in phases {
                                         let us =
                                             u64::try_from(time.as_micros()).unwrap_or(u64::MAX);
                                         self.obs.record(
@@ -491,6 +587,26 @@ impl Orchestrator {
                                             &format!("{context}/{phase}"),
                                             us,
                                         );
+                                    }
+                                }
+                                if ingest_ctx.is_active() {
+                                    let now = self.queue.now();
+                                    for (phase, time) in phases {
+                                        let us =
+                                            u64::try_from(time.as_micros()).unwrap_or(u64::MAX);
+                                        let label = if self.obs.spans_materializing() {
+                                            format!("{context}/{phase}")
+                                        } else {
+                                            String::new()
+                                        };
+                                        let id = self.obs.open_span(
+                                            ingest_ctx.trace_id,
+                                            ingest_ctx.parent,
+                                            SpanStage::Compute,
+                                            &label,
+                                            now,
+                                        );
+                                        self.obs.close_span(id, now, us);
                                     }
                                 }
                                 self.account_batch_processing(
@@ -508,7 +624,9 @@ impl Orchestrator {
                                 )));
                                 (None, None)
                             }
-                        }
+                        };
+                        self.end_wall_span(ingest);
+                        outcome
                     }
                     None => {
                         self.contain(RuntimeError::Configuration(format!(
@@ -530,7 +648,13 @@ impl Orchestrator {
             coverage,
             window_ms,
         };
-        self.activate_context(context, activation_idx, ContextActivation::Batch(&batch));
+        self.activate_context(
+            context,
+            activation_idx,
+            ContextActivation::Batch(&batch),
+            ctx,
+        );
+        self.end_wall_span(open);
     }
 
     /// Folds one batch execution's fault-tolerance outcome into metrics,
@@ -614,6 +738,7 @@ impl Orchestrator {
         name: &str,
         activation_idx: usize,
         input: ContextActivation<'_>,
+        span: SpanCtx,
     ) {
         let publish_mode = match self
             .spec
@@ -640,6 +765,15 @@ impl Orchestrator {
                 },
             );
         }
+        // The compute span stays open while the logic runs so actuations
+        // and query-driven computations nest under it (via span_cursor);
+        // it closes before the resulting publication is admitted.
+        let compute = self.begin_wall_span(span, SpanStage::Compute, &|| name.to_owned());
+        let ctx = compute.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+            trace_id: span.trace_id,
+            parent: id,
+        });
+        let prev = std::mem::replace(&mut self.span_cursor, ctx);
         let started = self.obs.is_enabled().then(std::time::Instant::now);
         let result = {
             let mut api = ContextApi {
@@ -648,19 +782,21 @@ impl Orchestrator {
             };
             logic.activate(&mut api, input)
         };
+        self.span_cursor = prev;
         if let Some(t0) = started {
             self.obs
                 .record(Activity::Processing, name, obs::elapsed_us(t0));
         }
+        self.end_wall_span(compute);
         self.contexts.get_mut(name).expect("context exists").logic = Some(logic);
 
         match result {
             Err(e) => self.contain(e.into()),
-            Ok(maybe_value) => self.handle_publication(name, publish_mode, maybe_value),
+            Ok(maybe_value) => self.handle_publication(name, publish_mode, maybe_value, ctx),
         }
     }
 
-    fn activate_controller(&mut self, name: &str, from: &str, value: &Value) {
+    fn activate_controller(&mut self, name: &str, from: &str, value: &Value, span: SpanCtx) {
         let Some(mut logic) = self.controllers.get_mut(name).and_then(|r| r.logic.take()) else {
             self.contain(RuntimeError::ContractViolation {
                 component: name.to_owned(),
@@ -679,6 +815,12 @@ impl Orchestrator {
                 },
             );
         }
+        let compute = self.begin_wall_span(span, SpanStage::Compute, &|| name.to_owned());
+        let ctx = compute.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+            trace_id: span.trace_id,
+            parent: id,
+        });
+        let prev = std::mem::replace(&mut self.span_cursor, ctx);
         let started = self.obs.is_enabled().then(std::time::Instant::now);
         let result = {
             let mut api = ControllerApi {
@@ -687,10 +829,12 @@ impl Orchestrator {
             };
             logic.on_context(&mut api, from, value)
         };
+        self.span_cursor = prev;
         if let Some(t0) = started {
             self.obs
                 .record(Activity::Processing, name, obs::elapsed_us(t0));
         }
+        self.end_wall_span(compute);
         self.controllers
             .get_mut(name)
             .expect("controller exists")
@@ -724,6 +868,16 @@ impl Orchestrator {
         };
         self.metrics.on_demand_computations += 1;
         self.metrics.context_activations += 1;
+        // Query-driven computation nests under whatever activation asked
+        // for it (the span cursor), forming a compute-inside-compute
+        // chain for `get` cascades.
+        let cursor = self.span_cursor;
+        let compute = self.begin_wall_span(cursor, SpanStage::Compute, &|| name.to_owned());
+        let ctx = compute.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+            trace_id: cursor.trace_id,
+            parent: id,
+        });
+        let prev = std::mem::replace(&mut self.span_cursor, ctx);
         let started = self.obs.is_enabled().then(std::time::Instant::now);
         let result = {
             let mut api = ContextApi {
@@ -732,10 +886,12 @@ impl Orchestrator {
             };
             logic.activate(&mut api, ContextActivation::OnDemand)
         };
+        self.span_cursor = prev;
         if let Some(t0) = started {
             self.obs
                 .record(Activity::Processing, name, obs::elapsed_us(t0));
         }
+        self.end_wall_span(compute);
         self.contexts.get_mut(name).expect("context exists").logic = Some(logic);
 
         let computed = result.map_err(RuntimeError::from)?;

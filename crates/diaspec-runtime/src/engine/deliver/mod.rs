@@ -37,6 +37,7 @@ use crate::clock::SimTime;
 use crate::entity::EntityId;
 use crate::payload::Payload;
 use crate::registry::PolledReading;
+use crate::spans::SpanCtx;
 
 /// A scheduled pipeline event. Delivery events carry their value as a
 /// shared [`Payload`] handle, so cloning an event (fan-out, injected
@@ -61,6 +62,9 @@ pub(crate) enum Event {
         value: Payload,
         index: Option<Payload>,
         activation_idx: usize,
+        /// Causal-tracing correlation IDs ([`SpanCtx::NONE`] when span
+        /// tracing was off at admission).
+        span: SpanCtx,
     },
     /// A context publication arrives at a subscribed context.
     ContextDeliver {
@@ -68,12 +72,14 @@ pub(crate) enum Event {
         from: String,
         value: Payload,
         activation_idx: usize,
+        span: SpanCtx,
     },
     /// A context publication arrives at a subscribed controller.
     ControllerDeliver {
         controller: String,
         from: String,
         value: Payload,
+        span: SpanCtx,
     },
     /// Time to poll a periodic activation.
     PeriodicPoll {
@@ -86,6 +92,7 @@ pub(crate) enum Event {
         activation_idx: usize,
         readings: Vec<PolledReading>,
         window_ms: Option<u64>,
+        span: SpanCtx,
     },
     /// A simulation process wakes.
     ProcessWake { idx: usize },
@@ -122,6 +129,32 @@ impl Event {
             Event::SourceDeliver { .. } | Event::ContextDeliver { .. } | Event::BatchDeliver { .. }
         )
     }
+
+    /// The causal-tracing context the event carries
+    /// ([`SpanCtx::NONE`] for non-delivery events).
+    pub(crate) fn span(&self) -> SpanCtx {
+        match self {
+            Event::SourceDeliver { span, .. }
+            | Event::ContextDeliver { span, .. }
+            | Event::ControllerDeliver { span, .. }
+            | Event::BatchDeliver { span, .. } => *span,
+            Event::Redeliver { event, .. } => event.span(),
+            _ => SpanCtx::NONE,
+        }
+    }
+
+    /// Re-parents the event under a new span (used by the schedule stage
+    /// so each scheduled copy parents under its own transport span).
+    pub(crate) fn set_span(&mut self, ctx: SpanCtx) {
+        match self {
+            Event::SourceDeliver { span, .. }
+            | Event::ContextDeliver { span, .. }
+            | Event::ControllerDeliver { span, .. }
+            | Event::BatchDeliver { span, .. } => *span = ctx,
+            Event::Redeliver { event, .. } => event.set_span(ctx),
+            _ => {}
+        }
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +169,7 @@ mod tests {
             from: "Presence".into(),
             value: Payload::new(Value::Bool(true)),
             activation_idx: 0,
+            span: SpanCtx::NONE,
         };
         assert_eq!(ev.target(), "Occupancy");
         assert!(ev.targets_context());
@@ -143,6 +177,7 @@ mod tests {
             controller: "Panel".into(),
             from: "Occupancy".into(),
             value: Payload::new(Value::Int(3)),
+            span: SpanCtx::NONE,
         };
         assert_eq!(ev.target(), "Panel");
         assert!(!ev.targets_context());

@@ -19,6 +19,7 @@
 use crate::engine::Orchestrator;
 use crate::entity::EntityId;
 use crate::payload::Payload;
+use crate::spans::{SpanCtx, SpanStage};
 use diaspec_core::model::{ActivationTrigger, CheckedSpec, Subscriber};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -153,7 +154,8 @@ impl RouteTable {
 impl Orchestrator {
     /// Fans an admitted emission out to its subscribed contexts: one
     /// [`Event::SourceDeliver`] per route, each carrying a clone of the
-    /// shared payload handle.
+    /// shared payload handle. One route span covers the whole fan-out;
+    /// each scheduled delivery parents under it.
     pub(crate) fn fan_out_emission(
         &mut self,
         device_type: &str,
@@ -161,9 +163,17 @@ impl Orchestrator {
         source: &str,
         value: &Payload,
         index: Option<&Payload>,
+        span: SpanCtx,
     ) {
         let routes = Arc::clone(&self.routes);
         let now = self.queue.now();
+        let open = self.begin_wall_span(span, SpanStage::Route, &|| {
+            format!("{device_type}.{source}")
+        });
+        let ctx = open.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+            trace_id: span.trace_id,
+            parent: id,
+        });
         for route in routes.source_subscribers(device_type, source) {
             let event = Event::SourceDeliver {
                 context: route.context.clone(),
@@ -173,16 +183,23 @@ impl Orchestrator {
                 value: value.clone(),
                 index: index.cloned(),
                 activation_idx: route.activation_idx,
+                span: ctx,
             };
             self.send_event(&route.context, true, event, 1, now);
         }
+        self.end_wall_span(open);
     }
 
     /// Fans an admitted publication out to its subscribers — downstream
     /// contexts (QoS-budgeted) first, then controllers, as declared.
-    pub(crate) fn fan_out_publication(&mut self, context: &str, value: &Payload) {
+    pub(crate) fn fan_out_publication(&mut self, context: &str, value: &Payload, span: SpanCtx) {
         let routes = Arc::clone(&self.routes);
         let now = self.queue.now();
+        let open = self.begin_wall_span(span, SpanStage::Route, &|| context.to_owned());
+        let ctx = open.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+            trace_id: span.trace_id,
+            parent: id,
+        });
         for route in routes.context_subscribers(context) {
             let (target, qos_context, event) = match route {
                 ContextRoute::Context {
@@ -196,6 +213,7 @@ impl Orchestrator {
                         from: context.to_owned(),
                         value: value.clone(),
                         activation_idx: *activation_idx,
+                        span: ctx,
                     },
                 ),
                 ContextRoute::Controller { name } => (
@@ -205,11 +223,13 @@ impl Orchestrator {
                         controller: name.clone(),
                         from: context.to_owned(),
                         value: value.clone(),
+                        span: ctx,
                     },
                 ),
             };
             self.send_event(target, qos_context, event, 1, now);
         }
+        self.end_wall_span(open);
     }
 }
 

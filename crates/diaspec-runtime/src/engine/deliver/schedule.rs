@@ -18,6 +18,7 @@
 use crate::clock::SimTime;
 use crate::engine::Orchestrator;
 use crate::obs::Activity;
+use crate::spans::{SpanCtx, SpanStage};
 use crate::trace::TraceKind;
 use crate::transport::SendOutcome;
 
@@ -97,16 +98,25 @@ impl Orchestrator {
         &mut self,
         target: &str,
         qos_context: bool,
-        event: Event,
+        mut event: Event,
         attempt: u32,
         first_sent_at: SimTime,
     ) {
         let outcome = self.sample_send();
+        // The schedule span covers the simulated transport hop — sim-time
+        // extent, recorded as a sibling per scheduled copy. The base
+        // context deliberately keeps the *route* parent so a retried
+        // send's schedule span is a sibling of the failed one.
+        let base = event.span();
         if let Some(latency) = outcome.duplicate {
             self.metrics.messages_delivered += 1;
             self.metrics.total_transport_latency_ms += latency;
             self.obs.record(Activity::Delivering, target, latency);
-            self.queue.schedule_in(latency, event.clone());
+            let mut copy = event.clone();
+            if base.is_active() {
+                copy.set_span(self.schedule_span(base, target, latency));
+            }
+            self.queue.schedule_in(latency, copy);
         }
         match outcome.delivery {
             Some(latency) => {
@@ -116,12 +126,44 @@ impl Orchestrator {
                 if qos_context {
                     self.check_qos(target, latency);
                 }
+                if base.is_active() {
+                    event.set_span(self.schedule_span(base, target, latency));
+                }
                 self.queue.schedule_in(latency, event);
             }
             None if outcome.fault_dropped => {
                 self.schedule_retry(target, event, attempt, first_sent_at);
             }
             None => self.metrics.messages_lost += 1,
+        }
+    }
+
+    /// Records one transport-hop schedule span (sim-time extent `latency`
+    /// from now) under `base` and returns the context the scheduled copy
+    /// should carry so its dispatch parents under this hop.
+    pub(crate) fn schedule_span(
+        &mut self,
+        base: SpanCtx,
+        target: &str,
+        latency: SimTime,
+    ) -> SpanCtx {
+        let label = if self.obs.spans_materializing() {
+            target.to_owned()
+        } else {
+            String::new()
+        };
+        let now = self.queue.now();
+        let id = self.obs.record_span(
+            base.trace_id,
+            base.parent,
+            SpanStage::Schedule,
+            &label,
+            now,
+            now + latency,
+        );
+        SpanCtx {
+            trace_id: base.trace_id,
+            parent: id,
         }
     }
 
@@ -161,6 +203,25 @@ impl Orchestrator {
         );
         // Recovery cost: the backoff this delivery now waits out.
         self.obs.record(Activity::Recovering, target, backoff);
+        // The retry span covers the backoff wait, a sibling of the failed
+        // hop's schedule span (the boxed event keeps its route parent, so
+        // the resend's schedule span lands beside this one too).
+        let base = event.span();
+        if base.is_active() {
+            let label = if self.obs.spans_materializing() {
+                target.to_owned()
+            } else {
+                String::new()
+            };
+            self.obs.record_span(
+                base.trace_id,
+                base.parent,
+                SpanStage::Retry,
+                &label,
+                now,
+                now + backoff,
+            );
+        }
         self.queue.schedule_in(
             backoff,
             Event::Redeliver {
@@ -219,6 +280,7 @@ mod tests {
             from: "X".into(),
             value: crate::payload::Payload::new(Value::Int(1)),
             activation_idx: 0,
+            span: SpanCtx::NONE,
         };
         orch.send_event("Tight", true, event, 1, 0);
         assert_eq!(orch.metrics().messages_delivered, 1);

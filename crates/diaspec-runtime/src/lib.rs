@@ -41,6 +41,7 @@ pub mod obs;
 pub mod payload;
 pub mod process;
 pub mod registry;
+pub mod spans;
 pub mod trace;
 pub mod transport;
 pub mod value;
@@ -49,4 +50,5 @@ pub use engine::{Orchestrator, Phase, ProcessingMode};
 pub use error::RuntimeError;
 pub use obs::{Activity, LatencyHistogram, ObsSnapshot, Observer};
 pub use payload::Payload;
+pub use spans::{SpanCtx, SpanEvent, SpanStage};
 pub use value::Value;

@@ -32,6 +32,7 @@
 //! candidate record site (see the `obs` benchmark in `diaspec-bench`).
 
 use crate::clock::SimTime;
+use crate::spans::{SpanEvent, SpanStage, SpanTracer};
 use crate::trace::TraceEvent;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -278,7 +279,8 @@ impl LatencyHistogram {
         self.max = self.max.max(other.max);
     }
 
-    /// A serializable summary (count, sum, extremes, mean, p50/p90/p99).
+    /// A serializable summary (count, sum, extremes, mean,
+    /// p50/p90/p99/p99.9).
     #[must_use]
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -290,8 +292,44 @@ impl LatencyHistogram {
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
         }
     }
+
+    /// Cumulative bucket counts in Prometheus histogram style: one
+    /// `(le, cumulative count)` pair per occupied bucket, ordered by
+    /// bucket upper bound. The final unbounded bucket is omitted — its
+    /// samples are only reachable through the implicit `+Inf` bucket
+    /// (whose cumulative count is [`LatencyHistogram::count`]).
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<BucketCount> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if c == 0 {
+                continue;
+            }
+            let le = Self::bucket_upper(i);
+            if le == u64::MAX {
+                continue;
+            }
+            out.push(BucketCount {
+                le,
+                count: cumulative,
+            });
+        }
+        out
+    }
+}
+
+/// One cumulative histogram bucket: the number of samples `<= le`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket, in the histogram's unit.
+    pub le: u64,
+    /// Cumulative sample count at or below `le`.
+    pub count: u64,
 }
 
 /// Serializable summary of a [`LatencyHistogram`].
@@ -313,6 +351,9 @@ pub struct HistogramSummary {
     pub p90: u64,
     /// 99th percentile (up to bucket resolution).
     pub p99: u64,
+    /// 99.9th percentile (up to bucket resolution).
+    #[serde(default)]
+    pub p999: u64,
 }
 
 // ---- snapshots ------------------------------------------------------------
@@ -324,6 +365,15 @@ pub struct ObsSnapshot {
     pub at: SimTime,
     /// One entry per [`Activity`], in [`Activity::ALL`] order.
     pub activities: Vec<ActivitySnapshot>,
+    /// Per-pipeline-stage latency breakdowns from causal span tracing,
+    /// one entry per [`SpanStage`], in [`SpanStage::ALL`] order. Empty
+    /// when span tracing never ran.
+    #[serde(default)]
+    pub stages: Vec<StageSnapshot>,
+    /// Queue-depth / occupancy gauges sampled at snapshot time (filled
+    /// by the orchestrator; see `Orchestrator::observation`).
+    #[serde(default)]
+    pub gauges: Vec<GaugeSample>,
 }
 
 impl ObsSnapshot {
@@ -333,6 +383,18 @@ impl ObsSnapshot {
         self.activities
             .iter()
             .find(|a| a.activity == activity.label())
+    }
+
+    /// The breakdown of one pipeline stage, by its label.
+    #[must_use]
+    pub fn stage(&self, stage: SpanStage) -> Option<&StageSnapshot> {
+        self.stages.iter().find(|s| s.stage == stage.label())
+    }
+
+    /// The value of one gauge, by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
     }
 }
 
@@ -348,6 +410,35 @@ pub struct ActivitySnapshot {
     pub latency: HistogramSummary,
     /// Operation counts per component / device-family label.
     pub labels: BTreeMap<String, u64>,
+    /// Cumulative latency buckets (occupied buckets only; the unbounded
+    /// tail is implicit in `latency.count`).
+    #[serde(default)]
+    pub buckets: Vec<BucketCount>,
+}
+
+/// Latency breakdown of one pipeline stage, measured by span tracing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// Stage label (`admit`, `route`, `schedule`, `dispatch`, `compute`,
+    /// `actuate`, `retry`, `recover`, `ingest`).
+    pub stage: String,
+    /// Unit of the recorded durations (`ms` simulated or `us` wall).
+    pub unit: String,
+    /// Latency distribution of the stage.
+    pub latency: HistogramSummary,
+    /// Cumulative latency buckets (occupied buckets only).
+    #[serde(default)]
+    pub buckets: Vec<BucketCount>,
+}
+
+/// One occupancy gauge, sampled at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Gauge name (e.g. `queue_depth`, `inflight_deliveries`,
+    /// `error_buffer_fill`).
+    pub name: String,
+    /// Sampled value.
+    pub value: u64,
 }
 
 // ---- observers ------------------------------------------------------------
@@ -363,6 +454,11 @@ pub trait Observer {
     /// Called for each orchestration-level trace event, as it happens.
     fn on_event(&mut self, _event: &TraceEvent) {}
 
+    /// Called for each completed causal span, as it closes. Only fires
+    /// while span tracing is enabled (see
+    /// `Orchestrator::set_span_tracing`).
+    fn on_span(&mut self, _span: &SpanEvent) {}
+
     /// Called when a metrics snapshot is published.
     fn on_snapshot(&mut self, _snapshot: &ObsSnapshot) {}
 }
@@ -373,20 +469,25 @@ pub trait Observer {
 #[derive(Debug)]
 pub struct BufferSink {
     events: std::collections::VecDeque<TraceEvent>,
+    spans: std::collections::VecDeque<SpanEvent>,
     snapshots: Vec<ObsSnapshot>,
     capacity: usize,
     dropped: u64,
+    spans_dropped: u64,
 }
 
 impl BufferSink {
-    /// Creates a sink holding at most `capacity` events.
+    /// Creates a sink holding at most `capacity` events (and, likewise,
+    /// at most `capacity` spans).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         BufferSink {
             events: std::collections::VecDeque::new(),
+            spans: std::collections::VecDeque::new(),
             snapshots: Vec::new(),
             capacity: capacity.max(1),
             dropped: 0,
+            spans_dropped: 0,
         }
     }
 
@@ -394,6 +495,12 @@ impl BufferSink {
     pub fn take(&mut self) -> Vec<TraceEvent> {
         self.dropped = 0;
         self.events.drain(..).collect()
+    }
+
+    /// Drains the buffered spans, resetting the span drop counter.
+    pub fn take_spans(&mut self) -> Vec<SpanEvent> {
+        self.spans_dropped = 0;
+        self.spans.drain(..).collect()
     }
 
     /// Drains the buffered snapshots.
@@ -406,6 +513,12 @@ impl BufferSink {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Spans dropped since the last [`BufferSink::take_spans`].
+    #[must_use]
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped
+    }
 }
 
 impl Observer for BufferSink {
@@ -415,6 +528,14 @@ impl Observer for BufferSink {
             self.dropped += 1;
         }
         self.events.push_back(event.clone());
+    }
+
+    fn on_span(&mut self, span: &SpanEvent) {
+        if self.spans.len() >= self.capacity {
+            self.spans.pop_front();
+            self.spans_dropped += 1;
+        }
+        self.spans.push_back(span.clone());
     }
 
     fn on_snapshot(&mut self, snapshot: &ObsSnapshot) {
@@ -491,6 +612,12 @@ impl<W: Write> Observer for JsonlSink<W> {
         }
     }
 
+    fn on_span(&mut self, span: &SpanEvent) {
+        if let Ok(json) = serde_json::to_string(span) {
+            self.write_line(&format!("{{\"span\":{json}}}"));
+        }
+    }
+
     fn on_snapshot(&mut self, snapshot: &ObsSnapshot) {
         if let Ok(json) = serde_json::to_string(snapshot) {
             self.write_line(&format!("{{\"snapshot\":{json}}}"));
@@ -532,6 +659,10 @@ impl<S: Observer> Observer for SharedSink<S> {
         self.with(|s| s.on_event(event));
     }
 
+    fn on_span(&mut self, span: &SpanEvent) {
+        self.with(|s| s.on_span(span));
+    }
+
     fn on_snapshot(&mut self, snapshot: &ObsSnapshot) {
         self.with(|s| s.on_snapshot(snapshot));
     }
@@ -548,10 +679,40 @@ fn escape_label(value: &str) -> String {
         .replace('\n', "\\n")
 }
 
+/// Appends a Prometheus `histogram`-typed family (`_bucket`/`_sum`/
+/// `_count` lines) for one latency distribution.
+fn render_histogram_family(
+    out: &mut String,
+    family: &str,
+    base: &str,
+    latency: &HistogramSummary,
+    buckets: &[BucketCount],
+) {
+    for bucket in buckets {
+        out.push_str(&format!(
+            "{family}_bucket{{{base},le=\"{}\"}} {}\n",
+            bucket.le, bucket.count
+        ));
+    }
+    out.push_str(&format!(
+        "{family}_bucket{{{base},le=\"+Inf\"}} {}\n",
+        latency.count
+    ));
+    out.push_str(&format!("{family}_sum{{{base}}} {}\n", latency.sum));
+    out.push_str(&format!("{family}_count{{{base}}} {}\n", latency.count));
+}
+
 /// Renders a snapshot in the Prometheus text exposition style:
-/// a `diaspec_activity_operations_total` counter per activity/label pair
-/// and a `diaspec_activity_latency` summary (p50/p90/p99 + sum + count)
-/// per activity.
+///
+/// - `diaspec_activity_operations_total` — counter per activity/label
+///   pair;
+/// - `diaspec_activity_latency` — summary (p50/p90/p99/p99.9 + sum +
+///   count) per activity;
+/// - `diaspec_activity_latency_hist` — full cumulative histogram
+///   (`_bucket{le=...}`/`_sum`/`_count`) per activity;
+/// - `diaspec_stage_latency` / `diaspec_stage_latency_hist` — the same
+///   pair per causal-tracing pipeline stage, when spans were recorded;
+/// - one `diaspec_<name>` gauge per occupancy sample in the snapshot.
 #[must_use]
 pub fn render_prometheus(snapshot: &ObsSnapshot) -> String {
     let mut out = String::new();
@@ -579,6 +740,7 @@ pub fn render_prometheus(snapshot: &ObsSnapshot) -> String {
             ("0.5", act.latency.p50),
             ("0.9", act.latency.p90),
             ("0.99", act.latency.p99),
+            ("0.999", act.latency.p999),
         ] {
             out.push_str(&format!(
                 "diaspec_activity_latency{{{base},quantile=\"{q}\"}} {v}\n"
@@ -592,6 +754,69 @@ pub fn render_prometheus(snapshot: &ObsSnapshot) -> String {
             "diaspec_activity_latency_count{{{base}}} {}\n",
             act.latency.count
         ));
+    }
+    out.push_str(
+        "# HELP diaspec_activity_latency_hist Cumulative duration histogram per activity.\n",
+    );
+    out.push_str("# TYPE diaspec_activity_latency_hist histogram\n");
+    for act in &snapshot.activities {
+        let base = format!("activity=\"{}\",unit=\"{}\"", act.activity, act.unit);
+        render_histogram_family(
+            &mut out,
+            "diaspec_activity_latency_hist",
+            &base,
+            &act.latency,
+            &act.buckets,
+        );
+    }
+    if !snapshot.stages.is_empty() {
+        out.push_str(
+            "# HELP diaspec_stage_latency Per-pipeline-stage duration from causal span tracing.\n",
+        );
+        out.push_str("# TYPE diaspec_stage_latency summary\n");
+        for stage in &snapshot.stages {
+            let base = format!("stage=\"{}\",unit=\"{}\"", stage.stage, stage.unit);
+            for (q, v) in [
+                ("0.5", stage.latency.p50),
+                ("0.9", stage.latency.p90),
+                ("0.99", stage.latency.p99),
+                ("0.999", stage.latency.p999),
+            ] {
+                out.push_str(&format!(
+                    "diaspec_stage_latency{{{base},quantile=\"{q}\"}} {v}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "diaspec_stage_latency_sum{{{base}}} {}\n",
+                stage.latency.sum
+            ));
+            out.push_str(&format!(
+                "diaspec_stage_latency_count{{{base}}} {}\n",
+                stage.latency.count
+            ));
+        }
+        out.push_str(
+            "# HELP diaspec_stage_latency_hist Cumulative duration histogram per pipeline stage.\n",
+        );
+        out.push_str("# TYPE diaspec_stage_latency_hist histogram\n");
+        for stage in &snapshot.stages {
+            let base = format!("stage=\"{}\",unit=\"{}\"", stage.stage, stage.unit);
+            render_histogram_family(
+                &mut out,
+                "diaspec_stage_latency_hist",
+                &base,
+                &stage.latency,
+                &stage.buckets,
+            );
+        }
+    }
+    for gauge in &snapshot.gauges {
+        let name = format!("diaspec_{}", gauge.name);
+        out.push_str(&format!(
+            "# HELP {name} Occupancy gauge sampled at snapshot time.\n"
+        ));
+        out.push_str(&format!("# TYPE {name} gauge\n"));
+        out.push_str(&format!("{name} {}\n", gauge.value));
     }
     out
 }
@@ -621,6 +846,7 @@ pub struct ObsHub {
     enabled: bool,
     activities: [ActivityStats; 5],
     observers: Vec<Box<dyn Observer>>,
+    spans: SpanTracer,
 }
 
 impl std::fmt::Debug for ObsHub {
@@ -628,6 +854,7 @@ impl std::fmt::Debug for ObsHub {
         f.debug_struct("ObsHub")
             .field("enabled", &self.enabled)
             .field("observers", &self.observers.len())
+            .field("spans_enabled", &self.spans.is_enabled())
             .finish_non_exhaustive()
     }
 }
@@ -652,6 +879,7 @@ impl ObsHub {
                 ActivityStats::new(),
             ],
             observers: Vec::new(),
+            spans: SpanTracer::new(),
         }
     }
 
@@ -707,9 +935,121 @@ impl ObsHub {
         }
     }
 
-    /// Builds a snapshot of everything recorded so far.
+    // ---- causal spans ----
+
+    /// Enables or disables causal span tracing (implies span buffering
+    /// when enabling).
+    pub fn set_spans_enabled(&mut self, enabled: bool) {
+        self.spans.set_enabled(enabled);
+    }
+
+    /// Whether span tracing is on. This is the only check on the
+    /// disabled span hot path.
+    #[must_use]
+    pub fn spans_enabled(&self) -> bool {
+        self.spans.is_enabled()
+    }
+
+    /// Turns the in-memory completed-span buffer on or off independently
+    /// of span tracing itself. With buffering off and no observers
+    /// attached, spans are not materialized at all — only IDs are minted
+    /// and the per-stage histograms updated (the load-harness
+    /// configuration).
+    pub fn set_span_buffering(&mut self, buffering: bool) {
+        self.spans.set_buffering(buffering);
+    }
+
+    /// Whether closed spans need a materialized [`SpanEvent`] (buffered
+    /// or streamed to an observer) — callers use this to skip building
+    /// label strings.
+    #[must_use]
+    pub fn spans_materializing(&self) -> bool {
+        self.spans.is_buffering() || !self.observers.is_empty()
+    }
+
+    /// Mints a fresh trace ID (flows start at 1).
+    pub fn mint_trace(&mut self) -> u64 {
+        self.spans.mint_trace()
+    }
+
+    /// Opens a span and returns its ID. `label` is only retained when
+    /// [`ObsHub::spans_materializing`] — pass `""` otherwise.
+    pub fn open_span(
+        &mut self,
+        trace_id: u64,
+        parent: u64,
+        stage: SpanStage,
+        label: &str,
+        begin_ms: SimTime,
+    ) -> u64 {
+        let materialize = self.spans_materializing();
+        self.spans
+            .open(trace_id, parent, stage, label, begin_ms, materialize)
+    }
+
+    /// Closes an open span: records the stage histogram and, when
+    /// materializing, buffers the completed span and streams it to every
+    /// attached observer.
+    pub fn close_span(&mut self, span_id: u64, end_ms: SimTime, wall_us: u64) {
+        if let Some(event) = self.spans.close(span_id, end_ms, wall_us) {
+            for observer in &mut self.observers {
+                observer.on_span(&event);
+            }
+        }
+    }
+
+    /// Opens and immediately closes a span covering `[begin_ms, end_ms]`
+    /// in simulated time (the shape of transport-side spans, whose
+    /// extent is known up front). Returns the span's ID.
+    pub fn record_span(
+        &mut self,
+        trace_id: u64,
+        parent: u64,
+        stage: SpanStage,
+        label: &str,
+        begin_ms: SimTime,
+        end_ms: SimTime,
+    ) -> u64 {
+        let span_id = self.open_span(trace_id, parent, stage, label, begin_ms);
+        self.close_span(span_id, end_ms, 0);
+        span_id
+    }
+
+    /// Drains the completed-span buffer, resetting its drop counter.
+    pub fn take_spans(&mut self) -> Vec<SpanEvent> {
+        self.spans.take()
+    }
+
+    /// Spans dropped from the bounded buffer since the last drain.
+    #[must_use]
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans.dropped()
+    }
+
+    /// Number of currently open (unclosed) spans.
+    #[must_use]
+    pub fn open_span_count(&self) -> usize {
+        self.spans.open_count()
+    }
+
+    /// Read access to one pipeline stage's latency histogram.
+    #[must_use]
+    pub fn stage_histogram(&self, stage: SpanStage) -> &LatencyHistogram {
+        self.spans.stage_histogram(stage)
+    }
+
+    // ---- snapshots ----
+
+    /// Builds a snapshot of everything recorded so far. Stage breakdowns
+    /// are included once span tracing has ever been enabled; gauges are
+    /// filled in by the orchestrator, which owns the queues being
+    /// sampled.
     #[must_use]
     pub fn snapshot(&self, at: SimTime) -> ObsSnapshot {
+        let include_stages = self.spans.is_enabled()
+            || SpanStage::ALL
+                .iter()
+                .any(|&s| !self.spans.stage_histogram(s).is_empty());
         ObsSnapshot {
             at,
             activities: Activity::ALL
@@ -721,19 +1061,43 @@ impl ObsHub {
                         unit: activity.unit().to_owned(),
                         latency: stats.hist.summary(),
                         labels: stats.labels.clone(),
+                        buckets: stats.hist.cumulative_buckets(),
                     }
                 })
                 .collect(),
+            stages: if include_stages {
+                SpanStage::ALL
+                    .iter()
+                    .map(|&stage| {
+                        let hist = self.spans.stage_histogram(stage);
+                        StageSnapshot {
+                            stage: stage.label().to_owned(),
+                            unit: stage.unit().to_owned(),
+                            latency: hist.summary(),
+                            buckets: hist.cumulative_buckets(),
+                        }
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            gauges: Vec::new(),
         }
     }
 
     /// Builds a snapshot and pushes it to every attached observer.
     pub fn publish(&mut self, at: SimTime) -> ObsSnapshot {
         let snapshot = self.snapshot(at);
-        for observer in &mut self.observers {
-            observer.on_snapshot(&snapshot);
-        }
+        self.publish_snapshot(&snapshot);
         snapshot
+    }
+
+    /// Pushes an already-built snapshot (e.g. one augmented with gauges)
+    /// to every attached observer.
+    pub fn publish_snapshot(&mut self, snapshot: &ObsSnapshot) {
+        for observer in &mut self.observers {
+            observer.on_snapshot(snapshot);
+        }
     }
 }
 
@@ -934,7 +1298,7 @@ mod tests {
         // The raw newline must not split the sample line in two.
         for line in text.lines() {
             assert!(
-                line.starts_with('#') || line.starts_with("diaspec_activity_"),
+                line.starts_with('#') || line.starts_with("diaspec_"),
                 "malformed exposition line: {line:?}"
             );
         }
@@ -984,5 +1348,114 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: ObsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn cumulative_buckets_cover_every_sample_and_stay_cumulative() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 0, 3, 17, 17, 999, 40_000] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(!buckets.is_empty());
+        let mut prev_le = 0;
+        let mut prev_count = 0;
+        for b in &buckets {
+            assert!(b.le >= prev_le, "le must be non-decreasing");
+            assert!(b.count > prev_count, "counts must be cumulative");
+            prev_le = b.le;
+            prev_count = b.count;
+        }
+        assert_eq!(
+            buckets.last().unwrap().count,
+            h.count(),
+            "final finite bucket covers every sample here"
+        );
+        // The unbounded tail bucket is excluded even when occupied.
+        let mut tail = LatencyHistogram::new();
+        tail.record(u64::MAX);
+        assert!(tail.cumulative_buckets().is_empty());
+        assert_eq!(tail.count(), 1, "still visible via count / +Inf");
+    }
+
+    #[test]
+    fn prometheus_renders_cumulative_histograms_and_gauges() {
+        let mut hub = ObsHub::new();
+        hub.set_enabled(true);
+        hub.record(Activity::Delivering, "AvgTemp", 10);
+        hub.record(Activity::Delivering, "AvgTemp", 3_000);
+        let mut snap = hub.snapshot(0);
+        snap.gauges.push(GaugeSample {
+            name: "queue_depth".into(),
+            value: 7,
+        });
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE diaspec_activity_latency_hist histogram"));
+        assert!(text.contains(
+            "diaspec_activity_latency_hist_bucket{activity=\"delivering\",unit=\"ms\",le=\"10\"} 1"
+        ));
+        assert!(text.contains(
+            "diaspec_activity_latency_hist_bucket{activity=\"delivering\",unit=\"ms\",le=\"+Inf\"} 2"
+        ));
+        assert!(text.contains(
+            "diaspec_activity_latency_hist_count{activity=\"delivering\",unit=\"ms\"} 2"
+        ));
+        assert!(text.contains("quantile=\"0.999\""));
+        assert!(text.contains("# TYPE diaspec_queue_depth gauge"));
+        assert!(text.contains("diaspec_queue_depth 7"));
+        // No spans recorded: the stage families are absent entirely.
+        assert!(!text.contains("diaspec_stage_latency"));
+    }
+
+    #[test]
+    fn prometheus_renders_stage_breakdowns_when_spans_ran() {
+        let mut hub = ObsHub::new();
+        hub.set_spans_enabled(true);
+        let trace = hub.mint_trace();
+        hub.record_span(trace, 0, SpanStage::Schedule, "Ctx", 0, 40);
+        let snap = hub.snapshot(40);
+        assert_eq!(snap.stages.len(), SpanStage::ALL.len());
+        let sched = snap.stage(SpanStage::Schedule).unwrap();
+        assert_eq!(sched.latency.count, 1);
+        assert_eq!(sched.unit, "ms");
+        let text = render_prometheus(&snap);
+        assert!(text
+            .contains("diaspec_stage_latency{stage=\"schedule\",unit=\"ms\",quantile=\"0.5\"} 40"));
+        assert!(text.contains(
+            "diaspec_stage_latency_hist_bucket{stage=\"schedule\",unit=\"ms\",le=\"+Inf\"} 1"
+        ));
+    }
+
+    #[test]
+    fn hub_spans_stream_to_observers_and_buffer() {
+        let shared = SharedSink::new(BufferSink::new(10));
+        let mut hub = ObsHub::new();
+        hub.attach(Box::new(shared.clone()));
+        hub.set_spans_enabled(true);
+        assert!(hub.spans_materializing());
+        let trace = hub.mint_trace();
+        let admit = hub.open_span(trace, 0, SpanStage::Admit, "s.v", 5);
+        hub.close_span(admit, 5, 12);
+        let streamed = shared.with(BufferSink::take_spans);
+        assert_eq!(streamed.len(), 1);
+        assert_eq!(streamed[0].label, "s.v");
+        assert_eq!(streamed[0].wall_us, 12);
+        let buffered = hub.take_spans();
+        assert_eq!(buffered, streamed);
+        assert_eq!(hub.open_span_count(), 0);
+        assert_eq!(hub.stage_histogram(SpanStage::Admit).count(), 1);
+    }
+
+    #[test]
+    fn hub_spans_without_buffer_or_observers_keep_histograms_only() {
+        let mut hub = ObsHub::new();
+        hub.set_spans_enabled(true);
+        hub.set_span_buffering(false);
+        assert!(!hub.spans_materializing());
+        let trace = hub.mint_trace();
+        let id = hub.open_span(trace, 0, SpanStage::Dispatch, "", 0);
+        hub.close_span(id, 0, 99);
+        assert!(hub.take_spans().is_empty());
+        assert_eq!(hub.stage_histogram(SpanStage::Dispatch).count(), 1);
     }
 }

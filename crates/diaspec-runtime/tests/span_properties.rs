@@ -1,0 +1,313 @@
+//! Span-tree well-formedness properties of the causal tracer.
+//!
+//! Every test drives a seeded workload with span tracing on, drains the
+//! span buffer, and checks the structural invariants
+//! [`validate_span_forest`] enforces: every opened span closed, parents
+//! opened before children, retries and recoveries recorded as sibling /
+//! root spans, and fixed-seed runs producing byte-identical canonical
+//! span output.
+
+use diaspec_core::compile_str;
+use diaspec_runtime::component::ContextActivation;
+use diaspec_runtime::engine::{ContextApi, ControllerApi, Orchestrator};
+use diaspec_runtime::fault::{FaultPlan, RecoveryConfig, RetryConfig};
+use diaspec_runtime::spans::{canonical_span_lines, validate_span_forest};
+use diaspec_runtime::transport::{LatencyModel, TransportConfig};
+use diaspec_runtime::value::Value;
+use diaspec_runtime::{SpanEvent, SpanStage};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const SPEC: &str = r#"
+    device Sensor { attribute zone as String; source v as Integer; }
+    device Sink { action absorb(level as Integer); }
+    context Live as Integer {
+      when provided v from Sensor maybe publish;
+    }
+    controller Out { when provided Live do absorb on Sink; }
+"#;
+
+struct SinkDriver;
+impl diaspec_runtime::entity::DeviceInstance for SinkDriver {
+    fn query(&mut self, s: &str, _n: u64) -> Result<Value, diaspec_runtime::error::DeviceError> {
+        Err(diaspec_runtime::error::DeviceError::new(
+            "sink",
+            s,
+            "no sources",
+        ))
+    }
+    fn invoke(
+        &mut self,
+        _a: &str,
+        _args: &[Value],
+        _n: u64,
+    ) -> Result<(), diaspec_runtime::error::DeviceError> {
+        Ok(())
+    }
+}
+
+/// An event-driven pipeline with a lossy transport; `faults` arms seeded
+/// message drops plus retry so dropped hops leave retry spans behind.
+fn build(faults: bool) -> Orchestrator {
+    let spec = Arc::new(compile_str(SPEC).unwrap());
+    let mut orch = Orchestrator::with_transport(
+        spec,
+        TransportConfig {
+            latency: LatencyModel::Uniform {
+                min_ms: 5,
+                max_ms: 50,
+            },
+            loss_probability: 0.0,
+            seed: 7,
+        },
+    );
+    orch.register_context(
+        "Live",
+        |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
+            ContextActivation::SourceEvent { value, .. } => {
+                // Decline a third of the inputs (exercises `maybe`).
+                if value.as_int().unwrap_or(0) % 3 == 0 {
+                    Ok(None)
+                } else {
+                    Ok(Some((*value).clone()))
+                }
+            }
+            _ => Ok(None),
+        },
+    )
+    .unwrap();
+    orch.register_controller(
+        "Out",
+        |api: &mut ControllerApi<'_>, _: &str, value: &Value| {
+            let level = value.as_int().unwrap_or(0);
+            for sink in api.discover("Sink")?.ids() {
+                api.invoke(&sink, "absorb", &[Value::Int(level)])?;
+            }
+            Ok(())
+        },
+    )
+    .unwrap();
+    for i in 0..4 {
+        let mut attrs = diaspec_runtime::entity::AttributeMap::new();
+        attrs.insert("zone".to_owned(), Value::from(format!("z{i}")));
+        orch.bind_entity(
+            format!("s{i}").into(),
+            "Sensor",
+            attrs,
+            Box::new(|_: &str, _: u64| Ok(Value::Int(0))),
+        )
+        .unwrap();
+    }
+    orch.bind_entity(
+        "sink".into(),
+        "Sink",
+        Default::default(),
+        Box::new(SinkDriver),
+    )
+    .unwrap();
+    if faults {
+        orch.enable_faults(FaultPlan::seeded(21).drop_messages(0.4))
+            .unwrap();
+        orch.enable_recovery(RecoveryConfig::default().with_retry(RetryConfig::default()))
+            .unwrap();
+    }
+    orch.set_span_tracing(true);
+    orch.launch().unwrap();
+    orch
+}
+
+/// Drives `emissions` seeded emissions to quiescence and drains spans.
+fn run(orch: &mut Orchestrator, emissions: u64) -> Vec<SpanEvent> {
+    for i in 0..emissions {
+        orch.emit_at(
+            i * 10,
+            &format!("s{}", i % 4).into(),
+            "v",
+            Value::Int(i as i64),
+            None,
+        )
+        .unwrap();
+    }
+    orch.run_until(emissions * 10 + 60_000);
+    assert_eq!(orch.open_spans(), 0, "quiescent engine left spans open");
+    orch.take_spans()
+}
+
+fn by_trace(spans: &[SpanEvent]) -> BTreeMap<u64, Vec<&SpanEvent>> {
+    let mut traces: BTreeMap<u64, Vec<&SpanEvent>> = BTreeMap::new();
+    for span in spans {
+        traces.entry(span.trace_id).or_default().push(span);
+    }
+    traces
+}
+
+#[test]
+fn every_emission_yields_a_well_formed_span_tree() {
+    let mut orch = build(false);
+    let spans = run(&mut orch, 60);
+    let stats = validate_span_forest(&spans).expect("span forest is well-formed");
+    // One trace per emission, rooted at its admit span.
+    assert_eq!(stats.traces, 60);
+    assert_eq!(stats.roots, 60);
+    assert_eq!(orch.spans_dropped(), 0);
+    for (trace, spans) in by_trace(&spans) {
+        let stages: Vec<SpanStage> = spans.iter().map(|s| s.stage).collect();
+        // Every delivered reading crosses all four pipeline stages.
+        for stage in [
+            SpanStage::Admit,
+            SpanStage::Route,
+            SpanStage::Schedule,
+            SpanStage::Dispatch,
+            SpanStage::Compute,
+        ] {
+            assert!(
+                stages.contains(&stage),
+                "trace {trace} is missing stage {stage:?}: {stages:?}"
+            );
+        }
+        // The root is the emission's admit span.
+        assert_eq!(spans[0].stage, SpanStage::Admit);
+        assert_eq!(spans[0].parent, 0);
+    }
+    // `maybe publish` declined a third: those traces stop after compute,
+    // published ones continue into the controller leg and actuation.
+    let actuated = by_trace(&spans)
+        .values()
+        .filter(|t| t.iter().any(|s| s.stage == SpanStage::Actuate))
+        .count();
+    assert!(actuated >= 30, "published traces must actuate: {actuated}");
+}
+
+#[test]
+fn retries_are_recorded_as_siblings_of_the_failed_hop() {
+    let mut orch = build(true);
+    let spans = run(&mut orch, 120);
+    validate_span_forest(&spans).expect("faulty span forest is well-formed");
+    assert!(
+        orch.metrics().delivery_retries > 0,
+        "seeded drops must trigger retries"
+    );
+    let retries: Vec<&SpanEvent> = spans
+        .iter()
+        .filter(|s| s.stage == SpanStage::Retry)
+        .collect();
+    assert!(!retries.is_empty(), "retry spans must be recorded");
+    let mut resend_siblings = 0usize;
+    for retry in &retries {
+        // A retry span hangs off the failed hop's route span — never a
+        // root — so any schedule span of the same hop (the eventual
+        // successful resend) is its sibling.
+        assert_ne!(retry.parent, 0, "retry spans parent under the route span");
+        let parent = spans
+            .iter()
+            .find(|s| s.span_id == retry.parent)
+            .expect("retry parent is recorded");
+        assert_eq!(parent.stage, SpanStage::Route);
+        assert_eq!(parent.trace_id, retry.trace_id);
+        if spans
+            .iter()
+            .any(|s| s.parent == retry.parent && s.stage == SpanStage::Schedule)
+        {
+            resend_siblings += 1;
+        }
+        // The retry covers the backoff wait in simulated time.
+        assert!(retry.end_ms >= retry.begin_ms);
+    }
+    // Not every retried delivery succeeds (the budget can run out), but
+    // with a 40% drop rate most resends land and record the sibling.
+    assert!(
+        resend_siblings > 0,
+        "no retry ended up beside a successful resend's schedule span"
+    );
+}
+
+#[test]
+fn crash_recovery_produces_root_recover_spans() {
+    // A minimal design with leases + a crash: lease expiry surfaces as a
+    // Recover span rooted in its own trace.
+    let spec = Arc::new(compile_str(SPEC).unwrap());
+    let mut orch2 = Orchestrator::new(spec);
+    orch2
+        .register_context(
+            "Live",
+            |_: &mut ContextApi<'_>, _: ContextActivation<'_>| Ok(None),
+        )
+        .unwrap();
+    orch2
+        .register_controller(
+            "Out",
+            |_: &mut ControllerApi<'_>, _: &str, _: &Value| Ok(()),
+        )
+        .unwrap();
+    let mut attrs = diaspec_runtime::entity::AttributeMap::new();
+    attrs.insert("zone".to_owned(), Value::from("z"));
+    orch2
+        .bind_entity(
+            "s0".into(),
+            "Sensor",
+            attrs,
+            Box::new(|_: &str, _: u64| Ok(Value::Int(0))),
+        )
+        .unwrap();
+    orch2
+        .enable_faults(FaultPlan::seeded(5).crash_at(1_000, "s0"))
+        .unwrap();
+    orch2
+        .enable_recovery(RecoveryConfig::default().with_leases(2_000))
+        .unwrap();
+    orch2.set_span_tracing(true);
+    orch2.launch().unwrap();
+    orch2.run_until(30_000);
+    let spans = orch2.take_spans();
+    validate_span_forest(&spans).expect("recovery span forest is well-formed");
+    let recovers: Vec<&SpanEvent> = spans
+        .iter()
+        .filter(|s| s.stage == SpanStage::Recover)
+        .collect();
+    assert!(
+        !recovers.is_empty(),
+        "lease expiry must record a recover span"
+    );
+    for recover in recovers {
+        assert_eq!(recover.parent, 0, "lease recovery spans are roots");
+        assert!(recover.end_ms >= recover.begin_ms);
+    }
+}
+
+#[test]
+fn fixed_seed_span_output_is_byte_identical_across_runs() {
+    let first = {
+        let mut orch = build(true);
+        canonical_span_lines(&run(&mut orch, 100))
+    };
+    let second = {
+        let mut orch = build(true);
+        canonical_span_lines(&run(&mut orch, 100))
+    };
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "seeded span output must be deterministic");
+}
+
+#[test]
+fn disabling_tracing_midstream_leaves_no_dangling_state() {
+    let mut orch = build(false);
+    let spans = run(&mut orch, 10);
+    assert!(!spans.is_empty());
+    orch.set_span_tracing(false);
+    for i in 0..10u64 {
+        orch.emit_at(
+            100_000 + i * 10,
+            &"s0".into(),
+            "v",
+            Value::Int(i as i64),
+            None,
+        )
+        .unwrap();
+    }
+    orch.run_until(200_000);
+    assert_eq!(orch.open_spans(), 0);
+    assert!(
+        orch.take_spans().is_empty(),
+        "no spans may be recorded while tracing is off"
+    );
+}
