@@ -329,19 +329,19 @@ impl ParkingApp {
     }
 }
 
-/// Builds and launches the parking-management application over a
-/// simulated city.
+/// Registers every context and controller of the design on `orch` — the
+/// application's compute and control layers, independent of where the
+/// devices live. [`build`] uses it for the single-process application;
+/// the distributed parking demo uses it for the coordinator unit, which
+/// runs the same components against remote device proxies.
 ///
 /// # Errors
 ///
-/// Returns [`RuntimeError`] on wiring failure (design/framework
-/// mismatch).
-pub fn build(config: ParkingAppConfig) -> Result<ParkingApp, RuntimeError> {
-    let spec =
-        Arc::new(diaspec_core::compile_str(SPEC).expect("bundled parking.spec must compile"));
-    let mut orch = Orchestrator::with_transport(spec, config.transport);
-    orch.set_processing_mode(config.processing);
-
+/// Returns [`RuntimeError`] on a design/framework mismatch.
+pub fn register_components(
+    orch: &mut Orchestrator,
+    config: &ParkingAppConfig,
+) -> Result<(), RuntimeError> {
     orch.register_context(
         "ParkingAvailability",
         ParkingAvailabilityAdapter(AvailabilityLogic),
@@ -376,6 +376,22 @@ pub fn build(config: ParkingAppConfig) -> Result<ParkingApp, RuntimeError> {
         "MessengerController",
         MessengerControllerAdapter(MessengerLogic),
     )?;
+    Ok(())
+}
+
+/// Builds and launches the parking-management application over a
+/// simulated city.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError`] on wiring failure (design/framework
+/// mismatch).
+pub fn build(config: ParkingAppConfig) -> Result<ParkingApp, RuntimeError> {
+    let spec =
+        Arc::new(diaspec_core::compile_str(SPEC).expect("bundled parking.spec must compile"));
+    let mut orch = Orchestrator::with_transport(spec, config.transport);
+    orch.set_processing_mode(config.processing);
+    register_components(&mut orch, &config)?;
 
     // Simulated city: one lot per ParkingLotEnum variant.
     let lot_names: Vec<&'static str> = ParkingLotEnum::ALL.iter().map(|l| l.name()).collect();
@@ -446,7 +462,7 @@ pub fn build(config: ParkingAppConfig) -> Result<ParkingApp, RuntimeError> {
         Box::new(RecordingActuator::new(messenger.clone())),
     )?;
 
-    orch.spawn_process_at("city-dynamics", process, environment_first_step());
+    orch.spawn_process_at("city-dynamics", process, ENVIRONMENT_FIRST_STEP_MS);
     orch.launch()?;
 
     Ok(ParkingApp {
@@ -458,12 +474,12 @@ pub fn build(config: ParkingAppConfig) -> Result<ParkingApp, RuntimeError> {
     })
 }
 
-/// First wake of the environment process. Offset from the minute grid so
-/// environment steps never coincide with the 10-minute delivery instants:
-/// a batch then always reflects the model state at its poll time.
-fn environment_first_step() -> u64 {
-    61_000
-}
+/// First wake of the environment dynamics, offset from the minute grid
+/// so environment steps never coincide with the 10-minute delivery
+/// instants: a batch then always reflects the model state at its poll
+/// time. The distributed demo pumps ticks to edge environments on the
+/// same grid so both runs step the city at identical sim times.
+pub const ENVIRONMENT_FIRST_STEP_MS: u64 = 61_000;
 
 #[cfg(test)]
 mod tests {

@@ -3,22 +3,56 @@
 //!
 //! ```text
 //! cargo run --release -p diaspec-bench --bin experiments \
-//!     [-- --quick] [-- --json] [-- --only eNN] [-- --check-bench-json [path]]
+//!     [-- --quick] [-- --json] [-- --only eNN] [-- --list]
+//!     [-- --check-bench-json [path]]
 //! ```
 //!
 //! `--quick` shrinks the sweeps for smoke-testing; `--json` additionally
 //! dumps machine-readable rows; `--only eNN` runs a single experiment
-//! (e.g. `--only e20`); `--check-bench-json [path]` validates an
-//! existing `BENCH_delivery.json` against the schema guard and exits.
+//! (e.g. `--only e20`) and rejects ids this binary does not implement;
+//! `--list` prints the full E1–E20 index with where each experiment
+//! lives; `--check-bench-json [path]` validates an existing
+//! `BENCH_delivery.json` against the schema guard and exits.
 
 use diaspec_bench::{
     churn, continuum, delivery, discovery, fanout, loadgen, processing, share, taskfaults,
 };
 
+/// The E1–E20 index from `DESIGN.md`: id, one-line summary, and whether
+/// this binary runs it (the rest are covered by tests, examples, or the
+/// `diaspec-gen` CLI).
+const EXPERIMENTS: &[(&str, &str, bool)] = &[
+    ("e1", "orchestration continuum: parking design at 10 -> 12 500 sensors (paper Fig. 1)", true),
+    ("e2", "SCC paradigm enforcement: layering violations rejected (tests/scc_conformance.rs)", false),
+    ("e3", "cooker design end-to-end: alert -> prompt -> remote turn-off (examples/cooker_monitoring.rs)", false),
+    ("e4", "parking design end-to-end: 4 contexts + 3 controllers vs simulated city (examples/parking_city.rs)", false),
+    ("e5", "device-declaration figures parse and check, incl. inheritance (tests/spec_figures.rs)", false),
+    ("e6", "generated Alert skeleton matches Figure 9's shape (tests/codegen_golden.rs)", false),
+    ("e7", "generated MapReduce interface computes hand-checked availability (tests/mapreduce_parking.rs)", false),
+    ("e8", "generated controller + discover facade drives panels (tests/controller_discover.rs)", false),
+    ("e9", "generated-vs-handwritten LoC share across the four applications (paper SS V claim)", true),
+    ("e10", "serial vs parallel MapReduce speedup: crossover where parallelism pays", true),
+    ("e11", "message volume + latency per delivery model (periodic/event/query)", true),
+    ("e12", "discovery latency vs registry size and attribute selectivity", true),
+    ("e13", "compiler throughput vs spec size (bench: compiler)", false),
+    ("e14", "@error/@qos annotations drive declared recovery (tests/failure_injection.rs)", false),
+    ("e15", "requirements matched against infrastructure descriptions (examples/capacity_planning.rs)", false),
+    ("e16", "recovery cost under seeded device churn: leases, rebinds, retries", true),
+    ("e17", "fault-tolerant batch processing: task panics, lost workers, stragglers", true),
+    ("e18", "one-datum-to-many fan-out through the zero-copy delivery pipeline", true),
+    ("e19", "whole-design static analysis + negative fixtures (diaspec-gen lint)", false),
+    ("e20", "open-loop load harness: throughput knee + latency percentiles + spans", true),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+
+    if args.iter().any(|a| a == "--list") {
+        list_experiments();
+        return;
+    }
 
     if let Some(i) = args.iter().position(|a| a == "--check-bench-json") {
         let path = args
@@ -34,6 +68,23 @@ fn main() {
         .position(|a| a == "--only")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
+    if let Some(o) = only {
+        let runnable = EXPERIMENTS
+            .iter()
+            .any(|(id, _, runs_here)| *id == o && *runs_here);
+        if !runnable {
+            let valid: Vec<&str> = EXPERIMENTS
+                .iter()
+                .filter(|(_, _, runs_here)| *runs_here)
+                .map(|(id, _, _)| *id)
+                .collect();
+            eprintln!(
+                "unknown experiment `{o}`: this binary runs {} (see --list for the full E1-E20 index)",
+                valid.join(", ")
+            );
+            std::process::exit(1);
+        }
+    }
     let run = |name: &str| only.is_none_or(|o| o == name);
 
     if run("e1") {
@@ -62,6 +113,16 @@ fn main() {
     }
     if run("e20") {
         e20_load(quick, json);
+    }
+}
+
+/// Prints the E1–E20 index: one line per experiment, marking the ones
+/// this binary runs (`*`) versus the ones covered elsewhere.
+fn list_experiments() {
+    println!("E1-E20 experiment index (*) = runnable via --only:");
+    for (id, summary, runs_here) in EXPERIMENTS {
+        let marker = if *runs_here { '*' } else { ' ' };
+        println!("{marker} {id:>4}  {summary}");
     }
 }
 

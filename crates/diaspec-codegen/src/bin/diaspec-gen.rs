@@ -7,6 +7,8 @@
 //! diaspec-gen lint <SPEC.spec>... [--format json|sarif] [--deny warnings]
 //!                  [--allow CODE] [--warn CODE] [--deny CODE]
 //!                  [--fleet N] [--capacity]
+//! diaspec-gen deploy <SPEC.spec> [--edges N] [--host H] [--port-base P]
+//!                    [--shard-enum NAME] [--out <DIR>]
 //! ```
 //!
 //! Compiles a DiaSpec design and writes the generated programming
@@ -18,7 +20,14 @@
 //! analysis pass (actuation conflicts, feedback loops, reachability,
 //! rate propagation) and exits non-zero when any diagnostic ends up
 //! error-severity after the level flags are applied.
+//!
+//! The `deploy` subcommand partitions a design into deployment units —
+//! one coordinator plus N edge nodes sharded by a discovery-attribute
+//! enumeration — validates the split with the static partition pass,
+//! and emits `manifest.json` plus one `node_<name>.rs` source per unit.
+//! Without `--out` the manifest is printed to stdout.
 
+use diaspec_codegen::deploy::{plan_deployment, DeployOptions};
 use diaspec_codegen::lint::{lint_source, LintFormat, LintLevel, LintOptions};
 use diaspec_codegen::{generate_java, generate_rust, metrics};
 use std::path::PathBuf;
@@ -42,6 +51,16 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.peek().map(String::as_str) == Some("deploy") {
+        args.next();
+        return match run_deploy(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("diaspec-gen: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -49,6 +68,86 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses deploy flags, partitions the design, and writes or prints
+/// the deployment artifacts.
+fn run_deploy(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut options = DeployOptions::default();
+    let mut spec_path: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--edges" => {
+                let value = args.next().ok_or("--edges needs a node count")?;
+                options.edges = value
+                    .parse()
+                    .map_err(|_| format!("--edges needs an integer, got `{value}`"))?;
+            }
+            "--host" => options.host = args.next().ok_or("--host needs a value")?,
+            "--port-base" => {
+                let value = args.next().ok_or("--port-base needs a port")?;
+                options.port_base = value
+                    .parse()
+                    .map_err(|_| format!("--port-base needs a port number, got `{value}`"))?;
+            }
+            "--shard-enum" => {
+                options.shard_enum = Some(args.next().ok_or("--shard-enum needs a name")?);
+            }
+            "--out" | "-o" => {
+                out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: diaspec-gen deploy <SPEC.spec> [--edges N] [--host H] \
+                     [--port-base P] [--shard-enum NAME] [--out <DIR>]"
+                );
+                return Ok(());
+            }
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let spec_path = spec_path.ok_or("deploy needs a <SPEC.spec> argument")?;
+    options.design = spec_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "design".to_owned());
+    let source = std::fs::read_to_string(&spec_path)
+        .map_err(|e| format!("cannot read {}: {e}", spec_path.display()))?;
+    let spec = diaspec_core::compile_str(&source).map_err(|e| e.to_string())?;
+
+    let deployment = plan_deployment(&spec, &options)?;
+    for warning in &deployment.warnings {
+        eprintln!("diaspec-gen: warning: {warning}");
+    }
+    if let Some(dir) = &out {
+        deployment
+            .files
+            .write_to(dir)
+            .map_err(|e| format!("cannot write to {}: {e}", dir.display()))?;
+        eprintln!(
+            "deployed `{}` as 1 coordinator + {} edge node(s), {} cut route(s), into {}",
+            deployment.manifest.design,
+            deployment.manifest.edges.len(),
+            deployment.manifest.cut_routes.len(),
+            dir.display()
+        );
+    } else {
+        print!(
+            "{}",
+            deployment
+                .files
+                .file("manifest.json")
+                .expect("plan_deployment always emits a manifest")
+                .content
+        );
+    }
+    Ok(())
 }
 
 /// Parses lint flags, lints every given spec, prints the outcome, and

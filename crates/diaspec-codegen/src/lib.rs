@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod deploy;
 pub mod dot;
 mod emitter;
 pub mod java;

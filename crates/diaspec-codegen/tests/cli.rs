@@ -130,3 +130,62 @@ fn help_prints_usage() {
     assert!(output.status.success());
     assert!(String::from_utf8(output.stdout).unwrap().contains("usage:"));
 }
+
+#[test]
+fn deploy_subcommand_writes_manifest_and_node_sources() {
+    let out = std::env::temp_dir().join("diaspec-gen-cli-deploy");
+    let _ = std::fs::remove_dir_all(&out);
+    let output = gen()
+        .arg("deploy")
+        .arg(spec_path("parking.spec"))
+        .args(["--edges", "2", "--port-base", "7171", "--out"])
+        .arg(&out)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let manifest = std::fs::read_to_string(out.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"design\": \"parking\""));
+    assert!(manifest.contains("\"ParkingLotEnum\""));
+    assert!(manifest.contains("127.0.0.1:7172"));
+    assert!(out.join("node_coordinator.rs").exists());
+    assert!(out.join("node_edge0.rs").exists());
+    assert!(out.join("node_edge1.rs").exists());
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(
+        stderr.contains("1 coordinator + 2 edge node(s)"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&out).unwrap();
+}
+
+#[test]
+fn deploy_without_out_prints_the_manifest() {
+    let output = gen()
+        .arg("deploy")
+        .arg(spec_path("parking.spec"))
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let manifest: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    assert_eq!(
+        manifest["coordinator"]["name"].as_str(),
+        Some("coordinator")
+    );
+    assert_eq!(
+        manifest["shard"]["enumeration"].as_str(),
+        Some("ParkingLotEnum")
+    );
+}
+
+#[test]
+fn deploy_rejects_an_unshardable_design() {
+    let output = gen()
+        .arg("deploy")
+        .arg(spec_path("cooker.spec"))
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("enumeration"), "{stderr}");
+}

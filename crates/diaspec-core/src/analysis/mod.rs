@@ -13,8 +13,14 @@
 //! 4. [`reach`] / [`rates`] — reachability, rate propagation, and the
 //!    static capacity report.
 //!
+//! A fifth pass, [`partition`], validates a proposed deployment split
+//! against the design. It takes a [`PartitionPlan`] as extra input, so
+//! it is invoked by the deployment tooling ([`partition::validate`])
+//! rather than by [`analyze`].
+//!
 //! Every finding carries a stable diagnostic code, continuing the
-//! checker's numbering into the 04xx block:
+//! checker's numbering into the 04xx block (whole-design analysis) and
+//! the 05xx block (partition validity):
 //!
 //! | Code | Rule |
 //! |------|------|
@@ -25,6 +31,10 @@
 //! | W0404 | aggregation window shorter than the delivery period |
 //! | W0405 | unreachable context or controller |
 //! | W0406 | dead device: family never sensed nor actuated |
+//! | E0501 | component on zero or several nodes, or device family on none |
+//! | E0502 | partition plan names an unknown node, component, or device |
+//! | E0503 | dataflow route crosses between edge nodes without passing the coordinator |
+//! | W0501 | component placed where none of its routes are node-local |
 //!
 //! # Examples
 //!
@@ -46,12 +56,14 @@
 pub mod conflicts;
 pub mod graph;
 pub mod loops;
+pub mod partition;
 pub mod rates;
 pub mod reach;
 
 pub use conflicts::{ActuationConflict, ActuationSite};
 pub use graph::DesignGraph;
 pub use loops::{FeedbackLoop, LoopKind};
+pub use partition::{CutRoute, PartitionNode, PartitionPlan, PartitionReport};
 pub use rates::{CapacityReport, EdgeCapacity};
 pub use reach::Reachability;
 

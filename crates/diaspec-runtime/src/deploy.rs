@@ -1,0 +1,476 @@
+//! Deployment units: running one design as several processes.
+//!
+//! The paper's large-scale orchestration spans a city, not a process.
+//! This module is the runtime half of the deployment subsystem (the
+//! compiler half — partitioning a design and emitting a node manifest —
+//! lives in `diaspec-codegen`): it lets a *coordinator* node run the
+//! orchestration engine unchanged while some of the design's devices
+//! physically live on *edge* nodes, reached over a
+//! [`Transport`] backend.
+//!
+//! The pieces:
+//!
+//! - [`Link`] — a shared, sequence-numbering handle on one transport
+//!   link, cloned across every proxy that talks to the same peer;
+//! - [`RemoteDeviceProxy`] — a [`DeviceInstance`] whose `query`/`invoke`
+//!   cross the link as [`Envelope`]s, so the engine binds and polls a
+//!   remote device exactly like a local one (and lease renewal,
+//!   expiry, and standby promotion apply unchanged when the remote
+//!   node stops answering);
+//! - [`EdgeRuntime`] — the edge side: owns the node's device drivers
+//!   and environment-stepping hooks and answers envelopes, either over
+//!   a real socket ([`serve_edge`]) or as an in-process handler on the
+//!   simulated backend (which is how deployment wiring is unit-tested
+//!   without opening sockets);
+//! - [`TickPump`] — a coordinator-side [`Process`] that forwards sim
+//!   time to edge environments at a fixed cadence, keeping the whole
+//!   distributed run a single discrete-event simulation driven by the
+//!   coordinator's clock.
+
+use crate::clock::SimTime;
+use crate::engine::ProcessApi;
+use crate::entity::DeviceInstance;
+use crate::error::DeviceError;
+use crate::process::Process;
+use crate::transport::{Envelope, MessageKind, Transport, TransportError, TransportStats};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared handle on one transport link.
+///
+/// Every proxy bound to devices on the same peer clones one `Arc<Link>`;
+/// the link serializes exchanges (one request/reply in flight per peer)
+/// and assigns monotonically increasing sequence numbers.
+pub struct Link {
+    transport: Mutex<Box<dyn Transport>>,
+    seq: AtomicU64,
+}
+
+impl Link {
+    /// Wraps a transport backend in a shared link.
+    #[must_use]
+    pub fn new(transport: impl Transport + 'static) -> Arc<Link> {
+        Arc::new(Link {
+            transport: Mutex::new(Box::new(transport)),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The next sequence number for a request on this link.
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Sends one request envelope (built by `make` from the assigned
+    /// sequence number) and returns the reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`TransportError`].
+    pub fn request(&self, make: impl FnOnce(u64) -> Envelope) -> Result<Envelope, TransportError> {
+        let envelope = make(self.next_seq());
+        self.transport
+            .lock()
+            .expect("transport lock poisoned")
+            .exchange(&envelope)
+    }
+
+    /// The backend's byte/frame/reconnect counters.
+    #[must_use]
+    pub fn stats(&self) -> TransportStats {
+        self.transport
+            .lock()
+            .expect("transport lock poisoned")
+            .stats()
+    }
+
+    /// The peer label of the underlying backend.
+    #[must_use]
+    pub fn peer(&self) -> String {
+        self.transport
+            .lock()
+            .expect("transport lock poisoned")
+            .peer()
+            .to_string()
+    }
+
+    /// The backend name of the underlying backend (`"sim"`, `"tcp"`).
+    #[must_use]
+    pub fn backend(&self) -> &'static str {
+        self.transport
+            .lock()
+            .expect("transport lock poisoned")
+            .backend()
+    }
+
+    /// Sends an orderly `Bye`, ignoring failures (the peer may already
+    /// be gone).
+    pub fn close(&self) {
+        let _ = self.request(|seq| {
+            Envelope::new(
+                MessageKind::Bye,
+                crate::spans::SpanCtx::NONE,
+                seq,
+                "",
+                "",
+                Vec::new(),
+            )
+        });
+    }
+}
+
+/// A device that lives on another node.
+///
+/// Registered with the engine like any local driver; each `query` and
+/// `invoke` crosses the link as an envelope. Transport failures surface
+/// as [`DeviceError`]s, so the engine's `@error` policies, lease
+/// non-renewal, and standby promotion handle a dead edge node exactly
+/// like a crashed local device.
+pub struct RemoteDeviceProxy {
+    device: String,
+    link: Arc<Link>,
+}
+
+impl RemoteDeviceProxy {
+    /// A proxy for `device` reached over `link`.
+    #[must_use]
+    pub fn new(device: impl Into<String>, link: Arc<Link>) -> Self {
+        RemoteDeviceProxy {
+            device: device.into(),
+            link,
+        }
+    }
+}
+
+impl DeviceInstance for RemoteDeviceProxy {
+    fn query(&mut self, source: &str, now_ms: u64) -> Result<Value, DeviceError> {
+        let reply = self
+            .link
+            .request(|seq| {
+                Envelope::query(
+                    crate::spans::SpanCtx::NONE,
+                    seq,
+                    &self.device,
+                    source,
+                    now_ms,
+                )
+            })
+            .map_err(|e| DeviceError::new(&self.device, source, e.to_string()))?;
+        match reply.kind {
+            MessageKind::Value => reply
+                .value()
+                .map_err(|e| DeviceError::new(&self.device, source, e.to_string())),
+            other => Err(DeviceError::new(
+                &self.device,
+                source,
+                format!("unexpected reply kind {other:?}"),
+            )),
+        }
+    }
+
+    fn invoke(&mut self, action: &str, args: &[Value], now_ms: u64) -> Result<(), DeviceError> {
+        let reply = self
+            .link
+            .request(|seq| {
+                Envelope::invoke(
+                    crate::spans::SpanCtx::NONE,
+                    seq,
+                    &self.device,
+                    action,
+                    args,
+                    now_ms,
+                )
+            })
+            .map_err(|e| DeviceError::new(&self.device, action, e.to_string()))?;
+        match reply.kind {
+            MessageKind::Ok => Ok(()),
+            other => Err(DeviceError::new(
+                &self.device,
+                action,
+                format!("unexpected reply kind {other:?}"),
+            )),
+        }
+    }
+}
+
+/// An environment-stepping hook run when a `Tick` arrives.
+pub type TickHook = Box<dyn FnMut(SimTime) + Send>;
+
+/// The edge side of a deployment: the node's slice of the design.
+///
+/// Owns local device drivers and environment hooks, and answers the
+/// coordinator's envelopes. The same runtime serves a real socket
+/// ([`serve_edge`]) or acts as the in-process peer of a
+/// [`SimTransport`](crate::transport::SimTransport) handler — the
+/// deployment wiring is identical either way.
+pub struct EdgeRuntime {
+    node: String,
+    devices: BTreeMap<String, Box<dyn DeviceInstance>>,
+    ticks: Vec<TickHook>,
+    /// Sim time at (or after) which this node plays dead: requests
+    /// stamped `now >= die_at` get no reply and the connection drops,
+    /// so the coordinator sees the node exactly as a crashed process.
+    die_at: Option<SimTime>,
+    dead: bool,
+    requests: u64,
+}
+
+impl EdgeRuntime {
+    /// An empty runtime for the node called `node`.
+    #[must_use]
+    pub fn new(node: impl Into<String>) -> Self {
+        EdgeRuntime {
+            node: node.into(),
+            devices: BTreeMap::new(),
+            ticks: Vec::new(),
+            die_at: None,
+            dead: false,
+            requests: 0,
+        }
+    }
+
+    /// The node name this runtime serves.
+    #[must_use]
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// Adds a local device driver addressable as `name`.
+    pub fn add_device(&mut self, name: impl Into<String>, device: Box<dyn DeviceInstance>) {
+        self.devices.insert(name.into(), device);
+    }
+
+    /// Adds an environment hook run on every `Tick` with the
+    /// coordinator's sim time.
+    pub fn on_tick(&mut self, hook: impl FnMut(SimTime) + Send + 'static) {
+        self.ticks.push(Box::new(hook));
+    }
+
+    /// Schedules simulated death: no request stamped at or after
+    /// `die_at_ms` is answered.
+    pub fn set_die_at(&mut self, die_at_ms: SimTime) {
+        self.die_at = Some(die_at_ms);
+    }
+
+    /// Whether the death schedule has triggered.
+    #[must_use]
+    pub fn dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Requests answered so far.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Answers one envelope, or `None` when the node is (now) dead.
+    pub fn handle(&mut self, envelope: &Envelope) -> Option<Envelope> {
+        if self.dead {
+            return None;
+        }
+        if let Some(die_at) = self.die_at {
+            if envelope.now >= die_at {
+                self.dead = true;
+                return None;
+            }
+        }
+        self.requests += 1;
+        Some(match envelope.kind {
+            MessageKind::Hello | MessageKind::Heartbeat => envelope.reply_ok(),
+            MessageKind::Tick => {
+                for hook in &mut self.ticks {
+                    hook(envelope.now);
+                }
+                envelope.reply_ok()
+            }
+            MessageKind::Query => match self.devices.get_mut(&envelope.target) {
+                Some(device) => match device.query(&envelope.member, envelope.now) {
+                    Ok(value) => envelope.reply_value(&value),
+                    Err(e) => envelope.reply_error(&e.to_string()),
+                },
+                None => envelope.reply_error(&format!(
+                    "node {} hosts no device `{}`",
+                    self.node, envelope.target
+                )),
+            },
+            MessageKind::Invoke => match self.devices.get_mut(&envelope.target) {
+                Some(device) => {
+                    let args: Vec<Value> =
+                        serde_json::from_slice(&envelope.payload).unwrap_or_default();
+                    match device.invoke(&envelope.member, &args, envelope.now) {
+                        Ok(()) => envelope.reply_ok(),
+                        Err(e) => envelope.reply_error(&e.to_string()),
+                    }
+                }
+                None => envelope.reply_error(&format!(
+                    "node {} hosts no device `{}`",
+                    self.node, envelope.target
+                )),
+            },
+            MessageKind::Bye | MessageKind::Ok | MessageKind::Value | MessageKind::Error => {
+                envelope.reply_error(&format!("unexpected request kind {:?}", envelope.kind))
+            }
+        })
+    }
+}
+
+/// Serves one coordinator connection on `listener` to completion:
+/// accepts, answers envelopes through `runtime`, and returns when the
+/// coordinator disconnects, says `Bye`, or the runtime's death schedule
+/// triggers (the connection is dropped without a reply, like a killed
+/// process).
+///
+/// # Errors
+///
+/// Returns [`TransportError::Io`] on accept/read/write failures and
+/// [`TransportError::Frame`] on malformed frames.
+pub fn serve_edge(
+    listener: &TcpListener,
+    runtime: &mut EdgeRuntime,
+) -> Result<TransportStats, TransportError> {
+    let (mut stream, _addr) = listener
+        .accept()
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    crate::transport::serve_connection(&mut stream, |envelope| runtime.handle(envelope))
+}
+
+/// A coordinator-side [`Process`] that forwards sim time to edge
+/// environments: every `period_ms` it sends one `Tick` envelope down
+/// each link, so remote environment models step on the coordinator's
+/// clock. Send failures are ignored — a dead edge is discovered (and
+/// recovered from) through the device-polling path, not the pump.
+pub struct TickPump {
+    links: Vec<Arc<Link>>,
+    period_ms: SimTime,
+}
+
+impl TickPump {
+    /// A pump ticking `links` every `period_ms` of sim time.
+    #[must_use]
+    pub fn new(links: Vec<Arc<Link>>, period_ms: SimTime) -> Self {
+        assert!(period_ms > 0, "tick period must be positive");
+        TickPump { links, period_ms }
+    }
+}
+
+impl Process for TickPump {
+    fn wake(&mut self, api: &mut ProcessApi<'_>) -> Option<SimTime> {
+        let now = api.now();
+        for link in &self.links {
+            let _ = link.request(|seq| Envelope::tick(seq, now));
+        }
+        Some(now + self.period_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{SimTransport, TransportConfig};
+
+    struct FixedDevice {
+        reading: i64,
+        invoked: Vec<(String, usize)>,
+    }
+
+    impl DeviceInstance for FixedDevice {
+        fn query(&mut self, source: &str, _now_ms: u64) -> Result<Value, DeviceError> {
+            if source == "broken" {
+                return Err(DeviceError::new("fixed", source, "sensor fault"));
+            }
+            Ok(Value::Int(self.reading))
+        }
+
+        fn invoke(
+            &mut self,
+            action: &str,
+            args: &[Value],
+            _now_ms: u64,
+        ) -> Result<(), DeviceError> {
+            self.invoked.push((action.to_string(), args.len()));
+            Ok(())
+        }
+    }
+
+    fn looped_edge(runtime: EdgeRuntime) -> Arc<Link> {
+        let mut sim = SimTransport::new(TransportConfig::default());
+        let shared = Arc::new(Mutex::new(runtime));
+        let peer = Arc::clone(&shared);
+        sim.connect_handler(Box::new(move |env| {
+            peer.lock().expect("edge lock").handle(env)
+        }));
+        Link::new(sim)
+    }
+
+    #[test]
+    fn remote_proxy_queries_and_invokes_through_the_link() {
+        let mut edge = EdgeRuntime::new("edge0");
+        edge.add_device(
+            "presence-A22-0",
+            Box::new(FixedDevice {
+                reading: 7,
+                invoked: Vec::new(),
+            }),
+        );
+        let link = looped_edge(edge);
+        let mut proxy = RemoteDeviceProxy::new("presence-A22-0", Arc::clone(&link));
+        assert_eq!(proxy.query("presence", 600_000).unwrap(), Value::Int(7));
+        proxy
+            .invoke("display", &[Value::Str("12 free".into())], 600_000)
+            .unwrap();
+        let err = proxy.query("broken", 600_000).expect_err("driver error");
+        assert!(err.message.contains("sensor fault"), "{}", err.message);
+        let stats = link.stats();
+        assert_eq!(stats.frames_sent, 3);
+        assert_eq!(stats.frames_received, 3);
+        assert!(stats.bytes_sent > 0 && stats.bytes_received > 0);
+    }
+
+    #[test]
+    fn unknown_device_is_a_device_error_not_a_panic() {
+        let link = looped_edge(EdgeRuntime::new("edge0"));
+        let mut proxy = RemoteDeviceProxy::new("missing", link);
+        let err = proxy.query("presence", 0).expect_err("unknown device");
+        assert!(err.message.contains("hosts no device"), "{}", err.message);
+    }
+
+    #[test]
+    fn death_schedule_stops_replies_at_the_given_sim_time() {
+        let mut edge = EdgeRuntime::new("edge1");
+        edge.add_device(
+            "presence-F9-0",
+            Box::new(FixedDevice {
+                reading: 1,
+                invoked: Vec::new(),
+            }),
+        );
+        edge.set_die_at(1_200_000);
+        let link = looped_edge(edge);
+        let mut proxy = RemoteDeviceProxy::new("presence-F9-0", link);
+        assert!(proxy.query("presence", 600_000).is_ok(), "alive before");
+        let err = proxy.query("presence", 1_200_000).expect_err("dead at");
+        assert!(err.message.contains("closed"), "{}", err.message);
+        // Dead stays dead, even for earlier-stamped requests.
+        assert!(proxy.query("presence", 0).is_err());
+    }
+
+    #[test]
+    fn ticks_step_environment_hooks_with_coordinator_time() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut edge = EdgeRuntime::new("edge0");
+        let sink = Arc::clone(&seen);
+        edge.on_tick(move |now| sink.lock().expect("seen lock").push(now));
+        let link = looped_edge(edge);
+        for now in [61_000, 121_000, 181_000] {
+            link.request(|seq| Envelope::tick(seq, now)).expect("tick");
+        }
+        assert_eq!(
+            *seen.lock().expect("seen lock"),
+            vec![61_000, 121_000, 181_000]
+        );
+    }
+}

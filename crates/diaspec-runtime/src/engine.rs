@@ -50,7 +50,7 @@ use crate::payload::Payload;
 use crate::registry::{PolledReading, Registry};
 use crate::spans::{SpanCtx, SpanEvent, SpanStage};
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
-use crate::transport::{Transport, TransportConfig};
+use crate::transport::{SimTransport, TransportConfig};
 use crate::value::Value;
 use diaspec_core::model::{ActivationTrigger, AnnotationArg, CheckedSpec};
 use std::collections::BTreeMap;
@@ -200,7 +200,7 @@ pub struct Orchestrator {
     spec: Arc<CheckedSpec>,
     registry: Registry,
     queue: EventQueue<Event>,
-    transport: Transport,
+    transport: SimTransport,
     metrics: RuntimeMetrics,
     contexts: BTreeMap<String, ContextRuntime>,
     controllers: BTreeMap<String, ControllerRuntime>,
@@ -299,7 +299,7 @@ impl Orchestrator {
             registry: Registry::new(Arc::clone(&spec)),
             spec,
             queue: EventQueue::new(),
-            transport: Transport::new(transport),
+            transport: SimTransport::new(transport),
             metrics: RuntimeMetrics::default(),
             contexts,
             controllers,
@@ -551,7 +551,7 @@ impl Orchestrator {
     /// Read access to the simulated transport (delivery counters and the
     /// optional per-hop latency histogram).
     #[must_use]
-    pub fn transport(&self) -> &Transport {
+    pub fn transport(&self) -> &SimTransport {
         &self.transport
     }
 

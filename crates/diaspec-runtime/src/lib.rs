@@ -17,9 +17,12 @@
 //!
 //! Application logic plugs in through the [`component`] traits (inversion
 //! of control, as in the paper's generated frameworks), and simulated
-//! environments drive the world through [`process`] actors. Simulated
-//! [`transport`] latency/loss stands in for the paper's operator networks
-//! (see `DESIGN.md`, *Substitutions*). The [`fault`] subsystem injects
+//! environments drive the world through [`process`] actors. Message
+//! movement is abstracted behind the [`transport::Transport`] trait: the
+//! simulated latency/loss backend stands in for the paper's operator
+//! networks in-process (see `DESIGN.md`, *Substitutions*), and a
+//! length-prefixed TCP backend plus the [`deploy`] layer run one design
+//! as several processes. The [`fault`] subsystem injects
 //! seeded device crashes, message drops/delays/duplicates, and link
 //! partitions, and configures the recovery machinery (leases, delivery
 //! retry, declared fallbacks) that masks them (§VI error handling).
@@ -32,6 +35,7 @@
 
 pub mod clock;
 pub mod component;
+pub mod deploy;
 pub mod engine;
 pub mod entity;
 pub mod error;
@@ -48,7 +52,9 @@ pub mod value;
 
 pub use engine::{Orchestrator, Phase, ProcessingMode};
 pub use error::RuntimeError;
-pub use obs::{Activity, LatencyHistogram, ObsSnapshot, Observer};
+pub use fault::{RecoveryConfig, RetryConfig};
+pub use obs::{Activity, LatencyHistogram, ObsSnapshot, Observer, TransportSample};
 pub use payload::Payload;
 pub use spans::{SpanCtx, SpanEvent, SpanStage};
+pub use transport::{Envelope, SimTransport, TcpTransport, Transport, TransportStats};
 pub use value::Value;

@@ -374,6 +374,12 @@ pub struct ObsSnapshot {
     /// by the orchestrator; see `Orchestrator::observation`).
     #[serde(default)]
     pub gauges: Vec<GaugeSample>,
+    /// Per-peer transport link counters, one entry per deployment link
+    /// (filled by coordinators from
+    /// [`Transport::stats`](crate::transport::Transport::stats); empty
+    /// for single-process runs that never sampled a link).
+    #[serde(default)]
+    pub transports: Vec<TransportSample>,
 }
 
 impl ObsSnapshot {
@@ -395,6 +401,12 @@ impl ObsSnapshot {
     #[must_use]
     pub fn gauge(&self, name: &str) -> Option<u64> {
         self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The counters of one transport link, by peer name.
+    #[must_use]
+    pub fn transport(&self, peer: &str) -> Option<&TransportSample> {
+        self.transports.iter().find(|t| t.peer == peer)
     }
 }
 
@@ -439,6 +451,42 @@ pub struct GaugeSample {
     pub name: String,
     /// Sampled value.
     pub value: u64,
+}
+
+/// Counters of one transport link, sampled at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportSample {
+    /// Peer node name (e.g. `edge0`).
+    pub peer: String,
+    /// Backend name (`in-process` or `tcp`).
+    pub backend: String,
+    /// Payload-frame bytes written to the peer.
+    pub bytes_sent: u64,
+    /// Payload-frame bytes read from the peer.
+    pub bytes_received: u64,
+    /// Envelopes written to the peer.
+    pub frames_sent: u64,
+    /// Envelopes read from the peer.
+    pub frames_received: u64,
+    /// Times the link was re-established after a failure.
+    pub reconnects: u64,
+}
+
+impl TransportSample {
+    /// Labels one link's [`TransportStats`](crate::transport::TransportStats)
+    /// readout with its peer and backend names.
+    #[must_use]
+    pub fn from_stats(peer: &str, backend: &str, stats: &crate::transport::TransportStats) -> Self {
+        TransportSample {
+            peer: peer.to_owned(),
+            backend: backend.to_owned(),
+            bytes_sent: stats.bytes_sent,
+            bytes_received: stats.bytes_received,
+            frames_sent: stats.frames_sent,
+            frames_received: stats.frames_received,
+            reconnects: stats.reconnects,
+        }
+    }
 }
 
 // ---- observers ------------------------------------------------------------
@@ -712,6 +760,12 @@ fn render_histogram_family(
 ///   (`_bucket{le=...}`/`_sum`/`_count`) per activity;
 /// - `diaspec_stage_latency` / `diaspec_stage_latency_hist` — the same
 ///   pair per causal-tracing pipeline stage, when spans were recorded;
+/// - `diaspec_transport_bytes_sent_total` /
+///   `diaspec_transport_bytes_received_total` /
+///   `diaspec_transport_frames_sent_total` /
+///   `diaspec_transport_frames_received_total` /
+///   `diaspec_transport_reconnects_total` — per-peer link counters, when
+///   the snapshot carries transport samples;
 /// - one `diaspec_<name>` gauge per occupancy sample in the snapshot.
 #[must_use]
 pub fn render_prometheus(snapshot: &ObsSnapshot) -> String {
@@ -808,6 +862,48 @@ pub fn render_prometheus(snapshot: &ObsSnapshot) -> String {
                 &stage.latency,
                 &stage.buckets,
             );
+        }
+    }
+    if !snapshot.transports.is_empty() {
+        type CounterOf = fn(&TransportSample) -> u64;
+        let families: [(&str, &str, CounterOf); 5] = [
+            (
+                "diaspec_transport_bytes_sent_total",
+                "Payload-frame bytes written per transport link.",
+                |t| t.bytes_sent,
+            ),
+            (
+                "diaspec_transport_bytes_received_total",
+                "Payload-frame bytes read per transport link.",
+                |t| t.bytes_received,
+            ),
+            (
+                "diaspec_transport_frames_sent_total",
+                "Envelopes written per transport link.",
+                |t| t.frames_sent,
+            ),
+            (
+                "diaspec_transport_frames_received_total",
+                "Envelopes read per transport link.",
+                |t| t.frames_received,
+            ),
+            (
+                "diaspec_transport_reconnects_total",
+                "Times a transport link was re-established after a failure.",
+                |t| t.reconnects,
+            ),
+        ];
+        for (family, help, value) in families {
+            out.push_str(&format!("# HELP {family} {help}\n"));
+            out.push_str(&format!("# TYPE {family} counter\n"));
+            for t in &snapshot.transports {
+                out.push_str(&format!(
+                    "{family}{{peer=\"{}\",backend=\"{}\"}} {}\n",
+                    escape_label(&t.peer),
+                    escape_label(&t.backend),
+                    value(t)
+                ));
+            }
         }
     }
     for gauge in &snapshot.gauges {
@@ -1082,6 +1178,7 @@ impl ObsHub {
                 Vec::new()
             },
             gauges: Vec::new(),
+            transports: Vec::new(),
         }
     }
 
@@ -1405,6 +1502,51 @@ mod tests {
         assert!(text.contains("diaspec_queue_depth 7"));
         // No spans recorded: the stage families are absent entirely.
         assert!(!text.contains("diaspec_stage_latency"));
+    }
+
+    #[test]
+    fn prometheus_renders_per_peer_transport_counters() {
+        let hub = ObsHub::new();
+        let mut snap = hub.snapshot(0);
+        // No links sampled: the transport families are absent entirely.
+        assert!(!render_prometheus(&snap).contains("diaspec_transport_"));
+
+        let stats = crate::transport::TransportStats {
+            bytes_sent: 1_234,
+            bytes_received: 567,
+            frames_sent: 21,
+            frames_received: 20,
+            reconnects: 0,
+        };
+        snap.transports
+            .push(TransportSample::from_stats("edge0", "tcp", &stats));
+        snap.transports.push(TransportSample {
+            reconnects: 3,
+            ..TransportSample::from_stats("edge1", "tcp", &stats)
+        });
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE diaspec_transport_bytes_sent_total counter"));
+        assert!(text
+            .contains("diaspec_transport_bytes_sent_total{peer=\"edge0\",backend=\"tcp\"} 1234"));
+        assert!(text.contains(
+            "diaspec_transport_bytes_received_total{peer=\"edge0\",backend=\"tcp\"} 567"
+        ));
+        assert!(
+            text.contains("diaspec_transport_frames_sent_total{peer=\"edge1\",backend=\"tcp\"} 21")
+        );
+        assert!(
+            text.contains("diaspec_transport_reconnects_total{peer=\"edge0\",backend=\"tcp\"} 0")
+        );
+        assert!(
+            text.contains("diaspec_transport_reconnects_total{peer=\"edge1\",backend=\"tcp\"} 3")
+        );
+        assert_eq!(snap.transport("edge1").unwrap().reconnects, 3);
+        assert!(snap.transport("edge9").is_none());
+        // The section survives a JSON round-trip, and old snapshots
+        // without it still deserialize.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ObsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.transports, snap.transports);
     }
 
     #[test]

@@ -1,19 +1,29 @@
-//! Simulated message transport.
+//! The simulated transport backend.
 //!
-//! The paper's infrastructures range from a home LAN to city-wide
-//! low-power WANs (Sigfox, LoRa). Physical networks are not available
-//! here, so the runtime models transport as a per-message latency sample
-//! plus an independent loss probability, applied wherever data crosses a
-//! component boundary: source emissions, context publications, and
-//! periodic batch deliveries. This exercises the same asynchronous
-//! delivery code paths an operator network would, with the network's
-//! characteristics as experiment parameters.
+//! One of the two [`Transport`](super::Transport) backends: it models a
+//! link as a per-message latency sample plus an independent loss
+//! probability, applied wherever data crosses a component boundary —
+//! source emissions, context publications, periodic batch deliveries.
+//! The engine drives [`SimTransport`] directly for every in-process
+//! delivery (the default; goldens and determinism are unchanged by the
+//! trait split), and the deployment layer can use the same backend as a
+//! loopback link by attaching an in-process peer handler with
+//! [`SimTransport::connect_handler`]. For messages that really leave the
+//! process, see the socket backend ([`super::TcpTransport`]).
 
+use super::wire::{Envelope, MessageKind, TransportError};
+use super::TransportStats;
 use crate::clock::SimTime;
 use crate::fault::{FaultInjector, MessageFate};
 use crate::obs::LatencyHistogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// An in-process peer for the simulated backend: receives an envelope,
+/// returns the reply — or `None` to simulate a peer that died without
+/// answering.
+pub type SimHandler = Box<dyn FnMut(&Envelope) -> Option<Envelope> + Send>;
 
 /// Latency distribution for one message hop.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -32,15 +42,21 @@ pub enum LatencyModel {
     },
 }
 
-/// Configuration of the simulated transport.
+/// Configuration of the simulated backend ([`SimTransport`]).
+///
+/// This configures only the simulated backend — the latency/loss model
+/// the engine samples for in-process deliveries. The socket backend is
+/// configured separately (address plus a
+/// [`RetryConfig`](crate::fault::RetryConfig)); real links get their
+/// latency from the actual network.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransportConfig {
     /// Latency applied to each delivered message.
     pub latency: LatencyModel,
     /// Probability in `[0, 1]` that a message is silently dropped.
     pub loss_probability: f64,
-    /// RNG seed; two transports with equal seeds and configs behave
-    /// identically.
+    /// RNG seed; two simulated backends with equal seeds and configs
+    /// behave identically.
     pub seed: u64,
 }
 
@@ -54,8 +70,8 @@ impl Default for TransportConfig {
     }
 }
 
-/// The outcome of a [`Transport::send_through`]: a send across a link
-/// with fault injection layered on top of the transport's own model.
+/// The outcome of a [`SimTransport::send_through`]: a send across a link
+/// with fault injection layered on top of the simulated model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SendOutcome {
     /// `Some(latency)` when the primary copy is delivered.
@@ -71,8 +87,8 @@ pub struct SendOutcome {
 }
 
 impl SendOutcome {
-    /// Wraps a plain [`Transport::send`] result: no injector involved, so
-    /// no duplicate, no injected drop, no extra delay.
+    /// Wraps a plain [`SimTransport::send`] result: no injector involved,
+    /// so no duplicate, no injected drop, no extra delay.
     #[must_use]
     pub fn without_faults(delivery: Option<SimTime>) -> Self {
         SendOutcome {
@@ -84,22 +100,37 @@ impl SendOutcome {
     }
 }
 
-/// The transport simulator: decides, per message, whether it is delivered
-/// and with what delay.
-#[derive(Debug)]
-pub struct Transport {
+/// The simulated transport backend: decides, per message, whether it is
+/// delivered and with what delay.
+pub struct SimTransport {
     config: TransportConfig,
     rng: StdRng,
     delivered: u64,
     dropped: u64,
     total_latency_ms: u128,
     /// Per-hop latency distribution, kept only when observability asks
-    /// for it (see [`Transport::enable_latency_histogram`]).
+    /// for it (see [`SimTransport::enable_latency_histogram`]).
     histogram: Option<LatencyHistogram>,
+    /// In-process peer for trait-level [`exchange`](super::Transport::exchange)
+    /// calls; `None` answers every delivered envelope with a plain `Ok`.
+    handler: Option<SimHandler>,
+    /// Byte/frame counters for trait-level exchanges.
+    link_stats: TransportStats,
 }
 
-impl Transport {
-    /// Creates a transport from its configuration.
+impl fmt::Debug for SimTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimTransport")
+            .field("config", &self.config)
+            .field("delivered", &self.delivered)
+            .field("dropped", &self.dropped)
+            .field("handler", &self.handler.as_ref().map(|_| "..."))
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimTransport {
+    /// Creates a simulated backend from its configuration.
     ///
     /// # Panics
     ///
@@ -118,14 +149,24 @@ impl Transport {
                 "inverted latency range {min_ms}..{max_ms}"
             );
         }
-        Transport {
+        SimTransport {
             config,
             rng: StdRng::seed_from_u64(config.seed),
             delivered: 0,
             dropped: 0,
             total_latency_ms: 0,
             histogram: None,
+            handler: None,
+            link_stats: TransportStats::default(),
         }
+    }
+
+    /// Attaches the in-process peer answering trait-level
+    /// [`exchange`](super::Transport::exchange) calls. The handler may
+    /// return `None` to simulate a peer that died without replying
+    /// (surfaced as [`TransportError::Closed`]).
+    pub fn connect_handler(&mut self, handler: SimHandler) {
+        self.handler = Some(handler);
     }
 
     /// Starts recording every delivered message's latency into a
@@ -261,9 +302,56 @@ impl Transport {
     }
 }
 
-impl Default for Transport {
+impl Default for SimTransport {
     fn default() -> Self {
-        Transport::new(TransportConfig::default())
+        SimTransport::new(TransportConfig::default())
+    }
+}
+
+impl super::Transport for SimTransport {
+    fn backend(&self) -> &'static str {
+        "sim"
+    }
+
+    fn peer(&self) -> &str {
+        "local"
+    }
+
+    /// Delivers `envelope` to the attached in-process handler after
+    /// sampling the simulated fate: a loss-model drop surfaces as
+    /// [`TransportError::Dropped`], a delivery is counted (bytes are the
+    /// encoded frame sizes, so the sim and socket backends report
+    /// comparable statistics) and answered by the handler — or by a
+    /// plain `Ok` echo when no handler is attached.
+    fn exchange(&mut self, envelope: &Envelope) -> Result<Envelope, TransportError> {
+        let frame_len = envelope
+            .encode_frame()
+            .map_err(TransportError::Frame)?
+            .len();
+        match self.send() {
+            Some(_latency) => {
+                self.link_stats.bytes_sent += frame_len as u64;
+                self.link_stats.frames_sent += 1;
+            }
+            None => return Err(TransportError::Dropped),
+        }
+        let reply = match &mut self.handler {
+            Some(handler) => handler(envelope).ok_or(TransportError::Closed)?,
+            None => envelope.reply_ok(),
+        };
+        self.link_stats.bytes_received +=
+            reply.encode_frame().map_err(TransportError::Frame)?.len() as u64;
+        self.link_stats.frames_received += 1;
+        if reply.kind == MessageKind::Error {
+            return Err(TransportError::Remote(
+                String::from_utf8_lossy(&reply.payload).into_owned(),
+            ));
+        }
+        Ok(reply)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.link_stats
     }
 }
 
@@ -273,7 +361,7 @@ mod tests {
 
     #[test]
     fn zero_transport_is_instant_and_lossless() {
-        let mut t = Transport::default();
+        let mut t = SimTransport::default();
         for _ in 0..100 {
             assert_eq!(t.send(), Some(0));
         }
@@ -284,7 +372,7 @@ mod tests {
 
     #[test]
     fn fixed_latency_applied() {
-        let mut t = Transport::new(TransportConfig {
+        let mut t = SimTransport::new(TransportConfig {
             latency: LatencyModel::Fixed(25),
             ..TransportConfig::default()
         });
@@ -294,7 +382,7 @@ mod tests {
 
     #[test]
     fn uniform_latency_within_bounds() {
-        let mut t = Transport::new(TransportConfig {
+        let mut t = SimTransport::new(TransportConfig {
             latency: LatencyModel::Uniform {
                 min_ms: 10,
                 max_ms: 50,
@@ -312,7 +400,7 @@ mod tests {
 
     #[test]
     fn loss_probability_drops_roughly_that_fraction() {
-        let mut t = Transport::new(TransportConfig {
+        let mut t = SimTransport::new(TransportConfig {
             loss_probability: 0.3,
             seed: 7,
             ..TransportConfig::default()
@@ -334,8 +422,8 @@ mod tests {
             loss_probability: 0.1,
             seed: 99,
         };
-        let mut a = Transport::new(config);
-        let mut b = Transport::new(config);
+        let mut a = SimTransport::new(config);
+        let mut b = SimTransport::new(config);
         for _ in 0..500 {
             assert_eq!(a.send(), b.send());
         }
@@ -343,7 +431,7 @@ mod tests {
 
     #[test]
     fn latency_histogram_tracks_delivered_messages() {
-        let mut t = Transport::new(TransportConfig {
+        let mut t = SimTransport::new(TransportConfig {
             latency: LatencyModel::Uniform {
                 min_ms: 10,
                 max_ms: 50,
@@ -365,7 +453,7 @@ mod tests {
     #[test]
     fn send_through_layers_faults_over_the_transport() {
         use crate::fault::FaultPlan;
-        let mut t = Transport::new(TransportConfig {
+        let mut t = SimTransport::new(TransportConfig {
             latency: LatencyModel::Fixed(10),
             ..TransportConfig::default()
         });
@@ -403,8 +491,8 @@ mod tests {
             loss_probability: 0.2,
             seed: 31,
         };
-        let mut plain = Transport::new(config);
-        let mut faulty = Transport::new(config);
+        let mut plain = SimTransport::new(config);
+        let mut faulty = SimTransport::new(config);
         let mut inj = FaultInjector::new(crate::fault::FaultPlan::default());
         for _ in 0..300 {
             let out = faulty.send_through(&mut inj);
@@ -417,7 +505,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside [0, 1]")]
     fn invalid_loss_probability_rejected() {
-        let _ = Transport::new(TransportConfig {
+        let _ = SimTransport::new(TransportConfig {
             loss_probability: 1.5,
             ..TransportConfig::default()
         });
@@ -426,7 +514,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "inverted latency range")]
     fn inverted_latency_range_rejected() {
-        let _ = Transport::new(TransportConfig {
+        let _ = SimTransport::new(TransportConfig {
             latency: LatencyModel::Uniform {
                 min_ms: 50,
                 max_ms: 10,

@@ -1,0 +1,177 @@
+//! Property-based tests of the length-prefixed wire format.
+//!
+//! Invariants:
+//! 1. `encode_frame` → `decode_frame` round-trips every encodable
+//!    envelope — kind, span context, sequence number, sim time, names,
+//!    and payload (including the empty payload and a 1 MiB one).
+//! 2. Every strict prefix of a valid frame is rejected as truncated,
+//!    and trailing garbage is rejected — a frame boundary can never be
+//!    misread.
+//! 3. Oversized frames are rejected on encode, and a forged oversized
+//!    length prefix is rejected on decode before any body is read.
+//! 4. The `SpanCtx` survives the stream path (`write_to`/`read_from`),
+//!    so spans opened on the coordinator parent edge-side work.
+
+use diaspec_runtime::transport::{Envelope, FrameError, MessageKind, TransportError, MAX_FRAME};
+use diaspec_runtime::SpanCtx;
+use proptest::prelude::*;
+
+// ---- generators ---------------------------------------------------------------
+
+const KINDS: [MessageKind; 9] = [
+    MessageKind::Hello,
+    MessageKind::Query,
+    MessageKind::Invoke,
+    MessageKind::Tick,
+    MessageKind::Heartbeat,
+    MessageKind::Ok,
+    MessageKind::Value,
+    MessageKind::Error,
+    MessageKind::Bye,
+];
+
+fn envelope() -> impl Strategy<Value = Envelope> {
+    (
+        (
+            0..KINDS.len(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            // Arbitrary printable text, not just identifiers: the format
+            // must carry any device / member name the registry can hold.
+            ".{0,40}",
+            ".{0,40}",
+            proptest::collection::vec(any::<u8>(), 0..1024),
+        ),
+    )
+        .prop_map(
+            |((kind, trace_id, parent, seq, now), (target, member, payload))| {
+                Envelope::new(
+                    KINDS[kind],
+                    SpanCtx { trace_id, parent },
+                    seq,
+                    target,
+                    member,
+                    payload,
+                )
+                .at(now)
+            },
+        )
+}
+
+// ---- round-trip ---------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn frames_round_trip(env in envelope()) {
+        let frame = env.encode_frame().expect("within bounds");
+        prop_assert_eq!(frame.len(), 4 + env.body_len());
+        let back = Envelope::decode_frame(&frame).expect("own encoding decodes");
+        prop_assert_eq!(back, env);
+    }
+
+    #[test]
+    fn span_ctx_survives_the_stream_path(env in envelope()) {
+        let mut stream = Vec::new();
+        let written = env.write_to(&mut stream).expect("in-memory write");
+        let mut reader = stream.as_slice();
+        let (back, read) = Envelope::read_from(&mut reader)
+            .expect("in-memory read")
+            .expect("one frame present");
+        prop_assert_eq!(written, read);
+        prop_assert_eq!(back.span, env.span);
+        prop_assert_eq!(back, env);
+        // The stream is fully consumed: a second read sees clean EOF.
+        prop_assert!(Envelope::read_from(&mut reader).expect("clean eof").is_none());
+    }
+
+    // ---- malformed input ------------------------------------------------------
+
+    #[test]
+    fn every_strict_prefix_is_rejected(env in envelope(), cut in any::<usize>()) {
+        let frame = env.encode_frame().expect("within bounds");
+        let cut = cut % frame.len();
+        prop_assert!(
+            Envelope::decode_frame(&frame[..cut]).is_err(),
+            "prefix of {cut}/{} bytes decoded",
+            frame.len()
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected(env in envelope(), extra in 1usize..16) {
+        let mut frame = env.encode_frame().expect("within bounds");
+        frame.extend(vec![0xAB; extra]);
+        prop_assert_eq!(
+            Envelope::decode_frame(&frame),
+            Err(FrameError::TrailingBytes(extra))
+        );
+    }
+
+    #[test]
+    fn unknown_kind_bytes_are_rejected(env in envelope(), kind in 9u8..255) {
+        let mut frame = env.encode_frame().expect("within bounds");
+        frame[4] = kind;
+        prop_assert_eq!(
+            Envelope::decode_frame(&frame),
+            Err(FrameError::UnknownKind(kind))
+        );
+    }
+}
+
+// ---- size extremes ------------------------------------------------------------
+
+#[test]
+fn a_one_mebibyte_payload_round_trips() {
+    let payload: Vec<u8> = (0..1024 * 1024).map(|i| (i % 251) as u8).collect();
+    let env = Envelope::new(
+        MessageKind::Value,
+        SpanCtx {
+            trace_id: 7,
+            parent: 3,
+        },
+        42,
+        "presence-A22-0",
+        "presence",
+        payload,
+    )
+    .at(61_000);
+    let frame = env.encode_frame().expect("1 MiB is well under MAX_FRAME");
+    assert_eq!(Envelope::decode_frame(&frame).expect("decodes"), env);
+}
+
+#[test]
+fn oversized_bodies_are_rejected_on_encode() {
+    let env = Envelope::new(
+        MessageKind::Value,
+        SpanCtx::NONE,
+        0,
+        "d",
+        "s",
+        vec![0u8; MAX_FRAME + 1],
+    );
+    assert!(matches!(
+        env.encode_frame(),
+        Err(FrameError::Oversized { .. })
+    ));
+}
+
+#[test]
+fn a_forged_oversized_length_prefix_is_rejected() {
+    // decode_frame: a 4-byte buffer whose prefix declares > MAX_FRAME.
+    let len = u32::try_from(MAX_FRAME + 1).expect("fits");
+    let forged = len.to_be_bytes().to_vec();
+    assert!(matches!(
+        Envelope::decode_frame(&forged),
+        Err(FrameError::Oversized { .. })
+    ));
+    // read_from: the same forged prefix must fail before any body read.
+    let mut reader = forged.as_slice();
+    assert!(matches!(
+        Envelope::read_from(&mut reader),
+        Err(TransportError::Frame(FrameError::Oversized { .. }))
+    ));
+}

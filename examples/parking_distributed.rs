@@ -1,0 +1,471 @@
+//! The parking case study deployed across processes: one coordinator
+//! running the full orchestration (contexts, controllers, MapReduce)
+//! plus edge nodes hosting the per-lot device slices, bridged by the
+//! socket transport. The split comes from the deployment manifest
+//! emitted by `diaspec-gen deploy specs/parking.spec`.
+//!
+//! ```text
+//! # one process per node, socket backend:
+//! parking_distributed --role edge --node edge0 --manifest m.json &
+//! parking_distributed --role edge --node edge1 --manifest m.json &
+//! parking_distributed --role coordinator --manifest m.json
+//!
+//! # same wiring, in-process backend (the golden for the smoke diff):
+//! parking_distributed --role inprocess --manifest m.json
+//! ```
+//!
+//! Both roles print the same orchestration-level summary: the backends
+//! must be observationally identical. Every edge replicates the whole
+//! deterministic city model (same seed) and steps it on coordinator
+//! `Tick`s, so lot trajectories match the single-process run exactly.
+//!
+//! `--die-at MS` makes an edge play dead from that sim time; with
+//! `--recover`, the coordinator runs leases plus coordinator-local
+//! standby drivers, so the kill shows up as `lease ... expired` and
+//! `rebind ...` lines in its trace.
+
+use diaspec_apps::parking::{
+    register_components, ParkingAppConfig, ENVIRONMENT_FIRST_STEP_MS, SPEC,
+};
+use diaspec_codegen::deploy::{EdgeManifest, NodeManifest};
+use diaspec_devices::common::{ActuationLog, RecordingActuator};
+use diaspec_devices::parking::{ParkingCityModel, ParkingConfig, PresenceSensorDriver, UsageCurve};
+use diaspec_runtime::deploy::{EdgeRuntime, Link, RemoteDeviceProxy, TickPump};
+use diaspec_runtime::entity::AttributeMap;
+use diaspec_runtime::obs::render_prometheus;
+use diaspec_runtime::transport::{SimTransport, TransportConfig};
+use diaspec_runtime::value::Value;
+use diaspec_runtime::{Orchestrator, RecoveryConfig, RetryConfig, TcpTransport, TransportSample};
+use std::collections::BTreeMap;
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+
+/// City-model step cadence: one simulated minute, pumped to the edges.
+const TICK_MS: u64 = 60_000;
+/// Lease TTL for `--recover`: 2.5 missed 10-minute polls.
+const LEASE_TTL_MS: u64 = 1_500_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = Options::parse(std::env::args().skip(1))?;
+    let manifest: NodeManifest =
+        serde_json::from_str(&std::fs::read_to_string(&options.manifest)?)?;
+    match options.role.as_str() {
+        "edge" => run_edge(&manifest, &options),
+        "coordinator" => run_coordinator(&manifest, &options, Backend::Tcp),
+        "inprocess" => run_coordinator(&manifest, &options, Backend::InProcess),
+        other => {
+            Err(format!("unknown role `{other}` (expected coordinator, edge, inprocess)").into())
+        }
+    }
+}
+
+/// Which transport backend the coordinator bridges edges over.
+#[derive(Clone, Copy, PartialEq)]
+enum Backend {
+    /// Real sockets to separately launched edge processes.
+    Tcp,
+    /// Loopback `SimTransport` handlers onto in-process edge runtimes.
+    InProcess,
+}
+
+struct Options {
+    role: String,
+    manifest: String,
+    node: String,
+    sensors: usize,
+    hours: u64,
+    die_at: Option<u64>,
+    recover: bool,
+}
+
+impl Options {
+    fn parse(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+        let mut options = Options {
+            role: String::new(),
+            manifest: String::new(),
+            node: String::new(),
+            sensors: 4,
+            hours: 1,
+            die_at: None,
+            recover: false,
+        };
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+            match arg.as_str() {
+                "--role" => options.role = value("--role")?,
+                "--manifest" => options.manifest = value("--manifest")?,
+                "--node" => options.node = value("--node")?,
+                "--sensors" => {
+                    options.sensors = value("--sensors")?
+                        .parse()
+                        .map_err(|e| format!("--sensors: {e}"))?;
+                }
+                "--hours" => {
+                    options.hours = value("--hours")?
+                        .parse()
+                        .map_err(|e| format!("--hours: {e}"))?;
+                }
+                "--die-at" => {
+                    options.die_at = Some(
+                        value("--die-at")?
+                            .parse()
+                            .map_err(|e| format!("--die-at: {e}"))?,
+                    );
+                }
+                "--recover" => options.recover = true,
+                other => return Err(format!("unexpected argument `{other}`")),
+            }
+        }
+        if options.role.is_empty() || options.manifest.is_empty() {
+            return Err(
+                "usage: parking_distributed --role coordinator|edge|inprocess \
+                        --manifest <manifest.json> [--node NAME] [--sensors N] [--hours H] \
+                        [--die-at MS] [--recover]"
+                    .to_owned(),
+            );
+        }
+        Ok(options)
+    }
+}
+
+/// A fresh replica of the deterministic city model. Every node builds
+/// the same one (same seed), so lot trajectories agree everywhere.
+fn city_replica(sensors: usize) -> ParkingCityModel {
+    let lot_names: Vec<String> = lot_names();
+    let config = ParkingConfig {
+        spaces_per_lot: sensors,
+        ..ParkingConfig::default()
+    };
+    ParkingCityModel::new(lot_names, config, UsageCurve::default())
+}
+
+fn lot_names() -> Vec<String> {
+    use diaspec_apps::parking::generated::ParkingLotEnum;
+    ParkingLotEnum::ALL
+        .iter()
+        .map(|l| l.name().to_owned())
+        .collect()
+}
+
+fn city_entrances() -> Vec<String> {
+    use diaspec_apps::parking::generated::CityEntranceEnum;
+    CityEntranceEnum::ALL
+        .iter()
+        .map(|e| e.name().to_owned())
+        .collect()
+}
+
+/// Builds one edge node's runtime: drivers for its lot shards over a
+/// full model replica stepped on coordinator ticks.
+fn edge_runtime(edge: &EdgeManifest, sensors: usize, die_at: Option<u64>) -> EdgeRuntime {
+    let mut model = city_replica(sensors);
+    let mut runtime = EdgeRuntime::new(edge.name.clone());
+    for lot in &edge.shards {
+        let cell = model.lot(lot).expect("manifest shard is a model lot");
+        for space in 0..sensors {
+            runtime.add_device(
+                format!("presence-{lot}-{space}"),
+                Box::new(PresenceSensorDriver::new(cell.clone(), space)),
+            );
+        }
+        runtime.add_device(
+            format!("panel-{lot}"),
+            Box::new(RecordingActuator::new(ActuationLog::new())),
+        );
+    }
+    runtime.on_tick(move |now| model.step(now));
+    if let Some(die_at) = die_at {
+        runtime.set_die_at(die_at);
+    }
+    runtime
+}
+
+/// Edge role: serve one coordinator connection to completion.
+fn run_edge(manifest: &NodeManifest, options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let edge = manifest
+        .edges
+        .iter()
+        .find(|e| e.name == options.node)
+        .ok_or_else(|| format!("manifest has no edge node `{}`", options.node))?;
+    let mut runtime = edge_runtime(edge, options.sensors, options.die_at);
+    let listener = TcpListener::bind(&edge.listen)?;
+    eprintln!("{}: listening on {}", edge.name, edge.listen);
+    let stats = diaspec_runtime::deploy::serve_edge(&listener, &mut runtime)?;
+    println!(
+        "{}: served {} request(s), {} bytes in / {} bytes out{}",
+        edge.name,
+        runtime.requests(),
+        stats.bytes_received,
+        stats.bytes_sent,
+        if runtime.dead() {
+            " (died on schedule)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+/// Coordinator (or whole-run in-process) role: run the orchestration
+/// with every sharded device bridged over the chosen backend.
+fn run_coordinator(
+    manifest: &NodeManifest,
+    options: &Options,
+    backend: Backend,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let config = ParkingAppConfig {
+        sensors_per_lot: options.sensors,
+        ..ParkingAppConfig::default()
+    };
+    let spec = Arc::new(diaspec_core::compile_str(SPEC)?);
+    let mut orch = Orchestrator::with_transport(spec, config.transport);
+    register_components(&mut orch, &config)?;
+
+    // One link per edge node. In-process: the very same EdgeRuntime
+    // wiring, looped back through a SimTransport handler.
+    let retry = RetryConfig {
+        max_attempts: 1,
+        base_backoff_ms: 5,
+        timeout_ms: 1_000,
+    };
+    let mut links: BTreeMap<String, Arc<Link>> = BTreeMap::new();
+    for edge in &manifest.edges {
+        let link = match backend {
+            Backend::Tcp => Link::new(TcpTransport::new(
+                edge.name.clone(),
+                edge.listen.clone(),
+                retry,
+            )),
+            Backend::InProcess => {
+                let runtime = Arc::new(Mutex::new(edge_runtime(
+                    edge,
+                    options.sensors,
+                    options.die_at,
+                )));
+                let mut sim = SimTransport::new(TransportConfig::default());
+                sim.connect_handler(Box::new(move |envelope| {
+                    runtime.lock().expect("edge runtime lock").handle(envelope)
+                }));
+                Link::new(sim)
+            }
+        };
+        links.insert(edge.name.clone(), link);
+    }
+
+    if options.recover {
+        orch.set_tracing(true);
+        orch.enable_recovery(RecoveryConfig::default().with_leases(LEASE_TTL_MS))?;
+    }
+
+    orch.begin_deployment();
+    // Sharded families: one remote proxy per entity, over the link of
+    // the edge that hosts its lot.
+    for edge in &manifest.edges {
+        let link = &links[&edge.name];
+        for lot in &edge.shards {
+            let lot_value = Value::enum_value("ParkingLotEnum", lot);
+            for space in 0..options.sensors {
+                let id = format!("presence-{lot}-{space}");
+                let mut attrs = AttributeMap::new();
+                attrs.insert("parkingLot".to_owned(), lot_value.clone());
+                orch.bind_entity(
+                    id.clone().into(),
+                    "PresenceSensor",
+                    attrs,
+                    Box::new(RemoteDeviceProxy::new(id, Arc::clone(link))),
+                )?;
+            }
+            let id = format!("panel-{lot}");
+            let mut attrs = AttributeMap::new();
+            attrs.insert("location".to_owned(), lot_value.clone());
+            orch.bind_entity(
+                id.clone().into(),
+                "ParkingEntrancePanel",
+                attrs,
+                Box::new(RemoteDeviceProxy::new(id, Arc::clone(link))),
+            )?;
+        }
+    }
+    // Coordinator-local devices: city entrance panels and the messenger.
+    for entrance in city_entrances() {
+        let mut attrs = AttributeMap::new();
+        attrs.insert(
+            "location".to_owned(),
+            Value::enum_value("CityEntranceEnum", &entrance),
+        );
+        orch.bind_entity(
+            format!("city-panel-{entrance}").into(),
+            "CityEntrancePanel",
+            attrs,
+            Box::new(RecordingActuator::new(ActuationLog::new())),
+        )?;
+    }
+    let messenger = ActuationLog::new();
+    orch.bind_entity(
+        "messenger-mgmt".into(),
+        "Messenger",
+        AttributeMap::new(),
+        Box::new(RecordingActuator::new(messenger.clone())),
+    )?;
+
+    if options.recover {
+        // Coordinator-local standbys over yet another model replica:
+        // when an edge dies and leases expire, the registry promotes
+        // these and the orchestration continues on identical data.
+        let standby_model = city_replica(options.sensors);
+        let cells: BTreeMap<String, _> = lot_names()
+            .into_iter()
+            .map(|lot| {
+                let cell = standby_model.lot(&lot).expect("replica lot");
+                (lot, cell)
+            })
+            .collect();
+        for edge in &manifest.edges {
+            for lot in &edge.shards {
+                let lot_value = Value::enum_value("ParkingLotEnum", lot);
+                for space in 0..options.sensors {
+                    let mut attrs = AttributeMap::new();
+                    attrs.insert("parkingLot".to_owned(), lot_value.clone());
+                    orch.register_standby(
+                        format!("standby-presence-{lot}-{space}").into(),
+                        "PresenceSensor",
+                        attrs,
+                        Box::new(PresenceSensorDriver::new(cells[lot].clone(), space)),
+                    )?;
+                }
+                let mut attrs = AttributeMap::new();
+                attrs.insert("location".to_owned(), lot_value.clone());
+                orch.register_standby(
+                    format!("standby-panel-{lot}").into(),
+                    "ParkingEntrancePanel",
+                    attrs,
+                    Box::new(RecordingActuator::new(ActuationLog::new())),
+                )?;
+            }
+        }
+        let mut hook_model = standby_model;
+        let pump_links: Vec<Arc<Link>> = links.values().map(Arc::clone).collect();
+        orch.spawn_process_at(
+            "standby-city",
+            StepAnd {
+                step: Box::new(move |now| hook_model.step(now)),
+                links: pump_links,
+                period_ms: TICK_MS,
+            },
+            ENVIRONMENT_FIRST_STEP_MS,
+        );
+    } else {
+        let pump = TickPump::new(links.values().map(Arc::clone).collect(), TICK_MS);
+        orch.spawn_process_at("tick-pump", pump, ENVIRONMENT_FIRST_STEP_MS);
+    }
+    orch.launch()?;
+
+    eprintln!(
+        "coordinator: {} entities bound, {} edge link(s) over {} backend",
+        orch.registry().len(),
+        links.len(),
+        links.values().next().map_or("?", |l| l.backend()),
+    );
+    orch.run_until(options.hours * 3_600_000);
+
+    print_summary(&mut orch, &messenger, options);
+    let mut snapshot = orch.observation();
+    for (name, link) in &links {
+        let stats = link.stats();
+        eprintln!(
+            "link {name}: {} frames / {} bytes out, {} frames / {} bytes in, {} reconnect(s)",
+            stats.frames_sent,
+            stats.bytes_sent,
+            stats.frames_received,
+            stats.bytes_received,
+            stats.reconnects
+        );
+        snapshot
+            .transports
+            .push(TransportSample::from_stats(name, link.backend(), &stats));
+        link.close();
+    }
+    for line in render_prometheus(&snapshot)
+        .lines()
+        .filter(|l| l.contains("diaspec_transport_"))
+    {
+        eprintln!("{line}");
+    }
+    Ok(())
+}
+
+/// A process stepping the coordinator's standby replica *and* pumping
+/// ticks, keeping both environments on exactly the same grid.
+struct StepAnd {
+    step: Box<dyn FnMut(u64) + Send>,
+    links: Vec<Arc<Link>>,
+    period_ms: u64,
+}
+
+impl diaspec_runtime::process::Process for StepAnd {
+    fn wake(&mut self, api: &mut diaspec_runtime::engine::ProcessApi<'_>) -> Option<u64> {
+        let now = api.now();
+        (self.step)(now);
+        for link in &self.links {
+            let _ = link.request(|seq| diaspec_runtime::Envelope::tick(seq, now));
+        }
+        Some(now + self.period_ms)
+    }
+}
+
+/// The orchestration-level summary both backends must agree on, built
+/// only from coordinator-side observations (published values, local
+/// actuation logs, engine metrics).
+fn print_summary(orch: &mut Orchestrator, messenger: &ActuationLog, options: &Options) {
+    use diaspec_apps::parking::generated::{Availability, ParkingLotEnum};
+    use diaspec_runtime::value::ValueCodec;
+
+    let availability: Option<Vec<Availability>> = orch
+        .last_value("ParkingAvailability")
+        .and_then(ValueCodec::from_value);
+    match availability {
+        Some(list) => {
+            let cells: Vec<String> = list
+                .iter()
+                .map(|a| format!("{}={}", a.parking_lot.name(), a.count))
+                .collect();
+            println!("availability: {}", cells.join(" "));
+        }
+        None => println!("availability: none"),
+    }
+    let suggestions: Option<Vec<ParkingLotEnum>> = orch
+        .last_value("ParkingSuggestion")
+        .and_then(ValueCodec::from_value);
+    match suggestions {
+        Some(lots) => {
+            let names: Vec<&str> = lots.iter().map(|l| l.name()).collect();
+            println!("suggestions: {}", names.join(", "));
+        }
+        None => println!("suggestions: none"),
+    }
+    println!("digests: {}", messenger.count("sendMessage"));
+
+    let m = orch.metrics();
+    println!(
+        "metrics: periodic={} polled={} mapreduce={} publications={} actuations={}",
+        m.periodic_deliveries,
+        m.readings_polled,
+        m.map_reduce_executions,
+        m.publications,
+        m.actuations
+    );
+    let errors = orch.drain_errors();
+    println!("errors: {}", errors.len());
+
+    if options.recover {
+        let mut lease_lines = 0usize;
+        for event in orch.take_trace() {
+            let line = event.to_string();
+            if line.contains("lease ") || line.contains("rebind ") {
+                println!("trace: {}", line.trim());
+                lease_lines += 1;
+            }
+        }
+        println!("recovery events: {lease_lines}");
+    }
+}

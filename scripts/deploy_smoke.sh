@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Deployment smoke test: the socket backend must be observationally
+# identical to the in-process backend, and a killed edge must recover
+# through lease expiry + standby promotion.
+#
+#   1. `diaspec-gen deploy` partitions specs/parking.spec into a
+#      manifest plus per-node sources;
+#   2. the distributed parking demo runs once fully in-process (golden)
+#      and once as 1 coordinator + 2 edge processes over localhost TCP —
+#      the two orchestration-level summaries must diff clean;
+#   3. the TCP run is repeated with edge1 dying mid-run and recovery
+#      enabled — the coordinator trace must show lease expiry and
+#      standby promotion;
+#   4. no child process may leak past the script.
+#
+# Usage: scripts/deploy_smoke.sh   (PORT_BASE overridable, default 7470)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT_BASE="${PORT_BASE:-7470}"
+SENSORS=4
+HOURS=1
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"; pkill -f "parking_distributed --role" 2>/dev/null || true' EXIT
+
+cargo build --release -q -p diaspec-codegen -p diaspec-examples
+GEN=target/release/diaspec-gen
+BIN=target/release/parking_distributed
+
+# 1. Partition the design; the partition pass must accept the split.
+"$GEN" deploy specs/parking.spec --edges 2 --port-base "$PORT_BASE" --out "$OUT/deploy"
+MANIFEST="$OUT/deploy/manifest.json"
+for f in manifest.json node_coordinator.rs node_edge0.rs node_edge1.rs; do
+  test -f "$OUT/deploy/$f" || { echo "missing deployment artifact $f" >&2; exit 1; }
+done
+
+# 2. Golden: the same wiring over the in-process backend.
+"$BIN" --role inprocess --manifest "$MANIFEST" --sensors "$SENSORS" --hours "$HOURS" \
+  > "$OUT/inprocess.out" 2> "$OUT/inprocess.err"
+
+# ... versus 1 coordinator + 2 edges over localhost TCP.
+"$BIN" --role edge --node edge0 --manifest "$MANIFEST" --sensors "$SENSORS" \
+  > "$OUT/edge0.out" 2>&1 &
+EDGE0=$!
+"$BIN" --role edge --node edge1 --manifest "$MANIFEST" --sensors "$SENSORS" \
+  > "$OUT/edge1.out" 2>&1 &
+EDGE1=$!
+sleep 0.5
+"$BIN" --role coordinator --manifest "$MANIFEST" --sensors "$SENSORS" --hours "$HOURS" \
+  > "$OUT/tcp.out" 2> "$OUT/tcp.err"
+wait "$EDGE0" "$EDGE1"
+
+echo "--- in-process vs TCP summary diff:"
+diff -u "$OUT/inprocess.out" "$OUT/tcp.out"
+echo "identical"
+
+# 3. Kill scenario: edge1 dies at 1,150,000 ms sim time; the coordinator
+# runs leases + coordinator-local standbys and must log the recovery.
+"$BIN" --role edge --node edge0 --manifest "$MANIFEST" --sensors "$SENSORS" \
+  > "$OUT/edge0-kill.out" 2>&1 &
+EDGE0=$!
+"$BIN" --role edge --node edge1 --manifest "$MANIFEST" --sensors "$SENSORS" \
+  --die-at 1150000 > "$OUT/edge1-kill.out" 2>&1 &
+EDGE1=$!
+sleep 0.5
+"$BIN" --role coordinator --manifest "$MANIFEST" --sensors "$SENSORS" --hours "$HOURS" \
+  --recover > "$OUT/kill.out" 2> "$OUT/kill.err"
+wait "$EDGE0" "$EDGE1"
+
+grep -q "lease .* expired" "$OUT/kill.out" \
+  || { echo "coordinator trace shows no lease expiry" >&2; cat "$OUT/kill.out" >&2; exit 1; }
+grep -q "rebind .* -> standby-" "$OUT/kill.out" \
+  || { echo "coordinator trace shows no standby promotion" >&2; cat "$OUT/kill.out" >&2; exit 1; }
+grep -q "died on schedule" "$OUT/edge1-kill.out" \
+  || { echo "edge1 did not die on schedule" >&2; cat "$OUT/edge1-kill.out" >&2; exit 1; }
+echo "kill scenario recovered: $(grep -c 'rebind ' "$OUT/kill.out") promotion(s)"
+
+# 4. Everything must have exited; a leaked edge would hold its port.
+if pgrep -f "parking_distributed --role" > /dev/null; then
+  echo "leaked child processes:" >&2
+  pgrep -af "parking_distributed --role" >&2
+  exit 1
+fi
+echo "deploy smoke OK"
