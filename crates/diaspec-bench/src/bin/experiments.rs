@@ -10,15 +10,16 @@
 //! `--quick` shrinks the sweeps for smoke-testing; `--json` additionally
 //! dumps machine-readable rows; `--only eNN` runs a single experiment
 //! (e.g. `--only e20`) and rejects ids this binary does not implement;
-//! `--list` prints the full E1–E20 index with where each experiment
+//! `--list` prints the full E1–E21 index with where each experiment
 //! lives; `--check-bench-json [path]` validates an existing
 //! `BENCH_delivery.json` against the schema guard and exits.
 
 use diaspec_bench::{
-    churn, continuum, delivery, discovery, fanout, loadgen, processing, share, taskfaults,
+    chaossoak, churn, continuum, delivery, discovery, fanout, loadgen, processing, share,
+    taskfaults,
 };
 
-/// The E1–E20 index from `DESIGN.md`: id, one-line summary, and whether
+/// The E1–E21 index from `DESIGN.md`: id, one-line summary, and whether
 /// this binary runs it (the rest are covered by tests, examples, or the
 /// `diaspec-gen` CLI).
 const EXPERIMENTS: &[(&str, &str, bool)] = &[
@@ -42,6 +43,7 @@ const EXPERIMENTS: &[(&str, &str, bool)] = &[
     ("e18", "one-datum-to-many fan-out through the zero-copy delivery pipeline", true),
     ("e19", "whole-design static analysis + negative fixtures (diaspec-gen lint)", false),
     ("e20", "open-loop load harness: throughput knee + latency percentiles + spans", true),
+    ("e21", "chaos soak: byte-identical orchestration under swept link-fault rates", true),
 ];
 
 fn main() {
@@ -79,7 +81,7 @@ fn main() {
                 .map(|(id, _, _)| *id)
                 .collect();
             eprintln!(
-                "unknown experiment `{o}`: this binary runs {} (see --list for the full E1-E20 index)",
+                "unknown experiment `{o}`: this binary runs {} (see --list for the full E1-E21 index)",
                 valid.join(", ")
             );
             std::process::exit(1);
@@ -114,12 +116,15 @@ fn main() {
     if run("e20") {
         e20_load(quick, json);
     }
+    if run("e21") {
+        e21_chaossoak(quick, json);
+    }
 }
 
-/// Prints the E1–E20 index: one line per experiment, marking the ones
+/// Prints the E1–E21 index: one line per experiment, marking the ones
 /// this binary runs (`*`) versus the ones covered elsewhere.
 fn list_experiments() {
-    println!("E1-E20 experiment index (*) = runnable via --only:");
+    println!("E1-E21 experiment index (*) = runnable via --only:");
     for (id, summary, runs_here) in EXPERIMENTS {
         let marker = if *runs_here { '*' } else { ' ' };
         println!("{marker} {id:>4}  {summary}");
@@ -536,6 +541,69 @@ fn e20_load(quick: bool, json: bool) {
     }
     if json {
         println!("{}", serde_json::to_string(&report).expect("serializable"));
+    }
+}
+
+fn e21_chaossoak(quick: bool, json: bool) {
+    heading("E21 — chaos soak: byte-identical orchestration under link faults");
+    let rates: &[f64] = if quick { &[0.05] } else { &[0.02, 0.05, 0.10] };
+    let rows = chaossoak::sweep(rates);
+    println!(
+        "{:>6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>10} {:>10} {:>10}",
+        "rate",
+        "parts",
+        "faults",
+        "resends",
+        "replays",
+        "dedup",
+        "trips",
+        "ident",
+        "p50 (ms)",
+        "p99 (ms)",
+        "max (ms)"
+    );
+    for row in &rows {
+        println!(
+            "{:>6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7} {:>10} {:>10} {:>10}",
+            format!("{:.0}%", row.fault_rate * 100.0),
+            row.partitions,
+            row.faults_injected,
+            row.resends,
+            row.replays,
+            row.duplicates_absorbed,
+            row.breaker_trips,
+            if row.identical { "yes" } else { "NO" },
+            row.replay_p50_ms,
+            row.replay_p99_ms,
+            row.replay_max_ms
+        );
+    }
+    if rows.iter().all(|r| r.identical) {
+        println!("\nEvery run byte-identical to the fault-free summary.");
+    } else {
+        println!("\nWARNING: at least one run diverged from the fault-free summary.");
+    }
+    // Merge the rows into the existing bench report so one JSON file
+    // carries both the E20 load sweep and the E21 soak.
+    let bench_path = "BENCH_delivery.json";
+    match std::fs::read_to_string(bench_path) {
+        Ok(payload) => match serde_json::from_str::<loadgen::LoadReport>(&payload) {
+            Ok(mut report) => {
+                report.chaos = rows.clone();
+                match serde_json::to_string(&report) {
+                    Ok(payload) => match std::fs::write(bench_path, &payload) {
+                        Ok(()) => println!("Chaos rows merged into {bench_path}"),
+                        Err(e) => eprintln!("cannot write {bench_path}: {e}"),
+                    },
+                    Err(e) => eprintln!("cannot serialize merged report: {e}"),
+                }
+            }
+            Err(e) => eprintln!("{bench_path} is not a load report, not merging: {e}"),
+        },
+        Err(_) => println!("No {bench_path} yet; run --only e20 first to merge the soak rows."),
+    }
+    if json {
+        println!("{}", serde_json::to_string(&rows).expect("serializable"));
     }
 }
 

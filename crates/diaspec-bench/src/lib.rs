@@ -8,6 +8,8 @@
 //!   sensors;
 //! - [`churn`] — E16: recovery cost under seeded device churn (leases,
 //!   retries, standby rebinds);
+//! - [`chaossoak`] — E21: byte-identical orchestration under chaos
+//!   transport faults (session resends, replay lateness percentiles);
 //! - [`delivery`] — E11: message volume and latency of the three data
 //!   delivery models;
 //! - [`processing`] — E10: serial vs. parallel MapReduce;
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaossoak;
 pub mod churn;
 pub mod continuum;
 pub mod delivery;

@@ -123,6 +123,10 @@ pub struct LoadReport {
     pub knee_msgs_per_sec: u64,
     /// One entry per offered rate, in sweep order.
     pub rates: Vec<RateReport>,
+    /// E21 chaos soak rows (one per swept fault rate), merged in by
+    /// `experiments --only e21`. Defaults to empty for pre-E21 reports.
+    #[serde(default)]
+    pub chaos: Vec<crate::chaossoak::ChaosSoakRow>,
 }
 
 fn build(sensors: usize) -> (Orchestrator, Vec<EntityId>) {
@@ -289,6 +293,7 @@ pub fn sweep(config: &LoadConfig, quick: bool) -> LoadReport {
         sensors: config.sensors as u64,
         knee_msgs_per_sec: knee(&rates),
         rates,
+        chaos: Vec::new(),
     }
 }
 
@@ -325,6 +330,20 @@ pub fn check_report(payload: &str) -> Result<LoadReport, String> {
             return Err(format!(
                 "no per-stage breakdown at offered rate {}",
                 rate.offered_msgs_per_sec
+            ));
+        }
+    }
+    for row in &report.chaos {
+        if !row.identical {
+            return Err(format!(
+                "chaos soak at fault rate {} diverged from the fault-free run",
+                row.fault_rate
+            ));
+        }
+        if row.partitions > 0 && row.replays == 0 {
+            return Err(format!(
+                "chaos soak at fault rate {}: {} partition window(s) but no replays",
+                row.fault_rate, row.partitions
             ));
         }
     }

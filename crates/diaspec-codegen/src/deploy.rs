@@ -86,6 +86,47 @@ pub struct CoordinatorManifest {
     pub connects: Vec<PeerAddr>,
 }
 
+/// Resilience policy of one coordinator↔edge link in the manifest.
+///
+/// Mirrors the runtime's session layer
+/// (`diaspec_runtime::deploy::SessionConfig`): when `session` is set,
+/// the coordinator opens the link with at-least-once delivery —
+/// cumulative acks, inline resends, a bounded replay queue for effects
+/// parked across partitions, and a circuit breaker that fails fast on
+/// a dead edge. All fields are integers so the manifest stays exactly
+/// comparable (`Eq`) and byte-stable across platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkPolicy {
+    /// Whether the link runs the at-least-once session layer.
+    pub session: bool,
+    /// Most parked effects the replay queue holds.
+    pub resend_queue: usize,
+    /// Inline resend attempts per request (beyond the first send).
+    pub max_attempts: u32,
+    /// Base wall-clock backoff between resends (doubles per attempt).
+    pub base_backoff_ms: u64,
+    /// Per-request wall-clock budget (also the socket read deadline).
+    pub timeout_ms: u64,
+    /// Consecutive request failures that trip the circuit breaker.
+    pub breaker_failures: u32,
+    /// Sim-ms the breaker stays open before a half-open probe.
+    pub breaker_cooldown_ms: u64,
+}
+
+impl Default for LinkPolicy {
+    fn default() -> Self {
+        LinkPolicy {
+            session: true,
+            resend_queue: 64,
+            max_attempts: 3,
+            base_backoff_ms: 100,
+            timeout_ms: 10_000,
+            breaker_failures: 4,
+            breaker_cooldown_ms: 60_000,
+        }
+    }
+}
+
 /// One edge node's slice in the manifest.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EdgeManifest {
@@ -97,6 +138,10 @@ pub struct EdgeManifest {
     pub devices: Vec<String>,
     /// Shard-enum variants assigned to this node.
     pub shards: Vec<String>,
+    /// Resilience policy of the coordinator↔node link (defaulted for
+    /// manifests written before the session layer existed).
+    #[serde(default)]
+    pub link: LinkPolicy,
 }
 
 /// How the design was sharded.
@@ -220,6 +265,7 @@ pub fn plan_deployment(spec: &CheckedSpec, options: &DeployOptions) -> Result<De
             listen: format!("{}:{}", options.host, options.port_base + i as u16),
             devices: sharded.clone(),
             shards,
+            link: LinkPolicy::default(),
         });
     }
     let plan = PartitionPlan {
@@ -373,7 +419,9 @@ fn node_header(manifest: &NodeManifest, node: &str, role: &str) -> String {
 fn coordinator_source(manifest: &NodeManifest) -> GeneratedFile {
     let c = &manifest.coordinator;
     let mut out = node_header(manifest, &c.name, "the orchestration coordinator");
-    out.push_str("use diaspec_runtime::deploy::{Link, RemoteDeviceProxy};\n");
+    out.push_str(
+        "use diaspec_runtime::deploy::{BreakerConfig, Link, RemoteDeviceProxy, SessionConfig};\n",
+    );
     out.push_str("use diaspec_runtime::{RetryConfig, TcpTransport};\n");
     out.push_str("use std::sync::Arc;\n\n");
     push_list(
@@ -403,11 +451,52 @@ fn coordinator_source(manifest: &NodeManifest) -> GeneratedFile {
     }
     out.push_str("];\n\n");
     out.push_str(
-        "/// Opens one socket link per edge peer, in `PEERS` order.\n\
+        "/// Per-link resilience policy from the manifest:\n\
+         /// `(node, session, resend_queue, max_attempts, base_backoff_ms,\n\
+         /// timeout_ms, breaker_failures, breaker_cooldown_ms)`.\n\
+         pub const LINK_POLICIES: &[(&str, bool, usize, u32, u64, u64, u32, u64)] = &[\n",
+    );
+    for edge in &manifest.edges {
+        let p = &edge.link;
+        let _ = writeln!(
+            out,
+            "    ({:?}, {}, {}, {}, {}, {}, {}, {}),",
+            edge.name,
+            p.session,
+            p.resend_queue,
+            p.max_attempts,
+            p.base_backoff_ms,
+            p.timeout_ms,
+            p.breaker_failures,
+            p.breaker_cooldown_ms,
+        );
+    }
+    out.push_str("];\n\n");
+    out.push_str(
+        "/// Opens one socket link per edge peer, in `PEERS` order, applying\n\
+         /// each peer's `LINK_POLICIES` entry (at-least-once session layer\n\
+         /// when `session` is set, best-effort otherwise).\n\
          pub fn links(retry: RetryConfig) -> Vec<(&'static str, Arc<Link>)> {\n\
          \x20   PEERS\n\
          \x20       .iter()\n\
-         \x20       .map(|(node, addr)| (*node, Link::new(TcpTransport::new(*node, *addr, retry))))\n\
+         \x20       .map(|(node, addr)| {\n\
+         \x20           let transport = TcpTransport::new(*node, *addr, retry);\n\
+         \x20           let policy = LINK_POLICIES.iter().find(|(name, ..)| name == node);\n\
+         \x20           let link = match policy {\n\
+         \x20               Some(&(_, true, resend_queue, max_attempts, base_backoff_ms, timeout_ms, failures, cooldown_ms)) => {\n\
+         \x20                   Link::with_session(\n\
+         \x20                       transport,\n\
+         \x20                       SessionConfig {\n\
+         \x20                           retry: RetryConfig { max_attempts, base_backoff_ms, timeout_ms },\n\
+         \x20                           resend_queue,\n\
+         \x20                           breaker: BreakerConfig { failure_threshold: failures, cooldown_ms },\n\
+         \x20                       },\n\
+         \x20                   )\n\
+         \x20               }\n\
+         \x20               _ => Link::new(transport),\n\
+         \x20           };\n\
+         \x20           (*node, link)\n\
+         \x20       })\n\
          \x20       .collect()\n\
          }\n\n\
          /// Proxies a remote family hosted on `node` through its link.\n\
@@ -539,6 +628,31 @@ mod tests {
     }
 
     #[test]
+    fn pre_session_manifests_default_their_link_policy() {
+        // A manifest written before the session layer existed has no
+        // `link` field; deserialization must fill in the default.
+        let legacy = r#"{
+            "design": "parking",
+            "shard": {"enumeration": "ParkingLotEnum", "attributes": []},
+            "coordinator": {
+                "name": "coordinator",
+                "components": [],
+                "devices": [],
+                "connects": []
+            },
+            "edges": [{
+                "name": "edge0",
+                "listen": "127.0.0.1:7070",
+                "devices": [],
+                "shards": []
+            }],
+            "cut_routes": []
+        }"#;
+        let manifest: NodeManifest = serde_json::from_str(legacy).unwrap();
+        assert_eq!(manifest.edges[0].link, LinkPolicy::default());
+    }
+
+    #[test]
     fn per_node_sources_declare_their_slice() {
         let spec = parking();
         let deployment = plan_deployment(&spec, &DeployOptions::default()).unwrap();
@@ -550,6 +664,10 @@ mod tests {
         assert!(coord.contains("pub const PEERS"));
         assert!(coord.contains("TcpTransport::new"));
         assert!(coord.contains("\"PresenceSensor\", \"edge0\""));
+        // The manifest's link policy rides into the generated source.
+        assert!(coord.contains("pub const LINK_POLICIES"));
+        assert!(coord.contains("(\"edge0\", true, 64, 3, 100, 10000, 4, 60000),"));
+        assert!(coord.contains("Link::with_session"));
         let edge = &deployment.files.file("node_edge1.rs").unwrap().content;
         assert!(edge.contains("pub const LISTEN: &str = \"127.0.0.1:7071\""));
         assert!(edge.contains("EdgeRuntime::new(\"edge1\")"));

@@ -25,7 +25,25 @@
 //! - [`TickPump`] — a coordinator-side [`Process`] that forwards sim
 //!   time to edge environments at a fixed cadence, keeping the whole
 //!   distributed run a single discrete-event simulation driven by the
-//!   coordinator's clock.
+//!   coordinator's clock (stoppable via [`TickPump::stop_handle`] when
+//!   the deployment shuts down);
+//! - [`session`] — the at-least-once session layer a link can opt into
+//!   ([`Link::with_session`]): cumulative acks, inline resends, a
+//!   bounded replay queue for effects parked across partitions, and a
+//!   per-link circuit breaker. The receiver side lives here in
+//!   [`EdgeRuntime`]: an ack-pruned idempotency cache that answers
+//!   duplicate `Invoke`/`Tick` envelopes from cached replies, turning
+//!   at-least-once delivery into exactly-once effects;
+//! - [`supervisor`] — the edge-side [`Supervisor`] that replaces
+//!   fire-and-forget [`serve_edge`]: it re-accepts after coordinator
+//!   disconnects (session resumption) and rebuilds a crashed runtime
+//!   under a bounded restart policy.
+
+pub mod session;
+pub mod supervisor;
+
+pub use session::{BreakerConfig, SessionConfig, SessionStats};
+pub use supervisor::{RestartPolicy, Supervisor, SupervisorReport};
 
 use crate::clock::SimTime;
 use crate::engine::ProcessApi;
@@ -34,10 +52,16 @@ use crate::error::DeviceError;
 use crate::process::Process;
 use crate::transport::{Envelope, MessageKind, Transport, TransportError, TransportStats};
 use crate::value::Value;
+use session::SessionState;
 use std::collections::BTreeMap;
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Most replies the edge-side idempotency cache retains when the
+/// sender never acks (best-effort links); ack-pruning keeps sessioned
+/// links far below this.
+const DEDUP_CAP: usize = 1024;
 
 /// A shared handle on one transport link.
 ///
@@ -47,16 +71,41 @@ use std::sync::{Arc, Mutex};
 pub struct Link {
     transport: Mutex<Box<dyn Transport>>,
     seq: AtomicU64,
+    session: Option<Mutex<SessionState>>,
 }
 
 impl Link {
-    /// Wraps a transport backend in a shared link.
+    /// Wraps a transport backend in a best-effort link: no resends, no
+    /// replay queue, failures surface directly to the caller.
     #[must_use]
     pub fn new(transport: impl Transport + 'static) -> Arc<Link> {
         Arc::new(Link {
             transport: Mutex::new(Box::new(transport)),
             seq: AtomicU64::new(0),
+            session: None,
         })
+    }
+
+    /// Wraps a transport backend in an at-least-once session link:
+    /// requests carry cumulative acks, failures are resent inline per
+    /// `config.retry`, exhausted effects are parked for in-order replay
+    /// once the link heals, and a circuit breaker fails fast on a dead
+    /// peer (see [`session`]).
+    #[must_use]
+    pub fn with_session(transport: impl Transport + 'static, config: SessionConfig) -> Arc<Link> {
+        Arc::new(Link {
+            transport: Mutex::new(Box::new(transport)),
+            seq: AtomicU64::new(0),
+            session: Some(Mutex::new(SessionState::new(config))),
+        })
+    }
+
+    /// The session-layer counters, or `None` on a best-effort link.
+    #[must_use]
+    pub fn session_stats(&self) -> Option<SessionStats> {
+        self.session
+            .as_ref()
+            .map(|s| s.lock().expect("session lock poisoned").stats())
     }
 
     /// The next sequence number for a request on this link.
@@ -72,10 +121,14 @@ impl Link {
     /// Propagates the backend's [`TransportError`].
     pub fn request(&self, make: impl FnOnce(u64) -> Envelope) -> Result<Envelope, TransportError> {
         let envelope = make(self.next_seq());
-        self.transport
-            .lock()
-            .expect("transport lock poisoned")
-            .exchange(&envelope)
+        let mut transport = self.transport.lock().expect("transport lock poisoned");
+        match &self.session {
+            Some(session) => session
+                .lock()
+                .expect("session lock poisoned")
+                .request(transport.as_mut(), envelope),
+            None => transport.exchange(&envelope),
+        }
     }
 
     /// The backend's byte/frame/reconnect counters.
@@ -216,6 +269,15 @@ pub struct EdgeRuntime {
     die_at: Option<SimTime>,
     dead: bool,
     requests: u64,
+    duplicates: u64,
+    /// Cached replies to effectful envelopes (`Invoke`/`Tick`), keyed
+    /// by sequence number: a resend of an executed request replays the
+    /// cached reply instead of re-running the effect.
+    replies: BTreeMap<u64, Envelope>,
+    /// The sender's cumulative-ack watermark: every effectful sequence
+    /// number at or below it is settled, so its cache entry is pruned
+    /// and any late duplicate is rejected without execution.
+    acked: u64,
 }
 
 impl EdgeRuntime {
@@ -229,6 +291,9 @@ impl EdgeRuntime {
             die_at: None,
             dead: false,
             requests: 0,
+            duplicates: 0,
+            replies: BTreeMap::new(),
+            acked: 0,
         }
     }
 
@@ -261,13 +326,29 @@ impl EdgeRuntime {
         self.dead
     }
 
-    /// Requests answered so far.
+    /// Fresh requests executed so far (duplicates excluded).
     #[must_use]
     pub fn requests(&self) -> u64 {
         self.requests
     }
 
+    /// Duplicate effectful envelopes answered from the idempotency
+    /// cache (or rejected as already settled) without re-execution.
+    #[must_use]
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
     /// Answers one envelope, or `None` when the node is (now) dead.
+    ///
+    /// Effectful envelopes (`Invoke`/`Tick`) are deduplicated by
+    /// sequence number: a resend of an already-executed request gets
+    /// the cached reply, and a ghost duplicate at or below the sender's
+    /// cumulative-ack watermark is rejected without execution — the
+    /// receiver half of the session layer's exactly-once-effects
+    /// contract. The cache is pruned by the ack carried on each
+    /// request and bounded (at `DEDUP_CAP` entries) for best-effort
+    /// senders that never ack.
     pub fn handle(&mut self, envelope: &Envelope) -> Option<Envelope> {
         if self.dead {
             return None;
@@ -278,8 +359,38 @@ impl EdgeRuntime {
                 return None;
             }
         }
+        let effectful = matches!(envelope.kind, MessageKind::Invoke | MessageKind::Tick);
+        if effectful {
+            if envelope.ack > self.acked {
+                self.acked = envelope.ack;
+                self.replies = self.replies.split_off(&(self.acked + 1));
+            }
+            if let Some(cached) = self.replies.get(&envelope.seq) {
+                self.duplicates += 1;
+                return Some(cached.clone());
+            }
+            if envelope.seq <= self.acked {
+                // A duplicate of a request the sender already settled:
+                // its effect must not run twice, and there is no cached
+                // reply left to repeat.
+                self.duplicates += 1;
+                return Some(envelope.reply_error("duplicate of an acknowledged request"));
+            }
+        }
         self.requests += 1;
-        Some(match envelope.kind {
+        let reply = self.answer(envelope);
+        if effectful {
+            if self.replies.len() >= DEDUP_CAP {
+                self.replies.pop_first();
+            }
+            self.replies.insert(envelope.seq, reply.clone());
+        }
+        Some(reply)
+    }
+
+    /// Executes one fresh (non-duplicate) envelope.
+    fn answer(&mut self, envelope: &Envelope) -> Envelope {
+        match envelope.kind {
             MessageKind::Hello | MessageKind::Heartbeat => envelope.reply_ok(),
             MessageKind::Tick => {
                 for hook in &mut self.ticks {
@@ -314,7 +425,7 @@ impl EdgeRuntime {
             MessageKind::Bye | MessageKind::Ok | MessageKind::Value | MessageKind::Error => {
                 envelope.reply_error(&format!("unexpected request kind {:?}", envelope.kind))
             }
-        })
+        }
     }
 }
 
@@ -346,6 +457,20 @@ pub fn serve_edge(
 pub struct TickPump {
     links: Vec<Arc<Link>>,
     period_ms: SimTime,
+    stopped: Arc<AtomicBool>,
+}
+
+/// A handle that stops a [`TickPump`]: after [`TickPumpStop::stop`],
+/// the pump's next wake sends nothing and unschedules itself. Used at
+/// deployment shutdown so no tick races the links' orderly `Bye`.
+#[derive(Clone)]
+pub struct TickPumpStop(Arc<AtomicBool>);
+
+impl TickPumpStop {
+    /// Stops the pump at its next wake.
+    pub fn stop(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
 }
 
 impl TickPump {
@@ -353,12 +478,26 @@ impl TickPump {
     #[must_use]
     pub fn new(links: Vec<Arc<Link>>, period_ms: SimTime) -> Self {
         assert!(period_ms > 0, "tick period must be positive");
-        TickPump { links, period_ms }
+        TickPump {
+            links,
+            period_ms,
+            stopped: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// A handle that stops this pump (usable after the pump is handed
+    /// to the engine).
+    #[must_use]
+    pub fn stop_handle(&self) -> TickPumpStop {
+        TickPumpStop(Arc::clone(&self.stopped))
     }
 }
 
 impl Process for TickPump {
     fn wake(&mut self, api: &mut ProcessApi<'_>) -> Option<SimTime> {
+        if self.stopped.load(Ordering::Relaxed) {
+            return None;
+        }
         let now = api.now();
         for link in &self.links {
             let _ = link.request(|seq| Envelope::tick(seq, now));
@@ -456,6 +595,126 @@ mod tests {
         assert!(err.message.contains("closed"), "{}", err.message);
         // Dead stays dead, even for earlier-stamped requests.
         assert!(proxy.query("presence", 0).is_err());
+    }
+
+    /// Executes the edge runtime but loses every first reply per
+    /// sequence number: the effect runs, the sender never hears it.
+    struct ReplyLossy {
+        edge: Arc<Mutex<EdgeRuntime>>,
+        delivered: std::collections::BTreeSet<u64>,
+    }
+
+    impl Transport for ReplyLossy {
+        fn backend(&self) -> &'static str {
+            "reply-lossy"
+        }
+        fn peer(&self) -> &str {
+            "edge0"
+        }
+        fn exchange(&mut self, envelope: &Envelope) -> Result<Envelope, TransportError> {
+            let reply = self
+                .edge
+                .lock()
+                .expect("edge lock")
+                .handle(envelope)
+                .ok_or(TransportError::Closed)?;
+            if self.delivered.insert(envelope.seq) {
+                return Err(TransportError::Dropped);
+            }
+            if reply.kind == MessageKind::Error {
+                return Err(TransportError::Remote(
+                    String::from_utf8_lossy(&reply.payload).into_owned(),
+                ));
+            }
+            Ok(reply)
+        }
+        fn stats(&self) -> TransportStats {
+            TransportStats::default()
+        }
+    }
+
+    #[test]
+    fn lost_reply_resend_does_not_double_invoke() {
+        let mut edge = EdgeRuntime::new("edge0");
+        edge.add_device(
+            "gate-0",
+            Box::new(FixedDevice {
+                reading: 0,
+                invoked: Vec::new(),
+            }),
+        );
+        let shared = Arc::new(Mutex::new(edge));
+        let link = Link::with_session(
+            ReplyLossy {
+                edge: Arc::clone(&shared),
+                delivered: std::collections::BTreeSet::new(),
+            },
+            SessionConfig {
+                retry: crate::fault::RetryConfig {
+                    max_attempts: 2,
+                    base_backoff_ms: 0,
+                    timeout_ms: 0,
+                },
+                ..SessionConfig::default()
+            },
+        );
+        let mut proxy = RemoteDeviceProxy::new("gate-0", link);
+        proxy
+            .invoke("open", &[], 600_000)
+            .expect("resend replays the cached reply");
+        let edge = shared.lock().expect("edge lock");
+        assert_eq!(edge.requests(), 1, "the invoke executed exactly once");
+        assert_eq!(edge.duplicates(), 1, "the resend hit the dedup cache");
+    }
+
+    #[test]
+    fn duplicate_ticks_do_not_restep_the_environment() {
+        let steps = Arc::new(Mutex::new(0u32));
+        let mut edge = EdgeRuntime::new("edge0");
+        let sink = Arc::clone(&steps);
+        edge.on_tick(move |_| *sink.lock().expect("steps lock") += 1);
+        let tick = Envelope::tick(1, 61_000);
+        assert_eq!(edge.handle(&tick).unwrap().kind, MessageKind::Ok);
+        assert_eq!(
+            edge.handle(&tick).unwrap().kind,
+            MessageKind::Ok,
+            "the duplicate replays the cached Ok"
+        );
+        assert_eq!(*steps.lock().expect("steps lock"), 1, "stepped once");
+        assert_eq!((edge.requests(), edge.duplicates()), (1, 1));
+        // An ack past seq 1 prunes the cache; a ghost duplicate of the
+        // settled tick is rejected without stepping.
+        edge.handle(&Envelope::tick(2, 121_000).with_ack(1));
+        let ghost = edge.handle(&tick).expect("answered");
+        assert_eq!(ghost.kind, MessageKind::Error);
+        assert_eq!(*steps.lock().expect("steps lock"), 2, "no third step");
+    }
+
+    #[test]
+    fn tick_pump_stops_on_its_handle() {
+        let spec =
+            Arc::new(diaspec_core::compile_str("device D { source s as Integer; }").unwrap());
+        let mut orch = crate::engine::Orchestrator::new(spec);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut edge = EdgeRuntime::new("edge0");
+        let sink = Arc::clone(&seen);
+        edge.on_tick(move |now| sink.lock().expect("seen lock").push(now));
+        let pump = TickPump::new(vec![looped_edge(edge)], 60_000);
+        let stop = pump.stop_handle();
+        orch.spawn_process_at("pump", pump, 60_000);
+        orch.launch().expect("launch");
+        orch.run_until(180_000);
+        assert_eq!(
+            *seen.lock().expect("seen lock"),
+            vec![60_000, 120_000, 180_000]
+        );
+        stop.stop();
+        orch.run_until(600_000);
+        assert_eq!(
+            seen.lock().expect("seen lock").len(),
+            3,
+            "no ticks after stop"
+        );
     }
 
     #[test]

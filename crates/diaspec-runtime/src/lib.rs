@@ -50,11 +50,16 @@ pub mod trace;
 pub mod transport;
 pub mod value;
 
+pub use deploy::{
+    BreakerConfig, RestartPolicy, SessionConfig, SessionStats, Supervisor, SupervisorReport,
+};
 pub use engine::{Orchestrator, Phase, ProcessingMode};
 pub use error::RuntimeError;
 pub use fault::{RecoveryConfig, RetryConfig};
 pub use obs::{Activity, LatencyHistogram, ObsSnapshot, Observer, TransportSample};
 pub use payload::Payload;
 pub use spans::{SpanCtx, SpanEvent, SpanStage};
-pub use transport::{Envelope, SimTransport, TcpTransport, Transport, TransportStats};
+pub use transport::{
+    ChaosConfig, ChaosTransport, Envelope, SimTransport, TcpTransport, Transport, TransportStats,
+};
 pub use value::Value;

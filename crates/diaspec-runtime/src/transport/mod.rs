@@ -16,15 +16,25 @@
 //!   trace context) over TCP, with connect/retry/backoff driven by
 //!   [`crate::fault::RetryConfig`].
 //!
+//! A third implementation, [`ChaosTransport`], is middleware rather
+//! than a backend: it wraps either of the above and injects
+//! deterministic envelope-level faults (drops, delays, duplicates,
+//! reorders, corrupt frames, partition windows) whose fate is a pure
+//! hash of seed·peer·seq·attempt — the wire-path half of the fault
+//! story, complementing the engine-side
+//! [`FaultInjector`](crate::fault::FaultInjector).
+//!
 //! The [`wire`] submodule defines the [`Envelope`] both backends carry;
 //! the deployment layer ([`crate::deploy`]) builds remote device proxies
 //! and edge-node serving loops on top of whichever backend a node
 //! manifest selects.
 
+pub mod chaos;
 pub mod sim;
 pub mod socket;
 pub mod wire;
 
+pub use chaos::{ChaosConfig, ChaosStats, ChaosStatsHandle, ChaosTransport, Direction};
 pub use sim::{LatencyModel, SendOutcome, SimTransport, TransportConfig};
 pub use socket::{serve_connection, TcpTransport};
 pub use wire::{Envelope, FrameError, MessageKind, TransportError, MAX_FRAME};

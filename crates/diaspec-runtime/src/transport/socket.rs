@@ -77,6 +77,17 @@ impl TcpTransport {
             }
             match connected {
                 Some(stream) => {
+                    // Request deadline: a peer that dies between connect
+                    // and reply must not block the caller forever.
+                    if self.retry.timeout_ms > 0 {
+                        let deadline = Duration::from_millis(self.retry.timeout_ms);
+                        stream
+                            .set_read_timeout(Some(deadline))
+                            .map_err(|e| TransportError::Io(e.to_string()))?;
+                        stream
+                            .set_write_timeout(Some(deadline))
+                            .map_err(|e| TransportError::Io(e.to_string()))?;
+                    }
                     if self.connected_before {
                         self.stats.reconnects += 1;
                     }
@@ -129,17 +140,32 @@ impl super::Transport for TcpTransport {
         &self.peer
     }
 
-    /// Writes `envelope` as one frame and blocks on the reply frame.
-    /// An I/O failure drops the connection and retries the whole
-    /// exchange once over a fresh one (the peer may simply have
-    /// restarted); a second failure is returned to the caller, who
-    /// owns request-level retry policy.
+    /// Writes `envelope` as one frame and blocks on the reply frame,
+    /// bounded by the retry policy's `timeout_ms` (a stalled peer
+    /// surfaces as [`TransportError::Timeout`], never an infinite
+    /// block). An I/O failure drops the connection and retries the
+    /// whole exchange once over a fresh one (the peer may simply have
+    /// restarted); a second failure — and any timeout — is returned to
+    /// the caller, who owns request-level retry policy.
     fn exchange(&mut self, envelope: &Envelope) -> Result<Envelope, TransportError> {
         let reply = match self.try_exchange(envelope) {
             Ok(reply) => reply,
+            Err(TransportError::Timeout) => {
+                // The stream may be stalled mid-frame: drop it so the
+                // next exchange starts clean, but do not re-send — the
+                // request may still be executing on the peer.
+                self.stream = None;
+                return Err(TransportError::Timeout);
+            }
             Err(TransportError::Io(_) | TransportError::Closed) => {
                 self.stream = None;
-                self.try_exchange(envelope)?
+                match self.try_exchange(envelope) {
+                    Ok(reply) => reply,
+                    Err(e) => {
+                        self.stream = None;
+                        return Err(e);
+                    }
+                }
             }
             Err(e) => return Err(e),
         };
@@ -294,6 +320,38 @@ mod tests {
             TransportError::Io(msg) => assert!(msg.contains("after 3 attempts"), "{msg}"),
             other => panic!("expected Io, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stalled_peer_surfaces_as_timeout_not_a_hang() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            // Read the request, then stall: never write a reply. The
+            // connection stays open until the client has timed out.
+            let _ = Envelope::read_from(&mut stream);
+            let _ = done_rx.recv();
+        });
+        let retry = RetryConfig {
+            max_attempts: 0,
+            base_backoff_ms: 1,
+            timeout_ms: 100,
+        };
+        let mut link = TcpTransport::new("stalled", addr, retry);
+        let start = std::time::Instant::now();
+        let err = link
+            .exchange(&Envelope::query(SpanCtx::NONE, 1, "d", "s", 0))
+            .expect_err("stalled peer");
+        assert_eq!(err, TransportError::Timeout);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline bounded the wait: {:?}",
+            start.elapsed()
+        );
+        done_tx.send(()).ok();
+        server.join().expect("server thread");
     }
 
     #[test]

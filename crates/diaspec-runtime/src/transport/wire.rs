@@ -4,8 +4,10 @@
 //! frame: a 4-byte big-endian body length followed by the body. The body
 //! carries the message kind, the [`SpanCtx`] trace context (so causal
 //! traces survive process boundaries), a sender-assigned sequence number,
-//! the target entity, the member (source or action) addressed on it, and
-//! an opaque payload (values are JSON-encoded [`crate::value::Value`]s).
+//! a cumulative acknowledgement (the session layer's "everything up to
+//! here answered" watermark; `0` on best-effort links), the target
+//! entity, the member (source or action) addressed on it, and an opaque
+//! payload (values are JSON-encoded [`crate::value::Value`]s).
 //!
 //! The format is deliberately simple — fixed-width integers big-endian,
 //! strings UTF-8 with a 2-byte length, payload with a 4-byte length — so
@@ -82,6 +84,11 @@ pub struct Envelope {
     pub span: SpanCtx,
     /// Sender-assigned sequence number; replies echo it.
     pub seq: u64,
+    /// Cumulative acknowledgement: every request sequence number at or
+    /// below this value has been answered (or abandoned), so the
+    /// receiver may prune its idempotency cache up to here. Always `0`
+    /// on best-effort links and in replies.
+    pub ack: u64,
     /// Sim time at the sender (ms). Distributed runs stay discrete-event
     /// simulations: the coordinator's clock rides on every message, so
     /// edge-side drivers and death schedules see coordinator time.
@@ -109,6 +116,7 @@ impl Envelope {
             kind,
             span,
             seq,
+            ack: 0,
             now: 0,
             target: target.into(),
             member: member.into(),
@@ -120,6 +128,13 @@ impl Envelope {
     #[must_use]
     pub fn at(mut self, now_ms: u64) -> Self {
         self.now = now_ms;
+        self
+    }
+
+    /// Stamps the sender's cumulative acknowledgement onto the envelope.
+    #[must_use]
+    pub fn with_ack(mut self, ack: u64) -> Self {
+        self.ack = ack;
         self
     }
 
@@ -192,7 +207,17 @@ impl Envelope {
     /// Encoded body length in bytes (without the 4-byte frame prefix).
     #[must_use]
     pub fn body_len(&self) -> usize {
-        1 + 8 + 8 + 8 + 8 + 2 + self.target.len() + 2 + self.member.len() + 4 + self.payload.len()
+        1 + 8
+            + 8
+            + 8
+            + 8
+            + 8
+            + 2
+            + self.target.len()
+            + 2
+            + self.member.len()
+            + 4
+            + self.payload.len()
     }
 
     /// Encodes `self` as a length-prefixed frame.
@@ -225,6 +250,7 @@ impl Envelope {
         out.extend_from_slice(&self.span.trace_id.to_be_bytes());
         out.extend_from_slice(&self.span.parent.to_be_bytes());
         out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
         out.extend_from_slice(&self.now.to_be_bytes());
         out.extend_from_slice(
             &u16::try_from(self.target.len())
@@ -290,6 +316,7 @@ impl Envelope {
         let trace_id = cursor.u64()?;
         let parent = cursor.u64()?;
         let seq = cursor.u64()?;
+        let ack = cursor.u64()?;
         let now = cursor.u64()?;
         let target = cursor.string()?;
         let member = cursor.string()?;
@@ -302,6 +329,7 @@ impl Envelope {
             kind,
             span: SpanCtx { trace_id, parent },
             seq,
+            ack,
             now,
             target,
             member,
@@ -320,7 +348,7 @@ impl Envelope {
         writer
             .write_all(&frame)
             .and_then(|()| writer.flush())
-            .map_err(|e| TransportError::Io(e.to_string()))?;
+            .map_err(io_to_transport)?;
         Ok(frame.len())
     }
 
@@ -332,14 +360,15 @@ impl Envelope {
     /// # Errors
     ///
     /// Returns [`TransportError::Io`] on a read failure (including
-    /// end-of-stream mid-frame) and [`TransportError::Frame`] on a
-    /// malformed body.
+    /// end-of-stream mid-frame), [`TransportError::Timeout`] when the
+    /// reader has a deadline and it passes, and
+    /// [`TransportError::Frame`] on a malformed body.
     pub fn read_from(reader: &mut impl Read) -> Result<Option<(Envelope, usize)>, TransportError> {
         let mut prefix = [0u8; 4];
         match reader.read_exact(&mut prefix) {
             Ok(()) => {}
             Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(TransportError::Io(e.to_string())),
+            Err(e) => return Err(io_to_transport(e)),
         }
         let body_len = u32::from_be_bytes(prefix) as usize;
         if body_len > MAX_FRAME {
@@ -349,11 +378,19 @@ impl Envelope {
             }));
         }
         let mut body = vec![0u8; body_len];
-        reader
-            .read_exact(&mut body)
-            .map_err(|e| TransportError::Io(e.to_string()))?;
+        reader.read_exact(&mut body).map_err(io_to_transport)?;
         let envelope = Envelope::decode_body(&body).map_err(TransportError::Frame)?;
         Ok(Some((envelope, 4 + body_len)))
+    }
+}
+
+/// Maps an I/O error to the transport vocabulary: a passed read/write
+/// deadline (a stalled peer) is [`TransportError::Timeout`], everything
+/// else [`TransportError::Io`].
+fn io_to_transport(e: std::io::Error) -> TransportError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => TransportError::Timeout,
+        _ => TransportError::Io(e.to_string()),
     }
 }
 
@@ -466,6 +503,9 @@ pub enum TransportError {
     Remote(String),
     /// The peer closed the connection (or said `Bye`).
     Closed,
+    /// The peer did not answer within the request deadline
+    /// ([`crate::fault::RetryConfig::timeout_ms`]).
+    Timeout,
 }
 
 impl fmt::Display for TransportError {
@@ -476,6 +516,7 @@ impl fmt::Display for TransportError {
             TransportError::Io(e) => write!(f, "i/o error: {e}"),
             TransportError::Remote(msg) => write!(f, "remote error: {msg}"),
             TransportError::Closed => write!(f, "peer closed the connection"),
+            TransportError::Timeout => write!(f, "request timed out waiting for the peer"),
         }
     }
 }
@@ -499,6 +540,16 @@ mod tests {
             vec![1, 2, 3],
         )
         .at(600_000)
+        .with_ack(5)
+    }
+
+    #[test]
+    fn ack_watermark_survives_the_wire() {
+        let env = sample();
+        assert_eq!(env.ack, 5);
+        let frame = env.encode_frame().unwrap();
+        assert_eq!(Envelope::decode_frame(&frame).unwrap().ack, 5);
+        assert_eq!(env.reply_ok().ack, 0, "replies carry no ack");
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!    length prefix is rejected on decode before any body is read.
 //! 4. The `SpanCtx` survives the stream path (`write_to`/`read_from`),
 //!    so spans opened on the coordinator parent edge-side work.
+//! 5. `decode_frame` never panics on corrupted input — any single bit
+//!    flip yields a clean `Ok`/`Err`, and a stream cut mid-frame
+//!    surfaces as an error, never a silent clean-EOF.
 
 use diaspec_runtime::transport::{Envelope, FrameError, MessageKind, TransportError, MAX_FRAME};
 use diaspec_runtime::SpanCtx;
@@ -45,11 +48,12 @@ fn envelope() -> impl Strategy<Value = Envelope> {
             ".{0,40}",
             ".{0,40}",
             proptest::collection::vec(any::<u8>(), 0..1024),
+            any::<u64>(),
         ),
     )
         .prop_map(
-            |((kind, trace_id, parent, seq, now), (target, member, payload))| {
-                Envelope::new(
+            |((kind, trace_id, parent, seq, now), (target, member, payload, ack))| {
+                let mut env = Envelope::new(
                     KINDS[kind],
                     SpanCtx { trace_id, parent },
                     seq,
@@ -57,7 +61,9 @@ fn envelope() -> impl Strategy<Value = Envelope> {
                     member,
                     payload,
                 )
-                .at(now)
+                .at(now);
+                env.ack = ack;
+                env
             },
         )
 }
@@ -119,6 +125,42 @@ proptest! {
             Envelope::decode_frame(&frame),
             Err(FrameError::UnknownKind(kind))
         );
+    }
+
+    // ---- corruption -----------------------------------------------------------
+
+    #[test]
+    fn a_single_bit_flip_never_panics_the_decoder(
+        env in envelope(),
+        position in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        // A chaos link (or a bad NIC) can hand the decoder any mutation
+        // of a valid frame. Whatever comes back — a misread that still
+        // parses, or any FrameError — it must be a return, not a panic.
+        let mut frame = env.encode_frame().expect("within bounds");
+        let position = position % frame.len();
+        frame[position] ^= 1 << bit;
+        let _ = Envelope::decode_frame(&frame);
+    }
+
+    #[test]
+    fn a_stream_cut_mid_frame_is_an_error_not_a_clean_eof(
+        env in envelope(),
+        cut in any::<usize>(),
+    ) {
+        // A peer dying mid-write leaves a partial frame on the wire.
+        // Once the length prefix has fully arrived, the missing body
+        // must surface as an I/O error — never as `Ok(None)` (which
+        // callers treat as an orderly close) and never as an envelope.
+        let mut stream = Vec::new();
+        env.write_to(&mut stream).expect("in-memory write");
+        let cut = 4 + cut % (stream.len() - 4);
+        let mut reader = &stream[..cut];
+        prop_assert!(matches!(
+            Envelope::read_from(&mut reader),
+            Err(TransportError::Io(_))
+        ));
     }
 }
 

@@ -23,6 +23,16 @@
 //! `--recover`, the coordinator runs leases plus coordinator-local
 //! standby drivers, so the kill shows up as `lease ... expired` and
 //! `rebind ...` lines in its trace.
+//!
+//! Coordinator↔edge links run the manifest's per-link session policy
+//! (at-least-once delivery with replay and a circuit breaker); edges
+//! serve under a [`Supervisor`] that survives coordinator reconnects
+//! and rebuilds a crashed runtime within its restart budget. A
+//! repeatable `--chaos-partition FROM:UNTIL` flag cuts every link both
+//! ways over the given sim window via [`ChaosTransport`]; placed
+//! between poll instants, the orchestration summary must still be
+//! byte-identical to the fault-free run — ticks queue in the session's
+//! replay queue and land, in order, once the window closes.
 
 use diaspec_apps::parking::{
     register_components, ParkingAppConfig, ENVIRONMENT_FIRST_STEP_MS, SPEC,
@@ -30,14 +40,20 @@ use diaspec_apps::parking::{
 use diaspec_codegen::deploy::{EdgeManifest, NodeManifest};
 use diaspec_devices::common::{ActuationLog, RecordingActuator};
 use diaspec_devices::parking::{ParkingCityModel, ParkingConfig, PresenceSensorDriver, UsageCurve};
-use diaspec_runtime::deploy::{EdgeRuntime, Link, RemoteDeviceProxy, TickPump};
+use diaspec_runtime::deploy::{
+    BreakerConfig, EdgeRuntime, Link, RemoteDeviceProxy, RestartPolicy, SessionConfig, Supervisor,
+    TickPump,
+};
 use diaspec_runtime::entity::AttributeMap;
 use diaspec_runtime::obs::render_prometheus;
-use diaspec_runtime::transport::{SimTransport, TransportConfig};
+use diaspec_runtime::transport::{
+    ChaosConfig, ChaosTransport, Direction, SimTransport, Transport, TransportConfig,
+};
 use diaspec_runtime::value::Value;
 use diaspec_runtime::{Orchestrator, RecoveryConfig, RetryConfig, TcpTransport, TransportSample};
 use std::collections::BTreeMap;
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// City-model step cadence: one simulated minute, pumped to the edges.
@@ -76,6 +92,9 @@ struct Options {
     hours: u64,
     die_at: Option<u64>,
     recover: bool,
+    /// Bidirectional link partitions, as `(from_ms, until_ms)` sim
+    /// windows, injected by wrapping every link in a `ChaosTransport`.
+    chaos_partitions: Vec<(u64, u64)>,
 }
 
 impl Options {
@@ -88,6 +107,7 @@ impl Options {
             hours: 1,
             die_at: None,
             recover: false,
+            chaos_partitions: Vec::new(),
         };
         while let Some(arg) = args.next() {
             let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
@@ -113,6 +133,22 @@ impl Options {
                     );
                 }
                 "--recover" => options.recover = true,
+                "--chaos-partition" => {
+                    let window = value("--chaos-partition")?;
+                    let (from, until) = window
+                        .split_once(':')
+                        .ok_or(format!("--chaos-partition `{window}`: expected FROM:UNTIL"))?;
+                    let from: u64 = from
+                        .parse()
+                        .map_err(|e| format!("--chaos-partition: {e}"))?;
+                    let until: u64 = until
+                        .parse()
+                        .map_err(|e| format!("--chaos-partition: {e}"))?;
+                    if from >= until {
+                        return Err(format!("--chaos-partition `{window}`: empty window"));
+                    }
+                    options.chaos_partitions.push((from, until));
+                }
                 other => return Err(format!("unexpected argument `{other}`")),
             }
         }
@@ -120,7 +156,7 @@ impl Options {
             return Err(
                 "usage: parking_distributed --role coordinator|edge|inprocess \
                         --manifest <manifest.json> [--node NAME] [--sensors N] [--hours H] \
-                        [--die-at MS] [--recover]"
+                        [--die-at MS] [--recover] [--chaos-partition FROM:UNTIL]..."
                     .to_owned(),
             );
         }
@@ -180,30 +216,98 @@ fn edge_runtime(edge: &EdgeManifest, sensors: usize, die_at: Option<u64>) -> Edg
     runtime
 }
 
-/// Edge role: serve one coordinator connection to completion.
+/// Edge role: serve the coordinator under a [`Supervisor`] — the node
+/// survives coordinator reconnects with its dedup cache intact, crashed
+/// runtimes are rebuilt within the restart budget, and an absent
+/// coordinator ends the process instead of leaking it.
 fn run_edge(manifest: &NodeManifest, options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let edge = manifest
         .edges
         .iter()
         .find(|e| e.name == options.node)
         .ok_or_else(|| format!("manifest has no edge node `{}`", options.node))?;
-    let mut runtime = edge_runtime(edge, options.sensors, options.die_at);
     let listener = TcpListener::bind(&edge.listen)?;
     eprintln!("{}: listening on {}", edge.name, edge.listen);
-    let stats = diaspec_runtime::deploy::serve_edge(&listener, &mut runtime)?;
+    let supervisor = Supervisor::new(RestartPolicy {
+        // Generous first-join window: the coordinator process may be
+        // launched after the edges.
+        rejoin_window_ms: 5_000,
+        ..RestartPolicy::default()
+    });
+    // The death schedule stays armed across rebuilds: a node killed on
+    // schedule stays dead, so the coordinator's lease/standby recovery
+    // is what brings the lots back, exactly as in the in-process run.
+    let report = supervisor.serve(&listener, |_generation| {
+        edge_runtime(edge, options.sensors, options.die_at)
+    })?;
+    if report.restarts > 0 {
+        eprintln!(
+            "{}: {} restart(s) over {} connection(s){}",
+            edge.name,
+            report.restarts,
+            report.connections,
+            if report.gave_up {
+                ", crash budget exhausted"
+            } else {
+                ""
+            }
+        );
+    }
     println!(
         "{}: served {} request(s), {} bytes in / {} bytes out{}",
         edge.name,
-        runtime.requests(),
-        stats.bytes_received,
-        stats.bytes_sent,
-        if runtime.dead() {
+        report.requests,
+        report.stats.bytes_received,
+        report.stats.bytes_sent,
+        if report.died_on_schedule {
             " (died on schedule)"
         } else {
             ""
         }
     );
     Ok(())
+}
+
+/// Builds the coordinator's link to one edge: the manifest's session
+/// policy decides between an at-least-once session link and a
+/// best-effort one, and any `--chaos-partition` windows wrap the
+/// backend in a [`ChaosTransport`] first.
+fn build_link(
+    transport: impl Transport + 'static,
+    edge: &EdgeManifest,
+    options: &Options,
+) -> Arc<Link> {
+    let policy = &edge.link;
+    let session = SessionConfig {
+        retry: RetryConfig {
+            max_attempts: policy.max_attempts,
+            base_backoff_ms: policy.base_backoff_ms,
+            timeout_ms: policy.timeout_ms,
+        },
+        resend_queue: policy.resend_queue,
+        breaker: BreakerConfig {
+            failure_threshold: policy.breaker_failures,
+            cooldown_ms: policy.breaker_cooldown_ms,
+        },
+    };
+    if options.chaos_partitions.is_empty() {
+        if policy.session {
+            Link::with_session(transport, session)
+        } else {
+            Link::new(transport)
+        }
+    } else {
+        let mut config = ChaosConfig::default();
+        for &(from_ms, until_ms) in &options.chaos_partitions {
+            config = config.window(from_ms, until_ms, Direction::Both);
+        }
+        let chaos = ChaosTransport::new(transport, config);
+        if policy.session {
+            Link::with_session(chaos, session)
+        } else {
+            Link::new(chaos)
+        }
+    }
 }
 
 /// Coordinator (or whole-run in-process) role: run the orchestration
@@ -231,11 +335,11 @@ fn run_coordinator(
     let mut links: BTreeMap<String, Arc<Link>> = BTreeMap::new();
     for edge in &manifest.edges {
         let link = match backend {
-            Backend::Tcp => Link::new(TcpTransport::new(
-                edge.name.clone(),
-                edge.listen.clone(),
-                retry,
-            )),
+            Backend::Tcp => build_link(
+                TcpTransport::new(edge.name.clone(), edge.listen.clone(), retry),
+                edge,
+                options,
+            ),
             Backend::InProcess => {
                 let runtime = Arc::new(Mutex::new(edge_runtime(
                     edge,
@@ -246,7 +350,7 @@ fn run_coordinator(
                 sim.connect_handler(Box::new(move |envelope| {
                     runtime.lock().expect("edge runtime lock").handle(envelope)
                 }));
-                Link::new(sim)
+                build_link(sim, edge, options)
             }
         };
         links.insert(edge.name.clone(), link);
@@ -256,6 +360,11 @@ fn run_coordinator(
         orch.set_tracing(true);
         orch.enable_recovery(RecoveryConfig::default().with_leases(LEASE_TTL_MS))?;
     }
+
+    // Stop handles for the tick sources, flipped before the links say
+    // `Bye` so no tick races the orderly shutdown.
+    let mut pump_stop = None;
+    let step_stop = Arc::new(AtomicBool::new(false));
 
     orch.begin_deployment();
     // Sharded families: one remote proxy per entity, over the link of
@@ -351,11 +460,13 @@ fn run_coordinator(
                 step: Box::new(move |now| hook_model.step(now)),
                 links: pump_links,
                 period_ms: TICK_MS,
+                stopped: Arc::clone(&step_stop),
             },
             ENVIRONMENT_FIRST_STEP_MS,
         );
     } else {
         let pump = TickPump::new(links.values().map(Arc::clone).collect(), TICK_MS);
+        pump_stop = Some(pump.stop_handle());
         orch.spawn_process_at("tick-pump", pump, ENVIRONMENT_FIRST_STEP_MS);
     }
     orch.launch()?;
@@ -367,6 +478,10 @@ fn run_coordinator(
         links.values().next().map_or("?", |l| l.backend()),
     );
     orch.run_until(options.hours * 3_600_000);
+    if let Some(stop) = &pump_stop {
+        stop.stop();
+    }
+    step_stop.store(true, Ordering::Relaxed);
 
     print_summary(&mut orch, &messenger, options);
     let mut snapshot = orch.observation();
@@ -383,6 +498,18 @@ fn run_coordinator(
         snapshot
             .transports
             .push(TransportSample::from_stats(name, link.backend(), &stats));
+        if let Some(session) = link.session_stats() {
+            eprintln!(
+                "link {name}: diaspec_session_replays {} diaspec_session_resends {} \
+                 diaspec_session_abandoned {} diaspec_session_probes {} \
+                 diaspec_session_breaker_trips {}",
+                session.replays,
+                session.resends,
+                session.abandoned,
+                session.probes,
+                session.breaker_trips
+            );
+        }
         link.close();
     }
     for line in render_prometheus(&snapshot)
@@ -400,10 +527,14 @@ struct StepAnd {
     step: Box<dyn FnMut(u64) + Send>,
     links: Vec<Arc<Link>>,
     period_ms: u64,
+    stopped: Arc<AtomicBool>,
 }
 
 impl diaspec_runtime::process::Process for StepAnd {
     fn wake(&mut self, api: &mut diaspec_runtime::engine::ProcessApi<'_>) -> Option<u64> {
+        if self.stopped.load(Ordering::Relaxed) {
+            return None;
+        }
         let now = api.now();
         (self.step)(now);
         for link in &self.links {

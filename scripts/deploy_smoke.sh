@@ -8,10 +8,14 @@
 #   2. the distributed parking demo runs once fully in-process (golden)
 #      and once as 1 coordinator + 2 edge processes over localhost TCP —
 #      the two orchestration-level summaries must diff clean;
-#   3. the TCP run is repeated with edge1 dying mid-run and recovery
+#   3. the TCP run is repeated with two partition windows cutting the
+#      links mid-run — the at-least-once session layer must park the
+#      in-window ticks and replay them once each window closes, and the
+#      summary must still diff clean against the in-process golden;
+#   4. the TCP run is repeated with edge1 dying mid-run and recovery
 #      enabled — the coordinator trace must show lease expiry and
 #      standby promotion;
-#   4. no child process may leak past the script.
+#   5. no child process may leak past the script.
 #
 # Usage: scripts/deploy_smoke.sh   (PORT_BASE overridable, default 7470)
 set -euo pipefail
@@ -54,7 +58,32 @@ echo "--- in-process vs TCP summary diff:"
 diff -u "$OUT/inprocess.out" "$OUT/tcp.out"
 echo "identical"
 
-# 3. Kill scenario: edge1 dies at 1,150,000 ms sim time; the coordinator
+# 3. Partition scenario: both links are cut over [1,210,000, 1,330,000)
+# and [2,410,000, 2,530,000) sim-ms. The windows sit between the
+# 600,000-ms availability polls, so only environment ticks are lost;
+# the session layer parks them and replays them (original stamps, in
+# order) once its path probe crosses — the orchestration summary must
+# stay byte-identical to the in-process golden.
+"$BIN" --role edge --node edge0 --manifest "$MANIFEST" --sensors "$SENSORS" \
+  > "$OUT/edge0-part.out" 2>&1 &
+EDGE0=$!
+"$BIN" --role edge --node edge1 --manifest "$MANIFEST" --sensors "$SENSORS" \
+  > "$OUT/edge1-part.out" 2>&1 &
+EDGE1=$!
+sleep 0.5
+"$BIN" --role coordinator --manifest "$MANIFEST" --sensors "$SENSORS" --hours "$HOURS" \
+  --chaos-partition 1210000:1330000 --chaos-partition 2410000:2530000 \
+  > "$OUT/partition.out" 2> "$OUT/partition.err"
+wait "$EDGE0" "$EDGE1"
+
+echo "--- in-process vs partitioned-TCP summary diff:"
+diff -u "$OUT/inprocess.out" "$OUT/partition.out"
+grep -q "diaspec_session_replays [1-9]" "$OUT/partition.err" \
+  || { echo "partition run replayed nothing — windows never cut the link?" >&2; \
+       cat "$OUT/partition.err" >&2; exit 1; }
+echo "identical ($(grep -o 'diaspec_session_replays [0-9]*' "$OUT/partition.err" | head -1 | cut -d' ' -f2) tick(s) replayed)"
+
+# 4. Kill scenario: edge1 dies at 1,150,000 ms sim time; the coordinator
 # runs leases + coordinator-local standbys and must log the recovery.
 "$BIN" --role edge --node edge0 --manifest "$MANIFEST" --sensors "$SENSORS" \
   > "$OUT/edge0-kill.out" 2>&1 &
@@ -75,7 +104,7 @@ grep -q "died on schedule" "$OUT/edge1-kill.out" \
   || { echo "edge1 did not die on schedule" >&2; cat "$OUT/edge1-kill.out" >&2; exit 1; }
 echo "kill scenario recovered: $(grep -c 'rebind ' "$OUT/kill.out") promotion(s)"
 
-# 4. Everything must have exited; a leaked edge would hold its port.
+# 5. Everything must have exited; a leaked edge would hold its port.
 if pgrep -f "parking_distributed --role" > /dev/null; then
   echo "leaked child processes:" >&2
   pgrep -af "parking_distributed --role" >&2
