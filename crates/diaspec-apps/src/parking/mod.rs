@@ -51,6 +51,8 @@ pub struct ParkingAppConfig {
     pub processing: ProcessingMode,
     /// How many lots the city-entrance panels suggest.
     pub suggestions: usize,
+    /// Delivery-pipeline shard count (1 = serial inline pipeline).
+    pub shards: usize,
 }
 
 impl Default for ParkingAppConfig {
@@ -62,6 +64,7 @@ impl Default for ParkingAppConfig {
             transport: TransportConfig::default(),
             processing: ProcessingMode::Serial,
             suggestions: 3,
+            shards: 1,
         }
     }
 }
@@ -391,6 +394,7 @@ pub fn build(config: ParkingAppConfig) -> Result<ParkingApp, RuntimeError> {
         Arc::new(diaspec_core::compile_str(SPEC).expect("bundled parking.spec must compile"));
     let mut orch = Orchestrator::with_transport(spec, config.transport);
     orch.set_processing_mode(config.processing);
+    orch.set_shards(config.shards)?;
     register_components(&mut orch, &config)?;
 
     // Simulated city: one lot per ParkingLotEnum variant.

@@ -388,6 +388,46 @@ mod tests {
         }
     }
 
+    /// The property the sharded delivery pipeline leans on: because a
+    /// fate is a pure hash with no RNG stream, it is identical no matter
+    /// which thread asks, in what order, or how tasks are partitioned
+    /// across shards — unlike message fates, which consume a sequential
+    /// RNG and must therefore stay on the coordinator.
+    #[test]
+    fn fate_is_invariant_under_query_order_and_sharding() {
+        let plan = std::sync::Arc::new(
+            TaskFaultPlan::seeded(17)
+                .panic_tasks(0.3)
+                .lose_workers(0.15)
+                .delay_tasks(0.2, 40),
+        );
+        let serial: Vec<_> = (0..128).map(|t| plan.fate(TaskPhase::Map, t, 1)).collect();
+        // Reverse query order on the same plan instance.
+        let reversed: Vec<_> = (0..128)
+            .rev()
+            .map(|t| plan.fate(TaskPhase::Map, t, 1))
+            .collect();
+        assert!(serial.iter().eq(reversed.iter().rev()));
+        // Shard-partitioned concurrent queries: each worker sees exactly
+        // the serial fates for its stripe.
+        let handles: Vec<_> = (0..4usize)
+            .map(|shard| {
+                let plan = std::sync::Arc::clone(&plan);
+                std::thread::spawn(move || {
+                    (0..128)
+                        .filter(|t| t % 4 == shard)
+                        .map(|t| (t, plan.fate(TaskPhase::Map, t, 1)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (task, fate) in handle.join().unwrap() {
+                assert_eq!(fate, serial[task], "task {task} fate diverged");
+            }
+        }
+    }
+
     #[test]
     fn probabilistic_rates_roughly_match() {
         let plan = TaskFaultPlan::seeded(7).panic_tasks(0.25);

@@ -12,6 +12,7 @@
 //! admission and activation.
 
 use crate::component::{BatchData, ContextActivation, MapReduceLogic};
+use crate::engine::api::ApiBackend;
 use crate::engine::{ContextApi, ControllerApi, Orchestrator, ProcessApi, ProcessingMode};
 use crate::error::RuntimeError;
 use crate::fault::{FaultInjector, FaultKind};
@@ -283,7 +284,7 @@ impl Orchestrator {
             };
             let result = {
                 let mut api = ControllerApi {
-                    engine: self,
+                    backend: ApiBackend::Engine(self),
                     controller: &name,
                 };
                 logic.on_recovery(&mut api, lost, replacement)
@@ -308,7 +309,7 @@ impl Orchestrator {
             };
             let result = {
                 let mut api = ContextApi {
-                    engine: self,
+                    backend: ApiBackend::Engine(self),
                     context: &name,
                 };
                 logic.on_recovery(&mut api, lost, replacement)
@@ -777,7 +778,7 @@ impl Orchestrator {
         let started = self.obs.is_enabled().then(std::time::Instant::now);
         let result = {
             let mut api = ContextApi {
-                engine: self,
+                backend: ApiBackend::Engine(self),
                 context: name,
             };
             logic.activate(&mut api, input)
@@ -824,7 +825,7 @@ impl Orchestrator {
         let started = self.obs.is_enabled().then(std::time::Instant::now);
         let result = {
             let mut api = ControllerApi {
-                engine: self,
+                backend: ApiBackend::Engine(self),
                 controller: name,
             };
             logic.on_context(&mut api, from, value)
@@ -881,7 +882,7 @@ impl Orchestrator {
         let started = self.obs.is_enabled().then(std::time::Instant::now);
         let result = {
             let mut api = ContextApi {
-                engine: self,
+                backend: ApiBackend::Engine(self),
                 context: name,
             };
             logic.activate(&mut api, ContextActivation::OnDemand)

@@ -1,0 +1,857 @@
+//! The N-shard execution plan: per-round parallel dispatch with a
+//! deterministic sequenced merge.
+//!
+//! The serial engine pops one event at a time and performs *all* of its
+//! side effects inline. The sharded engine keeps that external behavior
+//! byte-identical while running component logic on worker threads:
+//!
+//! 1. **Round formation** — at the next event time `T`, pop events in
+//!    seq order; the maximal prefix of *shard-eligible* events forms a
+//!    round, and the first ineligible event (if any) becomes the carry,
+//!    dispatched inline after the round. Because pops consume no
+//!    sequence numbers, and the merge performs the round's `schedule`
+//!    calls in exactly the serial order, every event the round creates
+//!    receives the identical `(time, seq)` key it would have serially.
+//! 2. **Parallel execution** — round items are partitioned by a stable
+//!    FNV-1a hash of the target component name, so all activations of
+//!    one component land on one worker in item order. Workers run
+//!    *only* the component logic, against an immutable registry
+//!    [`ReadView`]; every side effect (metrics, traces, spans,
+//!    publications, actuations, contained errors) is deferred.
+//! 3. **Sequenced merge** — the coordinator receives one result per
+//!    participating shard (a per-round barrier keyed on the sim clock)
+//!    and replays the deferred effects in global item order, calling
+//!    the same admit/route/schedule functions the serial path calls.
+//!    Determinism holds by construction: the merge *is* the serial
+//!    execution, minus the logic invocations already performed.
+//!
+//! Shard eligibility keeps divergent cases on the coordinator: contexts
+//! with `get` clauses or MapReduce phases, every controller while fault
+//! injection is live (a crashed actuator propagates errors *into*
+//! logic), and all engine machinery events (polls, batches, processes,
+//! faults, leases, retries). The documented envelope: component logics
+//! must not share mutable state across components, and a failing device
+//! driver surfaces as a contained error at the merge rather than
+//! propagating into the invoking controller's logic.
+
+#[cfg(test)]
+mod model;
+pub(crate) mod queue;
+
+use crate::clock::SimTime;
+use crate::component::{ContextActivation, ContextLogic, ControllerLogic};
+use crate::engine::api::{ApiBackend, DeferredActuation, ShardAccess};
+use crate::engine::deliver::Event;
+use crate::engine::{ContextApi, ControllerApi, Orchestrator};
+use crate::entity::EntityId;
+use crate::error::RuntimeError;
+use crate::obs::{self, Activity, LatencyHistogram};
+use crate::payload::Payload;
+use crate::registry::ReadView;
+use crate::spans::{SpanCtx, SpanStage};
+use crate::trace::TraceKind;
+use crate::value::Value;
+use diaspec_core::model::{CheckedSpec, PublishMode};
+use queue::{SpscReceiver, SpscSender};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Rounds smaller than this run inline on the coordinator: the channel
+/// round-trip would dominate, and the inline path is always correct.
+const MIN_PARALLEL_ITEMS: usize = 2;
+
+/// Per-direction SPSC capacity. The round protocol has at most one
+/// message in flight per direction, so anything ≥ 2 never blocks the
+/// coordinator (the +1 leaves room for the shutdown message).
+const CHANNEL_CAP: usize = 2;
+
+/// Stable shard assignment: FNV-1a over the component name, mod N.
+/// Independent of registration order, insertion order, and pointer
+/// values, so the same design maps identically on every run and host.
+fn shard_of(name: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    usize::try_from(h % shards as u64).expect("shard index fits usize")
+}
+
+/// What a worker executes for one round item. Spans stay coordinator-
+/// side (the merge reconstructs them); values travel as shared
+/// [`Payload`] handles, so shipping an item never deep-copies.
+enum ItemKind {
+    Source {
+        context: String,
+        entity: EntityId,
+        device_type: String,
+        source: String,
+        value: Payload,
+        index: Option<Payload>,
+        publish: PublishMode,
+    },
+    FromContext {
+        context: String,
+        from: String,
+        value: Payload,
+        publish: PublishMode,
+    },
+    Controller {
+        controller: String,
+        from: String,
+        value: Payload,
+    },
+}
+
+struct WorkItem {
+    /// Global position in the round: the serial execution order.
+    idx: usize,
+    kind: ItemKind,
+}
+
+/// One round shipped to one worker. Logic boxes travel with the round
+/// and come back with the result, so the coordinator can keep running
+/// carries and serial rounds in between.
+struct RoundBatch {
+    now: SimTime,
+    /// Whether any trace/span/obs consumer is live this round: workers
+    /// then report every item so the merge can replay each one's
+    /// observable effects; otherwise only effectful items return.
+    dense: bool,
+    view: Arc<ReadView>,
+    ctx_logics: Vec<(String, Box<dyn ContextLogic>)>,
+    ctrl_logics: Vec<(String, Box<dyn ControllerLogic>)>,
+    items: Vec<WorkItem>,
+}
+
+enum WorkerMsg {
+    Round(RoundBatch),
+    Shutdown,
+}
+
+enum ItemOutcome {
+    Ctx(Result<Option<Value>, RuntimeError>),
+    Ctrl {
+        result: Result<(), RuntimeError>,
+        actuations: Vec<DeferredActuation>,
+    },
+}
+
+struct ItemResult {
+    idx: usize,
+    /// Wall-clock duration of the logic invocation, for the Processing
+    /// activity histogram (wall durations are not part of byte
+    /// determinism; sim-time fields are, and those come from the merge).
+    logic_us: u64,
+    outcome: ItemOutcome,
+}
+
+struct RoundResult {
+    /// Reported items in `idx` order: all items when dense, only the
+    /// effectful ones otherwise.
+    items: Vec<ItemResult>,
+    /// Silent context activations not in `items` (sparse rounds).
+    ctx_trivial: u64,
+    /// Silent controller activations not in `items` (sparse rounds).
+    ctrl_trivial: u64,
+    /// `maybe publish` activations among `ctx_trivial` that declined.
+    declined_trivial: u64,
+    busy_us: u64,
+    ctx_logics: Vec<(String, Box<dyn ContextLogic>)>,
+    ctrl_logics: Vec<(String, Box<dyn ControllerLogic>)>,
+}
+
+struct Worker {
+    tx: SpscSender<WorkerMsg>,
+    rx: SpscReceiver<RoundResult>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// What the merge needs to replay one round item in serial order.
+enum ItemMeta {
+    /// Serial dispatch would only open/close the dispatch span: the
+    /// activation index resolved to nothing (defensive; routes are
+    /// built from the same spec, so this does not occur in practice).
+    Skip { name: String, span: SpanCtx },
+    Ctx {
+        shard: usize,
+        name: String,
+        publish: PublishMode,
+        span: SpanCtx,
+    },
+    Ctrl {
+        shard: usize,
+        name: String,
+        from: String,
+        span: SpanCtx,
+    },
+}
+
+/// The coordinator's handle on the shard plan: worker threads, the
+/// stable component→shard assignment, the generation-cached registry
+/// view, and shard occupancy stats surfaced as `diaspec_shard_*`
+/// gauges.
+pub(crate) struct ShardRuntime {
+    ctx_shard: BTreeMap<String, usize>,
+    ctrl_shard: BTreeMap<String, usize>,
+    workers: Vec<Worker>,
+    view_cache: Option<Arc<ReadView>>,
+    rounds_total: u64,
+    items_total: u64,
+    per_shard_busy: Vec<LatencyHistogram>,
+}
+
+impl ShardRuntime {
+    /// Builds the plan and spawns one worker thread per shard.
+    ///
+    /// `controllers_eligible` is false while fault injection is live:
+    /// a crashed actuator makes `invoke` errors propagate *into*
+    /// controller logic, which a worker's optimistic deferral cannot
+    /// reproduce.
+    pub(crate) fn launch(
+        spec: &Arc<CheckedSpec>,
+        shards: usize,
+        controllers_eligible: bool,
+    ) -> ShardRuntime {
+        let mut ctx_shard = BTreeMap::new();
+        for ctx in spec.contexts() {
+            let pure_event_driven = ctx.activations.iter().all(|a| a.gets.is_empty());
+            if pure_event_driven && !ctx.uses_map_reduce() {
+                ctx_shard.insert(ctx.name.clone(), shard_of(&ctx.name, shards));
+            }
+        }
+        let mut ctrl_shard = BTreeMap::new();
+        if controllers_eligible {
+            for ctrl in spec.controllers() {
+                ctrl_shard.insert(ctrl.name.clone(), shard_of(&ctrl.name, shards));
+            }
+        }
+        let workers = (0..shards)
+            .map(|idx| {
+                let (batch_tx, batch_rx) = queue::channel::<WorkerMsg>(CHANNEL_CAP);
+                let (result_tx, result_rx) = queue::channel::<RoundResult>(CHANNEL_CAP);
+                let spec = Arc::clone(spec);
+                let handle = std::thread::Builder::new()
+                    .name(format!("diaspec-shard-{idx}"))
+                    .spawn(move || worker_loop(&spec, &batch_rx, &result_tx))
+                    .expect("spawn shard worker");
+                Worker {
+                    tx: batch_tx,
+                    rx: result_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardRuntime {
+            ctx_shard,
+            ctrl_shard,
+            workers,
+            view_cache: None,
+            rounds_total: 0,
+            items_total: 0,
+            per_shard_busy: vec![LatencyHistogram::new(); shards],
+        }
+    }
+
+    pub(crate) fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub(crate) fn rounds_total(&self) -> u64 {
+        self.rounds_total
+    }
+
+    pub(crate) fn items_total(&self) -> u64 {
+        self.items_total
+    }
+
+    /// p99 of per-shard round busy time, across all shards — the
+    /// per-shard histograms combined through the mergeable-percentile
+    /// machinery.
+    pub(crate) fn busy_us_p99(&self) -> u64 {
+        let mut merged = LatencyHistogram::new();
+        for hist in &self.per_shard_busy {
+            merged.merge(hist);
+        }
+        merged.quantile(0.99)
+    }
+}
+
+impl Drop for ShardRuntime {
+    /// Shuts the workers down and joins them: no thread outlives the
+    /// orchestrator (the CI leaked-thread check pins this).
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            let _ = worker.tx.send(WorkerMsg::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// A worker's life: receive a round, run its component logic against
+/// the snapshot, report results; exit on shutdown or channel close.
+fn worker_loop(spec: &CheckedSpec, rx: &SpscReceiver<WorkerMsg>, tx: &SpscSender<RoundResult>) {
+    while let Some(msg) = rx.recv() {
+        let WorkerMsg::Round(batch) = msg else {
+            return;
+        };
+        let result = run_round(spec, batch);
+        if tx.send(result).is_err() {
+            return;
+        }
+    }
+}
+
+fn run_round(spec: &CheckedSpec, batch: RoundBatch) -> RoundResult {
+    let t_round = std::time::Instant::now();
+    let mut ctx_logics: BTreeMap<String, Box<dyn ContextLogic>> =
+        batch.ctx_logics.into_iter().collect();
+    let mut ctrl_logics: BTreeMap<String, Box<dyn ControllerLogic>> =
+        batch.ctrl_logics.into_iter().collect();
+    let mut items = Vec::new();
+    let mut ctx_trivial = 0u64;
+    let mut ctrl_trivial = 0u64;
+    let mut declined_trivial = 0u64;
+    for item in batch.items {
+        let t_item = std::time::Instant::now();
+        match item.kind {
+            ItemKind::Source { .. } | ItemKind::FromContext { .. } => {
+                let (name, publish) = match &item.kind {
+                    ItemKind::Source {
+                        context, publish, ..
+                    }
+                    | ItemKind::FromContext {
+                        context, publish, ..
+                    } => (context.clone(), *publish),
+                    ItemKind::Controller { .. } => unreachable!("matched above"),
+                };
+                let logic = ctx_logics
+                    .get_mut(&name)
+                    .expect("context logic shipped with its round");
+                let mut actuations = Vec::new();
+                let result = {
+                    let input = match &item.kind {
+                        ItemKind::Source {
+                            entity,
+                            device_type,
+                            source,
+                            value,
+                            index,
+                            ..
+                        } => ContextActivation::SourceEvent {
+                            device_type,
+                            entity,
+                            source,
+                            value,
+                            index: index.as_deref(),
+                        },
+                        ItemKind::FromContext { from, value, .. } => {
+                            ContextActivation::ContextEvent {
+                                context: from,
+                                value,
+                            }
+                        }
+                        ItemKind::Controller { .. } => unreachable!("matched above"),
+                    };
+                    let mut api = ContextApi {
+                        backend: ApiBackend::Shard(ShardAccess {
+                            now: batch.now,
+                            spec,
+                            view: &batch.view,
+                            actuations: &mut actuations,
+                        }),
+                        context: &name,
+                    };
+                    logic.activate(&mut api, input).map_err(RuntimeError::from)
+                };
+                debug_assert!(actuations.is_empty(), "contexts cannot actuate");
+                let effectful = match (&result, publish) {
+                    (Err(_) | Ok(Some(_)), _) => true,
+                    // `always publish` with no value is a contained
+                    // contract violation the merge must replay.
+                    (Ok(None), PublishMode::Always) => true,
+                    (Ok(None), PublishMode::Maybe | PublishMode::No) => false,
+                };
+                if batch.dense || effectful {
+                    items.push(ItemResult {
+                        idx: item.idx,
+                        logic_us: obs::elapsed_us(t_item),
+                        outcome: ItemOutcome::Ctx(result),
+                    });
+                } else {
+                    // Counted here only because the merge will not see
+                    // this item: replayed items do their own accounting.
+                    ctx_trivial += 1;
+                    if publish == PublishMode::Maybe {
+                        declined_trivial += 1;
+                    }
+                }
+            }
+            ItemKind::Controller {
+                controller,
+                from,
+                value,
+            } => {
+                let logic = ctrl_logics
+                    .get_mut(&controller)
+                    .expect("controller logic shipped with its round");
+                let mut actuations = Vec::new();
+                let result = {
+                    let mut api = ControllerApi {
+                        backend: ApiBackend::Shard(ShardAccess {
+                            now: batch.now,
+                            spec,
+                            view: &batch.view,
+                            actuations: &mut actuations,
+                        }),
+                        controller: &controller,
+                    };
+                    logic
+                        .on_context(&mut api, &from, &value)
+                        .map_err(RuntimeError::from)
+                };
+                if batch.dense || result.is_err() || !actuations.is_empty() {
+                    items.push(ItemResult {
+                        idx: item.idx,
+                        logic_us: obs::elapsed_us(t_item),
+                        outcome: ItemOutcome::Ctrl { result, actuations },
+                    });
+                } else {
+                    ctrl_trivial += 1;
+                }
+            }
+        }
+    }
+    RoundResult {
+        items,
+        ctx_trivial,
+        ctrl_trivial,
+        declined_trivial,
+        busy_us: obs::elapsed_us(t_round),
+        ctx_logics: ctx_logics.into_iter().collect(),
+        ctrl_logics: ctrl_logics.into_iter().collect(),
+    }
+}
+
+impl Orchestrator {
+    /// Whether the shard plan may execute this event on a worker.
+    fn shard_eligible(&self, event: &Event) -> bool {
+        let Some(rt) = &self.shard else {
+            return false;
+        };
+        match event {
+            Event::SourceDeliver { context, .. } | Event::ContextDeliver { context, .. } => {
+                rt.ctx_shard.contains_key(context)
+            }
+            Event::ControllerDeliver { controller, .. } => rt.ctrl_shard.contains_key(controller),
+            _ => false,
+        }
+    }
+
+    /// The sharded counterpart of [`Orchestrator::run_until`]: rounds of
+    /// same-time shard-eligible events run on the workers, everything
+    /// else dispatches inline in the identical serial position.
+    pub(crate) fn run_until_sharded(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                return;
+            }
+            let mut round: Vec<Event> = Vec::new();
+            let mut carry: Option<Event> = None;
+            while let Some(next) = self.queue.peek_time() {
+                if next > t {
+                    break;
+                }
+                let (_, event) = self.queue.pop().expect("peeked event present");
+                if self.shard_eligible(&event) {
+                    round.push(event);
+                } else {
+                    carry = Some(event);
+                    break;
+                }
+            }
+            if round.len() >= MIN_PARALLEL_ITEMS {
+                self.execute_round(t, round);
+            } else {
+                for event in round {
+                    self.dispatch(event);
+                }
+            }
+            if let Some(event) = carry {
+                self.dispatch(event);
+            }
+        }
+    }
+
+    /// Runs one round on the workers and merges the results in serial
+    /// order.
+    fn execute_round(&mut self, now: SimTime, events: Vec<Event>) {
+        let mut rt = self.shard.take().expect("sharded run loop owns a plan");
+        let shards = rt.workers.len();
+
+        // Refresh the registry snapshot only when bindings changed.
+        let generation = self.registry.generation();
+        let view = match &rt.view_cache {
+            Some(cached) if cached.generation() == generation => Arc::clone(cached),
+            _ => {
+                let fresh = Arc::new(self.registry.read_view());
+                rt.view_cache = Some(Arc::clone(&fresh));
+                fresh
+            }
+        };
+        let dense = self.trace_active() || self.obs.spans_enabled() || self.obs.is_enabled();
+
+        // Partition the round: metas keep the merge's replay order,
+        // per-shard item lists keep each component's items in order.
+        let mut metas: Vec<ItemMeta> = Vec::with_capacity(events.len());
+        let mut shard_items: Vec<Vec<WorkItem>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut ctx_needed: Vec<BTreeSet<String>> = vec![BTreeSet::new(); shards];
+        let mut ctrl_needed: Vec<BTreeSet<String>> = vec![BTreeSet::new(); shards];
+        for (idx, event) in events.into_iter().enumerate() {
+            match event {
+                Event::SourceDeliver {
+                    context,
+                    entity,
+                    device_type,
+                    source,
+                    value,
+                    index,
+                    activation_idx,
+                    span,
+                } => {
+                    let publish = self
+                        .spec
+                        .context(&context)
+                        .and_then(|c| c.activations.get(activation_idx))
+                        .map(|a| a.publish);
+                    let Some(publish) = publish else {
+                        metas.push(ItemMeta::Skip {
+                            name: context,
+                            span,
+                        });
+                        continue;
+                    };
+                    let shard = rt.ctx_shard[&context];
+                    ctx_needed[shard].insert(context.clone());
+                    metas.push(ItemMeta::Ctx {
+                        shard,
+                        name: context.clone(),
+                        publish,
+                        span,
+                    });
+                    shard_items[shard].push(WorkItem {
+                        idx,
+                        kind: ItemKind::Source {
+                            context,
+                            entity,
+                            device_type,
+                            source,
+                            value,
+                            index,
+                            publish,
+                        },
+                    });
+                }
+                Event::ContextDeliver {
+                    context,
+                    from,
+                    value,
+                    activation_idx,
+                    span,
+                } => {
+                    let publish = self
+                        .spec
+                        .context(&context)
+                        .and_then(|c| c.activations.get(activation_idx))
+                        .map(|a| a.publish);
+                    let Some(publish) = publish else {
+                        metas.push(ItemMeta::Skip {
+                            name: context,
+                            span,
+                        });
+                        continue;
+                    };
+                    let shard = rt.ctx_shard[&context];
+                    ctx_needed[shard].insert(context.clone());
+                    metas.push(ItemMeta::Ctx {
+                        shard,
+                        name: context.clone(),
+                        publish,
+                        span,
+                    });
+                    shard_items[shard].push(WorkItem {
+                        idx,
+                        kind: ItemKind::FromContext {
+                            context,
+                            from,
+                            value,
+                            publish,
+                        },
+                    });
+                }
+                Event::ControllerDeliver {
+                    controller,
+                    from,
+                    value,
+                    span,
+                } => {
+                    let shard = rt.ctrl_shard[&controller];
+                    ctrl_needed[shard].insert(controller.clone());
+                    metas.push(ItemMeta::Ctrl {
+                        shard,
+                        name: controller.clone(),
+                        from: from.clone(),
+                        span,
+                    });
+                    shard_items[shard].push(WorkItem {
+                        idx,
+                        kind: ItemKind::Controller {
+                            controller,
+                            from,
+                            value,
+                        },
+                    });
+                }
+                _ => unreachable!("only shard-eligible events enter a round"),
+            }
+        }
+
+        // Ship each participating shard its batch, lending the logic
+        // boxes of the components it will activate.
+        let participating: Vec<usize> = (0..shards)
+            .filter(|&s| !shard_items[s].is_empty())
+            .collect();
+        for &shard in &participating {
+            let ctx_logics = ctx_needed[shard]
+                .iter()
+                .map(|name| {
+                    let logic = self
+                        .contexts
+                        .get_mut(name)
+                        .and_then(|r| r.logic.take())
+                        .expect("context logic present outside an activation");
+                    (name.clone(), logic)
+                })
+                .collect();
+            let ctrl_logics = ctrl_needed[shard]
+                .iter()
+                .map(|name| {
+                    let logic = self
+                        .controllers
+                        .get_mut(name)
+                        .and_then(|r| r.logic.take())
+                        .expect("controller logic present outside an activation");
+                    (name.clone(), logic)
+                })
+                .collect();
+            let batch = RoundBatch {
+                now,
+                dense,
+                view: Arc::clone(&view),
+                ctx_logics,
+                ctrl_logics,
+                items: std::mem::take(&mut shard_items[shard]),
+            };
+            assert!(
+                rt.workers[shard].tx.send(WorkerMsg::Round(batch)).is_ok(),
+                "shard worker {shard} hung up"
+            );
+        }
+
+        // Per-round barrier: one result per participating shard, taken
+        // in shard order (each worker has a dedicated channel, so the
+        // order results are *consumed* in is deterministic regardless
+        // of the order they were produced in).
+        let mut result_queues: Vec<VecDeque<ItemResult>> =
+            (0..shards).map(|_| VecDeque::new()).collect();
+        let mut ctx_trivial = 0u64;
+        let mut ctrl_trivial = 0u64;
+        let mut declined_trivial = 0u64;
+        for &shard in &participating {
+            let result = rt.workers[shard]
+                .rx
+                .recv()
+                .unwrap_or_else(|| panic!("shard worker {shard} died mid-round"));
+            for (name, logic) in result.ctx_logics {
+                self.contexts.get_mut(&name).expect("context exists").logic = Some(logic);
+            }
+            for (name, logic) in result.ctrl_logics {
+                self.controllers
+                    .get_mut(&name)
+                    .expect("controller exists")
+                    .logic = Some(logic);
+            }
+            ctx_trivial += result.ctx_trivial;
+            ctrl_trivial += result.ctrl_trivial;
+            declined_trivial += result.declined_trivial;
+            rt.per_shard_busy[shard].record(result.busy_us);
+            result_queues[shard] = result.items.into();
+        }
+
+        rt.rounds_total += 1;
+        rt.items_total += metas.len() as u64;
+
+        // Silent activations: order-free counter adds, identical to the
+        // increments the serial path interleaves with the replay below.
+        self.metrics.context_activations += ctx_trivial;
+        self.metrics.controller_activations += ctrl_trivial;
+        self.metrics.publications_declined += declined_trivial;
+
+        // Sequenced merge: replay every reported item in global round
+        // order. Dense rounds report all items; sparse rounds report
+        // only effectful ones (the trivial remainder has no observable
+        // effect beyond the counters above).
+        for (idx, meta) in metas.iter().enumerate() {
+            match meta {
+                ItemMeta::Skip { name, span } => {
+                    let open = self.begin_wall_span(*span, SpanStage::Dispatch, &|| name.clone());
+                    self.end_wall_span(open);
+                }
+                ItemMeta::Ctx {
+                    shard,
+                    name,
+                    publish,
+                    span,
+                } => {
+                    let reported = result_queues[*shard]
+                        .front()
+                        .is_some_and(|r| r.idx == idx)
+                        .then(|| result_queues[*shard].pop_front().expect("peeked"));
+                    if let Some(res) = reported {
+                        let ItemOutcome::Ctx(result) = res.outcome else {
+                            unreachable!("context item reported a controller outcome");
+                        };
+                        self.replay_context_item(name, *publish, *span, result, res.logic_us);
+                    }
+                }
+                ItemMeta::Ctrl {
+                    shard,
+                    name,
+                    from,
+                    span,
+                } => {
+                    let reported = result_queues[*shard]
+                        .front()
+                        .is_some_and(|r| r.idx == idx)
+                        .then(|| result_queues[*shard].pop_front().expect("peeked"));
+                    if let Some(res) = reported {
+                        let ItemOutcome::Ctrl { result, actuations } = res.outcome else {
+                            unreachable!("controller item reported a context outcome");
+                        };
+                        self.replay_controller_item(
+                            name,
+                            from,
+                            *span,
+                            result,
+                            actuations,
+                            res.logic_us,
+                        );
+                    }
+                }
+            }
+        }
+
+        self.shard = Some(rt);
+    }
+
+    /// Replays one context activation's deferred effects, mirroring the
+    /// serial `dispatch` + `activate_context` sequence exactly (minus
+    /// the logic invocation, already performed on the worker).
+    fn replay_context_item(
+        &mut self,
+        name: &str,
+        publish: PublishMode,
+        span: SpanCtx,
+        result: Result<Option<Value>, RuntimeError>,
+        logic_us: u64,
+    ) {
+        let open = self.begin_wall_span(span, SpanStage::Dispatch, &|| name.to_owned());
+        let dispatch_ctx = open.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+            trace_id: span.trace_id,
+            parent: id,
+        });
+        self.metrics.context_activations += 1;
+        if self.trace_active() {
+            let at = self.queue.now();
+            self.record_trace(
+                at,
+                TraceKind::ContextActivation {
+                    context: name.to_owned(),
+                },
+            );
+        }
+        let compute = self.begin_wall_span(dispatch_ctx, SpanStage::Compute, &|| name.to_owned());
+        let compute_ctx = compute.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+            trace_id: dispatch_ctx.trace_id,
+            parent: id,
+        });
+        if self.obs.is_enabled() {
+            self.obs.record(Activity::Processing, name, logic_us);
+        }
+        self.end_wall_span(compute);
+        match result {
+            Err(e) => self.contain(e),
+            Ok(maybe_value) => self.handle_publication(name, publish, maybe_value, compute_ctx),
+        }
+        self.end_wall_span(open);
+    }
+
+    /// Replays one controller activation: its deferred actuations run
+    /// through the live registry under the reconstructed compute span,
+    /// in the order the logic issued them.
+    fn replay_controller_item(
+        &mut self,
+        name: &str,
+        from: &str,
+        span: SpanCtx,
+        result: Result<(), RuntimeError>,
+        actuations: Vec<DeferredActuation>,
+        logic_us: u64,
+    ) {
+        let open = self.begin_wall_span(span, SpanStage::Dispatch, &|| name.to_owned());
+        let dispatch_ctx = open.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+            trace_id: span.trace_id,
+            parent: id,
+        });
+        self.metrics.controller_activations += 1;
+        if self.trace_active() {
+            let at = self.queue.now();
+            self.record_trace(
+                at,
+                TraceKind::ControllerActivation {
+                    controller: name.to_owned(),
+                    from: from.to_owned(),
+                },
+            );
+        }
+        let compute = self.begin_wall_span(dispatch_ctx, SpanStage::Compute, &|| name.to_owned());
+        let compute_ctx = compute.map_or(SpanCtx::NONE, |(id, _)| SpanCtx {
+            trace_id: dispatch_ctx.trace_id,
+            parent: id,
+        });
+        let prev = std::mem::replace(&mut self.span_cursor, compute_ctx);
+        for act in actuations {
+            // The worker already validated the declaration; a driver
+            // failure here is contained (the sharding envelope: serial
+            // execution would have fed it back into the logic).
+            if let Err(e) =
+                self.invoke_for_controller(&act.entity, &act.device_type, &act.action, &act.args)
+            {
+                self.contain(e);
+            }
+        }
+        self.span_cursor = prev;
+        if self.obs.is_enabled() {
+            self.obs.record(Activity::Processing, name, logic_us);
+        }
+        self.end_wall_span(compute);
+        if let Err(e) = result {
+            self.contain(e);
+        }
+        self.end_wall_span(open);
+    }
+}

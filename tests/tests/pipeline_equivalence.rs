@@ -10,6 +10,12 @@
 //! Re-bless with `UPDATE_GOLDENS=1 cargo test -p diaspec-integration
 //! --test pipeline_equivalence` — but only when a behaviour change is
 //! intended and reviewed.
+//!
+//! The same goldens also pin the sharded pipeline: every scenario is
+//! re-run with `set_shards(n)` for n > 1 against the *identical* golden
+//! file, and a seeded property sweep asserts byte-identical observable
+//! state (trace, metrics, contained-error order) for shards ∈ {1, 2, 4,
+//! 8} with tracing both on (dense merge) and off (sparse merge).
 
 use diaspec_apps::parking::{build as build_parking, ParkingAppConfig};
 use diaspec_devices::common::{ActuationLog, RecordingActuator};
@@ -96,9 +102,10 @@ const CHURN_SPEC: &str = r#"
 
 /// Mirrors `build_churn` from `failure_injection.rs`: one leased sensor,
 /// a standby, seeded drops, and a crash at t = 5.5 s.
-fn build_churn(faults: bool) -> Orchestrator {
+fn build_churn(faults: bool, shards: usize) -> Orchestrator {
     let spec = Arc::new(diaspec_core::compile_str(CHURN_SPEC).unwrap());
     let mut orch = Orchestrator::new(spec);
+    orch.set_shards(shards).unwrap();
     orch.register_context(
         "Relay",
         |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
@@ -166,7 +173,7 @@ fn build_churn(faults: bool) -> Orchestrator {
 /// backoffs must replay byte-identically through the staged pipeline.
 #[test]
 fn seeded_churn_trace_is_identical_to_pre_refactor_golden() {
-    let mut orch = build_churn(true);
+    let mut orch = build_churn(true, 1);
     orch.run_until(20_000);
     assert_matches_golden("churn_faulty_trace.txt", &render(&mut orch));
 }
@@ -174,16 +181,55 @@ fn seeded_churn_trace_is_identical_to_pre_refactor_golden() {
 /// The fault-free control run: recovery machinery armed but idle.
 #[test]
 fn fault_free_churn_trace_is_identical_to_pre_refactor_golden() {
-    let mut orch = build_churn(false);
+    let mut orch = build_churn(false, 1);
     orch.run_until(20_000);
     assert_matches_golden("churn_clean_trace.txt", &render(&mut orch));
 }
 
-/// Event-driven delivery under seeded duplicates and delays: exercises the
-/// emit → admit → route → schedule(duplicate/delay fates) → dispatch path
-/// that the batch scenarios above do not.
+/// The churn scenarios under a live shard plan: fault fates, lease
+/// machinery, and retry backoffs must still match the serial golden
+/// byte-for-byte (the sequenced-merge determinism guarantee).
 #[test]
-fn event_driven_duplicates_trace_is_identical_to_pre_refactor_golden() {
+fn churn_traces_are_identical_under_sharding() {
+    for shards in [2, 4, 8] {
+        let mut faulty = build_churn(true, shards);
+        faulty.run_until(20_000);
+        assert_matches_golden("churn_faulty_trace.txt", &render(&mut faulty));
+        let mut clean = build_churn(false, shards);
+        clean.run_until(20_000);
+        assert_matches_golden("churn_clean_trace.txt", &render(&mut clean));
+    }
+}
+
+/// E1 parking under a live shard plan against the serial golden: mixed
+/// eligibility (MapReduce availability stays on the coordinator, the
+/// event-driven contexts shard out) must not perturb a single byte.
+#[test]
+fn e1_parking_trace_is_identical_under_sharding() {
+    let mut app = build_parking(ParkingAppConfig {
+        sensors_per_lot: 3,
+        processing: ProcessingMode::Serial,
+        transport: TransportConfig {
+            latency: LatencyModel::Uniform {
+                min_ms: 20,
+                max_ms: 200,
+            },
+            loss_probability: 0.0,
+            seed: 1,
+        },
+        shards: 4,
+        ..ParkingAppConfig::default()
+    })
+    .expect("parking app builds");
+    app.orchestrator.set_tracing(true);
+    app.orchestrator.run_until(10 * 60 * 1000 + 1_000);
+    assert!(app.orchestrator.drain_errors().is_empty());
+    assert_matches_golden("e1_parking_trace.txt", &render(&mut app.orchestrator));
+}
+
+/// Builds the seeded duplicate/delay scenario, runs it, and renders the
+/// observable state.
+fn run_event_duplicates(shards: usize) -> String {
     let spec = Arc::new(
         diaspec_core::compile_str(
             r#"
@@ -203,6 +249,7 @@ fn event_driven_duplicates_trace_is_identical_to_pre_refactor_golden() {
             seed: 9,
         },
     );
+    orch.set_shards(shards).unwrap();
     orch.register_context(
         "Chime",
         |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
@@ -249,5 +296,164 @@ fn event_driven_duplicates_trace_is_identical_to_pre_refactor_golden() {
             .unwrap();
     }
     orch.run_until(10_000);
-    assert_matches_golden("event_duplicates_trace.txt", &render(&mut orch));
+    render(&mut orch)
+}
+
+/// Event-driven delivery under seeded duplicates and delays: exercises the
+/// emit → admit → route → schedule(duplicate/delay fates) → dispatch path
+/// that the batch scenarios above do not.
+#[test]
+fn event_driven_duplicates_trace_is_identical_to_pre_refactor_golden() {
+    assert_matches_golden("event_duplicates_trace.txt", &run_event_duplicates(1));
+}
+
+/// Same scenario with a shard plan: fault injection is live, so the
+/// controller stays coordinator-side while `Chime` shards out, and every
+/// seeded fate must land identically.
+#[test]
+fn event_driven_duplicates_trace_is_identical_under_sharding() {
+    for shards in [2, 4] {
+        assert_matches_golden("event_duplicates_trace.txt", &run_event_duplicates(shards));
+    }
+}
+
+// ---- shard-sweep property: byte identity for any shard count ---------------
+
+/// A wide fan-out design: every probe reading activates four contexts at
+/// the same instant (a real multi-item round), two of which feed
+/// controllers, one errors periodically (contained-error ordering), one
+/// declines periodically (`maybe publish` accounting).
+const SWEEP_SPEC: &str = r#"
+    device Probe { source tick as Integer; }
+    device Horn { action blare(n as Integer); }
+    context Double as Integer { when provided tick from Probe always publish; }
+    context Echo as Integer { when provided tick from Probe always publish; }
+    context Quiet as Integer { when provided tick from Probe maybe publish; }
+    context Flaky as Integer { when provided tick from Probe always publish; }
+    controller Blare { when provided Double do blare on Horn; }
+    controller EchoBlare { when provided Echo do blare on Horn; }
+"#;
+
+/// Renders trace + metrics + the contained-error sequence (order and
+/// formatting included): the full observable state a shard plan must
+/// reproduce exactly.
+fn render_with_errors(orch: &mut Orchestrator) -> String {
+    let mut out = render(orch);
+    for err in orch.drain_errors() {
+        out.push_str(&format!("error@{}: {}\n", err.at, err.error));
+    }
+    out
+}
+
+fn run_sweep_scenario(seed: u64, shards: usize, tracing: bool) -> String {
+    use diaspec_runtime::error::ComponentError;
+    let spec = Arc::new(diaspec_core::compile_str(SWEEP_SPEC).unwrap());
+    let mut orch = Orchestrator::with_transport(
+        spec,
+        TransportConfig {
+            latency: LatencyModel::Uniform {
+                min_ms: 1,
+                max_ms: 30,
+            },
+            loss_probability: 0.05,
+            seed,
+        },
+    );
+    orch.set_shards(shards).unwrap();
+    for (name, f) in [
+        (
+            "Double",
+            (|v: i64| Ok(Some(Value::Int(v * 2)))) as fn(i64) -> _,
+        ),
+        ("Echo", |v: i64| Ok(Some(Value::Int(v)))),
+        ("Quiet", |v: i64| Ok((v % 3 == 0).then_some(Value::Int(v)))),
+        ("Flaky", |v: i64| {
+            if v % 7 == 3 {
+                Err(ComponentError::new("Flaky", format!("refusing {v}")))
+            } else {
+                Ok(Some(Value::Int(v + 1)))
+            }
+        }),
+    ] {
+        orch.register_context(
+            name,
+            move |_: &mut ContextApi<'_>, activation: ContextActivation<'_>| match activation {
+                ContextActivation::SourceEvent { value, .. } => {
+                    f(value.as_int().expect("integer tick"))
+                }
+                _ => Ok(None),
+            },
+        )
+        .unwrap();
+    }
+    for name in ["Blare", "EchoBlare"] {
+        orch.register_controller(
+            name,
+            move |api: &mut ControllerApi<'_>, _: &str, value: &Value| {
+                if name == "EchoBlare" && value.as_int().is_some_and(|v| v % 2 == 1) {
+                    return Ok(()); // a trivial activation: no actuation
+                }
+                for horn in api.discover("Horn")?.ids() {
+                    api.invoke(&horn, "blare", std::slice::from_ref(value))?;
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+    }
+    for i in 0..3 {
+        orch.bind_entity(
+            format!("probe-{i}").into(),
+            "Probe",
+            Default::default(),
+            Box::new(|_: &str, _: u64| Ok(Value::Int(0))),
+        )
+        .unwrap();
+    }
+    orch.bind_entity(
+        "horn-1".into(),
+        "Horn",
+        Default::default(),
+        Box::new(RecordingActuator::new(ActuationLog::new())),
+    )
+    .unwrap();
+    orch.set_tracing(tracing);
+    orch.launch().unwrap();
+    for step in 0..40i64 {
+        // All probes fire at the same instant: same-time fan-out rounds.
+        for probe in 0..3 {
+            let id = format!("probe-{probe}").into();
+            orch.emit_at(
+                10 + step as u64 * 50,
+                &id,
+                "tick",
+                Value::Int(step * 3 + probe),
+                None,
+            )
+            .unwrap();
+        }
+    }
+    orch.run_until(5_000);
+    render_with_errors(&mut orch)
+}
+
+/// The tentpole property: for seeds × shard counts, with tracing on
+/// (dense merge: every item replayed) and off (sparse merge: trivial
+/// activations folded into aggregate counters), the rendered observable
+/// state is byte-identical to the serial pipeline.
+#[test]
+fn shard_sweep_is_byte_identical_to_serial_for_all_shard_counts() {
+    for seed in [1, 7, 42] {
+        for tracing in [true, false] {
+            let serial = run_sweep_scenario(seed, 1, tracing);
+            assert!(!serial.is_empty());
+            for shards in [2, 4, 8] {
+                let sharded = run_sweep_scenario(seed, shards, tracing);
+                assert_eq!(
+                    serial, sharded,
+                    "observable state diverged at seed={seed} shards={shards} tracing={tracing}"
+                );
+            }
+        }
+    }
 }
