@@ -4,9 +4,11 @@
 //!
 //! ```text
 //! diaspec-gen <SPEC.spec> --language rust|java --out <DIR> [--report]
+//!             [--with <SPEC2.spec>]...
 //! diaspec-gen lint <SPEC.spec>... [--format json|sarif] [--deny warnings]
 //!                  [--allow CODE] [--warn CODE] [--deny CODE]
-//!                  [--fleet N] [--capacity]
+//!                  [--fleet N] [--capacity] [--manifest <M.json>]...
+//!                  [--link-budget N]
 //! diaspec-gen deploy <SPEC.spec> [--edges N] [--host H] [--port-base P]
 //!                    [--shard-enum NAME] [--shards N] [--out <DIR>]
 //! ```
@@ -14,12 +16,18 @@
 //! Compiles a DiaSpec design and writes the generated programming
 //! framework into `<DIR>` (Rust: a single `framework.rs`; Java: one file
 //! per class). With `--report`, prints a JSON generation report (file
-//! list, generated LoC, abstract-method count) to stdout.
+//! list, generated LoC, abstract-method count) to stdout. With `--with`,
+//! the Rust header additionally records the co-deployed companion
+//! designs and the cross-application conflict verdict.
 //!
 //! The `lint` subcommand runs the checker plus every whole-design
 //! analysis pass (actuation conflicts, feedback loops, reachability,
-//! rate propagation) and exits non-zero when any diagnostic ends up
-//! error-severity after the level flags are applied.
+//! rate propagation) and, given several specs, the cross-design
+//! deployment passes over the whole co-deployment (plus any `--manifest`
+//! deployment pins). Exit codes classify the outcome: `0` clean (or
+//! warnings only), `2` at least one diagnostic ended up error-severity
+//! after the level flags, `3` an input could not be read or parsed at
+//! all, `1` bad flags.
 //!
 //! The `deploy` subcommand partitions a design into deployment units —
 //! one coordinator plus N edge nodes sharded by a discovery-attribute
@@ -27,24 +35,24 @@
 //! and emits `manifest.json` plus one `node_<name>.rs` source per unit.
 //! Without `--out` the manifest is printed to stdout.
 
-use diaspec_codegen::deploy::{plan_deployment, DeployOptions};
-use diaspec_codegen::lint::{lint_source, LintFormat, LintLevel, LintOptions};
-use diaspec_codegen::{generate_java, generate_rust, metrics};
+use diaspec_codegen::deploy::{plan_deployment, DeployOptions, NodeManifest};
+use diaspec_codegen::lint::{lint_designs, lint_source, LintFormat, LintLevel, LintOptions};
+use diaspec_codegen::{generate_java, generate_rust, generate_rust_co_deployed, metrics};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Exit code for inputs that could not be read or parsed at all — the
+/// lint never saw a model — as opposed to deny-level findings (2).
+const EXIT_BROKEN: u8 = 3;
+/// Exit code for deny-level findings in otherwise-analyzable designs.
+const EXIT_FINDINGS: u8 = 2;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("lint") {
         args.next();
         return match run_lint(args) {
-            Ok(failed) => {
-                if failed {
-                    ExitCode::FAILURE
-                } else {
-                    ExitCode::SUCCESS
-                }
-            }
+            Ok(code) => ExitCode::from(code),
             Err(message) => {
                 eprintln!("diaspec-gen: {message}");
                 ExitCode::FAILURE
@@ -158,11 +166,14 @@ fn run_deploy(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses lint flags, lints every given spec, prints the outcome, and
-/// returns whether any file failed.
-fn run_lint(mut args: impl Iterator<Item = String>) -> Result<bool, String> {
+/// Parses lint flags, lints the given specs (together, when several),
+/// prints the outcome, and returns the process exit code. `Err` is
+/// reserved for flag-usage mistakes (exit 1); unreadable or unparsable
+/// inputs exit [`EXIT_BROKEN`] with the offending path on stderr.
+fn run_lint(mut args: impl Iterator<Item = String>) -> Result<u8, String> {
     let mut options = LintOptions::default();
     let mut files: Vec<PathBuf> = Vec::new();
+    let mut manifest_paths: Vec<PathBuf> = Vec::new();
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -203,13 +214,26 @@ fn run_lint(mut args: impl Iterator<Item = String>) -> Result<bool, String> {
                 );
             }
             "--capacity" => options.capacity = true,
+            "--manifest" => {
+                manifest_paths.push(PathBuf::from(
+                    args.next().ok_or("--manifest needs a manifest JSON file")?,
+                ));
+            }
+            "--link-budget" => {
+                let value = args.next().ok_or("--link-budget needs a msgs/hour rate")?;
+                options.link_budget = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--link-budget needs a number, got `{value}`"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: diaspec-gen lint <SPEC.spec>... [--format human|json|sarif] \
                      [--deny warnings] [--allow CODE] [--warn CODE] [--deny CODE] \
-                     [--fleet N] [--capacity]"
+                     [--fleet N] [--capacity] [--manifest <M.json>] [--link-budget N]"
                 );
-                return Ok(false);
+                return Ok(0);
             }
             other if !other.starts_with('-') => files.push(PathBuf::from(other)),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -219,18 +243,59 @@ fn run_lint(mut args: impl Iterator<Item = String>) -> Result<bool, String> {
         return Err("lint needs at least one <SPEC.spec> argument".to_owned());
     }
 
-    let mut failed = false;
+    let mut inputs: Vec<(String, String)> = Vec::new();
     for path in &files {
-        let source = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let outcome = lint_source(&path.display().to_string(), &source, &options);
-        print!("{}", outcome.rendered);
-        if !outcome.rendered.ends_with('\n') {
-            println!();
+        match std::fs::read_to_string(path) {
+            Ok(source) => inputs.push((path.display().to_string(), source)),
+            Err(e) => {
+                eprintln!("diaspec-gen: cannot read {}: {e}", path.display());
+                return Ok(EXIT_BROKEN);
+            }
         }
-        failed |= outcome.failed();
     }
-    Ok(failed)
+    let mut manifests: Vec<(String, NodeManifest)> = Vec::new();
+    for path in &manifest_paths {
+        let raw = match std::fs::read_to_string(path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("diaspec-gen: cannot read {}: {e}", path.display());
+                return Ok(EXIT_BROKEN);
+            }
+        };
+        match serde_json::from_str::<NodeManifest>(&raw) {
+            Ok(manifest) => manifests.push((path.display().to_string(), manifest)),
+            Err(e) => {
+                eprintln!("diaspec-gen: invalid manifest {}: {e}", path.display());
+                return Ok(EXIT_BROKEN);
+            }
+        }
+    }
+
+    // A single spec without manifests keeps the historical single-design
+    // output byte-for-byte; several specs lint as one co-deployment.
+    let outcome = if inputs.len() == 1 && manifests.is_empty() {
+        let (file, source) = &inputs[0];
+        lint_source(file, source, &options)
+    } else {
+        match lint_designs(&inputs, &manifests, &options) {
+            Ok(outcome) => outcome,
+            Err(message) => {
+                eprintln!("diaspec-gen: {message}");
+                return Ok(EXIT_BROKEN);
+            }
+        }
+    };
+    print!("{}", outcome.rendered);
+    if !outcome.rendered.ends_with('\n') {
+        println!();
+    }
+    if outcome.broken {
+        Ok(EXIT_BROKEN)
+    } else if outcome.failed() {
+        Ok(EXIT_FINDINGS)
+    } else {
+        Ok(0)
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -243,11 +308,17 @@ fn run() -> Result<(), String> {
     let mut chains = false;
     let mut requirements = false;
     let mut match_infra: Option<PathBuf> = None;
+    let mut with: Vec<PathBuf> = Vec::new();
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--language" | "-l" => {
                 language = args.next().ok_or("--language needs a value")?;
+            }
+            "--with" => {
+                with.push(PathBuf::from(
+                    args.next().ok_or("--with needs a companion <SPEC.spec>")?,
+                ));
             }
             "--out" | "-o" => {
                 out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
@@ -266,7 +337,7 @@ fn run() -> Result<(), String> {
                 println!(
                     "usage: diaspec-gen <SPEC.spec> --language rust|java --out <DIR> \
                      [--report] [--dot] [--chains] [--requirements] \
-                     [--match <INFRA.json>]"
+                     [--match <INFRA.json>] [--with <SPEC2.spec>]..."
                 );
                 return Ok(());
             }
@@ -320,9 +391,38 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
+    let mut companions: Vec<(String, diaspec_core::model::CheckedSpec)> = Vec::new();
+    for path in &with {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let companion =
+            diaspec_core::compile_str(&source).map_err(|e| format!("{}: {e}", path.display()))?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        companions.push((name, companion));
+    }
+
     let framework = match language.as_str() {
+        "rust" if !companions.is_empty() => {
+            let design = spec_path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "design".to_owned());
+            let refs: Vec<(String, &diaspec_core::model::CheckedSpec)> = companions
+                .iter()
+                .map(|(name, spec)| (name.clone(), spec))
+                .collect();
+            generate_rust_co_deployed(&design, &spec, &refs)
+        }
         "rust" => generate_rust(&spec),
-        "java" => generate_java(&spec),
+        "java" => {
+            if !companions.is_empty() {
+                return Err("--with is only supported with --language rust".to_owned());
+            }
+            generate_java(&spec)
+        }
         other => {
             return Err(format!(
                 "unknown language `{other}` (expected rust or java)"

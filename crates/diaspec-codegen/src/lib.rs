@@ -131,6 +131,37 @@ pub fn generate_rust(spec: &CheckedSpec) -> GeneratedFramework {
     }
 }
 
+/// Generates the Rust framework for a design that will be co-deployed
+/// with `companions` over one shared device fleet: the header records
+/// the companions and the cross-application conflict verdict from
+/// [`diaspec_core::analysis::analyze_deployment`].
+#[must_use]
+pub fn generate_rust_co_deployed(
+    design: &str,
+    spec: &CheckedSpec,
+    companions: &[(String, &CheckedSpec)],
+) -> GeneratedFramework {
+    use diaspec_core::analysis::{analyze_deployment, DeploymentOptions, DesignRef};
+    let mut designs = vec![DesignRef { name: design, spec }];
+    designs.extend(
+        companions
+            .iter()
+            .map(|(name, spec)| DesignRef { name, spec }),
+    );
+    let report = analyze_deployment(&designs, &[], &DeploymentOptions::default());
+    let banner = rust::MultiAppBanner {
+        companions: companions.iter().map(|(name, _)| name.clone()).collect(),
+        conflict_free: report.conflict_free(),
+    };
+    GeneratedFramework {
+        language: Language::Rust,
+        files: vec![GeneratedFile {
+            path: "framework.rs".to_owned(),
+            content: rust::generate_module_with(spec, Some(&banner)),
+        }],
+    }
+}
+
 /// Generates the Java programming framework for a checked design
 /// (paper Figures 9–11).
 #[must_use]

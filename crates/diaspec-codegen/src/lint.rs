@@ -14,9 +14,23 @@
 //! `--deny W0401`, `--warn E0401`) pick individual rules out, with the
 //! per-code setting winning over the blanket flag — the same layering as
 //! `rustc -D warnings -A some_lint`.
+//!
+//! Linting *several* specifications together ([`lint_designs`]) adds the
+//! cross-design deployment passes on top: each file is linted exactly as
+//! it would be alone, then [`analyze_deployment`] runs over the merged
+//! device taxonomy (plus any `--manifest` deployment pins) and the
+//! cross-application findings — E0601/W0601 conflicts, W0602 aggregate
+//! capacity, E0602 cut safety — render in a trailing cross-design
+//! section whose spans point into whichever file they belong to.
 
-use diaspec_core::analysis::{analyze_with, AnalysisOptions};
+use crate::deploy::NodeManifest;
+use diaspec_core::analysis::deployment::{
+    analyze_deployment, CrossFinding, DeployPins, DeploymentOptions, DesignRef, DesignSpan,
+    PinnedHost,
+};
+use diaspec_core::analysis::{analyze_with, AnalysisOptions, CapacityReport};
 use diaspec_core::diag::{Diagnostic, Severity};
+use diaspec_core::model::CheckedSpec;
 use diaspec_core::span::{SourceMap, Span};
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -58,9 +72,11 @@ pub struct LintOptions {
     pub fleet_size: Option<u64>,
     /// Append the static capacity report to human output.
     pub capacity: bool,
+    /// Cut-link budget (msgs/hour) for the cross-design W0602 pass.
+    pub link_budget: Option<f64>,
 }
 
-/// The result of linting one specification.
+/// The result of linting one specification (or one co-deployment).
 #[derive(Debug, Clone)]
 pub struct LintOutcome {
     /// The formatted output, ready to print.
@@ -69,6 +85,9 @@ pub struct LintOutcome {
     pub errors: usize,
     /// Diagnostics that ended up warning-severity.
     pub warnings: usize,
+    /// Whether some input failed to parse or check — there was no model
+    /// to analyze. Callers exit distinctly (3, not 2) on this.
+    pub broken: bool,
 }
 
 impl LintOutcome {
@@ -79,6 +98,99 @@ impl LintOutcome {
     }
 }
 
+/// One linted file: its diagnostics after level mapping, plus the model
+/// when the front end produced one.
+struct FileLint {
+    file: String,
+    map: SourceMap,
+    kept: Vec<Diagnostic>,
+    errors: usize,
+    warnings: usize,
+    capacity: Option<CapacityReport>,
+    spec: Option<CheckedSpec>,
+}
+
+/// Applies the severity policy to one code, returning the effective
+/// severity (or `None` when allowed away).
+fn effective_severity(options: &LintOptions, code: &str, severity: Severity) -> Option<Severity> {
+    match options.levels.get(code) {
+        Some(LintLevel::Allow) => None,
+        Some(LintLevel::Warn) => Some(Severity::Warning),
+        Some(LintLevel::Deny) => Some(Severity::Error),
+        None => {
+            if options.deny_warnings && severity == Severity::Warning {
+                Some(Severity::Error)
+            } else {
+                Some(severity)
+            }
+        }
+    }
+}
+
+/// Runs the front end plus every single-design analysis pass over one
+/// file and applies the severity policy.
+fn lint_one(file: &str, source: &str, options: &LintOptions) -> FileLint {
+    let map = SourceMap::new(source);
+    let analysis_options = AnalysisOptions {
+        fleet_size: options
+            .fleet_size
+            .unwrap_or(AnalysisOptions::default().fleet_size),
+    };
+    let (raw, capacity, spec) = match diaspec_core::compile_str_with_warnings(source) {
+        Ok((spec, warnings)) => {
+            let report = analyze_with(&spec, &analysis_options);
+            let mut diags: Vec<Diagnostic> = warnings.iter().cloned().collect();
+            diags.extend(report.diagnostics.iter().cloned());
+            (diags, Some(report.capacity), Some(spec))
+        }
+        Err(error) => (error.diagnostics().iter().cloned().collect(), None, None),
+    };
+
+    let mut kept: Vec<Diagnostic> = Vec::new();
+    for mut diag in raw {
+        let Some(severity) = effective_severity(options, diag.code, diag.severity) else {
+            continue;
+        };
+        diag.severity = severity;
+        kept.push(diag);
+    }
+    let errors = kept
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = kept.len() - errors;
+    FileLint {
+        file: file.to_owned(),
+        map,
+        kept,
+        errors,
+        warnings,
+        capacity,
+        spec,
+    }
+}
+
+/// The human-format section for one file: caret diagnostics, the
+/// per-file summary line, and (on request) the capacity report.
+fn render_human_file(lint: &FileLint, options: &LintOptions) -> String {
+    let mut out = String::new();
+    for diag in &lint.kept {
+        out.push_str(&diag.render(&lint.map));
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "{}: {} error(s), {} warning(s)",
+        lint.file, lint.errors, lint.warnings
+    );
+    if options.capacity {
+        if let Some(capacity) = &lint.capacity {
+            let _ = writeln!(out, "{capacity}");
+        }
+    }
+    out
+}
+
 /// Lints `source` (read from `file`, used for reporting only) and
 /// renders the outcome according to `options`.
 ///
@@ -87,71 +199,216 @@ impl LintOutcome {
 /// SARIF consumer sees broken designs too.
 #[must_use]
 pub fn lint_source(file: &str, source: &str, options: &LintOptions) -> LintOutcome {
-    let map = SourceMap::new(source);
-    let analysis_options = AnalysisOptions {
-        fleet_size: options
-            .fleet_size
-            .unwrap_or(AnalysisOptions::default().fleet_size),
-    };
-    let (raw, capacity) = match diaspec_core::compile_str_with_warnings(source) {
-        Ok((spec, warnings)) => {
-            let report = analyze_with(&spec, &analysis_options);
-            let mut diags: Vec<Diagnostic> = warnings.iter().cloned().collect();
-            diags.extend(report.diagnostics.iter().cloned());
-            (diags, Some(report.capacity))
+    let lint = lint_one(file, source, options);
+    let rendered = match options.format {
+        LintFormat::Human => render_human_file(&lint, options),
+        LintFormat::Json => {
+            serde_json::to_string_pretty(&json_log(&lint)).expect("lint JSON serializes")
         }
-        Err(error) => (error.diagnostics().iter().cloned().collect(), None),
-    };
-
-    // Severity policy: per-code override, else the blanket flag.
-    let mut kept: Vec<Diagnostic> = Vec::new();
-    for mut diag in raw {
-        match options.levels.get(diag.code) {
-            Some(LintLevel::Allow) => continue,
-            Some(LintLevel::Warn) => diag.severity = Severity::Warning,
-            Some(LintLevel::Deny) => diag.severity = Severity::Error,
-            None => {
-                if options.deny_warnings && diag.severity == Severity::Warning {
-                    diag.severity = Severity::Error;
-                }
-            }
+        LintFormat::Sarif => {
+            serde_json::to_string_pretty(&sarif_log(std::slice::from_ref(&lint), &[]))
+                .expect("lint SARIF serializes")
         }
-        kept.push(diag);
+    };
+    LintOutcome {
+        rendered,
+        errors: lint.errors,
+        warnings: lint.warnings,
+        broken: lint.spec.is_none(),
     }
-    let errors = kept
+}
+
+/// The display name of a design, from its file path (the stem).
+fn design_name(file: &str) -> String {
+    std::path::Path::new(file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| file.to_owned())
+}
+
+/// Reduces a deployment manifest to the device pins the cross-design
+/// cut-safety and link-budget passes consume.
+fn manifest_pins(manifest: &NodeManifest, design: usize, origin: &str) -> DeployPins {
+    let mut families: BTreeMap<String, Vec<PinnedHost>> = BTreeMap::new();
+    for device in &manifest.coordinator.devices {
+        families
+            .entry(device.clone())
+            .or_default()
+            .push(PinnedHost {
+                node: manifest.coordinator.name.clone(),
+                addr: None,
+                variants: Vec::new(),
+            });
+    }
+    for edge in &manifest.edges {
+        for device in &edge.devices {
+            families
+                .entry(device.clone())
+                .or_default()
+                .push(PinnedHost {
+                    node: edge.name.clone(),
+                    addr: Some(edge.listen.clone()),
+                    variants: edge.shards.clone(),
+                });
+        }
+    }
+    DeployPins {
+        design,
+        origin: origin.to_owned(),
+        families,
+    }
+}
+
+/// Lints every input file exactly as [`lint_source`] would, then runs
+/// the cross-design deployment passes over the whole set (plus any
+/// deployment manifests, given as `(path, manifest)` pairs) and appends
+/// a cross-design section.
+///
+/// Fails (`Err`) only on configuration problems — a manifest naming a
+/// design that matches none of the input file stems; broken *specs* are
+/// reported through the outcome (`broken`), not the error path.
+pub fn lint_designs(
+    inputs: &[(String, String)],
+    manifests: &[(String, NodeManifest)],
+    options: &LintOptions,
+) -> Result<LintOutcome, String> {
+    let lints: Vec<FileLint> = inputs
         .iter()
-        .filter(|d| d.severity == Severity::Error)
+        .map(|(file, source)| lint_one(file, source, options))
+        .collect();
+    let names: Vec<String> = inputs.iter().map(|(file, _)| design_name(file)).collect();
+    let broken = lints.iter().any(|l| l.spec.is_none());
+
+    let mut cross: Vec<CrossFinding> = Vec::new();
+    if !broken {
+        let designs: Vec<DesignRef<'_>> = lints
+            .iter()
+            .zip(&names)
+            .map(|(lint, name)| DesignRef {
+                name,
+                spec: lint.spec.as_ref().expect("not broken"),
+            })
+            .collect();
+        let mut pins: Vec<DeployPins> = Vec::new();
+        for (path, manifest) in manifests {
+            let design = names
+                .iter()
+                .position(|name| *name == manifest.design)
+                .ok_or_else(|| {
+                    format!(
+                        "manifest {path} is for design `{}`, which matches none of the linted specs",
+                        manifest.design
+                    )
+                })?;
+            pins.push(manifest_pins(manifest, design, path));
+        }
+        let report = analyze_deployment(
+            &designs,
+            &pins,
+            &DeploymentOptions {
+                fleet_size: options
+                    .fleet_size
+                    .unwrap_or(AnalysisOptions::default().fleet_size),
+                link_budget_per_hour: options.link_budget,
+            },
+        );
+        for mut finding in report.findings {
+            let Some(severity) = effective_severity(options, finding.code, finding.severity) else {
+                continue;
+            };
+            finding.severity = severity;
+            cross.push(finding);
+        }
+    }
+    let cross_errors = cross
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
         .count();
-    let warnings = kept.len() - errors;
+    let cross_warnings = cross.len() - cross_errors;
+    let errors = lints.iter().map(|l| l.errors).sum::<usize>() + cross_errors;
+    let warnings = lints.iter().map(|l| l.warnings).sum::<usize>() + cross_warnings;
 
     let rendered = match options.format {
         LintFormat::Human => {
             let mut out = String::new();
-            for diag in &kept {
-                out.push_str(&diag.render(&map));
-                out.push('\n');
+            for lint in &lints {
+                out.push_str(&render_human_file(lint, options));
             }
-            let _ = writeln!(out, "{file}: {errors} error(s), {warnings} warning(s)");
-            if options.capacity {
-                if let Some(capacity) = &capacity {
-                    let _ = writeln!(out, "{capacity}");
+            if broken {
+                let _ = writeln!(
+                    out,
+                    "cross-design passes skipped: a design failed to compile"
+                );
+            } else {
+                for finding in &cross {
+                    out.push_str(&render_cross_human(&lints, finding));
+                    out.push('\n');
                 }
+                let _ = writeln!(
+                    out,
+                    "cross-design: {cross_errors} error(s), {cross_warnings} warning(s)"
+                );
             }
+            let _ = writeln!(out, "total: {errors} error(s), {warnings} warning(s)");
             out
         }
         LintFormat::Json => {
-            serde_json::to_string_pretty(&json_log(file, &map, &kept, errors, warnings))
-                .expect("lint JSON serializes")
+            let files: Vec<Value> = lints.iter().map(json_log).collect();
+            let cross_items: Vec<Value> = cross.iter().map(|f| cross_json(&lints, f)).collect();
+            let log = Value::Object(vec![
+                ("files".to_owned(), Value::Array(files)),
+                (
+                    "cross".to_owned(),
+                    Value::Object(vec![
+                        ("errors".to_owned(), Value::UInt(cross_errors as u64)),
+                        ("warnings".to_owned(), Value::UInt(cross_warnings as u64)),
+                        ("diagnostics".to_owned(), Value::Array(cross_items)),
+                    ]),
+                ),
+                ("errors".to_owned(), Value::UInt(errors as u64)),
+                ("warnings".to_owned(), Value::UInt(warnings as u64)),
+            ]);
+            serde_json::to_string_pretty(&log).expect("lint JSON serializes")
         }
-        LintFormat::Sarif => serde_json::to_string_pretty(&sarif_log(file, &map, &kept))
-            .expect("lint SARIF serializes"),
+        LintFormat::Sarif => {
+            serde_json::to_string_pretty(&sarif_log(&lints, &cross)).expect("lint SARIF serializes")
+        }
     };
 
-    LintOutcome {
+    Ok(LintOutcome {
         rendered,
         errors,
         warnings,
+        broken,
+    })
+}
+
+/// Renders one cross-design finding in the compiler style, prefixing
+/// every position with the file it points into (the spans of one
+/// finding cross file boundaries).
+fn render_cross_human(lints: &[FileLint], finding: &CrossFinding) -> String {
+    let at = |ds: &DesignSpan| -> (String, String) {
+        let lint = &lints[ds.design];
+        let pos = lint.map.line_col(ds.span.start);
+        (format!("{}:{pos}", lint.file), lint.map.snippet(ds.span))
+    };
+    let (pos, snippet) = at(&finding.primary);
+    let mut out = format!(
+        "{}[{}]: {} at {pos}\n",
+        finding.severity, finding.code, finding.message
+    );
+    out.push_str(&snippet);
+    for (note, ds) in &finding.related {
+        let (pos, snippet) = at(ds);
+        out.push('\n');
+        let _ = writeln!(out, "note: {note} at {pos}");
+        out.push_str(&snippet);
     }
+    for note in &finding.notes {
+        out.push('\n');
+        let _ = write!(out, "note: {note}");
+    }
+    out
 }
 
 fn severity_str(severity: Severity) -> &'static str {
@@ -173,14 +430,10 @@ fn region(map: &SourceMap, span: Span) -> Vec<(String, Value)> {
     ]
 }
 
-fn json_log(
-    file: &str,
-    map: &SourceMap,
-    diags: &[Diagnostic],
-    errors: usize,
-    warnings: usize,
-) -> Value {
-    let items: Vec<Value> = diags
+fn json_log(lint: &FileLint) -> Value {
+    let map = &lint.map;
+    let items: Vec<Value> = lint
+        .kept
         .iter()
         .map(|diag| {
             let pos = map.line_col(diag.span.start);
@@ -211,18 +464,85 @@ fn json_log(
         })
         .collect();
     Value::Object(vec![
-        ("file".to_owned(), Value::String(file.to_owned())),
-        ("errors".to_owned(), Value::UInt(errors as u64)),
-        ("warnings".to_owned(), Value::UInt(warnings as u64)),
+        ("file".to_owned(), Value::String(lint.file.clone())),
+        ("errors".to_owned(), Value::UInt(lint.errors as u64)),
+        ("warnings".to_owned(), Value::UInt(lint.warnings as u64)),
         ("diagnostics".to_owned(), Value::Array(items)),
     ])
 }
 
+/// One cross-design finding as a JSON object; spans carry the file they
+/// point into.
+fn cross_json(lints: &[FileLint], finding: &CrossFinding) -> Value {
+    let locate = |ds: &DesignSpan| -> Vec<(String, Value)> {
+        let lint = &lints[ds.design];
+        let pos = lint.map.line_col(ds.span.start);
+        vec![
+            ("file".to_owned(), Value::String(lint.file.clone())),
+            ("line".to_owned(), Value::UInt(u64::from(pos.line))),
+            ("column".to_owned(), Value::UInt(u64::from(pos.col))),
+        ]
+    };
+    let mut related: Vec<Value> = finding
+        .related
+        .iter()
+        .map(|(message, ds)| {
+            let mut entries = vec![("message".to_owned(), Value::String(message.clone()))];
+            entries.extend(locate(ds));
+            Value::Object(entries)
+        })
+        .collect();
+    related.extend(
+        finding
+            .notes
+            .iter()
+            .map(|note| Value::Object(vec![("message".to_owned(), Value::String(note.clone()))])),
+    );
+    let mut entries = vec![
+        ("code".to_owned(), Value::String(finding.code.to_owned())),
+        (
+            "level".to_owned(),
+            Value::String(severity_str(finding.severity).to_owned()),
+        ),
+        ("message".to_owned(), Value::String(finding.message.clone())),
+    ];
+    entries.extend(locate(&finding.primary));
+    entries.push(("notes".to_owned(), Value::Array(related)));
+    Value::Object(entries)
+}
+
+/// A SARIF physical location, optionally wrapped with a message (for
+/// `relatedLocations` entries).
+fn sarif_location(file: &str, map: &SourceMap, span: Span, message: Option<&str>) -> Value {
+    let mut entries = vec![(
+        "physicalLocation".to_owned(),
+        Value::Object(vec![
+            (
+                "artifactLocation".to_owned(),
+                Value::Object(vec![("uri".to_owned(), Value::String(file.to_owned()))]),
+            ),
+            ("region".to_owned(), Value::Object(region(map, span))),
+        ]),
+    )];
+    if let Some(text) = message {
+        entries.push((
+            "message".to_owned(),
+            Value::Object(vec![("text".to_owned(), Value::String(text.to_owned()))]),
+        ));
+    }
+    Value::Object(entries)
+}
+
 /// Builds a minimal but valid SARIF 2.1.0 log: one run, one rule entry
-/// per distinct code, one result per diagnostic (notes become related
-/// locations' messages inline).
-fn sarif_log(file: &str, map: &SourceMap, diags: &[Diagnostic]) -> Value {
-    let mut rule_ids: Vec<&str> = diags.iter().map(|d| d.code).collect();
+/// per distinct code, one result per diagnostic. Notes *with* a span
+/// become navigable `relatedLocations`; span-less notes (provenance
+/// chains) fold into the message text, which every viewer shows.
+fn sarif_log(lints: &[FileLint], cross: &[CrossFinding]) -> Value {
+    let mut rule_ids: Vec<&str> = lints
+        .iter()
+        .flat_map(|l| l.kept.iter().map(|d| d.code))
+        .chain(cross.iter().map(|f| f.code))
+        .collect();
     rule_ids.sort_unstable();
     rule_ids.dedup();
     let rules: Vec<Value> = rule_ids
@@ -230,27 +550,23 @@ fn sarif_log(file: &str, map: &SourceMap, diags: &[Diagnostic]) -> Value {
         .map(|id| Value::Object(vec![("id".to_owned(), Value::String((*id).to_owned()))]))
         .collect();
 
-    let results: Vec<Value> = diags
-        .iter()
-        .map(|diag| {
-            // Fold the notes into the message text: SARIF viewers always
-            // show message.text, while relatedLocations support varies.
+    let mut results: Vec<Value> = Vec::new();
+    for lint in lints {
+        for diag in &lint.kept {
             let mut text = diag.message.clone();
-            for (note, _) in &diag.notes {
-                text.push_str("\nnote: ");
-                text.push_str(note);
+            let mut related: Vec<Value> = Vec::new();
+            for (note, span) in &diag.notes {
+                match span {
+                    Some(span) => {
+                        related.push(sarif_location(&lint.file, &lint.map, *span, Some(note)))
+                    }
+                    None => {
+                        text.push_str("\nnote: ");
+                        text.push_str(note);
+                    }
+                }
             }
-            let location = Value::Object(vec![(
-                "physicalLocation".to_owned(),
-                Value::Object(vec![
-                    (
-                        "artifactLocation".to_owned(),
-                        Value::Object(vec![("uri".to_owned(), Value::String(file.to_owned()))]),
-                    ),
-                    ("region".to_owned(), Value::Object(region(map, diag.span))),
-                ]),
-            )]);
-            Value::Object(vec![
+            let mut entries = vec![
                 ("ruleId".to_owned(), Value::String(diag.code.to_owned())),
                 (
                     "level".to_owned(),
@@ -260,10 +576,52 @@ fn sarif_log(file: &str, map: &SourceMap, diags: &[Diagnostic]) -> Value {
                     "message".to_owned(),
                     Value::Object(vec![("text".to_owned(), Value::String(text))]),
                 ),
-                ("locations".to_owned(), Value::Array(vec![location])),
-            ])
-        })
-        .collect();
+                (
+                    "locations".to_owned(),
+                    Value::Array(vec![sarif_location(&lint.file, &lint.map, diag.span, None)]),
+                ),
+            ];
+            if !related.is_empty() {
+                entries.push(("relatedLocations".to_owned(), Value::Array(related)));
+            }
+            results.push(Value::Object(entries));
+        }
+    }
+    for finding in cross {
+        let mut text = finding.message.clone();
+        for note in &finding.notes {
+            text.push_str("\nnote: ");
+            text.push_str(note);
+        }
+        let locate = |ds: &DesignSpan, message: Option<&str>| {
+            let lint = &lints[ds.design];
+            sarif_location(&lint.file, &lint.map, ds.span, message)
+        };
+        let related: Vec<Value> = finding
+            .related
+            .iter()
+            .map(|(note, ds)| locate(ds, Some(note)))
+            .collect();
+        let mut entries = vec![
+            ("ruleId".to_owned(), Value::String(finding.code.to_owned())),
+            (
+                "level".to_owned(),
+                Value::String(severity_str(finding.severity).to_owned()),
+            ),
+            (
+                "message".to_owned(),
+                Value::Object(vec![("text".to_owned(), Value::String(text))]),
+            ),
+            (
+                "locations".to_owned(),
+                Value::Array(vec![locate(&finding.primary, None)]),
+            ),
+        ];
+        if !related.is_empty() {
+            entries.push(("relatedLocations".to_owned(), Value::Array(related)));
+        }
+        results.push(Value::Object(entries));
+    }
 
     Value::Object(vec![
         (
@@ -317,6 +675,7 @@ mod tests {
         let outcome = lint_source("x.spec", CONFLICT, &LintOptions::default());
         assert_eq!(outcome.errors, 1);
         assert!(outcome.failed());
+        assert!(!outcome.broken);
         assert!(outcome.rendered.contains("error[E0401]"));
         assert!(outcome.rendered.contains("^"), "{}", outcome.rendered);
         assert!(outcome
@@ -432,6 +791,49 @@ mod tests {
     }
 
     #[test]
+    fn sarif_spanned_notes_become_related_locations() {
+        let outcome = lint_source(
+            "x.spec",
+            CONFLICT,
+            &LintOptions {
+                format: LintFormat::Sarif,
+                ..LintOptions::default()
+            },
+        );
+        let value: Value = serde_json::from_str(&outcome.rendered).unwrap();
+        let result = &value.get("runs").and_then(Value::as_array).unwrap()[0]
+            .get("results")
+            .and_then(Value::as_array)
+            .unwrap()[0];
+        // The "conflicting `do` clause here" note has a span, so it is a
+        // navigable related location rather than message text.
+        let related = result
+            .get("relatedLocations")
+            .and_then(Value::as_array)
+            .expect("conflict results carry relatedLocations");
+        assert_eq!(related.len(), 1);
+        let message = related[0]
+            .get("message")
+            .and_then(|m| m.get("text"))
+            .and_then(Value::as_str)
+            .unwrap();
+        assert!(message.contains("conflicting `do` clause"), "{message}");
+        let uri = related[0]
+            .get("physicalLocation")
+            .and_then(|l| l.get("artifactLocation"))
+            .and_then(|l| l.get("uri"))
+            .and_then(Value::as_str)
+            .unwrap();
+        assert_eq!(uri, "x.spec");
+        let text = result
+            .get("message")
+            .and_then(|m| m.get("text"))
+            .and_then(Value::as_str)
+            .unwrap();
+        assert!(!text.contains("conflicting `do` clause"), "{text}");
+    }
+
+    #[test]
     fn broken_specs_still_render_in_sarif() {
         let outcome = lint_source(
             "x.spec",
@@ -442,6 +844,7 @@ mod tests {
             },
         );
         assert!(outcome.failed());
+        assert!(outcome.broken);
         let value: Value = serde_json::from_str(&outcome.rendered).unwrap();
         assert!(!value.get("runs").and_then(Value::as_array).unwrap()[0]
             .get("results")
@@ -468,5 +871,204 @@ mod tests {
         );
         assert!(outcome.rendered.contains("capacity report"));
         assert!(outcome.rendered.contains("fleet hypothesis: 100"));
+    }
+
+    // ---- multi-design lint --------------------------------------------------
+
+    const SHARED_A: &str = r#"
+        device Sensor { source motion as Boolean; }
+        device Lamp { action lit; }
+        context Presence as Boolean { when provided motion from Sensor always publish; }
+        controller Comfort { when provided Presence do lit on Lamp; }
+    "#;
+
+    const SHARED_B: &str = r#"
+        device Sensor { source motion as Boolean; }
+        device Lamp { action lit; }
+        context Intrusion as Boolean { when provided motion from Sensor always publish; }
+        controller Patrol { when provided Intrusion do lit on Lamp; }
+    "#;
+
+    fn pair() -> Vec<(String, String)> {
+        vec![
+            ("a.spec".to_owned(), SHARED_A.to_owned()),
+            ("b.spec".to_owned(), SHARED_B.to_owned()),
+        ]
+    }
+
+    #[test]
+    fn multi_design_lint_reports_cross_conflicts() {
+        let outcome = lint_designs(&pair(), &[], &LintOptions::default()).unwrap();
+        assert!(outcome.failed());
+        assert!(!outcome.broken);
+        assert_eq!(outcome.errors, 1);
+        let rendered = &outcome.rendered;
+        assert!(rendered.contains("error[E0601]"), "{rendered}");
+        // Both per-file sections and the cross section are present,
+        // with spans attributed to their files.
+        assert!(rendered.contains("a.spec: 0 error(s), 0 warning(s)"));
+        assert!(rendered.contains("b.spec: 0 error(s), 0 warning(s)"));
+        assert!(rendered.contains("at a.spec:"), "{rendered}");
+        assert!(rendered.contains("at b.spec:"), "{rendered}");
+        assert!(rendered.contains("cross-design: 1 error(s), 0 warning(s)"));
+        assert!(rendered.contains("total: 1 error(s), 0 warning(s)"));
+        assert!(rendered.contains("first actuation chain (a)"), "{rendered}");
+        assert!(
+            rendered.contains("second actuation chain (b)"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn cross_findings_obey_the_severity_policy() {
+        let mut levels = BTreeMap::new();
+        levels.insert("E0601".to_owned(), LintLevel::Allow);
+        let outcome = lint_designs(
+            &pair(),
+            &[],
+            &LintOptions {
+                levels,
+                ..LintOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!outcome.failed());
+        assert!(outcome
+            .rendered
+            .contains("cross-design: 0 error(s), 0 warning(s)"));
+    }
+
+    #[test]
+    fn multi_design_json_has_files_and_cross_sections() {
+        let outcome = lint_designs(
+            &pair(),
+            &[],
+            &LintOptions {
+                format: LintFormat::Json,
+                ..LintOptions::default()
+            },
+        )
+        .unwrap();
+        let value: Value = serde_json::from_str(&outcome.rendered).unwrap();
+        let files = value.get("files").and_then(Value::as_array).unwrap();
+        assert_eq!(files.len(), 2);
+        let cross = value.get("cross").unwrap();
+        assert_eq!(cross.get("errors").and_then(Value::as_u64), Some(1));
+        let diags = cross.get("diagnostics").and_then(Value::as_array).unwrap();
+        assert_eq!(diags[0].get("code").and_then(Value::as_str), Some("E0601"));
+        assert_eq!(diags[0].get("file").and_then(Value::as_str), Some("a.spec"));
+        assert_eq!(value.get("errors").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn multi_design_sarif_relates_across_files() {
+        let outcome = lint_designs(
+            &pair(),
+            &[],
+            &LintOptions {
+                format: LintFormat::Sarif,
+                ..LintOptions::default()
+            },
+        )
+        .unwrap();
+        let value: Value = serde_json::from_str(&outcome.rendered).unwrap();
+        let results = value.get("runs").and_then(Value::as_array).unwrap()[0]
+            .get("results")
+            .and_then(Value::as_array)
+            .unwrap();
+        let cross = results
+            .iter()
+            .find(|r| r.get("ruleId").and_then(Value::as_str) == Some("E0601"))
+            .expect("E0601 result");
+        let primary_uri = cross.get("locations").and_then(Value::as_array).unwrap()[0]
+            .get("physicalLocation")
+            .and_then(|l| l.get("artifactLocation"))
+            .and_then(|l| l.get("uri"))
+            .and_then(Value::as_str)
+            .unwrap();
+        assert_eq!(primary_uri, "a.spec");
+        let related_uri = cross
+            .get("relatedLocations")
+            .and_then(Value::as_array)
+            .unwrap()[0]
+            .get("physicalLocation")
+            .and_then(|l| l.get("artifactLocation"))
+            .and_then(|l| l.get("uri"))
+            .and_then(Value::as_str)
+            .unwrap();
+        assert_eq!(related_uri, "b.spec");
+    }
+
+    #[test]
+    fn broken_design_skips_cross_passes() {
+        let inputs = vec![
+            ("a.spec".to_owned(), SHARED_A.to_owned()),
+            ("b.spec".to_owned(), "device { }".to_owned()),
+        ];
+        let outcome = lint_designs(&inputs, &[], &LintOptions::default()).unwrap();
+        assert!(outcome.broken);
+        assert!(outcome.failed());
+        assert!(outcome.rendered.contains("cross-design passes skipped"));
+    }
+
+    fn manifest_for(design: &str) -> NodeManifest {
+        let json = format!(
+            r#"{{
+                "design": "{design}",
+                "shard": {{"enumeration": "E", "attributes": []}},
+                "coordinator": {{
+                    "name": "coordinator",
+                    "components": [],
+                    "devices": ["Lamp"],
+                    "connects": []
+                }},
+                "edges": [{{
+                    "name": "edge0",
+                    "listen": "127.0.0.1:7070",
+                    "devices": ["Sensor"],
+                    "shards": []
+                }}],
+                "cut_routes": []
+            }}"#
+        );
+        serde_json::from_str(&json).unwrap()
+    }
+
+    #[test]
+    fn unmatched_manifest_is_a_configuration_error() {
+        let error = lint_designs(
+            &pair(),
+            &[("m.json".to_owned(), manifest_for("zeta"))],
+            &LintOptions::default(),
+        )
+        .unwrap_err();
+        assert!(error.contains("matches none"), "{error}");
+        assert!(error.contains("m.json"), "{error}");
+    }
+
+    #[test]
+    fn conflicting_manifest_pins_surface_as_cut_violations() {
+        let mut security = manifest_for("b");
+        security.edges[0].listen = "127.0.0.1:9090".to_owned();
+        let mut levels = BTreeMap::new();
+        levels.insert("E0601".to_owned(), LintLevel::Allow);
+        let outcome = lint_designs(
+            &pair(),
+            &[
+                ("a.json".to_owned(), manifest_for("a")),
+                ("b.json".to_owned(), security),
+            ],
+            &LintOptions {
+                levels,
+                ..LintOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            outcome.rendered.contains("error[E0602]"),
+            "{}",
+            outcome.rendered
+        );
+        assert!(outcome.failed());
     }
 }

@@ -66,8 +66,10 @@ impl ActuationConflict {
     }
 }
 
-/// Detects actuation conflicts and reports them into `diags`.
-pub(crate) fn detect(spec: &CheckedSpec, diags: &mut Diagnostics) -> Vec<ActuationConflict> {
+/// Every `do` clause of the design as an [`ActuationSite`], with its
+/// provenance chain resolved. Shared with the cross-design deployment
+/// pass ([`super::deployment`]), which compares sites *between* designs.
+pub(crate) fn collect_sites(spec: &CheckedSpec) -> Vec<ActuationSite> {
     let chains = functional_chains(spec);
     let mut sites = Vec::new();
     for ctrl in spec.controllers() {
@@ -84,6 +86,12 @@ pub(crate) fn detect(spec: &CheckedSpec, diags: &mut Diagnostics) -> Vec<Actuati
             }
         }
     }
+    sites
+}
+
+/// Detects actuation conflicts and reports them into `diags`.
+pub(crate) fn detect(spec: &CheckedSpec, diags: &mut Diagnostics) -> Vec<ActuationConflict> {
+    let sites = collect_sites(spec);
 
     let mut conflicts = Vec::new();
     for (i, first) in sites.iter().enumerate() {

@@ -1,0 +1,1358 @@
+//! Pass 6: cross-design deployment analysis (E0601 / W0601 / W0602 /
+//! E0602).
+//!
+//! Every pass so far reasons about one design at a time, but the paper's
+//! small-to-large-scale continuum means many orchestration applications
+//! co-deployed over *one* device fleet. This module analyzes a whole
+//! deployment: N checked designs, optionally pinned to edge nodes by
+//! their deployment manifests, sharing the physical devices their
+//! taxonomies overlap on.
+//!
+//! - **E0601** — guaranteed cross-application actuation conflict: two
+//!   designs command the same actuator family and both `do` clauses are
+//!   event-coupled (always-publish chains) to one shared device
+//!   publication, so a single sensor reading actuates the device twice.
+//! - **W0601** — possible cross-application conflict: the actuator
+//!   families overlap but the trigger chains are independent (or not
+//!   guaranteed to fire together), so the double actuation depends on
+//!   runtime timing.
+//! - **W0602** — aggregate capacity overload: the summed per-design edge
+//!   loads against a device family (under a shared fleet-size
+//!   hypothesis) exceed its declared `@qos(capacityPerHour)` budget, or
+//!   the flows pinned to one cut link exceed the link budget.
+//! - **E0602** — unsafe deployment cut: two manifests pin a shared
+//!   device family (or one of its shard variants) to *different* edge
+//!   nodes — one physical device cannot be attached to two processes.
+//!
+//! Device universes are unified structurally: the `extends` edges of all
+//! designs are merged into one taxonomy ([`MergedTaxonomy`]), so a
+//! `Vent` in one design and an `EmergencyVent extends Vent` in another
+//! resolve to overlapping families exactly as they would inside a single
+//! design (see [`super::graph::families_overlap`]).
+
+use crate::model::{ActivationTrigger, CheckedSpec, PublishMode};
+use crate::span::Span;
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::conflicts::{collect_sites, ActuationSite};
+use super::rates;
+use crate::diag::Severity;
+
+/// One design participating in a deployment, by display name (usually
+/// the spec file stem).
+#[derive(Debug, Clone, Copy)]
+pub struct DesignRef<'a> {
+    /// Display name used in cross-design messages.
+    pub name: &'a str,
+    /// The checked design.
+    pub spec: &'a CheckedSpec,
+}
+
+/// Tuning knobs for [`analyze_deployment`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeploymentOptions {
+    /// Shared fleet-size hypothesis applied to every design.
+    pub fleet_size: u64,
+    /// Optional cut-link budget in messages per hour; when set and
+    /// manifests pin families to edge links, per-link aggregates above
+    /// it report W0602.
+    pub link_budget_per_hour: Option<f64>,
+}
+
+impl Default for DeploymentOptions {
+    fn default() -> Self {
+        DeploymentOptions {
+            fleet_size: 1000,
+            link_budget_per_hour: None,
+        }
+    }
+}
+
+/// Where one deployment manifest pins a device family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinnedHost {
+    /// Node name inside the manifest (e.g. `edge0`).
+    pub node: String,
+    /// Listen address of the node, `None` for the coordinator.
+    pub addr: Option<String>,
+    /// Shard variants of the family hosted there (empty when the whole
+    /// family is pinned without sharding).
+    pub variants: Vec<String>,
+}
+
+/// The device pins of one design's deployment manifest, reduced to what
+/// the cut-safety and link-budget passes need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployPins {
+    /// Index into the `designs` slice this manifest belongs to.
+    pub design: usize,
+    /// Where the manifest came from, for messages (usually a path).
+    pub origin: String,
+    /// Family name to the hosts it is pinned on.
+    pub families: BTreeMap<String, Vec<PinnedHost>>,
+}
+
+/// The union of every design's `extends` edges: one tree (or forest) in
+/// which cross-design subtype questions are answered structurally.
+#[derive(Debug, Clone, Default)]
+pub struct MergedTaxonomy {
+    parents: BTreeMap<String, BTreeSet<String>>,
+    known: BTreeSet<String>,
+}
+
+impl MergedTaxonomy {
+    /// Merges the device taxonomies of all designs.
+    #[must_use]
+    pub fn build(designs: &[DesignRef<'_>]) -> Self {
+        let mut tax = MergedTaxonomy::default();
+        for design in designs {
+            for device in design.spec.devices() {
+                tax.known.insert(device.name.clone());
+                if let Some(parent) = &device.parent {
+                    tax.parents
+                        .entry(device.name.clone())
+                        .or_default()
+                        .insert(parent.clone());
+                }
+            }
+        }
+        tax
+    }
+
+    /// Whether `descendant` is (transitively) a subtype of `ancestor` in
+    /// the merged taxonomy. Every device is a subtype of itself.
+    #[must_use]
+    pub fn is_subtype(&self, descendant: &str, ancestor: &str) -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut queue: Vec<&str> = vec![descendant];
+        while let Some(at) = queue.pop() {
+            if at == ancestor {
+                return true;
+            }
+            if !seen.insert(at) {
+                continue;
+            }
+            if let Some(parents) = self.parents.get(at) {
+                queue.extend(parents.iter().map(String::as_str));
+            }
+        }
+        false
+    }
+
+    /// Whether the two families overlap: in a tree-shaped taxonomy they
+    /// intersect exactly when one root subtypes the other.
+    #[must_use]
+    pub fn overlap(&self, first: &str, second: &str) -> bool {
+        self.is_subtype(first, second) || self.is_subtype(second, first)
+    }
+
+    /// Known devices belonging to both families, in name order.
+    #[must_use]
+    pub fn shared_devices(&self, first: &str, second: &str) -> Vec<String> {
+        self.known
+            .iter()
+            .filter(|d| self.is_subtype(d, first) && self.is_subtype(d, second))
+            .cloned()
+            .collect()
+    }
+}
+
+/// A device publication a trigger chain is rooted at.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct TriggerRoot {
+    /// Declaring device of the source.
+    device: String,
+    /// Source name.
+    source: String,
+    /// Whether every publication of the root is guaranteed to reach the
+    /// consumer: an event-driven chain of `always publish` hops. A
+    /// periodic (batched) subscription or a `maybe publish` hop anywhere
+    /// breaks the guarantee.
+    guaranteed: bool,
+}
+
+/// Device publications that (transitively) trigger each context's own
+/// publications, keyed by context name. Computed in topological order so
+/// upstream contexts are resolved before their consumers.
+fn context_roots(spec: &CheckedSpec) -> BTreeMap<String, Vec<TriggerRoot>> {
+    let mut roots: BTreeMap<String, Vec<TriggerRoot>> = BTreeMap::new();
+    for ctx in spec.context_topo_order() {
+        let mut merged: BTreeMap<(String, String), bool> = BTreeMap::new();
+        for activation in &ctx.activations {
+            // An activation that never publishes contributes no roots:
+            // nothing downstream is event-triggered through it.
+            if activation.publish == PublishMode::No {
+                continue;
+            }
+            let publish_guaranteed = activation.publish == PublishMode::Always;
+            let incoming: Vec<TriggerRoot> = match &activation.trigger {
+                ActivationTrigger::DeviceSource { device, source } => {
+                    vec![TriggerRoot {
+                        device: declaring_device(spec, device, source),
+                        source: source.clone(),
+                        guaranteed: true,
+                    }]
+                }
+                ActivationTrigger::Periodic { device, source, .. } => {
+                    // Batched delivery decouples publication instants
+                    // from readings: a shared root, but not a shared
+                    // *instant*.
+                    vec![TriggerRoot {
+                        device: declaring_device(spec, device, source),
+                        source: source.clone(),
+                        guaranteed: false,
+                    }]
+                }
+                ActivationTrigger::Context(from) => roots.get(from).cloned().unwrap_or_default(),
+                ActivationTrigger::OnDemand => Vec::new(),
+            };
+            for root in incoming {
+                let guaranteed = root.guaranteed && publish_guaranteed;
+                let entry = merged.entry((root.device, root.source)).or_insert(false);
+                *entry = *entry || guaranteed;
+            }
+        }
+        roots.insert(
+            ctx.name.clone(),
+            merged
+                .into_iter()
+                .map(|((device, source), guaranteed)| TriggerRoot {
+                    device,
+                    source,
+                    guaranteed,
+                })
+                .collect(),
+        );
+    }
+    roots
+}
+
+/// Normalizes a source reference to the device that declares it, so
+/// subscriptions against a subtype and its ancestor meet.
+fn declaring_device(spec: &CheckedSpec, device: &str, source: &str) -> String {
+    spec.device(device)
+        .and_then(|d| d.source(source))
+        .map_or(device, |s| s.declared_in.as_str())
+        .to_owned()
+}
+
+/// The shared device publication witnessing a cross-design conflict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedPublication {
+    /// The root device family both chains subscribe to (the more
+    /// refined of the two overlapping subscription families).
+    pub device: String,
+    /// Source name.
+    pub source: String,
+}
+
+/// Two `do` clauses in *different* designs performing the same action on
+/// overlapping device families.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossConflict {
+    /// Index of the first design in the analyzed slice.
+    pub first_design: usize,
+    /// The first design's actuation site.
+    pub first: ActuationSite,
+    /// Index of the second design.
+    pub second_design: usize,
+    /// The second design's actuation site.
+    pub second: ActuationSite,
+    /// Devices actuated by both clauses, across the merged taxonomy.
+    pub shared_devices: Vec<String>,
+    /// When both trigger chains are rooted at one shared device
+    /// publication, that publication.
+    pub shared_publication: Option<SharedPublication>,
+    /// Whether one publication of the shared root *guarantees* the
+    /// double actuation (every hop event-coupled and `always publish`).
+    pub guaranteed: bool,
+}
+
+impl CrossConflict {
+    /// The diagnostic code this conflict reports under.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        if self.guaranteed {
+            "E0601"
+        } else {
+            "W0601"
+        }
+    }
+}
+
+/// Aggregate load against one device family's declared capacity budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyLoad {
+    /// Budget-declaring device family.
+    pub family: String,
+    /// The declared `@qos(capacityPerHour)` per deployed device.
+    pub per_device_budget: u64,
+    /// Family budget: `capacityPerHour x fleet_size`.
+    pub budget_msgs_per_hour: f64,
+    /// Known contribution of each design, by design name.
+    pub per_design: Vec<(String, f64)>,
+    /// Sum of the known contributions.
+    pub total_msgs_per_hour: f64,
+    /// Device-facing edges whose rate is unknown at design time.
+    pub unknown_edges: usize,
+}
+
+impl FamilyLoad {
+    /// Whether the aggregate exceeds the family budget.
+    #[must_use]
+    pub fn over_budget(&self) -> bool {
+        self.total_msgs_per_hour > self.budget_msgs_per_hour
+    }
+}
+
+/// Aggregate flow pinned to one cut link by the deployment manifests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkLoad {
+    /// Listen address of the link.
+    pub addr: String,
+    /// Known contributions: (design name, family, msgs/h).
+    pub per_design: Vec<(String, String, f64)>,
+    /// Sum of the known contributions.
+    pub total_msgs_per_hour: f64,
+}
+
+/// A shared device family pinned to incompatible places by two designs'
+/// manifests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutViolation {
+    /// Index of the first design.
+    pub first_design: usize,
+    /// Family name as pinned by the first manifest.
+    pub first_family: String,
+    /// Node name in the first manifest.
+    pub first_node: String,
+    /// Listen address in the first manifest (`None` = coordinator).
+    pub first_addr: Option<String>,
+    /// Index of the second design.
+    pub second_design: usize,
+    /// Family name as pinned by the second manifest.
+    pub second_family: String,
+    /// Node name in the second manifest.
+    pub second_node: String,
+    /// Listen address in the second manifest (`None` = coordinator).
+    pub second_addr: Option<String>,
+    /// The shard variant both manifests pin, when the disagreement is
+    /// variant-level.
+    pub variant: Option<String>,
+}
+
+/// A span attributed to one of the analyzed designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignSpan {
+    /// Index into the analyzed `designs` slice.
+    pub design: usize,
+    /// Span inside that design's source.
+    pub span: Span,
+}
+
+/// One cross-design finding, ready for multi-file rendering: the primary
+/// span and every related span carry the index of the design (and hence
+/// source file) they point into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossFinding {
+    /// Stable diagnostic code (`E0601`, `W0601`, `W0602`, `E0602`).
+    pub code: &'static str,
+    /// Error vs. warning, before any severity policy is applied.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Primary location.
+    pub primary: DesignSpan,
+    /// Secondary locations with their note text (e.g. the conflicting
+    /// `do` clause in the partner design).
+    pub related: Vec<(String, DesignSpan)>,
+    /// Span-less notes (e.g. rendered provenance chains).
+    pub notes: Vec<String>,
+}
+
+/// The combined result of the cross-design passes.
+#[derive(Debug, Clone, Default)]
+pub struct DeploymentReport {
+    /// All findings in pass order (conflicts, cut safety, capacity).
+    pub findings: Vec<CrossFinding>,
+    /// Cross-design actuation conflicts (E0601 / W0601).
+    pub conflicts: Vec<CrossConflict>,
+    /// Manifest cut violations (E0602).
+    pub cut_violations: Vec<CutViolation>,
+    /// Aggregate family loads for every budgeted family (whether over
+    /// budget or not — W0602 is reported only for the overloaded ones).
+    pub family_loads: Vec<FamilyLoad>,
+    /// Aggregate per-link loads (only when manifests pin families to
+    /// links and a link budget is configured).
+    pub link_loads: Vec<LinkLoad>,
+}
+
+impl DeploymentReport {
+    /// Whether no cross-design actuation conflict was found — the
+    /// property multi-application codegen banners advertise.
+    #[must_use]
+    pub fn conflict_free(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+
+    /// Whether any finding is error-severity.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    /// Whether the passes produced no finding at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Runs every cross-design pass over `designs` (order defines the
+/// design indices used in findings and pins).
+#[must_use]
+pub fn analyze_deployment(
+    designs: &[DesignRef<'_>],
+    pins: &[DeployPins],
+    options: &DeploymentOptions,
+) -> DeploymentReport {
+    let taxonomy = MergedTaxonomy::build(designs);
+    let mut report = DeploymentReport::default();
+    detect_conflicts(designs, &taxonomy, &mut report);
+    detect_cut_violations(designs, pins, &taxonomy, &mut report);
+    detect_family_overloads(designs, &taxonomy, options, &mut report);
+    detect_link_overloads(designs, pins, &taxonomy, options, &mut report);
+    report
+}
+
+fn detect_conflicts(
+    designs: &[DesignRef<'_>],
+    taxonomy: &MergedTaxonomy,
+    report: &mut DeploymentReport,
+) {
+    let sites: Vec<Vec<ActuationSite>> = designs.iter().map(|d| collect_sites(d.spec)).collect();
+    let roots: Vec<BTreeMap<String, Vec<TriggerRoot>>> =
+        designs.iter().map(|d| context_roots(d.spec)).collect();
+
+    for i in 0..designs.len() {
+        for j in i + 1..designs.len() {
+            for first in &sites[i] {
+                for second in &sites[j] {
+                    if first.action != second.action
+                        || !taxonomy.overlap(&first.device, &second.device)
+                    {
+                        continue;
+                    }
+                    let empty = Vec::new();
+                    let first_roots = roots[i].get(&first.trigger_context).unwrap_or(&empty);
+                    let second_roots = roots[j].get(&second.trigger_context).unwrap_or(&empty);
+                    let mut shared_publication = None;
+                    let mut guaranteed = false;
+                    for ra in first_roots {
+                        for rb in second_roots {
+                            if ra.source != rb.source || !taxonomy.overlap(&ra.device, &rb.device) {
+                                continue;
+                            }
+                            // Witness with the more refined family.
+                            let device = if taxonomy.is_subtype(&ra.device, &rb.device) {
+                                ra.device.clone()
+                            } else {
+                                rb.device.clone()
+                            };
+                            let pair_guaranteed = ra.guaranteed && rb.guaranteed;
+                            if shared_publication.is_none() || (pair_guaranteed && !guaranteed) {
+                                shared_publication = Some(SharedPublication {
+                                    device,
+                                    source: ra.source.clone(),
+                                });
+                            }
+                            guaranteed = guaranteed || pair_guaranteed;
+                        }
+                    }
+                    let conflict = CrossConflict {
+                        first_design: i,
+                        first: first.clone(),
+                        second_design: j,
+                        second: second.clone(),
+                        shared_devices: taxonomy.shared_devices(&first.device, &second.device),
+                        shared_publication,
+                        guaranteed,
+                    };
+                    report.findings.push(render_conflict(designs, &conflict));
+                    report.conflicts.push(conflict);
+                }
+            }
+        }
+    }
+}
+
+fn render_conflict(designs: &[DesignRef<'_>], conflict: &CrossConflict) -> CrossFinding {
+    let (a, b) = (
+        designs[conflict.first_design].name,
+        designs[conflict.second_design].name,
+    );
+    let (first, second) = (&conflict.first, &conflict.second);
+    let shared = conflict.shared_devices.join("`, `");
+    let heading = format!(
+        "designs `{a}` and `{b}` both perform `{}` on overlapping devices (`{shared}`)",
+        first.action
+    );
+    let (severity, message) = if conflict.guaranteed {
+        let publication = conflict
+            .shared_publication
+            .as_ref()
+            .expect("guaranteed conflicts carry their witness publication");
+        (
+            Severity::Error,
+            format!(
+                "{heading}: every publication of shared `{}.{}` devices triggers controller `{}` ({a}) and controller `{}` ({b}), guaranteeing a cross-application duplicate actuation",
+                publication.device, publication.source, first.controller, second.controller
+            ),
+        )
+    } else if let Some(publication) = &conflict.shared_publication {
+        (
+            Severity::Warning,
+            format!(
+                "{heading}: both react to publications of shared `{}.{}` devices, but not on every publication (a periodic batch or `maybe publish` hop sits on the path), so the duplicate actuation depends on runtime timing",
+                publication.device, publication.source
+            ),
+        )
+    } else {
+        (
+            Severity::Warning,
+            format!(
+                "{heading} via independent trigger chains (`{}` in {a}, `{}` in {b}): whether the duplicate actuation happens depends on runtime timing",
+                first.trigger_context, second.trigger_context
+            ),
+        )
+    };
+    let mut notes = Vec::new();
+    if let Some(chain) = &first.chain {
+        notes.push(format!("first actuation chain ({a}): {chain}"));
+    }
+    if let Some(chain) = &second.chain {
+        notes.push(format!("second actuation chain ({b}): {chain}"));
+    }
+    CrossFinding {
+        code: conflict.code(),
+        severity,
+        message,
+        primary: DesignSpan {
+            design: conflict.first_design,
+            span: first.span,
+        },
+        related: vec![(
+            format!(
+                "conflicting `do` clause of controller `{}` in design `{b}` here",
+                second.controller
+            ),
+            DesignSpan {
+                design: conflict.second_design,
+                span: second.span,
+            },
+        )],
+        notes,
+    }
+}
+
+fn detect_cut_violations(
+    designs: &[DesignRef<'_>],
+    pins: &[DeployPins],
+    taxonomy: &MergedTaxonomy,
+    report: &mut DeploymentReport,
+) {
+    for (pi, first) in pins.iter().enumerate() {
+        for second in &pins[pi + 1..] {
+            if first.design == second.design {
+                continue;
+            }
+            for (fa, hosts_a) in &first.families {
+                for (fb, hosts_b) in &second.families {
+                    if !taxonomy.overlap(fa, fb) {
+                        continue;
+                    }
+                    for violation in
+                        compare_pins(first.design, fa, hosts_a, second.design, fb, hosts_b)
+                    {
+                        report
+                            .findings
+                            .push(render_cut(designs, pins, pi, &violation));
+                        report.cut_violations.push(violation);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Compares where two manifests put one (overlapping) family pair and
+/// yields every variant- or family-level disagreement.
+fn compare_pins(
+    first_design: usize,
+    first_family: &str,
+    hosts_a: &[PinnedHost],
+    second_design: usize,
+    second_family: &str,
+    hosts_b: &[PinnedHost],
+) -> Vec<CutViolation> {
+    let variant_map = |hosts: &[PinnedHost]| -> BTreeMap<String, (String, Option<String>)> {
+        hosts
+            .iter()
+            .flat_map(|h| {
+                h.variants
+                    .iter()
+                    .map(move |v| (v.clone(), (h.node.clone(), h.addr.clone())))
+            })
+            .collect()
+    };
+    let mut violations = Vec::new();
+    let map_a = variant_map(hosts_a);
+    let map_b = variant_map(hosts_b);
+    let make = |variant: Option<String>,
+                (node_a, addr_a): &(String, Option<String>),
+                (node_b, addr_b): &(String, Option<String>)| CutViolation {
+        first_design,
+        first_family: first_family.to_owned(),
+        first_node: node_a.clone(),
+        first_addr: addr_a.clone(),
+        second_design,
+        second_family: second_family.to_owned(),
+        second_node: node_b.clone(),
+        second_addr: addr_b.clone(),
+        variant,
+    };
+
+    // Variant-level: the same physical shard pinned in both manifests
+    // must resolve to the same attachment point.
+    for (variant, placed_a) in &map_a {
+        if let Some(placed_b) = map_b.get(variant) {
+            if placed_a.1 != placed_b.1 {
+                violations.push(make(Some(variant.clone()), placed_a, placed_b));
+            }
+        }
+    }
+    if !violations.is_empty() || (!map_a.is_empty() && !map_b.is_empty()) {
+        return violations;
+    }
+
+    // Family-level (no shard variants on at least one side): the edge
+    // attachment points of the whole family must agree.
+    fn edge_hosts(hosts: &[PinnedHost]) -> Vec<&PinnedHost> {
+        hosts.iter().filter(|h| h.addr.is_some()).collect()
+    }
+    let (edges_a, edges_b) = (edge_hosts(hosts_a), edge_hosts(hosts_b));
+    let addrs = |edges: &[&PinnedHost]| -> BTreeSet<String> {
+        edges.iter().filter_map(|h| h.addr.clone()).collect()
+    };
+    match (edges_a.first(), edges_b.first()) {
+        (Some(ea), Some(eb)) => {
+            if addrs(&edges_a).is_disjoint(&addrs(&edges_b)) {
+                violations.push(make(
+                    None,
+                    &(ea.node.clone(), ea.addr.clone()),
+                    &(eb.node.clone(), eb.addr.clone()),
+                ));
+            }
+        }
+        // Edge-pinned by one design, coordinator-attached in the other:
+        // the device cannot be local to both processes.
+        (Some(ea), None) => {
+            if let Some(hb) = hosts_b.first() {
+                violations.push(make(
+                    None,
+                    &(ea.node.clone(), ea.addr.clone()),
+                    &(hb.node.clone(), None),
+                ));
+            }
+        }
+        (None, Some(eb)) => {
+            if let Some(ha) = hosts_a.first() {
+                violations.push(make(
+                    None,
+                    &(ha.node.clone(), None),
+                    &(eb.node.clone(), eb.addr.clone()),
+                ));
+            }
+        }
+        (None, None) => {}
+    }
+    violations
+}
+
+fn render_cut(
+    designs: &[DesignRef<'_>],
+    pins: &[DeployPins],
+    first_pin: usize,
+    violation: &CutViolation,
+) -> CrossFinding {
+    let (a, b) = (
+        designs[violation.first_design].name,
+        designs[violation.second_design].name,
+    );
+    let place = |node: &str, addr: &Option<String>| match addr {
+        Some(addr) => format!("edge node `{node}` ({addr})"),
+        None => format!("coordinator node `{node}`"),
+    };
+    let what = match &violation.variant {
+        Some(v) => format!(
+            "shard variant `{v}` of shared device family `{}`",
+            violation.first_family
+        ),
+        None => format!("shared device family `{}`", violation.first_family),
+    };
+    let message = format!(
+        "designs `{a}` and `{b}` pin {what} to different attachment points: {} vs {} — one physical device cannot be hosted by two deployment processes",
+        place(&violation.first_node, &violation.first_addr),
+        place(&violation.second_node, &violation.second_addr),
+    );
+    let decl_span = |design: usize, family: &str| -> Span {
+        designs[design]
+            .spec
+            .device(family)
+            .map_or(Span::DUMMY, |d| d.span)
+    };
+    CrossFinding {
+        code: "E0602",
+        severity: Severity::Error,
+        message,
+        primary: DesignSpan {
+            design: violation.first_design,
+            span: decl_span(violation.first_design, &violation.first_family),
+        },
+        related: vec![(
+            format!("pinned by design `{b}` for this declaration"),
+            DesignSpan {
+                design: violation.second_design,
+                span: decl_span(violation.second_design, &violation.second_family),
+            },
+        )],
+        notes: vec![format!(
+            "manifests: {} vs {}",
+            pins[first_pin].origin,
+            pins.iter()
+                .find(|p| p.design == violation.second_design)
+                .map_or("?", |p| p.origin.as_str()),
+        )],
+    }
+}
+
+/// The device name of a capacity-report endpoint (`Device.source` or
+/// `Device.action()`), `None` for `[Context]` / `(Controller)` ends.
+fn endpoint_device(endpoint: &str) -> Option<&str> {
+    if endpoint.starts_with('[') || endpoint.starts_with('(') {
+        return None;
+    }
+    endpoint.split('.').next()
+}
+
+/// Known device-facing load of `design` against `family`, plus how many
+/// matching edges have no design-time rate.
+fn family_contribution(
+    edges: &[rates::EdgeCapacity],
+    taxonomy: &MergedTaxonomy,
+    family: &str,
+) -> (f64, usize) {
+    let mut known = 0.0;
+    let mut unknown = 0;
+    for edge in edges {
+        let touches = [&edge.from, &edge.to]
+            .into_iter()
+            .filter_map(|e| endpoint_device(e))
+            .any(|device| taxonomy.overlap(device, family));
+        if !touches {
+            continue;
+        }
+        match edge.msgs_per_hour {
+            Some(rate) => known += rate,
+            None => unknown += 1,
+        }
+    }
+    (known, unknown)
+}
+
+fn detect_family_overloads(
+    designs: &[DesignRef<'_>],
+    taxonomy: &MergedTaxonomy,
+    options: &DeploymentOptions,
+    report: &mut DeploymentReport,
+) {
+    // Budgets: any design may declare `@qos(capacityPerHour = N)` on a
+    // device; the smallest declaration wins (most conservative).
+    let mut budgets: BTreeMap<String, (u64, usize)> = BTreeMap::new();
+    for (index, design) in designs.iter().enumerate() {
+        for device in design.spec.devices() {
+            let Some(cap) = device
+                .annotations
+                .iter()
+                .find(|a| a.name == "qos")
+                .and_then(|a| a.arg("capacityPerHour"))
+                .and_then(|v| v.as_int())
+            else {
+                continue;
+            };
+            let entry = budgets.entry(device.name.clone()).or_insert((cap, index));
+            if cap < entry.0 {
+                *entry = (cap, index);
+            }
+        }
+    }
+    if budgets.is_empty() {
+        return;
+    }
+
+    let capacities: Vec<rates::CapacityReport> = designs
+        .iter()
+        .map(|d| {
+            // W0404 is a per-design finding already reported by the
+            // single-design pass; here only the edge rates matter.
+            let mut scratch = crate::diag::Diagnostics::new();
+            rates::detect(d.spec, options.fleet_size, &mut scratch)
+        })
+        .collect();
+
+    for (family, (per_device_budget, declaring_design)) in budgets {
+        let budget = per_device_budget as f64 * options.fleet_size as f64;
+        let mut per_design = Vec::new();
+        let mut total = 0.0;
+        let mut unknown = 0;
+        for (design, capacity) in designs.iter().zip(&capacities) {
+            let (known, unrated) = family_contribution(&capacity.edges, taxonomy, &family);
+            unknown += unrated;
+            if known > 0.0 || unrated > 0 {
+                per_design.push((design.name.to_owned(), known));
+                total += known;
+            }
+        }
+        let load = FamilyLoad {
+            family: family.clone(),
+            per_device_budget,
+            budget_msgs_per_hour: budget,
+            per_design,
+            total_msgs_per_hour: total,
+            unknown_edges: unknown,
+        };
+        if load.over_budget() {
+            report.findings.push(render_family_overload(
+                designs,
+                declaring_design,
+                options.fleet_size,
+                &load,
+            ));
+        }
+        report.family_loads.push(load);
+    }
+}
+
+fn render_family_overload(
+    designs: &[DesignRef<'_>],
+    declaring_design: usize,
+    fleet_size: u64,
+    load: &FamilyLoad,
+) -> CrossFinding {
+    let contributions = load
+        .per_design
+        .iter()
+        .map(|(name, rate)| format!("`{name}` {rate:.1} msg/h"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut notes = vec![format!("per-design contributions: {contributions}")];
+    if load.unknown_edges > 0 {
+        notes.push(format!(
+            "{} matching edge(s) have no design-time rate and are not counted",
+            load.unknown_edges
+        ));
+    }
+    let primary_span = designs[declaring_design]
+        .spec
+        .device(&load.family)
+        .map_or(Span::DUMMY, |d| d.span);
+    let related = designs
+        .iter()
+        .enumerate()
+        .filter(|(index, design)| {
+            *index != declaring_design
+                && design.spec.device(&load.family).is_some()
+                && load.per_design.iter().any(|(n, _)| n == design.name)
+        })
+        .map(|(index, design)| {
+            (
+                format!("also orchestrated by design `{}` here", design.name),
+                DesignSpan {
+                    design: index,
+                    span: design
+                        .spec
+                        .device(&load.family)
+                        .map_or(Span::DUMMY, |d| d.span),
+                },
+            )
+        })
+        .collect();
+    CrossFinding {
+        code: "W0602",
+        severity: Severity::Warning,
+        message: format!(
+            "co-deployed designs overload device family `{}`: {:.1} msg/h against a budget of {:.1} msg/h (@qos(capacityPerHour = {}) x {fleet_size} devices)",
+            load.family,
+            load.total_msgs_per_hour,
+            load.budget_msgs_per_hour,
+            load.per_device_budget,
+        ),
+        primary: DesignSpan {
+            design: declaring_design,
+            span: primary_span,
+        },
+        related,
+        notes,
+    }
+}
+
+fn detect_link_overloads(
+    designs: &[DesignRef<'_>],
+    pins: &[DeployPins],
+    taxonomy: &MergedTaxonomy,
+    options: &DeploymentOptions,
+    report: &mut DeploymentReport,
+) {
+    let Some(budget) = options.link_budget_per_hour else {
+        return;
+    };
+    if pins.is_empty() {
+        return;
+    }
+    let capacities: BTreeMap<usize, rates::CapacityReport> = pins
+        .iter()
+        .filter(|p| p.design < designs.len())
+        .map(|p| {
+            let mut scratch = crate::diag::Diagnostics::new();
+            (
+                p.design,
+                rates::detect(designs[p.design].spec, options.fleet_size, &mut scratch),
+            )
+        })
+        .collect();
+
+    // addr -> contributions.
+    let mut links: BTreeMap<String, Vec<(String, String, f64)>> = BTreeMap::new();
+    for pin in pins {
+        let Some(capacity) = capacities.get(&pin.design) else {
+            continue;
+        };
+        for (family, hosts) in &pin.families {
+            let (family_load, _) = family_contribution(&capacity.edges, taxonomy, family);
+            if family_load <= 0.0 {
+                continue;
+            }
+            let total_variants: usize = hosts.iter().map(|h| h.variants.len()).sum();
+            let edge_hosts = hosts.iter().filter(|h| h.addr.is_some()).count();
+            for host in hosts {
+                let Some(addr) = &host.addr else { continue };
+                // Pro-rate the family's flow across its edge hosts by
+                // shard-variant count when sharded, evenly otherwise.
+                let share = if total_variants > 0 {
+                    host.variants.len() as f64 / total_variants as f64
+                } else {
+                    1.0 / edge_hosts.max(1) as f64
+                };
+                if share <= 0.0 {
+                    continue;
+                }
+                links.entry(addr.clone()).or_default().push((
+                    designs[pin.design].name.to_owned(),
+                    family.clone(),
+                    family_load * share,
+                ));
+            }
+        }
+    }
+
+    for (addr, per_design) in links {
+        let total: f64 = per_design.iter().map(|(_, _, rate)| rate).sum();
+        let load = LinkLoad {
+            addr: addr.clone(),
+            per_design,
+            total_msgs_per_hour: total,
+        };
+        if total > budget {
+            let contributions = load
+                .per_design
+                .iter()
+                .map(|(design, family, rate)| format!("`{design}`/{family} {rate:.1} msg/h"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            // Anchor on the first contributing design's family decl.
+            let primary = load
+                .per_design
+                .first()
+                .and_then(|(design_name, family, _)| {
+                    designs.iter().enumerate().find_map(|(index, d)| {
+                        (d.name == design_name)
+                            .then(|| d.spec.device(family).map(|dev| (index, dev.span)))
+                            .flatten()
+                    })
+                })
+                .map_or(
+                    DesignSpan {
+                        design: 0,
+                        span: Span::DUMMY,
+                    },
+                    |(design, span)| DesignSpan { design, span },
+                );
+            report.findings.push(CrossFinding {
+                code: "W0602",
+                severity: Severity::Warning,
+                message: format!(
+                    "deployment cut link `{addr}` is overloaded: {total:.1} msg/h against a budget of {budget:.1} msg/h"
+                ),
+                primary,
+                related: Vec::new(),
+                notes: vec![format!("per-design contributions: {contributions}")],
+            });
+        }
+        report.link_loads.push(load);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_str;
+
+    fn deploy(sources: &[(&str, &str)], pins: &[DeployPins]) -> DeploymentReport {
+        deploy_with(sources, pins, &DeploymentOptions::default())
+    }
+
+    fn deploy_with(
+        sources: &[(&str, &str)],
+        pins: &[DeployPins],
+        options: &DeploymentOptions,
+    ) -> DeploymentReport {
+        let specs: Vec<(&str, CheckedSpec)> = sources
+            .iter()
+            .map(|(name, src)| (*name, compile_str(src).unwrap()))
+            .collect();
+        let designs: Vec<DesignRef<'_>> = specs
+            .iter()
+            .map(|(name, spec)| DesignRef { name, spec })
+            .collect();
+        analyze_deployment(&designs, pins, options)
+    }
+
+    const SHARED_GUARANTEED_A: &str = r#"
+        device Sensor { source motion as Boolean; }
+        device Lamp { action lit; }
+        context Presence as Boolean { when provided motion from Sensor always publish; }
+        controller Comfort { when provided Presence do lit on Lamp; }
+    "#;
+
+    const SHARED_GUARANTEED_B: &str = r#"
+        device Sensor { source motion as Boolean; }
+        device Lamp { action lit; }
+        context Intrusion as Boolean { when provided motion from Sensor always publish; }
+        controller Patrol { when provided Intrusion do lit on Lamp; }
+    "#;
+
+    #[test]
+    fn shared_publication_with_always_chains_is_guaranteed() {
+        let report = deploy(
+            &[("a", SHARED_GUARANTEED_A), ("b", SHARED_GUARANTEED_B)],
+            &[],
+        );
+        assert_eq!(report.conflicts.len(), 1);
+        let conflict = &report.conflicts[0];
+        assert!(conflict.guaranteed);
+        assert_eq!(conflict.code(), "E0601");
+        assert_eq!(
+            conflict.shared_publication,
+            Some(SharedPublication {
+                device: "Sensor".into(),
+                source: "motion".into(),
+            })
+        );
+        assert_eq!(conflict.shared_devices, vec!["Lamp".to_owned()]);
+        let finding = &report.findings[0];
+        assert_eq!(finding.code, "E0601");
+        assert_eq!(finding.severity, Severity::Error);
+        assert!(
+            finding.message.contains("`Sensor.motion`"),
+            "{}",
+            finding.message
+        );
+        // Both provenance chains ride along as notes, and the partner
+        // `do` clause is a related location into the second design.
+        assert!(finding
+            .notes
+            .iter()
+            .any(|n| n.contains("first actuation chain (a)")));
+        assert!(finding
+            .notes
+            .iter()
+            .any(|n| n.contains("second actuation chain (b)")));
+        assert_eq!(finding.related.len(), 1);
+        assert_eq!(finding.related[0].1.design, 1);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn maybe_publish_downgrades_to_possible_conflict() {
+        let b = SHARED_GUARANTEED_B.replace("always publish", "maybe publish");
+        let report = deploy(&[("a", SHARED_GUARANTEED_A), ("b", &b)], &[]);
+        assert_eq!(report.conflicts.len(), 1);
+        let conflict = &report.conflicts[0];
+        assert!(!conflict.guaranteed);
+        assert_eq!(conflict.code(), "W0601");
+        assert!(conflict.shared_publication.is_some());
+        assert!(report.findings[0].message.contains("maybe publish"));
+    }
+
+    #[test]
+    fn periodic_batching_downgrades_to_possible_conflict() {
+        let b = SHARED_GUARANTEED_B.replace(
+            "when provided motion from Sensor",
+            "when periodic motion from Sensor <1 min>",
+        );
+        let report = deploy(&[("a", SHARED_GUARANTEED_A), ("b", &b)], &[]);
+        assert_eq!(report.conflicts.len(), 1);
+        assert_eq!(report.conflicts[0].code(), "W0601");
+    }
+
+    #[test]
+    fn independent_roots_warn_without_witness() {
+        let b = r#"
+            device Door { source open as Boolean; }
+            device Lamp { action lit; }
+            context Watch as Boolean { when provided open from Door always publish; }
+            controller Night { when provided Watch do lit on Lamp; }
+        "#;
+        let report = deploy(&[("a", SHARED_GUARANTEED_A), ("b", b)], &[]);
+        assert_eq!(report.conflicts.len(), 1);
+        let conflict = &report.conflicts[0];
+        assert_eq!(conflict.code(), "W0601");
+        assert_eq!(conflict.shared_publication, None);
+        assert!(report.findings[0]
+            .message
+            .contains("independent trigger chains"));
+    }
+
+    #[test]
+    fn subtype_declared_in_other_design_overlaps() {
+        let b = r#"
+            device Sensor { source motion as Boolean; }
+            device Lamp { action lit; }
+            device HallLamp extends Lamp { attribute hall as String; }
+            context Intrusion as Boolean { when provided motion from Sensor always publish; }
+            controller Patrol { when provided Intrusion do lit on HallLamp; }
+        "#;
+        let report = deploy(&[("a", SHARED_GUARANTEED_A), ("b", b)], &[]);
+        // `a` actuates the whole Lamp family; `b` its HallLamp subfamily
+        // (unknown to `a`): the merged taxonomy still sees the overlap.
+        assert_eq!(report.conflicts.len(), 1);
+        assert_eq!(
+            report.conflicts[0].shared_devices,
+            vec!["HallLamp".to_owned()]
+        );
+    }
+
+    #[test]
+    fn disjoint_sibling_families_are_clean() {
+        let a = r#"
+            device Sensor { source motion as Boolean; }
+            device Lamp { action lit; }
+            device HallLamp extends Lamp { attribute hall as String; }
+            context Presence as Boolean { when provided motion from Sensor always publish; }
+            controller Comfort { when provided Presence do lit on HallLamp; }
+        "#;
+        let b = r#"
+            device Sensor { source motion as Boolean; }
+            device Lamp { action lit; }
+            device YardLamp extends Lamp { attribute yard as String; }
+            context Intrusion as Boolean { when provided motion from Sensor always publish; }
+            controller Patrol { when provided Intrusion do lit on YardLamp; }
+        "#;
+        let report = deploy(&[("a", a), ("b", b)], &[]);
+        assert!(report.conflict_free());
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn single_design_reports_no_cross_conflicts() {
+        let report = deploy(&[("a", SHARED_GUARANTEED_A)], &[]);
+        assert!(report.conflict_free());
+        assert!(report.is_clean());
+    }
+
+    const METERED: &str = r#"
+        @qos(capacityPerHour = 100)
+        device Meter { source reading as Float; }
+        device K { action a; }
+        context Usage as Float { when periodic reading from Meter <1 min> always publish; }
+        controller Out { when provided Usage do a on K; }
+    "#;
+
+    #[test]
+    fn aggregate_load_over_family_budget_warns() {
+        let options = DeploymentOptions {
+            fleet_size: 1,
+            ..DeploymentOptions::default()
+        };
+        // Each design polls the shared meters at 60 msg/h; together they
+        // exceed the 100 msg/h per-device budget.
+        let report = deploy_with(&[("a", METERED), ("b", METERED)], &[], &options);
+        let finding = report
+            .findings
+            .iter()
+            .find(|f| f.code == "W0602")
+            .expect("aggregate overload reported");
+        assert_eq!(finding.severity, Severity::Warning);
+        assert!(finding.message.contains("`Meter`"), "{}", finding.message);
+        assert_eq!(report.family_loads.len(), 1);
+        let load = &report.family_loads[0];
+        assert_eq!(load.total_msgs_per_hour, 120.0);
+        assert_eq!(load.budget_msgs_per_hour, 100.0);
+        assert!(load.over_budget());
+        assert_eq!(load.per_design.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_load_within_budget_is_clean() {
+        let options = DeploymentOptions {
+            fleet_size: 1,
+            ..DeploymentOptions::default()
+        };
+        let roomy = METERED.replace("capacityPerHour = 100", "capacityPerHour = 150");
+        let report = deploy_with(&[("a", &roomy), ("b", &roomy)], &[], &options);
+        assert!(report.findings.iter().all(|f| f.code != "W0602"));
+        assert_eq!(report.family_loads.len(), 1);
+        assert!(!report.family_loads[0].over_budget());
+    }
+
+    fn pin(design: usize, family: &str, hosts: &[(&str, Option<&str>, &[&str])]) -> DeployPins {
+        DeployPins {
+            design,
+            origin: format!("manifest{design}.json"),
+            families: BTreeMap::from([(
+                family.to_owned(),
+                hosts
+                    .iter()
+                    .map(|(node, addr, variants)| PinnedHost {
+                        node: (*node).to_owned(),
+                        addr: addr.map(str::to_owned),
+                        variants: variants.iter().map(|v| (*v).to_owned()).collect(),
+                    })
+                    .collect(),
+            )]),
+        }
+    }
+
+    #[test]
+    fn variant_pinned_to_two_addrs_is_a_cut_violation() {
+        let pins = vec![
+            pin(0, "Sensor", &[("edge0", Some("127.0.0.1:7070"), &["s1"])]),
+            pin(1, "Sensor", &[("edge1", Some("127.0.0.1:9090"), &["s1"])]),
+        ];
+        let report = deploy(
+            &[("a", SHARED_GUARANTEED_A), ("b", SHARED_GUARANTEED_B)],
+            &pins,
+        );
+        let violation = report
+            .cut_violations
+            .first()
+            .expect("cut violation reported");
+        assert_eq!(violation.variant.as_deref(), Some("s1"));
+        let finding = report
+            .findings
+            .iter()
+            .find(|f| f.code == "E0602")
+            .expect("E0602 reported");
+        assert_eq!(finding.severity, Severity::Error);
+        assert!(finding.message.contains("127.0.0.1:7070"));
+        assert!(finding.message.contains("127.0.0.1:9090"));
+        assert!(finding.notes.iter().any(|n| n.contains("manifest0.json")));
+    }
+
+    #[test]
+    fn agreeing_pins_are_safe() {
+        let pins = vec![
+            pin(0, "Sensor", &[("edge0", Some("127.0.0.1:7070"), &["s1"])]),
+            pin(1, "Sensor", &[("edgeX", Some("127.0.0.1:7070"), &["s1"])]),
+        ];
+        let report = deploy(
+            &[("a", SHARED_GUARANTEED_A), ("b", SHARED_GUARANTEED_B)],
+            &pins,
+        );
+        assert!(report.cut_violations.is_empty());
+    }
+
+    #[test]
+    fn edge_pin_vs_coordinator_is_a_cut_violation() {
+        let pins = vec![
+            pin(0, "Sensor", &[("edge0", Some("127.0.0.1:7070"), &[])]),
+            pin(1, "Sensor", &[("city", None, &[])]),
+        ];
+        let report = deploy(
+            &[("a", SHARED_GUARANTEED_A), ("b", SHARED_GUARANTEED_B)],
+            &pins,
+        );
+        assert_eq!(report.cut_violations.len(), 1);
+        assert!(report.cut_violations[0].second_addr.is_none());
+    }
+
+    #[test]
+    fn disjoint_shard_variants_are_distinct_devices() {
+        let pins = vec![
+            pin(0, "Sensor", &[("edge0", Some("127.0.0.1:7070"), &["s1"])]),
+            pin(1, "Sensor", &[("edge1", Some("127.0.0.1:9090"), &["s2"])]),
+        ];
+        let report = deploy(
+            &[("a", SHARED_GUARANTEED_A), ("b", SHARED_GUARANTEED_B)],
+            &pins,
+        );
+        assert!(report.cut_violations.is_empty());
+    }
+
+    #[test]
+    fn link_budget_aggregates_across_designs() {
+        let options = DeploymentOptions {
+            fleet_size: 1,
+            link_budget_per_hour: Some(100.0),
+        };
+        let pins = vec![
+            pin(0, "Meter", &[("edge0", Some("127.0.0.1:7070"), &[])]),
+            pin(1, "Meter", &[("edge9", Some("127.0.0.1:7070"), &[])]),
+        ];
+        // 60 msg/h from each design onto the same link: 120 > 100.
+        let report = deploy_with(&[("a", METERED), ("b", METERED)], &pins, &options);
+        assert_eq!(report.link_loads.len(), 1);
+        assert_eq!(report.link_loads[0].total_msgs_per_hour, 120.0);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.code == "W0602" && f.message.contains("cut link")));
+    }
+
+    #[test]
+    fn merged_taxonomy_answers_cross_design_subtyping() {
+        let a = compile_str("device Vent { action setLevel; }").unwrap();
+        let b = compile_str(
+            "device Vent { action setLevel; } device EmergencyVent extends Vent { attribute zone as String; }",
+        )
+        .unwrap();
+        let designs = [
+            DesignRef {
+                name: "a",
+                spec: &a,
+            },
+            DesignRef {
+                name: "b",
+                spec: &b,
+            },
+        ];
+        let tax = MergedTaxonomy::build(&designs);
+        assert!(tax.is_subtype("EmergencyVent", "Vent"));
+        assert!(!tax.is_subtype("Vent", "EmergencyVent"));
+        assert!(tax.overlap("Vent", "EmergencyVent"));
+        assert_eq!(
+            tax.shared_devices("Vent", "EmergencyVent"),
+            vec!["EmergencyVent".to_owned()]
+        );
+    }
+}

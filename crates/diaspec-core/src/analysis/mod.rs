@@ -18,9 +18,18 @@
 //! it is invoked by the deployment tooling ([`partition::validate`])
 //! rather than by [`analyze`].
 //!
+//! A sixth pass family, [`deployment`], crosses design boundaries: it
+//! takes *several* checked designs (plus their optional deployment
+//! manifests) and analyzes the co-deployment — cross-application
+//! actuation conflicts over the merged device taxonomy, aggregate
+//! capacity against `@qos(capacityPerHour)` budgets, and manifest cut
+//! safety. It is invoked by multi-design lint
+//! ([`deployment::analyze_deployment`]) rather than by [`analyze`].
+//!
 //! Every finding carries a stable diagnostic code, continuing the
-//! checker's numbering into the 04xx block (whole-design analysis) and
-//! the 05xx block (partition validity):
+//! checker's numbering into the 04xx block (whole-design analysis),
+//! the 05xx block (partition validity), and the 06xx block
+//! (cross-design deployment):
 //!
 //! | Code | Rule |
 //! |------|------|
@@ -35,6 +44,10 @@
 //! | E0502 | partition plan names an unknown node, component, or device |
 //! | E0503 | dataflow route crosses between edge nodes without passing the coordinator |
 //! | W0501 | component placed where none of its routes are node-local |
+//! | E0601 | guaranteed cross-application duplicate actuation from one shared publication |
+//! | W0601 | possible cross-application actuation conflict on overlapping device families |
+//! | W0602 | aggregate co-deployed load exceeds a device family or cut-link capacity budget |
+//! | E0602 | manifests pin a shared device family to conflicting attachment points |
 //!
 //! # Examples
 //!
@@ -54,6 +67,7 @@
 //! ```
 
 pub mod conflicts;
+pub mod deployment;
 pub mod graph;
 pub mod loops;
 pub mod partition;
@@ -61,6 +75,11 @@ pub mod rates;
 pub mod reach;
 
 pub use conflicts::{ActuationConflict, ActuationSite};
+pub use deployment::{
+    analyze_deployment, CrossConflict, CrossFinding, CutViolation, DeployPins, DeploymentOptions,
+    DeploymentReport, DesignRef, DesignSpan, FamilyLoad, LinkLoad, MergedTaxonomy, PinnedHost,
+    SharedPublication,
+};
 pub use graph::DesignGraph;
 pub use loops::{FeedbackLoop, LoopKind};
 pub use partition::{CutRoute, PartitionNode, PartitionPlan, PartitionReport};

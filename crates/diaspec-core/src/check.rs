@@ -598,7 +598,7 @@ impl<'a> Checker<'a> {
                 "qos" => {
                     for (key, value) in &ann.args {
                         match key.as_str() {
-                            "latencyMs" | "periodMs" | "priority" => {
+                            "latencyMs" | "periodMs" | "priority" | "capacityPerHour" => {
                                 let ok = matches!(
                                     value,
                                     ast::AnnotationValue::Int(v) if *v > 0
@@ -617,7 +617,7 @@ impl<'a> Checker<'a> {
                                 self.diags.push(Diagnostic::warning(
                                     "W0307",
                                     format!(
-                                        "unknown @qos argument `{other}` (known:                                          latencyMs, periodMs, priority)"
+                                        "unknown @qos argument `{other}` (known:                                          latencyMs, periodMs, priority,                                          capacityPerHour)"
                                     ),
                                     ann.span,
                                 ));

@@ -41,6 +41,7 @@ pub mod entity;
 pub mod error;
 pub mod fault;
 pub mod metrics;
+pub mod multi;
 pub mod obs;
 pub mod payload;
 pub mod process;

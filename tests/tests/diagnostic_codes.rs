@@ -70,7 +70,7 @@ fn analysis_table_lists_exactly_the_emitted_codes() {
     let analysis = codes_in(ANALYSIS_RS);
     let expected: BTreeSet<String> = [
         "E0401", "W0401", "W0402", "W0403", "W0404", "W0405", "W0406", "E0501", "E0502", "E0503",
-        "W0501",
+        "W0501", "E0601", "W0601", "W0602", "E0602",
     ]
     .iter()
     .map(|s| (*s).to_owned())
